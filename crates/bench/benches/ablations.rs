@@ -1,0 +1,121 @@
+//! Ablation benches (DESIGN.md A1/A2 plus the interleaver): the cost side
+//! of the design choices whose accuracy impact `repro ablation-*` reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_core::{AlgoNgst, NgstConfig, Sensitivity, SeriesPreprocessor, Upsilon};
+use preflight_datagen::NgstModel;
+use preflight_faults::{seeded_rng, Interleaver, Uncorrelated};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = NgstModel::default();
+    let inj = Uncorrelated::new(0.01).expect("valid probability");
+    let mut rng = seeded_rng(0xAB1A);
+    let series: Vec<Vec<u16>> = (0..128)
+        .map(|_| {
+            let mut s = model.series(&mut rng);
+            inj.inject_words(&mut s, &mut rng);
+            s
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ablations");
+    group.throughput(Throughput::Elements(series.len() as u64 * 64));
+
+    let lambda = Sensitivity::new(80).unwrap();
+    let variants: Vec<(&str, AlgoNgst)> = vec![
+        ("grt_on_dynamic", AlgoNgst::new(Upsilon::FOUR, lambda)),
+        (
+            "grt_off",
+            AlgoNgst::with_config(
+                Upsilon::FOUR,
+                lambda,
+                NgstConfig {
+                    use_grt: false,
+                    ..NgstConfig::default()
+                },
+            ),
+        ),
+        (
+            "static_windows",
+            AlgoNgst::with_config(
+                Upsilon::FOUR,
+                lambda,
+                NgstConfig {
+                    static_windows: Some((4, 8)),
+                    ..NgstConfig::default()
+                },
+            ),
+        ),
+    ];
+    for (name, algo) in &variants {
+        group.bench_with_input(BenchmarkId::new("algo", *name), algo, |b, algo| {
+            b.iter(|| {
+                for s in &series {
+                    let mut w = s.clone();
+                    algo.preprocess(black_box(&mut w));
+                    black_box(&w);
+                }
+            })
+        });
+    }
+
+    // Iterative preprocessing (ablation A3): the cost of extra rounds.
+    for passes in [1usize, 2, 3] {
+        let algo = AlgoNgst::with_config(
+            Upsilon::FOUR,
+            lambda,
+            NgstConfig {
+                passes,
+                ..NgstConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("passes", passes), &algo, |b, algo| {
+            b.iter(|| {
+                for s in &series {
+                    let mut w = s.clone();
+                    algo.preprocess(black_box(&mut w));
+                    black_box(&w);
+                }
+            })
+        });
+    }
+
+    // The classical redundancy baselines of the motivation experiment.
+    {
+        use preflight_redundancy::ChecksumMatrix;
+        let mut m = preflight_core::Image::new(16, 16);
+        for i in 0..256usize {
+            m.set(i % 16, i / 16, (i * 37 % 997) as f64);
+        }
+        let a = ChecksumMatrix::encode(&m);
+        let b = ChecksumMatrix::encode(&m);
+        group.bench_function("abft_multiply_verify_16x16", |bch| {
+            bch.iter(|| {
+                let c = black_box(&a).multiply(black_box(&b));
+                black_box(c.verify())
+            })
+        });
+    }
+
+    // The §8 interleaver's own overhead (a pure address permutation).
+    let flat: Vec<u16> = (0..65_536u32).map(|v| v as u16).collect();
+    let il = Interleaver::new(flat.len(), 64).expect("64 divides 65536");
+    group.throughput(Throughput::Elements(flat.len() as u64));
+    group.bench_function("interleave_roundtrip", |b| {
+        b.iter(|| {
+            let phys = il.interleave(black_box(&flat));
+            black_box(il.deinterleave(&phys))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 2 companion bench: per-series preprocessing throughput of every
+//! algorithm compared in the figure, on NMS-like data corrupted at
+//! Γ₀ = 1 %. (The error curves themselves come from `repro fig2`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_core::{AlgoNgst, MedianSmoother, Sensitivity, SeriesPreprocessor, Upsilon};
+use preflight_datagen::NgstModel;
+use preflight_faults::{seeded_rng, Uncorrelated};
+use std::hint::black_box;
+
+fn workload(n_series: usize) -> Vec<Vec<u16>> {
+    let model = NgstModel::default();
+    let inj = Uncorrelated::new(0.01).expect("valid probability");
+    let mut rng = seeded_rng(0xBE2C);
+    (0..n_series)
+        .map(|_| {
+            let mut s = model.series(&mut rng);
+            inj.inject_words(&mut s, &mut rng);
+            s
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let series = workload(256);
+    let mut group = c.benchmark_group("fig2");
+    group.throughput(Throughput::Elements(series.len() as u64 * 64));
+
+    for lambda in [20u32, 50, 80, 95] {
+        let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(lambda).unwrap());
+        group.bench_with_input(BenchmarkId::new("algo_ngst", lambda), &algo, |b, algo| {
+            b.iter(|| {
+                for s in &series {
+                    let mut w = s.clone();
+                    algo.preprocess(black_box(&mut w));
+                    black_box(&w);
+                }
+            })
+        });
+    }
+    let median = MedianSmoother::new();
+    group.bench_function("median_smoothing", |b| {
+        b.iter(|| {
+            for s in &series {
+                let mut w = s.clone();
+                SeriesPreprocessor::<u16>::preprocess(&median, black_box(&mut w));
+                black_box(&w);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

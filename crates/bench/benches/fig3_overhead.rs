@@ -1,0 +1,74 @@
+//! **Figure 3** — preprocessing overhead as a function of the sensitivity Λ,
+//! against the static baselines. This is the rigorous (Criterion) version of
+//! `repro fig3`; the paper measured the same quantity on a Pentium III
+//! 750 MHz, so only the relative shape is comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_core::{
+    AlgoNgst, BitVoter, MedianSmoother, Sensitivity, SeriesPreprocessor, Upsilon,
+};
+use preflight_datagen::NgstModel;
+use preflight_faults::{seeded_rng, Uncorrelated};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = NgstModel::default();
+    let inj = Uncorrelated::new(0.01).expect("valid probability");
+    let mut rng = seeded_rng(0xF163);
+    let series: Vec<Vec<u16>> = (0..256)
+        .map(|_| {
+            let mut s = model.series(&mut rng);
+            inj.inject_words(&mut s, &mut rng);
+            s
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fig3_overhead");
+    group.throughput(Throughput::Elements(series.len() as u64));
+    for lambda in [0u32, 20, 40, 60, 80, 100] {
+        let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(lambda).unwrap());
+        group.bench_with_input(
+            BenchmarkId::new("algo_ngst_lambda", lambda),
+            &algo,
+            |b, algo| {
+                b.iter(|| {
+                    for s in &series {
+                        let mut w = s.clone();
+                        algo.preprocess(black_box(&mut w));
+                        black_box(&w);
+                    }
+                })
+            },
+        );
+    }
+    let median = MedianSmoother::new();
+    group.bench_function("median_smoothing", |b| {
+        b.iter(|| {
+            for s in &series {
+                let mut w = s.clone();
+                SeriesPreprocessor::<u16>::preprocess(&median, black_box(&mut w));
+                black_box(&w);
+            }
+        })
+    });
+    let voter = BitVoter::new();
+    group.bench_function("bit_voting", |b| {
+        b.iter(|| {
+            for s in &series {
+                let mut w = s.clone();
+                SeriesPreprocessor::<u16>::preprocess(&voter, black_box(&mut w));
+                black_box(&w);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 4 companion bench: stack-level preprocessing throughput under the
+//! correlated (burst) fault model. (Error curves come from `repro fig4`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_core::{
+    preprocess_stack, AlgoNgst, BitVoter, ImageStack, MedianSmoother, Sensitivity, Upsilon,
+};
+use preflight_datagen::NgstModel;
+use preflight_faults::{seeded_rng, Correlated};
+use std::hint::black_box;
+
+fn corrupted_stack() -> ImageStack<u16> {
+    let model = NgstModel {
+        frames: 32,
+        ..NgstModel::default()
+    };
+    let mut rng = seeded_rng(0xF164);
+    let mut stack = model.stack(32, 32, &mut rng);
+    Correlated::new(0.05)
+        .expect("valid probability")
+        .inject_stack(&mut stack, &mut rng);
+    stack
+}
+
+fn bench(c: &mut Criterion) {
+    let stack = corrupted_stack();
+    let samples = stack.len() as u64;
+    let mut group = c.benchmark_group("fig4_correlated");
+    group.throughput(Throughput::Elements(samples));
+    group.sample_size(20);
+
+    let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
+    group.bench_with_input(BenchmarkId::new("stack", "algo_ngst"), &algo, |b, algo| {
+        b.iter(|| {
+            let mut w = stack.clone();
+            preprocess_stack(algo, black_box(&mut w));
+            black_box(&w);
+        })
+    });
+    let median = MedianSmoother::new();
+    group.bench_function(BenchmarkId::new("stack", "median"), |b| {
+        b.iter(|| {
+            let mut w = stack.clone();
+            preprocess_stack(&median, black_box(&mut w));
+            black_box(&w);
+        })
+    });
+    let voter = BitVoter::new();
+    group.bench_function(BenchmarkId::new("stack", "bit_voting"), |b| {
+        b.iter(|| {
+            let mut w = stack.clone();
+            preprocess_stack(&voter, black_box(&mut w));
+            black_box(&w);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 5 companion bench: preprocessing cost across the intensity gamut
+//! (the runtime must not depend on the data's mean level — only the error
+//! curves of `repro fig5` do).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_core::{AlgoNgst, Sensitivity, SeriesPreprocessor, Upsilon};
+use preflight_datagen::NgstModel;
+use preflight_faults::{seeded_rng, Uncorrelated};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inj = Uncorrelated::new(0.025).expect("valid probability");
+    let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
+    let mut group = c.benchmark_group("fig5_gamut");
+    group.throughput(Throughput::Elements(128 * 64));
+
+    for mean in [500u16, 5_000, 27_000, 60_000] {
+        let model = NgstModel::new(64, mean, 250.0);
+        let mut rng = seeded_rng(u64::from(mean));
+        let series: Vec<Vec<u16>> = (0..128)
+            .map(|_| {
+                let mut s = model.series(&mut rng);
+                inj.inject_words(&mut s, &mut rng);
+                s
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("mean", mean), &series, |b, series| {
+            b.iter(|| {
+                for s in series {
+                    let mut w = s.clone();
+                    algo.preprocess(black_box(&mut w));
+                    black_box(&w);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 6 companion bench: cost of the Υ = 2/4/6 voter configurations on
+//! quasi-NGST data of varying turbulence. (Error curves: `repro fig6`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_core::{AlgoNgst, Sensitivity, SeriesPreprocessor, Upsilon};
+use preflight_datagen::NgstModel;
+use preflight_faults::{seeded_rng, Uncorrelated};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inj = Uncorrelated::new(0.02).expect("valid probability");
+    let mut group = c.benchmark_group("fig6_upsilon");
+    group.throughput(Throughput::Elements(128 * 64));
+
+    for (sigma, upsilon) in [
+        (0.0, Upsilon::TWO),
+        (0.0, Upsilon::FOUR),
+        (0.0, Upsilon::SIX),
+        (250.0, Upsilon::TWO),
+        (250.0, Upsilon::FOUR),
+        (250.0, Upsilon::SIX),
+    ] {
+        let model = NgstModel::new(64, 27_000, sigma);
+        let mut rng = seeded_rng(sigma as u64 + upsilon.value() as u64);
+        let series: Vec<Vec<u16>> = (0..128)
+            .map(|_| {
+                let mut s = model.series(&mut rng);
+                inj.inject_words(&mut s, &mut rng);
+                s
+            })
+            .collect();
+        let algo = AlgoNgst::new(upsilon, Sensitivity::new(80).unwrap());
+        let id = format!("sigma{sigma}-upsilon{}", upsilon.value());
+        group.bench_with_input(BenchmarkId::new("config", id), &series, |b, series| {
+            b.iter(|| {
+                for s in series {
+                    let mut w = s.clone();
+                    algo.preprocess(black_box(&mut w));
+                    black_box(&w);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 7 companion bench: per-plane preprocessing throughput of the OTIS
+//! algorithms on each scene archetype. (Error curves: `repro fig7`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_bench::otis_exp::bitvote_plane_f32;
+use preflight_core::{
+    AlgoOtis, Image, MedianSmoother, PhysicalBounds, PlanePreprocessor, Sensitivity,
+};
+use preflight_datagen::planck::{max_radiance, radiance, DEFAULT_BANDS};
+use preflight_datagen::{temperature_scene, OtisScene};
+use preflight_faults::{seeded_rng, Uncorrelated};
+use std::hint::black_box;
+
+fn corrupted_plane(scene: OtisScene) -> Image<f32> {
+    let mut rng = seeded_rng(0xF167);
+    let temp = temperature_scene(scene, 64, 64, &mut rng);
+    let mut plane = temp.map(|t| (0.95 * radiance(f64::from(t), 10.2)) as f32);
+    Uncorrelated::new(0.01)
+        .expect("valid probability")
+        .inject_f32(plane.as_mut_slice(), &mut rng);
+    plane
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_otis");
+    group.throughput(Throughput::Elements(64 * 64));
+    group.sample_size(30);
+
+    let bounds = PhysicalBounds::radiance(max_radiance(400.0, &DEFAULT_BANDS) * 1.2);
+    let algo = AlgoOtis::new(Sensitivity::new(80).unwrap(), bounds);
+    let median = MedianSmoother::new();
+    for scene in OtisScene::ALL {
+        let plane = corrupted_plane(scene);
+        group.bench_with_input(
+            BenchmarkId::new("algo_otis", scene.name()),
+            &plane,
+            |b, plane| {
+                b.iter(|| {
+                    let mut w = plane.clone();
+                    algo.preprocess_plane(black_box(&mut w));
+                    black_box(&w);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("median", scene.name()),
+            &plane,
+            |b, plane| {
+                b.iter(|| {
+                    let mut w = plane.clone();
+                    PlanePreprocessor::<f32>::preprocess_plane(&median, black_box(&mut w));
+                    black_box(&w);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bit_voting", scene.name()),
+            &plane,
+            |b, plane| {
+                b.iter(|| {
+                    let mut w = plane.clone();
+                    bitvote_plane_f32(black_box(&mut w));
+                    black_box(&w);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

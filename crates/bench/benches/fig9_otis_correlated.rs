@@ -1,0 +1,52 @@
+//! Figure 9 companion bench: cube-level `Algo_OTIS` throughput under the
+//! correlated fault model across Γ_ini, including past the breakdown point
+//! (heavier damage means more repairs and more work). (Error curves:
+//! `repro fig9`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_core::{AlgoOtis, Cube, PhysicalBounds, Sensitivity};
+use preflight_datagen::planck::{max_radiance, DEFAULT_BANDS};
+use preflight_datagen::{emissivity_scene, radiance_cube, temperature_scene, OtisScene};
+use preflight_faults::{seeded_rng, Correlated};
+use std::hint::black_box;
+
+fn corrupted_cube(gamma_ini: f64) -> Cube<f32> {
+    let mut rng = seeded_rng(0xF169);
+    let temp = temperature_scene(OtisScene::Blob, 48, 48, &mut rng);
+    let emis = emissivity_scene(48, 48, &mut rng);
+    let mut cube = radiance_cube(&temp, &emis, &DEFAULT_BANDS);
+    Correlated::new(gamma_ini)
+        .expect("valid probability")
+        .inject_cube(&mut cube, &mut rng);
+    cube
+}
+
+fn bench(c: &mut Criterion) {
+    let bounds = PhysicalBounds::radiance(max_radiance(400.0, &DEFAULT_BANDS) * 1.2);
+    let algo = AlgoOtis::new(Sensitivity::new(80).unwrap(), bounds);
+    let mut group = c.benchmark_group("fig9_otis_correlated");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(48 * 48 * DEFAULT_BANDS.len() as u64));
+
+    for gamma in [0.05f64, 0.15, 0.25] {
+        let cube = corrupted_cube(gamma);
+        let id = format!("{gamma}");
+        group.bench_with_input(BenchmarkId::new("gamma_ini", id), &cube, |b, cube| {
+            b.iter(|| {
+                let mut w = cube.clone();
+                algo.preprocess_cube(black_box(&mut w));
+                black_box(&w);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

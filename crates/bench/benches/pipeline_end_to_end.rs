@@ -1,0 +1,65 @@
+//! End-to-end master/slave pipeline benchmark: fragmentation → transit
+//! faults → (preprocessing) → CR rejection → reassembly → Rice compression,
+//! with and without the preprocessing stage (its marginal cost is the
+//! paper's "slack CPU time in the slave nodes" argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_core::{AlgoNgst, Image, Sensitivity, Upsilon};
+use preflight_faults::seeded_rng;
+use preflight_ngst::{DetectorConfig, NgstPipeline, PipelineConfig, TransitFault, UpTheRamp};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = DetectorConfig {
+        width: 64,
+        height: 64,
+        frames: 16,
+        ..DetectorConfig::default()
+    };
+    let det = UpTheRamp::new(cfg);
+    let flux = Image::filled(64, 64, 30.0f32);
+    let stack = det.clean_stack(&flux, &mut seeded_rng(0xE2E));
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stack.len() as u64));
+
+    let base = PipelineConfig {
+        workers: 4,
+        tile_size: 32,
+        transit_fault: Some(TransitFault::Uncorrelated(0.002)),
+        seed: 11,
+        ..PipelineConfig::default()
+    };
+    let without = NgstPipeline::new(base);
+    group.bench_function(BenchmarkId::new("run", "no_preprocessing"), |b| {
+        b.iter(|| black_box(without.run(black_box(&stack))))
+    });
+    let with = NgstPipeline::new(PipelineConfig {
+        preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
+        ..base
+    });
+    group.bench_function(BenchmarkId::new("run", "with_preprocessing"), |b| {
+        b.iter(|| black_box(with.run(black_box(&stack))))
+    });
+    // The paper's closing recommendation: preprocessing fused into the
+    // application pass instead of run as a separate layer.
+    let fused = NgstPipeline::new(PipelineConfig {
+        preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
+        integrated: true,
+        ..base
+    });
+    group.bench_function(BenchmarkId::new("run", "integrated_preprocessing"), |b| {
+        b.iter(|| black_box(fused.run(black_box(&stack))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

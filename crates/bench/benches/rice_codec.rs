@@ -1,0 +1,46 @@
+//! Rice codec throughput: encode and decode rates on downlink-like data,
+//! clean versus bit-flipped (corruption breaks residual smoothness and
+//! slows the coder down along with the ratio — the §2 claim's cost side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_datagen::NgstModel;
+use preflight_faults::{seeded_rng, Uncorrelated};
+use preflight_rice::RiceCodec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = NgstModel {
+        frames: 16_384,
+        sigma: 40.0,
+        ..NgstModel::default()
+    };
+    let clean = model.series(&mut seeded_rng(0xC0DE));
+    let mut corrupted = clean.clone();
+    Uncorrelated::new(0.01)
+        .expect("valid probability")
+        .inject_words(&mut corrupted, &mut seeded_rng(0xC0DE + 1));
+
+    let codec = RiceCodec::new();
+    let mut group = c.benchmark_group("rice_codec");
+    group.throughput(Throughput::Bytes(clean.len() as u64 * 2));
+
+    for (name, data) in [("clean", &clean), ("corrupted", &corrupted)] {
+        group.bench_with_input(BenchmarkId::new("encode", name), data, |b, data| {
+            b.iter(|| black_box(codec.encode(black_box(data))))
+        });
+        let encoded = codec.encode(data);
+        group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, encoded| {
+            b.iter(|| black_box(codec.decode(black_box(encoded)).expect("valid stream")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! `repro` — regenerates every figure of the paper as a text table (and
+//! optionally CSV files).
+//!
+//! ```text
+//! repro <target> [--paper] [--csv <dir>] [--svg <dir>]
+//!
+//! targets:
+//!   fig2 fig3 fig4 fig5 fig6 fig7 fig9
+//!   compression factors mean-vs-median scaling
+//!   interleave spatial-vs-spectral
+//!   ablation-windows ablation-static
+//!   all
+//! flags:
+//!   --paper     paper-depth averaging (slower; default is a medium scale)
+//!   --quick     smoke-test scale
+//!   --csv DIR   also write one CSV per figure into DIR
+//!   --svg DIR   also render one SVG plot per figure into DIR
+//! ```
+
+use preflight_bench::{report::Scale, Figure};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = None;
+    let mut scale = Scale::medium();
+    let mut csv_dir: Option<String> = None;
+    let mut svg_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--quick" => scale = Scale::quick(),
+            "--csv" => match it.next() {
+                Some(d) => csv_dir = Some(d.clone()),
+                None => {
+                    eprintln!("--csv requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--svg" => match it.next() {
+                Some(d) => svg_dir = Some(d.clone()),
+                None => {
+                    eprintln!("--svg requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            t if target.is_none() && !t.starts_with('-') => target = Some(t.to_owned()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(target) = target else {
+        print_usage();
+        std::process::exit(2);
+    };
+
+    let figures = run_target(&target, scale);
+    if figures.is_empty() {
+        eprintln!("unknown target {target:?}");
+        print_usage();
+        std::process::exit(2);
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for fig in &figures {
+        if let Some(dir) = &csv_dir {
+            if let Err(e) = write_artifact(dir, fig, "csv", &fig.to_csv()) {
+                eprintln!("failed to write CSV for {}: {e}", fig.id);
+                std::process::exit(1);
+            }
+        }
+        if let Some(dir) = &svg_dir {
+            if let Err(e) = write_artifact(dir, fig, "svg", &preflight_bench::svg::render(fig)) {
+                eprintln!("failed to write SVG for {}: {e}", fig.id);
+                std::process::exit(1);
+            }
+        }
+        // A closed pipe (e.g. `repro all | head`) is not an error; keep
+        // writing the CSVs but stop printing.
+        let _ = writeln!(out, "{}", fig.to_table());
+    }
+    if let Some(dir) = &csv_dir {
+        eprintln!("CSV written to {dir}/");
+    }
+    if let Some(dir) = &svg_dir {
+        eprintln!("SVG plots written to {dir}/");
+    }
+}
+
+fn run_target(target: &str, scale: Scale) -> Vec<Figure> {
+    match target {
+        "fig2" => vec![preflight_bench::fig2(scale)],
+        "fig3" => vec![preflight_bench::fig3(scale)],
+        "fig4" => vec![preflight_bench::fig4(scale)],
+        "fig5" => vec![preflight_bench::fig5(scale)],
+        "fig6" => preflight_bench::fig6(scale),
+        "fig7" => preflight_bench::fig7(scale),
+        "fig9" => preflight_bench::fig9(scale),
+        "compression" => vec![preflight_bench::compression_claim(scale)],
+        "factors" => vec![preflight_bench::improvement_factors(scale)],
+        "mean-vs-median" => vec![preflight_bench::mean_vs_median(scale)],
+        "scaling" => vec![preflight_bench::scaling(scale)],
+        "motivation" => vec![preflight_bench::motivation(scale)],
+        "interleave" => vec![preflight_bench::interleave_claim(scale)],
+        "spatial-vs-spectral" => vec![preflight_bench::spatial_vs_spectral(scale)],
+        "ablation-windows" => vec![preflight_bench::ablation_windows(scale)],
+        "ablation-passes" => vec![preflight_bench::ablation_passes(scale)],
+        "ablation-static" => vec![preflight_bench::ablation_static(scale)],
+        "all" => {
+            let mut all = Vec::new();
+            for t in [
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig9",
+                "compression",
+                "factors",
+                "mean-vs-median",
+                "scaling",
+                "motivation",
+                "interleave",
+                "spatial-vs-spectral",
+                "ablation-windows",
+                "ablation-static",
+                "ablation-passes",
+            ] {
+                all.extend(run_target(t, scale));
+            }
+            all
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn write_artifact(dir: &str, fig: &Figure, ext: &str, body: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = std::path::Path::new(dir).join(format!("{}.{ext}", fig.id));
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <target> [--paper|--quick] [--csv DIR] [--svg DIR]\n\
+         targets: fig2 fig3 fig4 fig5 fig6 fig7 fig9 compression factors scaling motivation\n\x20        mean-vs-median interleave\n\
+         \x20        spatial-vs-spectral ablation-windows ablation-static ablation-passes all"
+    );
+}

@@ -1,0 +1,29 @@
+//! # preflight-bench
+//!
+//! The figure-reproduction harness: one function per figure of the paper's
+//! evaluation (Figures 2–9 plus the §2/§6/§8 claims), shared by the `repro`
+//! binary, the Criterion benches and the smoke tests.
+//!
+//! Every experiment returns a [`report::Figure`] — the x grid plus one
+//! labelled series per algorithm — which the binary renders as an aligned
+//! table and optionally as CSV. Absolute values depend on the synthetic
+//! substrate; what the harness is expected to reproduce (and what
+//! `tests/figures_smoke.rs` asserts) is the paper's *shape*: who wins, by
+//! roughly what factor, and where the crossovers and breakdown points fall.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod motivation;
+pub mod ngst_exp;
+pub mod otis_exp;
+pub mod report;
+pub mod svg;
+
+pub use motivation::motivation;
+pub use ngst_exp::{
+    ablation_passes, ablation_static, ablation_windows, compression_claim, fig2, fig3, fig4, fig5,
+    fig6, improvement_factors, interleave_claim, mean_vs_median, scaling,
+};
+pub use otis_exp::{fig7, fig9, spatial_vs_spectral};
+pub use report::{Figure, Scale, Series};

@@ -1,0 +1,221 @@
+//! The OTIS-side experiments: Figures 7 and 9 of the paper plus the §7.1
+//! spatial-vs-spectral locality comparison.
+
+use crate::report::{Accum, Figure, Scale, Series};
+use preflight_core::{
+    AlgoOtis, BitVoter, Cube, Image, MedianSmoother, PhysicalBounds, PlanePreprocessor, Sensitivity,
+};
+use preflight_datagen::planck::{max_radiance, DEFAULT_BANDS};
+use preflight_datagen::{emissivity_scene, radiance_cube, temperature_scene, OtisScene};
+use preflight_faults::{seeded_rng, Correlated, Uncorrelated};
+use preflight_metrics::psi_capped;
+
+/// The Γ₀ grid for the OTIS uncorrelated sweep (the paper highlights
+/// Γ₀ = 0.05 → Ψ ≈ 12 % unprocessed, and `Algo_OTIS` dominance for
+/// Γ₀ ≥ 0.025).
+pub const OTIS_GAMMA0_GRID: [f64; 7] = [0.0025, 0.005, 0.01, 0.025, 0.05, 0.075, 0.1];
+
+/// The Γ_ini grid for the OTIS correlated sweep (the common breakdown point
+/// sits near 0.2).
+pub const OTIS_GAMMA_INI_GRID: [f64; 7] = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4];
+
+/// Builds the clean radiance cube of one scene.
+fn scene_cube(scene: OtisScene, size: usize, seed: u64) -> Cube<f32> {
+    let mut rng = seeded_rng(seed);
+    let temp = temperature_scene(scene, size, size, &mut rng);
+    let emis = emissivity_scene(size, size, &mut rng);
+    radiance_cube(&temp, &emis, &DEFAULT_BANDS)
+}
+
+/// The radiance bounds `Algo_OTIS` enforces: non-negative, and below the
+/// hottest physically possible scene (400 K) with margin.
+fn radiance_bounds() -> PhysicalBounds {
+    PhysicalBounds::radiance(max_radiance(400.0, &DEFAULT_BANDS) * 1.2)
+}
+
+/// Bitwise majority voting adapted to the OTIS 32-bit float planes
+/// (§4.2 / §7.3): the vote runs on the raw IEEE-754 bit patterns along each
+/// row.
+pub fn bitvote_plane_f32(plane: &mut Image<f32>) -> usize {
+    let mut bits: Image<u32> = plane.map(|v| v.to_bits());
+    let changed = BitVoter::new().preprocess_plane(&mut bits);
+    for (dst, &src) in plane.as_mut_slice().iter_mut().zip(bits.as_slice()) {
+        *dst = f32::from_bits(src);
+    }
+    changed
+}
+
+/// Applies a per-plane algorithm to every band of a cube.
+fn per_plane(cube: &mut Cube<f32>, mut f: impl FnMut(&mut Image<f32>) -> usize) -> usize {
+    let mut changed = 0;
+    for b in 0..cube.bands() {
+        let mut img = cube.plane_image(b);
+        changed += f(&mut img);
+        cube.set_plane(b, &img);
+    }
+    changed
+}
+
+/// Runs the standard four-way comparison (no-preprocessing, median, bit
+/// voting, `Algo_OTIS`) for one scene across a Γ grid.
+fn otis_sweep(
+    scene: OtisScene,
+    scale: Scale,
+    xs: &[f64],
+    seed: u64,
+    corrupt: impl Fn(&mut Cube<f32>, f64, u64),
+) -> Vec<Series> {
+    let algo = AlgoOtis::new(
+        Sensitivity::new(80).expect("valid sensitivity"),
+        radiance_bounds(),
+    );
+    let median = MedianSmoother::new();
+    let trials = scale.trials.div_ceil(4).max(2);
+    let mut series = vec![
+        Series::new("NoPreprocessing"),
+        Series::new("MedianSmoothing"),
+        Series::new("BitVoting"),
+        Series::new("Algo_OTIS"),
+    ];
+    for (gi, &g) in xs.iter().enumerate() {
+        let mut accums = [Accum::new(); 4];
+        for t in 0..trials {
+            let trial_seed = seed ^ (gi as u64 * 8191 + t as u64 * 131);
+            let clean = scene_cube(scene, scale.otis_size, trial_seed);
+            let mut corrupted = clean.clone();
+            corrupt(&mut corrupted, g, trial_seed);
+            accums[0].push(psi_capped(clean.as_slice(), corrupted.as_slice(), 1.0));
+
+            let mut work = corrupted.clone();
+            per_plane(&mut work, |p| median.preprocess_plane(p));
+            accums[1].push(psi_capped(clean.as_slice(), work.as_slice(), 1.0));
+
+            let mut work = corrupted.clone();
+            per_plane(&mut work, bitvote_plane_f32);
+            accums[2].push(psi_capped(clean.as_slice(), work.as_slice(), 1.0));
+
+            let mut work = corrupted.clone();
+            algo.preprocess_cube(&mut work);
+            accums[3].push(psi_capped(clean.as_slice(), work.as_slice(), 1.0));
+        }
+        for (s, a) in series.iter_mut().zip(accums) {
+            s.push(a.stats());
+        }
+    }
+    series
+}
+
+/// **Figure 7** (the OTIS performance-comparison plot; the prose around the
+/// printed "Figure 8" caption) — Ψ vs Γ₀ on the Blob / Stripe / Spots
+/// scenes under the uncorrelated model. One sub-figure per scene.
+pub fn fig7(scale: Scale) -> Vec<Figure> {
+    OtisScene::ALL
+        .iter()
+        .map(|&scene| {
+            let series = otis_sweep(
+                scene,
+                scale,
+                &OTIS_GAMMA0_GRID,
+                0xF16_7000 + scene.name().len() as u64,
+                |cube, g, seed| {
+                    Uncorrelated::new(g)
+                        .expect("grid probabilities are valid")
+                        .inject_cube(cube, &mut seeded_rng(seed));
+                },
+            );
+            Figure {
+                id: format!("fig7-{}", scene.name().to_lowercase()),
+                title: format!(
+                    "OTIS dataset '{}': performance comparison (uncorrelated faults)",
+                    scene.name()
+                ),
+                xlabel: "Gamma0".into(),
+                ylabel: "average relative error Psi".into(),
+                xs: OTIS_GAMMA0_GRID.to_vec(),
+                series,
+            }
+        })
+        .collect()
+}
+
+/// **Figure 9** — Ψ vs Γ_ini on the three OTIS scenes under the correlated
+/// model; all algorithms share a breakdown point near Γ_ini ≈ 0.2, beyond
+/// which preprocessing *deteriorates* the data.
+pub fn fig9(scale: Scale) -> Vec<Figure> {
+    OtisScene::ALL
+        .iter()
+        .map(|&scene| {
+            let series = otis_sweep(
+                scene,
+                scale,
+                &OTIS_GAMMA_INI_GRID,
+                0xF16_9000 + scene.name().len() as u64,
+                |cube, g, seed| {
+                    Correlated::new(g)
+                        .expect("grid probabilities are valid")
+                        .inject_cube(cube, &mut seeded_rng(seed));
+                },
+            );
+            Figure {
+                id: format!("fig9-{}", scene.name().to_lowercase()),
+                title: format!(
+                    "OTIS dataset '{}': performance with correlated faults",
+                    scene.name()
+                ),
+                xlabel: "Gamma_ini".into(),
+                ylabel: "average relative error Psi".into(),
+                xs: OTIS_GAMMA_INI_GRID.to_vec(),
+                series,
+            }
+        })
+        .collect()
+}
+
+/// **§7.1 claim** — spatial locality yields better expediency than spectral
+/// locality (spectral correlation falls off across bands).
+pub fn spatial_vs_spectral(scale: Scale) -> Figure {
+    let algo = AlgoOtis::new(
+        Sensitivity::new(80).expect("valid sensitivity"),
+        radiance_bounds(),
+    );
+    let trials = scale.trials.div_ceil(4).max(2);
+    let mut series = vec![
+        Series::from_means("NoPreprocessing", vec![]),
+        Series::from_means("Algo_OTIS spatial", vec![]),
+        Series::from_means("Algo_OTIS spectral", vec![]),
+    ];
+    for (gi, &g) in OTIS_GAMMA0_GRID.iter().enumerate() {
+        let inj = Uncorrelated::new(g).expect("grid probabilities are valid");
+        let mut sums = [0.0f64; 3];
+        for t in 0..trials {
+            // Average over all three scenes for a representative comparison.
+            for (si, &scene) in OtisScene::ALL.iter().enumerate() {
+                let seed = 0x5BEC_0000 + gi as u64 * 517 + t as u64 * 31 + si as u64;
+                let clean = scene_cube(scene, scale.otis_size, seed);
+                let mut corrupted = clean.clone();
+                inj.inject_cube(&mut corrupted, &mut seeded_rng(seed));
+                sums[0] += psi_capped(clean.as_slice(), corrupted.as_slice(), 1.0);
+
+                let mut work = corrupted.clone();
+                algo.preprocess_cube(&mut work);
+                sums[1] += psi_capped(clean.as_slice(), work.as_slice(), 1.0);
+
+                let mut work = corrupted.clone();
+                algo.preprocess_cube_spectral(&mut work);
+                sums[2] += psi_capped(clean.as_slice(), work.as_slice(), 1.0);
+            }
+        }
+        let n = (trials * 3) as f64;
+        for (s, sum) in series.iter_mut().zip(sums) {
+            s.ys.push(sum / n);
+        }
+    }
+    Figure {
+        id: "spatial-vs-spectral".into(),
+        title: "Section 7.1: spatial vs spectral locality for Algo_OTIS".into(),
+        xlabel: "Gamma0".into(),
+        ylabel: "average relative error Psi".into(),
+        xs: OTIS_GAMMA0_GRID.to_vec(),
+        series,
+    }
+}

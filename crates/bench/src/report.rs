@@ -1,0 +1,315 @@
+//! Experiment scaling and result containers.
+
+use std::fmt::Write as _;
+
+/// How much work each experiment does.
+///
+/// `quick` keeps every experiment under ~a second for smoke tests; `paper`
+/// approaches the paper's averaging depth (100-dataset averages, 64-frame
+/// series, full Γ sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Datasets averaged per point.
+    pub trials: usize,
+    /// Temporal series length `N`.
+    pub series_len: usize,
+    /// OTIS scene edge length (scenes are square).
+    pub otis_size: usize,
+    /// NGST stack tile edge for stack-level experiments.
+    pub stack_edge: usize,
+}
+
+impl Scale {
+    /// Smoke-test scale: everything small.
+    pub fn quick() -> Self {
+        Scale {
+            trials: 12,
+            series_len: 64,
+            otis_size: 32,
+            stack_edge: 16,
+        }
+    }
+
+    /// The default scale of the `repro` binary: enough averaging for
+    /// stable orderings at interactive runtimes.
+    pub fn medium() -> Self {
+        Scale {
+            trials: 40,
+            series_len: 64,
+            otis_size: 64,
+            stack_edge: 32,
+        }
+    }
+
+    /// The paper's averaging depth.
+    pub fn paper() -> Self {
+        Scale {
+            trials: 100,
+            series_len: 64,
+            otis_size: 96,
+            stack_edge: 64,
+        }
+    }
+}
+
+/// One labelled curve of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (algorithm name, possibly with parameters).
+    pub label: String,
+    /// y value per x grid point.
+    pub ys: Vec<f64>,
+    /// Standard error of each y (empty when the experiment reports plain
+    /// means).
+    pub stderrs: Vec<f64>,
+}
+
+impl Series {
+    /// An empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            ys: Vec::new(),
+            stderrs: Vec::new(),
+        }
+    }
+
+    /// A series of plain means (no error bars).
+    pub fn from_means(label: impl Into<String>, ys: Vec<f64>) -> Self {
+        Series {
+            label: label.into(),
+            ys,
+            stderrs: Vec::new(),
+        }
+    }
+
+    /// Appends a point with its standard error.
+    pub fn push(&mut self, stats: Stats) {
+        self.ys.push(stats.mean);
+        self.stderrs.push(stats.stderr);
+    }
+}
+
+/// An online accumulator for mean and standard error of the mean.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accum {
+    sum: f64,
+    sum_sq: f64,
+    n: usize,
+}
+
+/// A summarized sample: mean and standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean (0 for fewer than two samples).
+    pub stderr: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Accum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Accum::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.n += 1;
+    }
+
+    /// Summarizes the samples seen so far.
+    pub fn stats(&self) -> Stats {
+        let n = self.n as f64;
+        if self.n == 0 {
+            return Stats {
+                mean: 0.0,
+                stderr: 0.0,
+                n: 0,
+            };
+        }
+        let mean = self.sum / n;
+        let stderr = if self.n < 2 {
+            0.0
+        } else {
+            let var = (self.sum_sq / n - mean * mean).max(0.0) * n / (n - 1.0);
+            (var / n).sqrt()
+        };
+        Stats {
+            mean,
+            stderr,
+            n: self.n,
+        }
+    }
+}
+
+/// One reproduced figure: an x grid and a bundle of curves over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Short identifier, e.g. `fig2`.
+    pub id: String,
+    /// Human title quoting the paper figure it reproduces.
+    pub title: String,
+    /// x axis label.
+    pub xlabel: String,
+    /// y axis label.
+    pub ylabel: String,
+    /// The x grid.
+    pub xs: Vec<f64>,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders an aligned text table (x column + one column per series).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# y: {}", self.ylabel);
+        let _ = write!(out, "{:>12}", self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, " {:>18}", truncate(&s.label, 18));
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x:>12.5}");
+            for s in &self.series {
+                match s.ys.get(i) {
+                    Some(y) if y.is_finite() => match s.stderrs.get(i) {
+                        Some(e) if *e > 0.0 => {
+                            let cell = format!("{y:.6}±{e:.6}");
+                            let _ = write!(out, " {cell:>18}");
+                        }
+                        _ => {
+                            let _ = write!(out, " {y:>18.6}");
+                        }
+                    },
+                    _ => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV with a header row. Series carrying
+    /// standard errors get a second `<label> stderr` column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_field(&self.xlabel));
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_field(&s.label));
+            if !s.stderrs.is_empty() {
+                let _ = write!(out, ",{}", csv_field(&format!("{} stderr", s.label)));
+            }
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.ys.get(i) {
+                    Some(y) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => out.push(','),
+                }
+                if !s.stderrs.is_empty() {
+                    match s.stderrs.get(i) {
+                        Some(e) => {
+                            let _ = write!(out, ",{e}");
+                        }
+                        None => out.push(','),
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "demo".into(),
+            xlabel: "gamma".into(),
+            ylabel: "psi".into(),
+            xs: vec![0.01, 0.02],
+            series: vec![
+                Series::from_means("NoPre", vec![0.1, 0.2]),
+                Series::from_means("Algo", vec![0.001, f64::NAN]),
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_labels_and_rows() {
+        let t = sample().to_table();
+        assert!(t.contains("NoPre"));
+        assert!(t.contains("Algo"));
+        assert!(t.contains("0.01000"));
+        assert!(t.lines().count() >= 5);
+        assert!(t.contains(" -"), "NaN renders as a dash");
+    }
+
+    #[test]
+    fn csv_is_rectangular() {
+        let c = sample().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert_eq!(l.matches(',').count(), 2, "line {l:?}");
+        }
+    }
+
+    #[test]
+    fn csv_quotes_awkward_labels() {
+        let mut f = sample();
+        f.series[0].label = "a,b".into();
+        assert!(f.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample();
+        assert!(f.series("NoPre").is_some());
+        assert!(f.series("nope").is_none());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::quick().trials < Scale::medium().trials);
+        assert!(Scale::medium().trials < Scale::paper().trials);
+        assert!(Scale::quick().otis_size < Scale::paper().otis_size);
+    }
+}

@@ -1,0 +1,364 @@
+//! A dependency-free SVG line-chart renderer for reproduced figures.
+//!
+//! `repro <target> --svg DIR` writes one plot per figure: logarithmic axes
+//! where the data spans decades (Ψ curves do), error bars where the
+//! experiment recorded standard errors, and a legend. The output is plain
+//! SVG 1.1 — openable in any browser and diffable in review.
+
+use crate::report::Figure;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 520.0;
+const MARGIN_LEFT: f64 = 78.0;
+const MARGIN_RIGHT: f64 = 210.0;
+const MARGIN_TOP: f64 = 48.0;
+const MARGIN_BOTTOM: f64 = 64.0;
+
+/// A color-blind-friendly palette (Okabe–Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// One axis' scale.
+#[derive(Debug, Clone, Copy)]
+enum Scale {
+    Linear { min: f64, max: f64 },
+    Log { min: f64, max: f64 },
+}
+
+impl Scale {
+    /// Chooses log when every value is positive and the span exceeds
+    /// 1.5 decades.
+    fn choose(values: impl Iterator<Item = f64> + Clone) -> Scale {
+        let finite = values.filter(|v| v.is_finite());
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut all_positive = true;
+        for v in finite {
+            min = min.min(v);
+            max = max.max(v);
+            if v <= 0.0 {
+                all_positive = false;
+            }
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return Scale::Linear { min: 0.0, max: 1.0 };
+        }
+        if all_positive && min > 0.0 && max / min > 30.0 {
+            Scale::Log { min, max }
+        } else {
+            let pad = ((max - min) * 0.05).max(1e-12);
+            Scale::Linear {
+                min: (min - pad).min(0.0_f64.min(min)),
+                max: max + pad,
+            }
+        }
+    }
+
+    /// Normalizes a value into `0..=1` along this scale.
+    fn unit(&self, v: f64) -> Option<f64> {
+        match *self {
+            Scale::Linear { min, max } => {
+                if max > min {
+                    Some((v - min) / (max - min))
+                } else {
+                    Some(0.5)
+                }
+            }
+            Scale::Log { min, max } => {
+                if v <= 0.0 || !v.is_finite() {
+                    return None;
+                }
+                let (lo, hi) = (min.log10(), max.log10());
+                if hi > lo {
+                    Some((v.log10() - lo) / (hi - lo))
+                } else {
+                    Some(0.5)
+                }
+            }
+        }
+    }
+
+    /// Tick positions (value, label).
+    fn ticks(&self) -> Vec<(f64, String)> {
+        match *self {
+            Scale::Linear { min, max } => (0..=4)
+                .map(|i| {
+                    let v = min + (max - min) * f64::from(i) / 4.0;
+                    (v, format_tick(v))
+                })
+                .collect(),
+            Scale::Log { min, max } => {
+                let lo = min.log10().floor() as i32;
+                let hi = max.log10().ceil() as i32;
+                (lo..=hi)
+                    .map(|d| {
+                        let v = 10f64.powi(d);
+                        (v, format_tick(v))
+                    })
+                    .filter(|(v, _)| *v >= min / 1.01 && *v <= max * 1.01)
+                    .collect()
+            }
+        }
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 0.01 && v.abs() < 100_000.0 {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    } else {
+        format!("{v:.0e}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the figure as a self-contained SVG document.
+pub fn render(fig: &Figure) -> String {
+    let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let xscale = Scale::choose(fig.xs.iter().copied());
+    let yscale = Scale::choose(
+        fig.series
+            .iter()
+            .flat_map(|s| s.ys.iter().copied())
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
+    let px = |u: f64| MARGIN_LEFT + u * plot_w;
+    let py = |u: f64| MARGIN_TOP + (1.0 - u) * plot_h;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // Title.
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="24" font-size="15" font-weight="bold">{}</text>"#,
+        MARGIN_LEFT,
+        esc(&fig.title)
+    );
+    // Plot frame.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{}" y="{}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>"##,
+        MARGIN_LEFT, MARGIN_TOP
+    );
+    // Grid + ticks.
+    for (v, label) in xscale.ticks() {
+        if let Some(u) = xscale.unit(v) {
+            let x = px(u);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x:.1}" y1="{}" x2="{x:.1}" y2="{}" stroke="#ddd"/>"##,
+                MARGIN_TOP,
+                MARGIN_TOP + plot_h
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{x:.1}" y="{}" font-size="11" text-anchor="middle">{}</text>"#,
+                MARGIN_TOP + plot_h + 16.0,
+                esc(&label)
+            );
+        }
+    }
+    for (v, label) in yscale.ticks() {
+        if let Some(u) = yscale.unit(v) {
+            let y = py(u);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#ddd"/>"##,
+                MARGIN_LEFT,
+                MARGIN_LEFT + plot_w
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{y:.1}" font-size="11" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+                MARGIN_LEFT - 6.0,
+                esc(&label)
+            );
+        }
+    }
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        HEIGHT - 16.0,
+        esc(&fig.xlabel)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="18" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        esc(&fig.ylabel)
+    );
+
+    // Series.
+    for (si, s) in fig.series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let mut points = Vec::new();
+        for (i, (&x, &y)) in fig.xs.iter().zip(&s.ys).enumerate() {
+            let (Some(ux), Some(uy)) = (xscale.unit(x), yscale.unit(y)) else {
+                continue;
+            };
+            let (cx, cy) = (px(ux), py(uy));
+            points.push(format!("{cx:.1},{cy:.1}"));
+            // Error bar.
+            if let Some(&e) = s.stderrs.get(i) {
+                if e > 0.0 {
+                    let lo = yscale.unit(y - e).unwrap_or(uy);
+                    let hi = yscale.unit(y + e).unwrap_or(uy);
+                    let _ = writeln!(
+                        out,
+                        r#"<line x1="{cx:.1}" y1="{:.1}" x2="{cx:.1}" y2="{:.1}" stroke="{color}" stroke-width="1"/>"#,
+                        py(lo),
+                        py(hi)
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="2.6" fill="{color}"/>"#
+            );
+        }
+        if points.len() > 1 {
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                points.join(" ")
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_TOP + 14.0 + si as f64 * 20.0;
+        let lx = MARGIN_LEFT + plot_w + 14.0;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+            lx + 22.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+            lx + 28.0,
+            ly + 4.0,
+            esc(&s.label)
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Series;
+
+    fn sample(log_worthy: bool) -> Figure {
+        let ys = if log_worthy {
+            vec![0.1, 0.001, 0.0001]
+        } else {
+            vec![1.0, 2.0, 3.0]
+        };
+        Figure {
+            id: "t".into(),
+            title: "A <test> & title".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            xs: vec![1.0, 2.0, 3.0],
+            series: vec![
+                Series {
+                    label: "one".into(),
+                    ys,
+                    stderrs: vec![0.01, 0.0001, 0.00001],
+                },
+                Series::from_means("two", vec![0.2, 0.2, 0.2]),
+            ],
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = render(&sample(false));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("one"));
+        assert!(svg.contains("two"));
+        assert!(svg.contains("&lt;test&gt;"), "title must be escaped");
+    }
+
+    #[test]
+    fn decade_spanning_data_gets_log_axis_ticks() {
+        let svg = render(&sample(true));
+        // Log decade labels appear.
+        assert!(
+            svg.contains("1e-4") || svg.contains("0.0001") || svg.contains("1e-04"),
+            "{svg}"
+        );
+    }
+
+    #[test]
+    fn error_bars_render_for_series_with_stderr() {
+        let svg = render(&sample(false));
+        // 3 error bars (one per point of series one) + grid lines; count
+        // strokes of the first palette color used by bars/lines.
+        let bar_count = svg
+            .matches(r##"stroke="#0072B2" stroke-width="1""##)
+            .count();
+        assert_eq!(bar_count, 3);
+    }
+
+    #[test]
+    fn degenerate_figures_do_not_panic() {
+        let empty = Figure {
+            id: "e".into(),
+            title: "empty".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            xs: vec![],
+            series: vec![],
+        };
+        let svg = render(&empty);
+        assert!(svg.contains("</svg>"));
+
+        let nan = Figure {
+            id: "n".into(),
+            title: "nan".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            xs: vec![1.0, 2.0],
+            series: vec![Series::from_means("bad", vec![f64::NAN, f64::INFINITY])],
+        };
+        let svg = render(&nan);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn scale_unit_mapping() {
+        let lin = Scale::Linear {
+            min: 0.0,
+            max: 10.0,
+        };
+        assert_eq!(lin.unit(5.0), Some(0.5));
+        let log = Scale::Log {
+            min: 0.001,
+            max: 10.0,
+        };
+        assert_eq!(log.unit(0.1), Some(0.5));
+        assert_eq!(log.unit(-1.0), None);
+        assert_eq!(log.unit(0.0), None);
+    }
+}

@@ -1,0 +1,698 @@
+//! Implementation of the `preflight` command-line tool.
+//!
+//! All subcommands are plain functions from parsed options to a printable
+//! report string, so the whole surface is unit-testable without spawning
+//! processes. File format everywhere: single-HDU 3-axis 16-bit FITS (what
+//! `preflight::fits` writes), optionally carrying checksum cards.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod opts;
+
+use opts::Opts;
+use preflight::prelude::*;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (unknown command, missing flag, malformed value).
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The input was not a readable FITS stack.
+    Fits(preflight::fits::FitsError),
+    /// Invalid algorithm parameters.
+    Core(preflight::core::CoreError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "I/O: {e}"),
+            CliError::Fits(e) => write!(f, "FITS: {e}"),
+            CliError::Core(e) => write!(f, "parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<preflight::fits::FitsError> for CliError {
+    fn from(e: preflight::fits::FitsError) -> Self {
+        CliError::Fits(e)
+    }
+}
+
+impl From<preflight::core::CoreError> for CliError {
+    fn from(e: preflight::core::CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+
+/// Prints the usage summary to stderr.
+pub fn print_usage() {
+    eprintln!(
+        "usage: preflight <command> [flags]\n\
+         commands:\n\
+         \x20 gen        --out FILE [--width N] [--height N] [--frames N] [--sigma S] [--seed S]\n\
+         \x20 inject     --in FILE --out FILE --gamma0 P [--correlated] [--seed S]\n\
+         \x20 preprocess --in FILE --out FILE [--lambda L] [--upsilon U]\n\
+         \x20 check      --in FILE\n\
+         \x20 protect    --in FILE --out FILE\n\
+         \x20 tune       --in FILE --gamma0 P\n\
+         \x20 psi        --ideal FILE --observed FILE\n\
+         \x20 otis-gen   --out FILE --scene blob|stripe|spots [--size N] [--seed S]\n\
+         \x20 otis-inject --in FILE --out FILE --gamma0 P [--seed S]\n\
+         \x20 retrieve   --in FILE --out FILE [--preprocess] [--lambda L]\n\
+         \x20 pipeline   --in FILE --out FILE [--preprocess] [--lambda L] [--workers N]\n\
+         \x20            [--tile N] [--gamma0 P] [--seed S]"
+    );
+}
+
+/// Parses and runs one invocation, returning the report to print.
+///
+/// # Errors
+/// Returns [`CliError`] for bad invocations, I/O failures, unreadable FITS
+/// input or invalid parameters.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("missing command".to_owned()))?;
+    let opts = Opts::parse(rest)?;
+    match command.as_str() {
+        "gen" => cmd_gen(&opts),
+        "inject" => cmd_inject(&opts),
+        "preprocess" => cmd_preprocess(&opts),
+        "check" => cmd_check(&opts),
+        "protect" => cmd_protect(&opts),
+        "tune" => cmd_tune(&opts),
+        "psi" => cmd_psi(&opts),
+        "otis-gen" => cmd_otis_gen(&opts),
+        "otis-inject" => cmd_otis_inject(&opts),
+        "retrieve" => cmd_retrieve(&opts),
+        "pipeline" => cmd_pipeline(&opts),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn read_stack_file(path: &str) -> Result<ImageStack<u16>, CliError> {
+    let bytes = std::fs::read(Path::new(path))?;
+    Ok(read_stack(&bytes)?)
+}
+
+fn write_stack_file(path: &str, stack: &ImageStack<u16>) -> Result<(), CliError> {
+    std::fs::write(Path::new(path), write_stack(stack))?;
+    Ok(())
+}
+
+/// `gen`: synthesize a pristine stack from the paper's Gaussian model.
+fn cmd_gen(opts: &Opts) -> Result<String, CliError> {
+    let out = opts.require("out")?;
+    let width = opts.usize_or("width", 64)?;
+    let height = opts.usize_or("height", 64)?;
+    let frames = opts.usize_or("frames", 64)?;
+    let sigma = opts.f64_or("sigma", 250.0)?;
+    let seed = opts.u64_or("seed", 1)?;
+    if width == 0 || height == 0 || frames == 0 {
+        return Err(CliError::Usage("dimensions must be positive".to_owned()));
+    }
+    let model = NgstModel {
+        frames,
+        sigma,
+        ..NgstModel::default()
+    };
+    let stack = model.stack(width, height, &mut seeded_rng(seed));
+    write_stack_file(&out, &stack)?;
+    Ok(format!(
+        "wrote {width}x{height}x{frames} stack (sigma {sigma}, seed {seed}) to {out}\n"
+    ))
+}
+
+/// `inject`: corrupt a stack with one of the paper's fault models.
+fn cmd_inject(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("in")?;
+    let out = opts.require("out")?;
+    let gamma = opts.require_f64("gamma0")?;
+    let seed = opts.u64_or("seed", 2)?;
+    let mut stack = read_stack_file(&input)?;
+    let mut rng = seeded_rng(seed);
+    let map = if opts.has("correlated") {
+        Correlated::new(gamma)
+            .map_err(|e| CliError::Usage(e.to_string()))?
+            .inject_stack(&mut stack, &mut rng)
+    } else {
+        Uncorrelated::new(gamma)
+            .map_err(|e| CliError::Usage(e.to_string()))?
+            .inject_stack(&mut stack, &mut rng)
+    };
+    write_stack_file(&out, &stack)?;
+    let total_bits = stack.len() * 16;
+    Ok(format!(
+        "flipped {} bits of {} ({:.4} % empirical rate) -> {out}\n",
+        map.len(),
+        total_bits,
+        map.empirical_rate(total_bits) * 100.0
+    ))
+}
+
+/// `preprocess`: header sanity analysis + `Algo_NGST` over every series.
+fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("in")?;
+    let out = opts.require("out")?;
+    let lambda = opts.u32_or("lambda", 80)?;
+    let upsilon = opts.usize_or("upsilon", 4)?;
+    let algo = AlgoNgst::new(Upsilon::new(upsilon)?, Sensitivity::new(lambda)?);
+
+    let bytes = std::fs::read(Path::new(&input))?;
+    let sanity = analyze(&bytes);
+    let mut report = String::new();
+    for f in &sanity.findings {
+        let _ = writeln!(report, "header: {f:?}");
+    }
+    if !sanity.header_ok {
+        return Err(CliError::Usage(format!(
+            "{input}: header unrecoverable; findings above the repair budget"
+        )));
+    }
+    let mut stack = read_stack(&sanity.repaired)?;
+    let start = std::time::Instant::now();
+    let corrected = preprocess_stack(&algo, &mut stack);
+    let elapsed = start.elapsed();
+    write_stack_file(&out, &stack)?;
+    let _ = writeln!(
+        report,
+        "preprocessed {} series (L={lambda}, U={upsilon}): {corrected} samples repaired in {elapsed:?} -> {out}",
+        stack.width() * stack.height(),
+    );
+    Ok(report)
+}
+
+/// `check`: Λ = 0 sanity analysis plus checksum triage, report-only.
+fn cmd_check(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("in")?;
+    let bytes = std::fs::read(Path::new(&input))?;
+    let sanity = analyze(&bytes);
+    let mut report = String::new();
+    let _ = writeln!(report, "header ok: {}", sanity.header_ok);
+    for f in &sanity.findings {
+        let _ = writeln!(report, "finding: {f:?}");
+    }
+    match verify_checksums(&sanity.repaired) {
+        Ok(status) => {
+            let _ = writeln!(report, "checksums: {status:?}");
+        }
+        Err(e) => {
+            let _ = writeln!(report, "checksums: unverifiable ({e})");
+        }
+    }
+    if sanity.header_ok {
+        let stack = read_stack(&sanity.repaired)?;
+        let _ = writeln!(
+            report,
+            "geometry: {}x{}x{} (16-bit)",
+            stack.width(),
+            stack.height(),
+            stack.frames()
+        );
+    }
+    Ok(report)
+}
+
+/// `protect`: append the FITS checksum cards.
+fn cmd_protect(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("in")?;
+    let out = opts.require("out")?;
+    let bytes = std::fs::read(Path::new(&input))?;
+    let protected = add_checksums(&bytes)?;
+    std::fs::write(Path::new(&out), &protected)?;
+    Ok(format!(
+        "checksummed {} -> {out} ({} bytes)\n",
+        input,
+        protected.len()
+    ))
+}
+
+/// `tune`: recommend (Υ, Λ) from the file's own series statistics.
+fn cmd_tune(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("in")?;
+    let gamma = opts.require_f64("gamma0")?;
+    if !(0.0..=1.0).contains(&gamma) {
+        return Err(CliError::Usage(format!(
+            "gamma0 {gamma} is not a probability"
+        )));
+    }
+    let stack = read_stack_file(&input)?;
+    // Sample up to 64 coordinate series spread across the frame.
+    let mut samples = Vec::new();
+    let step = ((stack.width() * stack.height()) / 64).max(1);
+    let mut buf = Vec::new();
+    for idx in (0..stack.width() * stack.height()).step_by(step) {
+        let (x, y) = (idx % stack.width(), idx / stack.width());
+        stack.gather_series(x, y, &mut buf);
+        samples.push(buf.clone());
+    }
+    let rec =
+        preflight::tuning::recommend(&samples, gamma, &preflight::tuning::TuningConfig::default())?;
+    Ok(format!(
+        "estimated sigma {:.1}; recommend {} {} (expected Psi {:.6}, {:.1}x better than raw)\n",
+        rec.sigma_estimate,
+        rec.upsilon,
+        rec.sensitivity,
+        rec.expected_psi,
+        rec.improvement_factor()
+    ))
+}
+
+/// `psi`: the paper's Eq. 3/4 metric between two stacks.
+fn cmd_psi(opts: &Opts) -> Result<String, CliError> {
+    let ideal = read_stack_file(&opts.require("ideal")?)?;
+    let observed = read_stack_file(&opts.require("observed")?)?;
+    if ideal.width() != observed.width()
+        || ideal.height() != observed.height()
+        || ideal.frames() != observed.frames()
+    {
+        return Err(CliError::Usage("stack geometries differ".to_owned()));
+    }
+    let value = psi(ideal.as_slice(), observed.as_slice());
+    let confusion = BitConfusion::score(ideal.as_slice(), observed.as_slice(), observed.as_slice());
+    Ok(format!(
+        "Psi = {value:.8}\nbits differing from ideal: {}\n",
+        confusion.total_flipped
+    ))
+}
+
+/// `otis-gen`: synthesize an OTIS radiance cube from a scene archetype.
+fn cmd_otis_gen(opts: &Opts) -> Result<String, CliError> {
+    let out = opts.require("out")?;
+    let size = opts.usize_or("size", 64)?;
+    let seed = opts.u64_or("seed", 1)?;
+    let scene = match opts.require("scene")?.to_lowercase().as_str() {
+        "blob" => OtisScene::Blob,
+        "stripe" => OtisScene::Stripe,
+        "spots" => OtisScene::Spots,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scene {other:?} (expected blob, stripe or spots)"
+            )))
+        }
+    };
+    if size < 4 {
+        return Err(CliError::Usage("scene size must be at least 4".to_owned()));
+    }
+    let mut rng = seeded_rng(seed);
+    let temp = temperature_scene(scene, size, size, &mut rng);
+    let emis = emissivity_scene(size, size, &mut rng);
+    let cube = radiance_cube(&temp, &emis, &DEFAULT_BANDS);
+    std::fs::write(Path::new(&out), preflight::fits::write_cube_f32(&cube))?;
+    Ok(format!(
+        "wrote '{scene}' radiance cube {size}x{size}x{} (seed {seed}) to {out}\n",
+        DEFAULT_BANDS.len()
+    ))
+}
+
+/// `otis-inject`: corrupt a radiance cube with uncorrelated bit-flips.
+fn cmd_otis_inject(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("in")?;
+    let out = opts.require("out")?;
+    let gamma = opts.require_f64("gamma0")?;
+    let seed = opts.u64_or("seed", 2)?;
+    let bytes = std::fs::read(Path::new(&input))?;
+    let mut cube = preflight::fits::read_cube_f32(&bytes)?;
+    let map = Uncorrelated::new(gamma)
+        .map_err(|e| CliError::Usage(e.to_string()))?
+        .inject_cube(&mut cube, &mut seeded_rng(seed));
+    std::fs::write(Path::new(&out), preflight::fits::write_cube_f32(&cube))?;
+    Ok(format!(
+        "flipped {} bits in the radiance cube -> {out}\n",
+        map.len()
+    ))
+}
+
+/// `retrieve`: OTIS temperature/emissivity retrieval, with optional
+/// `Algo_OTIS` preprocessing in front.
+fn cmd_retrieve(opts: &Opts) -> Result<String, CliError> {
+    use preflight::datagen::planck::max_radiance;
+
+    let input = opts.require("in")?;
+    let out = opts.require("out")?;
+    let bytes = std::fs::read(Path::new(&input))?;
+    let mut cube = preflight::fits::read_cube_f32(&bytes)?;
+    if cube.bands() != DEFAULT_BANDS.len() {
+        return Err(CliError::Usage(format!(
+            "cube has {} bands; this tool retrieves the standard {}-band set",
+            cube.bands(),
+            DEFAULT_BANDS.len()
+        )));
+    }
+    let mut report = String::new();
+    if opts.has("preprocess") {
+        let lambda = opts.u32_or("lambda", 80)?;
+        let algo = AlgoOtis::new(
+            Sensitivity::new(lambda)?,
+            PhysicalBounds::radiance(max_radiance(400.0, &DEFAULT_BANDS) * 1.2),
+        );
+        let fixed = algo.preprocess_cube(&mut cube);
+        let _ = writeln!(report, "Algo_OTIS (L={lambda}) repaired {fixed} samples");
+    }
+    let product = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+    std::fs::write(
+        Path::new(&out),
+        preflight::fits::write_image_f32(&product.temperature),
+    )?;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in product.temperature.as_slice() {
+        let v = f64::from(v);
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let _ = writeln!(
+        report,
+        "temperature map {}x{} (range {lo:.1}..{hi:.1} K) -> {out}",
+        product.temperature.width(),
+        product.temperature.height()
+    );
+    Ok(report)
+}
+
+/// `pipeline`: the full Fig. 1 run — header sanity + checksum triage,
+/// tiling to workers, optional preprocessing, CR rejection, reassembly and
+/// multi-HDU product output (INTEGRATED / RATE / REPAIRS).
+fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("in")?;
+    let out = opts.require("out")?;
+    let workers = opts.usize_or("workers", 4)?;
+    let tile = opts.usize_or("tile", 64)?;
+    let gamma = opts.f64_or("gamma0", 0.0)?;
+    let seed = opts.u64_or("seed", 1)?;
+    if workers == 0 || tile == 0 {
+        return Err(CliError::Usage(
+            "workers and tile must be positive".to_owned(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&gamma) {
+        return Err(CliError::Usage(format!(
+            "gamma0 {gamma} is not a probability"
+        )));
+    }
+    let preprocess = if opts.has("preprocess") {
+        let lambda = opts.u32_or("lambda", 80)?;
+        Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(lambda)?))
+    } else {
+        None
+    };
+    let cfg = PipelineConfig {
+        workers,
+        tile_size: tile,
+        preprocess,
+        transit_fault: (gamma > 0.0).then_some(TransitFault::Uncorrelated(gamma)),
+        seed,
+        ..PipelineConfig::default()
+    };
+    let bytes = std::fs::read(Path::new(&input))?;
+    let ingest = NgstPipeline::new(cfg)
+        .run_fits(&bytes)
+        .map_err(CliError::Fits)?;
+    std::fs::write(Path::new(&out), ingest.report.to_fits_products())?;
+    let mut report = String::new();
+    for f in &ingest.sanity.findings {
+        let _ = writeln!(report, "header: {f:?}");
+    }
+    let _ = writeln!(report, "checksums: {:?}", ingest.checksum);
+    let _ = writeln!(
+        report,
+        "{} tiles on {} workers in {:?}; {} samples repaired, {} CR jumps rejected",
+        ingest.report.tiles,
+        workers,
+        ingest.report.elapsed,
+        ingest.report.corrected_samples,
+        ingest.report.cr_jumps_rejected
+    );
+    let _ = writeln!(
+        report,
+        "products (INTEGRATED + RATE + REPAIRS) -> {out} \
+         (downlink ratio {:.2})",
+        ingest.report.compression_ratio
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("preflight-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        dispatch(&v)
+    }
+
+    #[test]
+    fn gen_inject_preprocess_psi_roundtrip() {
+        let clean = tmp("clean.fits");
+        let bad = tmp("bad.fits");
+        let fixed = tmp("fixed.fits");
+
+        let r = run(&[
+            "gen", "--out", &clean, "--width", "16", "--height", "12", "--frames", "32", "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert!(r.contains("16x12x32"));
+
+        let r = run(&[
+            "inject", "--in", &clean, "--out", &bad, "--gamma0", "0.01", "--seed", "9",
+        ])
+        .unwrap();
+        assert!(r.contains("flipped"));
+
+        let r = run(&[
+            "preprocess",
+            "--in",
+            &bad,
+            "--out",
+            &fixed,
+            "--lambda",
+            "80",
+        ])
+        .unwrap();
+        assert!(r.contains("samples repaired"));
+
+        let before = run(&["psi", "--ideal", &clean, "--observed", &bad]).unwrap();
+        let after = run(&["psi", "--ideal", &clean, "--observed", &fixed]).unwrap();
+        let parse = |s: &str| -> f64 {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Psi = "))
+                .expect("psi line")
+                .parse()
+                .expect("number")
+        };
+        assert!(parse(&after) < parse(&before), "{after} !< {before}");
+    }
+
+    #[test]
+    fn check_and_protect_report_checksums() {
+        let clean = tmp("c2.fits");
+        let safe = tmp("c2-safe.fits");
+        run(&[
+            "gen", "--out", &clean, "--width", "8", "--height", "8", "--frames", "4",
+        ])
+        .unwrap();
+        let r = run(&["check", "--in", &clean]).unwrap();
+        assert!(r.contains("header ok: true"));
+        assert!(r.contains("Absent"));
+
+        run(&["protect", "--in", &clean, "--out", &safe]).unwrap();
+        let r = run(&["check", "--in", &safe]).unwrap();
+        assert!(r.contains("Valid"), "{r}");
+
+        // Damage the protected file's data: triage must say DataCorrupted.
+        let mut bytes = std::fs::read(&safe).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x40;
+        std::fs::write(&safe, bytes).unwrap();
+        let r = run(&["check", "--in", &safe]).unwrap();
+        assert!(r.contains("DataCorrupted"), "{r}");
+    }
+
+    #[test]
+    fn tune_recommends_sane_parameters() {
+        let clean = tmp("c3.fits");
+        run(&[
+            "gen", "--out", &clean, "--width", "12", "--height", "8", "--frames", "64", "--sigma",
+            "250",
+        ])
+        .unwrap();
+        let r = run(&["tune", "--in", &clean, "--gamma0", "0.01"]).unwrap();
+        assert!(r.contains("recommend"), "{r}");
+        assert!(r.contains("sigma"), "{r}");
+    }
+
+    #[test]
+    fn otis_generate_corrupt_retrieve_chain() {
+        let cube = tmp("cube.fits");
+        let bad = tmp("cube-bad.fits");
+        let t_clean = tmp("t-clean.fits");
+        let t_bad = tmp("t-bad.fits");
+        let t_fixed = tmp("t-fixed.fits");
+
+        let r = run(&[
+            "otis-gen", "--out", &cube, "--scene", "blob", "--size", "32",
+        ])
+        .unwrap();
+        assert!(r.contains("Blob"));
+
+        run(&["retrieve", "--in", &cube, "--out", &t_clean]).unwrap();
+        run(&[
+            "otis-inject",
+            "--in",
+            &cube,
+            "--out",
+            &bad,
+            "--gamma0",
+            "0.01",
+        ])
+        .unwrap();
+        run(&["retrieve", "--in", &bad, "--out", &t_bad]).unwrap();
+        let r = run(&[
+            "retrieve",
+            "--in",
+            &bad,
+            "--out",
+            &t_fixed,
+            "--preprocess",
+            "--lambda",
+            "80",
+        ])
+        .unwrap();
+        assert!(r.contains("repaired"));
+
+        // The preprocessed retrieval must sit closer to the clean one.
+        let load = |p: &str| preflight::fits::read_image_f32(&std::fs::read(p).unwrap()).unwrap();
+        let (clean, bad_t, fixed_t) = (load(&t_clean), load(&t_bad), load(&t_fixed));
+        let err = |a: &preflight::core::Image<f32>, b: &preflight::core::Image<f32>| -> f64 {
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| {
+                    if y.is_finite() {
+                        f64::from((x - y).abs()).min(200.0)
+                    } else {
+                        200.0
+                    }
+                })
+                .sum::<f64>()
+        };
+        assert!(
+            err(&clean, &fixed_t) < err(&clean, &bad_t) / 2.0,
+            "preprocessing must pay off end to end"
+        );
+    }
+
+    #[test]
+    fn pipeline_command_produces_multi_hdu_products() {
+        let stack = tmp("pipe-in.fits");
+        let out = tmp("pipe-out.fits");
+        run(&[
+            "gen", "--out", &stack, "--width", "32", "--height", "32", "--frames", "16",
+        ])
+        .unwrap();
+        let r = run(&[
+            "pipeline",
+            "--in",
+            &stack,
+            "--out",
+            &out,
+            "--preprocess",
+            "--gamma0",
+            "0.005",
+            "--workers",
+            "2",
+            "--tile",
+            "16",
+        ])
+        .unwrap();
+        assert!(r.contains("samples repaired"), "{r}");
+        let hdus =
+            preflight::fits::read_hdus(&std::fs::read(&out).unwrap()).expect("products parse");
+        assert_eq!(hdus.len(), 3);
+        assert_eq!(hdus[2].name.as_deref(), Some("REPAIRS"));
+    }
+
+    #[test]
+    fn otis_gen_rejects_unknown_scene() {
+        let out = tmp("never.fits");
+        assert!(matches!(
+            run(&["otis-gen", "--out", &out, "--scene", "nebula"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn usage_errors_are_clear() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["gen"]), Err(CliError::Usage(_)))); // --out missing
+        assert!(matches!(
+            run(&["inject", "--in", "x", "--out", "y"]),
+            Err(CliError::Usage(_)) // --gamma0 missing
+        ));
+        let clean = tmp("c4.fits");
+        run(&[
+            "gen", "--out", &clean, "--width", "4", "--height", "4", "--frames", "4",
+        ])
+        .unwrap();
+        assert!(matches!(
+            run(&["tune", "--in", &clean, "--gamma0", "7"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn io_and_fits_errors_are_distinguished() {
+        assert!(matches!(
+            run(&["check", "--in", "/definitely/not/here.fits"]),
+            Err(CliError::Io(_))
+        ));
+        let junk = tmp("junk.fits");
+        std::fs::write(&junk, b"this is not FITS at all").unwrap();
+        assert!(run(&["psi", "--ideal", &junk, "--observed", &junk]).is_err());
+    }
+
+    #[test]
+    fn psi_rejects_mismatched_geometry() {
+        let a = tmp("a.fits");
+        let b = tmp("b.fits");
+        run(&[
+            "gen", "--out", &a, "--width", "8", "--height", "8", "--frames", "4",
+        ])
+        .unwrap();
+        run(&[
+            "gen", "--out", &b, "--width", "8", "--height", "8", "--frames", "6",
+        ])
+        .unwrap();
+        assert!(matches!(
+            run(&["psi", "--ideal", &a, "--observed", &b]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! `preflight` — the command-line face of the library.
+//!
+//! ```text
+//! preflight gen        --out FILE [--width N] [--height N] [--frames N] [--sigma S] [--seed S]
+//! preflight inject     --in FILE --out FILE --gamma0 P [--correlated] [--seed S]
+//! preflight preprocess --in FILE --out FILE [--lambda L] [--upsilon U]
+//! preflight check      --in FILE
+//! preflight protect    --in FILE --out FILE
+//! preflight tune       --in FILE --gamma0 P
+//! preflight psi        --ideal FILE --observed FILE
+//! preflight otis-gen   --out FILE --scene blob|stripe|spots [--size N]
+//! preflight otis-inject --in FILE --out FILE --gamma0 P
+//! preflight retrieve   --in FILE --out FILE [--preprocess] [--lambda L]
+//! preflight pipeline   --in FILE --out FILE [--preprocess] [--workers N] [--gamma0 P]
+//! ```
+//!
+//! Every subcommand reads and writes standard single-HDU FITS stacks, so
+//! the tool interoperates with anything that speaks FITS.
+
+#![forbid(unsafe_code)]
+
+use preflight_cli::{dispatch, print_usage};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(report) => {
+            print!("{report}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(1);
+        }
+    }
+}

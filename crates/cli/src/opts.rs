@@ -1,0 +1,155 @@
+//! A tiny `--flag value` / `--switch` parser (no external dependencies).
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed command-line options: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Opts {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["correlated", "preprocess"];
+
+impl Opts {
+    /// Parses the arguments after the subcommand.
+    ///
+    /// # Errors
+    /// Returns [`CliError::Usage`] for positional arguments, repeated keys,
+    /// or a value-taking flag at the end of the line.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut opts = Opts::default();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument {a:?}"
+                )));
+            };
+            if SWITCHES.contains(&key) {
+                opts.switches.push(key.to_owned());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
+            if opts.values.insert(key.to_owned(), value.clone()).is_some() {
+                return Err(CliError::Usage(format!("--{key} given twice")));
+            }
+        }
+        Ok(opts)
+    }
+
+    /// `true` if the bare switch was present.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    /// A mandatory string flag.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] if absent.
+    pub fn require(&self, key: &str) -> Result<String, CliError> {
+        self.values
+            .get(key)
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("--{key} is required")))
+    }
+
+    /// A mandatory `f64` flag.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] if absent or unparsable.
+    pub fn require_f64(&self, key: &str) -> Result<f64, CliError> {
+        self.require(key)?
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{key} expects a number")))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} has a malformed value {v:?}"))),
+        }
+    }
+
+    /// An optional `usize` flag with a default.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] on a malformed value.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        self.parse_or(key, default)
+    }
+
+    /// An optional `u32` flag with a default.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] on a malformed value.
+    pub fn u32_or(&self, key: &str, default: u32) -> Result<u32, CliError> {
+        self.parse_or(key, default)
+    }
+
+    /// An optional `u64` flag with a default.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] on a malformed value.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        self.parse_or(key, default)
+    }
+
+    /// An optional `f64` flag with a default.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] on a malformed value.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        self.parse_or(key, default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, CliError> {
+        let v: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Opts::parse(&v)
+    }
+
+    #[test]
+    fn pairs_and_switches() {
+        let o = parse(&["--in", "a.fits", "--gamma0", "0.01", "--correlated"]).unwrap();
+        assert_eq!(o.require("in").unwrap(), "a.fits");
+        assert_eq!(o.require_f64("gamma0").unwrap(), 0.01);
+        assert!(o.has("correlated"));
+        assert!(!o.has("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.usize_or("width", 64).unwrap(), 64);
+        assert_eq!(o.f64_or("sigma", 250.0).unwrap(), 250.0);
+    }
+
+    #[test]
+    fn missing_and_malformed_values() {
+        assert!(parse(&["--in"]).is_err(), "trailing flag");
+        assert!(parse(&["stray"]).is_err(), "positional");
+        assert!(parse(&["--w", "1", "--w", "2"]).is_err(), "repeated");
+        let o = parse(&["--width", "abc"]).unwrap();
+        assert!(o.usize_or("width", 1).is_err());
+        let o = parse(&["--gamma0", "not-a-number"]).unwrap();
+        assert!(o.require_f64("gamma0").is_err());
+    }
+
+    #[test]
+    fn required_flags() {
+        let o = parse(&[]).unwrap();
+        assert!(matches!(o.require("out"), Err(CliError::Usage(_))));
+        assert!(matches!(o.require_f64("gamma0"), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for the core preprocessing library.
+
+use core::fmt;
+
+/// Errors raised when constructing or applying preprocessing components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The sensitivity parameter Λ was outside `0..=100`.
+    InvalidSensitivity {
+        /// The rejected value.
+        value: u32,
+    },
+    /// The Υ (voter count) parameter was odd, zero, or too large.
+    InvalidUpsilon {
+        /// The rejected value.
+        value: usize,
+    },
+    /// A container was constructed with inconsistent dimensions.
+    DimensionMismatch {
+        /// What the dimensions imply the element count should be.
+        expected: usize,
+        /// The element count actually supplied.
+        actual: usize,
+    },
+    /// A temporal series was too short for the requested neighborhood.
+    SeriesTooShort {
+        /// Length of the offending series.
+        len: usize,
+        /// Minimum length required.
+        required: usize,
+    },
+    /// A physical-bounds specification had `min >= max` or non-finite ends.
+    InvalidBounds {
+        /// Lower bound supplied.
+        min: f64,
+        /// Upper bound supplied.
+        max: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSensitivity { value } => {
+                write!(f, "sensitivity must be in 0..=100, got {value}")
+            }
+            CoreError::InvalidUpsilon { value } => {
+                write!(
+                    f,
+                    "upsilon must be an even value in 2..=16 (paper uses 2, 4 or 6), got {value}"
+                )
+            }
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "dimension mismatch: dimensions imply {expected} elements, got {actual}"
+                )
+            }
+            CoreError::SeriesTooShort { len, required } => {
+                write!(
+                    f,
+                    "temporal series of length {len} is too short; at least {required} samples required"
+                )
+            }
+            CoreError::InvalidBounds { min, max } => {
+                write!(
+                    f,
+                    "invalid physical bounds: min {min} must be finite and below max {max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::InvalidSensitivity { value: 101 };
+        assert!(e.to_string().contains("101"));
+        let e = CoreError::InvalidUpsilon { value: 3 };
+        assert!(e.to_string().contains("even"));
+        let e = CoreError::DimensionMismatch {
+            expected: 12,
+            actual: 10,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("10"));
+        let e = CoreError::SeriesTooShort {
+            len: 2,
+            required: 4,
+        };
+        assert!(e.to_string().contains("too short"));
+        let e = CoreError::InvalidBounds { min: 5.0, max: 1.0 };
+        assert!(e.to_string().contains("bounds"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CoreError::InvalidUpsilon { value: 0 });
+    }
+}

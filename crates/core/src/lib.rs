@@ -1,0 +1,83 @@
+//! # preflight-core
+//!
+//! Core input-data preprocessing algorithms for bit-flip fault tolerance in
+//! space applications, reproducing *"Pre-Processing Input Data to Augment
+//! Fault Tolerance in Space Applications"* (Nair, Koren, Koren & Krishna,
+//! DSN 2003).
+//!
+//! On-board science applications hold input buffers that are orders of
+//! magnitude larger than their instruction memory, so radiation-induced
+//! bit-flips are far more likely to strike *data* than code. Classical
+//! fault-tolerance schemes (ABFT, N-version programming, application-level
+//! fault tolerance) do not cover this fault model: no process fails, the
+//! application simply computes a confident wrong answer from corrupted input.
+//!
+//! This crate provides the paper's remedy — *proactive preprocessing* of the
+//! raw input that exploits the natural redundancy of sensor data to identify
+//! and repair flipped bits before the application consumes them:
+//!
+//! - [`AlgoNgst`] — the dynamic, application-specific algorithm of the paper's
+//!   §3 (Algorithm 1). It XOR-compares every sample with its Υ temporal
+//!   neighbors, derives dynamic *bit windows* from rank statistics of those
+//!   differences, and flips back bits on which the neighbors vote.
+//! - [`AlgoOtis`] — the spatial-locality variant of §7 for single-shot
+//!   instrument data, adding absolute physical bounds and a trend-vs-point
+//!   anomaly rule so genuine natural phenomena survive preprocessing.
+//! - [`MedianSmoother`] / [`MeanSmoother`] — the value-based baseline of §4.1
+//!   (Algorithm 2).
+//! - [`BitVoter`] — the sliding-window bitwise majority baseline of §4.2
+//!   (Algorithm 3).
+//!
+//! # Quick example
+//!
+//! ```
+//! use preflight_core::{AlgoNgst, Sensitivity, Upsilon, SeriesPreprocessor};
+//!
+//! // 16 temporal readouts of one detector coordinate (a calm region)...
+//! let clean: Vec<u16> = vec![27_000; 16];
+//! let mut noisy = clean.clone();
+//! noisy[7] ^= 1 << 14; // a radiation-induced bit-flip in window A
+//!
+//! let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
+//! algo.preprocess(&mut noisy);
+//! assert_eq!(noisy[7], clean[7]); // the flip was identified and reverted
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algo_ngst;
+pub mod algo_otis;
+pub mod bitvote;
+pub mod container;
+pub mod error;
+pub mod pixel;
+pub mod sensitivity;
+pub mod smoothing;
+pub mod traits;
+pub mod voter;
+pub mod window;
+
+pub use algo_ngst::{preprocess_image, preprocess_stack, AlgoNgst, NgstConfig};
+pub use algo_otis::{AlgoOtis, Neighborhood, OtisConfig, PhysicalBounds, PlaneReport, Repair};
+pub use bitvote::BitVoter;
+pub use container::{Cube, Image, ImageStack};
+pub use error::CoreError;
+pub use pixel::{BitPixel, ValuePixel};
+pub use sensitivity::{Sensitivity, Upsilon};
+pub use smoothing::{MeanSmoother, MedianSmoother};
+pub use traits::{PlanePreprocessor, SeriesPreprocessor};
+pub use voter::VoterMatrix;
+pub use window::BitWindows;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::algo_ngst::AlgoNgst;
+    pub use crate::algo_otis::{AlgoOtis, PhysicalBounds};
+    pub use crate::bitvote::BitVoter;
+    pub use crate::container::{Cube, Image, ImageStack};
+    pub use crate::pixel::{BitPixel, ValuePixel};
+    pub use crate::sensitivity::{Sensitivity, Upsilon};
+    pub use crate::smoothing::{MeanSmoother, MedianSmoother};
+    pub use crate::traits::{PlanePreprocessor, SeriesPreprocessor};
+}

@@ -1,0 +1,240 @@
+//! Pixel abstractions.
+//!
+//! The preprocessing algorithms operate on two views of a sample:
+//!
+//! - [`BitPixel`] — the *bit-level* view used by the voter-matrix machinery of
+//!   `Algo_NGST` and by the bitwise majority voter. Implemented for the
+//!   unsigned integer widths that real instruments produce (the NGST detector
+//!   delivers 16-bit words; OTIS stores 32-bit IEEE-754 floats whose raw bits
+//!   are reinterpreted as `u32`).
+//! - [`ValuePixel`] — the *value-level* view used by the median / mean
+//!   smoothers and by the relative-error metric.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// A fixed-width word whose individual bits can be inspected and toggled.
+///
+/// This is the sample type consumed by the bit-oriented preprocessing
+/// algorithms ([`crate::AlgoNgst`], [`crate::BitVoter`]). All operations are
+/// total and branch-free so the per-pixel inner loops stay cheap.
+pub trait BitPixel: Copy + Eq + Ord + Hash + Debug + Default + Send + Sync + 'static {
+    /// Number of bits in the word (16 for NGST pixels).
+    const BITS: u32;
+    /// The all-zeros word.
+    const ZERO: Self;
+    /// The all-ones word.
+    const ONES: Self;
+
+    /// Bitwise exclusive OR.
+    fn xor(self, other: Self) -> Self;
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+    /// Bitwise OR.
+    fn or(self, other: Self) -> Self;
+    /// Bitwise complement.
+    fn not(self) -> Self;
+    /// Widen to `u64` (zero-extending).
+    fn to_u64(self) -> u64;
+    /// Truncate a `u64` into this width.
+    fn from_u64(v: u64) -> Self;
+    /// Number of set bits.
+    fn count_ones(self) -> u32;
+
+    /// The value of bit `idx` (0 = least significant). `idx` must be `< BITS`.
+    fn bit(self, idx: u32) -> bool {
+        self.to_u64() >> idx & 1 == 1
+    }
+
+    /// This word with bit `idx` toggled. `idx` must be `< BITS`.
+    fn toggle_bit(self, idx: u32) -> Self {
+        self.xor(Self::from_u64(1 << idx))
+    }
+
+    /// The smallest power of two that is `>=` this value, saturating at the
+    /// top bit. Used to round rank-statistic cut-offs to bit boundaries
+    /// (the paper's `V_val`). Returns 1 for zero.
+    fn ceil_pow2(self) -> Self {
+        let v = self.to_u64();
+        if v <= 1 {
+            return Self::from_u64(1);
+        }
+        let top: u64 = 1 << (Self::BITS - 1);
+        if v > top {
+            Self::from_u64(top)
+        } else {
+            Self::from_u64(v.next_power_of_two())
+        }
+    }
+}
+
+macro_rules! impl_bit_pixel {
+    ($($t:ty),*) => {$(
+        impl BitPixel for $t {
+            const BITS: u32 = <$t>::BITS;
+            const ZERO: Self = 0;
+            const ONES: Self = <$t>::MAX;
+
+            #[inline]
+            fn xor(self, other: Self) -> Self { self ^ other }
+            #[inline]
+            fn and(self, other: Self) -> Self { self & other }
+            #[inline]
+            fn or(self, other: Self) -> Self { self | other }
+            #[inline]
+            fn not(self) -> Self { !self }
+            #[inline]
+            fn to_u64(self) -> u64 { self as u64 }
+            #[inline]
+            fn from_u64(v: u64) -> Self { v as $t }
+            #[inline]
+            fn count_ones(self) -> u32 { <$t>::count_ones(self) }
+        }
+    )*};
+}
+
+impl_bit_pixel!(u8, u16, u32, u64);
+
+/// A sample with a meaningful scalar magnitude.
+///
+/// Used by the value-based smoothers and the error metrics. Conversions to
+/// `f64` must be monotone; `from_f64` clamps into the representable range so
+/// arithmetic means of integer pixels stay valid.
+pub trait ValuePixel: Copy + PartialOrd + Debug + Send + Sync + 'static {
+    /// Lossless widening to `f64` (for `u64` this is best-effort).
+    fn to_f64(self) -> f64;
+    /// Conversion back from `f64`, clamping and rounding as needed.
+    fn from_f64(v: f64) -> Self;
+}
+
+macro_rules! impl_value_pixel_uint {
+    ($($t:ty),*) => {$(
+        impl ValuePixel for $t {
+            #[inline]
+            fn to_f64(self) -> f64 { self as f64 }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                if v.is_nan() { return 0; }
+                v.round().clamp(0.0, <$t>::MAX as f64) as $t
+            }
+        }
+    )*};
+}
+
+impl_value_pixel_uint!(u8, u16, u32, u64);
+
+impl ValuePixel for f32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl ValuePixel for f64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+/// Median of three values under `PartialOrd`, without allocation.
+///
+/// For floating-point inputs containing NaN the result is one of the three
+/// inputs, but which one is unspecified (NaN never compares greater).
+#[inline]
+pub fn median3<T: Copy + PartialOrd>(a: T, b: T, c: T) -> T {
+    // Sort the pair (a, b), then place c.
+    let (lo, hi) = if b < a { (b, a) } else { (a, b) };
+    if c < lo {
+        lo
+    } else if hi < c {
+        hi
+    } else {
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_access_roundtrip() {
+        let x: u16 = 0b1010_0000_0000_0001;
+        assert!(x.bit(0));
+        assert!(!x.bit(1));
+        assert!(x.bit(15));
+        assert!(x.bit(13));
+        assert_eq!(x.toggle_bit(1), 0b1010_0000_0000_0011);
+        assert_eq!(x.toggle_bit(15), 0b0010_0000_0000_0001);
+        assert_eq!(x.toggle_bit(15).toggle_bit(15), x);
+    }
+
+    #[test]
+    fn ceil_pow2_rounds_up() {
+        assert_eq!(0u16.ceil_pow2(), 1);
+        assert_eq!(1u16.ceil_pow2(), 1);
+        assert_eq!(2u16.ceil_pow2(), 2);
+        assert_eq!(3u16.ceil_pow2(), 4);
+        assert_eq!(255u16.ceil_pow2(), 256);
+        assert_eq!(256u16.ceil_pow2(), 256);
+        assert_eq!(257u16.ceil_pow2(), 512);
+    }
+
+    #[test]
+    fn ceil_pow2_saturates_at_top_bit() {
+        assert_eq!(u16::MAX.ceil_pow2(), 1 << 15);
+        assert_eq!(40_000u16.ceil_pow2(), 1 << 15);
+        assert_eq!(u8::MAX.ceil_pow2(), 1 << 7);
+    }
+
+    #[test]
+    fn median3_all_orders() {
+        for perm in [
+            [1u16, 2, 3],
+            [1, 3, 2],
+            [2, 1, 3],
+            [2, 3, 1],
+            [3, 1, 2],
+            [3, 2, 1],
+        ] {
+            assert_eq!(median3(perm[0], perm[1], perm[2]), 2, "{perm:?}");
+        }
+    }
+
+    #[test]
+    fn median3_with_duplicates() {
+        assert_eq!(median3(5u16, 5, 1), 5);
+        assert_eq!(median3(1u16, 5, 5), 5);
+        assert_eq!(median3(5u16, 1, 5), 5);
+        assert_eq!(median3(7u16, 7, 7), 7);
+    }
+
+    #[test]
+    fn median3_floats() {
+        assert_eq!(median3(1.5f32, -2.0, 0.25), 0.25);
+    }
+
+    #[test]
+    fn value_pixel_from_f64_clamps() {
+        assert_eq!(u16::from_f64(-4.0), 0);
+        assert_eq!(u16::from_f64(1e9), u16::MAX);
+        assert_eq!(u16::from_f64(41.5), 42);
+        assert_eq!(u8::from_f64(f64::NAN), 0);
+    }
+
+    #[test]
+    fn bitpixel_consts() {
+        assert_eq!(u16::BITS, 16);
+        assert_eq!(<u16 as BitPixel>::ZERO, 0);
+        assert_eq!(<u16 as BitPixel>::ONES, 0xFFFF);
+    }
+}

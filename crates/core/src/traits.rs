@@ -1,0 +1,47 @@
+//! Preprocessor traits shared by the dynamic algorithm and the baselines.
+
+use crate::container::Image;
+
+/// A preprocessing algorithm operating on the temporal series of one
+/// coordinate (the NGST shape: `N` readouts of the same pixel).
+///
+/// Implementations repair suspected bit-flips *in place* and return the
+/// number of samples they modified. A series shorter than the algorithm's
+/// minimum window is left untouched (returning 0) rather than failing, so
+/// stack drivers never abort mid-image; use the algorithm's own fallible
+/// constructor/validator when strictness is wanted.
+pub trait SeriesPreprocessor<T> {
+    /// A short human-readable identifier (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Repairs `series` in place, returning the number of modified samples.
+    fn preprocess(&self, series: &mut [T]) -> usize;
+}
+
+/// A preprocessing algorithm operating on a single 2-D plane (the OTIS
+/// shape: one wavelength band of the radiance cube).
+pub trait PlanePreprocessor<T: Copy> {
+    /// A short human-readable identifier (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Repairs `plane` in place, returning the number of modified pixels.
+    fn preprocess_plane(&self, plane: &mut Image<T>) -> usize;
+}
+
+impl<T, P: SeriesPreprocessor<T> + ?Sized> SeriesPreprocessor<T> for &P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn preprocess(&self, series: &mut [T]) -> usize {
+        (**self).preprocess(series)
+    }
+}
+
+impl<T: Copy, P: PlanePreprocessor<T> + ?Sized> PlanePreprocessor<T> for &P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn preprocess_plane(&self, plane: &mut Image<T>) -> usize {
+        (**self).preprocess_plane(plane)
+    }
+}

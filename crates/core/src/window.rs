@@ -1,0 +1,230 @@
+//! The three bit windows of §3.1.
+//!
+//! A 16-bit pixel is partitioned by temporal stability into:
+//!
+//! - **Window A** — the most significant bits, essentially constant across a
+//!   temporal locality; a near-unanimous neighbor vote (Υ−1 of Υ) suffices to
+//!   revert a bit here.
+//! - **Window B** — the middle bits, whose binary weight is too large to
+//!   ignore but which are not as consistent as A; a *unanimous* vote across
+//!   all Υ voters is required.
+//! - **Window C** — the least significant bits that vary naturally with every
+//!   sample; flipped bits here are indistinguishable from noise, so the
+//!   window is masked off from any correction.
+//!
+//! The boundaries are *dynamic*: they are derived from the per-way cut-off
+//! values (`V_val`) of the [voter matrix](crate::VoterMatrix), i.e. from the
+//! dataset's own difference statistics, so calm data gets tight windows and
+//! turbulent data wide ones (§3.3).
+
+use crate::pixel::BitPixel;
+
+/// Bit-window masks for one temporal series.
+///
+/// Invariants (upheld by the constructors):
+/// - every mask is a contiguous run of high bits (`!(2^k − 1)` form);
+/// - `msb_mask ⊆ lsb_mask`, i.e. window A sits above window B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitWindows<T: BitPixel> {
+    msb_mask: T,
+    lsb_mask: T,
+}
+
+impl<T: BitPixel> BitWindows<T> {
+    /// Builds the windows from the minimum and maximum per-way cut-off values
+    /// (`V_val`, each a power of two) of the pruned voter matrix:
+    ///
+    /// - `LSB-MASK = !(min_vval − 1)` — bits at or above the *lowest* way
+    ///   cut-off; everything below is window C, which carries no locality
+    ///   information irrespective of the pairing way.
+    /// - `MSB-MASK = !(max_vval − 1)` — bits at or above the *highest* way
+    ///   cut-off form window A.
+    ///
+    /// Values are rounded up to powers of two by the caller (see
+    /// [`BitPixel::ceil_pow2`]). `min_vval` and `max_vval` are swapped if
+    /// supplied out of order.
+    pub fn from_cutoffs(min_vval: T, max_vval: T) -> Self {
+        let (lo, hi) = if max_vval < min_vval {
+            (max_vval, min_vval)
+        } else {
+            (min_vval, max_vval)
+        };
+        let lsb_mask = T::from_u64(!(lo.to_u64().max(1) - 1)); // truncated to T::BITS
+        let msb_mask = T::from_u64(!(hi.to_u64().max(1) - 1));
+        BitWindows { msb_mask, lsb_mask }
+    }
+
+    /// Builds the windows directly from bit counts: window C spans the
+    /// `c_bits` least significant bits, window A the `a_bits` most
+    /// significant. Used for the static-threshold ablation.
+    ///
+    /// # Panics
+    /// Panics if `a_bits + c_bits > T::BITS`.
+    pub fn from_widths(a_bits: u32, c_bits: u32) -> Self {
+        assert!(
+            a_bits + c_bits <= T::BITS,
+            "window widths exceed pixel width ({a_bits} + {c_bits} > {})",
+            T::BITS
+        );
+        let ones = T::ONES.to_u64();
+        let lsb_mask = T::from_u64(ones << c_bits & ones);
+        let msb_mask = T::from_u64(if a_bits == 0 {
+            0
+        } else {
+            ones << (T::BITS - a_bits) & ones
+        });
+        BitWindows { msb_mask, lsb_mask }
+    }
+
+    /// The MSB mask: 1-bits mark window A.
+    pub fn msb_mask(self) -> T {
+        self.msb_mask
+    }
+
+    /// The LSB mask: 1-bits mark windows A ∪ B (everything correctable).
+    pub fn lsb_mask(self) -> T {
+        self.lsb_mask
+    }
+
+    /// Mask of window A (near-unanimous vote suffices).
+    pub fn window_a(self) -> T {
+        self.msb_mask
+    }
+
+    /// Mask of window B (unanimous vote required).
+    pub fn window_b(self) -> T {
+        self.lsb_mask.and(self.msb_mask.not())
+    }
+
+    /// Mask of window C (never corrected).
+    pub fn window_c(self) -> T {
+        self.lsb_mask.not()
+    }
+
+    /// Width of window A in bits.
+    pub fn width_a(self) -> u32 {
+        self.msb_mask.count_ones()
+    }
+
+    /// Width of window B in bits.
+    pub fn width_b(self) -> u32 {
+        self.window_b().count_ones()
+    }
+
+    /// Width of window C in bits.
+    pub fn width_c(self) -> u32 {
+        self.window_c().count_ones()
+    }
+
+    /// Combines the unanimous correction vector (`corr_vect`) and the
+    /// near-unanimous auxiliary vector (`corr_aux`) into the final,
+    /// bit-adjusted correction exactly as Algorithm 1 does:
+    ///
+    /// ```text
+    /// Corr = (Corr_Vect OR (Corr_Aux AND MSB-MASK)) AND LSB-MASK
+    /// ```
+    #[inline]
+    pub fn combine(self, corr_vect: T, corr_aux: T) -> T {
+        corr_vect.or(corr_aux.and(self.msb_mask)).and(self.lsb_mask)
+    }
+}
+
+impl<T: BitPixel> Default for BitWindows<T> {
+    /// Everything in window C — no bit may be corrected.
+    fn default() -> Self {
+        BitWindows {
+            msb_mask: T::ZERO,
+            lsb_mask: T::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_cutoffs_partitions_disjointly() {
+        // min V_val = 2^4, max V_val = 2^12 on u16.
+        let w: BitWindows<u16> = BitWindows::from_cutoffs(1 << 4, 1 << 12);
+        assert_eq!(w.window_c(), 0x000F);
+        assert_eq!(w.window_b(), 0x0FF0);
+        assert_eq!(w.window_a(), 0xF000);
+        assert_eq!(w.window_a() | w.window_b() | w.window_c(), 0xFFFF);
+        assert_eq!(w.window_a() & w.window_b(), 0);
+        assert_eq!(w.window_b() & w.window_c(), 0);
+        assert_eq!(w.width_a(), 4);
+        assert_eq!(w.width_b(), 8);
+        assert_eq!(w.width_c(), 4);
+    }
+
+    #[test]
+    fn from_cutoffs_swaps_out_of_order() {
+        let a: BitWindows<u16> = BitWindows::from_cutoffs(1 << 12, 1 << 4);
+        let b: BitWindows<u16> = BitWindows::from_cutoffs(1 << 4, 1 << 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_cutoffs_equal_vvals_gives_empty_b() {
+        let w: BitWindows<u16> = BitWindows::from_cutoffs(1 << 8, 1 << 8);
+        assert_eq!(w.window_b(), 0);
+        assert_eq!(w.width_a(), 8);
+        assert_eq!(w.width_c(), 8);
+    }
+
+    #[test]
+    fn cutoff_of_one_means_no_window_c() {
+        let w: BitWindows<u16> = BitWindows::from_cutoffs(1, 1 << 8);
+        assert_eq!(w.width_c(), 0);
+        assert_eq!(w.lsb_mask(), 0xFFFF);
+    }
+
+    #[test]
+    fn from_widths_matches_cutoffs() {
+        let a: BitWindows<u16> = BitWindows::from_widths(4, 4);
+        let b: BitWindows<u16> = BitWindows::from_cutoffs(1 << 4, 1 << 12);
+        assert_eq!(a, b);
+        let full_c: BitWindows<u16> = BitWindows::from_widths(0, 16);
+        assert_eq!(full_c.lsb_mask(), 0);
+        assert_eq!(full_c.msb_mask(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window widths exceed")]
+    fn from_widths_rejects_overlap() {
+        let _: BitWindows<u16> = BitWindows::from_widths(10, 10);
+    }
+
+    #[test]
+    fn combine_applies_masks() {
+        let w: BitWindows<u16> = BitWindows::from_cutoffs(1 << 4, 1 << 12);
+        // corr_vect everywhere, corr_aux everywhere:
+        let c = w.combine(0xFFFF, 0xFFFF);
+        assert_eq!(c, 0xFFF0, "window C must be masked off");
+        // aux-only votes act only in window A:
+        let c = w.combine(0x0000, 0xFFFF);
+        assert_eq!(c, 0xF000);
+        // unanimous votes act in A and B:
+        let c = w.combine(0x0F00, 0x0000);
+        assert_eq!(c, 0x0F00);
+        // unanimous vote inside window C is suppressed:
+        let c = w.combine(0x0008, 0x0000);
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn default_is_fully_masked() {
+        let w: BitWindows<u16> = BitWindows::default();
+        assert_eq!(w.combine(0xFFFF, 0xFFFF), 0);
+        assert_eq!(w.width_c(), 16);
+    }
+
+    #[test]
+    fn msb_subset_of_lsb_invariant() {
+        for (lo, hi) in [(1u16, 1u16), (2, 2), (4, 1 << 15), (1 << 8, 1 << 9)] {
+            let w: BitWindows<u16> = BitWindows::from_cutoffs(lo, hi);
+            assert_eq!(w.msb_mask() & w.lsb_mask(), w.msb_mask());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based invariants of the core preprocessing machinery.
+
+use preflight_core::voter::DEFAULT_MSB_MARGIN;
+use preflight_core::{
+    container::reflect_index, AlgoNgst, BitVoter, BitWindows, MeanSmoother, MedianSmoother,
+    Sensitivity, SeriesPreprocessor, Upsilon, VoterMatrix,
+};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn series_strategy()(len in 5usize..96, seed in any::<u64>(), sigma in 0u32..4000)
+        -> Vec<u16>
+    {
+        // A light-weight Gaussian-ish walk without pulling in datagen:
+        // triangular increments of scale `sigma`.
+        let mut state = seed | 1;
+        let mut level = 27_000i64;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let a = ((state >> 40) & 0xFFFF) as i64;
+                let b = ((state >> 24) & 0xFFFF) as i64;
+                level += (a - b) * i64::from(sigma) / 65_536;
+                level.clamp(0, 65_535) as u16
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The three bit windows always partition the word, for any cut-offs.
+    #[test]
+    fn windows_partition_for_any_cutoffs(lo_bit in 0u32..16, hi_bit in 0u32..16) {
+        let w: BitWindows<u16> = BitWindows::from_cutoffs(1 << lo_bit, 1 << hi_bit);
+        prop_assert_eq!(w.window_a() | w.window_b() | w.window_c(), 0xFFFF);
+        prop_assert_eq!(w.window_a() & w.window_b(), 0);
+        prop_assert_eq!(w.window_b() & w.window_c(), 0);
+        prop_assert_eq!(w.window_a() & w.window_c(), 0);
+        prop_assert_eq!(w.width_a() + w.width_b() + w.width_c(), 16);
+    }
+
+    /// `combine` output never intersects window C, for any vote vectors.
+    #[test]
+    fn combine_respects_window_c(
+        lo_bit in 0u32..16,
+        hi_bit in 0u32..16,
+        vect in any::<u16>(),
+        aux in any::<u16>(),
+    ) {
+        let w: BitWindows<u16> = BitWindows::from_cutoffs(1 << lo_bit, 1 << hi_bit);
+        prop_assert_eq!(w.combine(vect, aux) & w.window_c(), 0);
+    }
+
+    /// The unanimous vote is always a subset of the near-unanimous vote.
+    #[test]
+    fn corr_vect_subset_of_corr_aux(series in series_strategy(), lambda in 1u32..=100) {
+        let vm = VoterMatrix::build(
+            &series,
+            Upsilon::FOUR,
+            Sensitivity::new(lambda).unwrap(),
+            DEFAULT_MSB_MARGIN,
+        )
+        .unwrap();
+        for i in 0..series.len() {
+            let (vect, aux) = vm.correction(&series, i);
+            prop_assert_eq!(vect & aux, vect, "pixel {}", i);
+        }
+    }
+
+    /// Way cut-offs never increase as Λ rises, on arbitrary data.
+    #[test]
+    fn cutoffs_monotone_in_lambda(series in series_strategy()) {
+        let mut prev = [u64::MAX; 2];
+        for lambda in [1u32, 25, 50, 75, 100] {
+            let vm = VoterMatrix::build(
+                &series,
+                Upsilon::FOUR,
+                Sensitivity::new(lambda).unwrap(),
+                DEFAULT_MSB_MARGIN,
+            )
+            .unwrap();
+            for (d, p) in (1..=2).zip(prev.iter_mut()) {
+                let c = u64::from(vm.cutoff(d));
+                prop_assert!(c <= *p, "way {} cut-off grew with Λ", d);
+                *p = c;
+            }
+        }
+    }
+
+    /// Preprocessing is deterministic: same input, same output.
+    #[test]
+    fn algo_ngst_deterministic(series in series_strategy(), lambda in 1u32..=100) {
+        let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(lambda).unwrap());
+        let mut a = series.clone();
+        let mut b = series.clone();
+        algo.preprocess(&mut a);
+        algo.preprocess(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The reported change count matches the actual number of modified
+    /// samples, for every algorithm.
+    #[test]
+    fn change_counts_are_exact(series in series_strategy(), lambda in 1u32..=100) {
+        let algos: Vec<Box<dyn SeriesPreprocessor<u16>>> = vec![
+            Box::new(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(lambda).unwrap())),
+            Box::new(MedianSmoother::new()),
+            Box::new(MedianSmoother::buffered()),
+            Box::new(MeanSmoother::new()),
+            Box::new(BitVoter::new()),
+            Box::new(BitVoter::buffered()),
+        ];
+        for algo in &algos {
+            let before = series.clone();
+            let mut after = series.clone();
+            let reported = algo.preprocess(&mut after);
+            let actual = before.iter().zip(&after).filter(|(x, y)| x != y).count();
+            prop_assert_eq!(reported, actual, "{} lied about its changes", algo.name());
+        }
+    }
+
+    /// Value-domain smoothers never leave the input's value range.
+    #[test]
+    fn smoothers_stay_in_input_range(series in series_strategy()) {
+        let lo = *series.iter().min().unwrap();
+        let hi = *series.iter().max().unwrap();
+        for algo in [MedianSmoother::new(), MedianSmoother::buffered()] {
+            let mut s = series.clone();
+            SeriesPreprocessor::<u16>::preprocess(&algo, &mut s);
+            for v in s {
+                prop_assert!((lo..=hi).contains(&v));
+            }
+        }
+        let mut s = series.clone();
+        SeriesPreprocessor::<u16>::preprocess(&MeanSmoother::new(), &mut s);
+        for v in s {
+            prop_assert!((lo..=hi).contains(&v), "mean left [{lo}, {hi}]");
+        }
+    }
+
+    /// `reflect_index` always lands in range and fixes interior points.
+    #[test]
+    fn reflect_index_properties(i in -200isize..200, n in 1usize..40) {
+        let r = reflect_index(i, n);
+        prop_assert!(r < n);
+        if i >= 0 && (i as usize) < n {
+            prop_assert_eq!(r, i as usize);
+        }
+    }
+
+    /// The sensitivity cut-off rank is always a valid 1-based rank.
+    #[test]
+    fn cutoff_rank_always_valid(lambda in 0u32..=100, n in 2usize..512, d in 1usize..512) {
+        let rank = Sensitivity::new(lambda).unwrap().cutoff_rank(n, d);
+        prop_assert!((1..=d.max(1)).contains(&rank));
+    }
+
+    /// Upsilon construction accepts exactly the even values 2..=16.
+    #[test]
+    fn upsilon_domain(v in 0usize..32) {
+        let ok = Upsilon::new(v).is_ok();
+        prop_assert_eq!(ok, v != 0 && v % 2 == 0 && v <= 16);
+    }
+}

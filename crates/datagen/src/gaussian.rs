@@ -1,0 +1,127 @@
+//! A small Box–Muller Gaussian sampler.
+//!
+//! Implemented in-house so the workspace needs no `rand_distr` dependency;
+//! the paper's data model only requires `N(μ, σ)` increments.
+
+use rand::{Rng, RngExt};
+
+/// A Gaussian distribution `N(mean, sigma)`.
+///
+/// The sampler caches the second Box–Muller variate, so consecutive draws
+/// cost one transcendental pair per two samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates the distribution. `sigma` must be non-negative and finite;
+    /// a zero sigma yields the constant `mean`.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite `sigma`.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and >= 0"
+        );
+        Gaussian { mean, sigma }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Gaussian {
+            mean: 0.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// The configured mean μ.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.mean + self.sigma * standard_normal(rng)
+    }
+
+    /// Fills `out` with independent samples.
+    pub fn fill(&self, out: &mut [f64], rng: &mut impl Rng) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // U1 ∈ (0, 1] avoids ln(0); U2 ∈ [0, 1).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let g = Gaussian::new(5.0, 2.0);
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let g = Gaussian::new(7.5, 0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut r), 7.5);
+        }
+    }
+
+    #[test]
+    fn tail_mass_is_reasonable() {
+        // ~99.7 % of samples within 3σ.
+        let g = Gaussian::standard();
+        let mut r = rng();
+        let n = 100_000;
+        let outside = (0..n).filter(|_| g.sample(&mut r).abs() > 3.0).count();
+        let frac = outside as f64 / n as f64;
+        assert!(frac < 0.006, "3σ tail fraction {frac} too heavy");
+        assert!(frac > 0.0005, "3σ tail fraction {frac} too light");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_panics() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        let g = Gaussian::new(0.0, 1.0);
+        let mut buf = [0.0; 64];
+        g.fill(&mut buf, &mut rng());
+        assert!(buf.iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! # preflight-datagen
+//!
+//! Synthetic dataset generators reproducing the input data of the paper's
+//! two benchmarks.
+//!
+//! - [`ngst`] — temporal image stacks following the paper's Gaussian
+//!   correlation model (Eq. 1): `Π(i+1) = Π(i) + Θᵢ` with `Θᵢ ~ N(0, σ)`;
+//!   plus the quasi-NGST σ sweeps of §6 and the mean-intensity gamut
+//!   datasets of Fig. 5.
+//! - [`otis`] — the three thermal scenes of §7.3 ("Blob", "Stripe",
+//!   "Spots"), procedurally synthesized to match the paper's verbal
+//!   description of their spatial statistics, and converted to radiance
+//!   cubes through the [`planck`] physics.
+//! - [`noise`] / [`gaussian`] — the in-house value-noise and Box–Muller
+//!   samplers everything is built from (keeping the dependency set to
+//!   `rand` alone).
+//!
+//! All generators take an explicit RNG so every experiment is reproducible
+//! from a fixed seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gaussian;
+pub mod ngst;
+pub mod noise;
+pub mod otis;
+pub mod planck;
+
+pub use gaussian::Gaussian;
+pub use ngst::NgstModel;
+pub use noise::smooth_field;
+pub use otis::{emissivity_scene, radiance_cube, temperature_scene, OtisScene};

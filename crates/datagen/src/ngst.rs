@@ -1,0 +1,265 @@
+//! NGST input generators (§2.2.1, §5, §6).
+//!
+//! The NGST Data Processing Application reads `N = 64` (or 65) readouts of a
+//! 1024×1024 detector within each 1000-second baseline. The paper models the
+//! temporal series of each coordinate as a Gaussian random walk (Eq. 1):
+//!
+//! ```text
+//! Π(i+1) = Π(i) + Θᵢ,   Θᵢ ~ N(0, σ)
+//! ```
+//!
+//! with σ representative of the NGST Mission Simulator datasets. §6 sweeps σ
+//! from 0 (constant) to 8000 (extremely turbulent, with overflow truncated
+//! to the maximum value) from the common start `Π(1) = 27000`.
+
+use crate::gaussian::Gaussian;
+use crate::noise::smooth_field;
+use preflight_core::{Image, ImageStack};
+use rand::{Rng, RngExt};
+
+/// The default readout count per baseline (§2.2.1).
+pub const DEFAULT_FRAMES: usize = 64;
+
+/// The default series start `Π(1)` used throughout §6.
+pub const DEFAULT_START: u16 = 27_000;
+
+/// The σ the paper treats as representative of real NMS datasets
+/// (the "NMS-like" midrange of the §6 sweep).
+pub const NMS_SIGMA: f64 = 250.0;
+
+/// The Gaussian temporal-correlation model of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NgstModel {
+    /// Readouts per baseline, `N`.
+    pub frames: usize,
+    /// The initial intensity `Π(1)`.
+    pub start: u16,
+    /// Standard deviation σ of the increments Θ.
+    pub sigma: f64,
+}
+
+impl Default for NgstModel {
+    fn default() -> Self {
+        NgstModel {
+            frames: DEFAULT_FRAMES,
+            start: DEFAULT_START,
+            sigma: NMS_SIGMA,
+        }
+    }
+}
+
+impl NgstModel {
+    /// Creates the model.
+    pub fn new(frames: usize, start: u16, sigma: f64) -> Self {
+        NgstModel {
+            frames,
+            start,
+            sigma,
+        }
+    }
+
+    /// One pristine temporal series `Π(1..N)`. Underflow clamps to 0,
+    /// overflow truncates to the 16-bit maximum (§6).
+    pub fn series(&self, rng: &mut impl Rng) -> Vec<u16> {
+        let theta = Gaussian::new(0.0, self.sigma);
+        let mut level = f64::from(self.start);
+        let mut out = Vec::with_capacity(self.frames);
+        for i in 0..self.frames {
+            if i > 0 {
+                level += theta.sample(rng);
+            }
+            out.push(level.round().clamp(0.0, f64::from(u16::MAX)) as u16);
+        }
+        out
+    }
+
+    /// A full stack: every coordinate runs an independent random walk from
+    /// `start`.
+    pub fn stack(&self, width: usize, height: usize, rng: &mut impl Rng) -> ImageStack<u16> {
+        let base = Image::filled(width, height, self.start);
+        self.stack_from_base(&base, rng)
+    }
+
+    /// A stack whose coordinate `(x, y)` walks from `base(x, y)` — used with
+    /// [`sky_image`] for realistic scenes and with flat bases for the Fig. 5
+    /// gamut sweep.
+    pub fn stack_from_base(&self, base: &Image<u16>, rng: &mut impl Rng) -> ImageStack<u16> {
+        let theta = Gaussian::new(0.0, self.sigma);
+        let (w, h) = (base.width(), base.height());
+        let mut stack = ImageStack::new(w, h, self.frames);
+        let mut series = Vec::with_capacity(self.frames);
+        for y in 0..h {
+            for x in 0..w {
+                let mut level = f64::from(base.get(x, y));
+                series.clear();
+                for i in 0..self.frames {
+                    if i > 0 {
+                        level += theta.sample(rng);
+                    }
+                    series.push(level.round().clamp(0.0, f64::from(u16::MAX)) as u16);
+                }
+                stack.scatter_series(x, y, &series);
+            }
+        }
+        stack
+    }
+}
+
+/// A pristine gamut-sweep series for Fig. 5: a random walk whose start is
+/// the requested mean intensity (the detector's background noise guarantees
+/// non-zero reads, so `mean` is clamped to at least 1).
+pub fn gamut_series(mean: u16, sigma: f64, frames: usize, rng: &mut impl Rng) -> Vec<u16> {
+    NgstModel::new(frames, mean.max(1), sigma).series(rng)
+}
+
+/// A synthetic infrared sky: a faint background with `n_sources` Gaussian
+/// point-spread sources of random position, width and brightness, plus mild
+/// large-scale structure. Used as the base image for end-to-end NGST
+/// pipeline runs.
+pub fn sky_image(
+    width: usize,
+    height: usize,
+    background: u16,
+    n_sources: usize,
+    rng: &mut impl Rng,
+) -> Image<u16> {
+    let structure = smooth_field(width, height, (width / 4).max(1), 2, rng);
+    let mut img = vec![0.0f64; width * height];
+    for (dst, s) in img.iter_mut().zip(&structure) {
+        *dst = f64::from(background) * (1.0 + 0.05 * s);
+    }
+    for _ in 0..n_sources {
+        let cx = rng.random::<f64>() * width as f64;
+        let cy = rng.random::<f64>() * height as f64;
+        let sigma = 1.0 + rng.random::<f64>() * (width.min(height) as f64 / 20.0);
+        let peak = f64::from(background) * (0.5 + rng.random::<f64>() * 4.0);
+        let reach = (sigma * 4.0).ceil() as isize;
+        let (icx, icy) = (cx as isize, cy as isize);
+        for dy in -reach..=reach {
+            for dx in -reach..=reach {
+                let (x, y) = (icx + dx, icy + dy);
+                if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
+                    continue;
+                }
+                let r2 =
+                    ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)) / (2.0 * sigma * sigma);
+                img[y as usize * width + x as usize] += peak * (-r2).exp();
+            }
+        }
+    }
+    let data: Vec<u16> = img
+        .into_iter()
+        .map(|v| v.round().clamp(0.0, f64::from(u16::MAX)) as u16)
+        .collect();
+    Image::from_vec(width, height, data).expect("constructed with consistent dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let m = NgstModel::default();
+        assert_eq!(m.frames, 64);
+        assert_eq!(m.start, 27_000);
+        assert_eq!(m.sigma, 250.0);
+    }
+
+    #[test]
+    fn series_starts_at_start_and_walks() {
+        let m = NgstModel::default();
+        let s = m.series(&mut rng(1));
+        assert_eq!(s.len(), 64);
+        assert_eq!(s[0], 27_000);
+        assert!(s.iter().any(|&v| v != 27_000), "σ=250 walk must move");
+    }
+
+    #[test]
+    fn zero_sigma_series_is_constant() {
+        let m = NgstModel::new(64, 27_000, 0.0);
+        assert_eq!(m.series(&mut rng(2)), vec![27_000; 64]);
+    }
+
+    #[test]
+    fn increments_have_requested_sigma() {
+        let m = NgstModel::new(20_000, 30_000, 250.0);
+        let s = m.series(&mut rng(3));
+        let diffs: Vec<f64> = s
+            .windows(2)
+            .map(|w| f64::from(w[1]) - f64::from(w[0]))
+            .collect();
+        let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        let sd =
+            (diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / diffs.len() as f64).sqrt();
+        assert!((sd - 250.0).abs() < 10.0, "increment σ {sd}");
+        assert!(
+            mean.abs() < 10.0,
+            "increment mean {mean} should be ~0 (μ=0)"
+        );
+    }
+
+    #[test]
+    fn huge_sigma_truncates_to_gamut() {
+        let m = NgstModel::new(256, 27_000, 8_000.0);
+        let s = m.series(&mut rng(4));
+        // With σ=8000 the walk must hit both rails eventually.
+        assert!(
+            s.contains(&u16::MAX) || s.contains(&0),
+            "rails never hit: {s:?}"
+        );
+    }
+
+    #[test]
+    fn stack_coordinates_walk_independently() {
+        let m = NgstModel::new(16, 27_000, 100.0);
+        let st = m.stack(4, 4, &mut rng(5));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        st.gather_series(0, 0, &mut a);
+        st.gather_series(3, 3, &mut b);
+        assert_ne!(a, b);
+        assert_eq!(a[0], 27_000);
+        assert_eq!(b[0], 27_000);
+    }
+
+    #[test]
+    fn stack_from_base_respects_base_levels() {
+        let mut base: Image<u16> = Image::filled(2, 2, 5_000);
+        base.set(1, 1, 40_000);
+        let m = NgstModel::new(8, 0, 0.0);
+        let st = m.stack_from_base(&base, &mut rng(6));
+        assert_eq!(st.get(0, 0, 7), 5_000);
+        assert_eq!(st.get(1, 1, 7), 40_000);
+    }
+
+    #[test]
+    fn gamut_series_clamps_zero_mean() {
+        let s = gamut_series(0, 0.0, 8, &mut rng(7));
+        assert_eq!(s, vec![1; 8], "background noise keeps reads non-zero");
+    }
+
+    #[test]
+    fn sky_image_has_sources_above_background() {
+        let img = sky_image(64, 64, 2_000, 5, &mut rng(8));
+        let max = img.as_slice().iter().copied().max().unwrap();
+        let min = img.as_slice().iter().copied().min().unwrap();
+        assert!(max > 2_500, "no visible sources (max {max})");
+        assert!(min > 1_000, "background must stay positive (min {min})");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let m = NgstModel::default();
+        assert_eq!(m.series(&mut rng(9)), m.series(&mut rng(9)));
+        let a = sky_image(32, 32, 1_000, 3, &mut rng(10));
+        let b = sky_image(32, 32, 1_000, 3, &mut rng(10));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,136 @@
+//! Value-noise (fractal Brownian motion) fields for procedural scenes.
+//!
+//! A lattice of uniform random values is bilinearly interpolated, and
+//! several octaves of halving wavelength and amplitude are summed. The
+//! result is a smooth, band-limited field in roughly `[-1, 1]` — enough
+//! structure to emulate the paper's thermal scenes without any external
+//! noise crate.
+
+use rand::{Rng, RngExt};
+
+/// One octave of bilinear value noise over a `width × height` raster, with
+/// lattice spacing `cell` (≥ 1 pixel).
+fn value_noise_octave(width: usize, height: usize, cell: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let cell = cell.max(1);
+    let gw = width.div_ceil(cell) + 2;
+    let gh = height.div_ceil(cell) + 2;
+    let lattice: Vec<f64> = (0..gw * gh)
+        .map(|_| rng.random::<f64>() * 2.0 - 1.0)
+        .collect();
+    let mut out = vec![0.0; width * height];
+    for y in 0..height {
+        let fy = y as f64 / cell as f64;
+        let y0 = fy as usize;
+        let ty = smoothstep(fy - y0 as f64);
+        for x in 0..width {
+            let fx = x as f64 / cell as f64;
+            let x0 = fx as usize;
+            let tx = smoothstep(fx - x0 as f64);
+            let v00 = lattice[y0 * gw + x0];
+            let v10 = lattice[y0 * gw + x0 + 1];
+            let v01 = lattice[(y0 + 1) * gw + x0];
+            let v11 = lattice[(y0 + 1) * gw + x0 + 1];
+            let top = v00 + (v10 - v00) * tx;
+            let bot = v01 + (v11 - v01) * tx;
+            out[y * width + x] = top + (bot - top) * ty;
+        }
+    }
+    out
+}
+
+#[inline]
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// A multi-octave smooth random field of shape `width × height`, values in
+/// approximately `[-1, 1]`.
+///
+/// `base_cell` sets the wavelength of the dominant octave (in pixels);
+/// `octaves` adds detail at successively halved wavelength and amplitude.
+pub fn smooth_field(
+    width: usize,
+    height: usize,
+    base_cell: usize,
+    octaves: u32,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let mut out = vec![0.0; width * height];
+    let mut amplitude = 1.0;
+    let mut cell = base_cell.max(1);
+    let mut norm = 0.0;
+    for _ in 0..octaves.max(1) {
+        let layer = value_noise_octave(width, height, cell, rng);
+        for (o, l) in out.iter_mut().zip(layer) {
+            *o += amplitude * l;
+        }
+        norm += amplitude;
+        amplitude *= 0.5;
+        cell = (cell / 2).max(1);
+    }
+    for o in &mut out {
+        *o /= norm;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn field_has_expected_shape_and_range() {
+        let f = smooth_field(40, 30, 8, 3, &mut rng(1));
+        assert_eq!(f.len(), 1200);
+        assert!(f.iter().all(|v| v.abs() <= 1.0 + 1e-9));
+        assert!(f.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn field_is_smooth_relative_to_white_noise() {
+        // Adjacent-pixel differences of value noise must be far smaller than
+        // those of white noise with the same overall spread.
+        let f = smooth_field(64, 64, 16, 2, &mut rng(2));
+        let spread =
+            f.iter().cloned().fold(f64::MIN, f64::max) - f.iter().cloned().fold(f64::MAX, f64::min);
+        let mut diff_sum = 0.0;
+        let mut count = 0;
+        for y in 0..64 {
+            for x in 0..63 {
+                diff_sum += (f[y * 64 + x + 1] - f[y * 64 + x]).abs();
+                count += 1;
+            }
+        }
+        let mean_diff = diff_sum / count as f64;
+        assert!(
+            mean_diff < spread * 0.05,
+            "mean adjacent diff {mean_diff} not smooth vs spread {spread}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            smooth_field(16, 16, 4, 2, &mut rng(7)),
+            smooth_field(16, 16, 4, 2, &mut rng(7))
+        );
+        assert_ne!(
+            smooth_field(16, 16, 4, 2, &mut rng(7)),
+            smooth_field(16, 16, 4, 2, &mut rng(8))
+        );
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(smooth_field(0, 10, 4, 2, &mut rng(1)).len(), 0);
+        assert_eq!(smooth_field(1, 1, 1, 1, &mut rng(1)).len(), 1);
+        let f = smooth_field(5, 5, 100, 1, &mut rng(1)); // cell ≫ image
+        assert_eq!(f.len(), 25);
+    }
+}

@@ -1,0 +1,312 @@
+//! The three OTIS scene archetypes of §7.3 and the radiance-cube forward
+//! model.
+//!
+//! The paper evaluates on three field datasets chosen to *"exemplify nearly
+//! the entire gamut of variations likely to be encountered on site"*:
+//!
+//! - **Blob** — broad areas of unchanging temperature with a few dark spots
+//!   scattered in the plot (representative of the majority of OTIS data);
+//! - **Stripe** — a very prominent vertical region of turbulent data through
+//!   the center, with quite normal surroundings;
+//! - **Spots** — a plethora of conspicuous spots, large and relatively
+//!   small, all over the plot.
+//!
+//! The original field data is unavailable (it lived in a UMass master's
+//! thesis); these generators synthesize temperature scenes matching the
+//! verbal description — the property the Fig. 7/9 comparisons actually
+//! depend on is *where the spatial variance is concentrated*, which the
+//! tests below pin down.
+
+use crate::noise::smooth_field;
+use crate::planck::radiance;
+use preflight_core::{Cube, Image};
+use rand::{Rng, RngExt};
+
+/// The scene archetypes of §7.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OtisScene {
+    /// Broad unchanging areas with a few scattered dark spots.
+    Blob,
+    /// A turbulent vertical band through the center, calm elsewhere.
+    Stripe,
+    /// Conspicuous spots of all sizes across the whole plot.
+    Spots,
+}
+
+impl OtisScene {
+    /// All three archetypes, in the paper's order.
+    pub const ALL: [OtisScene; 3] = [OtisScene::Blob, OtisScene::Stripe, OtisScene::Spots];
+
+    /// The paper's name for the dataset.
+    pub fn name(self) -> &'static str {
+        match self {
+            OtisScene::Blob => "Blob",
+            OtisScene::Stripe => "Stripe",
+            OtisScene::Spots => "Spots",
+        }
+    }
+}
+
+impl std::fmt::Display for OtisScene {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const BASE_TEMP: f64 = 282.0;
+
+/// Synthesizes the temperature field (Kelvin) of one scene archetype.
+pub fn temperature_scene(
+    scene: OtisScene,
+    width: usize,
+    height: usize,
+    rng: &mut impl Rng,
+) -> Image<f32> {
+    let mut data = vec![BASE_TEMP; width * height];
+    // Gentle large-scale structure common to all scenes (±1.5 K).
+    let backdrop = smooth_field(width, height, (width / 3).max(1), 2, rng);
+    for (d, b) in data.iter_mut().zip(&backdrop) {
+        *d += 1.5 * b;
+    }
+    match scene {
+        OtisScene::Blob => {
+            // A few dark (cold) spots scattered in the plot.
+            let n = 3 + rng.random_range(0..3);
+            for _ in 0..n {
+                stamp_disk(
+                    &mut data,
+                    width,
+                    height,
+                    rng.random_range(0..width) as f64,
+                    rng.random_range(0..height) as f64,
+                    2.0 + rng.random::<f64>() * (width as f64 / 16.0),
+                    -(8.0 + rng.random::<f64>() * 10.0),
+                );
+            }
+        }
+        OtisScene::Stripe => {
+            // Turbulence confined to the central vertical band (width/4).
+            let turb = smooth_field(width, height, 2, 3, rng);
+            let band = (width / 8).max(1);
+            let center = width / 2;
+            for y in 0..height {
+                for x in center.saturating_sub(band)..(center + band).min(width) {
+                    data[y * width + x] += 25.0 * turb[y * width + x];
+                }
+            }
+        }
+        OtisScene::Spots => {
+            // Many conspicuous spots, large and small, hot and cold,
+            // spread over the entire region.
+            let n = 25 + rng.random_range(0..15);
+            for _ in 0..n {
+                let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                stamp_disk(
+                    &mut data,
+                    width,
+                    height,
+                    rng.random_range(0..width) as f64,
+                    rng.random_range(0..height) as f64,
+                    1.5 + rng.random::<f64>() * (width as f64 / 10.0),
+                    sign * (6.0 + rng.random::<f64>() * 14.0),
+                );
+            }
+        }
+    }
+    Image::from_vec(width, height, data.into_iter().map(|v| v as f32).collect())
+        .expect("constructed with consistent dimensions")
+}
+
+/// Adds a soft-edged disk of temperature offset `delta` at `(cx, cy)`.
+fn stamp_disk(
+    data: &mut [f64],
+    width: usize,
+    height: usize,
+    cx: f64,
+    cy: f64,
+    radius: f64,
+    delta: f64,
+) {
+    let reach = (radius * 1.5).ceil() as isize;
+    let (icx, icy) = (cx as isize, cy as isize);
+    for dy in -reach..=reach {
+        for dx in -reach..=reach {
+            let (x, y) = (icx + dx, icy + dy);
+            if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
+                continue;
+            }
+            let r = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+            // Smooth falloff: full delta inside r < radius, cosine rolloff
+            // out to 1.5 radius so the rim forms a thermodynamic trend.
+            let w = if r <= radius {
+                1.0
+            } else if r <= radius * 1.5 {
+                0.5 * (1.0 + (std::f64::consts::PI * (r - radius) / (0.5 * radius)).cos())
+            } else {
+                0.0
+            };
+            data[y as usize * width + x as usize] += delta * w;
+        }
+    }
+}
+
+/// A smooth emissivity field in `[0.90, 0.99]` (natural terrestrial
+/// surfaces in the thermal infrared).
+pub fn emissivity_scene(width: usize, height: usize, rng: &mut impl Rng) -> Image<f32> {
+    let f = smooth_field(width, height, (width / 4).max(1), 2, rng);
+    let data: Vec<f32> = f.into_iter().map(|v| (0.945 + 0.045 * v) as f32).collect();
+    Image::from_vec(width, height, data).expect("constructed with consistent dimensions")
+}
+
+/// The OTIS forward model: spectral radiance cube from a temperature field,
+/// an emissivity field and a wavelength band set —
+/// `L(x, y, λ) = ε(x, y) · B_λ(T(x, y))`.
+///
+/// # Panics
+/// Panics if the temperature and emissivity shapes differ.
+pub fn radiance_cube(temp: &Image<f32>, emis: &Image<f32>, bands: &[f64]) -> Cube<f32> {
+    assert!(
+        temp.width() == emis.width() && temp.height() == emis.height(),
+        "temperature/emissivity shape mismatch"
+    );
+    let (w, h) = (temp.width(), temp.height());
+    let mut cube = Cube::new(w, h, bands.len());
+    for (b, &lambda) in bands.iter().enumerate() {
+        let plane = cube.plane_mut(b);
+        for y in 0..h {
+            for x in 0..w {
+                let t = f64::from(temp.get(x, y));
+                let e = f64::from(emis.get(x, y));
+                plane[y * w + x] = (e * radiance(t, lambda)) as f32;
+            }
+        }
+    }
+    cube
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planck::DEFAULT_BANDS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn column_variances(img: &Image<f32>) -> Vec<f64> {
+        let (w, h) = (img.width(), img.height());
+        (0..w)
+            .map(|x| {
+                let col: Vec<f64> = (0..h).map(|y| f64::from(img.get(x, y))).collect();
+                let m = col.iter().sum::<f64>() / h as f64;
+                col.iter().map(|v| (v - m).powi(2)).sum::<f64>() / h as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_scenes_are_physically_bounded() {
+        for scene in OtisScene::ALL {
+            let img = temperature_scene(scene, 64, 64, &mut rng(1));
+            for &v in img.as_slice() {
+                assert!((200.0..=360.0).contains(&f64::from(v)), "{scene}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn blob_is_mostly_flat_with_cold_spots() {
+        let img = temperature_scene(OtisScene::Blob, 96, 96, &mut rng(2));
+        let vals: Vec<f64> = img.as_slice().iter().map(|&v| f64::from(v)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        // Most pixels sit near the base temperature…
+        let near = vals.iter().filter(|v| (*v - mean).abs() < 4.0).count();
+        assert!(
+            near as f64 > 0.75 * vals.len() as f64,
+            "blob not mostly flat"
+        );
+        // …and the deviants are cold, not hot.
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            mean - min > (max - mean) * 1.5,
+            "spots must be dark (min {min}, max {max})"
+        );
+    }
+
+    #[test]
+    fn stripe_concentrates_variance_in_center_band() {
+        let img = temperature_scene(OtisScene::Stripe, 96, 96, &mut rng(3));
+        let var = column_variances(&img);
+        let band: f64 = var[36..60].iter().sum::<f64>() / 24.0;
+        let outside: f64 = (var[..24].iter().sum::<f64>() + var[72..].iter().sum::<f64>()) / 48.0;
+        assert!(
+            band > outside * 10.0,
+            "stripe variance not concentrated (band {band}, outside {outside})"
+        );
+    }
+
+    #[test]
+    fn spots_spread_variance_everywhere() {
+        let img = temperature_scene(OtisScene::Spots, 96, 96, &mut rng(4));
+        let var = column_variances(&img);
+        let lively = var.iter().filter(|&&v| v > 1.0).count();
+        assert!(
+            lively as f64 > 0.6 * var.len() as f64,
+            "spots turbulence must cover most columns ({lively}/96)"
+        );
+    }
+
+    #[test]
+    fn spots_more_turbulent_than_blob_overall() {
+        let blob = temperature_scene(OtisScene::Blob, 96, 96, &mut rng(5));
+        let spots = temperature_scene(OtisScene::Spots, 96, 96, &mut rng(5));
+        let total = |img: &Image<f32>| column_variances(img).iter().sum::<f64>();
+        assert!(total(&spots) > total(&blob) * 2.0);
+    }
+
+    #[test]
+    fn emissivity_in_range() {
+        let e = emissivity_scene(48, 48, &mut rng(6));
+        for &v in e.as_slice() {
+            assert!((0.90..=0.99).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn radiance_cube_matches_forward_model() {
+        let t = Image::filled(4, 4, 300.0f32);
+        let e = Image::filled(4, 4, 0.95f32);
+        let cube = radiance_cube(&t, &e, &DEFAULT_BANDS);
+        assert_eq!(cube.bands(), 6);
+        let expect = 0.95 * radiance(300.0, 10.2);
+        let got = f64::from(cube.get(2, 2, 3));
+        assert!((got - expect).abs() < 1e-4, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn radiance_cube_rejects_mismatch() {
+        let t = Image::filled(4, 4, 300.0f32);
+        let e = Image::filled(5, 4, 0.95f32);
+        let _ = radiance_cube(&t, &e, &DEFAULT_BANDS);
+    }
+
+    #[test]
+    fn scenes_are_deterministic() {
+        for scene in OtisScene::ALL {
+            let a = temperature_scene(scene, 32, 32, &mut rng(7));
+            let b = temperature_scene(scene, 32, 32, &mut rng(7));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn scene_names() {
+        assert_eq!(OtisScene::Blob.to_string(), "Blob");
+        assert_eq!(OtisScene::Stripe.name(), "Stripe");
+        assert_eq!(OtisScene::ALL.len(), 3);
+    }
+}

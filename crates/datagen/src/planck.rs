@@ -1,0 +1,111 @@
+//! Planck black-body radiation physics for the OTIS thermal bands.
+//!
+//! OTIS *"collects radiation data from the atmosphere using onboard sensors
+//! and processes it to obtain temperature and emissivity mappings"* (§7).
+//! These helpers provide the forward model (temperature + emissivity →
+//! spectral radiance per band) used by the scene generators, and the inverse
+//! (brightness temperature) used by the retrieval in `preflight-otis`.
+//!
+//! Units: wavelengths in micrometres, radiance in W·m⁻²·sr⁻¹·µm⁻¹,
+//! temperature in Kelvin.
+
+/// First radiation constant `2hc²`, in W·µm⁴·m⁻²·sr⁻¹.
+pub const C1: f64 = 1.191_042_972e8;
+
+/// Second radiation constant `hc/k`, in µm·K.
+pub const C2: f64 = 1.438_776_877e4;
+
+/// The default thermal-infrared band set (µm), spanning the 8–12 µm
+/// atmospheric window a thermal imaging spectrometer observes.
+pub const DEFAULT_BANDS: [f64; 6] = [8.0, 8.6, 9.1, 10.2, 11.3, 12.1];
+
+/// Black-body spectral radiance `B_λ(T)` at wavelength `lambda_um` (µm) and
+/// temperature `t_kelvin` (K).
+///
+/// Returns 0 for non-positive temperature.
+pub fn radiance(t_kelvin: f64, lambda_um: f64) -> f64 {
+    assert!(lambda_um > 0.0, "wavelength must be positive");
+    if t_kelvin <= 0.0 {
+        return 0.0;
+    }
+    let x = C2 / (lambda_um * t_kelvin);
+    C1 / (lambda_um.powi(5) * (x.exp() - 1.0))
+}
+
+/// Inverse Planck: the brightness temperature that reproduces spectral
+/// radiance `rad` at wavelength `lambda_um`.
+///
+/// Returns 0 for non-positive radiance.
+pub fn brightness_temperature(rad: f64, lambda_um: f64) -> f64 {
+    assert!(lambda_um > 0.0, "wavelength must be positive");
+    if rad <= 0.0 {
+        return 0.0;
+    }
+    C2 / (lambda_um * (1.0 + C1 / (lambda_um.powi(5) * rad)).ln())
+}
+
+/// The largest radiance any temperature up to `t_max` can produce across
+/// `bands` — the physical upper bound `Algo_OTIS` enforces on radiance
+/// cubes.
+pub fn max_radiance(t_max: f64, bands: &[f64]) -> f64 {
+    bands
+        .iter()
+        .map(|&l| radiance(t_max, l))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radiance_at_300k_10um_is_textbook() {
+        // B_10µm(300 K) ≈ 9.9 W·m⁻²·sr⁻¹·µm⁻¹.
+        let b = radiance(300.0, 10.0);
+        assert!((b - 9.92).abs() < 0.2, "got {b}");
+    }
+
+    #[test]
+    fn radiance_monotone_in_temperature() {
+        let mut prev = 0.0;
+        for t in (200..400).step_by(10) {
+            let b = radiance(f64::from(t), 11.0);
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for &t in &[180.0, 240.0, 288.15, 320.0, 380.0] {
+            for &l in &DEFAULT_BANDS {
+                let b = radiance(t, l);
+                let t2 = brightness_temperature(b, l);
+                assert!((t - t2).abs() < 1e-9, "T={t} λ={l}: got {t2}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(radiance(0.0, 10.0), 0.0);
+        assert_eq!(radiance(-5.0, 10.0), 0.0);
+        assert_eq!(brightness_temperature(0.0, 10.0), 0.0);
+        assert_eq!(brightness_temperature(-1.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn max_radiance_covers_all_bands() {
+        let m = max_radiance(400.0, &DEFAULT_BANDS);
+        for &l in &DEFAULT_BANDS {
+            assert!(radiance(400.0, l) <= m + 1e-12);
+            assert!(radiance(399.0, l) < m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wavelength")]
+    fn zero_wavelength_panics() {
+        let _ = radiance(300.0, 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Block (alpha-strike) faults: whole contiguous regions of physical memory
+//! scrambled at once.
+//!
+//! The run-length model of Eq. 2 keeps each bit's flip probability below
+//! `Γ_ini / (1 − Γ_ini)`, so its bursts average barely more than one bit —
+//! too weak to exercise the paper's §8 scenario of *"correlated block
+//! faults occurring in contiguous regions in memory"*. This injector models
+//! the heavy end of that spectrum: a particle strike or row/column driver
+//! failure that randomizes a run of consecutive words. It is the fault
+//! model the interleaved-placement experiment sweeps.
+
+use crate::map::FaultMap;
+use preflight_core::BitPixel;
+use rand::{Rng, RngExt};
+
+/// A fixed damage budget delivered as contiguous word bursts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockFault {
+    /// Number of independent bursts.
+    pub bursts: usize,
+    /// Consecutive words scrambled per burst.
+    pub burst_len: usize,
+}
+
+impl BlockFault {
+    /// A budget of `total_words` damaged words delivered in bursts of
+    /// `burst_len` (the last burst is dropped rather than truncated, so the
+    /// clustering sweep keeps the budget comparable).
+    pub fn with_budget(total_words: usize, burst_len: usize) -> Self {
+        BlockFault {
+            bursts: total_words / burst_len.max(1),
+            burst_len: burst_len.max(1),
+        }
+    }
+
+    /// Scrambles the selected bursts: every bit of every word in a burst is
+    /// flipped independently with probability ½ (charge deposition leaves
+    /// the cell contents uncorrelated with their previous state).
+    ///
+    /// Burst start positions are uniform; bursts may overlap, and a burst
+    /// starting near the end is clipped at the buffer boundary.
+    pub fn inject_words<T: BitPixel>(&self, words: &mut [T], rng: &mut impl Rng) -> FaultMap {
+        let mut map = FaultMap::new();
+        if words.is_empty() {
+            return map;
+        }
+        for _ in 0..self.bursts {
+            let start = rng.random_range(0..words.len());
+            let end = (start + self.burst_len).min(words.len());
+            for (w, word) in words.iter_mut().enumerate().take(end).skip(start) {
+                for bit in 0..T::BITS {
+                    if rng.random::<bool>() {
+                        *word = word.toggle_bit(bit);
+                        map.push(w, bit);
+                    }
+                }
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn budget_splits_into_bursts() {
+        let f = BlockFault::with_budget(64, 16);
+        assert_eq!(f.bursts, 4);
+        assert_eq!(f.burst_len, 16);
+        let f = BlockFault::with_budget(64, 0);
+        assert_eq!(f.burst_len, 1);
+        assert_eq!(f.bursts, 64);
+    }
+
+    #[test]
+    fn damage_is_contiguous_words() {
+        let mut data = vec![0u16; 4096];
+        let f = BlockFault {
+            bursts: 1,
+            burst_len: 32,
+        };
+        let map = f.inject_words(&mut data, &mut seeded_rng(3));
+        let words = map.affected_words();
+        assert!(!words.is_empty());
+        let span = words.last().unwrap() - words.first().unwrap();
+        assert!(
+            span < 32,
+            "single burst must stay within its block (span {span})"
+        );
+        // Roughly half the bits of each hit word flip.
+        let flips_per_word = map.len() as f64 / words.len() as f64;
+        assert!((4.0..=12.0).contains(&flips_per_word), "{flips_per_word}");
+    }
+
+    #[test]
+    fn map_reverts_damage() {
+        let clean = vec![0x6978u16; 1024];
+        let mut data = clean.clone();
+        let map = BlockFault {
+            bursts: 3,
+            burst_len: 8,
+        }
+        .inject_words(&mut data, &mut seeded_rng(5));
+        for f in map.iter() {
+            data[f.word] ^= 1 << f.bit;
+        }
+        assert_eq!(data, clean);
+    }
+
+    #[test]
+    fn empty_buffer_is_noop() {
+        let mut data: Vec<u16> = vec![];
+        let map = BlockFault {
+            bursts: 5,
+            burst_len: 8,
+        }
+        .inject_words(&mut data, &mut seeded_rng(1));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut d = vec![0u16; 512];
+            BlockFault {
+                bursts: 4,
+                burst_len: 16,
+            }
+            .inject_words(&mut d, &mut seeded_rng(seed));
+            d
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,307 @@
+//! The correlated (burst) fault model of §2.2.3.
+//!
+//! When flips originate *in memory* — alpha-particle strikes, polarization by
+//! free charge, power glitches — the damage concentrates around a worst-hit
+//! center with edges siphoning off in all directions. The paper models this
+//! by making each bit's flip probability grow with the length `R` of the run
+//! of flips immediately preceding it, in whichever of the two memory
+//! dimensions (horizontal or vertical) has the longer run:
+//!
+//! ```text
+//! Γ_corr(ω) = Σ_{j=1..R} Γ_ini^j      (Eq. 2)
+//! ```
+//!
+//! For unbounded runs the sum converges to `Γ_ini / (1 − Γ_ini)`, which stays
+//! below 1 for any `Γ_ini < 0.5`. A fresh run (R = 0) initiates with the
+//! base probability `Γ_ini`.
+
+use crate::error::FaultError;
+use crate::map::FaultMap;
+use preflight_core::{BitPixel, Cube, ImageStack};
+use rand::{Rng, RngExt};
+
+/// The run-length-correlated burst model (Eq. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlated {
+    gamma_ini: f64,
+}
+
+impl Correlated {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Returns [`FaultError::InvalidProbability`] unless `gamma_ini` is
+    /// finite and in `0.0..=1.0`. Values `>= 0.5` are legal (the paper
+    /// sweeps past the ~0.2 breakdown point in Fig. 9) but make the run
+    /// probability saturate at 1.
+    pub fn new(gamma_ini: f64) -> Result<Self, FaultError> {
+        if !gamma_ini.is_finite() || !(0.0..=1.0).contains(&gamma_ini) {
+            return Err(FaultError::InvalidProbability { value: gamma_ini });
+        }
+        Ok(Correlated { gamma_ini })
+    }
+
+    /// The configured base probability Γ_ini.
+    pub fn gamma_ini(&self) -> f64 {
+        self.gamma_ini
+    }
+
+    /// The flip probability of a bit preceded by a run of `run` flips
+    /// (Eq. 2), clamped to 1. `run = 0` (fresh run) initiates with Γ_ini.
+    pub fn run_probability(&self, run: usize) -> f64 {
+        let g = self.gamma_ini;
+        if g == 0.0 {
+            return 0.0;
+        }
+        let r = run.max(1) as i32;
+        // Σ_{j=1..r} g^j = g (1 − g^r) / (1 − g), geometric series.
+        let sum = if (g - 1.0).abs() < 1e-12 {
+            r as f64
+        } else {
+            g * (1.0 - g.powi(r)) / (1.0 - g)
+        };
+        sum.min(1.0)
+    }
+
+    /// The limit probability for an infinite preceding run:
+    /// `Γ_ini / (1 − Γ_ini)`, clamped to 1.
+    pub fn limit_probability(&self) -> f64 {
+        let g = self.gamma_ini;
+        if g >= 0.5 {
+            1.0
+        } else {
+            g / (1.0 - g)
+        }
+    }
+
+    /// Injects burst faults into `words`, interpreted as a 2-D memory
+    /// organization with `words_per_row` words per physical row.
+    ///
+    /// Bits are visited in raster order. For each bit the preceding run
+    /// length is taken in both dimensions — `R_h` to the left in the row,
+    /// `R_v` above in the column — and the *higher* resulting probability
+    /// (i.e. the longer run) decides, exactly as §2.2.3 prescribes.
+    ///
+    /// # Panics
+    /// Panics if `words_per_row == 0`.
+    pub fn inject_grid<T: BitPixel>(
+        &self,
+        words: &mut [T],
+        words_per_row: usize,
+        rng: &mut impl Rng,
+    ) -> FaultMap {
+        assert!(words_per_row > 0, "words_per_row must be positive");
+        let mut map = FaultMap::new();
+        if self.gamma_ini == 0.0 || words.is_empty() {
+            return map;
+        }
+        let bits = T::BITS as usize;
+        let bits_per_row = words_per_row * bits;
+        // Vertical run lengths (consecutive flips directly above) per column.
+        let mut col_run = vec![0usize; bits_per_row];
+        let total = words.len();
+        let rows = total.div_ceil(words_per_row);
+        for r in 0..rows {
+            let mut row_run = 0usize;
+            #[allow(clippy::needless_range_loop)] // c is a 2-D grid coordinate
+            for c in 0..bits_per_row {
+                let word = r * words_per_row + c / bits;
+                if word >= total {
+                    break;
+                }
+                let bit = (c % bits) as u32;
+                let run = row_run.max(col_run[c]);
+                let p = self.run_probability(run);
+                if rng.random::<f64>() < p {
+                    words[word] = words[word].toggle_bit(bit);
+                    map.push(word, bit);
+                    row_run += 1;
+                    col_run[c] += 1;
+                } else {
+                    row_run = 0;
+                    col_run[c] = 0;
+                }
+            }
+        }
+        map
+    }
+
+    /// Convenience: inject into an image stack, using the frame width as the
+    /// memory row width (each detector row is one physical memory row).
+    pub fn inject_stack<T: BitPixel>(
+        &self,
+        stack: &mut ImageStack<T>,
+        rng: &mut impl Rng,
+    ) -> FaultMap {
+        let w = stack.width();
+        self.inject_grid(stack.as_mut_slice(), w, rng)
+    }
+
+    /// Convenience: inject into an `f32` cube via its raw bit patterns.
+    pub fn inject_cube(&self, cube: &mut Cube<f32>, rng: &mut impl Rng) -> FaultMap {
+        let w = cube.width();
+        let mut bits: Vec<u32> = cube.as_slice().iter().map(|v| v.to_bits()).collect();
+        let map = self.inject_grid(&mut bits, w, rng);
+        for (dst, src) in cube.as_mut_slice().iter_mut().zip(bits) {
+            *dst = f32::from_bits(src);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use crate::uncorrelated::Uncorrelated;
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(Correlated::new(-0.01).is_err());
+        assert!(Correlated::new(1.01).is_err());
+        assert!(Correlated::new(f64::NAN).is_err());
+        assert!(Correlated::new(0.49).is_ok());
+        assert!(Correlated::new(0.9).is_ok());
+    }
+
+    #[test]
+    fn run_probability_matches_eq2() {
+        let m = Correlated::new(0.2).unwrap();
+        assert!(
+            (m.run_probability(0) - 0.2).abs() < 1e-12,
+            "fresh run initiates at Γ_ini"
+        );
+        assert!((m.run_probability(1) - 0.2).abs() < 1e-12);
+        assert!((m.run_probability(2) - (0.2 + 0.04)).abs() < 1e-12);
+        assert!((m.run_probability(3) - (0.2 + 0.04 + 0.008)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_probability_converges_to_geometric_limit() {
+        let m = Correlated::new(0.3).unwrap();
+        let limit = 0.3 / 0.7;
+        assert!((m.run_probability(1000) - limit).abs() < 1e-9);
+        assert!((m.limit_probability() - limit).abs() < 1e-12);
+        // Below 0.5 the limit stays under 1 (the paper's convergence note).
+        for g in [0.1, 0.2, 0.3, 0.4, 0.49] {
+            assert!(Correlated::new(g).unwrap().limit_probability() < 1.0);
+        }
+        assert_eq!(Correlated::new(0.6).unwrap().limit_probability(), 1.0);
+    }
+
+    #[test]
+    fn run_probability_is_monotone_in_run_length() {
+        let m = Correlated::new(0.35).unwrap();
+        let mut prev = 0.0;
+        for r in 0..64 {
+            let p = m.run_probability(r);
+            assert!(p >= prev);
+            assert!(p <= 1.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn gamma_zero_injects_nothing() {
+        let mut data = vec![0xFFFFu16; 128];
+        let map = Correlated::new(0.0)
+            .unwrap()
+            .inject_grid(&mut data, 16, &mut seeded_rng(1));
+        assert!(map.is_empty());
+        assert!(data.iter().all(|&v| v == 0xFFFF));
+    }
+
+    #[test]
+    fn map_reverts_damage_exactly() {
+        let clean = vec![0x6978u16; 1024];
+        let mut data = clean.clone();
+        let map = Correlated::new(0.15)
+            .unwrap()
+            .inject_grid(&mut data, 32, &mut seeded_rng(4));
+        assert!(!map.is_empty());
+        for f in map.iter() {
+            data[f.word] ^= 1 << f.bit;
+        }
+        assert_eq!(data, clean);
+    }
+
+    #[test]
+    fn bursts_are_longer_than_uncorrelated_at_matched_rate() {
+        // Compare run statistics at (roughly) matched overall flip rates:
+        // the correlated model must produce longer horizontal runs.
+        let mut corr_data = vec![0u16; 20_000];
+        let corr = Correlated::new(0.2).unwrap();
+        let corr_map = corr.inject_grid(&mut corr_data, 100, &mut seeded_rng(8));
+        let rate = corr_map.empirical_rate(corr_data.len() * 16);
+
+        let mut unc_data = vec![0u16; 20_000];
+        let unc_map = Uncorrelated::new(rate)
+            .unwrap()
+            .inject_words(&mut unc_data, &mut seeded_rng(8));
+
+        let corr_run = corr_map.longest_horizontal_run(16, 1600);
+        let unc_run = unc_map.longest_horizontal_run(16, 1600);
+        assert!(
+            corr_run > unc_run,
+            "correlated longest run {corr_run} must exceed uncorrelated {unc_run}"
+        );
+    }
+
+    #[test]
+    fn empirical_rate_grows_with_gamma_ini() {
+        let mut prev = 0.0;
+        for g in [0.05, 0.15, 0.3, 0.45] {
+            let mut data = vec![0u16; 10_000];
+            let map = Correlated::new(g)
+                .unwrap()
+                .inject_grid(&mut data, 100, &mut seeded_rng(12));
+            let rate = map.empirical_rate(data.len() * 16);
+            assert!(
+                rate > prev,
+                "rate must grow with Γ_ini (g={g}: {rate} <= {prev})"
+            );
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn stack_and_cube_helpers_run() {
+        let mut stack: ImageStack<u16> = ImageStack::new(32, 8, 4);
+        let map = Correlated::new(0.1)
+            .unwrap()
+            .inject_stack(&mut stack, &mut seeded_rng(6));
+        assert!(!map.is_empty());
+        let mut cube: Cube<f32> = Cube::new(16, 16, 4);
+        cube.as_mut_slice().fill(280.0);
+        let map = Correlated::new(0.1)
+            .unwrap()
+            .inject_cube(&mut cube, &mut seeded_rng(6));
+        assert!(!map.is_empty());
+        assert!(cube
+            .as_slice()
+            .iter()
+            .any(|v| v.to_bits() != 280.0f32.to_bits()));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = |seed| {
+            let mut d = vec![0x1234u16; 2000];
+            Correlated::new(0.25)
+                .unwrap()
+                .inject_grid(&mut d, 50, &mut seeded_rng(seed));
+            d
+        };
+        assert_eq!(run(13), run(13));
+        assert_ne!(run(13), run(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "words_per_row")]
+    fn zero_row_width_panics() {
+        let mut d = vec![0u16; 4];
+        let _ = Correlated::new(0.1)
+            .unwrap()
+            .inject_grid(&mut d, 0, &mut seeded_rng(0));
+    }
+}

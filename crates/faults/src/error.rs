@@ -1,0 +1,57 @@
+//! Error types for the fault-injection crate.
+
+use core::fmt;
+
+/// Errors raised when constructing fault models or interleavers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A probability parameter was outside `0.0..=1.0` or not finite.
+    InvalidProbability {
+        /// The rejected value.
+        value: f64,
+    },
+    /// An interleaver's length was not divisible by its depth.
+    InvalidInterleaver {
+        /// Total element count.
+        len: usize,
+        /// Requested interleave depth.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidProbability { value } => {
+                write!(
+                    f,
+                    "probability must be a finite value in 0.0..=1.0, got {value}"
+                )
+            }
+            FaultError::InvalidInterleaver { len, depth } => {
+                write!(
+                    f,
+                    "interleaver depth {depth} must be nonzero and divide the length {len}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(FaultError::InvalidProbability { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(FaultError::InvalidInterleaver { len: 10, depth: 3 }
+            .to_string()
+            .contains("divide"));
+    }
+}

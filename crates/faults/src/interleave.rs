@@ -1,0 +1,203 @@
+//! Physical-memory interleaving, the paper's §8 recommendation.
+//!
+//! *"We recommend the technique of storing the neighboring pixels using a
+//! preset mapping into different physical regions in the memory
+//! organization, so that when they are retrieved for preprocessing, the
+//! correlated block faults occurring in contiguous regions in memory will
+//! not affect the temporal or spatial redundancy preserved elsewhere."*
+//!
+//! [`Interleaver`] is a classic block (row/column) interleaver: logical
+//! index `i` maps to physical index `(i mod rows) · cols + (i div rows)`.
+//! Logical neighbors land `len / depth` words apart physically, so a burst
+//! that wipes a contiguous physical region touches at most one sample of
+//! any logical neighborhood of size `< depth`.
+
+use crate::error::FaultError;
+
+/// A bijective logical↔physical address mapping with interleave depth
+/// `depth` over `len` elements (`depth` must divide `len`).
+///
+/// ```
+/// use preflight_faults::Interleaver;
+///
+/// let il = Interleaver::new(1024, 32).unwrap();
+/// let logical: Vec<u16> = (0..1024).collect();
+/// let physical = il.interleave(&logical);
+/// // Logical neighbors are far apart physically…
+/// assert!(il.physical_of(0).abs_diff(il.physical_of(1)) >= 31);
+/// // …and the mapping loses nothing.
+/// assert_eq!(il.deinterleave(&physical), logical);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleaver {
+    len: usize,
+    depth: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver.
+    ///
+    /// # Errors
+    /// Returns [`FaultError::InvalidInterleaver`] if `depth` is zero or does
+    /// not divide `len`.
+    pub fn new(len: usize, depth: usize) -> Result<Self, FaultError> {
+        if depth == 0 || !len.is_multiple_of(depth) {
+            return Err(FaultError::InvalidInterleaver { len, depth });
+        }
+        Ok(Interleaver { len, depth })
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for the degenerate empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The interleave depth (number of physical banks).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Physical address of logical index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn physical_of(&self, i: usize) -> usize {
+        assert!(i < self.len, "index out of range");
+        let cols = self.len / self.depth;
+        (i % self.depth) * cols + i / self.depth
+    }
+
+    /// Logical index stored at physical address `p`.
+    ///
+    /// # Panics
+    /// Panics if `p >= len`.
+    #[inline]
+    pub fn logical_of(&self, p: usize) -> usize {
+        assert!(p < self.len, "index out of range");
+        let cols = self.len / self.depth;
+        (p % cols) * self.depth + p / cols
+    }
+
+    /// Produces the physical layout of a logical buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != len`.
+    pub fn interleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len, "buffer length mismatch");
+        let mut out = data.to_vec();
+        for (i, &v) in data.iter().enumerate() {
+            out[self.physical_of(i)] = v;
+        }
+        out
+    }
+
+    /// Recovers the logical order from a physical buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != len`.
+    pub fn deinterleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len, "buffer length mismatch");
+        let mut out = data.to_vec();
+        for (p, &v) in data.iter().enumerate() {
+            out[self.logical_of(p)] = v;
+        }
+        out
+    }
+
+    /// The minimum physical distance between any two logically adjacent
+    /// elements — the burst length the mapping can absorb.
+    pub fn neighbor_separation(&self) -> usize {
+        if self.len <= 1 || self.depth == 1 {
+            return if self.depth == 1 { 1 } else { self.len };
+        }
+        // Logical i+1 lands in the next bank, `cols` words away (± a small
+        // wrap term once per period); scan one period for the exact minimum.
+        let mut min = usize::MAX;
+        for i in 0..self.len - 1 {
+            let a = self.physical_of(i);
+            let b = self.physical_of(i + 1);
+            min = min.min(a.abs_diff(b));
+            if i >= self.depth {
+                break; // pattern repeats with period `depth`
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_divisibility() {
+        assert!(Interleaver::new(12, 4).is_ok());
+        assert!(Interleaver::new(12, 5).is_err());
+        assert!(Interleaver::new(12, 0).is_err());
+        assert!(Interleaver::new(0, 1).is_ok());
+    }
+
+    #[test]
+    fn mapping_is_bijective() {
+        let il = Interleaver::new(24, 4).unwrap();
+        let mut seen = [false; 24];
+        for i in 0..24 {
+            let p = il.physical_of(i);
+            assert!(!seen[p], "collision at physical {p}");
+            seen[p] = true;
+            assert_eq!(il.logical_of(p), i, "inverse mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let il = Interleaver::new(16, 4).unwrap();
+        let data: Vec<u16> = (0..16).collect();
+        let phys = il.interleave(&data);
+        assert_ne!(phys, data);
+        assert_eq!(il.deinterleave(&phys), data);
+    }
+
+    #[test]
+    fn depth_one_is_identity() {
+        let il = Interleaver::new(8, 1).unwrap();
+        let data: Vec<u16> = (0..8).collect();
+        assert_eq!(il.interleave(&data), data);
+    }
+
+    #[test]
+    fn logical_neighbors_are_separated() {
+        let il = Interleaver::new(4096, 64).unwrap();
+        let sep = il.neighbor_separation();
+        assert!(sep >= 4096 / 64 - 1, "separation {sep} too small");
+        // Direct check for a few indices:
+        for i in [0usize, 5, 100, 4000] {
+            let d = il.physical_of(i).abs_diff(il.physical_of(i + 1));
+            assert!(d >= sep);
+        }
+    }
+
+    #[test]
+    fn physical_burst_spreads_logically() {
+        // Wipe a contiguous physical block; after deinterleave, damaged
+        // logical indices must be far apart.
+        let il = Interleaver::new(256, 16).unwrap();
+        let data: Vec<u16> = (0..256).collect();
+        let mut phys = il.interleave(&data);
+        for slot in phys.iter_mut().take(8) {
+            *slot = 0xFFFF; // an 8-word physical burst
+        }
+        let logical = il.deinterleave(&phys);
+        let damaged: Vec<usize> = (0..256).filter(|&i| logical[i] != data[i]).collect();
+        assert_eq!(damaged.len(), 8);
+        for w in damaged.windows(2) {
+            assert!(w[1] - w[0] >= 16, "damage still clustered: {damaged:?}");
+        }
+    }
+}

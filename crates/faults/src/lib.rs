@@ -1,0 +1,60 @@
+//! # preflight-faults
+//!
+//! Bit-flip fault models and injectors for the DSN 2003 input-preprocessing
+//! reproduction.
+//!
+//! The paper studies two models of data-memory corruption (§2.2):
+//!
+//! - [`Uncorrelated`] — every bit of the input flips independently with a
+//!   static probability Γ₀, covering flips at the source, in transit, and in
+//!   memory (§2.2.2).
+//! - [`Correlated`] — burst faults whose flip probability grows with the
+//!   length of the preceding run of flips in either dimension of the memory
+//!   organization (§2.2.3): alpha-particle strikes, polarization and power
+//!   glitches concentrate damage around a worst-hit center.
+//!
+//! Every injector returns a [`FaultMap`] recording exactly which bits were
+//! flipped, so benchmarks can score detections, misses and false alarms
+//! against ground truth.
+//!
+//! [`Interleaver`] implements the paper's §8 recommendation: *"storing the
+//! neighboring pixels using a preset mapping into different physical regions
+//! in the memory organization"*, which converts correlated physical bursts
+//! into near-uncorrelated logical faults that the voters can repair.
+//!
+//! # Example
+//!
+//! ```
+//! use preflight_faults::{Uncorrelated, seeded_rng};
+//!
+//! let mut data: Vec<u16> = vec![27_000; 1024];
+//! let model = Uncorrelated::new(0.01).unwrap(); // Γ₀ = 1 %
+//! let map = model.inject_words(&mut data, &mut seeded_rng(42));
+//! assert!(!map.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod correlated;
+pub mod error;
+pub mod interleave;
+pub mod map;
+pub mod uncorrelated;
+
+pub use block::BlockFault;
+pub use correlated::Correlated;
+pub use error::FaultError;
+pub use interleave::Interleaver;
+pub use map::{BitAddr, FaultMap};
+pub use uncorrelated::Uncorrelated;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for reproducible experiments. All figures in
+/// `EXPERIMENTS.md` are regenerated from fixed seeds through this helper.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,264 @@
+//! The uncorrelated fault model of §2.2.2: i.i.d. bit-flips with a static
+//! probability Γ₀.
+
+use crate::error::FaultError;
+use crate::map::FaultMap;
+use preflight_core::{BitPixel, Cube, ImageStack};
+use rand::{Rng, RngExt};
+
+/// Independent bit-flips with probability Γ₀ per bit, *"either at source,
+/// during transit from source to the system, or while residing in memory"*.
+///
+/// Injection uses geometric gap-sampling, so the cost is proportional to the
+/// number of flips rather than the number of bits — a 1024×1024×64 stack at
+/// Γ₀ = 0.1 % costs ~1M samples, not ~1G.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uncorrelated {
+    gamma0: f64,
+}
+
+impl Uncorrelated {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Returns [`FaultError::InvalidProbability`] unless `gamma0` is finite
+    /// and in `0.0..=1.0`.
+    pub fn new(gamma0: f64) -> Result<Self, FaultError> {
+        if !gamma0.is_finite() || !(0.0..=1.0).contains(&gamma0) {
+            return Err(FaultError::InvalidProbability { value: gamma0 });
+        }
+        Ok(Uncorrelated { gamma0 })
+    }
+
+    /// The configured Γ₀.
+    pub fn gamma0(&self) -> f64 {
+        self.gamma0
+    }
+
+    /// Flips each bit of `words` independently with probability Γ₀.
+    pub fn inject_words<T: BitPixel>(&self, words: &mut [T], rng: &mut impl Rng) -> FaultMap {
+        let mut map = FaultMap::new();
+        let bits = T::BITS as usize;
+        let total = words.len() * bits;
+        for pos in GeometricBits::new(self.gamma0, total, rng) {
+            let (word, bit) = (pos / bits, (pos % bits) as u32);
+            words[word] = words[word].toggle_bit(bit);
+            map.push(word, bit);
+        }
+        map
+    }
+
+    /// Flips bits of raw bytes (e.g. a FITS header block in transit).
+    pub fn inject_bytes(&self, bytes: &mut [u8], rng: &mut impl Rng) -> FaultMap {
+        self.inject_words(bytes, rng)
+    }
+
+    /// Flips bits of IEEE-754 words in place (the OTIS input format).
+    /// Flips in the exponent can legitimately produce infinities or NaNs —
+    /// that is part of the fault model.
+    pub fn inject_f32(&self, vals: &mut [f32], rng: &mut impl Rng) -> FaultMap {
+        let mut map = FaultMap::new();
+        let bits = 32usize;
+        let total = vals.len() * bits;
+        for pos in GeometricBits::new(self.gamma0, total, rng) {
+            let (word, bit) = (pos / bits, (pos % bits) as u32);
+            vals[word] = f32::from_bits(vals[word].to_bits() ^ (1u32 << bit));
+            map.push(word, bit);
+        }
+        map
+    }
+
+    /// Convenience: inject into every sample of an image stack.
+    pub fn inject_stack<T: BitPixel>(
+        &self,
+        stack: &mut ImageStack<T>,
+        rng: &mut impl Rng,
+    ) -> FaultMap {
+        self.inject_words(stack.as_mut_slice(), rng)
+    }
+
+    /// Convenience: inject into every sample of an `f32` cube.
+    pub fn inject_cube(&self, cube: &mut Cube<f32>, rng: &mut impl Rng) -> FaultMap {
+        self.inject_f32(cube.as_mut_slice(), rng)
+    }
+}
+
+/// Iterator over the bit positions selected by i.i.d. sampling with
+/// probability `p` out of `total` positions, via geometric gap lengths.
+struct GeometricBits<'r, R: Rng> {
+    p: f64,
+    total: usize,
+    next_pos: usize,
+    ln_q: f64,
+    rng: &'r mut R,
+}
+
+impl<'r, R: Rng> GeometricBits<'r, R> {
+    fn new(p: f64, total: usize, rng: &'r mut R) -> Self {
+        let ln_q = (1.0 - p).ln(); // -inf when p = 1 → gap always 0
+        let mut it = GeometricBits {
+            p,
+            total,
+            next_pos: 0,
+            ln_q,
+            rng,
+        };
+        it.advance_from(0);
+        it
+    }
+
+    fn advance_from(&mut self, base: usize) {
+        if self.p <= 0.0 {
+            self.next_pos = self.total; // never fires
+        } else if self.p >= 1.0 {
+            self.next_pos = base;
+        } else {
+            // Gap ~ Geometric(p): floor(ln(U) / ln(1-p)), U ∈ (0, 1].
+            let u: f64 = 1.0 - self.rng.random::<f64>(); // (0, 1]
+            let gap = (u.ln() / self.ln_q).floor();
+            // Saturate instead of wrapping for pathological gaps.
+            let gap = if gap.is_finite() && gap >= 0.0 {
+                gap as usize
+            } else {
+                0
+            };
+            self.next_pos = base.saturating_add(gap);
+        }
+    }
+}
+
+impl<R: Rng> Iterator for GeometricBits<'_, R> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.next_pos >= self.total {
+            return None;
+        }
+        let pos = self.next_pos;
+        self.advance_from(pos + 1);
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(Uncorrelated::new(-0.1).is_err());
+        assert!(Uncorrelated::new(1.1).is_err());
+        assert!(Uncorrelated::new(f64::NAN).is_err());
+        assert!(Uncorrelated::new(0.0).is_ok());
+        assert!(Uncorrelated::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn gamma_zero_is_identity() {
+        let mut data = vec![0xABCDu16; 256];
+        let map = Uncorrelated::new(0.0)
+            .unwrap()
+            .inject_words(&mut data, &mut seeded_rng(1));
+        assert!(map.is_empty());
+        assert!(data.iter().all(|&v| v == 0xABCD));
+    }
+
+    #[test]
+    fn gamma_one_flips_every_bit() {
+        let mut data = vec![0x0000u16; 32];
+        let map = Uncorrelated::new(1.0)
+            .unwrap()
+            .inject_words(&mut data, &mut seeded_rng(1));
+        assert_eq!(map.len(), 32 * 16);
+        assert!(data.iter().all(|&v| v == 0xFFFF));
+    }
+
+    #[test]
+    fn empirical_rate_tracks_gamma() {
+        let mut data = vec![0u16; 50_000];
+        let g = 0.02;
+        let map = Uncorrelated::new(g)
+            .unwrap()
+            .inject_words(&mut data, &mut seeded_rng(7));
+        let rate = map.empirical_rate(data.len() * 16);
+        assert!(
+            (rate - g).abs() < 0.002,
+            "empirical rate {rate} too far from Γ₀ = {g}"
+        );
+    }
+
+    #[test]
+    fn map_matches_actual_damage() {
+        let clean = vec![0x5A5Au16; 4096];
+        let mut data = clean.clone();
+        let map = Uncorrelated::new(0.01)
+            .unwrap()
+            .inject_words(&mut data, &mut seeded_rng(3));
+        // Reverting every recorded flip must restore the data exactly.
+        for f in map.iter() {
+            data[f.word] ^= 1 << f.bit;
+        }
+        assert_eq!(data, clean);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = |seed| {
+            let mut d = vec![0x1234u16; 1000];
+            Uncorrelated::new(0.05)
+                .unwrap()
+                .inject_words(&mut d, &mut seeded_rng(seed));
+            d
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn f32_injection_roundtrips_via_map() {
+        let clean = vec![300.25f32; 2048];
+        let mut data = clean.clone();
+        let map = Uncorrelated::new(0.01)
+            .unwrap()
+            .inject_f32(&mut data, &mut seeded_rng(5));
+        assert!(!map.is_empty());
+        for f in map.iter() {
+            data[f.word] = f32::from_bits(data[f.word].to_bits() ^ (1 << f.bit));
+        }
+        // Bitwise comparison (values may pass through NaN intermediate).
+        for (a, b) in data.iter().zip(&clean) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn stack_and_bytes_helpers() {
+        let mut stack: ImageStack<u16> = ImageStack::new(16, 16, 8);
+        let map = Uncorrelated::new(0.01)
+            .unwrap()
+            .inject_stack(&mut stack, &mut seeded_rng(2));
+        assert!(!map.is_empty());
+        let mut bytes = vec![0u8; 2880];
+        let map = Uncorrelated::new(0.001)
+            .unwrap()
+            .inject_bytes(&mut bytes, &mut seeded_rng(2));
+        assert_eq!(
+            map.len(),
+            bytes.iter().map(|b| b.count_ones() as usize).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn flip_positions_are_strictly_increasing() {
+        let mut data = vec![0u16; 10_000];
+        let map = Uncorrelated::new(0.03)
+            .unwrap()
+            .inject_words(&mut data, &mut seeded_rng(11));
+        let pos: Vec<usize> = map.iter().map(|f| f.word * 16 + f.bit as usize).collect();
+        assert!(
+            pos.windows(2).all(|w| w[0] < w[1]),
+            "gap sampler must move forward"
+        );
+    }
+}

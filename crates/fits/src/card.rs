@@ -1,0 +1,356 @@
+//! FITS header cards: 80-byte keyword/value/comment records.
+
+use crate::error::FitsError;
+use crate::CARD_LEN;
+
+/// A card's parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// FITS logical `T` / `F`.
+    Logical(bool),
+    /// A (64-bit) integer.
+    Integer(i64),
+    /// A floating-point number.
+    Real(f64),
+    /// A quoted string (quotes stripped, trailing blanks trimmed).
+    Str(String),
+    /// A commentary or blank card with no value indicator.
+    None,
+}
+
+impl Value {
+    /// The integer payload, if this is an [`Value::Integer`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The logical payload, if this is a [`Value::Logical`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Logical(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// One 80-byte header card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Card {
+    /// The keyword, upper case, at most 8 characters.
+    pub keyword: String,
+    /// The parsed value.
+    pub value: Value,
+    /// The comment after `/`, if any.
+    pub comment: Option<String>,
+}
+
+impl Card {
+    /// A value card.
+    ///
+    /// # Panics
+    /// Panics if the keyword is longer than 8 characters or contains
+    /// characters outside `A-Z`, `0-9`, `-`, `_`.
+    pub fn new(keyword: &str, value: Value) -> Self {
+        assert!(
+            is_valid_keyword(keyword),
+            "invalid FITS keyword {keyword:?}"
+        );
+        Card {
+            keyword: keyword.to_owned(),
+            value,
+            comment: None,
+        }
+    }
+
+    /// A value card with a comment.
+    ///
+    /// # Panics
+    /// Panics on an invalid keyword (see [`Card::new`]).
+    pub fn with_comment(keyword: &str, value: Value, comment: &str) -> Self {
+        let mut c = Card::new(keyword, value);
+        c.comment = Some(comment.to_owned());
+        c
+    }
+
+    /// The `END` card.
+    pub fn end() -> Self {
+        Card {
+            keyword: "END".to_owned(),
+            value: Value::None,
+            comment: None,
+        }
+    }
+
+    /// `true` if this is the `END` card.
+    pub fn is_end(&self) -> bool {
+        self.keyword == "END" && self.value == Value::None
+    }
+
+    /// Renders the card into its fixed 80-byte form.
+    pub fn encode(&self) -> [u8; CARD_LEN] {
+        let mut out = [b' '; CARD_LEN];
+        let kw = self.keyword.as_bytes();
+        out[..kw.len().min(8)].copy_from_slice(&kw[..kw.len().min(8)]);
+        let body = match &self.value {
+            Value::None => String::new(),
+            Value::Logical(b) => format!("= {:>20}", if *b { "T" } else { "F" }),
+            Value::Integer(i) => format!("= {i:>20}"),
+            Value::Real(r) => format!("= {:>20}", format_real(*r)),
+            Value::Str(s) => {
+                // Fixed format: quote at column 11; single quotes doubled.
+                let escaped = s.replace('\'', "''");
+                format!("= '{escaped:<8}'")
+            }
+        };
+        let body = match (&self.comment, body.is_empty()) {
+            (Some(c), false) => format!("{body} / {c}"),
+            (Some(c), true) => format!("  {c}"),
+            (None, _) => body,
+        };
+        let bytes = body.as_bytes();
+        let n = bytes.len().min(CARD_LEN - 8);
+        out[8..8 + n].copy_from_slice(&bytes[..n]);
+        out
+    }
+
+    /// Parses one 80-byte card.
+    ///
+    /// # Errors
+    /// Returns [`FitsError::BadKeyword`] for keywords outside the FITS
+    /// restricted character set and [`FitsError::BadValue`] for unparsable
+    /// value fields.
+    pub fn parse(raw: &[u8; CARD_LEN]) -> Result<Self, FitsError> {
+        let keyword_raw = &raw[..8];
+        let keyword = String::from_utf8_lossy(keyword_raw).trim_end().to_owned();
+        if !keyword.is_empty() && !is_valid_keyword(&keyword) {
+            return Err(FitsError::BadKeyword { keyword });
+        }
+        // Commentary cards and END: no "= " value indicator at col 9-10.
+        let has_value = raw[8] == b'=' && raw[9] == b' ';
+        if !has_value {
+            let comment = String::from_utf8_lossy(&raw[8..]).trim().to_owned();
+            return Ok(Card {
+                keyword,
+                value: Value::None,
+                comment: if comment.is_empty() {
+                    None
+                } else {
+                    Some(comment)
+                },
+            });
+        }
+        let field = String::from_utf8_lossy(&raw[10..]).into_owned();
+        let (value_txt, comment) = split_comment(&field);
+        let trimmed = value_txt.trim();
+        let value = if trimmed.starts_with('\'') {
+            // String: find closing quote (doubled quotes escape).
+            let inner = parse_fits_string(trimmed).ok_or_else(|| FitsError::BadValue {
+                keyword: keyword.clone(),
+                raw: trimmed.to_owned(),
+            })?;
+            Value::Str(inner)
+        } else if trimmed == "T" {
+            Value::Logical(true)
+        } else if trimmed == "F" {
+            Value::Logical(false)
+        } else if trimmed.is_empty() {
+            Value::None
+        } else if let Ok(i) = trimmed.parse::<i64>() {
+            Value::Integer(i)
+        } else if let Ok(r) = trimmed.replace(['D', 'd'], "E").parse::<f64>() {
+            Value::Real(r)
+        } else {
+            return Err(FitsError::BadValue {
+                keyword,
+                raw: trimmed.to_owned(),
+            });
+        };
+        Ok(Card {
+            keyword,
+            value,
+            comment,
+        })
+    }
+}
+
+fn format_real(r: f64) -> String {
+    if r == r.trunc() && r.abs() < 1e15 {
+        format!("{r:.1}")
+    } else {
+        format!("{r:E}")
+    }
+}
+
+fn split_comment(field: &str) -> (&str, Option<String>) {
+    // A `/` outside a quoted string starts the comment.
+    let mut in_quote = false;
+    for (i, ch) in field.char_indices() {
+        match ch {
+            '\'' => in_quote = !in_quote,
+            '/' if !in_quote => {
+                let comment = field[i + 1..].trim().to_owned();
+                return (
+                    &field[..i],
+                    if comment.is_empty() {
+                        None
+                    } else {
+                        Some(comment)
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    (field, None)
+}
+
+fn parse_fits_string(txt: &str) -> Option<String> {
+    let inner = txt.strip_prefix('\'')?;
+    let mut out = String::new();
+    let mut chars = inner.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\'' {
+            if chars.peek() == Some(&'\'') {
+                out.push('\'');
+                chars.next();
+            } else {
+                return Some(out.trim_end().to_owned());
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    None // unterminated
+}
+
+/// `true` if `kw` is a legal FITS keyword: at most 8 characters from
+/// `A-Z 0-9 - _`.
+pub fn is_valid_keyword(kw: &str) -> bool {
+    !kw.is_empty()
+        && kw.len() <= 8
+        && kw
+            .bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(card: Card) -> Card {
+        Card::parse(&card.encode()).unwrap()
+    }
+
+    #[test]
+    fn logical_card_roundtrip() {
+        let c = Card::with_comment("SIMPLE", Value::Logical(true), "conforms to FITS");
+        let back = roundtrip(c.clone());
+        assert_eq!(back.keyword, "SIMPLE");
+        assert_eq!(back.value, Value::Logical(true));
+        assert_eq!(back.comment.as_deref(), Some("conforms to FITS"));
+    }
+
+    #[test]
+    fn integer_card_roundtrip() {
+        let c = Card::new("BITPIX", Value::Integer(16));
+        assert_eq!(roundtrip(c).value, Value::Integer(16));
+        let c = Card::new("BZERO", Value::Integer(32768));
+        assert_eq!(roundtrip(c).value, Value::Integer(32768));
+        let c = Card::new("NAXIS1", Value::Integer(-7));
+        assert_eq!(roundtrip(c).value, Value::Integer(-7));
+    }
+
+    #[test]
+    fn real_card_roundtrip() {
+        let c = Card::new("EXPTIME", Value::Real(1000.0));
+        assert_eq!(roundtrip(c).value, Value::Real(1000.0));
+        let c = Card::new("CRVAL1", Value::Real(1.5e-3));
+        assert_eq!(roundtrip(c).value, Value::Real(1.5e-3));
+    }
+
+    #[test]
+    fn string_card_roundtrip_with_quotes() {
+        let c = Card::new("OBJECT", Value::Str("M31's core".to_owned()));
+        assert_eq!(roundtrip(c).value, Value::Str("M31's core".to_owned()));
+    }
+
+    #[test]
+    fn end_card() {
+        let c = Card::end();
+        let enc = c.encode();
+        assert_eq!(&enc[..3], b"END");
+        assert!(enc[3..].iter().all(|&b| b == b' '));
+        assert!(roundtrip(c).is_end());
+    }
+
+    #[test]
+    fn comment_card_without_value() {
+        let mut raw = [b' '; CARD_LEN];
+        raw[..7].copy_from_slice(b"COMMENT");
+        raw[8..30].copy_from_slice(b"  generated by NGST   ");
+        let c = Card::parse(&raw).unwrap();
+        assert_eq!(c.keyword, "COMMENT");
+        assert_eq!(c.value, Value::None);
+        assert_eq!(c.comment.as_deref(), Some("generated by NGST"));
+    }
+
+    #[test]
+    fn card_is_exactly_80_bytes() {
+        assert_eq!(Card::new("NAXIS", Value::Integer(3)).encode().len(), 80);
+    }
+
+    #[test]
+    fn bad_keyword_rejected() {
+        let mut raw = [b' '; CARD_LEN];
+        raw[..6].copy_from_slice(b"n@xis "); // lower case + symbol
+        raw[8] = b'=';
+        raw[9] = b' ';
+        raw[10] = b'1';
+        assert!(matches!(
+            Card::parse(&raw),
+            Err(FitsError::BadKeyword { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let mut raw = [b' '; CARD_LEN];
+        raw[..6].copy_from_slice(b"BITPIX");
+        raw[8] = b'=';
+        raw[9] = b' ';
+        raw[10..15].copy_from_slice(b"1x6zz");
+        assert!(matches!(Card::parse(&raw), Err(FitsError::BadValue { .. })));
+    }
+
+    #[test]
+    fn exponent_d_notation_parses() {
+        let mut raw = [b' '; CARD_LEN];
+        raw[..5].copy_from_slice(b"SCALE");
+        raw[8] = b'=';
+        raw[9] = b' ';
+        raw[10..17].copy_from_slice(b"1.5D+02");
+        assert_eq!(Card::parse(&raw).unwrap().value, Value::Real(150.0));
+    }
+
+    #[test]
+    fn keyword_validation() {
+        assert!(is_valid_keyword("NAXIS1"));
+        assert!(is_valid_keyword("DATE-OBS"));
+        assert!(is_valid_keyword("A_B"));
+        assert!(!is_valid_keyword(""));
+        assert!(!is_valid_keyword("TOOLONGKEY"));
+        assert!(!is_valid_keyword("naxis"));
+        assert!(!is_valid_keyword("NA XIS"));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Integer(5).as_int(), Some(5));
+        assert_eq!(Value::Logical(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::Integer(5).as_bool(), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for the FITS crate.
+
+use core::fmt;
+
+/// Errors raised while encoding or decoding FITS structures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FitsError {
+    /// The byte stream is shorter than a complete header or data unit.
+    Truncated {
+        /// What was being read when the stream ended.
+        context: &'static str,
+    },
+    /// A mandatory card is missing or out of order.
+    MissingCard {
+        /// The absent keyword.
+        keyword: &'static str,
+    },
+    /// A card's value could not be parsed.
+    BadValue {
+        /// The card's keyword.
+        keyword: String,
+        /// The unparsable raw text.
+        raw: String,
+    },
+    /// The file does not begin with a valid `SIMPLE = T` card.
+    NotFits,
+    /// The BITPIX value is not one of the standard's legal values.
+    BadBitpix {
+        /// The rejected value.
+        value: i64,
+    },
+    /// The axis count or an axis length is out of the legal range.
+    BadAxis {
+        /// Human-readable description of the offense.
+        detail: String,
+    },
+    /// A keyword contains characters outside the FITS restricted set.
+    BadKeyword {
+        /// The offending keyword bytes, lossily decoded.
+        keyword: String,
+    },
+    /// The data unit the header describes does not fit in the file.
+    DataSizeMismatch {
+        /// Bytes the header implies.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitsError::Truncated { context } => {
+                write!(f, "stream truncated while reading {context}")
+            }
+            FitsError::MissingCard { keyword } => write!(f, "mandatory card {keyword} missing"),
+            FitsError::BadValue { keyword, raw } => {
+                write!(f, "card {keyword} has unparsable value {raw:?}")
+            }
+            FitsError::NotFits => write!(f, "not a FITS file (no SIMPLE = T card)"),
+            FitsError::BadBitpix { value } => {
+                write!(f, "BITPIX {value} is not one of 8, 16, 32, 64, -32, -64")
+            }
+            FitsError::BadAxis { detail } => write!(f, "bad axis specification: {detail}"),
+            FitsError::BadKeyword { keyword } => {
+                write!(f, "keyword {keyword:?} contains illegal characters")
+            }
+            FitsError::DataSizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "header implies {expected} data bytes but {actual} are present"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(FitsError::NotFits.to_string().contains("SIMPLE"));
+        assert!(FitsError::BadBitpix { value: 17 }
+            .to_string()
+            .contains("17"));
+        assert!(FitsError::DataSizeMismatch {
+            expected: 100,
+            actual: 50
+        }
+        .to_string()
+        .contains("100"));
+    }
+}

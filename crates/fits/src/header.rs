@@ -1,0 +1,342 @@
+//! FITS headers: ordered card lists padded to 2880-byte blocks.
+
+use crate::card::{Card, Value};
+use crate::error::FitsError;
+use crate::{BLOCK, CARD_LEN};
+
+/// A FITS primary header.
+///
+/// ```
+/// use preflight_fits::FitsHeader;
+///
+/// let header = FitsHeader::new_image(16, &[1024, 1024, 64]);
+/// let bytes = header.encode();
+/// assert_eq!(bytes.len() % 2880, 0);
+/// let (back, consumed) = FitsHeader::parse(&bytes).unwrap();
+/// assert_eq!(consumed, bytes.len());
+/// assert_eq!(back.dims().unwrap(), vec![1024, 1024, 64]);
+/// assert_eq!(back.data_len().unwrap(), 1024 * 1024 * 64 * 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitsHeader {
+    cards: Vec<Card>,
+}
+
+impl FitsHeader {
+    /// The minimal conforming primary header for an image of the given
+    /// BITPIX and axis lengths (`dims` in FITS order: NAXIS1 fastest).
+    ///
+    /// # Panics
+    /// Panics if `bitpix` is not one of the standard values or any axis
+    /// length is zero.
+    pub fn new_image(bitpix: i64, dims: &[usize]) -> Self {
+        assert!(
+            matches!(bitpix, 8 | 16 | 32 | 64 | -32 | -64),
+            "illegal BITPIX {bitpix}"
+        );
+        assert!(dims.iter().all(|&d| d > 0), "axis lengths must be positive");
+        let mut cards = vec![
+            Card::with_comment("SIMPLE", Value::Logical(true), "conforms to FITS standard"),
+            Card::with_comment("BITPIX", Value::Integer(bitpix), "bits per data value"),
+            Card::with_comment("NAXIS", Value::Integer(dims.len() as i64), "number of axes"),
+        ];
+        for (i, &d) in dims.iter().enumerate() {
+            cards.push(Card::new(
+                &format!("NAXIS{}", i + 1),
+                Value::Integer(d as i64),
+            ));
+        }
+        FitsHeader { cards }
+    }
+
+    /// Builds a header from explicit cards (without the END card).
+    pub fn from_cards(cards: Vec<Card>) -> Self {
+        FitsHeader { cards }
+    }
+
+    /// The cards, in order (END excluded).
+    pub fn cards(&self) -> &[Card] {
+        &self.cards
+    }
+
+    /// Appends a card before END.
+    pub fn push(&mut self, card: Card) {
+        self.cards.push(card);
+    }
+
+    /// The first card with the given keyword.
+    pub fn get(&self, keyword: &str) -> Option<&Value> {
+        self.cards
+            .iter()
+            .find(|c| c.keyword == keyword)
+            .map(|c| &c.value)
+    }
+
+    /// The BITPIX value.
+    ///
+    /// # Errors
+    /// Returns [`FitsError::MissingCard`] / [`FitsError::BadBitpix`].
+    pub fn bitpix(&self) -> Result<i64, FitsError> {
+        let v = self
+            .get("BITPIX")
+            .and_then(Value::as_int)
+            .ok_or(FitsError::MissingCard { keyword: "BITPIX" })?;
+        if matches!(v, 8 | 16 | 32 | 64 | -32 | -64) {
+            Ok(v)
+        } else {
+            Err(FitsError::BadBitpix { value: v })
+        }
+    }
+
+    /// The axis lengths (`NAXIS1..NAXISn`).
+    ///
+    /// # Errors
+    /// Returns an error if NAXIS or any NAXISn is missing or out of range.
+    pub fn dims(&self) -> Result<Vec<usize>, FitsError> {
+        let n = self
+            .get("NAXIS")
+            .and_then(Value::as_int)
+            .ok_or(FitsError::MissingCard { keyword: "NAXIS" })?;
+        if !(0..=999).contains(&n) {
+            return Err(FitsError::BadAxis {
+                detail: format!("NAXIS = {n}"),
+            });
+        }
+        let mut dims = Vec::with_capacity(n as usize);
+        for i in 1..=n {
+            let key = format!("NAXIS{i}");
+            let d = self
+                .cards
+                .iter()
+                .find(|c| c.keyword == key)
+                .and_then(|c| c.value.as_int())
+                .ok_or(FitsError::BadAxis {
+                    detail: format!("{key} missing"),
+                })?;
+            if d <= 0 {
+                return Err(FitsError::BadAxis {
+                    detail: format!("{key} = {d}"),
+                });
+            }
+            dims.push(d as usize);
+        }
+        Ok(dims)
+    }
+
+    /// Bytes in the data unit this header describes (before block padding).
+    ///
+    /// # Errors
+    /// Propagates BITPIX/axis errors.
+    pub fn data_len(&self) -> Result<usize, FitsError> {
+        let bitpix = self.bitpix()?;
+        let dims = self.dims()?;
+        let elems: usize = dims.iter().product::<usize>() * usize::from(!dims.is_empty());
+        Ok(elems * (bitpix.unsigned_abs() as usize / 8))
+    }
+
+    /// Encodes the header (cards + END + blank padding) into whole blocks.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BLOCK);
+        for c in &self.cards {
+            out.extend_from_slice(&c.encode());
+        }
+        out.extend_from_slice(&Card::end().encode());
+        while out.len() % BLOCK != 0 {
+            out.push(b' ');
+        }
+        out
+    }
+
+    /// Parses a header from the start of `bytes`, returning it together
+    /// with the number of bytes consumed (a multiple of the block size).
+    ///
+    /// # Errors
+    /// Returns [`FitsError::NotFits`] unless the first card is
+    /// `SIMPLE = T`, [`FitsError::Truncated`] if END is never found, and
+    /// propagates card-level parse errors.
+    pub fn parse(bytes: &[u8]) -> Result<(Self, usize), FitsError> {
+        let mut cards = Vec::new();
+        let mut offset = 0;
+        let mut found_end = false;
+        while !found_end {
+            if offset + BLOCK > bytes.len() {
+                return Err(FitsError::Truncated { context: "header" });
+            }
+            for i in 0..BLOCK / CARD_LEN {
+                let raw: &[u8; CARD_LEN] = bytes
+                    [offset + i * CARD_LEN..offset + (i + 1) * CARD_LEN]
+                    .try_into()
+                    .expect("exact card slice");
+                let card = Card::parse(raw)?;
+                if card.is_end() {
+                    found_end = true;
+                    break;
+                }
+                if !card.keyword.is_empty() || card.comment.is_some() {
+                    cards.push(card);
+                }
+            }
+            offset += BLOCK;
+        }
+        let header = FitsHeader { cards };
+        match header.cards.first() {
+            Some(c) if c.keyword == "SIMPLE" && c.value == Value::Logical(true) => {}
+            _ => return Err(FitsError::NotFits),
+        }
+        Ok((header, offset))
+    }
+
+    /// Parses a header that may be either a primary HDU (`SIMPLE = T`) or
+    /// a standard extension (`XTENSION = 'IMAGE'`), returning the header,
+    /// the bytes consumed and which kind it was.
+    ///
+    /// # Errors
+    /// As [`FitsHeader::parse`], plus [`FitsError::NotFits`] for extension
+    /// types other than `IMAGE`.
+    pub fn parse_any(bytes: &[u8]) -> Result<(Self, usize, HduKind), FitsError> {
+        // Reuse the card scanner by peeking at the first card ourselves.
+        if bytes.len() < CARD_LEN {
+            return Err(FitsError::Truncated { context: "header" });
+        }
+        let first: &[u8; CARD_LEN] = bytes[..CARD_LEN].try_into().expect("exact card");
+        let card = Card::parse(first)?;
+        let kind = match (card.keyword.as_str(), &card.value) {
+            ("SIMPLE", Value::Logical(true)) => HduKind::Primary,
+            ("XTENSION", Value::Str(s)) if s.trim() == "IMAGE" => HduKind::ImageExtension,
+            _ => return Err(FitsError::NotFits),
+        };
+        // Scan blocks for END exactly as `parse` does.
+        let mut cards = Vec::new();
+        let mut offset = 0;
+        let mut found_end = false;
+        while !found_end {
+            if offset + BLOCK > bytes.len() {
+                return Err(FitsError::Truncated { context: "header" });
+            }
+            for i in 0..BLOCK / CARD_LEN {
+                let raw: &[u8; CARD_LEN] = bytes
+                    [offset + i * CARD_LEN..offset + (i + 1) * CARD_LEN]
+                    .try_into()
+                    .expect("exact card slice");
+                let card = Card::parse(raw)?;
+                if card.is_end() {
+                    found_end = true;
+                    break;
+                }
+                if !card.keyword.is_empty() || card.comment.is_some() {
+                    cards.push(card);
+                }
+            }
+            offset += BLOCK;
+        }
+        Ok((FitsHeader { cards }, offset, kind))
+    }
+}
+
+/// Which kind of HDU a header introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HduKind {
+    /// The primary HDU (`SIMPLE = T`).
+    Primary,
+    /// A standard `IMAGE` extension.
+    ImageExtension,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_image_header_roundtrip() {
+        let h = FitsHeader::new_image(16, &[128, 64, 8]);
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), BLOCK);
+        let (back, consumed) = FitsHeader::parse(&bytes).unwrap();
+        assert_eq!(consumed, BLOCK);
+        assert_eq!(back.bitpix().unwrap(), 16);
+        assert_eq!(back.dims().unwrap(), vec![128, 64, 8]);
+        assert_eq!(back.data_len().unwrap(), 128 * 64 * 8 * 2);
+    }
+
+    #[test]
+    fn long_header_spans_blocks() {
+        let mut h = FitsHeader::new_image(16, &[4]);
+        for i in 0..40 {
+            h.push(Card::new(&format!("KEY{i}"), Value::Integer(i)));
+        }
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), 2 * BLOCK);
+        let (back, consumed) = FitsHeader::parse(&bytes).unwrap();
+        assert_eq!(consumed, 2 * BLOCK);
+        assert_eq!(back.get("KEY39").and_then(Value::as_int), Some(39));
+    }
+
+    #[test]
+    fn rejects_non_fits_start() {
+        let mut h = FitsHeader::new_image(16, &[4]).encode();
+        h[..6].copy_from_slice(b"BITPIX");
+        assert!(matches!(
+            FitsHeader::parse(&h),
+            Err(FitsError::NotFits) | Err(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_header_detected() {
+        let h = FitsHeader::new_image(16, &[4]).encode();
+        assert_eq!(
+            FitsHeader::parse(&h[..100]),
+            Err(FitsError::Truncated { context: "header" })
+        );
+    }
+
+    #[test]
+    fn missing_end_detected() {
+        let h = FitsHeader::new_image(16, &[4]);
+        let mut bytes = h.encode();
+        // Overwrite END with a blank card: parser must keep looking and
+        // run out of blocks.
+        let end_pos = bytes
+            .chunks(CARD_LEN)
+            .position(|c| &c[..3] == b"END")
+            .unwrap()
+            * CARD_LEN;
+        bytes[end_pos..end_pos + 3].copy_from_slice(b"   ");
+        assert_eq!(
+            FitsHeader::parse(&bytes),
+            Err(FitsError::Truncated { context: "header" })
+        );
+    }
+
+    #[test]
+    fn bitpix_validation() {
+        let mut h = FitsHeader::new_image(16, &[4]);
+        h.cards[1] = Card::new("BITPIX", Value::Integer(17));
+        assert_eq!(h.bitpix(), Err(FitsError::BadBitpix { value: 17 }));
+    }
+
+    #[test]
+    fn dims_validation() {
+        let h = FitsHeader::from_cards(vec![
+            Card::new("SIMPLE", Value::Logical(true)),
+            Card::new("BITPIX", Value::Integer(16)),
+            Card::new("NAXIS", Value::Integer(2)),
+            Card::new("NAXIS1", Value::Integer(8)),
+            // NAXIS2 missing
+        ]);
+        assert!(matches!(h.dims(), Err(FitsError::BadAxis { .. })));
+    }
+
+    #[test]
+    fn zero_axes_is_legal_empty_data() {
+        let h = FitsHeader::new_image(16, &[]);
+        assert_eq!(h.dims().unwrap(), Vec::<usize>::new());
+        assert_eq!(h.data_len().unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal BITPIX")]
+    fn constructor_rejects_bad_bitpix() {
+        let _ = FitsHeader::new_image(12, &[4]);
+    }
+}

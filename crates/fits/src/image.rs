@@ -1,0 +1,337 @@
+//! Encoding and decoding of 16-bit image data units.
+//!
+//! Unsigned 16-bit detector data is stored the standard FITS way: BITPIX=16
+//! signed big-endian integers with `BZERO = 32768`, `BSCALE = 1`, so the
+//! physical value is `raw + 32768`.
+
+use crate::card::{Card, Value};
+use crate::error::FitsError;
+use crate::header::FitsHeader;
+use crate::BLOCK;
+use preflight_core::{Image, ImageStack};
+
+const BZERO_U16: i64 = 32_768;
+
+fn push_scaling(header: &mut FitsHeader) {
+    header.push(Card::with_comment(
+        "BZERO",
+        Value::Integer(BZERO_U16),
+        "offset for unsigned 16-bit data",
+    ));
+    header.push(Card::with_comment(
+        "BSCALE",
+        Value::Integer(1),
+        "default scaling",
+    ));
+}
+
+fn encode_samples(out: &mut Vec<u8>, samples: &[u16]) {
+    out.reserve(samples.len() * 2);
+    for &v in samples {
+        let raw = (i32::from(v) - BZERO_U16 as i32) as i16;
+        out.extend_from_slice(&raw.to_be_bytes());
+    }
+    while !out.len().is_multiple_of(BLOCK) {
+        out.push(0);
+    }
+}
+
+fn decode_samples(bytes: &[u8], count: usize) -> Result<Vec<u16>, FitsError> {
+    if bytes.len() < count * 2 {
+        return Err(FitsError::DataSizeMismatch {
+            expected: count * 2,
+            actual: bytes.len(),
+        });
+    }
+    Ok(bytes[..count * 2]
+        .chunks_exact(2)
+        .map(|c| {
+            let raw = i16::from_be_bytes([c[0], c[1]]);
+            (i32::from(raw) + BZERO_U16 as i32) as u16
+        })
+        .collect())
+}
+
+/// Serializes a single 2-D image as a complete FITS file.
+pub fn write_image(img: &Image<u16>) -> Vec<u8> {
+    let mut header = FitsHeader::new_image(16, &[img.width(), img.height()]);
+    push_scaling(&mut header);
+    let mut out = header.encode();
+    encode_samples(&mut out, img.as_slice());
+    out
+}
+
+/// Serializes a temporal stack as a 3-axis FITS file
+/// (`NAXIS1 = width`, `NAXIS2 = height`, `NAXIS3 = frames`).
+pub fn write_stack(stack: &ImageStack<u16>) -> Vec<u8> {
+    let mut header = FitsHeader::new_image(16, &[stack.width(), stack.height(), stack.frames()]);
+    push_scaling(&mut header);
+    header.push(Card::with_comment(
+        "INSTRUME",
+        Value::Str("NGST-SIM".to_owned()),
+        "simulated NGST detector readouts",
+    ));
+    let mut out = header.encode();
+    encode_samples(&mut out, stack.as_slice());
+    out
+}
+
+/// Reads a 2-D FITS image written by [`write_image`].
+///
+/// # Errors
+/// Returns FITS structural errors, [`FitsError::BadAxis`] if the file is not
+/// 2-D, or [`FitsError::BadBitpix`] for non-16-bit data.
+pub fn read_image(bytes: &[u8]) -> Result<Image<u16>, FitsError> {
+    let (header, offset) = FitsHeader::parse(bytes)?;
+    expect_bitpix16(&header)?;
+    let dims = header.dims()?;
+    let [w, h] = dims[..] else {
+        return Err(FitsError::BadAxis {
+            detail: format!("expected 2 axes, got {}", dims.len()),
+        });
+    };
+    let data = decode_samples(&bytes[offset..], w * h)?;
+    Ok(Image::from_vec(w, h, data).expect("dims validated against data length"))
+}
+
+/// Reads a 3-D FITS stack written by [`write_stack`].
+///
+/// # Errors
+/// Returns FITS structural errors, [`FitsError::BadAxis`] if the file is not
+/// 3-D, or [`FitsError::BadBitpix`] for non-16-bit data.
+pub fn read_stack(bytes: &[u8]) -> Result<ImageStack<u16>, FitsError> {
+    let (header, offset) = FitsHeader::parse(bytes)?;
+    expect_bitpix16(&header)?;
+    let dims = header.dims()?;
+    let [w, h, n] = dims[..] else {
+        return Err(FitsError::BadAxis {
+            detail: format!("expected 3 axes, got {}", dims.len()),
+        });
+    };
+    let data = decode_samples(&bytes[offset..], w * h * n)?;
+    Ok(ImageStack::from_vec(w, h, n, data).expect("dims validated against data length"))
+}
+
+fn expect_bitpix16(header: &FitsHeader) -> Result<(), FitsError> {
+    match header.bitpix()? {
+        16 => Ok(()),
+        other => Err(FitsError::BadBitpix { value: other }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 32-bit IEEE-754 data units (BITPIX = -32): the OTIS input and product
+// format (§7.1: "the data is stored in the form of simple 32-bit floating
+// point representation").
+// ---------------------------------------------------------------------------
+
+fn encode_f32(out: &mut Vec<u8>, samples: &[f32]) {
+    out.reserve(samples.len() * 4);
+    for &v in samples {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    while !out.len().is_multiple_of(BLOCK) {
+        out.push(0);
+    }
+}
+
+fn decode_f32(bytes: &[u8], count: usize) -> Result<Vec<f32>, FitsError> {
+    if bytes.len() < count * 4 {
+        return Err(FitsError::DataSizeMismatch {
+            expected: count * 4,
+            actual: bytes.len(),
+        });
+    }
+    Ok(bytes[..count * 4]
+        .chunks_exact(4)
+        .map(|c| f32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn expect_bitpix_f32(header: &FitsHeader) -> Result<(), FitsError> {
+    match header.bitpix()? {
+        -32 => Ok(()),
+        other => Err(FitsError::BadBitpix { value: other }),
+    }
+}
+
+/// Serializes an `f32` radiance/temperature plane as a BITPIX = −32 FITS
+/// file.
+pub fn write_image_f32(img: &Image<f32>) -> Vec<u8> {
+    let header = FitsHeader::new_image(-32, &[img.width(), img.height()]);
+    let mut out = header.encode();
+    encode_f32(&mut out, img.as_slice());
+    out
+}
+
+/// Reads a 2-D BITPIX = −32 FITS image written by [`write_image_f32`].
+///
+/// # Errors
+/// Returns FITS structural errors, [`FitsError::BadAxis`] for non-2-D files
+/// or [`FitsError::BadBitpix`] for non-float data.
+pub fn read_image_f32(bytes: &[u8]) -> Result<Image<f32>, FitsError> {
+    let (header, offset) = FitsHeader::parse(bytes)?;
+    expect_bitpix_f32(&header)?;
+    let dims = header.dims()?;
+    let [w, h] = dims[..] else {
+        return Err(FitsError::BadAxis {
+            detail: format!("expected 2 axes, got {}", dims.len()),
+        });
+    };
+    let data = decode_f32(&bytes[offset..], w * h)?;
+    Ok(Image::from_vec(w, h, data).expect("dims validated against data length"))
+}
+
+/// Serializes an OTIS radiance cube as a 3-axis BITPIX = −32 FITS file
+/// (`NAXIS1 = width`, `NAXIS2 = height`, `NAXIS3 = bands`).
+pub fn write_cube_f32(cube: &preflight_core::Cube<f32>) -> Vec<u8> {
+    let mut header = FitsHeader::new_image(-32, &[cube.width(), cube.height(), cube.bands()]);
+    header.push(Card::with_comment(
+        "INSTRUME",
+        Value::Str("OTIS-SIM".to_owned()),
+        "simulated OTIS radiance cube",
+    ));
+    let mut out = header.encode();
+    encode_f32(&mut out, cube.as_slice());
+    out
+}
+
+/// Reads a 3-D BITPIX = −32 FITS cube written by [`write_cube_f32`].
+///
+/// # Errors
+/// Returns FITS structural errors, [`FitsError::BadAxis`] for non-3-D files
+/// or [`FitsError::BadBitpix`] for non-float data.
+pub fn read_cube_f32(bytes: &[u8]) -> Result<preflight_core::Cube<f32>, FitsError> {
+    let (header, offset) = FitsHeader::parse(bytes)?;
+    expect_bitpix_f32(&header)?;
+    let dims = header.dims()?;
+    let [w, h, b] = dims[..] else {
+        return Err(FitsError::BadAxis {
+            detail: format!("expected 3 axes, got {}", dims.len()),
+        });
+    };
+    let data = decode_f32(&bytes[offset..], w * h * b)?;
+    Ok(preflight_core::Cube::from_vec(w, h, b, data).expect("dims validated against data length"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrip_preserves_every_pixel() {
+        let mut img: Image<u16> = Image::new(33, 17); // odd sizes exercise padding
+        for y in 0..17 {
+            for x in 0..33 {
+                img.set(x, y, (x * 1999 + y * 77) as u16);
+            }
+        }
+        let bytes = write_image(&img);
+        assert_eq!(bytes.len() % BLOCK, 0);
+        assert_eq!(read_image(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn stack_roundtrip() {
+        let mut st: ImageStack<u16> = ImageStack::new(16, 8, 5);
+        for (i, v) in st.as_mut_slice().iter_mut().enumerate() {
+            *v = (i * 7919) as u16;
+        }
+        let bytes = write_stack(&st);
+        assert_eq!(read_stack(&bytes).unwrap(), st);
+    }
+
+    #[test]
+    fn extreme_values_survive_bzero_convention() {
+        let img = Image::from_vec(4, 1, vec![0u16, 1, 32_768, u16::MAX]).unwrap();
+        assert_eq!(read_image(&write_image(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn stack_reader_rejects_2d_file() {
+        let img: Image<u16> = Image::new(4, 4);
+        assert!(matches!(
+            read_stack(&write_image(&img)),
+            Err(FitsError::BadAxis { .. })
+        ));
+    }
+
+    #[test]
+    fn image_reader_rejects_3d_file() {
+        let st: ImageStack<u16> = ImageStack::new(4, 4, 2);
+        assert!(matches!(
+            read_image(&write_stack(&st)),
+            Err(FitsError::BadAxis { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_data_unit_detected() {
+        let st: ImageStack<u16> = ImageStack::new(8, 8, 4);
+        let bytes = write_stack(&st);
+        assert!(matches!(
+            read_stack(&bytes[..bytes.len() - BLOCK]),
+            Err(FitsError::DataSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn f32_image_roundtrip_preserves_bits() {
+        let mut img: Image<f32> = Image::new(9, 5);
+        for (i, v) in img.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 - 20.0) * 1.25 + 0.1;
+        }
+        img.set(0, 0, f32::NAN);
+        img.set(1, 0, f32::INFINITY);
+        img.set(2, 0, -0.0);
+        let bytes = write_image_f32(&img);
+        assert_eq!(bytes.len() % BLOCK, 0);
+        let back = read_image_f32(&bytes).unwrap();
+        for (a, b) in back.as_slice().iter().zip(img.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_cube_roundtrip() {
+        let mut cube: preflight_core::Cube<f32> = preflight_core::Cube::new(6, 4, 3);
+        for (i, v) in cube.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32).sin() * 10.0;
+        }
+        let bytes = write_cube_f32(&cube);
+        assert_eq!(read_cube_f32(&bytes).unwrap(), cube);
+    }
+
+    #[test]
+    fn f32_readers_reject_integer_files_and_vice_versa() {
+        let u16_img: Image<u16> = Image::new(4, 4);
+        assert!(matches!(
+            read_image_f32(&write_image(&u16_img)),
+            Err(FitsError::BadBitpix { value: 16 })
+        ));
+        let f32_img: Image<f32> = Image::new(4, 4);
+        assert!(matches!(
+            read_image(&write_image_f32(&f32_img)),
+            Err(FitsError::BadBitpix { value: -32 })
+        ));
+    }
+
+    #[test]
+    fn f32_cube_truncation_detected() {
+        let cube: preflight_core::Cube<f32> = preflight_core::Cube::new(32, 32, 4);
+        let bytes = write_cube_f32(&cube);
+        assert!(matches!(
+            read_cube_f32(&bytes[..bytes.len() - BLOCK]),
+            Err(FitsError::DataSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn header_carries_scaling_cards() {
+        let img: Image<u16> = Image::new(4, 4);
+        let bytes = write_image(&img);
+        let (header, _) = FitsHeader::parse(&bytes).unwrap();
+        assert_eq!(header.get("BZERO").and_then(Value::as_int), Some(32_768));
+        assert_eq!(header.get("BSCALE").and_then(Value::as_int), Some(1));
+    }
+}

@@ -1,0 +1,57 @@
+//! # preflight-fits
+//!
+//! A minimal but real FITS (Flexible Image Transport System, NOST 100-2.0)
+//! reader/writer, plus the **bit-flip-aware header sanity analysis** that is
+//! the paper's Λ = 0 preprocessing mode (§3.2).
+//!
+//! NGST inputs are stored as FITS images — Header + Data Units whose header
+//! cards the master and slave nodes decode to interpret the data bytes. The
+//! paper stresses that *"a data-fault caused by a bitflip occurring in the
+//! header region of a FITS file has the potential to cause catastrophic
+//! failures"*: a misread `NAXIS` or `BITPIX` corrupts the entire data unit
+//! (§2.2.1). [`sanity::analyze`] detects such damage and — because single
+//! bit-flips move an ASCII character a Hamming distance of 1 away — repairs
+//! keywords and values by nearest-candidate matching before the header is
+//! trusted.
+//!
+//! # Example
+//!
+//! ```
+//! use preflight_core::ImageStack;
+//! use preflight_fits::{read_stack, write_stack};
+//!
+//! let mut stack: ImageStack<u16> = ImageStack::new(8, 4, 3);
+//! stack.set(2, 1, 0, 27_000);
+//! let bytes = write_stack(&stack);
+//! assert_eq!(bytes.len() % 2880, 0, "FITS files are 2880-byte blocks");
+//! let back = read_stack(&bytes).unwrap();
+//! assert_eq!(back, stack);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod card;
+pub mod checksum;
+pub mod error;
+pub mod header;
+pub mod image;
+pub mod multi;
+pub mod sanity;
+
+pub use card::{Card, Value};
+pub use checksum::{add_checksums, verify as verify_checksums, ChecksumStatus};
+pub use error::FitsError;
+pub use header::{FitsHeader, HduKind};
+pub use image::{
+    read_cube_f32, read_image, read_image_f32, read_stack, write_cube_f32, write_image,
+    write_image_f32, write_stack,
+};
+pub use multi::{read_hdus, write_hdus, Hdu, HduData};
+pub use sanity::{analyze, Finding, SanityReport};
+
+/// The FITS logical-record (block) size in bytes.
+pub const BLOCK: usize = 2880;
+
+/// The length of one header card in bytes.
+pub const CARD_LEN: usize = 80;

@@ -1,0 +1,318 @@
+//! Multi-HDU FITS files: a primary HDU followed by `IMAGE` extensions.
+//!
+//! The NGST master downlinks several products per baseline — the
+//! re-integrated counts frame, the rate (science) image and the repair
+//! (provenance) map. The standard way to ship them together is one FITS
+//! file with named `IMAGE` extensions, which is exactly what this module
+//! writes and reads.
+
+use crate::card::{Card, Value};
+use crate::error::FitsError;
+use crate::header::{FitsHeader, HduKind};
+use crate::BLOCK;
+use preflight_core::Image;
+
+/// The pixel payload of one HDU.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HduData {
+    /// Unsigned 16-bit raster (stored as BITPIX 16 with `BZERO = 32768`).
+    U16(Image<u16>),
+    /// IEEE-754 raster (BITPIX −32).
+    F32(Image<f32>),
+}
+
+impl HduData {
+    fn bitpix(&self) -> i64 {
+        match self {
+            HduData::U16(_) => 16,
+            HduData::F32(_) => -32,
+        }
+    }
+
+    fn dims(&self) -> [usize; 2] {
+        match self {
+            HduData::U16(i) => [i.width(), i.height()],
+            HduData::F32(i) => [i.width(), i.height()],
+        }
+    }
+}
+
+/// One header-and-data unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hdu {
+    /// The `EXTNAME` (written for extensions; optional on the primary).
+    pub name: Option<String>,
+    /// The raster.
+    pub data: HduData,
+}
+
+impl Hdu {
+    /// A named HDU.
+    pub fn named(name: &str, data: HduData) -> Self {
+        Hdu {
+            name: Some(name.to_owned()),
+            data,
+        }
+    }
+}
+
+fn encode_data(out: &mut Vec<u8>, data: &HduData) {
+    match data {
+        HduData::U16(img) => {
+            for &v in img.as_slice() {
+                let raw = (i32::from(v) - 32_768) as i16;
+                out.extend_from_slice(&raw.to_be_bytes());
+            }
+        }
+        HduData::F32(img) => {
+            for &v in img.as_slice() {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+    }
+    while !out.len().is_multiple_of(BLOCK) {
+        out.push(0);
+    }
+}
+
+/// Serializes a primary HDU plus `IMAGE` extensions into one FITS file.
+pub fn write_hdus(primary: &Hdu, extensions: &[Hdu]) -> Vec<u8> {
+    let mut out = Vec::new();
+
+    // Primary header.
+    let dims = primary.data.dims();
+    let mut header = FitsHeader::new_image(primary.data.bitpix(), &dims);
+    header.push(Card::with_comment(
+        "EXTEND",
+        Value::Logical(true),
+        "extensions may follow",
+    ));
+    if matches!(primary.data, HduData::U16(_)) {
+        header.push(Card::new("BZERO", Value::Integer(32_768)));
+        header.push(Card::new("BSCALE", Value::Integer(1)));
+    }
+    if let Some(name) = &primary.name {
+        header.push(Card::new("EXTNAME", Value::Str(name.clone())));
+    }
+    out.extend_from_slice(&header.encode());
+    encode_data(&mut out, &primary.data);
+
+    // Extensions.
+    for ext in extensions {
+        let dims = ext.data.dims();
+        let mut cards = vec![
+            Card::with_comment(
+                "XTENSION",
+                Value::Str("IMAGE".to_owned()),
+                "standard image extension",
+            ),
+            Card::new("BITPIX", Value::Integer(ext.data.bitpix())),
+            Card::new("NAXIS", Value::Integer(2)),
+            Card::new("NAXIS1", Value::Integer(dims[0] as i64)),
+            Card::new("NAXIS2", Value::Integer(dims[1] as i64)),
+            Card::with_comment("PCOUNT", Value::Integer(0), "no varying arrays"),
+            Card::with_comment("GCOUNT", Value::Integer(1), "one group"),
+        ];
+        if matches!(ext.data, HduData::U16(_)) {
+            cards.push(Card::new("BZERO", Value::Integer(32_768)));
+            cards.push(Card::new("BSCALE", Value::Integer(1)));
+        }
+        if let Some(name) = &ext.name {
+            cards.push(Card::new("EXTNAME", Value::Str(name.clone())));
+        }
+        out.extend_from_slice(&FitsHeader::from_cards(cards).encode());
+        encode_data(&mut out, &ext.data);
+    }
+    out
+}
+
+fn decode_hdu(header: &FitsHeader, bytes: &[u8]) -> Result<(Hdu, usize), FitsError> {
+    let bitpix = header.bitpix()?;
+    let dims = header.dims()?;
+    let [w, h] = dims[..] else {
+        return Err(FitsError::BadAxis {
+            detail: format!("expected 2 axes, got {}", dims.len()),
+        });
+    };
+    let count = w * h;
+    let name = match header.get("EXTNAME") {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let (data, raw_len) = match bitpix {
+        16 => {
+            if bytes.len() < count * 2 {
+                return Err(FitsError::DataSizeMismatch {
+                    expected: count * 2,
+                    actual: bytes.len(),
+                });
+            }
+            let v: Vec<u16> = bytes[..count * 2]
+                .chunks_exact(2)
+                .map(|c| {
+                    let raw = i16::from_be_bytes([c[0], c[1]]);
+                    (i32::from(raw) + 32_768) as u16
+                })
+                .collect();
+            (
+                HduData::U16(Image::from_vec(w, h, v).expect("validated length")),
+                count * 2,
+            )
+        }
+        -32 => {
+            if bytes.len() < count * 4 {
+                return Err(FitsError::DataSizeMismatch {
+                    expected: count * 4,
+                    actual: bytes.len(),
+                });
+            }
+            let v: Vec<f32> = bytes[..count * 4]
+                .chunks_exact(4)
+                .map(|c| f32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            (
+                HduData::F32(Image::from_vec(w, h, v).expect("validated length")),
+                count * 4,
+            )
+        }
+        other => return Err(FitsError::BadBitpix { value: other }),
+    };
+    let padded = raw_len.div_ceil(BLOCK) * BLOCK;
+    Ok((Hdu { name, data }, padded))
+}
+
+/// Reads a multi-HDU file written by [`write_hdus`], returning the primary
+/// HDU followed by every extension.
+///
+/// # Errors
+/// Returns FITS structural errors; extension types other than `IMAGE` are
+/// rejected.
+pub fn read_hdus(bytes: &[u8]) -> Result<Vec<Hdu>, FitsError> {
+    let mut out = Vec::new();
+    let mut offset = 0;
+    while offset < bytes.len() {
+        let (header, consumed, kind) = FitsHeader::parse_any(&bytes[offset..])?;
+        if out.is_empty() && kind != HduKind::Primary {
+            return Err(FitsError::NotFits);
+        }
+        offset += consumed;
+        let (hdu, data_len) = decode_hdu(&header, &bytes[offset..])?;
+        // The final HDU's padding may be truncated; never step past the
+        // buffer end.
+        offset = (offset + data_len).min(bytes.len());
+        out.push(hdu);
+        // Trailing all-zero padding (defensive): stop at a block of zeros.
+        if bytes[offset..].iter().all(|&b| b == 0) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u16_img(w: usize, h: usize, base: u16) -> Image<u16> {
+        let mut img = Image::new(w, h);
+        for (i, v) in img.as_mut_slice().iter_mut().enumerate() {
+            *v = base.wrapping_add(i as u16);
+        }
+        img
+    }
+
+    fn f32_img(w: usize, h: usize) -> Image<f32> {
+        let mut img = Image::new(w, h);
+        for (i, v) in img.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32 * 0.25 - 3.0;
+        }
+        img
+    }
+
+    #[test]
+    fn roundtrip_three_products() {
+        let primary = Hdu::named("INTEGRATED", HduData::U16(u16_img(24, 16, 20_000)));
+        let rate = Hdu::named("RATE", HduData::F32(f32_img(24, 16)));
+        let repairs = Hdu::named("REPAIRS", HduData::U16(u16_img(24, 16, 0)));
+        let bytes = write_hdus(&primary, &[rate.clone(), repairs.clone()]);
+        assert_eq!(bytes.len() % BLOCK, 0);
+
+        let hdus = read_hdus(&bytes).unwrap();
+        assert_eq!(hdus.len(), 3);
+        assert_eq!(hdus[0], primary);
+        assert_eq!(hdus[1], rate);
+        assert_eq!(hdus[2], repairs);
+    }
+
+    #[test]
+    fn primary_only_roundtrip() {
+        let primary = Hdu {
+            name: None,
+            data: HduData::F32(f32_img(9, 5)),
+        };
+        let bytes = write_hdus(&primary, &[]);
+        let hdus = read_hdus(&bytes).unwrap();
+        assert_eq!(hdus.len(), 1);
+        assert_eq!(hdus[0], primary);
+    }
+
+    #[test]
+    fn primary_remains_readable_by_single_hdu_readers() {
+        // A plain-u16 primary written by `write_hdus` parses with the
+        // single-HDU reader too (modulo the extension tail).
+        let primary = Hdu {
+            name: None,
+            data: HduData::U16(u16_img(8, 8, 100)),
+        };
+        let ext = Hdu::named("RATE", HduData::F32(f32_img(8, 8)));
+        let bytes = write_hdus(&primary, &[ext]);
+        let img = crate::image::read_image(&bytes).unwrap();
+        assert_eq!(HduData::U16(img), primary.data);
+    }
+
+    #[test]
+    fn extension_first_is_rejected() {
+        let primary = Hdu {
+            name: None,
+            data: HduData::U16(u16_img(4, 4, 0)),
+        };
+        let ext = Hdu::named("X", HduData::U16(u16_img(4, 4, 0)));
+        let bytes = write_hdus(&primary, &[ext]);
+        // Chop off the primary: the file now begins with an XTENSION header.
+        let ext_start = bytes.len() / 2;
+        assert!(matches!(
+            read_hdus(&bytes[ext_start..]),
+            Err(FitsError::NotFits)
+        ));
+    }
+
+    #[test]
+    fn truncated_extension_detected() {
+        let primary = Hdu {
+            name: None,
+            data: HduData::U16(u16_img(16, 16, 0)),
+        };
+        let ext = Hdu::named("RATE", HduData::F32(f32_img(16, 16)));
+        let bytes = write_hdus(&primary, &[ext]);
+        assert!(read_hdus(&bytes[..bytes.len() - BLOCK]).is_err());
+    }
+
+    #[test]
+    fn f32_extension_preserves_bits() {
+        let mut img = f32_img(6, 6);
+        img.set(0, 0, f32::NAN);
+        img.set(1, 0, -0.0);
+        let primary = Hdu {
+            name: None,
+            data: HduData::U16(u16_img(6, 6, 9)),
+        };
+        let bytes = write_hdus(&primary, &[Hdu::named("W", HduData::F32(img.clone()))]);
+        let hdus = read_hdus(&bytes).unwrap();
+        let HduData::F32(back) = &hdus[1].data else {
+            panic!("wrong type")
+        };
+        for (a, b) in back.as_slice().iter().zip(img.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

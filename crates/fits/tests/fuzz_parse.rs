@@ -1,0 +1,126 @@
+//! Parser and sanity-analyzer robustness: hostile bytes must never panic.
+//!
+//! The FITS reader sits directly on the downlink path — in the paper's
+//! threat model its *input is the fault* — so total robustness to arbitrary
+//! damage is a functional requirement, not hygiene.
+
+use preflight_fits::{analyze, read_image, read_stack, verify_checksums, FitsHeader};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary bytes: every entry point returns, never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..6000)) {
+        let _ = FitsHeader::parse(&bytes);
+        let _ = read_image(&bytes);
+        let _ = read_stack(&bytes);
+        let _ = verify_checksums(&bytes);
+        let report = analyze(&bytes);
+        // The analyzer must never grow the file.
+        prop_assert_eq!(report.repaired.len(), bytes.len());
+    }
+
+    /// Randomly flipped valid files: the analyzer terminates and its
+    /// repaired output still has the same length; readers never panic.
+    #[test]
+    fn shotgunned_valid_file_never_panics(
+        seed in any::<u64>(),
+        n_flips in 0usize..64,
+    ) {
+        use preflight_core::ImageStack;
+        let stack: ImageStack<u16> = ImageStack::new(8, 8, 2);
+        let mut bytes = preflight_fits::write_stack(&stack);
+        let mut state = seed | 1;
+        for _ in 0..n_flips {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let bit = (state >> 33) as usize % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+        let report = analyze(&bytes);
+        prop_assert_eq!(report.repaired.len(), bytes.len());
+        let _ = read_stack(&report.repaired);
+        let _ = verify_checksums(&report.repaired);
+    }
+
+    /// The multi-HDU reader never panics on arbitrary bytes or on mutated
+    /// product files.
+    #[test]
+    fn multi_hdu_reader_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..9000),
+    ) {
+        let _ = preflight_fits::read_hdus(&bytes);
+    }
+
+    /// Shotgunned valid product files never panic the multi-HDU reader.
+    #[test]
+    fn shotgunned_products_never_panic(seed in any::<u64>(), n_flips in 0usize..48) {
+        use preflight_core::Image;
+        use preflight_fits::{write_hdus, Hdu, HduData};
+        let primary = Hdu {
+            name: None,
+            data: HduData::U16(Image::filled(8, 8, 7u16)),
+        };
+        let ext = Hdu::named("RATE", HduData::F32(Image::filled(8, 8, 1.5f32)));
+        let mut bytes = write_hdus(&primary, &[ext]);
+        let mut state = seed | 1;
+        for _ in 0..n_flips {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let bit = (state >> 33) as usize % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+        let _ = preflight_fits::read_hdus(&bytes);
+        // Truncations too.
+        let cut = (state as usize) % (bytes.len() + 1);
+        let _ = preflight_fits::read_hdus(&bytes[..cut]);
+    }
+
+    /// Header-block-only inputs (no data) are handled gracefully.
+    #[test]
+    fn bare_blocks_never_panic(fill in any::<u8>(), blocks in 0usize..4) {
+        let bytes = vec![fill; blocks * 2880];
+        let _ = FitsHeader::parse(&bytes);
+        let _ = analyze(&bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The checksum ASCII encoding is alphanumeric and 16 characters for
+    /// every possible 32-bit value.
+    #[test]
+    fn checksum_encoding_always_alphanumeric(value in any::<u32>()) {
+        let s = preflight_fits::checksum::encode_checksum(value);
+        prop_assert_eq!(s.len(), 16);
+        prop_assert!(s.bytes().all(|b| b.is_ascii_alphanumeric()), "{}", s);
+    }
+
+    /// Protect-then-verify holds for arbitrary stack contents, and any
+    /// single data-bit flip is classified as data corruption.
+    #[test]
+    fn checksum_protect_verify_roundtrip(seed in any::<u64>(), flip in any::<u16>()) {
+        use preflight_core::ImageStack;
+        use preflight_fits::{add_checksums, verify_checksums, ChecksumStatus};
+        let mut stack: ImageStack<u16> = ImageStack::new(8, 4, 2);
+        let mut state = seed | 1;
+        for v in stack.as_mut_slice() {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            *v = (state >> 48) as u16;
+        }
+        let protected = add_checksums(&preflight_fits::write_stack(&stack)).unwrap();
+        prop_assert_eq!(verify_checksums(&protected).unwrap(), ChecksumStatus::Valid);
+
+        let mut damaged = protected.clone();
+        let data_start = 2880 * 2; // two header blocks (checksummed header grows)
+        let data_start = if damaged.len() > data_start { data_start } else { 2880 };
+        let span = damaged.len() - data_start;
+        let bit = usize::from(flip) % (span * 8);
+        damaged[data_start + bit / 8] ^= 1 << (bit % 8);
+        prop_assert_eq!(
+            verify_checksums(&damaged).unwrap(),
+            ChecksumStatus::DataCorrupted
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # preflight-metrics
+//!
+//! Evaluation metrics for the DSN 2003 input-preprocessing reproduction.
+//!
+//! The paper scores every algorithm by the **average relative error Ψ**
+//! remaining in the data after preprocessing (Eq. 3/4):
+//!
+//! ```text
+//! Ψ_NoPreprocessing = (1/N) Σᵢ |P(i) − Π(i)| / Π(i)
+//! Ψ_Algorithm       = (1/N) Σᵢ |Ω(i) − Π(i)| / Π(i)
+//! ```
+//!
+//! where `Π` is the pristine dataset, `P` the corrupted one, and `Ω` the
+//! output of the preprocessing algorithm. [`psi()`](psi::psi) implements the metric,
+//! [`PsiReport`] packages the before/after pair with the improvement factor
+//! the paper quotes (the "order of magnitude in the range ~50 to ~1000").
+//!
+//! [`BitConfusion`] scores algorithms at bit granularity against ground
+//! truth (pristine vs corrupted buffers): true corrections, false alarms
+//! (the paper's "pseudo-corrections") and misses.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod confusion;
+pub mod psi;
+
+pub use confusion::BitConfusion;
+pub use psi::{max_abs_error, psi, psi_capped, rmse, PsiReport};

@@ -1,0 +1,231 @@
+//! Multi-baseline real-time scheduling.
+//!
+//! The NGST data-processing application is a *real-time* system: a new
+//! 1000-second baseline's worth of readouts arrives while the previous one
+//! is being reduced, so each baseline must finish within its period. The
+//! paper's premise — *"the slack CPU time in the slave nodes can be very
+//! well utilized for a suitable fault-tolerance scheme"* — is an
+//! utilization argument: preprocessing is affordable because the pipeline
+//! runs far below its deadline.
+//!
+//! [`BaselineScheduler`] runs a sequence of baselines through an
+//! [`NgstPipeline`] and reports per-baseline wall time, deadline
+//! accounting and the utilization headroom the preprocessing stage
+//! consumed.
+
+use crate::pipeline::{NgstPipeline, PipelineConfig, PipelineReport};
+use preflight_core::ImageStack;
+use std::time::Duration;
+
+/// Configuration of a scheduling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleConfig {
+    /// The baseline period (the deadline), seconds. The flight value is
+    /// 1000 s; tests shrink it to exercise the miss path.
+    pub baseline_seconds: f64,
+    /// The pipeline each baseline runs through.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            baseline_seconds: 1_000.0,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Timing and outcome of one baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineStat {
+    /// Position in the arrival sequence.
+    pub index: usize,
+    /// Wall-clock processing time.
+    pub elapsed: Duration,
+    /// `true` if processing finished within the baseline period.
+    pub met_deadline: bool,
+    /// Fraction of the period consumed (`elapsed / deadline`).
+    pub utilization: f64,
+    /// Samples the preprocessing stage repaired.
+    pub corrected_samples: usize,
+    /// Downlink bytes after Rice compression.
+    pub compressed_bytes: usize,
+}
+
+/// The aggregate outcome of a scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Per-baseline statistics, in arrival order.
+    pub baselines: Vec<BaselineStat>,
+    /// Baselines that blew their period.
+    pub deadline_misses: usize,
+    /// Mean fraction of the period consumed.
+    pub mean_utilization: f64,
+    /// Worst observed utilization.
+    pub worst_utilization: f64,
+    /// Sustained throughput over the whole run, samples per second.
+    pub throughput_samples_per_s: f64,
+}
+
+impl ScheduleReport {
+    /// `true` when every baseline met its period — the real-time
+    /// feasibility verdict.
+    pub fn schedulable(&self) -> bool {
+        self.deadline_misses == 0
+    }
+}
+
+/// Runs baselines through a pipeline against a periodic deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineScheduler {
+    config: ScheduleConfig,
+}
+
+impl BaselineScheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    /// Panics if the baseline period is not positive and finite.
+    pub fn new(config: ScheduleConfig) -> Self {
+        assert!(
+            config.baseline_seconds.is_finite() && config.baseline_seconds > 0.0,
+            "baseline period must be positive"
+        );
+        BaselineScheduler { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ScheduleConfig {
+        &self.config
+    }
+
+    /// Processes every baseline in order, returning the schedule report and
+    /// the per-baseline pipeline reports.
+    pub fn run(
+        &self,
+        baselines: impl IntoIterator<Item = ImageStack<u16>>,
+    ) -> (ScheduleReport, Vec<PipelineReport>) {
+        let pipeline = NgstPipeline::new(self.config.pipeline);
+        let deadline = self.config.baseline_seconds;
+        let mut stats = Vec::new();
+        let mut reports = Vec::new();
+        let mut total_samples = 0usize;
+        let mut total_time = 0.0f64;
+        for (index, stack) in baselines.into_iter().enumerate() {
+            total_samples += stack.len();
+            let report = pipeline.run(&stack);
+            let secs = report.elapsed.as_secs_f64();
+            total_time += secs;
+            stats.push(BaselineStat {
+                index,
+                elapsed: report.elapsed,
+                met_deadline: secs <= deadline,
+                utilization: secs / deadline,
+                corrected_samples: report.corrected_samples,
+                compressed_bytes: report.compressed_bytes,
+            });
+            reports.push(report);
+        }
+        let n = stats.len().max(1) as f64;
+        let report = ScheduleReport {
+            deadline_misses: stats.iter().filter(|s| !s.met_deadline).count(),
+            mean_utilization: stats.iter().map(|s| s.utilization).sum::<f64>() / n,
+            worst_utilization: stats.iter().map(|s| s.utilization).fold(0.0, f64::max),
+            throughput_samples_per_s: if total_time > 0.0 {
+                total_samples as f64 / total_time
+            } else {
+                0.0
+            },
+            baselines: stats,
+        };
+        (report, reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorConfig, UpTheRamp};
+    use preflight_core::{AlgoNgst, Image, Sensitivity, Upsilon};
+    use preflight_faults::seeded_rng;
+
+    fn baselines(n: usize) -> Vec<ImageStack<u16>> {
+        let det = UpTheRamp::new(DetectorConfig {
+            width: 32,
+            height: 32,
+            frames: 16,
+            ..DetectorConfig::default()
+        });
+        (0..n)
+            .map(|i| {
+                det.clean_stack(
+                    &Image::filled(32, 32, 20.0f32),
+                    &mut seeded_rng(100 + i as u64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_with_preprocessing_is_schedulable_with_huge_slack() {
+        let sched = BaselineScheduler::new(ScheduleConfig {
+            baseline_seconds: 1_000.0,
+            pipeline: PipelineConfig {
+                workers: 4,
+                tile_size: 16,
+                preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
+                transit_fault: Some(crate::pipeline::TransitFault::Uncorrelated(0.005)),
+                seed: 3,
+                ..PipelineConfig::default()
+            },
+        });
+        let (report, pipeline_reports) = sched.run(baselines(4));
+        assert_eq!(report.baselines.len(), 4);
+        assert_eq!(pipeline_reports.len(), 4);
+        assert!(report.schedulable(), "misses: {}", report.deadline_misses);
+        // The paper's slack argument: preprocessing fits easily inside the
+        // 1000-second period at flight-like scale per pixel.
+        assert!(
+            report.worst_utilization < 0.05,
+            "worst utilization {}",
+            report.worst_utilization
+        );
+        assert!(report.throughput_samples_per_s > 0.0);
+    }
+
+    #[test]
+    fn impossible_deadline_is_reported_not_hidden() {
+        let sched = BaselineScheduler::new(ScheduleConfig {
+            baseline_seconds: 1e-7, // nothing finishes in 100 ns
+            pipeline: PipelineConfig {
+                workers: 2,
+                tile_size: 16,
+                ..PipelineConfig::default()
+            },
+        });
+        let (report, _) = sched.run(baselines(2));
+        assert_eq!(report.deadline_misses, 2);
+        assert!(!report.schedulable());
+        assert!(report.worst_utilization > 1.0);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let sched = BaselineScheduler::new(ScheduleConfig::default());
+        let (report, reports) = sched.run(Vec::new());
+        assert!(report.baselines.is_empty());
+        assert!(reports.is_empty());
+        assert!(report.schedulable());
+        assert_eq!(report.throughput_samples_per_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline period")]
+    fn invalid_period_rejected() {
+        let _ = BaselineScheduler::new(ScheduleConfig {
+            baseline_seconds: 0.0,
+            ..ScheduleConfig::default()
+        });
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based checks on the cosmic-ray rejection stage.
+
+use preflight_ngst::CrRejector;
+use proptest::prelude::*;
+
+/// Builds a noiseless ramp `bias + slope·i` with optional persistent steps.
+fn ramp(bias: u16, slope: u16, n: usize, hits: &[(usize, u16)]) -> Vec<u16> {
+    let mut s: Vec<u16> = (0..n)
+        .map(|i| bias.saturating_add(slope.saturating_mul(i as u16)))
+        .collect();
+    for &(frame, amp) in hits {
+        for v in s.iter_mut().skip(frame) {
+            *v = v.saturating_add(amp);
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any noiseless ramp's rate is recovered exactly, for any slope and
+    /// sampling interval.
+    #[test]
+    fn clean_ramp_rate_exact(
+        bias in 0u16..5_000,
+        slope in 0u16..500,
+        dt in 0.5f64..30.0,
+        n in 8usize..128,
+    ) {
+        let s = ramp(bias, slope, n, &[]);
+        // Keep the ramp unsaturated.
+        prop_assume!(u32::from(bias) + u32::from(slope) * (n as u32) < 65_000);
+        let r = CrRejector::new().reject_series(&s, dt);
+        prop_assert!(r.jumps.is_empty(), "clean ramp produced jumps {:?}", r.jumps);
+        prop_assert!((r.rate - f64::from(slope) / dt).abs() < 1e-9);
+    }
+
+    /// One persistent step anywhere in the interior is rejected and the
+    /// estimated rate is unbiased, for any amplitude clearly above noise.
+    #[test]
+    fn single_hit_rejected_everywhere(
+        slope in 0u16..200,
+        frame in 2usize..30,
+        amp in 1_000u16..20_000,
+    ) {
+        let n = 32;
+        prop_assume!(u32::from(slope) * 32 + u32::from(amp) < 60_000);
+        let s = ramp(500, slope, n, &[(frame, amp)]);
+        let r = CrRejector::new().reject_series(&s, 4.0);
+        prop_assert_eq!(&r.jumps, &vec![frame - 1], "hit at frame {}", frame);
+        prop_assert!((r.rate - f64::from(slope) / 4.0).abs() < 1e-9);
+    }
+
+    /// Two well-separated hits are both rejected without biasing the rate.
+    #[test]
+    fn two_hits_rejected(
+        slope in 0u16..100,
+        f1 in 3usize..14,
+        gap in 6usize..14,
+        amp in 2_000u16..8_000,
+    ) {
+        let f2 = f1 + gap;
+        let n = 40;
+        prop_assume!(f2 < n - 2);
+        prop_assume!(u32::from(slope) * 40 + 2 * u32::from(amp) < 60_000);
+        let s = ramp(500, slope, n, &[(f1, amp), (f2, amp)]);
+        let r = CrRejector::new().reject_series(&s, 2.0);
+        prop_assert_eq!(&r.jumps, &vec![f1 - 1, f2 - 1]);
+        prop_assert!((r.rate - f64::from(slope) / 2.0).abs() < 1e-9);
+    }
+
+    /// The integrated image reconstruction is linear in the rate.
+    #[test]
+    fn integration_is_linear(rate in 0.0f32..50.0, t in 1.0f64..2_000.0) {
+        use preflight_core::Image;
+        let img = CrRejector::integrate(&Image::filled(4, 4, rate), 100.0, t);
+        let expect = (100.0 + f64::from(rate) * t).round().clamp(0.0, 65_535.0) as u16;
+        prop_assert!(img.as_slice().iter().all(|&v| v == expect));
+    }
+}

@@ -1,0 +1,522 @@
+//! Application-Level Fault Tolerance for OTIS (§7; the paper's refs \[5\]
+//! and \[29\]).
+//!
+//! The basic ALFT scheme replaces a faulty (or missing) primary output with
+//! a partial output from a *scaled-down secondary* run on another node. The
+//! extended scheme adds *filters for the primary output to determine whether
+//! to run the secondary, and then decides which output to choose based on a
+//! logic grid*, recovering not only from process-killing faults but also
+//! from faults that make processes emit incorrect output.
+//!
+//! The scheme's catastrophic failure — both primary and secondary producing
+//! spurious output — happens exactly when the *input* is corrupted, since
+//! both runs consume the same data. That is the case input preprocessing
+//! eliminates, which is what the paper's §7 experiments demonstrate.
+
+use crate::retrieval::{Retrieval, RetrievalProduct};
+use preflight_core::{Cube, Image, PhysicalBounds};
+use preflight_faults::Uncorrelated;
+use rand::Rng;
+
+/// Faults injected into a retrieval *process* (as opposed to its input
+/// data): the fault classes the original ALFT scheme targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProcessFault {
+    /// The run completes correctly.
+    None,
+    /// The process dies (abnormal termination) — no output at all.
+    Crash,
+    /// The process completes but its output buffer took bit-flips with the
+    /// given per-bit probability (invalid-output class).
+    SilentCorruption(f64),
+}
+
+/// The output filter: judges whether a temperature product is plausible
+/// before it is accepted.
+///
+/// Two tests, mirroring the paper's framework of §7.2:
+/// - **bounds** — at least `min_in_bounds` of the pixels must lie inside the
+///   physical temperature bounds;
+/// - **smoothness** — the mean absolute difference between horizontal
+///   neighbors must stay below `max_roughness` Kelvin (thermodynamic
+///   continuity of real scenes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputFilter {
+    /// Physical temperature bounds.
+    pub bounds: PhysicalBounds,
+    /// Minimum fraction of in-bounds pixels (default 0.995).
+    pub min_in_bounds: f64,
+    /// Maximum mean |ΔT| between horizontal neighbors, Kelvin (default 5).
+    pub max_roughness: f64,
+}
+
+impl Default for OutputFilter {
+    fn default() -> Self {
+        OutputFilter {
+            bounds: PhysicalBounds::temperature_global(),
+            min_in_bounds: 0.995,
+            max_roughness: 5.0,
+        }
+    }
+}
+
+impl OutputFilter {
+    /// The mean absolute difference between horizontal neighbors, Kelvin —
+    /// the smoothness score the filter thresholds. Non-finite neighbor
+    /// pairs are skipped; an all-non-finite product scores infinite.
+    pub fn roughness(temperature: &Image<f32>) -> f64 {
+        let mut diff_sum = 0.0f64;
+        let mut diff_n = 0usize;
+        for y in 0..temperature.height() {
+            let row = temperature.row(y);
+            for w in row.windows(2) {
+                let (a, b) = (f64::from(w[0]), f64::from(w[1]));
+                if a.is_finite() && b.is_finite() {
+                    diff_sum += (a - b).abs();
+                    diff_n += 1;
+                }
+            }
+        }
+        if diff_n == 0 {
+            f64::INFINITY
+        } else {
+            diff_sum / diff_n as f64
+        }
+    }
+
+    /// `true` if the product passes both tests.
+    pub fn passes(&self, temperature: &Image<f32>) -> bool {
+        let total = temperature.len();
+        if total == 0 {
+            return false;
+        }
+        let in_bounds = temperature
+            .as_slice()
+            .iter()
+            .filter(|&&v| self.bounds.contains(f64::from(v)))
+            .count();
+        if (in_bounds as f64) < self.min_in_bounds * total as f64 {
+            return false;
+        }
+        Self::roughness(temperature) <= self.max_roughness
+    }
+}
+
+/// How strongly the primary and secondary products agree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agreement {
+    /// Mean |ΔT| between the two temperature maps, Kelvin (non-finite
+    /// pairs are penalized at ten times the tolerance).
+    pub mean_abs_divergence: f64,
+    /// `true` when the divergence is inside the configured tolerance.
+    pub within_tolerance: bool,
+}
+
+impl Agreement {
+    /// Compares two temperature maps under a divergence tolerance (K).
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch or a non-positive tolerance.
+    pub fn compare(a: &Image<f32>, b: &Image<f32>, tolerance_kelvin: f64) -> Self {
+        assert!(
+            a.width() == b.width() && a.height() == b.height(),
+            "product shapes must match"
+        );
+        assert!(tolerance_kelvin > 0.0, "tolerance must be positive");
+        let mut sum = 0.0f64;
+        for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+            let (x, y) = (f64::from(x), f64::from(y));
+            sum += if x.is_finite() && y.is_finite() {
+                (x - y).abs()
+            } else {
+                tolerance_kelvin * 10.0
+            };
+        }
+        let mean = sum / a.len().max(1) as f64;
+        Agreement {
+            mean_abs_divergence: mean,
+            within_tolerance: mean <= tolerance_kelvin,
+        }
+    }
+}
+
+/// Which output the logic grid selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlftOutcome {
+    /// The primary output passed the filter and was used.
+    UsedPrimary,
+    /// The primary failed (or was absent); the secondary passed and was
+    /// used.
+    UsedSecondary,
+    /// Both primary and secondary failed the filter — the catastrophic case
+    /// the paper's preprocessing is designed to eliminate.
+    BothFailed,
+}
+
+/// The decision table over filter verdicts.
+///
+/// | primary present & passes | secondary passes | decision      |
+/// |--------------------------|------------------|---------------|
+/// | yes                      | —                | primary       |
+/// | no                       | yes              | secondary     |
+/// | no                       | no               | both failed   |
+///
+/// (The secondary is only executed when the primary verdict is negative —
+/// the lower-overhead policy of the paper's ref \[29\].)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogicGrid;
+
+impl LogicGrid {
+    /// Applies the decision table.
+    pub fn decide(primary_ok: bool, secondary_ok: Option<bool>) -> AlftOutcome {
+        match (primary_ok, secondary_ok) {
+            (true, _) => AlftOutcome::UsedPrimary,
+            (false, Some(true)) => AlftOutcome::UsedSecondary,
+            (false, _) => AlftOutcome::BothFailed,
+        }
+    }
+}
+
+/// One ALFT-protected execution of the OTIS retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AlftHarness {
+    /// The retrieval algorithm both runs use.
+    pub retrieval: Retrieval,
+    /// The output filter.
+    pub filter: OutputFilter,
+}
+
+impl AlftHarness {
+    /// Executes the primary (subject to `fault`), filters it, falls back to
+    /// the scaled-down secondary if needed, and returns the chosen product
+    /// with the decision.
+    ///
+    /// Note that both runs read the *same* `cube` — so corrupted input
+    /// defeats the scheme no matter what the grid decides, which is the
+    /// paper's argument for preprocessing the input first.
+    pub fn execute(
+        &self,
+        cube: &Cube<f32>,
+        bands: &[f64],
+        fault: ProcessFault,
+        rng: &mut impl Rng,
+    ) -> (Option<RetrievalProduct>, AlftOutcome) {
+        let primary = match fault {
+            ProcessFault::None => Some(self.retrieval.run(cube, bands)),
+            ProcessFault::Crash => None,
+            ProcessFault::SilentCorruption(p) => {
+                let mut product = self.retrieval.run(cube, bands);
+                let model = Uncorrelated::new(p).expect("probability validated by caller");
+                model.inject_f32(product.temperature.as_mut_slice(), rng);
+                Some(product)
+            }
+        };
+        let primary_ok = primary
+            .as_ref()
+            .is_some_and(|p| self.filter.passes(&p.temperature));
+        if primary_ok {
+            return (primary, AlftOutcome::UsedPrimary);
+        }
+        let secondary = self.retrieval.run_secondary(cube, bands);
+        let secondary_ok = self.filter.passes(&secondary.temperature);
+        match LogicGrid::decide(primary_ok, Some(secondary_ok)) {
+            AlftOutcome::UsedSecondary => (Some(secondary), AlftOutcome::UsedSecondary),
+            _ => (None, AlftOutcome::BothFailed),
+        }
+    }
+
+    /// The always-run variant of the paper's ref \[29\]: the secondary runs
+    /// unconditionally, both products are filtered, and the full logic grid
+    /// also consults their *agreement* (`tolerance_kelvin` mean |ΔT|):
+    ///
+    /// | primary | secondary | agree | decision |
+    /// |---------|-----------|-------|----------|
+    /// | pass    | pass      | yes   | primary (high confidence) |
+    /// | pass    | pass      | no    | the smoother product — disagreement between redundant runs signals residual corruption |
+    /// | pass    | fail      | —     | primary |
+    /// | fail    | pass      | —     | secondary |
+    /// | fail    | fail      | —     | both failed |
+    ///
+    /// Returns the chosen product, the outcome, and the measured agreement
+    /// (which is meaningful even when an output was rejected).
+    pub fn execute_always(
+        &self,
+        cube: &Cube<f32>,
+        bands: &[f64],
+        fault: ProcessFault,
+        tolerance_kelvin: f64,
+        rng: &mut impl Rng,
+    ) -> (Option<RetrievalProduct>, AlftOutcome, Agreement) {
+        let primary = match fault {
+            ProcessFault::None => Some(self.retrieval.run(cube, bands)),
+            ProcessFault::Crash => None,
+            ProcessFault::SilentCorruption(p) => {
+                let mut product = self.retrieval.run(cube, bands);
+                let model = Uncorrelated::new(p).expect("probability validated by caller");
+                model.inject_f32(product.temperature.as_mut_slice(), rng);
+                Some(product)
+            }
+        };
+        let secondary = self.retrieval.run_secondary(cube, bands);
+        let secondary_ok = self.filter.passes(&secondary.temperature);
+        let (primary_ok, agreement) = match &primary {
+            Some(p) => (
+                self.filter.passes(&p.temperature),
+                Agreement::compare(&p.temperature, &secondary.temperature, tolerance_kelvin),
+            ),
+            None => (
+                false,
+                Agreement {
+                    mean_abs_divergence: f64::INFINITY,
+                    within_tolerance: false,
+                },
+            ),
+        };
+        match (primary_ok, secondary_ok) {
+            (true, true) if agreement.within_tolerance => {
+                (primary, AlftOutcome::UsedPrimary, agreement)
+            }
+            (true, true) => {
+                // Redundant runs disagree: prefer the physically smoother
+                // product (reconstruction of ref [29]'s grid tiebreak).
+                let p_rough = primary
+                    .as_ref()
+                    .map(|p| OutputFilter::roughness(&p.temperature))
+                    .unwrap_or(f64::INFINITY);
+                let s_rough = OutputFilter::roughness(&secondary.temperature);
+                if p_rough <= s_rough {
+                    (primary, AlftOutcome::UsedPrimary, agreement)
+                } else {
+                    (Some(secondary), AlftOutcome::UsedSecondary, agreement)
+                }
+            }
+            (true, false) => (primary, AlftOutcome::UsedPrimary, agreement),
+            (false, true) => (Some(secondary), AlftOutcome::UsedSecondary, agreement),
+            (false, false) => (None, AlftOutcome::BothFailed, agreement),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preflight_datagen::planck::DEFAULT_BANDS;
+    use preflight_datagen::{emissivity_scene, radiance_cube, temperature_scene, OtisScene};
+    use preflight_faults::seeded_rng;
+
+    fn clean_cube(w: usize, h: usize) -> Cube<f32> {
+        let mut rng = seeded_rng(17);
+        let t = temperature_scene(OtisScene::Blob, w, h, &mut rng);
+        let e = emissivity_scene(w, h, &mut rng);
+        radiance_cube(&t, &e, &DEFAULT_BANDS)
+    }
+
+    #[test]
+    fn filter_accepts_clean_product() {
+        let cube = clean_cube(24, 24);
+        let p = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+        assert!(OutputFilter::default().passes(&p.temperature));
+    }
+
+    #[test]
+    fn filter_rejects_out_of_bounds_product() {
+        let mut img = Image::filled(16, 16, 280.0f32);
+        for x in 0..16 {
+            for y in 0..4 {
+                img.set(x, y, 5_000.0); // 25 % of pixels absurd
+            }
+        }
+        assert!(!OutputFilter::default().passes(&img));
+    }
+
+    #[test]
+    fn filter_rejects_rough_product() {
+        let mut img = Image::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                img.set(x, y, if (x + y) % 2 == 0 { 200.0 } else { 350.0 });
+            }
+        }
+        assert!(
+            !OutputFilter::default().passes(&img),
+            "checkerboard is unphysical"
+        );
+    }
+
+    #[test]
+    fn filter_rejects_empty() {
+        let img: Image<f32> = Image::new(0, 0);
+        assert!(!OutputFilter::default().passes(&img));
+    }
+
+    #[test]
+    fn logic_grid_table() {
+        assert_eq!(LogicGrid::decide(true, None), AlftOutcome::UsedPrimary);
+        assert_eq!(
+            LogicGrid::decide(true, Some(false)),
+            AlftOutcome::UsedPrimary
+        );
+        assert_eq!(
+            LogicGrid::decide(false, Some(true)),
+            AlftOutcome::UsedSecondary
+        );
+        assert_eq!(
+            LogicGrid::decide(false, Some(false)),
+            AlftOutcome::BothFailed
+        );
+        assert_eq!(LogicGrid::decide(false, None), AlftOutcome::BothFailed);
+    }
+
+    #[test]
+    fn healthy_run_uses_primary() {
+        let cube = clean_cube(24, 24);
+        let (out, outcome) = AlftHarness::default().execute(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::None,
+            &mut seeded_rng(1),
+        );
+        assert_eq!(outcome, AlftOutcome::UsedPrimary);
+        assert!(out.is_some());
+    }
+
+    #[test]
+    fn crash_recovers_via_secondary() {
+        let cube = clean_cube(24, 24);
+        let (out, outcome) = AlftHarness::default().execute(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::Crash,
+            &mut seeded_rng(2),
+        );
+        assert_eq!(outcome, AlftOutcome::UsedSecondary);
+        let t = out.expect("secondary product").temperature;
+        assert!(t.as_slice().iter().all(|&v| (200.0..=360.0).contains(&v)));
+    }
+
+    #[test]
+    fn heavy_output_corruption_detected_and_recovered() {
+        let cube = clean_cube(24, 24);
+        let (_, outcome) = AlftHarness::default().execute(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::SilentCorruption(0.05),
+            &mut seeded_rng(3),
+        );
+        assert_eq!(
+            outcome,
+            AlftOutcome::UsedSecondary,
+            "filter must catch the corrupted primary"
+        );
+    }
+
+    #[test]
+    fn roughness_scores() {
+        let flat = Image::filled(8, 8, 280.0f32);
+        assert_eq!(OutputFilter::roughness(&flat), 0.0);
+        let mut rough = flat.clone();
+        for y in 0..8 {
+            for x in 0..8 {
+                if (x + y) % 2 == 0 {
+                    rough.set(x, y, 380.0);
+                }
+            }
+        }
+        assert!(OutputFilter::roughness(&rough) > 50.0);
+        let nan = Image::filled(4, 4, f32::NAN);
+        assert_eq!(OutputFilter::roughness(&nan), f64::INFINITY);
+    }
+
+    #[test]
+    fn agreement_comparison() {
+        let a = Image::filled(6, 6, 280.0f32);
+        let mut b = a.clone();
+        let agree = Agreement::compare(&a, &b, 1.0);
+        assert!(agree.within_tolerance);
+        assert_eq!(agree.mean_abs_divergence, 0.0);
+        for v in b.as_mut_slice() {
+            *v += 5.0;
+        }
+        let agree = Agreement::compare(&a, &b, 1.0);
+        assert!(!agree.within_tolerance);
+        assert!((agree.mean_abs_divergence - 5.0).abs() < 1e-6);
+        b.set(0, 0, f32::NAN);
+        assert!(Agreement::compare(&a, &b, 1.0).mean_abs_divergence > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn agreement_rejects_shape_mismatch() {
+        let a = Image::filled(4, 4, 280.0f32);
+        let b = Image::filled(5, 4, 280.0f32);
+        let _ = Agreement::compare(&a, &b, 1.0);
+    }
+
+    #[test]
+    fn always_policy_agrees_on_clean_input() {
+        let cube = clean_cube(24, 24);
+        let (out, outcome, agreement) = AlftHarness::default().execute_always(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::None,
+            2.0,
+            &mut seeded_rng(51),
+        );
+        assert_eq!(outcome, AlftOutcome::UsedPrimary);
+        assert!(out.is_some());
+        assert!(agreement.within_tolerance, "{agreement:?}");
+    }
+
+    #[test]
+    fn always_policy_recovers_from_crash_and_reports_divergence() {
+        let cube = clean_cube(24, 24);
+        let (out, outcome, agreement) = AlftHarness::default().execute_always(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::Crash,
+            2.0,
+            &mut seeded_rng(52),
+        );
+        assert_eq!(outcome, AlftOutcome::UsedSecondary);
+        assert!(out.is_some());
+        assert!(!agreement.within_tolerance, "no primary to agree with");
+    }
+
+    #[test]
+    fn always_policy_detects_disagreement_from_light_corruption() {
+        // Corruption light enough to slip past the absolute filter can
+        // still be caught by the redundancy between primary and secondary.
+        let cube = clean_cube(24, 24);
+        let (_, _, agreement) = AlftHarness::default().execute_always(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::SilentCorruption(0.004),
+            0.5,
+            &mut seeded_rng(53),
+        );
+        assert!(
+            !agreement.within_tolerance,
+            "light output corruption must show up as divergence: {agreement:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_input_defeats_alft_entirely() {
+        // The paper's motivating scenario: bit-flips in the *input* make
+        // both primary and secondary spurious — ALFT alone cannot help.
+        let mut cube = clean_cube(24, 24);
+        let model = Uncorrelated::new(0.02).unwrap();
+        model.inject_f32(cube.as_mut_slice(), &mut seeded_rng(4));
+        let (_, outcome) = AlftHarness::default().execute(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::None,
+            &mut seeded_rng(5),
+        );
+        assert_eq!(
+            outcome,
+            AlftOutcome::BothFailed,
+            "same corrupted input must defeat both runs"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # preflight-otis
+//!
+//! The OTIS application benchmark of the paper's §7: an Orbital Thermal
+//! Imaging Spectrometer that collects atmospheric radiation data and
+//! processes it into temperature and emissivity mappings of the scanned
+//! geography.
+//!
+//! - [`retrieval`] — the science algorithm: brightness-temperature inversion
+//!   of the 3-D radiance cube into the paper's two output products, *"a
+//!   two-dimensional temperature diagram in Kelvin and a three-dimensional
+//!   emissivity diagram"* (§7.1). Because OTIS has no inherent averaging or
+//!   multiple imaging, *"the correlation between precision at output and
+//!   input is much higher"* than for NGST — input bit-flips propagate almost
+//!   directly into the temperature map, which is what makes preprocessing so
+//!   valuable here.
+//! - [`alft`] — the Application-Level Fault Tolerance scheme the system
+//!   already lends itself to (the paper's ref \[5\]): a scaled-down secondary
+//!   run backs up the primary, an output filter judges each product, and a
+//!   logic grid picks the output. Its catastrophic failure mode — both
+//!   primary and secondary compute spurious output from the *same corrupted
+//!   input* — is precisely the case input preprocessing eliminates.
+//!
+//! # Example
+//!
+//! ```
+//! use preflight_datagen::{emissivity_scene, radiance_cube, temperature_scene, OtisScene};
+//! use preflight_datagen::planck::DEFAULT_BANDS;
+//! use preflight_faults::seeded_rng;
+//! use preflight_otis::retrieval::Retrieval;
+//!
+//! let mut rng = seeded_rng(5);
+//! let temp = temperature_scene(OtisScene::Blob, 32, 32, &mut rng);
+//! let emis = emissivity_scene(32, 32, &mut rng);
+//! let cube = radiance_cube(&temp, &emis, &DEFAULT_BANDS);
+//! let product = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+//! let err = (product.temperature.get(16, 16) - temp.get(16, 16)).abs();
+//! assert!(err < 2.0, "retrieval within 2 K on clean input");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alft;
+pub mod retrieval;
+
+pub use alft::{Agreement, AlftHarness, AlftOutcome, LogicGrid, OutputFilter, ProcessFault};
+pub use retrieval::{Retrieval, RetrievalProduct};

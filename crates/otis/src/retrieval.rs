@@ -1,0 +1,339 @@
+//! Temperature/emissivity retrieval from the OTIS radiance cube.
+//!
+//! Two methods are provided:
+//!
+//! - **Gray-body ratio** (default) — for a gray scene `L_b = ε·B_λb(T)`, the
+//!   ratio of two bands `L_a / L_b = B_a(T) / B_b(T)` is independent of ε
+//!   and strictly monotone in `T` (Wien shift), so `T` falls out of a
+//!   bisection and `ε` from the per-band residuals. Exact on gray scenes.
+//! - **Normalized emissivity** — assume a maximum emissivity `ε₀`, form
+//!   per-band brightness temperatures `T_b = B⁻¹(L_b / ε₀, λ_b)` and take
+//!   the maximum; simpler and more robust to single-band damage, but biased
+//!   by up to a few Kelvin when the true emissivity sits below `ε₀`.
+
+use preflight_core::{Cube, Image};
+use preflight_datagen::planck::{brightness_temperature, radiance};
+
+/// The two OTIS output products of §7.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalProduct {
+    /// The 2-D temperature diagram, Kelvin.
+    pub temperature: Image<f32>,
+    /// The 3-D emissivity diagram (same shape as the input cube).
+    pub emissivity: Cube<f32>,
+}
+
+/// The temperature-separation method to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetrievalMethod {
+    /// Two-band ratio bisection assuming a gray (wavelength-flat)
+    /// emissivity.
+    GrayBodyRatio,
+    /// Normalized-emissivity: maximum brightness temperature under an
+    /// assumed ε₀.
+    NormalizedEmissivity {
+        /// The assumed maximum emissivity ε₀.
+        assumed: f64,
+    },
+}
+
+/// The retrieval algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retrieval {
+    /// The method used to separate temperature from emissivity.
+    pub method: RetrievalMethod,
+}
+
+impl Default for Retrieval {
+    fn default() -> Self {
+        Retrieval {
+            method: RetrievalMethod::GrayBodyRatio,
+        }
+    }
+}
+
+/// Search bounds for the gray-body bisection, Kelvin.
+const T_MIN: f64 = 140.0;
+const T_MAX: f64 = 420.0;
+
+impl Retrieval {
+    /// The normalized-emissivity variant.
+    pub fn normalized(assumed: f64) -> Self {
+        Retrieval {
+            method: RetrievalMethod::NormalizedEmissivity { assumed },
+        }
+    }
+
+    /// Runs the retrieval over a radiance cube sampled at `bands` (µm).
+    ///
+    /// Non-finite or non-positive radiances (e.g. produced by exponent
+    /// bit-flips in unpreprocessed input) are excluded from the temperature
+    /// solution; a pixel with fewer than two usable bands retrieves 0 K —
+    /// garbage in, garbage out, exactly the behavior the preprocessing
+    /// stage exists to prevent.
+    ///
+    /// # Panics
+    /// Panics if `bands.len() != cube.bands()`.
+    pub fn run(&self, cube: &Cube<f32>, bands: &[f64]) -> RetrievalProduct {
+        assert_eq!(bands.len(), cube.bands(), "band list must match the cube");
+        let (w, h) = (cube.width(), cube.height());
+        let mut temperature = Image::new(w, h);
+        let mut emissivity = Cube::new(w, h, cube.bands());
+        let mut spectrum: Vec<f64> = Vec::with_capacity(bands.len());
+        for y in 0..h {
+            for x in 0..w {
+                spectrum.clear();
+                spectrum.extend((0..bands.len()).map(|b| f64::from(cube.get(x, y, b))));
+                let t = match self.method {
+                    RetrievalMethod::GrayBodyRatio => solve_gray_body(&spectrum, bands),
+                    RetrievalMethod::NormalizedEmissivity { assumed } => {
+                        solve_nem(&spectrum, bands, assumed)
+                    }
+                };
+                temperature.set(x, y, t as f32);
+                for (b, &lambda) in bands.iter().enumerate() {
+                    let l = spectrum[b];
+                    let denom = radiance(t, lambda);
+                    let eps = if denom > 0.0 && l.is_finite() && l > 0.0 {
+                        (l / denom).min(1.0)
+                    } else {
+                        0.0
+                    };
+                    emissivity.set(x, y, b, eps as f32);
+                }
+            }
+        }
+        RetrievalProduct {
+            temperature,
+            emissivity,
+        }
+    }
+
+    /// The scaled-down secondary variant the ALFT scheme runs as a backup:
+    /// the cube is 2×2-downsampled before retrieval, and the coarse product
+    /// is nearest-neighbor-upsampled back to full resolution. It costs about
+    /// a quarter of the primary and is correspondingly less precise.
+    pub fn run_secondary(&self, cube: &Cube<f32>, bands: &[f64]) -> RetrievalProduct {
+        let (w, h) = (cube.width(), cube.height());
+        let (sw, sh) = (w.div_ceil(2), h.div_ceil(2));
+        let mut small = Cube::new(sw, sh, cube.bands());
+        for b in 0..cube.bands() {
+            for y in 0..sh {
+                for x in 0..sw {
+                    // Average the up-to-4 source pixels.
+                    let mut sum = 0.0f64;
+                    let mut n = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (px, py) = (2 * x + dx, 2 * y + dy);
+                            if px < w && py < h {
+                                let v = f64::from(cube.get(px, py, b));
+                                if v.is_finite() {
+                                    sum += v;
+                                    n += 1;
+                                }
+                            }
+                        }
+                    }
+                    small.set(x, y, b, if n > 0 { (sum / n as f64) as f32 } else { 0.0 });
+                }
+            }
+        }
+        let coarse = self.run(&small, bands);
+        // Upsample back to full resolution.
+        let mut temperature = Image::new(w, h);
+        let mut emissivity = Cube::new(w, h, cube.bands());
+        for y in 0..h {
+            for x in 0..w {
+                temperature.set(x, y, coarse.temperature.get(x / 2, y / 2));
+                for b in 0..cube.bands() {
+                    emissivity.set(x, y, b, coarse.emissivity.get(x / 2, y / 2, b));
+                }
+            }
+        }
+        RetrievalProduct {
+            temperature,
+            emissivity,
+        }
+    }
+}
+
+/// Solves the gray-body temperature from the ratio of the most widely
+/// separated pair of usable bands. Returns 0 K when fewer than two bands
+/// are usable.
+fn solve_gray_body(spectrum: &[f64], bands: &[f64]) -> f64 {
+    // Pick the first and last usable bands (widest Wien leverage).
+    let usable: Vec<usize> = (0..spectrum.len())
+        .filter(|&b| spectrum[b].is_finite() && spectrum[b] > 0.0)
+        .collect();
+    let (&a, &b) = match (usable.first(), usable.last()) {
+        (Some(a), Some(b)) if a != b => (a, b),
+        _ => return 0.0,
+    };
+    let (la, lb) = (bands[a], bands[b]);
+    let r_obs = spectrum[a] / spectrum[b];
+    let ratio = |t: f64| radiance(t, la) / radiance(t, lb);
+    // The ratio is monotone increasing in T for la < lb; clamp outside.
+    let (mut lo, mut hi) = (T_MIN, T_MAX);
+    if r_obs <= ratio(lo) {
+        return lo;
+    }
+    if r_obs >= ratio(hi) {
+        return hi;
+    }
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if ratio(mid) < r_obs {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The normalized-emissivity temperature: maximum brightness temperature
+/// over usable bands under the assumed ε₀.
+fn solve_nem(spectrum: &[f64], bands: &[f64], assumed: f64) -> f64 {
+    let mut t_max = 0.0f64;
+    for (b, &lambda) in bands.iter().enumerate() {
+        let l = spectrum[b];
+        if l.is_finite() && l > 0.0 {
+            t_max = t_max.max(brightness_temperature(l / assumed, lambda));
+        }
+    }
+    t_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preflight_datagen::planck::DEFAULT_BANDS;
+    use preflight_datagen::{emissivity_scene, radiance_cube, temperature_scene, OtisScene};
+    use preflight_faults::seeded_rng;
+
+    fn clean_inputs(w: usize, h: usize) -> (Image<f32>, Image<f32>, Cube<f32>) {
+        let mut rng = seeded_rng(11);
+        let t = temperature_scene(OtisScene::Blob, w, h, &mut rng);
+        let e = emissivity_scene(w, h, &mut rng);
+        let cube = radiance_cube(&t, &e, &DEFAULT_BANDS);
+        (t, e, cube)
+    }
+
+    #[test]
+    fn clean_retrieval_recovers_temperature_sharply() {
+        // The gray-body ratio method is exact on our gray forward model.
+        let (t, _, cube) = clean_inputs(32, 32);
+        let p = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+        let mut worst = 0.0f32;
+        for (a, b) in p.temperature.as_slice().iter().zip(t.as_slice()) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(worst < 0.1, "worst temperature error {worst} K");
+    }
+
+    #[test]
+    fn clean_retrieval_recovers_emissivity() {
+        let (_, e, cube) = clean_inputs(24, 24);
+        let p = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+        let band = 2;
+        let mut err = 0.0f64;
+        for y in 0..24 {
+            for x in 0..24 {
+                err += (f64::from(p.emissivity.get(x, y, band)) - f64::from(e.get(x, y))).abs();
+            }
+        }
+        err /= 576.0;
+        assert!(err < 0.005, "mean emissivity error {err}");
+    }
+
+    #[test]
+    fn nem_variant_is_biased_but_bounded() {
+        let (t, _, cube) = clean_inputs(24, 24);
+        let p = Retrieval::normalized(0.99).run(&cube, &DEFAULT_BANDS);
+        let mut worst = 0.0f32;
+        for (a, b) in p.temperature.as_slice().iter().zip(t.as_slice()) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(worst < 6.0, "NEM bias out of family: {worst} K");
+        assert!(worst > 0.1, "NEM cannot be exact under ε < ε₀");
+    }
+
+    #[test]
+    fn gray_body_solver_handles_degenerate_spectra() {
+        assert_eq!(solve_gray_body(&[], &[]), 0.0);
+        assert_eq!(
+            solve_gray_body(&[1.0], &[10.0]),
+            0.0,
+            "one band is not enough"
+        );
+        assert_eq!(
+            solve_gray_body(&[f64::NAN, 5.0], &[8.0, 12.0]),
+            0.0,
+            "single usable band"
+        );
+        // Out-of-range ratios clamp to the search bounds.
+        let cold = solve_gray_body(&[1e-12, 5.0], &[8.0, 12.0]);
+        assert_eq!(cold, 140.0);
+    }
+
+    #[test]
+    fn corrupted_input_propagates_to_output() {
+        // §7.1: without averaging, input corruption hits the output nearly
+        // 1:1 — a single high-exponent flip wrecks that pixel's temperature.
+        let (t, _, mut cube) = clean_inputs(16, 16);
+        let clean_product = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+        let bits = cube.get(8, 8, 0).to_bits();
+        cube.set(8, 8, 0, f32::from_bits(bits ^ (1 << 29)));
+        let p = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+        let err_hit = (p.temperature.get(8, 8) - t.get(8, 8)).abs();
+        let err_clean = (clean_product.temperature.get(8, 8) - t.get(8, 8)).abs();
+        assert!(
+            err_hit > err_clean + 5.0,
+            "flip must visibly damage the output ({err_hit} vs {err_clean})"
+        );
+    }
+
+    #[test]
+    fn nan_radiance_does_not_poison_neighbors() {
+        let (_, _, mut cube) = clean_inputs(8, 8);
+        for b in 0..cube.bands() {
+            cube.set(4, 4, b, f32::NAN);
+        }
+        let p = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+        assert_eq!(p.temperature.get(4, 4), 0.0, "all-NaN pixel yields 0 K");
+        assert!(p.temperature.get(3, 4) > 200.0, "neighbor unaffected");
+        assert!(p.temperature.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn secondary_is_coarser_but_sane() {
+        let (t, _, cube) = clean_inputs(32, 32);
+        let sec = Retrieval::default().run_secondary(&cube, &DEFAULT_BANDS);
+        assert_eq!(sec.temperature.width(), 32);
+        let mut mean_err = 0.0f64;
+        for (a, b) in sec.temperature.as_slice().iter().zip(t.as_slice()) {
+            mean_err += f64::from((a - b).abs());
+        }
+        mean_err /= 1024.0;
+        assert!(mean_err < 4.0, "secondary mean error {mean_err} K");
+    }
+
+    #[test]
+    fn secondary_handles_odd_dimensions() {
+        let mut rng = seeded_rng(3);
+        let t = temperature_scene(OtisScene::Stripe, 17, 9, &mut rng);
+        let e = emissivity_scene(17, 9, &mut rng);
+        let cube = radiance_cube(&t, &e, &DEFAULT_BANDS);
+        let sec = Retrieval::default().run_secondary(&cube, &DEFAULT_BANDS);
+        assert_eq!(sec.temperature.width(), 17);
+        assert_eq!(sec.temperature.height(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "band list")]
+    fn band_count_mismatch_panics() {
+        let cube: Cube<f32> = Cube::new(4, 4, 3);
+        let _ = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+    }
+}

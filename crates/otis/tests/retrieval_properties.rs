@@ -1,0 +1,86 @@
+//! Property-based checks on the OTIS retrieval and ALFT machinery.
+
+use preflight_core::{Cube, Image, PhysicalBounds};
+use preflight_datagen::planck::{radiance, DEFAULT_BANDS};
+use preflight_otis::alft::Agreement;
+use preflight_otis::{OutputFilter, Retrieval};
+use proptest::prelude::*;
+
+/// Builds a gray-body cube at uniform temperature `t` and emissivity `eps`.
+fn uniform_cube(t: f64, eps: f64, size: usize) -> Cube<f32> {
+    let mut cube = Cube::new(size, size, DEFAULT_BANDS.len());
+    for (b, &lambda) in DEFAULT_BANDS.iter().enumerate() {
+        let v = (eps * radiance(t, lambda)) as f32;
+        cube.plane_mut(b).fill(v);
+    }
+    cube
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The gray-body retrieval inverts the forward model exactly, for any
+    /// physical temperature and emissivity.
+    #[test]
+    fn gray_body_retrieval_is_exact(
+        t in 180.0f64..380.0,
+        eps in 0.7f64..1.0,
+    ) {
+        let cube = uniform_cube(t, eps, 6);
+        let product = Retrieval::default().run(&cube, &DEFAULT_BANDS);
+        let got = f64::from(product.temperature.get(3, 3));
+        prop_assert!((got - t).abs() < 0.05, "T {t} ε {eps} → {got}");
+        let eps_got = f64::from(product.emissivity.get(3, 3, 2));
+        prop_assert!((eps_got - eps).abs() < 0.01, "ε {eps} → {eps_got}");
+    }
+
+    /// The scaled-down secondary preserves shape and stays within a few
+    /// Kelvin of the primary on smooth scenes.
+    #[test]
+    fn secondary_tracks_primary(
+        t in 200.0f64..360.0,
+        eps in 0.8f64..1.0,
+        size in 4usize..24,
+    ) {
+        let cube = uniform_cube(t, eps, size);
+        let retrieval = Retrieval::default();
+        let primary = retrieval.run(&cube, &DEFAULT_BANDS);
+        let secondary = retrieval.run_secondary(&cube, &DEFAULT_BANDS);
+        prop_assert_eq!(secondary.temperature.width(), size);
+        prop_assert_eq!(secondary.temperature.height(), size);
+        let agreement = Agreement::compare(
+            &primary.temperature,
+            &secondary.temperature,
+            2.0,
+        );
+        prop_assert!(
+            agreement.within_tolerance,
+            "divergence {} K on a uniform scene",
+            agreement.mean_abs_divergence
+        );
+    }
+
+    /// The output filter accepts every physically flat product and rejects
+    /// every out-of-bounds one.
+    #[test]
+    fn filter_bounds_behavior(t in 150.0f64..400.0, bad in prop::bool::ANY) {
+        let filter = OutputFilter::default();
+        let value = if bad { 500.0 } else { t };
+        let img = Image::filled(12, 12, value as f32);
+        let in_bounds = PhysicalBounds::temperature_global().contains(value);
+        prop_assert_eq!(filter.passes(&img), in_bounds);
+    }
+
+    /// Agreement is symmetric and zero against itself.
+    #[test]
+    fn agreement_properties(t in 200.0f64..350.0, delta in 0.0f64..20.0) {
+        let a = Image::filled(8, 8, t as f32);
+        let b = Image::filled(8, 8, (t + delta) as f32);
+        let ab = Agreement::compare(&a, &b, 1.0);
+        let ba = Agreement::compare(&b, &a, 1.0);
+        prop_assert!((ab.mean_abs_divergence - ba.mean_abs_divergence).abs() < 1e-9);
+        let aa = Agreement::compare(&a, &a, 1.0);
+        prop_assert_eq!(aa.mean_abs_divergence, 0.0);
+        prop_assert_eq!(ab.within_tolerance, delta <= 1.0 + 1e-9);
+    }
+}

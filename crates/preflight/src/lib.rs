@@ -1,0 +1,81 @@
+//! # preflight
+//!
+//! Input-data preprocessing for fault tolerance in space applications — a
+//! full reproduction of *"Pre-Processing Input Data to Augment Fault
+//! Tolerance in Space Applications"* (Nair, Koren, Koren & Krishna,
+//! DSN 2003).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`core`] | the preprocessing algorithms: `Algo_NGST`, `Algo_OTIS`, median/mean smoothing, bitwise majority voting, bit windows, sensitivity Λ, voter count Υ |
+//! | [`faults`] | the uncorrelated (Γ₀) and correlated (Γ_ini run model) bit-flip injectors, fault maps, memory interleaving |
+//! | [`datagen`] | NGST Gaussian-walk stacks, quasi-NGST σ sweeps, the OTIS Blob/Stripe/Spots scenes, Planck physics |
+//! | [`metrics`] | the paper's Ψ relative-error metric, RMSE, bit-level confusion scoring |
+//! | [`fits`] | FITS I/O plus the bit-flip-aware header sanity analysis (the Λ = 0 mode) |
+//! | [`rice`] | the block-adaptive Rice compression codec used for downlink |
+//! | [`ngst`] | the NGST application: up-the-ramp detector, cosmic-ray model and rejection, the 16-worker master/slave pipeline |
+//! | [`otis`] | the OTIS application: temperature/emissivity retrieval, the ALFT primary/secondary scheme with output filter and logic grid |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use preflight::prelude::*;
+//!
+//! // 1. A pristine NGST temporal series (Gaussian-walk model, Eq. 1)…
+//! let mut rng = seeded_rng(42);
+//! let model = NgstModel::default();
+//! let clean = model.series(&mut rng);
+//!
+//! // 2. …corrupted by 1 % uncorrelated bit-flips…
+//! let mut observed = clean.clone();
+//! Uncorrelated::new(0.01).unwrap().inject_words(&mut observed, &mut rng);
+//! let corrupted = observed.clone();
+//!
+//! // 3. …and repaired by the paper's dynamic preprocessing algorithm.
+//! let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
+//! algo.preprocess(&mut observed);
+//!
+//! let report = PsiReport::measure(&clean, &corrupted, &observed);
+//! assert!(report.after < report.no_preprocessing);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod tuning;
+
+pub use preflight_core as core;
+pub use preflight_datagen as datagen;
+pub use preflight_faults as faults;
+pub use preflight_fits as fits;
+pub use preflight_metrics as metrics;
+pub use preflight_ngst as ngst;
+pub use preflight_otis as otis;
+pub use preflight_rice as rice;
+
+/// One-stop imports for the common workflow: generate → corrupt →
+/// preprocess → score.
+pub mod prelude {
+    pub use preflight_core::{
+        preprocess_stack, AlgoNgst, AlgoOtis, BitVoter, Cube, Image, ImageStack, MeanSmoother,
+        MedianSmoother, NgstConfig, OtisConfig, PhysicalBounds, PlanePreprocessor, Sensitivity,
+        SeriesPreprocessor, Upsilon,
+    };
+    pub use preflight_datagen::{
+        emissivity_scene, ngst::sky_image, planck::DEFAULT_BANDS, radiance_cube, temperature_scene,
+        NgstModel, OtisScene,
+    };
+    pub use preflight_faults::{seeded_rng, Correlated, FaultMap, Interleaver, Uncorrelated};
+    pub use preflight_fits::{
+        add_checksums, analyze, read_stack, verify_checksums, write_stack, ChecksumStatus,
+    };
+    pub use preflight_metrics::{psi, BitConfusion, PsiReport};
+    pub use preflight_ngst::{
+        CosmicRayModel, CrRejector, DetectorConfig, NgstPipeline, PipelineConfig, TransitFault,
+        UpTheRamp,
+    };
+    pub use preflight_otis::{AlftHarness, AlftOutcome, ProcessFault, Retrieval};
+    pub use preflight_rice::RiceCodec;
+}

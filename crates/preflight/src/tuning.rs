@@ -1,0 +1,277 @@
+//! Automatic selection of Υ and Λ from sample data.
+//!
+//! The paper leaves parameter choice to the designer: *"the system designer
+//! can subjectively decide the value for Υ and Λ optimally suited based on
+//! the statistical model of the datasets and the vulnerability to bitflips
+//! of the system being designed"* (§3.3). This module mechanizes that
+//! procedure:
+//!
+//! 1. estimate the temporal-variation scale σ of the mission's data from
+//!    pristine sample series (robust MAD estimator on first differences);
+//! 2. synthesize replicas from the paper's Gaussian model (Eq. 1) at that
+//!    σ, inject the expected bit-flip rate, and grid-search the candidate
+//!    (Υ, Λ) pairs;
+//! 3. return the pair minimizing the mean Ψ, together with the measured
+//!    expectation, so the designer can judge the margin.
+//!
+//! Because the search runs on *synthetic* replicas, it needs no ground
+//! truth for the mission data itself — exactly the situation on board.
+
+use preflight_core::{AlgoNgst, CoreError, Sensitivity, SeriesPreprocessor, Upsilon};
+use preflight_datagen::NgstModel;
+use preflight_faults::{seeded_rng, Uncorrelated};
+use preflight_metrics::psi;
+
+/// Search space and effort for [`recommend`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuningConfig {
+    /// Candidate sensitivities Λ.
+    pub lambdas: Vec<u32>,
+    /// Candidate voter counts Υ (even, 2..=16).
+    pub upsilons: Vec<usize>,
+    /// Synthetic replicas evaluated per candidate pair.
+    pub replicas: usize,
+    /// RNG seed for the synthetic evaluation.
+    pub seed: u64,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        TuningConfig {
+            lambdas: vec![20, 40, 60, 80, 95],
+            upsilons: vec![2, 4, 6],
+            replicas: 24,
+            seed: 0x7u64,
+        }
+    }
+}
+
+/// The outcome of a tuning run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The recommended voter count.
+    pub upsilon: Upsilon,
+    /// The recommended sensitivity.
+    pub sensitivity: Sensitivity,
+    /// Mean Ψ the winning pair achieved on the synthetic replicas.
+    pub expected_psi: f64,
+    /// Mean Ψ of the corrupted replicas with no preprocessing at all.
+    pub baseline_psi: f64,
+    /// The σ estimated from the sample series.
+    pub sigma_estimate: f64,
+}
+
+impl Recommendation {
+    /// The expected improvement factor of the recommendation.
+    pub fn improvement_factor(&self) -> f64 {
+        if self.expected_psi == 0.0 {
+            f64::INFINITY
+        } else {
+            self.baseline_psi / self.expected_psi
+        }
+    }
+}
+
+/// Robustly estimates the Gaussian-walk σ of a pristine series from the
+/// median absolute first difference (`σ ≈ 1.4826 · median|Δ|` for
+/// Gaussian increments). Returns 0 for series shorter than 2 samples.
+pub fn estimate_sigma(series: &[u16]) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    let mut diffs: Vec<f64> = series
+        .windows(2)
+        .map(|w| (f64::from(w[1]) - f64::from(w[0])).abs())
+        .collect();
+    let mid = diffs.len() / 2;
+    let (_, m, _) = diffs.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    *m * 1.4826
+}
+
+/// Recommends (Υ, Λ) for a mission whose pristine data looks like
+/// `samples` and whose environment flips each bit with probability
+/// `gamma0`.
+///
+/// # Errors
+/// Returns [`CoreError::SeriesTooShort`] if every sample is shorter than
+/// 4 samples (no statistics to estimate), or [`CoreError::InvalidUpsilon`]
+/// / [`CoreError::InvalidSensitivity`] for malformed candidate lists.
+///
+/// # Panics
+/// Panics if `gamma0` is outside `0.0..=1.0` or the candidate lists are
+/// empty.
+pub fn recommend(
+    samples: &[Vec<u16>],
+    gamma0: f64,
+    config: &TuningConfig,
+) -> Result<Recommendation, CoreError> {
+    assert!(
+        (0.0..=1.0).contains(&gamma0),
+        "gamma0 must be a probability"
+    );
+    assert!(
+        !config.lambdas.is_empty() && !config.upsilons.is_empty(),
+        "candidate lists must be non-empty"
+    );
+    let longest = samples.iter().map(|s| s.len()).max().unwrap_or(0);
+    if longest < 4 {
+        return Err(CoreError::SeriesTooShort {
+            len: longest,
+            required: 4,
+        });
+    }
+    // σ estimate: median of per-sample estimates (robust to a few odd
+    // samples).
+    let mut sigmas: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.len() >= 2)
+        .map(|s| estimate_sigma(s))
+        .collect();
+    let mid = sigmas.len() / 2;
+    let (_, m, _) = sigmas.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    let sigma = *m;
+
+    // Representative level and length for the replicas.
+    let level = samples
+        .iter()
+        .flat_map(|s| s.iter())
+        .map(|&v| f64::from(v))
+        .sum::<f64>()
+        / samples.iter().map(|s| s.len()).sum::<usize>().max(1) as f64;
+    let frames = longest;
+    let model = NgstModel::new(frames, level.round().clamp(1.0, 65_535.0) as u16, sigma);
+    let injector = Uncorrelated::new(gamma0).expect("probability asserted above");
+
+    // Pre-generate the replica corpus so every candidate sees identical
+    // corruption.
+    let mut corpus = Vec::with_capacity(config.replicas);
+    let mut baseline = 0.0;
+    for r in 0..config.replicas.max(1) {
+        let mut rng = seeded_rng(config.seed ^ (r as u64).wrapping_mul(0x9E37_79B9));
+        let clean = model.series(&mut rng);
+        let mut corrupted = clean.clone();
+        injector.inject_words(&mut corrupted, &mut rng);
+        baseline += psi(&clean, &corrupted);
+        corpus.push((clean, corrupted));
+    }
+    baseline /= corpus.len() as f64;
+
+    let mut best: Option<(f64, Upsilon, Sensitivity)> = None;
+    for &u in &config.upsilons {
+        let upsilon = Upsilon::new(u)?;
+        if frames < upsilon.min_series_len() {
+            continue;
+        }
+        for &l in &config.lambdas {
+            let sensitivity = Sensitivity::new(l)?;
+            let algo = AlgoNgst::new(upsilon, sensitivity);
+            let mut total = 0.0;
+            for (clean, corrupted) in &corpus {
+                let mut work = corrupted.clone();
+                algo.preprocess(&mut work);
+                total += psi(clean, &work);
+            }
+            let mean = total / corpus.len() as f64;
+            if best.is_none_or(|(b, _, _)| mean < b) {
+                best = Some((mean, upsilon, sensitivity));
+            }
+        }
+    }
+    let (expected_psi, upsilon, sensitivity) = best.ok_or(CoreError::SeriesTooShort {
+        len: frames,
+        required: 4,
+    })?;
+    Ok(Recommendation {
+        upsilon,
+        sensitivity,
+        expected_psi,
+        baseline_psi: baseline,
+        sigma_estimate: sigma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(sigma: f64, n: usize) -> Vec<Vec<u16>> {
+        let model = NgstModel::new(64, 27_000, sigma);
+        (0..n)
+            .map(|i| model.series(&mut seeded_rng(100 + i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn sigma_estimator_is_accurate() {
+        for sigma in [10.0, 100.0, 500.0] {
+            let s = NgstModel::new(4_096, 27_000, sigma).series(&mut seeded_rng(1));
+            let est = estimate_sigma(&s);
+            assert!(
+                (est - sigma).abs() < sigma * 0.15,
+                "σ = {sigma}: estimated {est}"
+            );
+        }
+        assert_eq!(estimate_sigma(&[5]), 0.0);
+        assert_eq!(estimate_sigma(&[]), 0.0);
+    }
+
+    #[test]
+    fn recommendation_beats_the_baseline() {
+        let rec = recommend(&samples(250.0, 6), 0.01, &TuningConfig::default()).unwrap();
+        assert!(rec.expected_psi < rec.baseline_psi / 3.0, "{rec:?}");
+        assert!(rec.improvement_factor() > 3.0);
+        assert!((rec.sigma_estimate - 250.0).abs() < 80.0);
+    }
+
+    #[test]
+    fn calm_data_prefers_more_voters_than_turbulent() {
+        let cfg = TuningConfig {
+            replicas: 32,
+            ..TuningConfig::default()
+        };
+        let calm = recommend(&samples(0.0, 4), 0.02, &cfg).unwrap();
+        let turbulent = recommend(&samples(4_000.0, 4), 0.02, &cfg).unwrap();
+        assert!(
+            calm.upsilon.value() >= turbulent.upsilon.value(),
+            "calm {:?} vs turbulent {:?}",
+            calm.upsilon,
+            turbulent.upsilon
+        );
+    }
+
+    #[test]
+    fn recommended_parameters_transfer_to_fresh_data() {
+        // Tune on one corpus, validate on unseen series from the same model.
+        let rec = recommend(&samples(250.0, 6), 0.01, &TuningConfig::default()).unwrap();
+        let algo = AlgoNgst::new(rec.upsilon, rec.sensitivity);
+        let model = NgstModel::default();
+        let inj = Uncorrelated::new(0.01).unwrap();
+        let mut sum_after = 0.0;
+        let mut sum_before = 0.0;
+        for t in 0..20 {
+            let mut rng = seeded_rng(9_000 + t);
+            let clean = model.series(&mut rng);
+            let mut work = clean.clone();
+            inj.inject_words(&mut work, &mut rng);
+            sum_before += psi(&clean, &work);
+            algo.preprocess(&mut work);
+            sum_after += psi(&clean, &work);
+        }
+        assert!(
+            sum_after < sum_before / 3.0,
+            "tuned parameters must transfer (before {sum_before}, after {sum_after})"
+        );
+    }
+
+    #[test]
+    fn short_samples_are_rejected() {
+        let err = recommend(&[vec![1, 2, 3]], 0.01, &TuningConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::SeriesTooShort { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_gamma_panics() {
+        let _ = recommend(&samples(250.0, 2), 1.5, &TuningConfig::default());
+    }
+}

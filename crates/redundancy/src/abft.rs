@@ -1,0 +1,274 @@
+//! Algorithm-Based Fault Tolerance for matrix multiplication
+//! (Huang & Abraham 1984, the paper's ref \[3\]).
+//!
+//! A matrix is augmented with a checksum row (column sums) and a checksum
+//! column (row sums). The product of a column-checksum matrix and a
+//! row-checksum matrix is a *full* checksum matrix, so a single erroneous
+//! element introduced **during the multiplication** is located by the
+//! intersection of the inconsistent row and column and corrected from the
+//! checksums.
+//!
+//! The scheme's contract starts at checksum generation: corruption that
+//! precedes it — the paper's input-data fault model — is embedded into the
+//! checksums themselves and is undetectable by construction. The tests and
+//! the `repro motivation` experiment demonstrate both sides.
+
+use preflight_core::Image;
+
+/// Tolerance for checksum comparisons (integer data in f64 stays exact well
+/// past the sizes used here; a small epsilon absorbs float ordering).
+const EPS: f64 = 1e-6;
+
+/// The outcome of a full-checksum verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Every row and column checksum is consistent.
+    Consistent,
+    /// Exactly one data element is inconsistent; it was located and can be
+    /// corrected.
+    SingleError {
+        /// Column of the bad element.
+        x: usize,
+        /// Row of the bad element.
+        y: usize,
+        /// The magnitude of the inconsistency.
+        delta: f64,
+    },
+    /// More damage than the single-error scheme can attribute.
+    MultipleErrors {
+        /// Rows whose checksum failed.
+        bad_rows: Vec<usize>,
+        /// Columns whose checksum failed.
+        bad_cols: Vec<usize>,
+    },
+}
+
+/// A matrix carrying a checksum row and a checksum column (the "full
+/// checksum matrix" of the ABFT construction).
+///
+/// Data occupies `(0..w, 0..h)`; column sums live in row `h`, row sums in
+/// column `w`, and the grand total at `(w, h)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChecksumMatrix {
+    cells: Image<f64>,
+    w: usize,
+    h: usize,
+}
+
+impl ChecksumMatrix {
+    /// Wraps `data` (a `w × h` matrix) with freshly computed checksums.
+    ///
+    /// Note the contract: the checksums attest to `data` *as given*. If
+    /// `data` was corrupted beforehand, the corruption is certified, not
+    /// caught — the paper's §1 point.
+    pub fn encode(data: &Image<f64>) -> Self {
+        let (w, h) = (data.width(), data.height());
+        let mut cells = Image::new(w + 1, h + 1);
+        for y in 0..h {
+            for x in 0..w {
+                cells.set(x, y, data.get(x, y));
+            }
+        }
+        for y in 0..h {
+            let sum: f64 = (0..w).map(|x| data.get(x, y)).sum();
+            cells.set(w, y, sum);
+        }
+        for x in 0..w {
+            let sum: f64 = (0..h).map(|y| data.get(x, y)).sum();
+            cells.set(x, h, sum);
+        }
+        let grand: f64 = data.as_slice().iter().sum();
+        cells.set(w, h, grand);
+        ChecksumMatrix { cells, w, h }
+    }
+
+    /// Data width (checksum column excluded).
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Data height (checksum row excluded).
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// The data element at `(x, y)`.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.w && y < self.h, "data element out of range");
+        self.cells.get(x, y)
+    }
+
+    /// Sets a data element *without* refreshing checksums — the hook the
+    /// fault injectors use to model computation/memory faults.
+    pub fn corrupt(&mut self, x: usize, y: usize, value: f64) {
+        assert!(x < self.w && y < self.h, "data element out of range");
+        self.cells.set(x, y, value);
+    }
+
+    /// The data portion as a plain matrix.
+    pub fn data(&self) -> Image<f64> {
+        let mut out = Image::new(self.w, self.h);
+        for y in 0..self.h {
+            for x in 0..self.w {
+                out.set(x, y, self.cells.get(x, y));
+            }
+        }
+        out
+    }
+
+    /// Multiplies two checksummed matrices (`self: w×h` by `rhs: w2×w`),
+    /// producing the full-checksum product the ABFT scheme verifies.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn multiply(&self, rhs: &ChecksumMatrix) -> ChecksumMatrix {
+        assert_eq!(self.w, rhs.h, "inner dimensions must agree");
+        let (m, n, p) = (self.h, self.w, rhs.w);
+        // Multiply the augmented matrices directly: (h+1) × (w) times
+        // (w) × (p+1) — the checksum row/column of the product emerges from
+        // the mathematics, which is exactly what makes verification work.
+        let mut cells = Image::new(p + 1, m + 1);
+        for y in 0..=m {
+            for x in 0..=p {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += self.cells.get(k, y) * rhs.cells.get(x, k);
+                }
+                cells.set(x, y, acc);
+            }
+        }
+        ChecksumMatrix { cells, w: p, h: m }
+    }
+
+    /// Verifies every checksum, classifying the damage.
+    pub fn verify(&self) -> Verdict {
+        let mut bad_rows = Vec::new();
+        for y in 0..self.h {
+            let sum: f64 = (0..self.w).map(|x| self.cells.get(x, y)).sum();
+            if (sum - self.cells.get(self.w, y)).abs() > EPS {
+                bad_rows.push(y);
+            }
+        }
+        let mut bad_cols = Vec::new();
+        for x in 0..self.w {
+            let sum: f64 = (0..self.h).map(|y| self.cells.get(x, y)).sum();
+            if (sum - self.cells.get(x, self.h)).abs() > EPS {
+                bad_cols.push(x);
+            }
+        }
+        match (bad_rows.len(), bad_cols.len()) {
+            (0, 0) => Verdict::Consistent,
+            (1, 1) => {
+                let (x, y) = (bad_cols[0], bad_rows[0]);
+                let sum: f64 = (0..self.w).map(|x| self.cells.get(x, y)).sum();
+                Verdict::SingleError {
+                    x,
+                    y,
+                    delta: sum - self.cells.get(self.w, y),
+                }
+            }
+            _ => Verdict::MultipleErrors { bad_rows, bad_cols },
+        }
+    }
+
+    /// Corrects a located single error in place. Returns `true` if a
+    /// correction was applied.
+    pub fn correct(&mut self) -> bool {
+        if let Verdict::SingleError { x, y, delta } = self.verify() {
+            let fixed = self.cells.get(x, y) - delta;
+            self.cells.set(x, y, fixed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(w: usize, h: usize, f: impl Fn(usize, usize) -> f64) -> Image<f64> {
+        let mut m = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                m.set(x, y, f(x, y));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn encode_verifies_clean() {
+        let a = ChecksumMatrix::encode(&matrix(5, 4, |x, y| (x * 7 + y * 3) as f64));
+        assert_eq!(a.verify(), Verdict::Consistent);
+    }
+
+    #[test]
+    fn product_of_checksum_matrices_is_full_checksum() {
+        let a = ChecksumMatrix::encode(&matrix(4, 3, |x, y| (x + 2 * y) as f64));
+        let b = ChecksumMatrix::encode(&matrix(5, 4, |x, y| (3 * x + y) as f64));
+        let c = a.multiply(&b);
+        assert_eq!(c.width(), 5);
+        assert_eq!(c.height(), 3);
+        assert_eq!(c.verify(), Verdict::Consistent);
+        // Spot-check one product element against a direct computation.
+        let direct: f64 = (0..4).map(|k| a.get(k, 1) * b.get(2, k)).sum();
+        assert!((c.get(2, 1) - direct).abs() < EPS);
+    }
+
+    #[test]
+    fn computation_fault_is_located_and_corrected() {
+        let a = ChecksumMatrix::encode(&matrix(4, 4, |x, y| (x * y + 1) as f64));
+        let b = ChecksumMatrix::encode(&matrix(4, 4, |x, y| (x + y) as f64));
+        let mut c = a.multiply(&b);
+        let truth = c.get(2, 1);
+        c.corrupt(2, 1, truth + 4096.0); // a bit-flip during the computation
+        match c.verify() {
+            Verdict::SingleError { x, y, .. } => {
+                assert_eq!((x, y), (2, 1));
+            }
+            other => panic!("expected SingleError, got {other:?}"),
+        }
+        assert!(c.correct());
+        assert!((c.get(2, 1) - truth).abs() < EPS);
+        assert_eq!(c.verify(), Verdict::Consistent);
+    }
+
+    #[test]
+    fn multiple_faults_are_flagged_not_miscorrected() {
+        let a = ChecksumMatrix::encode(&matrix(4, 4, |x, y| (x + y) as f64));
+        let b = ChecksumMatrix::encode(&matrix(4, 4, |x, y| (x * 2 + y) as f64));
+        let mut c = a.multiply(&b);
+        c.corrupt(0, 0, c.get(0, 0) + 100.0);
+        c.corrupt(3, 2, c.get(3, 2) - 50.0);
+        assert!(matches!(c.verify(), Verdict::MultipleErrors { .. }));
+        assert!(!c.correct());
+    }
+
+    #[test]
+    fn input_corruption_is_invisible_the_papers_point() {
+        // Corrupt the INPUT before checksum generation: ABFT certifies the
+        // garbage and the (wrong) product verifies as Consistent.
+        let mut raw = matrix(4, 4, |x, y| (x * y + 5) as f64);
+        let clean = raw.clone();
+        raw.set(1, 1, raw.get(1, 1) + 8192.0); // pre-existing bit-flip
+        let a = ChecksumMatrix::encode(&raw);
+        let b = ChecksumMatrix::encode(&matrix(4, 4, |x, y| (x + 3 * y) as f64));
+        let c = a.multiply(&b);
+        assert_eq!(a.verify(), Verdict::Consistent, "input damage certified");
+        assert_eq!(c.verify(), Verdict::Consistent, "wrong product verifies");
+        // And the product is genuinely wrong:
+        let b2 = ChecksumMatrix::encode(&matrix(4, 4, |x, y| (x + 3 * y) as f64));
+        let c_clean = ChecksumMatrix::encode(&clean).multiply(&b2);
+        assert!((c.get(0, 1) - c_clean.get(0, 1)).abs() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = ChecksumMatrix::encode(&matrix(3, 3, |_, _| 1.0));
+        let b = ChecksumMatrix::encode(&matrix(3, 4, |_, _| 1.0));
+        let _ = a.multiply(&b);
+    }
+}

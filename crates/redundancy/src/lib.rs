@@ -1,0 +1,28 @@
+//! # preflight-redundancy
+//!
+//! The classical software fault-tolerance schemes the paper's §1 surveys —
+//! and argues are *inadequate for input data corruption*:
+//!
+//! - [`abft`] — Algorithm-Based Fault Tolerance for matrix operations
+//!   (Huang & Abraham, the paper's ref \[3\]): row/column checksums detect
+//!   and correct single element errors **introduced during the
+//!   computation**.
+//! - [`nvp`] — N-Version Programming (Avizienis, ref \[4\]) with majority
+//!   (T/(N−1)-style) voting: independent versions outvote a version whose
+//!   **execution** failed.
+//!
+//! Both are real, working implementations — and both exhibit exactly the
+//! blind spot the paper builds on: when the *input* is corrupted before the
+//! scheme ever sees it, ABFT's checksums are generated over the corrupted
+//! values (nothing to detect) and every NVP version agrees on the same
+//! wrong answer. `repro motivation` turns that argument into a measured
+//! table; `tests/figures_smoke.rs` pins it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod abft;
+pub mod nvp;
+
+pub use abft::{ChecksumMatrix, Verdict};
+pub use nvp::{majority_vote, run_nvp, NvpOutcome, VersionFault};

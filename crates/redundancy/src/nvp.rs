@@ -1,0 +1,207 @@
+//! N-Version Programming with majority voting (Avizienis, the paper's
+//! ref \[4\]; the T/(N−1) voting family).
+//!
+//! `N` independently produced versions of a computation run on the same
+//! input; a voter accepts any output on which a majority agrees. A version
+//! whose *execution* goes wrong (crash, computational fault) is outvoted —
+//! but when the shared **input** is corrupted, every healthy version
+//! faithfully computes the same wrong answer and the voter certifies it
+//! unanimously. That asymmetry is the paper's core motivation, measured by
+//! `repro motivation`.
+
+use preflight_core::Image;
+use rand::RngExt;
+
+/// The voter's decision over `N` version outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NvpOutcome {
+    /// At least `⌈(N+1)/2⌉` versions agreed; the agreed output is returned.
+    Agreed {
+        /// The majority output.
+        output: Image<f64>,
+        /// How many versions matched it.
+        votes: usize,
+    },
+    /// No output reached a majority.
+    NoMajority,
+}
+
+/// Bitwise/value equality of two matrices within a tolerance.
+fn outputs_match(a: &Image<f64>, b: &Image<f64>, eps: f64) -> bool {
+    a.width() == b.width()
+        && a.height() == b.height()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= eps)
+}
+
+/// Majority-votes over version outputs (`eps` bounds legitimate
+/// cross-version numeric divergence).
+///
+/// Returns [`NvpOutcome::NoMajority`] when fewer than `⌈(N+1)/2⌉` outputs
+/// agree. Crashed versions are represented by `None`.
+pub fn majority_vote(outputs: &[Option<Image<f64>>], eps: f64) -> NvpOutcome {
+    let needed = outputs.len() / 2 + 1;
+    for (i, candidate) in outputs.iter().enumerate() {
+        let Some(c) = candidate else { continue };
+        let votes = outputs
+            .iter()
+            .skip(i)
+            .filter(|o| o.as_ref().is_some_and(|o| outputs_match(c, o, eps)))
+            .count();
+        if votes >= needed {
+            return NvpOutcome::Agreed {
+                output: c.clone(),
+                votes,
+            };
+        }
+    }
+    NvpOutcome::NoMajority
+}
+
+/// A process-level fault hitting one NVP version's execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VersionFault {
+    /// The version runs correctly.
+    None,
+    /// The version dies (no output).
+    Crash,
+    /// The version finishes but its arithmetic was perturbed.
+    Computation {
+        /// Seed selecting which element goes wrong and by how much.
+        seed: u64,
+    },
+}
+
+/// Runs `versions` copies of a computation under per-version faults and
+/// votes on the results — the classic NVP harness, here with the matrix
+/// product `input × input` standing in for the science computation.
+pub fn run_nvp(
+    input: &Image<f64>,
+    faults: &[VersionFault],
+    rng_seed: u64,
+) -> (NvpOutcome, Vec<Option<Image<f64>>>) {
+    use preflight_faults::seeded_rng;
+
+    let outputs: Vec<Option<Image<f64>>> = faults
+        .iter()
+        .enumerate()
+        .map(|(v, fault)| match fault {
+            VersionFault::Crash => None,
+            VersionFault::None => Some(square(input)),
+            VersionFault::Computation { seed } => {
+                let mut out = square(input);
+                let mut rng = seeded_rng(rng_seed ^ seed ^ v as u64);
+                let x = rng.random_range(0..out.width());
+                let y = rng.random_range(0..out.height());
+                let bump = f64::from(rng.random_range(1..1_000_000u32));
+                let old = out.get(x, y);
+                out.set(x, y, old + bump);
+                Some(out)
+            }
+        })
+        .collect();
+    (majority_vote(&outputs, 1e-9), outputs)
+}
+
+/// The stand-in science computation: `input × inputᵀ`-style square product.
+fn square(input: &Image<f64>) -> Image<f64> {
+    let n = input.width().min(input.height());
+    let mut out = Image::new(n, n);
+    for y in 0..n {
+        for x in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += input.get(k, y) * input.get(x, k);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(seed: f64) -> Image<f64> {
+        let mut m = Image::new(6, 6);
+        for y in 0..6 {
+            for x in 0..6 {
+                m.set(x, y, (x * 3 + y) as f64 + seed);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn healthy_versions_agree_unanimously() {
+        let (outcome, _) = run_nvp(&input(1.0), &[VersionFault::None; 3], 7);
+        match outcome {
+            NvpOutcome::Agreed { votes, .. } => assert_eq!(votes, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_faulty_version_is_outvoted() {
+        for fault in [VersionFault::Crash, VersionFault::Computation { seed: 5 }] {
+            let faults = [VersionFault::None, fault, VersionFault::None];
+            let (outcome, outputs) = run_nvp(&input(2.0), &faults, 9);
+            let truth = square(&input(2.0));
+            match outcome {
+                NvpOutcome::Agreed { output, votes } => {
+                    assert!(votes >= 2);
+                    assert!(outputs_match(&output, &truth, 1e-9), "voter chose garbage");
+                }
+                other => panic!("{fault:?}: {other:?}"),
+            }
+            assert_eq!(outputs.len(), 3);
+        }
+    }
+
+    #[test]
+    fn majority_of_faulty_versions_defeats_voting() {
+        let faults = [
+            VersionFault::Computation { seed: 1 },
+            VersionFault::Computation { seed: 2 },
+            VersionFault::None,
+        ];
+        let (outcome, _) = run_nvp(&input(3.0), &faults, 11);
+        assert_eq!(outcome, NvpOutcome::NoMajority);
+    }
+
+    #[test]
+    fn corrupted_input_is_certified_unanimously_the_papers_point() {
+        // All versions read the SAME corrupted input: they agree perfectly —
+        // on the wrong answer.
+        let clean = input(4.0);
+        let mut corrupted = clean.clone();
+        corrupted.set(2, 2, corrupted.get(2, 2) + 16_384.0);
+        let (outcome, _) = run_nvp(&corrupted, &[VersionFault::None; 3], 13);
+        match outcome {
+            NvpOutcome::Agreed { output, votes } => {
+                assert_eq!(votes, 3, "unanimous agreement…");
+                let truth = square(&clean);
+                assert!(!outputs_match(&output, &truth, 1e-6), "…on a wrong answer");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_crashed_is_no_majority() {
+        let (outcome, _) = run_nvp(&input(5.0), &[VersionFault::Crash; 3], 15);
+        assert_eq!(outcome, NvpOutcome::NoMajority);
+    }
+
+    #[test]
+    fn vote_tolerance_absorbs_numeric_jitter() {
+        let a = square(&input(6.0));
+        let mut b = a.clone();
+        b.set(0, 0, b.get(0, 0) + 1e-12);
+        let outcome = majority_vote(&[Some(a.clone()), Some(b), None], 1e-9);
+        assert!(matches!(outcome, NvpOutcome::Agreed { votes: 2, .. }));
+    }
+}

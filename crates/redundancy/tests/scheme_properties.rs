@@ -1,0 +1,102 @@
+//! Property-based checks on the classical redundancy schemes.
+
+use preflight_core::Image;
+use preflight_redundancy::{majority_vote, ChecksumMatrix, NvpOutcome, Verdict};
+use proptest::prelude::*;
+
+fn matrix(n: usize, seed: u64) -> Image<f64> {
+    let mut m = Image::new(n, n);
+    let mut state = seed | 1;
+    for y in 0..n {
+        for x in 0..n {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            m.set(x, y, f64::from((state >> 50) as u16 % 997));
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any clean checksummed product verifies, for arbitrary contents and
+    /// sizes.
+    #[test]
+    fn clean_products_always_verify(seed in any::<u64>(), n in 2usize..10) {
+        let a = ChecksumMatrix::encode(&matrix(n, seed));
+        let b = ChecksumMatrix::encode(&matrix(n, seed ^ 0xFF));
+        prop_assert_eq!(a.verify(), Verdict::Consistent);
+        prop_assert_eq!(a.multiply(&b).verify(), Verdict::Consistent);
+    }
+
+    /// A single corrupted element — anywhere, any magnitude above the
+    /// tolerance — is located exactly and corrected exactly.
+    #[test]
+    fn any_single_error_is_located_and_corrected(
+        seed in any::<u64>(),
+        n in 2usize..10,
+        fx in 0usize..10,
+        fy in 0usize..10,
+        delta in prop::sample::select(vec![1.0f64, -3.0, 64.0, -4096.0, 1.0e6]),
+    ) {
+        let (fx, fy) = (fx % n, fy % n);
+        let a = ChecksumMatrix::encode(&matrix(n, seed));
+        let b = ChecksumMatrix::encode(&matrix(n, seed ^ 0x5A));
+        let mut c = a.multiply(&b);
+        let truth = c.get(fx, fy);
+        c.corrupt(fx, fy, truth + delta);
+        match c.verify() {
+            Verdict::SingleError { x, y, .. } => {
+                prop_assert_eq!((x, y), (fx, fy));
+            }
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+        prop_assert!(c.correct());
+        prop_assert!((c.get(fx, fy) - truth).abs() < 1e-6);
+        prop_assert_eq!(c.verify(), Verdict::Consistent);
+    }
+
+    /// Input corruption before encoding is *never* detected (the paper's
+    /// §1 point), regardless of where it lands.
+    #[test]
+    fn pre_encode_corruption_always_certified(
+        seed in any::<u64>(),
+        n in 2usize..10,
+        fx in 0usize..10,
+        fy in 0usize..10,
+    ) {
+        let (fx, fy) = (fx % n, fy % n);
+        let mut raw = matrix(n, seed);
+        raw.set(fx, fy, raw.get(fx, fy) + 8_192.0);
+        let a = ChecksumMatrix::encode(&raw);
+        prop_assert_eq!(a.verify(), Verdict::Consistent);
+    }
+
+    /// NVP majority voting: identical outputs always reach a majority; a
+    /// minority of divergent outputs never flips the vote.
+    #[test]
+    fn nvp_vote_properties(
+        seed in any::<u64>(),
+        n_versions in 3usize..8,
+        n_bad in 0usize..3,
+    ) {
+        prop_assume!(n_bad * 2 < n_versions);
+        let good = matrix(5, seed);
+        let mut bad = good.clone();
+        bad.set(0, 0, bad.get(0, 0) + 999.0);
+        let outputs: Vec<Option<Image<f64>>> = (0..n_versions)
+            .map(|i| Some(if i < n_bad { bad.clone() } else { good.clone() }))
+            .collect();
+        match majority_vote(&outputs, 1e-9) {
+            NvpOutcome::Agreed { output, votes } => {
+                prop_assert!(votes > n_versions / 2);
+                prop_assert_eq!(output.get(0, 0), good.get(0, 0));
+            }
+            NvpOutcome::NoMajority => {
+                return Err(TestCaseError::fail("majority must exist"));
+            }
+        }
+    }
+}

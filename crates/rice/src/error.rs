@@ -1,0 +1,54 @@
+//! Error types for the Rice codec.
+
+use core::fmt;
+
+/// Errors raised while configuring the codec or decoding a bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RiceError {
+    /// The requested block size was outside `1..=64`.
+    InvalidBlockSize {
+        /// The rejected value.
+        value: usize,
+    },
+    /// The bitstream ended before the declared sample count was decoded.
+    UnexpectedEof,
+    /// The stream header was malformed or truncated.
+    BadHeader,
+    /// A block carried an option code the decoder does not know.
+    BadOption {
+        /// The unknown option code.
+        option: u8,
+    },
+}
+
+impl fmt::Display for RiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiceError::InvalidBlockSize { value } => {
+                write!(f, "block size must be in 1..=64, got {value}")
+            }
+            RiceError::UnexpectedEof => write!(f, "bitstream ended mid-block"),
+            RiceError::BadHeader => write!(f, "malformed stream header"),
+            RiceError::BadOption { option } => write!(f, "unknown block option code {option}"),
+        }
+    }
+}
+
+impl std::error::Error for RiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(RiceError::InvalidBlockSize { value: 0 }
+            .to_string()
+            .contains("block size"));
+        assert!(RiceError::UnexpectedEof.to_string().contains("ended"));
+        assert!(RiceError::BadOption { option: 31 }
+            .to_string()
+            .contains("31"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Decoder robustness: arbitrary and mutated byte streams must never
+//! panic, never allocate absurdly, and — when they decode at all — decode
+//! to something bounded by their own header.
+
+use preflight_rice::{RiceCodec, RiceError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage either errors cleanly or decodes within its own
+    /// declared length.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let codec = RiceCodec::new();
+        match codec.decode(&bytes) {
+            Ok(samples) => prop_assert!(samples.len() <= bytes.len() * 8 * 16),
+            Err(
+                RiceError::BadHeader | RiceError::UnexpectedEof | RiceError::BadOption { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// A single bit-flip anywhere in a valid stream must not panic, and a
+    /// flip outside the 32-bit header cannot change the decoded length
+    /// when decoding succeeds.
+    #[test]
+    fn single_flip_in_valid_stream_is_contained(
+        seed in any::<u64>(),
+        len in 1usize..300,
+        flip_bit in 0usize..4096,
+    ) {
+        let mut state = seed | 1;
+        let samples: Vec<u16> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (state >> 48) as u16
+            })
+            .collect();
+        let codec = RiceCodec::new();
+        let mut encoded = codec.encode(&samples);
+        let bit = flip_bit % (encoded.len() * 8);
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(decoded) = codec.decode(&encoded) {
+            if bit >= 32 {
+                prop_assert_eq!(decoded.len(), samples.len());
+            }
+        }
+    }
+
+    /// Truncation at any byte boundary errors cleanly or returns a
+    /// correctly-sized prefix decode — never panics.
+    #[test]
+    fn truncation_never_panics(seed in any::<u64>(), cut in 0usize..200) {
+        let samples: Vec<u16> = (0..128).map(|i| (seed as u16).wrapping_add(i * 3)).collect();
+        let codec = RiceCodec::new();
+        let encoded = codec.encode(&samples);
+        let cut = cut.min(encoded.len());
+        let _ = codec.decode(&encoded[..cut]);
+    }
+
+    /// The header guard rejects absurd sample counts without allocating.
+    #[test]
+    fn giant_header_claims_rejected(claim in 1_000_000u64..=u32::MAX as u64) {
+        let mut bytes = (claim as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        prop_assert_eq!(RiceCodec::new().decode(&bytes), Err(RiceError::BadHeader));
+    }
+}

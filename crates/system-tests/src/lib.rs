@@ -1,0 +1,8 @@
+//! Anchor crate for the workspace-level integration tests.
+//!
+//! The test sources live in `/tests` at the repository root (declared as
+//! `[[test]]` targets in this crate's manifest) so they can exercise every
+//! crate of the workspace together: data generation → fault injection →
+//! preprocessing → application processing → metrics.
+
+#![forbid(unsafe_code)]

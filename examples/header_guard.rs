@@ -1,0 +1,97 @@
+//! The Λ = 0 mode (§3.2): FITS header sanity analysis as a stand-alone
+//! guard — negligible overhead, catastrophic-failure prevention.
+//!
+//! Corrupts successive parts of a real FITS header and shows what the
+//! bit-flip-aware analyzer detects and repairs.
+//!
+//! ```text
+//! cargo run --example header_guard
+//! ```
+
+use preflight::fits::{analyze, read_stack, write_stack};
+use preflight::prelude::*;
+
+type Damage = Box<dyn Fn(&mut Vec<u8>)>;
+
+fn main() {
+    let mut rng = seeded_rng(9);
+    let stack = NgstModel {
+        frames: 16,
+        ..NgstModel::default()
+    }
+    .stack(64, 64, &mut rng);
+    let pristine = write_stack(&stack);
+    println!(
+        "downlink file: {} bytes ({} header block + data)\n",
+        pristine.len(),
+        1
+    );
+
+    let scenarios: Vec<(&str, Damage)> = vec![
+        (
+            "single flip in the BITPIX keyword",
+            Box::new(|b: &mut Vec<u8>| b[80] ^= 0x01),
+        ),
+        (
+            "flip turns BITPIX 16 into 96",
+            Box::new(|b: &mut Vec<u8>| {
+                let pos = (90..110).find(|&i| b[i] == b'1').expect("digit");
+                b[pos] ^= 0x08;
+            }),
+        ),
+        (
+            "NAXIS value flipped 3 → 7",
+            Box::new(|b: &mut Vec<u8>| {
+                let pos = (170..190).find(|&i| b[i] == b'3').expect("digit");
+                b[pos] ^= 0x04;
+            }),
+        ),
+        (
+            "axis length made unparsable",
+            Box::new(|b: &mut Vec<u8>| {
+                let pos = (250..270).find(|&i| b[i] == b'6').expect("digit");
+                b[pos] ^= 0x40;
+            }),
+        ),
+        (
+            "END card damaged",
+            Box::new(|b: &mut Vec<u8>| {
+                let end = b.chunks(80).position(|c| &c[..3] == b"END").expect("END") * 80;
+                b[end + 1] ^= 0x02;
+            }),
+        ),
+        (
+            "comment text shredded",
+            Box::new(|b: &mut Vec<u8>| {
+                for byte in &mut b[35..60] {
+                    *byte ^= 0x15;
+                }
+            }),
+        ),
+        (
+            "keyword obliterated (unrepairable)",
+            Box::new(|b: &mut Vec<u8>| {
+                b[80..88].copy_from_slice(b"QQQQQQQQ");
+            }),
+        ),
+    ];
+
+    for (label, damage) in scenarios {
+        let mut bytes = pristine.clone();
+        damage(&mut bytes);
+        let report = analyze(&bytes);
+        let recovered = report.header_ok
+            && read_stack(&report.repaired)
+                .map(|s| s == stack)
+                .unwrap_or(false);
+        println!("scenario: {label}");
+        println!(
+            "  header ok: {}, fully recovered: {recovered}",
+            report.header_ok
+        );
+        for f in &report.findings {
+            println!("    finding: {f:?}");
+        }
+        println!();
+    }
+}

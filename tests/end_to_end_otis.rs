@@ -1,0 +1,168 @@
+//! End-to-end OTIS chain: thermal scene → Planck radiance cube → bit-flips
+//! in the input → (preprocessing) → temperature/emissivity retrieval →
+//! ALFT logic grid. Asserts the paper's §7 narrative: input preprocessing
+//! rescues exactly the case where ALFT fails catastrophically.
+
+use preflight::core::{Cube, Image};
+use preflight::prelude::*;
+use preflight_datagen::planck::max_radiance;
+
+const SIZE: usize = 32;
+
+fn inputs(seed: u64) -> (Image<f32>, Cube<f32>) {
+    let mut rng = seeded_rng(seed);
+    let temp = temperature_scene(OtisScene::Blob, SIZE, SIZE, &mut rng);
+    let emis = emissivity_scene(SIZE, SIZE, &mut rng);
+    let cube = radiance_cube(&temp, &emis, &DEFAULT_BANDS);
+    (temp, cube)
+}
+
+fn mean_temp_error(truth: &Image<f32>, got: &Image<f32>) -> f64 {
+    truth
+        .as_slice()
+        .iter()
+        .zip(got.as_slice())
+        .map(|(a, b)| {
+            if b.is_finite() {
+                f64::from((a - b).abs()).min(200.0)
+            } else {
+                200.0
+            }
+        })
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+fn otis_algo() -> AlgoOtis {
+    AlgoOtis::new(
+        Sensitivity::new(80).unwrap(),
+        PhysicalBounds::radiance(max_radiance(400.0, &DEFAULT_BANDS) * 1.2),
+    )
+}
+
+#[test]
+fn preprocessing_restores_retrieval_accuracy() {
+    let (truth, cube) = inputs(11);
+    let mut corrupted = cube.clone();
+    Uncorrelated::new(0.01)
+        .unwrap()
+        .inject_cube(&mut corrupted, &mut seeded_rng(12));
+
+    let retrieval = Retrieval::default();
+    let clean_err = mean_temp_error(&truth, &retrieval.run(&cube, &DEFAULT_BANDS).temperature);
+    let bad_err = mean_temp_error(
+        &truth,
+        &retrieval.run(&corrupted, &DEFAULT_BANDS).temperature,
+    );
+
+    let mut repaired = corrupted.clone();
+    let fixed = otis_algo().preprocess_cube(&mut repaired);
+    assert!(fixed > 0, "preprocessing must act on corrupted input");
+    let repaired_err = mean_temp_error(
+        &truth,
+        &retrieval.run(&repaired, &DEFAULT_BANDS).temperature,
+    );
+
+    assert!(clean_err < 0.5, "clean retrieval baseline {clean_err} K");
+    assert!(
+        bad_err > 5.0 * clean_err.max(0.05),
+        "corruption must visibly hurt ({bad_err} K)"
+    );
+    assert!(
+        repaired_err < bad_err / 3.0,
+        "preprocessing must recover most accuracy ({repaired_err} vs {bad_err} K)"
+    );
+}
+
+#[test]
+fn alft_alone_fails_on_corrupted_input_but_preprocessing_saves_it() {
+    let (_, cube) = inputs(21);
+    let mut corrupted = cube.clone();
+    Uncorrelated::new(0.01)
+        .unwrap()
+        .inject_cube(&mut corrupted, &mut seeded_rng(22));
+
+    let harness = AlftHarness::default();
+    // ALFT by itself: both primary and secondary read the same corrupted
+    // cube — the catastrophic case.
+    let (_, outcome) = harness.execute(
+        &corrupted,
+        &DEFAULT_BANDS,
+        ProcessFault::None,
+        &mut seeded_rng(23),
+    );
+    assert_eq!(
+        outcome,
+        AlftOutcome::BothFailed,
+        "corrupted input must defeat plain ALFT"
+    );
+
+    // With input preprocessing in front, the same harness succeeds.
+    let mut repaired = corrupted.clone();
+    otis_algo().preprocess_cube(&mut repaired);
+    let (product, outcome) = harness.execute(
+        &repaired,
+        &DEFAULT_BANDS,
+        ProcessFault::None,
+        &mut seeded_rng(24),
+    );
+    assert_eq!(
+        outcome,
+        AlftOutcome::UsedPrimary,
+        "preprocessed input must pass the filter"
+    );
+    assert!(product.is_some());
+}
+
+#[test]
+fn alft_still_handles_its_own_fault_classes() {
+    let (_, cube) = inputs(31);
+    let harness = AlftHarness::default();
+    let (p, o) = harness.execute(
+        &cube,
+        &DEFAULT_BANDS,
+        ProcessFault::Crash,
+        &mut seeded_rng(32),
+    );
+    assert_eq!(o, AlftOutcome::UsedSecondary);
+    assert!(p.is_some());
+
+    let (_, o) = harness.execute(
+        &cube,
+        &DEFAULT_BANDS,
+        ProcessFault::SilentCorruption(0.05),
+        &mut seeded_rng(33),
+    );
+    assert_eq!(o, AlftOutcome::UsedSecondary);
+}
+
+#[test]
+fn natural_hot_spot_survives_preprocessing_but_point_fault_does_not() {
+    // The §7.2 guarantee at system level: a genuine thermal anomaly (a
+    // multi-pixel geyser) must survive preprocessing while an isolated
+    // fault of similar magnitude is removed.
+    let mut rng = seeded_rng(41);
+    let mut temp = temperature_scene(OtisScene::Blob, SIZE, SIZE, &mut rng);
+    for y in 10..13 {
+        for x in 10..13 {
+            temp.set(x, y, 330.0); // geyser
+        }
+    }
+    let emis = emissivity_scene(SIZE, SIZE, &mut rng);
+    let mut cube = radiance_cube(&temp, &emis, &DEFAULT_BANDS);
+    // A point fault elsewhere of comparable magnitude:
+    let fake = cube.get(24, 24, 2) * 2.5;
+    cube.set(24, 24, 2, fake);
+
+    let before_geyser = cube.get(11, 11, 2);
+    otis_algo().preprocess_cube(&mut cube);
+    assert_eq!(
+        cube.get(11, 11, 2),
+        before_geyser,
+        "geyser center must be retained"
+    );
+    assert!(
+        (cube.get(24, 24, 2) - fake).abs() > f32::EPSILON,
+        "the isolated fault must be repaired"
+    );
+}

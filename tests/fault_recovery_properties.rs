@@ -1,0 +1,203 @@
+//! Property-based invariants over the whole fault-injection → preprocessing
+//! → scoring chain.
+
+use preflight::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reverting every flip the injector recorded restores the data exactly
+    /// — for any probability and seed (uncorrelated model).
+    #[test]
+    fn uncorrelated_fault_map_is_exact(
+        gamma in 0.0f64..=0.2,
+        seed in any::<u64>(),
+        level in 0u16..=u16::MAX,
+    ) {
+        let clean = vec![level; 256];
+        let mut data = clean.clone();
+        let map = Uncorrelated::new(gamma).unwrap()
+            .inject_words(&mut data, &mut seeded_rng(seed));
+        for f in map.iter() {
+            data[f.word] ^= 1 << f.bit;
+        }
+        prop_assert_eq!(data, clean);
+    }
+
+    /// Same exactness for the correlated model on arbitrary grid widths.
+    #[test]
+    fn correlated_fault_map_is_exact(
+        gamma in 0.0f64..=0.4,
+        seed in any::<u64>(),
+        width in 1usize..=64,
+    ) {
+        let clean = vec![0x6978u16; 256];
+        let mut data = clean.clone();
+        let map = Correlated::new(gamma).unwrap()
+            .inject_grid(&mut data, width, &mut seeded_rng(seed));
+        for f in map.iter() {
+            data[f.word] ^= 1 << f.bit;
+        }
+        prop_assert_eq!(data, clean);
+    }
+
+    /// Γ = 0 injectors are exact identities.
+    #[test]
+    fn zero_probability_is_identity(seed in any::<u64>(), len in 1usize..512) {
+        let clean: Vec<u16> = (0..len as u16).collect();
+        let mut a = clean.clone();
+        Uncorrelated::new(0.0).unwrap().inject_words(&mut a, &mut seeded_rng(seed));
+        prop_assert_eq!(&a, &clean);
+        Correlated::new(0.0).unwrap().inject_grid(&mut a, 16, &mut seeded_rng(seed));
+        prop_assert_eq!(&a, &clean);
+    }
+
+    /// The Rice codec roundtrips arbitrary sample vectors.
+    #[test]
+    fn rice_roundtrip(samples in proptest::collection::vec(any::<u16>(), 0..2000)) {
+        let codec = RiceCodec::new();
+        let encoded = codec.encode(&samples);
+        prop_assert_eq!(codec.decode(&encoded).unwrap(), samples);
+    }
+
+    /// The interleaver is a bijection for every divisor pair, and
+    /// deinterleave ∘ interleave = id.
+    #[test]
+    fn interleaver_bijective(cols in 1usize..=32, rows in 1usize..=32) {
+        let len = cols * rows;
+        let il = Interleaver::new(len, cols).unwrap();
+        let data: Vec<u32> = (0..len as u32).collect();
+        let phys = il.interleave(&data);
+        let mut seen = vec![false; len];
+        for &v in &phys {
+            prop_assert!(!seen[v as usize], "duplicate after interleave");
+            seen[v as usize] = true;
+        }
+        prop_assert_eq!(il.deinterleave(&phys), data);
+    }
+
+    /// Algo_NGST never touches bits inside its own window C, for arbitrary
+    /// series and sensitivities.
+    #[test]
+    fn algo_ngst_window_c_immunity(
+        seed in any::<u64>(),
+        lambda in 1u32..=100,
+        sigma in 0.0f64..2000.0,
+        gamma in 0.0f64..=0.05,
+    ) {
+        let model = NgstModel::new(32, 27_000, sigma);
+        let mut rng = seeded_rng(seed);
+        let mut series = model.series(&mut rng);
+        Uncorrelated::new(gamma).unwrap().inject_words(&mut series, &mut rng);
+        let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(lambda).unwrap());
+        let windows = algo.windows_for(&series).unwrap();
+        let c_mask = windows.window_c();
+        let before = series.clone();
+        algo.preprocess(&mut series);
+        for (b, a) in before.iter().zip(&series) {
+            prop_assert_eq!(b & c_mask, a & c_mask, "window C bit modified");
+        }
+    }
+
+    /// Algo_NGST at Λ = 0 is an exact no-op on pixels.
+    #[test]
+    fn algo_ngst_lambda_zero_noop(seed in any::<u64>()) {
+        let model = NgstModel::default();
+        let mut series = model.series(&mut seeded_rng(seed));
+        let before = series.clone();
+        let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::OFF);
+        prop_assert_eq!(algo.preprocess(&mut series), 0);
+        prop_assert_eq!(series, before);
+    }
+
+    /// Median smoothing only ever emits values present in its input
+    /// neighborhood (value-provenance property of a true median).
+    #[test]
+    fn median_values_come_from_input(
+        series in proptest::collection::vec(any::<u16>(), 3..128),
+    ) {
+        let orig = series.clone();
+        let mut smoothed = series;
+        SeriesPreprocessor::<u16>::preprocess(&MedianSmoother::buffered(), &mut smoothed);
+        for v in smoothed {
+            prop_assert!(orig.contains(&v));
+        }
+    }
+
+    /// Bitwise majority voting never touches a constant series (every bit
+    /// is already unanimous), for arbitrary constants and lengths.
+    #[test]
+    fn bitvote_constant_fixed_point(value in any::<u16>(), len in 4usize..64) {
+        let mut series = vec![value; len];
+        let changed = SeriesPreprocessor::<u16>::preprocess(&BitVoter::new(), &mut series);
+        prop_assert_eq!(changed, 0);
+        prop_assert!(series.iter().all(|&v| v == value));
+    }
+
+    /// Any *single* flipped sample in a constant run is fully reverted by
+    /// bitwise majority voting, wherever it sits and whatever bits flipped.
+    #[test]
+    fn bitvote_reverts_any_single_sample_corruption(
+        value in any::<u16>(),
+        damage in 1u16..=u16::MAX,
+        idx in 0usize..16,
+        len in 16usize..48,
+    ) {
+        let mut series = vec![value; len];
+        series[idx] ^= damage;
+        SeriesPreprocessor::<u16>::preprocess(&BitVoter::new(), &mut series);
+        prop_assert!(series.iter().all(|&v| v == value));
+    }
+
+    /// Ψ is non-negative, zero on identity, and symmetric in corruption
+    /// severity: adding error never reduces Ψ against the same ideal.
+    #[test]
+    fn psi_basic_properties(
+        ideal in proptest::collection::vec(1u16..=u16::MAX, 1..256),
+        seed in any::<u64>(),
+    ) {
+        use preflight::metrics::psi;
+        prop_assert_eq!(psi(&ideal, &ideal), 0.0);
+        let mut light = ideal.clone();
+        let map = Uncorrelated::new(0.005).unwrap()
+            .inject_words(&mut light, &mut seeded_rng(seed));
+        let p = psi(&ideal, &light);
+        prop_assert!(p >= 0.0);
+        if !map.is_empty() {
+            prop_assert!(p > 0.0);
+        }
+    }
+
+    /// BitConfusion counts are internally consistent:
+    /// true + misses = total flipped.
+    #[test]
+    fn confusion_counts_consistent(
+        seed in any::<u64>(),
+        gamma in 0.0f64..=0.1,
+    ) {
+        let clean = vec![27_000u16; 128];
+        let mut corrupted = clean.clone();
+        Uncorrelated::new(gamma).unwrap().inject_words(&mut corrupted, &mut seeded_rng(seed));
+        let mut repaired = corrupted.clone();
+        AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap()).preprocess(&mut repaired);
+        let c = BitConfusion::score(&clean, &corrupted, &repaired);
+        prop_assert_eq!(c.true_corrections + c.misses, c.total_flipped);
+        prop_assert!(c.total_bits >= c.total_flipped);
+    }
+
+    /// FITS stack roundtrip for arbitrary contents and shapes.
+    #[test]
+    fn fits_stack_roundtrip(
+        w in 1usize..=16,
+        h in 1usize..=16,
+        n in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mut stack: ImageStack<u16> = ImageStack::new(w, h, n);
+        Uncorrelated::new(0.5).unwrap().inject_stack(&mut stack, &mut rng);
+        let bytes = write_stack(&stack);
+        prop_assert_eq!(read_stack(&bytes).unwrap(), stack);
+    }
+}

@@ -1,0 +1,377 @@
+//! Shape checks for every reproduced figure, at a tiny scale.
+//!
+//! Absolute Ψ values depend on the synthetic substrate; what must hold —
+//! and what the paper's conclusions rest on — are the *orderings*: who
+//! wins, where the margins are large, and where behavior degrades. These
+//! assertions are deliberately aggregate (averaged over grid prefixes) so
+//! they are stable at smoke-test sample counts.
+
+use preflight_bench::report::Scale;
+use preflight_bench::{self as bench, Figure};
+
+fn tiny() -> Scale {
+    Scale {
+        trials: 8,
+        series_len: 64,
+        otis_size: 24,
+        stack_edge: 8,
+    }
+}
+
+/// Mean of the first `k` points of a labelled series.
+fn head_mean(fig: &Figure, label: &str, k: usize) -> f64 {
+    let s = fig
+        .series(label)
+        .unwrap_or_else(|| panic!("series {label} in {}", fig.id));
+    let k = k.min(s.ys.len());
+    s.ys[..k].iter().sum::<f64>() / k as f64
+}
+
+#[test]
+fn fig2_algo_beats_baselines_in_practical_range() {
+    let fig = bench::fig2(tiny());
+    // Over the practical range (first 4 grid points, Γ₀ ≤ 1 %), the best
+    // sensitivity beats median smoothing, which beats raw data.
+    let nopre = head_mean(&fig, "NoPreprocessing", 4);
+    let median = head_mean(&fig, "MedianSmoothing", 4);
+    let best_algo = [20u32, 50, 80, 95]
+        .iter()
+        .map(|l| head_mean(&fig, &format!("Algo_NGST(L={l})"), 4))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        median < nopre,
+        "median {median} !< no-preprocessing {nopre}"
+    );
+    assert!(
+        best_algo < median / 2.0,
+        "Algo_NGST {best_algo} !≪ median {median}"
+    );
+    // The paper's headline factor: an order of magnitude or more.
+    assert!(
+        nopre / best_algo > 10.0,
+        "improvement factor {}",
+        nopre / best_algo
+    );
+}
+
+#[test]
+fn fig3_lambda_zero_is_nearly_free() {
+    let fig = bench::fig3(tiny());
+    let algo = fig.series("Algo_NGST").unwrap();
+    let at_zero = algo.ys[0];
+    let at_eighty = algo.ys[8];
+    assert!(
+        at_zero < at_eighty / 5.0,
+        "Λ=0 must be almost free ({at_zero} vs {at_eighty} µs)"
+    );
+}
+
+#[test]
+fn fig4_correlated_faults_algo_wins_and_smoothers_tie() {
+    let fig = bench::fig4(tiny());
+    let nopre = head_mean(&fig, "NoPreprocessing", 3);
+    let median = head_mean(&fig, "MedianSmoothing", 3);
+    let bitvote = head_mean(&fig, "BitVoting", 3);
+    let algo = head_mean(&fig, "Algo_NGST(opt L)", 3);
+    assert!(
+        algo < median && algo < bitvote,
+        "algo {algo} vs median {median}, bitvote {bitvote}"
+    );
+    assert!(algo < nopre / 5.0);
+    // "both of which show quite similar performance"
+    let ratio = median.max(bitvote) / median.min(bitvote);
+    assert!(
+        ratio < 3.0,
+        "smoothers should be comparable (ratio {ratio})"
+    );
+}
+
+#[test]
+fn fig5_gamut_algo_dominates_and_relative_error_falls_with_intensity() {
+    let fig = bench::fig5(tiny());
+    let nopre = fig.series("NoPreprocessing").unwrap();
+    assert!(
+        nopre.ys.first().unwrap() > nopre.ys.last().unwrap(),
+        "relative error must fall as mean intensity rises"
+    );
+    let algo = head_mean(&fig, "Algo_NGST(opt L)", 9);
+    let median = head_mean(&fig, "MedianSmoothing", 9);
+    assert!(
+        algo < median,
+        "algo {algo} !< median {median} across the gamut"
+    );
+}
+
+#[test]
+fn fig6_upsilon_crossovers() {
+    let figs = bench::fig6(tiny());
+    // σ = 0 (first figure): more voters help — Υ=4/6 must beat Υ=2 on the
+    // low-Γ half of the grid.
+    let calm = &figs[0];
+    let u2 = head_mean(calm, "Upsilon=2", 4);
+    let u4 = head_mean(calm, "Upsilon=4", 4);
+    let u6 = head_mean(calm, "Upsilon=6", 4);
+    assert!(
+        u4 <= u2 && u6 <= u2,
+        "σ=0: Υ=4 ({u4}) / Υ=6 ({u6}) must beat Υ=2 ({u2})"
+    );
+    // Every σ: preprocessing beats raw data on the practical half.
+    for fig in &figs[..3] {
+        let nopre = head_mean(fig, "NoPreprocessing", 4);
+        let best = ["Upsilon=2", "Upsilon=4", "Upsilon=6"]
+            .iter()
+            .map(|l| head_mean(fig, l, 4))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best < nopre,
+            "{}: best Υ {best} !< no-preprocessing {nopre}",
+            fig.id
+        );
+    }
+}
+
+#[test]
+fn fig7_otis_ordering_matches_paper() {
+    for fig in bench::fig7(tiny()) {
+        let n = fig.xs.len();
+        let nopre = head_mean(&fig, "NoPreprocessing", n);
+        let median = head_mean(&fig, "MedianSmoothing", n);
+        let bitvote = head_mean(&fig, "BitVoting", n);
+        let algo = head_mean(&fig, "Algo_OTIS", n);
+        assert!(
+            algo < nopre / 2.0,
+            "{}: algo {algo} vs nopre {nopre}",
+            fig.id
+        );
+        assert!(algo < median, "{}: algo {algo} !< median {median}", fig.id);
+        assert!(
+            algo < bitvote,
+            "{}: algo {algo} !< bitvote {bitvote}",
+            fig.id
+        );
+        // "The Majority Bit Voting Algorithm … appears to be overall better
+        // than … Median Smoothing" — on the upper half of the Γ grid.
+        let med_hi: f64 = fig.series("MedianSmoothing").unwrap().ys[n / 2..]
+            .iter()
+            .sum::<f64>();
+        let bit_hi: f64 = fig.series("BitVoting").unwrap().ys[n / 2..]
+            .iter()
+            .sum::<f64>();
+        assert!(
+            bit_hi < med_hi,
+            "{}: bit-voting must win at high Γ₀",
+            fig.id
+        );
+    }
+}
+
+#[test]
+fn fig9_preprocessing_saturates_at_high_gamma_ini() {
+    for fig in bench::fig9(tiny()) {
+        let nopre = fig.series("NoPreprocessing").unwrap();
+        let algo = fig.series("Algo_OTIS").unwrap();
+        // Strong win at the practical end…
+        assert!(
+            algo.ys[0] < nopre.ys[0] / 2.0,
+            "{}: algo must win at Γ_ini = 0.05",
+            fig.id
+        );
+        // …but past the breakdown region the benefit collapses (the paper's
+        // deterioration regime): improvement factor below 1.15 at the top.
+        let last = algo.ys.last().unwrap();
+        let last_nopre = nopre.ys.last().unwrap();
+        assert!(
+            last_nopre / last < 1.15,
+            "{}: breakdown missing (factor {})",
+            fig.id,
+            last_nopre / last
+        );
+    }
+}
+
+#[test]
+fn improvement_factors_match_the_practical_range_claim() {
+    let fig = bench::improvement_factors(tiny());
+    let algo = fig.series("Algo_NGST (best L)").unwrap();
+    // Order-of-magnitude improvement in the practical low-Γ₀ range.
+    let head = algo.ys[..3].iter().sum::<f64>() / 3.0;
+    assert!(head > 10.0, "mean low-Γ₀ factor {head}");
+    // And the factor decays toward 1 at the extreme end.
+    assert!(*algo.ys.last().unwrap() < head);
+}
+
+#[test]
+fn median_beats_mean_smoothing() {
+    let fig = bench::mean_vs_median(tiny());
+    let n = fig.xs.len();
+    let median = head_mean(&fig, "MedianSmoothing", n);
+    let mean = head_mean(&fig, "MeanSmoothing", n);
+    assert!(
+        median < mean / 1.5,
+        "§4.1: median ({median}) must clearly beat mean ({mean})"
+    );
+}
+
+#[test]
+fn motivation_table_reproduces_the_section1_argument() {
+    let fig = bench::motivation(tiny());
+    let at = |label: &str, class: usize| fig.series(label).unwrap().ys[class - 1];
+
+    // Input bit-flips: ABFT and NVP are *exactly* as bad as no protection —
+    // the checksums certify the garbage and every version agrees on it.
+    let unprotected = at("Unprotected", 1);
+    assert!(unprotected > 0.0);
+    assert_eq!(
+        at("ABFT", 1),
+        unprotected,
+        "ABFT must be blind to input faults"
+    );
+    assert_eq!(
+        at("NVP(3)", 1),
+        unprotected,
+        "NVP must be blind to input faults"
+    );
+    assert!(
+        at("Preprocessing", 1) < unprotected / 3.0,
+        "preprocessing must cover the input-fault class"
+    );
+
+    // Computation faults: the classical schemes win, preprocessing cannot.
+    assert!(at("Unprotected", 2) > 0.0);
+    assert!(at("ABFT", 2) < at("Unprotected", 2) / 100.0);
+    assert!(at("NVP(3)", 2) < at("Unprotected", 2) / 100.0);
+    assert_eq!(
+        at("Preprocessing", 2),
+        at("Unprotected", 2),
+        "preprocessing runs before the computation and never sees this class"
+    );
+}
+
+#[test]
+fn scaling_experiment_is_sane() {
+    // Speedup itself is host-dependent (a single-core CI box shows ~1.0
+    // across the board), so assert only the invariants: positive times,
+    // speedup normalized to 1 at one worker, and no pathological collapse
+    // from threading overhead.
+    let fig = bench::scaling(tiny());
+    let time = fig.series("wall time (ms)").unwrap();
+    let speedup = fig.series("speedup").unwrap();
+    assert!(time.ys.iter().all(|&t| t > 0.0));
+    assert!((speedup.ys[0] - 1.0).abs() < 1e-12);
+    assert!(
+        speedup.ys.iter().all(|&s| s > 0.5),
+        "worker threading must not halve throughput: {:?}",
+        speedup.ys
+    );
+}
+
+#[test]
+fn compression_claim_clean_beats_damaged() {
+    let fig = bench::compression_claim(tiny());
+    let clean = fig.series("clean").unwrap().ys[0];
+    let cr = fig.series("with CR hits").unwrap().ys[0];
+    let flipped = fig.series("bit-flipped").unwrap();
+    assert!(cr < clean, "CR hits must cost compression ratio");
+    assert!(
+        flipped.ys.last().unwrap() < &clean,
+        "bit-flips must cost compression ratio"
+    );
+    // Degradation grows with Γ₀.
+    assert!(flipped.ys.last().unwrap() < &flipped.ys[0]);
+}
+
+#[test]
+fn interleave_dispersal_defeats_bursts() {
+    let fig = bench::interleave_claim(tiny());
+    let contiguous = fig.series("Algo_NGST series-contiguous").unwrap();
+    let dispersed = fig.series("Algo_NGST dispersed").unwrap();
+    // At single-word bursts the layouts are equivalent…
+    assert!(contiguous.ys[0] < dispersed.ys[0] * 3.0 + 1e-9);
+    // …at long bursts the dispersed placement wins decisively.
+    let c_last = contiguous.ys.last().unwrap();
+    let d_last = dispersed.ys.last().unwrap();
+    assert!(
+        *d_last < c_last / 3.0,
+        "dispersed {d_last} must beat contiguous {c_last} under long bursts"
+    );
+}
+
+#[test]
+fn spatial_beats_spectral_locality() {
+    let fig = bench::spatial_vs_spectral(tiny());
+    let n = fig.xs.len();
+    let spatial = head_mean(&fig, "Algo_OTIS spatial", n);
+    let spectral = head_mean(&fig, "Algo_OTIS spectral", n);
+    assert!(
+        spatial < spectral,
+        "spatial {spatial} !< spectral {spectral}"
+    );
+}
+
+#[test]
+fn ablation_grt_never_hurts_much_and_usually_helps() {
+    let fig = bench::ablation_windows(tiny());
+    let n = fig.xs.len();
+    let on = head_mean(&fig, "GRT on", n);
+    let off = head_mean(&fig, "GRT off", n);
+    assert!(on <= off * 1.05, "GRT on {on} should not lose to off {off}");
+}
+
+#[test]
+fn ablation_second_pass_helps_at_high_gamma() {
+    let fig = bench::ablation_passes(tiny());
+    let one = fig.series("1 pass").unwrap();
+    let two = fig.series("2 passes").unwrap();
+    let n = fig.xs.len();
+    // Across the heavy-corruption tail, the second pass must win on
+    // aggregate (threshold re-estimation from partially cleaned data).
+    let tail_one: f64 = one.ys[n - 3..].iter().sum();
+    let tail_two: f64 = two.ys[n - 3..].iter().sum();
+    assert!(
+        tail_two < tail_one,
+        "2 passes ({tail_two}) must beat 1 pass ({tail_one}) at high Γ₀"
+    );
+    // And never meaningfully hurt at low Γ₀.
+    let head_one: f64 = one.ys[..3].iter().sum();
+    let head_two: f64 = two.ys[..3].iter().sum();
+    assert!(head_two <= head_one * 1.2, "{head_two} vs {head_one}");
+}
+
+#[test]
+fn ablation_dynamic_windows_win_on_calm_data() {
+    let fig = bench::ablation_static(tiny());
+    let dynamic = fig.series("dynamic windows").unwrap();
+    let narrow = fig.series("static A=2,C=10").unwrap();
+    // At σ = 0 the dynamic delimiters adapt and must beat the frozen ones.
+    assert!(
+        dynamic.ys[0] < narrow.ys[0],
+        "dynamic {} !< static {} at σ=0",
+        dynamic.ys[0],
+        narrow.ys[0]
+    );
+}
+
+#[test]
+fn tables_and_csv_render_for_every_figure() {
+    let scale = Scale {
+        trials: 2,
+        series_len: 32,
+        otis_size: 16,
+        stack_edge: 8,
+    };
+    let mut figs = vec![
+        bench::fig2(scale),
+        bench::fig4(scale),
+        bench::fig5(scale),
+        bench::compression_claim(scale),
+        bench::interleave_claim(scale),
+    ];
+    figs.extend(bench::fig6(scale));
+    figs.extend(bench::fig7(scale));
+    for fig in figs {
+        let table = fig.to_table();
+        assert!(table.contains(&fig.id));
+        let csv = fig.to_csv();
+        assert_eq!(csv.lines().count(), fig.xs.len() + 1, "{} CSV rows", fig.id);
+    }
+}
