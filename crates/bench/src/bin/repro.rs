@@ -6,7 +6,7 @@
 //!
 //! targets:
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig9
-//!   compression factors mean-vs-median scaling
+//!   compression factors mean-vs-median scaling recovery
 //!   interleave spatial-vs-spectral
 //!   ablation-windows ablation-static
 //!   all
@@ -108,6 +108,7 @@ fn run_target(target: &str, scale: Scale) -> Vec<Figure> {
         "factors" => vec![preflight_bench::improvement_factors(scale)],
         "mean-vs-median" => vec![preflight_bench::mean_vs_median(scale)],
         "scaling" => vec![preflight_bench::scaling(scale)],
+        "recovery" => vec![preflight_bench::fig_recovery(scale)],
         "motivation" => vec![preflight_bench::motivation(scale)],
         "interleave" => vec![preflight_bench::interleave_claim(scale)],
         "spatial-vs-spectral" => vec![preflight_bench::spatial_vs_spectral(scale)],
@@ -128,6 +129,7 @@ fn run_target(target: &str, scale: Scale) -> Vec<Figure> {
                 "factors",
                 "mean-vs-median",
                 "scaling",
+                "recovery",
                 "motivation",
                 "interleave",
                 "spatial-vs-spectral",
@@ -153,7 +155,7 @@ fn write_artifact(dir: &str, fig: &Figure, ext: &str, body: &str) -> std::io::Re
 fn print_usage() {
     eprintln!(
         "usage: repro <target> [--paper|--quick] [--csv DIR] [--svg DIR]\n\
-         targets: fig2 fig3 fig4 fig5 fig6 fig7 fig9 compression factors scaling motivation\n\x20        mean-vs-median interleave\n\
+         targets: fig2 fig3 fig4 fig5 fig6 fig7 fig9 compression factors scaling recovery\n\x20        motivation mean-vs-median interleave\n\
          \x20        spatial-vs-spectral ablation-windows ablation-static ablation-passes all"
     );
 }

@@ -17,6 +17,7 @@
 pub mod motivation;
 pub mod ngst_exp;
 pub mod otis_exp;
+pub mod recovery;
 pub mod report;
 pub mod svg;
 
@@ -26,4 +27,5 @@ pub use ngst_exp::{
     fig6, improvement_factors, interleave_claim, mean_vs_median, scaling,
 };
 pub use otis_exp::{fig7, fig9, spatial_vs_spectral};
+pub use recovery::fig_recovery;
 pub use report::{Figure, Scale, Series};

@@ -578,10 +578,14 @@ pub fn scaling(scale: Scale) -> Figure {
             transit_fault: Some(TransitFault::Uncorrelated(0.005)),
             seed: 1,
             ..PipelineConfig::default()
-        });
+        })
+        .expect("valid pipeline config");
         // Best of three runs to damp scheduler noise.
         let best = (0..3)
-            .map(|_| pipeline.run(&stack).elapsed.as_secs_f64() * 1e3)
+            .map(|_| {
+                let rep = pipeline.run(&stack).expect("pipeline run");
+                rep.elapsed.as_secs_f64() * 1e3
+            })
             .fold(f64::INFINITY, f64::min);
         elapsed_ms.push(best);
     }

@@ -27,6 +27,9 @@ pub enum CliError {
     Fits(preflight::fits::FitsError),
     /// Invalid algorithm parameters.
     Core(preflight::core::CoreError),
+    /// The distributed pipeline failed (bad configuration or a worker was
+    /// lost with supervision disabled).
+    Pipeline(PipelineError),
 }
 
 impl fmt::Display for CliError {
@@ -36,6 +39,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "I/O: {e}"),
             CliError::Fits(e) => write!(f, "FITS: {e}"),
             CliError::Core(e) => write!(f, "parameters: {e}"),
+            CliError::Pipeline(e) => write!(f, "pipeline: {e}"),
         }
     }
 }
@@ -60,6 +64,36 @@ impl From<preflight::core::CoreError> for CliError {
     }
 }
 
+impl From<PipelineError> for CliError {
+    fn from(e: PipelineError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+/// Reads `--lambda` and validates the sensitivity percentage up front.
+fn lambda_arg(opts: &Opts) -> Result<u32, CliError> {
+    let lambda = opts.u32_or("lambda", 80)?;
+    if lambda > 100 {
+        return Err(CliError::Usage(format!(
+            "--lambda {lambda} is out of range: the sensitivity \u{39b} is a \
+             percentage and must lie in 0..=100"
+        )));
+    }
+    Ok(lambda)
+}
+
+/// Reads `--upsilon` and validates the voter count up front.
+fn upsilon_arg(opts: &Opts) -> Result<usize, CliError> {
+    let upsilon = opts.usize_or("upsilon", 4)?;
+    if upsilon < 2 || upsilon % 2 != 0 || upsilon > 16 {
+        return Err(CliError::Usage(format!(
+            "--upsilon {upsilon} is invalid: the voter count \u{3a5} must be \
+             an even number between 2 and 16"
+        )));
+    }
+    Ok(upsilon)
+}
+
 /// Prints the usage summary to stderr.
 pub fn print_usage() {
     eprintln!(
@@ -75,8 +109,9 @@ pub fn print_usage() {
          \x20 otis-gen   --out FILE --scene blob|stripe|spots [--size N] [--seed S]\n\
          \x20 otis-inject --in FILE --out FILE --gamma0 P [--seed S]\n\
          \x20 retrieve   --in FILE --out FILE [--preprocess] [--lambda L]\n\
-         \x20 pipeline   --in FILE --out FILE [--preprocess] [--lambda L] [--workers N]\n\
-         \x20            [--tile N] [--gamma0 P] [--seed S]"
+         \x20 pipeline   --in FILE --out FILE [--preprocess] [--lambda L] [--upsilon U]\n\
+         \x20            [--workers N] [--tile N] [--gamma0 P] [--seed S]\n\
+         \x20            [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]"
     );
 }
 
@@ -170,8 +205,8 @@ fn cmd_inject(opts: &Opts) -> Result<String, CliError> {
 fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
     let input = opts.require("in")?;
     let out = opts.require("out")?;
-    let lambda = opts.u32_or("lambda", 80)?;
-    let upsilon = opts.usize_or("upsilon", 4)?;
+    let lambda = lambda_arg(opts)?;
+    let upsilon = upsilon_arg(opts)?;
     let algo = AlgoNgst::new(Upsilon::new(upsilon)?, Sensitivity::new(lambda)?);
 
     let bytes = std::fs::read(Path::new(&input))?;
@@ -346,6 +381,12 @@ fn cmd_retrieve(opts: &Opts) -> Result<String, CliError> {
 
     let input = opts.require("in")?;
     let out = opts.require("out")?;
+    // Validate parameters before touching the filesystem.
+    let lambda = if opts.has("preprocess") {
+        Some(lambda_arg(opts)?)
+    } else {
+        None
+    };
     let bytes = std::fs::read(Path::new(&input))?;
     let mut cube = preflight::fits::read_cube_f32(&bytes)?;
     if cube.bands() != DEFAULT_BANDS.len() {
@@ -356,8 +397,7 @@ fn cmd_retrieve(opts: &Opts) -> Result<String, CliError> {
         )));
     }
     let mut report = String::new();
-    if opts.has("preprocess") {
-        let lambda = opts.u32_or("lambda", 80)?;
+    if let Some(lambda) = lambda {
         let algo = AlgoOtis::new(
             Sensitivity::new(lambda)?,
             PhysicalBounds::radiance(max_radiance(400.0, &DEFAULT_BANDS) * 1.2),
@@ -390,6 +430,11 @@ fn cmd_retrieve(opts: &Opts) -> Result<String, CliError> {
 /// `pipeline`: the full Fig. 1 run — header sanity + checksum triage,
 /// tiling to workers, optional preprocessing, CR rejection, reassembly and
 /// multi-HDU product output (INTEGRATED / RATE / REPAIRS).
+///
+/// Supervision (`--max-retries`, `--stage-timeout-ms`, `--degrade`) wraps
+/// every tile in the retry/degradation envelope; `--chaos P` additionally
+/// injects process-level faults (worker stalls, crashes, corrupted result
+/// messages) with probability `P` each, from the run's seed.
 fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
     let input = opts.require("in")?;
     let out = opts.require("out")?;
@@ -408,11 +453,50 @@ fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
         )));
     }
     let preprocess = if opts.has("preprocess") {
-        let lambda = opts.u32_or("lambda", 80)?;
-        Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(lambda)?))
+        let lambda = lambda_arg(opts)?;
+        let upsilon = upsilon_arg(opts)?;
+        Some(AlgoNgst::new(Upsilon::new(upsilon)?, Sensitivity::new(lambda)?))
     } else {
         None
     };
+
+    // Supervision: enabled by any of the runtime-robustness flags.
+    let chaos_prob = opts.f64_or("chaos", 0.0)?;
+    let max_retries = opts.u32_or("max-retries", 2)?;
+    let timeout_ms = opts.u64_or("stage-timeout-ms", 30_000)?;
+    if timeout_ms == 0 {
+        return Err(CliError::Usage(
+            "--stage-timeout-ms must be positive".to_owned(),
+        ));
+    }
+    let supervised = chaos_prob > 0.0
+        || opts.has("degrade")
+        || opts.given("max-retries")
+        || opts.given("stage-timeout-ms");
+    let supervision = Supervision {
+        policy: RetryPolicy {
+            max_retries,
+            stage_timeout: std::time::Duration::from_millis(timeout_ms),
+            seed,
+            ..RetryPolicy::default()
+        },
+        degrade: opts.has("degrade"),
+        ..Supervision::default()
+    };
+    let injector = if chaos_prob != 0.0 {
+        let config = ChaosConfig::uniform(chaos_prob).map_err(|e| {
+            CliError::Usage(format!(
+                "--chaos {chaos_prob} is invalid: {e} (stall, crash and \
+                 corruption each get this probability, so it must not \
+                 exceed 1/3)"
+            ))
+        })?;
+        Some(ChaosInjector::new(config, seed).map_err(|e| CliError::Usage(e.to_string()))?)
+    } else {
+        None
+    };
+    let chaos: Option<&dyn ChaosModel> = injector.as_ref().map(|i| i as &dyn ChaosModel);
+
     let cfg = PipelineConfig {
         workers,
         tile_size: tile,
@@ -422,9 +506,12 @@ fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
         ..PipelineConfig::default()
     };
     let bytes = std::fs::read(Path::new(&input))?;
-    let ingest = NgstPipeline::new(cfg)
-        .run_fits(&bytes)
-        .map_err(CliError::Fits)?;
+    let pipeline = NgstPipeline::new(cfg)?;
+    let ingest = if supervised {
+        pipeline.run_fits_with(&bytes, Some(&supervision), chaos)?
+    } else {
+        pipeline.run_fits(&bytes)?
+    };
     std::fs::write(Path::new(&out), ingest.report.to_fits_products())?;
     let mut report = String::new();
     for f in &ingest.sanity.findings {
@@ -440,6 +527,19 @@ fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
         ingest.report.corrected_samples,
         ingest.report.cr_jumps_rejected
     );
+    if let Some(sup) = &ingest.supervision {
+        let _ = writeln!(
+            report,
+            "supervision: FT level {} achieved; {} recovery event(s); \
+             {} tile(s) abandoned",
+            sup.achieved.name(),
+            sup.recovery.len(),
+            sup.abandoned_tiles
+        );
+        if !sup.recovery.is_empty() {
+            let _ = writeln!(report, "recovery: {}", sup.recovery.summary());
+        }
+    }
     let _ = writeln!(
         report,
         "products (INTEGRATED + RATE + REPAIRS) -> {out} \
@@ -636,6 +736,111 @@ mod tests {
             preflight::fits::read_hdus(&std::fs::read(&out).unwrap()).expect("products parse");
         assert_eq!(hdus.len(), 3);
         assert_eq!(hdus[2].name.as_deref(), Some("REPAIRS"));
+    }
+
+    #[test]
+    fn pipeline_supervised_chaos_run_reports_recovery() {
+        let stack = tmp("chaos-in.fits");
+        let out = tmp("chaos-out.fits");
+        run(&[
+            "gen", "--out", &stack, "--width", "32", "--height", "32", "--frames", "16",
+        ])
+        .unwrap();
+        let r = run(&[
+            "pipeline",
+            "--in",
+            &stack,
+            "--out",
+            &out,
+            "--chaos",
+            "0.2",
+            "--max-retries",
+            "3",
+            "--degrade",
+            "--workers",
+            "2",
+            "--tile",
+            "16",
+            "--seed",
+            "11",
+        ])
+        .unwrap();
+        assert!(r.contains("supervision: FT level"), "{r}");
+        let hdus =
+            preflight::fits::read_hdus(&std::fs::read(&out).unwrap()).expect("products parse");
+        assert_eq!(hdus.len(), 3, "chaos must not cost the products");
+    }
+
+    #[test]
+    fn pipeline_rejects_bad_robustness_flags() {
+        assert!(matches!(
+            run(&["pipeline", "--in", "x", "--out", "y", "--chaos", "0.5"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["pipeline", "--in", "x", "--out", "y", "--chaos", "-0.1"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "pipeline",
+                "--in",
+                "x",
+                "--out",
+                "y",
+                "--stage-timeout-ms",
+                "0"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn lambda_and_upsilon_are_validated_up_front() {
+        // No input file is ever touched: validation must fire first.
+        for args in [
+            ["preprocess", "--in", "x", "--out", "y", "--lambda", "101"],
+            ["preprocess", "--in", "x", "--out", "y", "--upsilon", "3"],
+            ["preprocess", "--in", "x", "--out", "y", "--upsilon", "0"],
+            ["preprocess", "--in", "x", "--out", "y", "--upsilon", "18"],
+        ] {
+            let err = run(&args).unwrap_err();
+            match err {
+                CliError::Usage(m) => {
+                    assert!(
+                        m.contains("must"),
+                        "friendly message expected, got: {m}"
+                    );
+                }
+                other => panic!("expected usage error, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            run(&[
+                "retrieve",
+                "--in",
+                "x",
+                "--out",
+                "y",
+                "--preprocess",
+                "--lambda",
+                "999"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "pipeline",
+                "--in",
+                "x",
+                "--out",
+                "y",
+                "--preprocess",
+                "--upsilon",
+                "5"
+            ]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

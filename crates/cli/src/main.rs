@@ -12,6 +12,7 @@
 //! preflight otis-inject --in FILE --out FILE --gamma0 P
 //! preflight retrieve   --in FILE --out FILE [--preprocess] [--lambda L]
 //! preflight pipeline   --in FILE --out FILE [--preprocess] [--workers N] [--gamma0 P]
+//!                      [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]
 //! ```
 //!
 //! Every subcommand reads and writes standard single-HDU FITS stacks, so

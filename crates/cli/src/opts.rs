@@ -11,7 +11,7 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["correlated", "preprocess"];
+const SWITCHES: &[&str] = &["correlated", "preprocess", "degrade"];
 
 impl Opts {
     /// Parses the arguments after the subcommand.
@@ -45,6 +45,12 @@ impl Opts {
     /// `true` if the bare switch was present.
     pub fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
+    }
+
+    /// `true` if a value-taking flag was given explicitly (as opposed to
+    /// falling back to its default).
+    pub fn given(&self, key: &str) -> bool {
+        self.values.contains_key(key)
     }
 
     /// A mandatory string flag.
@@ -126,6 +132,15 @@ mod tests {
         assert_eq!(o.require_f64("gamma0").unwrap(), 0.01);
         assert!(o.has("correlated"));
         assert!(!o.has("quiet"));
+        assert!(o.given("gamma0"));
+        assert!(!o.given("seed"));
+    }
+
+    #[test]
+    fn degrade_is_a_switch() {
+        let o = parse(&["--degrade", "--chaos", "0.1"]).unwrap();
+        assert!(o.has("degrade"));
+        assert_eq!(o.f64_or("chaos", 0.0).unwrap(), 0.1);
     }
 
     #[test]

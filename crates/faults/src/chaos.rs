@@ -1,0 +1,357 @@
+//! Process-level chaos injection.
+//!
+//! The rest of this crate corrupts *data*; this module injects faults into
+//! the *computation* itself — stalled workers, crashed workers, corrupted
+//! inter-stage messages and pathological slowdowns — the process-level
+//! failure modes a supervised pipeline runtime must survive. Two drivers
+//! are provided:
+//!
+//! - [`ChaosInjector`] rolls each fault independently per `(unit, attempt)`
+//!   from a seeded RNG, so a chaos campaign is reproducible end-to-end and
+//!   independent of worker scheduling order;
+//! - [`ChaosPlan`] scripts exact outcomes for exact `(unit, attempt)`
+//!   pairs, for golden-value tests where the event sequence itself is the
+//!   assertion.
+//!
+//! Both implement [`ChaosModel`], which pipeline workers consult once per
+//! attempt.
+
+use crate::error::FaultError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// What a worker is instructed to do with the current attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosOutcome {
+    /// Proceed normally.
+    Healthy,
+    /// Hang for `stall` (the supervisor's deadline should fire first).
+    Stall(Duration),
+    /// Die without producing a result.
+    Crash,
+    /// Produce a result, then flip bits of the result message with
+    /// per-bit probability `gamma` before it is sent.
+    CorruptMessage {
+        /// Per-bit flip probability applied to the outgoing message.
+        gamma: f64,
+    },
+    /// Run slower by `delay` but complete (tests deadline headroom, not
+    /// failure handling).
+    Slow(Duration),
+}
+
+/// A source of process-level fault decisions, consulted once per
+/// `(unit, attempt)`.
+///
+/// Implementations must be deterministic in `(unit, attempt)` — never in
+/// call order — so that concurrent workers racing over the queue cannot
+/// change which faults occur.
+pub trait ChaosModel: Send + Sync {
+    /// The fault (if any) to inject into this attempt.
+    fn roll(&self, unit: u64, attempt: u32) -> ChaosOutcome;
+}
+
+/// Probabilities and magnitudes for [`ChaosInjector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability an attempt stalls past its deadline.
+    pub stall_prob: f64,
+    /// Probability the worker crashes mid-attempt.
+    pub crash_prob: f64,
+    /// Probability the result message is corrupted in transit.
+    pub corrupt_prob: f64,
+    /// Probability the attempt is slowed (but completes).
+    pub slow_prob: f64,
+    /// How long a stalled attempt hangs.
+    pub stall_duration: Duration,
+    /// Extra latency of a slowed attempt.
+    pub slow_duration: Duration,
+    /// Per-bit flip probability applied to corrupted messages.
+    pub corrupt_gamma: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            stall_prob: 0.0,
+            crash_prob: 0.0,
+            corrupt_prob: 0.0,
+            slow_prob: 0.0,
+            stall_duration: Duration::from_millis(200),
+            slow_duration: Duration::from_millis(20),
+            corrupt_gamma: 0.01,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A uniform configuration: each of stall, crash and corrupt occurs
+    /// with probability `p` (the common single-knob campaign, as driven by
+    /// the CLI's `--chaos` flag and the recovery benchmark).
+    pub fn uniform(p: f64) -> Result<Self, FaultError> {
+        let cfg = ChaosConfig {
+            stall_prob: p,
+            crash_prob: p,
+            corrupt_prob: p,
+            ..ChaosConfig::default()
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks every probability is finite, within `0.0..=1.0`, and that
+    /// their sum does not exceed 1 (the outcomes are mutually exclusive).
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for &p in &[
+            self.stall_prob,
+            self.crash_prob,
+            self.corrupt_prob,
+            self.slow_prob,
+            self.corrupt_gamma,
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FaultError::InvalidProbability { value: p });
+            }
+        }
+        let total = self.stall_prob + self.crash_prob + self.corrupt_prob + self.slow_prob;
+        if total > 1.0 {
+            return Err(FaultError::InvalidProbability { value: total });
+        }
+        Ok(())
+    }
+}
+
+/// Probabilistic chaos driver, reproducible from a seed.
+///
+/// Each `(unit, attempt)` pair gets its own RNG stream derived from the
+/// seed, so outcomes do not depend on which worker rolls first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosInjector {
+    config: ChaosConfig,
+    seed: u64,
+}
+
+impl ChaosInjector {
+    /// Builds an injector after validating `config`.
+    pub fn new(config: ChaosConfig, seed: u64) -> Result<Self, FaultError> {
+        config.validate()?;
+        Ok(ChaosInjector { config, seed })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+}
+
+impl ChaosModel for ChaosInjector {
+    fn roll(&self, unit: u64, attempt: u32) -> ChaosOutcome {
+        let stream = self.seed
+            ^ unit.wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ u64::from(attempt).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        let mut rng = StdRng::seed_from_u64(stream);
+        let x: f64 = rng.random();
+        let c = &self.config;
+        let mut edge = c.stall_prob;
+        if x < edge {
+            return ChaosOutcome::Stall(c.stall_duration);
+        }
+        edge += c.crash_prob;
+        if x < edge {
+            return ChaosOutcome::Crash;
+        }
+        edge += c.corrupt_prob;
+        if x < edge {
+            return ChaosOutcome::CorruptMessage {
+                gamma: c.corrupt_gamma,
+            };
+        }
+        edge += c.slow_prob;
+        if x < edge {
+            return ChaosOutcome::Slow(c.slow_duration);
+        }
+        ChaosOutcome::Healthy
+    }
+}
+
+/// Scripted chaos: exact outcomes for exact `(unit, attempt)` pairs,
+/// everything else healthy.
+///
+/// Used by golden-value system tests, where the recovery-event sequence is
+/// asserted exactly and therefore must not depend on any RNG stream.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    script: HashMap<(u64, u32), ChaosOutcome>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (all attempts healthy).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts `outcome` for attempt `attempt` of unit `unit`. Returns
+    /// `self` for chaining.
+    pub fn with(mut self, unit: u64, attempt: u32, outcome: ChaosOutcome) -> Self {
+        self.script.insert((unit, attempt), outcome);
+        self
+    }
+
+    /// Number of scripted entries.
+    pub fn len(&self) -> usize {
+        self.script.len()
+    }
+
+    /// `true` when nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.script.is_empty()
+    }
+}
+
+impl ChaosModel for ChaosPlan {
+    fn roll(&self, unit: u64, attempt: u32) -> ChaosOutcome {
+        self.script
+            .get(&(unit, attempt))
+            .copied()
+            .unwrap_or(ChaosOutcome::Healthy)
+    }
+}
+
+/// Flips each bit of each word in `message` independently with probability
+/// `gamma`, using the RNG stream for `(seed, unit, attempt)` — the
+/// transport-level analogue of [`crate::Uncorrelated`], applied to an
+/// inter-stage message rather than to stored data. Returns the number of
+/// bits flipped.
+pub fn corrupt_words(message: &mut [u16], gamma: f64, seed: u64, unit: u64, attempt: u32) -> usize {
+    let stream = seed
+        ^ unit.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7)
+        ^ u64::from(attempt).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    let mut rng = StdRng::seed_from_u64(stream);
+    let mut flipped = 0;
+    for word in message.iter_mut() {
+        for bit in 0..16 {
+            if rng.random::<f64>() < gamma {
+                *word ^= 1 << bit;
+                flipped += 1;
+            }
+        }
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_quiet() {
+        let inj = ChaosInjector::new(ChaosConfig::default(), 1).unwrap();
+        for unit in 0..64 {
+            assert_eq!(inj.roll(unit, 0), ChaosOutcome::Healthy);
+        }
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        assert!(ChaosConfig::uniform(-0.1).is_err());
+        assert!(ChaosConfig::uniform(1.5).is_err());
+        // Sum over 1.0 rejected even though each term is legal.
+        let cfg = ChaosConfig {
+            stall_prob: 0.4,
+            crash_prob: 0.4,
+            corrupt_prob: 0.4,
+            ..ChaosConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ChaosConfig {
+            corrupt_gamma: f64::NAN,
+            ..ChaosConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rolls_are_deterministic_per_unit_and_attempt() {
+        let cfg = ChaosConfig::uniform(0.2).unwrap();
+        let a = ChaosInjector::new(cfg, 99).unwrap();
+        let b = ChaosInjector::new(cfg, 99).unwrap();
+        for unit in 0..32 {
+            for attempt in 0..3 {
+                assert_eq!(a.roll(unit, attempt), b.roll(unit, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_campaigns() {
+        let cfg = ChaosConfig::uniform(0.3).unwrap();
+        let a = ChaosInjector::new(cfg, 1).unwrap();
+        let b = ChaosInjector::new(cfg, 2).unwrap();
+        let differs = (0..64).any(|unit| a.roll(unit, 0) != b.roll(unit, 0));
+        assert!(differs, "seeds should decorrelate campaigns");
+    }
+
+    #[test]
+    fn attempts_reroll_independently() {
+        // With a high fault probability some unit must be faulty at
+        // attempt 0 yet healthy at a later attempt — otherwise retries
+        // could never succeed under chaos.
+        let cfg = ChaosConfig::uniform(0.25).unwrap();
+        let inj = ChaosInjector::new(cfg, 7).unwrap();
+        let recovers = (0..256).any(|unit| {
+            inj.roll(unit, 0) != ChaosOutcome::Healthy
+                && (1..4).any(|a| inj.roll(unit, a) == ChaosOutcome::Healthy)
+        });
+        assert!(recovers);
+    }
+
+    #[test]
+    fn fault_rate_tracks_configuration() {
+        let cfg = ChaosConfig::uniform(0.1).unwrap(); // 30 % total
+        let inj = ChaosInjector::new(cfg, 5).unwrap();
+        let faulty = (0..2000)
+            .filter(|&u| inj.roll(u, 0) != ChaosOutcome::Healthy)
+            .count();
+        let rate = faulty as f64 / 2000.0;
+        assert!(
+            (0.15..0.45).contains(&rate),
+            "observed fault rate {rate} far from configured 0.3"
+        );
+    }
+
+    #[test]
+    fn plan_scripts_exact_outcomes() {
+        let plan = ChaosPlan::new()
+            .with(3, 0, ChaosOutcome::Crash)
+            .with(3, 1, ChaosOutcome::CorruptMessage { gamma: 0.5 })
+            .with(5, 0, ChaosOutcome::Stall(Duration::from_millis(100)));
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.roll(3, 0), ChaosOutcome::Crash);
+        assert_eq!(plan.roll(3, 1), ChaosOutcome::CorruptMessage { gamma: 0.5 });
+        assert_eq!(plan.roll(3, 2), ChaosOutcome::Healthy);
+        assert_eq!(plan.roll(0, 0), ChaosOutcome::Healthy);
+    }
+
+    #[test]
+    fn corrupt_words_flips_and_is_deterministic() {
+        let mut a: Vec<u16> = vec![0; 256];
+        let mut b = a.clone();
+        let fa = corrupt_words(&mut a, 0.05, 11, 2, 0);
+        let fb = corrupt_words(&mut b, 0.05, 11, 2, 0);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+        assert!(fa > 0, "5 % of 4096 bits should flip at least once");
+        let set_bits: u32 = a.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(set_bits as usize, fa, "flips from zero leave exactly fa bits set");
+    }
+
+    #[test]
+    fn corrupt_words_zero_gamma_is_noop() {
+        let mut msg: Vec<u16> = (0..64).collect();
+        let orig = msg.clone();
+        assert_eq!(corrupt_words(&mut msg, 0.0, 1, 0, 0), 0);
+        assert_eq!(msg, orig);
+    }
+}

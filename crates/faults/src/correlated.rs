@@ -82,19 +82,23 @@ impl Correlated {
     /// `R_v` above in the column — and the *higher* resulting probability
     /// (i.e. the longer run) decides, exactly as §2.2.3 prescribes.
     ///
+    /// An empty `words` slice (or `Γ_ini = 0`) is a no-op, whatever the row
+    /// width. A final partial row is handled like any other row edge.
+    ///
     /// # Panics
-    /// Panics if `words_per_row == 0`.
+    /// Panics if `words_per_row == 0` while `words` is non-empty (a
+    /// non-empty memory with zero-width rows is not a geometry).
     pub fn inject_grid<T: BitPixel>(
         &self,
         words: &mut [T],
         words_per_row: usize,
         rng: &mut impl Rng,
     ) -> FaultMap {
-        assert!(words_per_row > 0, "words_per_row must be positive");
         let mut map = FaultMap::new();
         if self.gamma_ini == 0.0 || words.is_empty() {
             return map;
         }
+        assert!(words_per_row > 0, "words_per_row must be positive");
         let bits = T::BITS as usize;
         let bits_per_row = words_per_row * bits;
         // Vertical run lengths (consecutive flips directly above) per column.
@@ -127,13 +131,17 @@ impl Correlated {
     }
 
     /// Convenience: inject into an image stack, using the frame width as the
-    /// memory row width (each detector row is one physical memory row).
+    /// memory row width (each detector row is one physical memory row). A
+    /// degenerate stack (zero width, height or frame count) is a no-op.
     pub fn inject_stack<T: BitPixel>(
         &self,
         stack: &mut ImageStack<T>,
         rng: &mut impl Rng,
     ) -> FaultMap {
         let w = stack.width();
+        if stack.as_slice().is_empty() {
+            return FaultMap::new();
+        }
         self.inject_grid(stack.as_mut_slice(), w, rng)
     }
 
@@ -303,5 +311,69 @@ mod tests {
         let _ = Correlated::new(0.1)
             .unwrap()
             .inject_grid(&mut d, 0, &mut seeded_rng(0));
+    }
+
+    #[test]
+    fn empty_input_is_noop_for_any_row_width() {
+        let model = Correlated::new(0.3).unwrap();
+        let mut empty: Vec<u16> = vec![];
+        // An empty memory has no geometry to violate — even row width 0.
+        for w in [0, 1, 64] {
+            let map = model.inject_grid(&mut empty, w, &mut seeded_rng(2));
+            assert!(map.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_element_series_is_handled() {
+        // One word, whether it fills its row or sits in a much wider one,
+        // must inject without indexing past the buffer.
+        let model = Correlated::new(1.0).unwrap();
+        for w in [1, 100] {
+            let mut d = vec![0u16; 1];
+            let map = model.inject_grid(&mut d, w, &mut seeded_rng(3));
+            assert_eq!(map.len(), 16, "Γ_ini = 1 flips every bit of the word");
+            assert!(map.iter().all(|f| f.word == 0));
+            assert_eq!(d[0], 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn partial_final_row_stays_in_bounds() {
+        // 10 words in rows of 4: the final row holds only 2 words. Runs
+        // crossing that plane boundary must clip, not index off the end.
+        let model = Correlated::new(1.0).unwrap();
+        let mut d = vec![0u16; 10];
+        let map = model.inject_grid(&mut d, 4, &mut seeded_rng(5));
+        assert_eq!(map.len(), 10 * 16, "Γ_ini = 1 flips every existing bit");
+        assert!(map.iter().all(|f| f.word < 10 && f.bit < 16));
+        assert!(d.iter().all(|&v| v == 0xFFFF));
+    }
+
+    #[test]
+    fn row_wider_than_input_stays_in_bounds() {
+        // Row width far beyond the buffer: a single truncated row.
+        let model = Correlated::new(0.5).unwrap();
+        let mut d = vec![0u16; 3];
+        let map = model.inject_grid(&mut d, 1024, &mut seeded_rng(7));
+        assert!(map.iter().all(|f| f.word < 3));
+    }
+
+    #[test]
+    fn gamma_zero_stack_and_empty_stack_are_noops() {
+        let model = Correlated::new(0.0).unwrap();
+        let mut stack: ImageStack<u16> = ImageStack::new(32, 8, 4);
+        assert!(model.inject_stack(&mut stack, &mut seeded_rng(1)).is_empty());
+
+        // Degenerate geometries (zero width / height / frames) are no-ops
+        // even at high Γ_ini, not panics.
+        let model = Correlated::new(0.4).unwrap();
+        for (w, h, f) in [(0, 8, 4), (32, 0, 4), (32, 8, 0)] {
+            let mut stack: ImageStack<u16> = ImageStack::new(w, h, f);
+            let map = model.inject_stack(&mut stack, &mut seeded_rng(1));
+            assert!(map.is_empty(), "{w}x{h}x{f} stack must be a no-op");
+        }
+        let mut cube: Cube<f32> = Cube::new(0, 16, 4);
+        assert!(model.inject_cube(&mut cube, &mut seeded_rng(1)).is_empty());
     }
 }

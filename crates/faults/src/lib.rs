@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod block;
+pub mod chaos;
 pub mod correlated;
 pub mod error;
 pub mod interleave;
@@ -44,6 +45,7 @@ pub mod map;
 pub mod uncorrelated;
 
 pub use block::BlockFault;
+pub use chaos::{corrupt_words, ChaosConfig, ChaosInjector, ChaosModel, ChaosOutcome, ChaosPlan};
 pub use correlated::Correlated;
 pub use error::FaultError;
 pub use interleave::Interleaver;

@@ -18,7 +18,12 @@
 //! - [`pipeline`] — the master/slave tile pipeline over crossbeam channels,
 //!   with optional bit-flip injection "in transit" and optional input
 //!   preprocessing on the slave side — the integration point where the
-//!   paper's contribution plugs into the host application.
+//!   paper's contribution plugs into the host application. Runs can be
+//!   *supervised* ([`pipeline::NgstPipeline::run_with`]): per-tile
+//!   deadlines, bounded retries with backoff, and the graceful-degradation
+//!   ladder keep a baseline flowing even when workers stall, crash or
+//!   corrupt their messages (chaos injection via
+//!   `preflight_faults::chaos`).
 //!
 //! # Example
 //!
@@ -32,7 +37,9 @@
 //! let flux = Image::filled(32, 32, 50.0f32); // e⁻/s everywhere
 //! let stack = det.clean_stack(&flux, &mut seeded_rng(1));
 //! let report = NgstPipeline::new(PipelineConfig { workers: 4, tile_size: 16, ..PipelineConfig::default() })
-//!     .run(&stack);
+//!     .unwrap()
+//!     .run(&stack)
+//!     .unwrap();
 //! assert_eq!(report.rate.width(), 32);
 //! ```
 
@@ -46,5 +53,8 @@ pub mod schedule;
 
 pub use crreject::{CrRejector, SeriesRejection};
 pub use detector::{CosmicRayModel, CrHit, DetectorConfig, UpTheRamp};
-pub use pipeline::{FitsIngestReport, NgstPipeline, PipelineConfig, PipelineReport, TransitFault};
+pub use pipeline::{
+    FitsIngestReport, NgstPipeline, PipelineConfig, PipelineError, PipelineReport,
+    SupervisedReport, SupervisionOutcome, TileLevel, TransitFault, TILE_STAGE,
+};
 pub use schedule::{BaselineScheduler, ScheduleConfig, ScheduleReport};

@@ -13,7 +13,7 @@
 //! accounting and the utilization headroom the preprocessing stage
 //! consumed.
 
-use crate::pipeline::{NgstPipeline, PipelineConfig, PipelineReport};
+use crate::pipeline::{NgstPipeline, PipelineConfig, PipelineError, PipelineReport};
 use preflight_core::ImageStack;
 use std::time::Duration;
 
@@ -85,14 +85,18 @@ pub struct BaselineScheduler {
 impl BaselineScheduler {
     /// Creates a scheduler.
     ///
-    /// # Panics
-    /// Panics if the baseline period is not positive and finite.
-    pub fn new(config: ScheduleConfig) -> Self {
-        assert!(
-            config.baseline_seconds.is_finite() && config.baseline_seconds > 0.0,
-            "baseline period must be positive"
-        );
-        BaselineScheduler { config }
+    /// # Errors
+    /// Returns [`PipelineError::InvalidConfig`] if the baseline period is
+    /// not positive and finite, or the embedded pipeline config is bad.
+    pub fn new(config: ScheduleConfig) -> Result<Self, PipelineError> {
+        if !(config.baseline_seconds.is_finite() && config.baseline_seconds > 0.0) {
+            return Err(PipelineError::InvalidConfig(
+                "baseline period must be positive",
+            ));
+        }
+        // Validate the embedded pipeline configuration once, up front.
+        NgstPipeline::new(config.pipeline)?;
+        Ok(BaselineScheduler { config })
     }
 
     /// The configuration in use.
@@ -102,11 +106,14 @@ impl BaselineScheduler {
 
     /// Processes every baseline in order, returning the schedule report and
     /// the per-baseline pipeline reports.
+    ///
+    /// # Errors
+    /// Propagates the first [`PipelineError`] a baseline run raises.
     pub fn run(
         &self,
         baselines: impl IntoIterator<Item = ImageStack<u16>>,
-    ) -> (ScheduleReport, Vec<PipelineReport>) {
-        let pipeline = NgstPipeline::new(self.config.pipeline);
+    ) -> Result<(ScheduleReport, Vec<PipelineReport>), PipelineError> {
+        let pipeline = NgstPipeline::new(self.config.pipeline)?;
         let deadline = self.config.baseline_seconds;
         let mut stats = Vec::new();
         let mut reports = Vec::new();
@@ -114,7 +121,7 @@ impl BaselineScheduler {
         let mut total_time = 0.0f64;
         for (index, stack) in baselines.into_iter().enumerate() {
             total_samples += stack.len();
-            let report = pipeline.run(&stack);
+            let report = pipeline.run(&stack)?;
             let secs = report.elapsed.as_secs_f64();
             total_time += secs;
             stats.push(BaselineStat {
@@ -139,7 +146,7 @@ impl BaselineScheduler {
             },
             baselines: stats,
         };
-        (report, reports)
+        Ok((report, reports))
     }
 }
 
@@ -179,8 +186,9 @@ mod tests {
                 seed: 3,
                 ..PipelineConfig::default()
             },
-        });
-        let (report, pipeline_reports) = sched.run(baselines(4));
+        })
+        .expect("valid schedule config");
+        let (report, pipeline_reports) = sched.run(baselines(4)).expect("runs");
         assert_eq!(report.baselines.len(), 4);
         assert_eq!(pipeline_reports.len(), 4);
         assert!(report.schedulable(), "misses: {}", report.deadline_misses);
@@ -203,8 +211,9 @@ mod tests {
                 tile_size: 16,
                 ..PipelineConfig::default()
             },
-        });
-        let (report, _) = sched.run(baselines(2));
+        })
+        .expect("valid schedule config");
+        let (report, _) = sched.run(baselines(2)).expect("runs");
         assert_eq!(report.deadline_misses, 2);
         assert!(!report.schedulable());
         assert!(report.worst_utilization > 1.0);
@@ -212,8 +221,8 @@ mod tests {
 
     #[test]
     fn empty_run_is_well_defined() {
-        let sched = BaselineScheduler::new(ScheduleConfig::default());
-        let (report, reports) = sched.run(Vec::new());
+        let sched = BaselineScheduler::new(ScheduleConfig::default()).expect("valid config");
+        let (report, reports) = sched.run(Vec::new()).expect("runs");
         assert!(report.baselines.is_empty());
         assert!(reports.is_empty());
         assert!(report.schedulable());
@@ -221,11 +230,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "baseline period")]
     fn invalid_period_rejected() {
-        let _ = BaselineScheduler::new(ScheduleConfig {
+        let err = BaselineScheduler::new(ScheduleConfig {
             baseline_seconds: 0.0,
             ..ScheduleConfig::default()
-        });
+        })
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidConfig(_)));
     }
 }

@@ -12,11 +12,90 @@
 //! spurious output — happens exactly when the *input* is corrupted, since
 //! both runs consume the same data. That is the case input preprocessing
 //! eliminates, which is what the paper's §7 experiments demonstrate.
+//!
+//! [`AlftHarness::execute_supervised`] places the primary under the
+//! supervisor's retry envelope and extends the logic grid by one rung: when
+//! primary retries are exhausted *and* the secondary fails the filter, the
+//! input cube is median-smoothed plane by plane and the primary re-run on
+//! the repaired input — the degraded-mode recovery the paper's preprocessing
+//! argument predicts (spatial smoothing removes the very input corruption
+//! that defeats plain ALFT).
 
 use crate::retrieval::{Retrieval, RetrievalProduct};
-use preflight_core::{Cube, Image, PhysicalBounds};
-use preflight_faults::Uncorrelated;
+use preflight_core::{Cube, Image, MedianSmoother, PhysicalBounds, PlanePreprocessor};
+use preflight_faults::{ChaosModel, ChaosOutcome, FaultError, Uncorrelated};
+use preflight_supervisor::{
+    supervise, FailureKind, FtLevel, RecoveryKind, RecoveryLog, StageOutcome, Supervision,
+    SupervisorError,
+};
 use rand::Rng;
+use std::fmt;
+
+/// Stage name under which ALFT recovery events are recorded.
+pub const ALFT_STAGE: &str = "otis-retrieval";
+
+/// Errors from the ALFT harness: invalid configuration detected up front,
+/// instead of panicking mid-run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AlftError {
+    /// The two products handed to [`Agreement::compare`] have different
+    /// shapes.
+    ShapeMismatch {
+        /// Width × height of the first product.
+        a: (usize, usize),
+        /// Width × height of the second product.
+        b: (usize, usize),
+    },
+    /// The agreement tolerance must be a positive number of Kelvin.
+    InvalidTolerance(f64),
+    /// The band list does not match the cube's band count.
+    BandMismatch {
+        /// Bands in the radiance cube.
+        cube: usize,
+        /// Wavelengths supplied.
+        bands: usize,
+    },
+    /// A fault-model parameter (e.g. a corruption probability) is invalid.
+    Fault(FaultError),
+    /// The supervision policy is invalid.
+    Supervisor(SupervisorError),
+}
+
+impl fmt::Display for AlftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlftError::ShapeMismatch { a, b } => write!(
+                f,
+                "product shapes must match: {}x{} vs {}x{}",
+                a.0, a.1, b.0, b.1
+            ),
+            AlftError::InvalidTolerance(t) => {
+                write!(f, "agreement tolerance must be positive, got {t}")
+            }
+            AlftError::BandMismatch { cube, bands } => write!(
+                f,
+                "band list length {bands} must match the cube's {cube} bands"
+            ),
+            AlftError::Fault(e) => write!(f, "invalid fault model: {e}"),
+            AlftError::Supervisor(e) => write!(f, "invalid supervision: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlftError {}
+
+impl From<FaultError> for AlftError {
+    fn from(e: FaultError) -> Self {
+        AlftError::Fault(e)
+    }
+}
+
+impl From<SupervisorError> for AlftError {
+    fn from(e: SupervisorError) -> Self {
+        AlftError::Supervisor(e)
+    }
+}
 
 /// Faults injected into a retrieval *process* (as opposed to its input
 /// data): the fault classes the original ALFT scheme targets.
@@ -29,6 +108,22 @@ pub enum ProcessFault {
     /// The process completes but its output buffer took bit-flips with the
     /// given per-bit probability (invalid-output class).
     SilentCorruption(f64),
+}
+
+impl ProcessFault {
+    /// Validates the fault's parameters (the corruption probability) and
+    /// returns the corruption model to apply, if any.
+    fn corruption_model(&self) -> Result<Option<Uncorrelated>, AlftError> {
+        match *self {
+            ProcessFault::SilentCorruption(p) => Ok(Some(Uncorrelated::new(p)?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Checks the fault's parameters without running anything.
+    pub fn validate(&self) -> Result<(), AlftError> {
+        self.corruption_model().map(|_| ())
+    }
 }
 
 /// The output filter: judges whether a temperature product is plausible
@@ -115,14 +210,23 @@ pub struct Agreement {
 impl Agreement {
     /// Compares two temperature maps under a divergence tolerance (K).
     ///
-    /// # Panics
-    /// Panics on a shape mismatch or a non-positive tolerance.
-    pub fn compare(a: &Image<f32>, b: &Image<f32>, tolerance_kelvin: f64) -> Self {
-        assert!(
-            a.width() == b.width() && a.height() == b.height(),
-            "product shapes must match"
-        );
-        assert!(tolerance_kelvin > 0.0, "tolerance must be positive");
+    /// # Errors
+    /// [`AlftError::ShapeMismatch`] when the maps differ in shape,
+    /// [`AlftError::InvalidTolerance`] when the tolerance is not positive.
+    pub fn compare(
+        a: &Image<f32>,
+        b: &Image<f32>,
+        tolerance_kelvin: f64,
+    ) -> Result<Self, AlftError> {
+        if a.width() != b.width() || a.height() != b.height() {
+            return Err(AlftError::ShapeMismatch {
+                a: (a.width(), a.height()),
+                b: (b.width(), b.height()),
+            });
+        }
+        if tolerance_kelvin <= 0.0 || tolerance_kelvin.is_nan() {
+            return Err(AlftError::InvalidTolerance(tolerance_kelvin));
+        }
         let mut sum = 0.0f64;
         for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
             let (x, y) = (f64::from(x), f64::from(y));
@@ -133,10 +237,10 @@ impl Agreement {
             };
         }
         let mean = sum / a.len().max(1) as f64;
-        Agreement {
+        Ok(Agreement {
             mean_abs_divergence: mean,
             within_tolerance: mean <= tolerance_kelvin,
-        }
+        })
     }
 }
 
@@ -148,8 +252,12 @@ pub enum AlftOutcome {
     /// The primary failed (or was absent); the secondary passed and was
     /// used.
     UsedSecondary,
-    /// Both primary and secondary failed the filter — the catastrophic case
-    /// the paper's preprocessing is designed to eliminate.
+    /// Both primary and secondary failed; a degraded re-run of the primary
+    /// on a median-smoothed input passed and was used
+    /// (supervised mode only).
+    UsedDegraded,
+    /// Every rung failed — the catastrophic case the paper's preprocessing
+    /// is designed to eliminate.
     BothFailed,
 }
 
@@ -187,6 +295,39 @@ pub struct AlftHarness {
 }
 
 impl AlftHarness {
+    fn check_bands(cube: &Cube<f32>, bands: &[f64]) -> Result<(), AlftError> {
+        if bands.len() != cube.bands() {
+            return Err(AlftError::BandMismatch {
+                cube: cube.bands(),
+                bands: bands.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the primary subject to `fault` (whose parameters have already
+    /// been validated into `model`).
+    fn run_primary(
+        &self,
+        cube: &Cube<f32>,
+        bands: &[f64],
+        fault: ProcessFault,
+        model: Option<&Uncorrelated>,
+        rng: &mut impl Rng,
+    ) -> Option<RetrievalProduct> {
+        match fault {
+            ProcessFault::None => Some(self.retrieval.run(cube, bands)),
+            ProcessFault::Crash => None,
+            ProcessFault::SilentCorruption(_) => {
+                let mut product = self.retrieval.run(cube, bands);
+                if let Some(model) = model {
+                    model.inject_f32(product.temperature.as_mut_slice(), rng);
+                }
+                Some(product)
+            }
+        }
+    }
+
     /// Executes the primary (subject to `fault`), filters it, falls back to
     /// the scaled-down secondary if needed, and returns the chosen product
     /// with the decision.
@@ -194,35 +335,33 @@ impl AlftHarness {
     /// Note that both runs read the *same* `cube` — so corrupted input
     /// defeats the scheme no matter what the grid decides, which is the
     /// paper's argument for preprocessing the input first.
+    ///
+    /// # Errors
+    /// [`AlftError::Fault`] when the fault's corruption probability is
+    /// invalid, [`AlftError::BandMismatch`] when `bands` does not match the
+    /// cube.
     pub fn execute(
         &self,
         cube: &Cube<f32>,
         bands: &[f64],
         fault: ProcessFault,
         rng: &mut impl Rng,
-    ) -> (Option<RetrievalProduct>, AlftOutcome) {
-        let primary = match fault {
-            ProcessFault::None => Some(self.retrieval.run(cube, bands)),
-            ProcessFault::Crash => None,
-            ProcessFault::SilentCorruption(p) => {
-                let mut product = self.retrieval.run(cube, bands);
-                let model = Uncorrelated::new(p).expect("probability validated by caller");
-                model.inject_f32(product.temperature.as_mut_slice(), rng);
-                Some(product)
-            }
-        };
+    ) -> Result<(Option<RetrievalProduct>, AlftOutcome), AlftError> {
+        Self::check_bands(cube, bands)?;
+        let model = fault.corruption_model()?;
+        let primary = self.run_primary(cube, bands, fault, model.as_ref(), rng);
         let primary_ok = primary
             .as_ref()
             .is_some_and(|p| self.filter.passes(&p.temperature));
         if primary_ok {
-            return (primary, AlftOutcome::UsedPrimary);
+            return Ok((primary, AlftOutcome::UsedPrimary));
         }
         let secondary = self.retrieval.run_secondary(cube, bands);
         let secondary_ok = self.filter.passes(&secondary.temperature);
-        match LogicGrid::decide(primary_ok, Some(secondary_ok)) {
+        Ok(match LogicGrid::decide(primary_ok, Some(secondary_ok)) {
             AlftOutcome::UsedSecondary => (Some(secondary), AlftOutcome::UsedSecondary),
             _ => (None, AlftOutcome::BothFailed),
-        }
+        })
     }
 
     /// The always-run variant of the paper's ref \[29\]: the secondary runs
@@ -239,6 +378,11 @@ impl AlftHarness {
     ///
     /// Returns the chosen product, the outcome, and the measured agreement
     /// (which is meaningful even when an output was rejected).
+    ///
+    /// # Errors
+    /// [`AlftError::Fault`] for an invalid corruption probability,
+    /// [`AlftError::InvalidTolerance`] for a non-positive tolerance,
+    /// [`AlftError::BandMismatch`] when `bands` does not match the cube.
     pub fn execute_always(
         &self,
         cube: &Cube<f32>,
@@ -246,23 +390,19 @@ impl AlftHarness {
         fault: ProcessFault,
         tolerance_kelvin: f64,
         rng: &mut impl Rng,
-    ) -> (Option<RetrievalProduct>, AlftOutcome, Agreement) {
-        let primary = match fault {
-            ProcessFault::None => Some(self.retrieval.run(cube, bands)),
-            ProcessFault::Crash => None,
-            ProcessFault::SilentCorruption(p) => {
-                let mut product = self.retrieval.run(cube, bands);
-                let model = Uncorrelated::new(p).expect("probability validated by caller");
-                model.inject_f32(product.temperature.as_mut_slice(), rng);
-                Some(product)
-            }
-        };
+    ) -> Result<(Option<RetrievalProduct>, AlftOutcome, Agreement), AlftError> {
+        Self::check_bands(cube, bands)?;
+        if tolerance_kelvin <= 0.0 || tolerance_kelvin.is_nan() {
+            return Err(AlftError::InvalidTolerance(tolerance_kelvin));
+        }
+        let model = fault.corruption_model()?;
+        let primary = self.run_primary(cube, bands, fault, model.as_ref(), rng);
         let secondary = self.retrieval.run_secondary(cube, bands);
         let secondary_ok = self.filter.passes(&secondary.temperature);
         let (primary_ok, agreement) = match &primary {
             Some(p) => (
                 self.filter.passes(&p.temperature),
-                Agreement::compare(&p.temperature, &secondary.temperature, tolerance_kelvin),
+                Agreement::compare(&p.temperature, &secondary.temperature, tolerance_kelvin)?,
             ),
             None => (
                 false,
@@ -272,7 +412,7 @@ impl AlftHarness {
                 },
             ),
         };
-        match (primary_ok, secondary_ok) {
+        Ok(match (primary_ok, secondary_ok) {
             (true, true) if agreement.within_tolerance => {
                 (primary, AlftOutcome::UsedPrimary, agreement)
             }
@@ -293,6 +433,128 @@ impl AlftHarness {
             (true, false) => (primary, AlftOutcome::UsedPrimary, agreement),
             (false, true) => (Some(secondary), AlftOutcome::UsedSecondary, agreement),
             (false, false) => (None, AlftOutcome::BothFailed, agreement),
+        })
+    }
+
+    /// Runs the ALFT scheme under the supervisor's execution envelope.
+    ///
+    /// The primary runs under [`supervise`]: each attempt consults `chaos`
+    /// (when given) for a process-level fault decision and is re-tried with
+    /// backoff until the retry budget is spent. A stalled attempt is charged
+    /// to the stage deadline and accounted as a timeout without sleeping the
+    /// stall out in real time (the envelope is single-threaded); a slow
+    /// attempt sleeps its extra latency and completes. When the budget is
+    /// exhausted the secondary rung runs; when *that* fails the filter too
+    /// and `supervision.degrade` is set, the input cube is median-smoothed
+    /// plane by plane and the primary re-run once on the repaired input —
+    /// the `MedianSmoother` rung of the degradation ladder (the `FtLevel`
+    /// names come from the NGST series ladder; for OTIS the top rung stands
+    /// for the full-fidelity retrieval).
+    ///
+    /// Returns the chosen product, the outcome, and the recovery log.
+    ///
+    /// # Errors
+    /// [`AlftError::Supervisor`] for an invalid policy,
+    /// [`AlftError::Fault`] for an invalid chaos corruption probability,
+    /// [`AlftError::BandMismatch`] when `bands` does not match the cube.
+    pub fn execute_supervised(
+        &self,
+        cube: &Cube<f32>,
+        bands: &[f64],
+        supervision: &Supervision,
+        chaos: Option<&dyn ChaosModel>,
+        rng: &mut impl Rng,
+    ) -> Result<(Option<RetrievalProduct>, AlftOutcome, RecoveryLog), AlftError> {
+        Self::check_bands(cube, bands)?;
+        supervision.validate()?;
+        let mut log = RecoveryLog::new();
+        let unit = 0u64;
+        let mut attempt_err: Option<AlftError> = None;
+        let primary = supervise(
+            &supervision.policy,
+            ALFT_STAGE,
+            unit,
+            &mut log,
+            |attempt| {
+                let outcome = chaos
+                    .map(|c| c.roll(unit, attempt))
+                    .unwrap_or(ChaosOutcome::Healthy);
+                let corruption = match outcome {
+                    ChaosOutcome::Crash => return StageOutcome::Failed(FailureKind::Crash),
+                    ChaosOutcome::Stall(_) => {
+                        return StageOutcome::Failed(FailureKind::Timeout)
+                    }
+                    ChaosOutcome::Slow(delay) => {
+                        std::thread::sleep(delay);
+                        None
+                    }
+                    ChaosOutcome::CorruptMessage { gamma } => match Uncorrelated::new(gamma) {
+                        Ok(model) => Some(model),
+                        Err(e) => {
+                            attempt_err = Some(AlftError::Fault(e));
+                            return StageOutcome::Failed(FailureKind::InvalidOutput);
+                        }
+                    },
+                    ChaosOutcome::Healthy => None,
+                };
+                let mut product = self.retrieval.run(cube, bands);
+                if let Some(model) = &corruption {
+                    model.inject_f32(product.temperature.as_mut_slice(), rng);
+                }
+                if self.filter.passes(&product.temperature) {
+                    StageOutcome::Done(product)
+                } else if corruption.is_some() {
+                    StageOutcome::Failed(FailureKind::CorruptMessage)
+                } else {
+                    StageOutcome::Failed(FailureKind::InvalidOutput)
+                }
+            },
+        );
+        if let Some(e) = attempt_err {
+            return Err(e);
+        }
+        match primary {
+            Ok(product) => return Ok((Some(product), AlftOutcome::UsedPrimary, log)),
+            Err(SupervisorError::RetriesExhausted { .. }) => {}
+            Err(e) => return Err(e.into()),
+        }
+        // Secondary rung.
+        let attempts = supervision.policy.max_retries + 1;
+        let secondary = self.retrieval.run_secondary(cube, bands);
+        if self.filter.passes(&secondary.temperature) {
+            log.record(ALFT_STAGE, unit, attempts, RecoveryKind::Recovered);
+            return Ok((Some(secondary), AlftOutcome::UsedSecondary, log));
+        }
+        if !supervision.degrade {
+            log.record(ALFT_STAGE, unit, attempts, RecoveryKind::Abandoned);
+            return Ok((None, AlftOutcome::BothFailed, log));
+        }
+        // Degraded rung: repair the *input* (the paper's preprocessing
+        // argument — both rungs above consumed the same corrupted cube)
+        // and re-run the primary once.
+        log.record(
+            ALFT_STAGE,
+            unit,
+            attempts,
+            RecoveryKind::Degraded {
+                from: FtLevel::AlgoNgst,
+                to: FtLevel::MedianSmoother,
+            },
+        );
+        let smoother = MedianSmoother::new();
+        let mut smoothed = cube.clone();
+        for b in 0..smoothed.bands() {
+            let mut plane = smoothed.plane_image(b);
+            smoother.preprocess_plane(&mut plane);
+            smoothed.set_plane(b, &plane);
+        }
+        let product = self.retrieval.run(&smoothed, bands);
+        if self.filter.passes(&product.temperature) {
+            log.record(ALFT_STAGE, unit, attempts + 1, RecoveryKind::Recovered);
+            Ok((Some(product), AlftOutcome::UsedDegraded, log))
+        } else {
+            log.record(ALFT_STAGE, unit, attempts + 1, RecoveryKind::Abandoned);
+            Ok((None, AlftOutcome::BothFailed, log))
         }
     }
 }
@@ -302,13 +564,46 @@ mod tests {
     use super::*;
     use preflight_datagen::planck::DEFAULT_BANDS;
     use preflight_datagen::{emissivity_scene, radiance_cube, temperature_scene, OtisScene};
-    use preflight_faults::seeded_rng;
+    use preflight_faults::{seeded_rng, ChaosPlan};
+    use preflight_supervisor::RetryPolicy;
+    use std::time::Duration;
 
     fn clean_cube(w: usize, h: usize) -> Cube<f32> {
         let mut rng = seeded_rng(17);
         let t = temperature_scene(OtisScene::Blob, w, h, &mut rng);
         let e = emissivity_scene(w, h, &mut rng);
         radiance_cube(&t, &e, &DEFAULT_BANDS)
+    }
+
+    /// A cube with deterministic isolated spikes in every band: enough
+    /// out-of-bounds retrievals to defeat both primary and secondary, yet
+    /// fully repairable by the width-3 median of the degraded rung.
+    fn spiked_cube(w: usize, h: usize) -> Cube<f32> {
+        let mut cube = clean_cube(w, h);
+        for b in 0..cube.bands() {
+            for y in 0..h {
+                let mut x = 3;
+                while x + 1 < w {
+                    cube.set(x, y, b, 1.0e30);
+                    x += 7;
+                }
+            }
+        }
+        cube
+    }
+
+    fn fast_supervision() -> Supervision {
+        Supervision {
+            policy: RetryPolicy {
+                max_retries: 2,
+                backoff_base: Duration::from_micros(100),
+                backoff_cap: Duration::from_micros(400),
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            },
+            degrade: true,
+            quarantine_after: 2,
+        }
     }
 
     #[test]
@@ -370,12 +665,9 @@ mod tests {
     #[test]
     fn healthy_run_uses_primary() {
         let cube = clean_cube(24, 24);
-        let (out, outcome) = AlftHarness::default().execute(
-            &cube,
-            &DEFAULT_BANDS,
-            ProcessFault::None,
-            &mut seeded_rng(1),
-        );
+        let (out, outcome) = AlftHarness::default()
+            .execute(&cube, &DEFAULT_BANDS, ProcessFault::None, &mut seeded_rng(1))
+            .unwrap();
         assert_eq!(outcome, AlftOutcome::UsedPrimary);
         assert!(out.is_some());
     }
@@ -383,12 +675,14 @@ mod tests {
     #[test]
     fn crash_recovers_via_secondary() {
         let cube = clean_cube(24, 24);
-        let (out, outcome) = AlftHarness::default().execute(
-            &cube,
-            &DEFAULT_BANDS,
-            ProcessFault::Crash,
-            &mut seeded_rng(2),
-        );
+        let (out, outcome) = AlftHarness::default()
+            .execute(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::Crash,
+                &mut seeded_rng(2),
+            )
+            .unwrap();
         assert_eq!(outcome, AlftOutcome::UsedSecondary);
         let t = out.expect("secondary product").temperature;
         assert!(t.as_slice().iter().all(|&v| (200.0..=360.0).contains(&v)));
@@ -397,17 +691,50 @@ mod tests {
     #[test]
     fn heavy_output_corruption_detected_and_recovered() {
         let cube = clean_cube(24, 24);
-        let (_, outcome) = AlftHarness::default().execute(
-            &cube,
-            &DEFAULT_BANDS,
-            ProcessFault::SilentCorruption(0.05),
-            &mut seeded_rng(3),
-        );
+        let (_, outcome) = AlftHarness::default()
+            .execute(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::SilentCorruption(0.05),
+                &mut seeded_rng(3),
+            )
+            .unwrap();
         assert_eq!(
             outcome,
             AlftOutcome::UsedSecondary,
             "filter must catch the corrupted primary"
         );
+    }
+
+    #[test]
+    fn invalid_corruption_probability_rejected_up_front() {
+        let cube = clean_cube(8, 8);
+        let err = AlftHarness::default()
+            .execute(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::SilentCorruption(1.5),
+                &mut seeded_rng(3),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AlftError::Fault(_)), "{err}");
+        assert!(ProcessFault::SilentCorruption(1.5).validate().is_err());
+        assert!(ProcessFault::SilentCorruption(0.5).validate().is_ok());
+        assert!(ProcessFault::Crash.validate().is_ok());
+    }
+
+    #[test]
+    fn band_mismatch_rejected_up_front() {
+        let cube = clean_cube(8, 8);
+        let err = AlftHarness::default()
+            .execute(
+                &cube,
+                &DEFAULT_BANDS[..2],
+                ProcessFault::None,
+                &mut seeded_rng(3),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AlftError::BandMismatch { .. }), "{err}");
     }
 
     #[test]
@@ -431,37 +758,54 @@ mod tests {
     fn agreement_comparison() {
         let a = Image::filled(6, 6, 280.0f32);
         let mut b = a.clone();
-        let agree = Agreement::compare(&a, &b, 1.0);
+        let agree = Agreement::compare(&a, &b, 1.0).unwrap();
         assert!(agree.within_tolerance);
         assert_eq!(agree.mean_abs_divergence, 0.0);
         for v in b.as_mut_slice() {
             *v += 5.0;
         }
-        let agree = Agreement::compare(&a, &b, 1.0);
+        let agree = Agreement::compare(&a, &b, 1.0).unwrap();
         assert!(!agree.within_tolerance);
         assert!((agree.mean_abs_divergence - 5.0).abs() < 1e-6);
         b.set(0, 0, f32::NAN);
-        assert!(Agreement::compare(&a, &b, 1.0).mean_abs_divergence > 5.0);
+        assert!(
+            Agreement::compare(&a, &b, 1.0)
+                .unwrap()
+                .mean_abs_divergence
+                > 5.0
+        );
     }
 
     #[test]
-    #[should_panic(expected = "shapes must match")]
-    fn agreement_rejects_shape_mismatch() {
+    fn agreement_rejects_shape_mismatch_and_bad_tolerance() {
         let a = Image::filled(4, 4, 280.0f32);
         let b = Image::filled(5, 4, 280.0f32);
-        let _ = Agreement::compare(&a, &b, 1.0);
+        assert_eq!(
+            Agreement::compare(&a, &b, 1.0),
+            Err(AlftError::ShapeMismatch {
+                a: (4, 4),
+                b: (5, 4)
+            })
+        );
+        assert_eq!(
+            Agreement::compare(&a, &a.clone(), 0.0),
+            Err(AlftError::InvalidTolerance(0.0))
+        );
+        assert!(Agreement::compare(&a, &a.clone(), f64::NAN).is_err());
     }
 
     #[test]
     fn always_policy_agrees_on_clean_input() {
         let cube = clean_cube(24, 24);
-        let (out, outcome, agreement) = AlftHarness::default().execute_always(
-            &cube,
-            &DEFAULT_BANDS,
-            ProcessFault::None,
-            2.0,
-            &mut seeded_rng(51),
-        );
+        let (out, outcome, agreement) = AlftHarness::default()
+            .execute_always(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::None,
+                2.0,
+                &mut seeded_rng(51),
+            )
+            .unwrap();
         assert_eq!(outcome, AlftOutcome::UsedPrimary);
         assert!(out.is_some());
         assert!(agreement.within_tolerance, "{agreement:?}");
@@ -470,13 +814,15 @@ mod tests {
     #[test]
     fn always_policy_recovers_from_crash_and_reports_divergence() {
         let cube = clean_cube(24, 24);
-        let (out, outcome, agreement) = AlftHarness::default().execute_always(
-            &cube,
-            &DEFAULT_BANDS,
-            ProcessFault::Crash,
-            2.0,
-            &mut seeded_rng(52),
-        );
+        let (out, outcome, agreement) = AlftHarness::default()
+            .execute_always(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::Crash,
+                2.0,
+                &mut seeded_rng(52),
+            )
+            .unwrap();
         assert_eq!(outcome, AlftOutcome::UsedSecondary);
         assert!(out.is_some());
         assert!(!agreement.within_tolerance, "no primary to agree with");
@@ -487,17 +833,34 @@ mod tests {
         // Corruption light enough to slip past the absolute filter can
         // still be caught by the redundancy between primary and secondary.
         let cube = clean_cube(24, 24);
-        let (_, _, agreement) = AlftHarness::default().execute_always(
-            &cube,
-            &DEFAULT_BANDS,
-            ProcessFault::SilentCorruption(0.004),
-            0.5,
-            &mut seeded_rng(53),
-        );
+        let (_, _, agreement) = AlftHarness::default()
+            .execute_always(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::SilentCorruption(0.004),
+                0.5,
+                &mut seeded_rng(53),
+            )
+            .unwrap();
         assert!(
             !agreement.within_tolerance,
             "light output corruption must show up as divergence: {agreement:?}"
         );
+    }
+
+    #[test]
+    fn always_policy_rejects_bad_tolerance() {
+        let cube = clean_cube(8, 8);
+        let err = AlftHarness::default()
+            .execute_always(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::None,
+                -1.0,
+                &mut seeded_rng(54),
+            )
+            .unwrap_err();
+        assert_eq!(err, AlftError::InvalidTolerance(-1.0));
     }
 
     #[test]
@@ -507,16 +870,163 @@ mod tests {
         let mut cube = clean_cube(24, 24);
         let model = Uncorrelated::new(0.02).unwrap();
         model.inject_f32(cube.as_mut_slice(), &mut seeded_rng(4));
-        let (_, outcome) = AlftHarness::default().execute(
-            &cube,
-            &DEFAULT_BANDS,
-            ProcessFault::None,
-            &mut seeded_rng(5),
-        );
+        let (_, outcome) = AlftHarness::default()
+            .execute(&cube, &DEFAULT_BANDS, ProcessFault::None, &mut seeded_rng(5))
+            .unwrap();
         assert_eq!(
             outcome,
             AlftOutcome::BothFailed,
             "same corrupted input must defeat both runs"
         );
+    }
+
+    #[test]
+    fn supervised_healthy_run_logs_nothing() {
+        let cube = clean_cube(24, 24);
+        let (out, outcome, log) = AlftHarness::default()
+            .execute_supervised(
+                &cube,
+                &DEFAULT_BANDS,
+                &fast_supervision(),
+                None,
+                &mut seeded_rng(61),
+            )
+            .unwrap();
+        assert_eq!(outcome, AlftOutcome::UsedPrimary);
+        assert!(out.is_some());
+        assert!(log.is_empty(), "{log}");
+    }
+
+    #[test]
+    fn supervised_crash_is_retried_and_recovered() {
+        let cube = clean_cube(24, 24);
+        let plan = ChaosPlan::new().with(0, 0, ChaosOutcome::Crash);
+        let (out, outcome, log) = AlftHarness::default()
+            .execute_supervised(
+                &cube,
+                &DEFAULT_BANDS,
+                &fast_supervision(),
+                Some(&plan),
+                &mut seeded_rng(62),
+            )
+            .unwrap();
+        assert_eq!(outcome, AlftOutcome::UsedPrimary, "{log}");
+        assert!(out.is_some());
+        assert_eq!(log.crashes(), 1);
+        assert_eq!(log.retries(), 1);
+        assert_eq!(log.recoveries(), 1);
+    }
+
+    #[test]
+    fn supervised_stall_counts_as_timeout() {
+        let cube = clean_cube(24, 24);
+        let plan = ChaosPlan::new().with(0, 0, ChaosOutcome::Stall(Duration::from_secs(3600)));
+        let (_, outcome, log) = AlftHarness::default()
+            .execute_supervised(
+                &cube,
+                &DEFAULT_BANDS,
+                &fast_supervision(),
+                Some(&plan),
+                &mut seeded_rng(63),
+            )
+            .unwrap();
+        assert_eq!(outcome, AlftOutcome::UsedPrimary);
+        assert_eq!(log.timeouts(), 1);
+        assert_eq!(log.recoveries(), 1);
+    }
+
+    #[test]
+    fn supervised_exhaustion_falls_back_to_secondary() {
+        let cube = clean_cube(24, 24);
+        let plan = ChaosPlan::new()
+            .with(0, 0, ChaosOutcome::Crash)
+            .with(0, 1, ChaosOutcome::Crash)
+            .with(0, 2, ChaosOutcome::Crash);
+        let (out, outcome, log) = AlftHarness::default()
+            .execute_supervised(
+                &cube,
+                &DEFAULT_BANDS,
+                &fast_supervision(),
+                Some(&plan),
+                &mut seeded_rng(64),
+            )
+            .unwrap();
+        assert_eq!(outcome, AlftOutcome::UsedSecondary, "{log}");
+        assert!(out.is_some());
+        assert_eq!(log.crashes(), 3);
+        assert_eq!(log.retries(), 2);
+        assert_eq!(log.recoveries(), 1, "secondary rung counts as recovery");
+    }
+
+    #[test]
+    fn supervised_degraded_rung_repairs_spiked_input() {
+        // Isolated input spikes defeat primary AND secondary (same data),
+        // but the median-smoothed degraded rung removes them entirely.
+        let cube = spiked_cube(24, 24);
+        let (out, outcome, log) = AlftHarness::default()
+            .execute_supervised(
+                &cube,
+                &DEFAULT_BANDS,
+                &fast_supervision(),
+                None,
+                &mut seeded_rng(65),
+            )
+            .unwrap();
+        assert_eq!(outcome, AlftOutcome::UsedDegraded, "{log}");
+        assert!(out.is_some());
+        assert_eq!(log.invalid_outputs(), 3, "all primary attempts rejected");
+        assert_eq!(log.degradations(), 1);
+        assert_eq!(log.recoveries(), 1);
+        assert_eq!(log.abandonments(), 0);
+    }
+
+    #[test]
+    fn supervised_without_degradation_reports_both_failed() {
+        let cube = spiked_cube(24, 24);
+        let sup = Supervision {
+            degrade: false,
+            ..fast_supervision()
+        };
+        let (out, outcome, log) = AlftHarness::default()
+            .execute_supervised(&cube, &DEFAULT_BANDS, &sup, None, &mut seeded_rng(66))
+            .unwrap();
+        assert_eq!(outcome, AlftOutcome::BothFailed, "{log}");
+        assert!(out.is_none());
+        assert_eq!(log.degradations(), 0);
+        assert_eq!(log.abandonments(), 1);
+    }
+
+    #[test]
+    fn supervised_rejects_invalid_policy() {
+        let cube = clean_cube(8, 8);
+        let sup = Supervision {
+            policy: RetryPolicy {
+                jitter: 2.0,
+                ..RetryPolicy::default()
+            },
+            ..Supervision::default()
+        };
+        let err = AlftHarness::default()
+            .execute_supervised(&cube, &DEFAULT_BANDS, &sup, None, &mut seeded_rng(67))
+            .unwrap_err();
+        assert!(matches!(err, AlftError::Supervisor(_)), "{err}");
+    }
+
+    #[test]
+    fn supervised_event_log_is_deterministic() {
+        let cube = spiked_cube(24, 24);
+        let run = || {
+            let (_, outcome, log) = AlftHarness::default()
+                .execute_supervised(
+                    &cube,
+                    &DEFAULT_BANDS,
+                    &fast_supervision(),
+                    None,
+                    &mut seeded_rng(68),
+                )
+                .unwrap();
+            (outcome, log.summary())
+        };
+        assert_eq!(run(), run());
     }
 }

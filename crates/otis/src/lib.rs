@@ -43,5 +43,8 @@
 pub mod alft;
 pub mod retrieval;
 
-pub use alft::{Agreement, AlftHarness, AlftOutcome, LogicGrid, OutputFilter, ProcessFault};
+pub use alft::{
+    Agreement, AlftError, AlftHarness, AlftOutcome, LogicGrid, OutputFilter, ProcessFault,
+    ALFT_STAGE,
+};
 pub use retrieval::{Retrieval, RetrievalProduct};

@@ -52,7 +52,7 @@ proptest! {
             &primary.temperature,
             &secondary.temperature,
             2.0,
-        );
+        ).unwrap();
         prop_assert!(
             agreement.within_tolerance,
             "divergence {} K on a uniform scene",
@@ -76,10 +76,10 @@ proptest! {
     fn agreement_properties(t in 200.0f64..350.0, delta in 0.0f64..20.0) {
         let a = Image::filled(8, 8, t as f32);
         let b = Image::filled(8, 8, (t + delta) as f32);
-        let ab = Agreement::compare(&a, &b, 1.0);
-        let ba = Agreement::compare(&b, &a, 1.0);
+        let ab = Agreement::compare(&a, &b, 1.0).unwrap();
+        let ba = Agreement::compare(&b, &a, 1.0).unwrap();
         prop_assert!((ab.mean_abs_divergence - ba.mean_abs_divergence).abs() < 1e-9);
-        let aa = Agreement::compare(&a, &a, 1.0);
+        let aa = Agreement::compare(&a, &a, 1.0).unwrap();
         prop_assert_eq!(aa.mean_abs_divergence, 0.0);
         prop_assert_eq!(ab.within_tolerance, delta <= 1.0 + 1e-9);
     }

@@ -17,6 +17,7 @@
 //! | [`rice`] | the block-adaptive Rice compression codec used for downlink |
 //! | [`ngst`] | the NGST application: up-the-ramp detector, cosmic-ray model and rejection, the 16-worker master/slave pipeline |
 //! | [`otis`] | the OTIS application: temperature/emissivity retrieval, the ALFT primary/secondary scheme with output filter and logic grid |
+//! | [`supervisor`] | the supervised runtime: per-stage deadlines, retries with backoff, the graceful-degradation ladder, recovery-event logging |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use preflight_metrics as metrics;
 pub use preflight_ngst as ngst;
 pub use preflight_otis as otis;
 pub use preflight_rice as rice;
+pub use preflight_supervisor as supervisor;
 
 /// One-stop imports for the common workflow: generate → corrupt →
 /// preprocess → score.
@@ -67,15 +69,21 @@ pub mod prelude {
         emissivity_scene, ngst::sky_image, planck::DEFAULT_BANDS, radiance_cube, temperature_scene,
         NgstModel, OtisScene,
     };
-    pub use preflight_faults::{seeded_rng, Correlated, FaultMap, Interleaver, Uncorrelated};
+    pub use preflight_faults::{
+        seeded_rng, ChaosConfig, ChaosInjector, ChaosModel, ChaosOutcome, ChaosPlan, Correlated,
+        FaultMap, Interleaver, Uncorrelated,
+    };
     pub use preflight_fits::{
         add_checksums, analyze, read_stack, verify_checksums, write_stack, ChecksumStatus,
     };
     pub use preflight_metrics::{psi, BitConfusion, PsiReport};
     pub use preflight_ngst::{
-        CosmicRayModel, CrRejector, DetectorConfig, NgstPipeline, PipelineConfig, TransitFault,
-        UpTheRamp,
+        CosmicRayModel, CrRejector, DetectorConfig, NgstPipeline, PipelineConfig, PipelineError,
+        SupervisedReport, TransitFault, UpTheRamp,
     };
-    pub use preflight_otis::{AlftHarness, AlftOutcome, ProcessFault, Retrieval};
+    pub use preflight_otis::{AlftError, AlftHarness, AlftOutcome, ProcessFault, Retrieval};
     pub use preflight_rice::RiceCodec;
+    pub use preflight_supervisor::{
+        DegradationLadder, FtLevel, RecoveryEvent, RecoveryLog, RetryPolicy, Supervision,
+    };
 }

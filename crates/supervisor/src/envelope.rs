@@ -1,0 +1,161 @@
+//! Generic supervised execution envelope for single-unit stages.
+//!
+//! The NGST master/slave pipeline embeds the retry policy directly in its
+//! master loop (deadlines and requeues interleave across many in-flight
+//! tiles); stages that process one unit at a time — the OTIS ALFT harness,
+//! one-shot preprocessing calls — use [`supervise`] instead.
+
+use crate::events::{FailureKind, RecoveryKind, RecoveryLog};
+use crate::policy::{RetryPolicy, SupervisorError};
+
+/// Result of one attempt at a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageOutcome<T> {
+    /// The attempt produced a result.
+    Done(T),
+    /// The attempt failed; the supervisor decides whether to retry.
+    Failed(FailureKind),
+}
+
+/// Runs `attempt_fn` under `policy`: up to `max_retries + 1` attempts with
+/// exponential backoff between them, every failure and retry recorded in
+/// `log`.
+///
+/// `attempt_fn` receives the attempt number (0 = initial dispatch) so it can
+/// vary behaviour per attempt (reseeding, switching replicas, ...). On
+/// eventual success after at least one failure a `Recovered` event is
+/// recorded. When every attempt fails the error carries the total attempt
+/// count; no ladder logic is applied here — degradation is the caller's
+/// decision (see [`crate::DegradationLadder`]).
+pub fn supervise<T>(
+    policy: &RetryPolicy,
+    stage: &'static str,
+    unit: u64,
+    log: &mut RecoveryLog,
+    mut attempt_fn: impl FnMut(u32) -> StageOutcome<T>,
+) -> Result<T, SupervisorError> {
+    policy.validate()?;
+    let mut attempt = 0u32;
+    loop {
+        match attempt_fn(attempt) {
+            StageOutcome::Done(value) => {
+                if attempt > 0 {
+                    log.record(stage, unit, attempt, RecoveryKind::Recovered);
+                }
+                return Ok(value);
+            }
+            StageOutcome::Failed(kind) => {
+                log.record_failure(stage, unit, attempt, kind);
+                if attempt >= policy.max_retries {
+                    return Err(SupervisorError::RetriesExhausted {
+                        stage,
+                        unit,
+                        attempts: attempt + 1,
+                    });
+                }
+                log.record(stage, unit, attempt, RecoveryKind::Retry);
+                let delay = policy.backoff(unit, attempt + 1);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fast_policy(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_micros(200),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn immediate_success_logs_nothing() {
+        let mut log = RecoveryLog::new();
+        let out = supervise(&fast_policy(2), "s", 7, &mut log, |_| {
+            StageOutcome::Done(1)
+        })
+        .unwrap();
+        assert_eq!(out, 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn recovers_after_failures() {
+        let mut log = RecoveryLog::new();
+        let out = supervise(&fast_policy(3), "s", 0, &mut log, |attempt| {
+            if attempt < 2 {
+                StageOutcome::Failed(FailureKind::Timeout)
+            } else {
+                StageOutcome::Done("ok")
+            }
+        })
+        .unwrap();
+        assert_eq!(out, "ok");
+        assert_eq!(log.timeouts(), 2);
+        assert_eq!(log.retries(), 2);
+        assert_eq!(log.recoveries(), 1);
+    }
+
+    #[test]
+    fn exhaustion_reports_attempt_count() {
+        let mut log = RecoveryLog::new();
+        let err = supervise::<()>(&fast_policy(1), "s", 5, &mut log, |_| {
+            StageOutcome::Failed(FailureKind::Crash)
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SupervisorError::RetriesExhausted {
+                stage: "s",
+                unit: 5,
+                attempts: 2
+            }
+        );
+        assert_eq!(log.crashes(), 2);
+        assert_eq!(log.retries(), 1);
+        assert_eq!(log.recoveries(), 0);
+    }
+
+    #[test]
+    fn zero_retries_fails_fast() {
+        let mut log = RecoveryLog::new();
+        let mut calls = 0;
+        let err = supervise::<()>(&fast_policy(0), "s", 0, &mut log, |_| {
+            calls += 1;
+            StageOutcome::Failed(FailureKind::InvalidOutput)
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(matches!(
+            err,
+            SupervisorError::RetriesExhausted { attempts: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_policy_rejected_before_first_attempt() {
+        let mut log = RecoveryLog::new();
+        let bad = RetryPolicy {
+            jitter: 2.0,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let err = supervise::<()>(&bad, "s", 0, &mut log, |_| {
+            calls += 1;
+            StageOutcome::Done(())
+        })
+        .unwrap_err();
+        assert_eq!(calls, 0);
+        assert!(matches!(err, SupervisorError::InvalidPolicy(_)));
+    }
+}

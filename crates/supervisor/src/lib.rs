@@ -1,0 +1,60 @@
+//! # preflight-supervisor
+//!
+//! The compute-plane counterpart of the data-plane fault tolerance this
+//! workspace reproduces. The paper's preprocessing repairs bit-flips in the
+//! *input*; this crate keeps the *pipeline itself* alive when its stages
+//! hang, crash, or emit garbage — the software-implemented fault tolerance
+//! layer that satellite literature (Fuchs et al., Leon et al.) identifies as
+//! the other half of surviving on COTS hardware in orbit.
+//!
+//! Three pieces compose into a policy-driven execution envelope:
+//!
+//! - [`RetryPolicy`] — per-stage deadlines, bounded retries, exponential
+//!   backoff with deterministic (seeded) jitter;
+//! - [`RecoveryLog`] — every timeout, crash, retry, quarantine and
+//!   degradation as a structured [`RecoveryEvent`] surfaced in end-of-run
+//!   reports;
+//! - [`DegradationLadder`] — the graceful-degradation chain
+//!   `Algo_NGST → BitVoter → MedianSmoother → passthrough`: a unit that
+//!   keeps failing its preprocessing stage is quarantined and reprocessed
+//!   one rung down, so a run always produces output annotated with the
+//!   fault-tolerance level actually achieved ([`FtLevel`]).
+//!
+//! The [`supervise`] envelope wraps single-unit stages (the OTIS ALFT
+//! harness uses it); the NGST master/slave pipeline embeds the same policy
+//! in its master loop where per-tile deadlines and requeues interleave.
+//!
+//! # Example
+//!
+//! ```
+//! use preflight_supervisor::{supervise, FailureKind, RecoveryLog, RetryPolicy, StageOutcome};
+//!
+//! let policy = RetryPolicy::default();
+//! let mut log = RecoveryLog::new();
+//! let mut tries = 0;
+//! let out = supervise(&policy, "flaky-stage", 0, &mut log, |attempt| {
+//!     tries += 1;
+//!     if attempt == 0 {
+//!         StageOutcome::Failed(FailureKind::Crash)
+//!     } else {
+//!         StageOutcome::Done(42)
+//!     }
+//! })
+//! .unwrap();
+//! assert_eq!(out, 42);
+//! assert_eq!(tries, 2);
+//! assert!(log.retries() == 1 && log.recoveries() == 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod envelope;
+pub mod events;
+pub mod ladder;
+pub mod policy;
+
+pub use envelope::{supervise, StageOutcome};
+pub use events::{FailureKind, RecoveryEvent, RecoveryKind, RecoveryLog};
+pub use ladder::{DegradationLadder, FtLevel, LadderStage};
+pub use policy::{RetryPolicy, Supervision, SupervisorError};

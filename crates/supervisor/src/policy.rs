@@ -1,0 +1,276 @@
+//! Retry/backoff policy and top-level supervision configuration.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Errors raised by the supervision layer itself (as opposed to the
+/// pipeline errors it wraps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// A policy field is out of its documented range.
+    InvalidPolicy(&'static str),
+    /// A unit of work failed on every permitted attempt and degradation was
+    /// either disabled or already exhausted.
+    RetriesExhausted {
+        /// Pipeline stage that gave up (e.g. `"ngst-tile"`).
+        stage: &'static str,
+        /// Unit of work within the stage (tile index, plane index, ...).
+        unit: u64,
+        /// Number of attempts consumed, including the first.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::InvalidPolicy(why) => {
+                write!(f, "invalid retry policy: {why}")
+            }
+            SupervisorError::RetriesExhausted {
+                stage,
+                unit,
+                attempts,
+            } => write!(
+                f,
+                "stage `{stage}` unit {unit} failed after {attempts} attempt(s) \
+                 with no degradation rung left"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// Per-stage execution policy: how long an attempt may run, how often it is
+/// retried, and how retries are spaced.
+///
+/// Backoff for attempt `k` (the k-th *retry*, so `k >= 1`) is
+/// `min(backoff_base * backoff_factor^(k-1), backoff_cap)`, stretched by a
+/// jitter fraction drawn deterministically from `(seed, unit, attempt)` so a
+/// run is reproducible regardless of worker scheduling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries per unit *per ladder rung* (0 = fail on
+    /// first error). A unit therefore runs at most `max_retries + 1` times
+    /// before quarantine kicks in.
+    pub max_retries: u32,
+    /// Deadline for a single attempt; exceeding it cancels the attempt and
+    /// requeues the unit.
+    pub stage_timeout: Duration,
+    /// Delay before the first retry.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the delay on each further retry (`>= 1.0`).
+    pub backoff_factor: f64,
+    /// Upper bound on the computed delay.
+    pub backoff_cap: Duration,
+    /// Fraction of the delay randomised away (`0.0..=1.0`); the actual
+    /// delay lies in `[d * (1 - jitter), d]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            stage_timeout: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(10),
+            backoff_factor: 2.0,
+            backoff_cap: Duration::from_millis(500),
+            jitter: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64: a tiny, well-distributed mixer. Used only for jitter so the
+/// policy needs no external RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// Checks the policy's fields are within range.
+    pub fn validate(&self) -> Result<(), SupervisorError> {
+        if self.stage_timeout.is_zero() {
+            return Err(SupervisorError::InvalidPolicy("stage_timeout must be > 0"));
+        }
+        if self.backoff_factor < 1.0 || self.backoff_factor.is_nan() {
+            return Err(SupervisorError::InvalidPolicy("backoff_factor must be >= 1"));
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(SupervisorError::InvalidPolicy("jitter must be in [0, 1]"));
+        }
+        Ok(())
+    }
+
+    /// Delay to wait before re-dispatching `unit` for retry `attempt`
+    /// (`attempt >= 1`; attempt 0 is the initial dispatch and never waits).
+    ///
+    /// Deterministic in `(seed, unit, attempt)`: two runs of the same
+    /// configuration produce identical schedules even if workers race.
+    pub fn backoff(&self, unit: u64, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self.backoff_factor.powi(attempt.saturating_sub(1) as i32);
+        let raw = self.backoff_base.as_secs_f64() * exp;
+        let capped = raw.min(self.backoff_cap.as_secs_f64());
+        let h = splitmix64(
+            self.seed
+                ^ unit.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                ^ (u64::from(attempt) << 48),
+        );
+        // Map the hash to [0, 1) and shave off up to `jitter` of the delay.
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64(capped * (1.0 - self.jitter * u))
+    }
+}
+
+/// Full supervision configuration handed to a pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Supervision {
+    /// Retry/deadline policy applied to each unit of work.
+    pub policy: RetryPolicy,
+    /// Whether a quarantined unit falls down the degradation ladder
+    /// (`true`) or aborts the run (`false`).
+    pub degrade: bool,
+    /// Number of failed attempts at one ladder rung after which the unit is
+    /// quarantined and re-dispatched one rung down. Capped at
+    /// `policy.max_retries + 1` in effect, since a rung cannot consume more
+    /// attempts than the policy allows.
+    pub quarantine_after: u32,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            policy: RetryPolicy::default(),
+            degrade: true,
+            quarantine_after: 2,
+        }
+    }
+}
+
+impl Supervision {
+    /// Checks the configuration (policy ranges, quarantine threshold).
+    pub fn validate(&self) -> Result<(), SupervisorError> {
+        self.policy.validate()?;
+        if self.quarantine_after == 0 {
+            return Err(SupervisorError::InvalidPolicy(
+                "quarantine_after must be >= 1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Attempts a unit may consume at one ladder rung before moving down:
+    /// the quarantine threshold, but never more than the retry budget.
+    pub fn attempts_per_level(&self) -> u32 {
+        self.quarantine_after.min(self.policy.max_retries + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_valid() {
+        RetryPolicy::default().validate().unwrap();
+        Supervision::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_timeout_rejected() {
+        let p = RetryPolicy {
+            stage_timeout: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(SupervisorError::InvalidPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn shrinking_factor_rejected() {
+        let p = RetryPolicy {
+            backoff_factor: 0.5,
+            ..RetryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = RetryPolicy {
+            backoff_factor: f64::NAN,
+            ..RetryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn jitter_out_of_range_rejected() {
+        let p = RetryPolicy {
+            jitter: 1.5,
+            ..RetryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(0, 0), Duration::ZERO);
+        assert_eq!(p.backoff(0, 1), Duration::from_millis(10));
+        assert_eq!(p.backoff(0, 2), Duration::from_millis(20));
+        assert_eq!(p.backoff(0, 3), Duration::from_millis(40));
+        // Far past the cap.
+        assert_eq!(p.backoff(0, 20), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for unit in 0..8u64 {
+            for attempt in 1..4u32 {
+                let a = p.backoff(unit, attempt);
+                let b = p.backoff(unit, attempt);
+                assert_eq!(a, b, "same inputs must give the same delay");
+                let nominal = Duration::from_millis(10 * (1 << (attempt - 1)));
+                assert!(a <= nominal);
+                assert!(a.as_secs_f64() >= nominal.as_secs_f64() * (1.0 - p.jitter) - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_varies_across_units() {
+        let p = RetryPolicy::default();
+        let delays: Vec<_> = (0..16u64).map(|u| p.backoff(u, 1)).collect();
+        let distinct: std::collections::HashSet<_> = delays.iter().collect();
+        assert!(distinct.len() > 1, "jitter should separate units");
+    }
+
+    #[test]
+    fn attempts_per_level_respects_budget() {
+        let s = Supervision {
+            quarantine_after: 5,
+            policy: RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            },
+            ..Supervision::default()
+        };
+        assert_eq!(s.attempts_per_level(), 2);
+        let s = Supervision::default();
+        assert_eq!(s.attempts_per_level(), 2);
+    }
+}

@@ -11,6 +11,10 @@
 
 use preflight::prelude::*;
 
+fn pipeline(cfg: PipelineConfig) -> NgstPipeline {
+    NgstPipeline::new(cfg).expect("valid pipeline config")
+}
+
 fn main() {
     let mut rng = seeded_rng(42);
     let (w, h, frames) = (128, 128, 32);
@@ -47,12 +51,12 @@ fn main() {
     let stack = read_stack(&sanity.repaired).expect("repaired header parses");
 
     // The distributed phase, with bit-flips striking tiles in transit.
-    let reference = NgstPipeline::new(PipelineConfig {
+    let reference = pipeline(PipelineConfig {
         workers: 16,
         tile_size: 32,
         ..PipelineConfig::default()
     })
-    .run(&stack);
+    .run(&stack).expect("pipeline run");
 
     for (label, preprocess) in [
         ("without preprocessing", None),
@@ -64,7 +68,7 @@ fn main() {
             )),
         ),
     ] {
-        let report = NgstPipeline::new(PipelineConfig {
+        let report = pipeline(PipelineConfig {
             workers: 16,
             tile_size: 32,
             transit_fault: Some(TransitFault::Uncorrelated(0.01)),
@@ -72,7 +76,7 @@ fn main() {
             seed: 7,
             ..PipelineConfig::default()
         })
-        .run(&stack);
+        .run(&stack).expect("pipeline run");
         let err: f64 = report
             .rate
             .as_slice()

@@ -60,8 +60,12 @@ fn main() {
         // The ALFT perspective (§7): same corrupted input defeats both
         // primary and secondary; preprocessing restores the logic grid.
         let harness = AlftHarness::default();
-        let (_, plain) = harness.execute(&corrupted, &DEFAULT_BANDS, ProcessFault::None, &mut rng);
-        let (_, saved) = harness.execute(&repaired, &DEFAULT_BANDS, ProcessFault::None, &mut rng);
+        let (_, plain) = harness
+            .execute(&corrupted, &DEFAULT_BANDS, ProcessFault::None, &mut rng)
+            .expect("alft executes");
+        let (_, saved) = harness
+            .execute(&repaired, &DEFAULT_BANDS, ProcessFault::None, &mut rng)
+            .expect("alft executes");
         println!("» ALFT on corrupted input: {plain:?}; after preprocessing: {saved:?}\n");
     }
 }

@@ -1,0 +1,146 @@
+//! The acceptance chaos scenario for the supervised runtime (run with
+//! `cargo test -p preflight-system-tests --features chaos`):
+//!
+//! a worker crash, a stalled worker, and a twice-corrupted result message
+//! strike the distributed NGST pipeline on top of Γ₀ = 1 % bit-flips in
+//! transit. Under supervision the run must complete end to end, exercise
+//! at least one retry and one degradation, log the exact scripted recovery
+//! events, and land within Ψ tolerance of the fault-free product. The same
+//! scenario without supervision must fail.
+
+use preflight_core::{AlgoNgst, Image, ImageStack, Sensitivity, Upsilon};
+use preflight_faults::{ChaosOutcome, ChaosPlan};
+use preflight_metrics::psi;
+use preflight_ngst::{
+    DetectorConfig, NgstPipeline, PipelineConfig, PipelineError, TransitFault, UpTheRamp,
+};
+use preflight_supervisor::{FtLevel, RetryPolicy, Supervision};
+use std::time::Duration;
+
+/// 48×32 detector → six 16×16 tiles (units 0..=5) on three workers.
+fn stack() -> ImageStack<u16> {
+    let det = UpTheRamp::new(DetectorConfig {
+        width: 48,
+        height: 32,
+        frames: 24,
+        read_noise: 5.0,
+        ..DetectorConfig::default()
+    });
+    det.clean_stack(
+        &Image::filled(48, 32, 30.0f32),
+        &mut preflight_faults::seeded_rng(99),
+    )
+}
+
+fn pipeline() -> NgstPipeline {
+    NgstPipeline::new(PipelineConfig {
+        workers: 3,
+        tile_size: 16,
+        preprocess: Some(AlgoNgst::new(
+            Upsilon::FOUR,
+            Sensitivity::new(80).expect("valid Λ"),
+        )),
+        transit_fault: Some(TransitFault::Uncorrelated(0.01)),
+        seed: 7,
+        ..PipelineConfig::default()
+    })
+    .expect("valid pipeline config")
+}
+
+/// The scripted fault scenario: every event below is deterministic in
+/// (unit, attempt), so the recovery log is a golden value, not a sample.
+fn scenario() -> ChaosPlan {
+    ChaosPlan::new()
+        .with(1, 0, ChaosOutcome::Crash)
+        .with(2, 0, ChaosOutcome::Stall(Duration::from_millis(800)))
+        .with(3, 0, ChaosOutcome::CorruptMessage { gamma: 0.5 })
+        .with(3, 1, ChaosOutcome::CorruptMessage { gamma: 0.5 })
+}
+
+fn supervision() -> Supervision {
+    Supervision {
+        policy: RetryPolicy {
+            max_retries: 2,
+            stage_timeout: Duration::from_millis(200),
+            backoff_base: Duration::from_millis(1),
+            backoff_factor: 2.0,
+            backoff_cap: Duration::from_millis(5),
+            jitter: 0.0,
+            seed: 0,
+        },
+        degrade: true,
+        quarantine_after: 2,
+    }
+}
+
+#[test]
+fn supervised_chaos_scenario_recovers_end_to_end() {
+    let stack = stack();
+    let p = pipeline();
+    let plan = scenario();
+    let sup = supervision();
+
+    let out = p
+        .run_with(&stack, Some(&sup), Some(&plan))
+        .expect("the supervised run must complete despite the scenario");
+
+    // Golden recovery log: the crash and the stall each cost one retry;
+    // the twice-corrupted tile burns its Algo_NGST budget, is quarantined,
+    // degrades one rung and recovers there.
+    let log = &out.outcome.recovery;
+    assert_eq!(log.crashes(), 1, "{}", log.summary());
+    assert_eq!(log.timeouts(), 1, "{}", log.summary());
+    assert_eq!(log.corruptions(), 2, "{}", log.summary());
+    assert_eq!(log.retries(), 4, "{}", log.summary());
+    assert_eq!(log.quarantines(), 1, "{}", log.summary());
+    assert_eq!(log.degradations(), 1, "{}", log.summary());
+    assert_eq!(log.recoveries(), 3, "{}", log.summary());
+    assert_eq!(log.abandonments(), 0, "{}", log.summary());
+    assert_eq!(log.len(), 13, "{}", log.summary());
+    assert!(log.retries() >= 1 && log.degradations() >= 1);
+
+    // The degraded tile settles one rung down; everything else holds the
+    // full-fidelity level, so the run's overall level is BitVoter.
+    assert_eq!(out.outcome.achieved, FtLevel::BitVoter);
+    assert_eq!(out.outcome.abandoned_tiles, 0);
+    assert_eq!(out.outcome.tile_levels[3].level, FtLevel::BitVoter);
+    for (unit, t) in out.outcome.tile_levels.iter().enumerate() {
+        if unit != 3 {
+            assert_eq!(t.level, FtLevel::AlgoNgst, "unit {unit}");
+        }
+    }
+
+    // Ψ against the fault-free golden run: retried tiles re-draw their
+    // transit bit-flips and the degraded tile repairs with the voter
+    // instead of Algo_NGST, so the products differ — but only within the
+    // preprocessing noise floor.
+    let golden = p.run(&stack).expect("golden run");
+    let err = psi(golden.rate.as_slice(), out.report.rate.as_slice());
+    assert!(
+        err < 0.1,
+        "recovered product drifted from the golden run: Ψ = {err}"
+    );
+}
+
+#[test]
+fn supervised_chaos_scenario_is_deterministic() {
+    let stack = stack();
+    let p = pipeline();
+    let plan = scenario();
+    let sup = supervision();
+    let a = p.run_with(&stack, Some(&sup), Some(&plan)).expect("run A");
+    let b = p.run_with(&stack, Some(&sup), Some(&plan)).expect("run B");
+    assert_eq!(a.report.rate, b.report.rate);
+    assert_eq!(a.outcome.achieved, b.outcome.achieved);
+    assert_eq!(a.outcome.recovery.summary(), b.outcome.recovery.summary());
+}
+
+#[test]
+fn unsupervised_chaos_scenario_fails() {
+    let stack = stack();
+    let p = pipeline();
+    let err = p
+        .run_with(&stack, None, Some(&scenario()))
+        .expect_err("an unsupervised crash must abort the run");
+    assert_eq!(err, PipelineError::WorkerLost { unit: 1 });
+}

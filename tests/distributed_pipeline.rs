@@ -16,22 +16,27 @@ fn stack(seed: u64, w: usize, h: usize, frames: usize) -> ImageStack<u16> {
     det.clean_stack(&flux, &mut rng)
 }
 
+
+fn pipeline(cfg: PipelineConfig) -> NgstPipeline {
+    NgstPipeline::new(cfg).expect("valid pipeline config")
+}
+
 #[test]
 fn result_is_invariant_to_worker_count_and_tile_size() {
     let st = stack(1, 48, 32, 12);
-    let reference = NgstPipeline::new(PipelineConfig {
+    let reference = pipeline(PipelineConfig {
         workers: 1,
         tile_size: 48,
         ..PipelineConfig::default()
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     for (workers, tile) in [(2usize, 16usize), (4, 8), (7, 13), (16, 48)] {
-        let rep = NgstPipeline::new(PipelineConfig {
+        let rep = pipeline(PipelineConfig {
             workers,
             tile_size: tile,
             ..PipelineConfig::default()
         })
-        .run(&st);
+        .run(&st).expect("pipeline run");
         assert_eq!(
             rep.rate, reference.rate,
             "workers={workers} tile={tile} changed the science product"
@@ -43,7 +48,7 @@ fn result_is_invariant_to_worker_count_and_tile_size() {
 #[test]
 fn work_is_distributed_across_workers() {
     let st = stack(2, 64, 64, 16);
-    let rep = NgstPipeline::new(PipelineConfig {
+    let rep = pipeline(PipelineConfig {
         workers: 4,
         tile_size: 8,
         // Preprocessing makes each tile heavy enough that the queue cannot
@@ -51,7 +56,7 @@ fn work_is_distributed_across_workers() {
         preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
         ..PipelineConfig::default()
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     assert_eq!(rep.tiles, 64);
     assert_eq!(rep.worker_tile_counts.len(), 4);
     assert_eq!(rep.worker_tile_counts.iter().sum::<usize>(), 64);
@@ -73,8 +78,8 @@ fn transit_fault_accounting_is_exact() {
         seed: 5,
         ..PipelineConfig::default()
     };
-    let a = NgstPipeline::new(cfg).run(&st);
-    let b = NgstPipeline::new(cfg).run(&st);
+    let a = pipeline(cfg).run(&st).expect("pipeline run");
+    let b = pipeline(cfg).run(&st).expect("pipeline run");
     assert_eq!(
         a.bits_flipped_in_transit, b.bits_flipped_in_transit,
         "seeded determinism"
@@ -91,7 +96,7 @@ fn transit_fault_accounting_is_exact() {
 #[test]
 fn correlated_transit_faults_are_supported() {
     let st = stack(4, 32, 16, 8);
-    let rep = NgstPipeline::new(PipelineConfig {
+    let rep = pipeline(PipelineConfig {
         workers: 2,
         tile_size: 16,
         transit_fault: Some(TransitFault::Correlated(0.1)),
@@ -99,7 +104,7 @@ fn correlated_transit_faults_are_supported() {
         seed: 6,
         ..PipelineConfig::default()
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     assert!(rep.bits_flipped_in_transit > 0);
     assert!(rep.corrected_samples > 0);
 }
@@ -107,12 +112,12 @@ fn correlated_transit_faults_are_supported() {
 #[test]
 fn elapsed_and_compression_fields_are_populated() {
     let st = stack(5, 32, 32, 8);
-    let rep = NgstPipeline::new(PipelineConfig {
+    let rep = pipeline(PipelineConfig {
         workers: 2,
         tile_size: 32,
         ..PipelineConfig::default()
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     assert!(rep.elapsed.as_nanos() > 0);
     assert!(rep.compressed_bytes > 0);
     assert!(rep.compression_ratio > 0.5);
@@ -122,12 +127,12 @@ fn elapsed_and_compression_fields_are_populated() {
 #[test]
 fn single_pixel_tiles_are_legal() {
     let st = stack(6, 4, 4, 8);
-    let rep = NgstPipeline::new(PipelineConfig {
+    let rep = pipeline(PipelineConfig {
         workers: 2,
         tile_size: 1,
         ..PipelineConfig::default()
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     assert_eq!(rep.tiles, 16);
 }
 
@@ -138,7 +143,7 @@ fn single_pixel_tiles_are_legal() {
 #[ignore = "flight-scale run; invoke explicitly with --ignored"]
 fn flight_scale_baseline_processes_end_to_end() {
     let st = stack(99, 512, 512, 32);
-    let rep = NgstPipeline::new(PipelineConfig {
+    let rep = pipeline(PipelineConfig {
         workers: 16,
         tile_size: 128,
         preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
@@ -146,7 +151,7 @@ fn flight_scale_baseline_processes_end_to_end() {
         seed: 99,
         ..PipelineConfig::default()
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     assert_eq!(rep.tiles, 16);
     assert!(rep.corrected_samples > 0);
     assert!(rep.compression_ratio > 1.0);
@@ -160,7 +165,7 @@ fn repair_map_localizes_the_damage() {
     // check the provenance layer: repaired coordinates concentrate where
     // flips landed, and the map sums to the reported total.
     let st = stack(7, 32, 32, 32);
-    let rep = NgstPipeline::new(PipelineConfig {
+    let rep = pipeline(PipelineConfig {
         workers: 2,
         tile_size: 16,
         transit_fault: Some(TransitFault::Uncorrelated(0.004)),
@@ -168,7 +173,7 @@ fn repair_map_localizes_the_damage() {
         seed: 77,
         ..PipelineConfig::default()
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     let map_total: usize = rep
         .repair_map
         .as_slice()
@@ -182,14 +187,14 @@ fn repair_map_localizes_the_damage() {
     assert!(map_total > 0);
 
     // Without preprocessing the map is all zeros.
-    let plain = NgstPipeline::new(PipelineConfig {
+    let plain = pipeline(PipelineConfig {
         workers: 2,
         tile_size: 16,
         transit_fault: Some(TransitFault::Uncorrelated(0.004)),
         seed: 77,
         ..PipelineConfig::default()
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     assert!(plain.repair_map.as_slice().iter().all(|&v| v == 0));
 }
 
@@ -204,11 +209,11 @@ fn repair_map_identical_between_integrated_and_separate() {
         seed: 5,
         ..PipelineConfig::default()
     };
-    let sep = NgstPipeline::new(base).run(&st);
-    let int = NgstPipeline::new(PipelineConfig {
+    let sep = pipeline(base).run(&st).expect("pipeline run");
+    let int = pipeline(PipelineConfig {
         integrated: true,
         ..base
     })
-    .run(&st);
+    .run(&st).expect("pipeline run");
     assert_eq!(sep.repair_map, int.repair_map);
 }

@@ -23,6 +23,11 @@ fn scene_stack(seed: u64) -> ImageStack<u16> {
     det.clean_stack(&flux, &mut rng)
 }
 
+
+fn pipeline(cfg: PipelineConfig) -> NgstPipeline {
+    NgstPipeline::new(cfg).expect("valid pipeline config")
+}
+
 fn rate_error(a: &preflight::core::Image<f32>, b: &preflight::core::Image<f32>) -> f64 {
     a.as_slice()
         .iter()
@@ -48,17 +53,17 @@ fn preprocessing_improves_the_science_product() {
         seed: 99,
         ..PipelineConfig::default()
     };
-    let clean_ref = NgstPipeline::new(PipelineConfig {
+    let clean_ref = pipeline(PipelineConfig {
         transit_fault: None,
         ..base
     })
-    .run(&stack);
-    let unprotected = NgstPipeline::new(base).run(&stack);
-    let protected = NgstPipeline::new(PipelineConfig {
+    .run(&stack).expect("pipeline run");
+    let unprotected = pipeline(base).run(&stack).expect("pipeline run");
+    let protected = pipeline(PipelineConfig {
         preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
         ..base
     })
-    .run(&stack);
+    .run(&stack).expect("pipeline run");
 
     assert!(
         unprotected.bits_flipped_in_transit > 0,
@@ -84,14 +89,14 @@ fn cosmic_rays_and_bitflips_are_both_survived() {
     let mut rng = seeded_rng(3);
     let hits = CosmicRayModel::default().strike(&mut stack, &mut rng);
     assert!(!hits.is_empty());
-    let clean_ref = NgstPipeline::new(PipelineConfig {
+    let clean_ref = pipeline(PipelineConfig {
         workers: 2,
         tile_size: 16,
         ..PipelineConfig::default()
     })
-    .run(&stack);
+    .run(&stack).expect("pipeline run");
 
-    let protected = NgstPipeline::new(PipelineConfig {
+    let protected = pipeline(PipelineConfig {
         workers: 2,
         tile_size: 16,
         transit_fault: Some(TransitFault::Uncorrelated(0.002)),
@@ -99,7 +104,7 @@ fn cosmic_rays_and_bitflips_are_both_survived() {
         seed: 4,
         ..PipelineConfig::default()
     })
-    .run(&stack);
+    .run(&stack).expect("pipeline run");
 
     // Even with CR hits *and* transit flips, the protected product must
     // stay close to the CR-only reference.
@@ -140,12 +145,12 @@ fn compression_ratio_reported_by_pipeline_degrades_under_faults() {
         seed: 8,
         ..PipelineConfig::default()
     };
-    let clean = NgstPipeline::new(base).run(&stack);
-    let faulty = NgstPipeline::new(PipelineConfig {
+    let clean = pipeline(base).run(&stack).expect("pipeline run");
+    let faulty = pipeline(PipelineConfig {
         transit_fault: Some(TransitFault::Uncorrelated(0.02)),
         ..base
     })
-    .run(&stack);
+    .run(&stack).expect("pipeline run");
     assert!(clean.compression_ratio > 1.0);
     assert!(
         faulty.compression_ratio < clean.compression_ratio,

@@ -85,12 +85,14 @@ fn alft_alone_fails_on_corrupted_input_but_preprocessing_saves_it() {
     let harness = AlftHarness::default();
     // ALFT by itself: both primary and secondary read the same corrupted
     // cube — the catastrophic case.
-    let (_, outcome) = harness.execute(
-        &corrupted,
-        &DEFAULT_BANDS,
-        ProcessFault::None,
-        &mut seeded_rng(23),
-    );
+    let (_, outcome) = harness
+        .execute(
+            &corrupted,
+            &DEFAULT_BANDS,
+            ProcessFault::None,
+            &mut seeded_rng(23),
+        )
+        .expect("alft executes");
     assert_eq!(
         outcome,
         AlftOutcome::BothFailed,
@@ -100,12 +102,14 @@ fn alft_alone_fails_on_corrupted_input_but_preprocessing_saves_it() {
     // With input preprocessing in front, the same harness succeeds.
     let mut repaired = corrupted.clone();
     otis_algo().preprocess_cube(&mut repaired);
-    let (product, outcome) = harness.execute(
-        &repaired,
-        &DEFAULT_BANDS,
-        ProcessFault::None,
-        &mut seeded_rng(24),
-    );
+    let (product, outcome) = harness
+        .execute(
+            &repaired,
+            &DEFAULT_BANDS,
+            ProcessFault::None,
+            &mut seeded_rng(24),
+        )
+        .expect("alft executes");
     assert_eq!(
         outcome,
         AlftOutcome::UsedPrimary,
@@ -118,21 +122,25 @@ fn alft_alone_fails_on_corrupted_input_but_preprocessing_saves_it() {
 fn alft_still_handles_its_own_fault_classes() {
     let (_, cube) = inputs(31);
     let harness = AlftHarness::default();
-    let (p, o) = harness.execute(
-        &cube,
-        &DEFAULT_BANDS,
-        ProcessFault::Crash,
-        &mut seeded_rng(32),
-    );
+    let (p, o) = harness
+        .execute(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::Crash,
+            &mut seeded_rng(32),
+        )
+        .expect("alft executes");
     assert_eq!(o, AlftOutcome::UsedSecondary);
     assert!(p.is_some());
 
-    let (_, o) = harness.execute(
-        &cube,
-        &DEFAULT_BANDS,
-        ProcessFault::SilentCorruption(0.05),
-        &mut seeded_rng(33),
-    );
+    let (_, o) = harness
+        .execute(
+            &cube,
+            &DEFAULT_BANDS,
+            ProcessFault::SilentCorruption(0.05),
+            &mut seeded_rng(33),
+        )
+        .expect("alft executes");
     assert_eq!(o, AlftOutcome::UsedSecondary);
 }
 

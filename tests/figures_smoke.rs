@@ -266,6 +266,32 @@ fn scaling_experiment_is_sane() {
 }
 
 #[test]
+fn recovery_supervision_preserves_the_product_under_process_faults() {
+    let fig = bench::fig_recovery(tiny());
+    let supervised = fig.series("supervised (retry + degrade)").unwrap();
+    let unsupervised = fig.series("unsupervised").unwrap();
+    // No injected faults → both runtimes reproduce the reference exactly.
+    assert!(supervised.ys[0].abs() < 1e-9, "{:?}", supervised.ys);
+    assert!(unsupervised.ys[0].abs() < 1e-9, "{:?}", unsupervised.ys);
+    // At the heavy end the unsupervised pipeline loses or corrupts the
+    // product while the supervisor retries its way to a usable one.
+    let sup_last = *supervised.ys.last().unwrap();
+    let raw_last = *unsupervised.ys.last().unwrap();
+    assert!(
+        sup_last < raw_last,
+        "supervised {sup_last} must beat unsupervised {raw_last}"
+    );
+    assert!(
+        raw_last > 0.5,
+        "unsupervised runs must mostly lose the product at the heavy end: {raw_last}"
+    );
+    assert!(
+        sup_last < 0.5,
+        "the supervised product must stay usable: {sup_last}"
+    );
+}
+
+#[test]
 fn compression_claim_clean_beats_damaged() {
     let fig = bench::compression_claim(tiny());
     let clean = fig.series("clean").unwrap().ys[0];
