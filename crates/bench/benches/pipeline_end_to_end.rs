@@ -31,14 +31,15 @@ fn bench(c: &mut Criterion) {
         seed: 11,
         ..PipelineConfig::default()
     };
-    let without = NgstPipeline::new(base);
+    let without = NgstPipeline::new(base).expect("valid pipeline config");
     group.bench_function(BenchmarkId::new("run", "no_preprocessing"), |b| {
         b.iter(|| black_box(without.run(black_box(&stack))))
     });
     let with = NgstPipeline::new(PipelineConfig {
         preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
         ..base
-    });
+    })
+    .expect("valid pipeline config");
     group.bench_function(BenchmarkId::new("run", "with_preprocessing"), |b| {
         b.iter(|| black_box(with.run(black_box(&stack))))
     });
@@ -48,7 +49,8 @@ fn bench(c: &mut Criterion) {
         preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
         integrated: true,
         ..base
-    });
+    })
+    .expect("valid pipeline config");
     group.bench_function(BenchmarkId::new("run", "integrated_preprocessing"), |b| {
         b.iter(|| black_box(fused.run(black_box(&stack))))
     });

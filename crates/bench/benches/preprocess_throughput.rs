@@ -1,0 +1,74 @@
+//! Throughput of the three stack-preprocessing drivers — naive
+//! gather/scatter, cache-aware series-major tiling, and the data-parallel
+//! worker pool at 1/2/4/8 threads — on the 64×64×128 acceptance cube, for
+//! `u16` and `u32` pixels. Reported in samples/s (Criterion's element
+//! throughput); `repro perf` emits the same sweep as `BENCH_preprocess.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use preflight_bench::perf::{perf_algo, sample_u16, sample_u32, synthetic_stack};
+use preflight_core::{
+    preprocess_stack, preprocess_stack_parallel, preprocess_stack_tiled, BitPixel, ImageStack,
+    DEFAULT_TILE,
+};
+use std::hint::black_box;
+
+const WIDTH: usize = 64;
+const HEIGHT: usize = 64;
+const FRAMES: usize = 128;
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+fn bench_pixel_width<T: BitPixel>(c: &mut Criterion, label: &str, sample: impl Fn(u64) -> T) {
+    let algo = perf_algo();
+    let input: ImageStack<T> = synthetic_stack(WIDTH, HEIGHT, FRAMES, 0xA5A5, sample);
+    let mut group = c.benchmark_group(format!("preprocess_throughput/{label}"));
+    group.throughput(Throughput::Elements((WIDTH * HEIGHT * FRAMES) as u64));
+    group.sample_size(10);
+
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut work = input.clone();
+            black_box(preprocess_stack(&algo, black_box(&mut work)));
+        })
+    });
+    group.bench_function("tiled", |b| {
+        b.iter(|| {
+            let mut work = input.clone();
+            black_box(preprocess_stack_tiled(
+                &algo,
+                black_box(&mut work),
+                DEFAULT_TILE,
+            ));
+        })
+    });
+    for &threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut work = input.clone();
+                    black_box(preprocess_stack_parallel(
+                        &algo,
+                        black_box(&mut work),
+                        threads,
+                    ));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    bench_pixel_width::<u16>(c, "u16", sample_u16);
+    bench_pixel_width::<u32>(c, "u32", sample_u32);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

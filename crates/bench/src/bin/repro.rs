@@ -9,7 +9,12 @@
 //!   compression factors mean-vs-median scaling recovery
 //!   interleave spatial-vs-spectral
 //!   ablation-windows ablation-static
+//!   perf
 //!   all
+//!
+//! `perf` is the odd one out: instead of an error-rate figure it times the
+//! preprocessing drivers (naive / tiled / parallel) and writes the sweep to
+//! `BENCH_preprocess.json` in the working directory.
 //! flags:
 //!   --paper     paper-depth averaging (slower; default is a medium scale)
 //!   --quick     smoke-test scale
@@ -24,13 +29,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut target = None;
     let mut scale = Scale::medium();
+    let mut quick = false;
     let mut csv_dir: Option<String> = None;
     let mut svg_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--paper" => scale = Scale::paper(),
-            "--quick" => scale = Scale::quick(),
+            "--quick" => {
+                scale = Scale::quick();
+                quick = true;
+            }
             "--csv" => match it.next() {
                 Some(d) => csv_dir = Some(d.clone()),
                 None => {
@@ -62,6 +71,10 @@ fn main() {
         std::process::exit(2);
     };
 
+    if target == "perf" {
+        run_perf(quick);
+        return;
+    }
     let figures = run_target(&target, scale);
     if figures.is_empty() {
         eprintln!("unknown target {target:?}");
@@ -93,6 +106,24 @@ fn main() {
     if let Some(dir) = &svg_dir {
         eprintln!("SVG plots written to {dir}/");
     }
+}
+
+/// `perf`: time the preprocessing drivers and persist the sweep as JSON.
+fn run_perf(quick: bool) {
+    use preflight_bench::perf::{preprocess_perf, PerfConfig};
+    let config = if quick {
+        PerfConfig::quick()
+    } else {
+        PerfConfig::standard()
+    };
+    let report = preprocess_perf(&config);
+    print!("{}", report.to_table());
+    let path = "BENCH_preprocess.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("throughput sweep written to {path}");
 }
 
 fn run_target(target: &str, scale: Scale) -> Vec<Figure> {
@@ -156,6 +187,7 @@ fn print_usage() {
     eprintln!(
         "usage: repro <target> [--paper|--quick] [--csv DIR] [--svg DIR]\n\
          targets: fig2 fig3 fig4 fig5 fig6 fig7 fig9 compression factors scaling recovery\n\x20        motivation mean-vs-median interleave\n\
-         \x20        spatial-vs-spectral ablation-windows ablation-static ablation-passes all"
+         \x20        spatial-vs-spectral ablation-windows ablation-static ablation-passes\n\
+         \x20        perf all"
     );
 }

@@ -16,6 +16,7 @@
 
 pub mod motivation;
 pub mod ngst_exp;
+pub mod perf;
 pub mod otis_exp;
 pub mod recovery;
 pub mod report;

@@ -1,0 +1,326 @@
+//! Throughput benchmark for the preprocessing engine (`repro perf`).
+//!
+//! Times the three stack drivers — the naive per-coordinate gather/scatter
+//! loop ([`preprocess_stack`]), the cache-aware series-major tiled path
+//! ([`preprocess_stack_tiled`]) and the data-parallel worker pool
+//! ([`preprocess_stack_parallel`]) — over a synthetic NGST-like cube, in
+//! Mpix/s (million samples preprocessed per second of wall time). The same
+//! workload feeds the `preprocess_throughput` Criterion bench; this module
+//! is the scriptable variant that emits `BENCH_preprocess.json`.
+//!
+//! Every timed run is also checked bit-identical against the naive driver,
+//! so a perf regression hunt can never silently trade away correctness.
+
+use preflight_core::{
+    available_threads, preprocess_stack, preprocess_stack_parallel, preprocess_stack_tiled,
+    AlgoNgst, BitPixel, ImageStack, Sensitivity, Upsilon, DEFAULT_TILE,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Workload shape and repetition depth for one perf run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfConfig {
+    /// Cube width in pixels.
+    pub width: usize,
+    /// Cube height in pixels.
+    pub height: usize,
+    /// Temporal frames per coordinate.
+    pub frames: usize,
+    /// Timed repetitions per driver; the best (minimum) time is reported.
+    pub reps: usize,
+    /// Thread counts to sweep for the parallel driver.
+    pub threads: Vec<usize>,
+}
+
+impl PerfConfig {
+    /// The standard workload: the 64×64×128 cube of the acceptance
+    /// criterion, swept over 1/2/4/8 threads.
+    pub fn standard() -> Self {
+        PerfConfig {
+            width: 64,
+            height: 64,
+            frames: 128,
+            reps: 3,
+            threads: vec![1, 2, 4, 8],
+        }
+    }
+
+    /// A sub-second smoke workload for CI.
+    pub fn quick() -> Self {
+        PerfConfig {
+            width: 16,
+            height: 16,
+            frames: 32,
+            reps: 1,
+            threads: vec![1, 2],
+        }
+    }
+
+    /// Samples preprocessed per driver pass.
+    pub fn samples(&self) -> usize {
+        self.width * self.height * self.frames
+    }
+}
+
+/// One timed driver × pixel-width × thread-count cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRow {
+    /// Driver name: `naive`, `tiled` or `parallel`.
+    pub driver: &'static str,
+    /// Pixel width in bits (16 or 32).
+    pub pixel_bits: u32,
+    /// Worker threads used (1 for the sequential drivers).
+    pub threads: usize,
+    /// Best wall time for one full pass, in seconds.
+    pub seconds: f64,
+    /// Million samples preprocessed per second of wall time.
+    pub mpix_per_s: f64,
+    /// Speedup over the naive sequential driver at the same pixel width.
+    pub speedup: f64,
+}
+
+/// A complete perf run: the workload shape plus every timed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// The workload that was timed.
+    pub config: PerfConfig,
+    /// The machine's available parallelism when the run happened.
+    pub available_threads: usize,
+    /// All timed cells, grouped by pixel width then driver.
+    pub rows: Vec<PerfRow>,
+}
+
+/// Synthetic calm-sky stack with sparse high-bit flips: the workload every
+/// driver is timed on (deterministic in `seed`, identical across drivers).
+pub fn synthetic_stack<T: BitPixel>(
+    width: usize,
+    height: usize,
+    frames: usize,
+    seed: u64,
+    sample: impl Fn(u64) -> T,
+) -> ImageStack<T> {
+    let mut stack = ImageStack::new(width, height, frames);
+    let mut state = seed | 1;
+    for v in stack.as_mut_slice() {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        *v = sample(state);
+    }
+    stack
+}
+
+/// The `u16` workload sample: calm ~27k level, ~2 % large flips.
+pub fn sample_u16(state: u64) -> u16 {
+    let mut v = 27_000 + (state >> 60) as u16;
+    if state >> 32 & 0xFF < 5 {
+        v ^= 1 << (10 + (state >> 40 & 0x3) as u32);
+    }
+    v
+}
+
+/// The `u32` workload sample: same shape, shifted into the wider word.
+pub fn sample_u32(state: u64) -> u32 {
+    let mut v = 1_700_000_000 + (state >> 56) as u32;
+    if state >> 32 & 0xFF < 5 {
+        v ^= 1 << (20 + (state >> 40 & 0x3) as u32);
+    }
+    v
+}
+
+/// The algorithm every driver runs: the paper's defaults (Υ = 4, Λ = 80).
+pub fn perf_algo() -> AlgoNgst {
+    AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).expect("valid lambda"))
+}
+
+/// Best-of-`reps` wall time for `pass`, run on a fresh clone each rep.
+fn best_secs<T: BitPixel>(
+    reps: usize,
+    input: &ImageStack<T>,
+    mut pass: impl FnMut(&mut ImageStack<T>) -> usize,
+) -> (f64, ImageStack<T>, usize) {
+    let mut best = f64::INFINITY;
+    let mut output = input.clone();
+    let mut changed = 0;
+    for _ in 0..reps.max(1) {
+        let mut work = input.clone();
+        let start = Instant::now();
+        let n = pass(&mut work);
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        output = work;
+        changed = n;
+    }
+    (best, output, changed)
+}
+
+fn run_pixel_width<T: BitPixel>(
+    config: &PerfConfig,
+    pixel_bits: u32,
+    sample: impl Fn(u64) -> T,
+    rows: &mut Vec<PerfRow>,
+) {
+    let algo = perf_algo();
+    let input = synthetic_stack(config.width, config.height, config.frames, 0xA5A5, sample);
+    let mpix = |secs: f64| config.samples() as f64 / secs / 1e6;
+
+    let (naive_secs, reference, want) =
+        best_secs(config.reps, &input, |s| preprocess_stack(&algo, s));
+    rows.push(PerfRow {
+        driver: "naive",
+        pixel_bits,
+        threads: 1,
+        seconds: naive_secs,
+        mpix_per_s: mpix(naive_secs),
+        speedup: 1.0,
+    });
+
+    let (secs, out, got) = best_secs(config.reps, &input, |s| {
+        preprocess_stack_tiled(&algo, s, DEFAULT_TILE)
+    });
+    assert_eq!((got, &out), (want, &reference), "tiled driver diverged");
+    rows.push(PerfRow {
+        driver: "tiled",
+        pixel_bits,
+        threads: 1,
+        seconds: secs,
+        mpix_per_s: mpix(secs),
+        speedup: naive_secs / secs,
+    });
+
+    for &threads in &config.threads {
+        let (secs, out, got) = best_secs(config.reps, &input, |s| {
+            preprocess_stack_parallel(&algo, s, threads)
+        });
+        assert_eq!(
+            (got, &out),
+            (want, &reference),
+            "parallel driver diverged at {threads} threads"
+        );
+        rows.push(PerfRow {
+            driver: "parallel",
+            pixel_bits,
+            threads,
+            seconds: secs,
+            mpix_per_s: mpix(secs),
+            speedup: naive_secs / secs,
+        });
+    }
+}
+
+/// Runs the full sweep: every driver, `u16` and `u32` pixels.
+pub fn preprocess_perf(config: &PerfConfig) -> PerfReport {
+    let mut rows = Vec::new();
+    run_pixel_width::<u16>(config, 16, sample_u16, &mut rows);
+    run_pixel_width::<u32>(config, 32, sample_u32, &mut rows);
+    PerfReport {
+        config: config.clone(),
+        available_threads: available_threads(),
+        rows,
+    }
+}
+
+impl PerfReport {
+    /// Aligned text table for the terminal.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "preprocess throughput, {}x{}x{} cube ({} samples/pass), \
+             best of {} rep(s), {} hardware thread(s)",
+            self.config.width,
+            self.config.height,
+            self.config.frames,
+            self.config.samples(),
+            self.config.reps,
+            self.available_threads
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>8} {:>12} {:>10} {:>8}",
+            "driver", "bits", "threads", "seconds", "Mpix/s", "speedup"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>6} {:>8} {:>12.6} {:>10.2} {:>7.2}x",
+                r.driver, r.pixel_bits, r.threads, r.seconds, r.mpix_per_s, r.speedup
+            );
+        }
+        out
+    }
+
+    /// Hand-formatted JSON document (the repo carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"preprocess_throughput\",");
+        let _ = writeln!(
+            out,
+            "  \"cube\": {{\"width\": {}, \"height\": {}, \"frames\": {}}},",
+            self.config.width, self.config.height, self.config.frames
+        );
+        let _ = writeln!(out, "  \"samples_per_pass\": {},", self.config.samples());
+        let _ = writeln!(out, "  \"reps\": {},", self.config.reps);
+        let _ = writeln!(out, "  \"available_threads\": {},", self.available_threads);
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"driver\": \"{}\", \"pixel_bits\": {}, \"threads\": {}, \
+                 \"seconds\": {:.6}, \"mpix_per_s\": {:.3}, \"speedup\": {:.3}}}{comma}",
+                r.driver, r.pixel_bits, r.threads, r.seconds, r.mpix_per_s, r.speedup
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_sane_rows() {
+        let report = preprocess_perf(&PerfConfig::quick());
+        // naive + tiled + 2 thread counts, for 2 pixel widths.
+        assert_eq!(report.rows.len(), 8);
+        assert!(report.rows.iter().all(|r| r.mpix_per_s > 0.0));
+        assert!(report.rows.iter().all(|r| r.seconds > 0.0));
+        assert!(report
+            .rows
+            .iter()
+            .filter(|r| r.driver == "naive")
+            .all(|r| r.speedup == 1.0));
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let report = preprocess_perf(&PerfConfig::quick());
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches("\"driver\"").count(), report.rows.len());
+        assert!(json.contains("\"benchmark\": \"preprocess_throughput\""));
+        // Balanced braces and brackets (flat document, no strings with
+        // either character).
+        let count = |c| json.matches(c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+    }
+
+    #[test]
+    fn workload_actually_exercises_the_repair_path() {
+        let algo = perf_algo();
+        let mut stack = synthetic_stack(16, 16, 32, 0xA5A5, sample_u16);
+        assert!(
+            preprocess_stack(&algo, &mut stack) > 0,
+            "perf workload must contain repairable flips"
+        );
+    }
+}

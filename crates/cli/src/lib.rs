@@ -94,6 +94,31 @@ fn upsilon_arg(opts: &Opts) -> Result<usize, CliError> {
     Ok(upsilon)
 }
 
+/// Reads `--threads` and validates the worker count up front: zero is
+/// rejected, and a request beyond the machine's available parallelism is
+/// capped (returning a warning line for the report).
+fn threads_arg(opts: &Opts) -> Result<(usize, Option<String>), CliError> {
+    let requested = opts.usize_or("threads", 1)?;
+    if requested == 0 {
+        return Err(CliError::Usage(
+            "--threads 0 is invalid: at least one worker thread is required \
+             (omit the flag for a single-threaded run)"
+            .to_owned(),
+        ));
+    }
+    let cap = available_threads();
+    if requested > cap {
+        return Ok((
+            cap,
+            Some(format!(
+                "warning: --threads {requested} exceeds the {cap} available \
+                 hardware thread(s); capped to {cap}"
+            )),
+        ));
+    }
+    Ok((requested, None))
+}
+
 /// Prints the usage summary to stderr.
 pub fn print_usage() {
     eprintln!(
@@ -101,7 +126,7 @@ pub fn print_usage() {
          commands:\n\
          \x20 gen        --out FILE [--width N] [--height N] [--frames N] [--sigma S] [--seed S]\n\
          \x20 inject     --in FILE --out FILE --gamma0 P [--correlated] [--seed S]\n\
-         \x20 preprocess --in FILE --out FILE [--lambda L] [--upsilon U]\n\
+         \x20 preprocess --in FILE --out FILE [--lambda L] [--upsilon U] [--threads N]\n\
          \x20 check      --in FILE\n\
          \x20 protect    --in FILE --out FILE\n\
          \x20 tune       --in FILE --gamma0 P\n\
@@ -207,11 +232,15 @@ fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
     let out = opts.require("out")?;
     let lambda = lambda_arg(opts)?;
     let upsilon = upsilon_arg(opts)?;
+    let (threads, thread_warning) = threads_arg(opts)?;
     let algo = AlgoNgst::new(Upsilon::new(upsilon)?, Sensitivity::new(lambda)?);
 
     let bytes = std::fs::read(Path::new(&input))?;
     let sanity = analyze(&bytes);
     let mut report = String::new();
+    if let Some(w) = thread_warning {
+        let _ = writeln!(report, "{w}");
+    }
     for f in &sanity.findings {
         let _ = writeln!(report, "header: {f:?}");
     }
@@ -222,12 +251,13 @@ fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
     }
     let mut stack = read_stack(&sanity.repaired)?;
     let start = std::time::Instant::now();
-    let corrected = preprocess_stack(&algo, &mut stack);
+    let corrected = preprocess_stack_parallel(&algo, &mut stack, threads);
     let elapsed = start.elapsed();
     write_stack_file(&out, &stack)?;
     let _ = writeln!(
         report,
-        "preprocessed {} series (L={lambda}, U={upsilon}): {corrected} samples repaired in {elapsed:?} -> {out}",
+        "preprocessed {} series on {threads} thread(s) (L={lambda}, U={upsilon}): \
+         {corrected} samples repaired in {elapsed:?} -> {out}",
         stack.width() * stack.height(),
     );
     Ok(report)
@@ -841,6 +871,45 @@ mod tests {
             ]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn threads_flag_is_validated_capped_and_bit_identical() {
+        // Zero threads is a usage error before any I/O happens.
+        assert!(matches!(
+            run(&["preprocess", "--in", "x", "--out", "y", "--threads", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        // An absurd request is capped at the machine's parallelism (with a
+        // warning in the report) and still yields bit-identical output.
+        let clean = tmp("thr-clean.fits");
+        let bad = tmp("thr-bad.fits");
+        let seq_out = tmp("thr-seq.fits");
+        let par_out = tmp("thr-par.fits");
+        run(&[
+            "gen", "--out", &clean, "--width", "16", "--height", "12", "--frames", "16",
+        ])
+        .unwrap();
+        run(&[
+            "inject", "--in", &clean, "--out", &bad, "--gamma0", "0.01", "--seed", "3",
+        ])
+        .unwrap();
+        let seq = run(&["preprocess", "--in", &bad, "--out", &seq_out]).unwrap();
+        assert!(seq.contains("on 1 thread(s)"), "{seq}");
+        let par = run(&[
+            "preprocess",
+            "--in",
+            &bad,
+            "--out",
+            &par_out,
+            "--threads",
+            "65535",
+        ])
+        .unwrap();
+        assert!(par.contains("warning: --threads 65535"), "{par}");
+        let a = read_stack_file(&seq_out).unwrap();
+        let b = read_stack_file(&par_out).unwrap();
+        assert_eq!(a, b, "thread count must not change the output");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::error::CoreError;
 use crate::pixel::BitPixel;
 use crate::sensitivity::{Sensitivity, Upsilon};
 use crate::traits::SeriesPreprocessor;
-use crate::voter::VoterMatrix;
+use crate::voter::{VoterMatrix, VoterScratch};
 use crate::window::BitWindows;
 
 /// Optional behavioral switches for [`AlgoNgst`], used by the ablation
@@ -130,12 +130,27 @@ impl AlgoNgst {
     /// and returns `Ok(0)` (the header-sanity-only mode of §3.2 — header
     /// checking itself lives in `preflight-fits`).
     pub fn try_preprocess<T: BitPixel>(&self, series: &mut [T]) -> Result<usize, CoreError> {
+        self.try_preprocess_with(series, &mut VoterScratch::new())
+    }
+
+    /// [`AlgoNgst::try_preprocess`] with caller-provided scratch buffers:
+    /// identical results, but the XOR-diff and correction buffers are reused
+    /// across series instead of reallocated, so a worker looping over a tile
+    /// of series reaches a zero-alloc steady state.
+    ///
+    /// # Errors
+    /// Same contract as [`AlgoNgst::try_preprocess`].
+    pub fn try_preprocess_with<T: BitPixel>(
+        &self,
+        series: &mut [T],
+        scratch: &mut VoterScratch<T>,
+    ) -> Result<usize, CoreError> {
         if self.sensitivity.is_off() {
             return Ok(0);
         }
         let mut total = 0;
         for _ in 0..self.config.passes.max(1) {
-            let changed = self.one_pass(series)?;
+            let changed = self.one_pass(series, scratch)?;
             total += changed;
             if changed == 0 {
                 break;
@@ -146,23 +161,29 @@ impl AlgoNgst {
 
     /// One analyze-and-repair round: build the voter matrix, compute every
     /// correction from the (round-local) original data, apply in a batch.
-    fn one_pass<T: BitPixel>(&self, series: &mut [T]) -> Result<usize, CoreError> {
-        let vm = VoterMatrix::build(
+    fn one_pass<T: BitPixel>(
+        &self,
+        series: &mut [T],
+        scratch: &mut VoterScratch<T>,
+    ) -> Result<usize, CoreError> {
+        let vm = VoterMatrix::build_with_scratch(
             series,
             self.upsilon,
             self.sensitivity,
             self.config.msb_margin_bits,
+            scratch,
         )?;
         let windows = self.effective_windows(&vm);
         let n = series.len();
-        let mut corrections: Vec<T> = Vec::with_capacity(n);
+        let corrections = &mut scratch.corrections;
+        corrections.clear();
         for i in 0..n {
             let (vect, aux) = vm.correction(series, i);
             let aux = if self.config.use_grt { aux } else { T::ZERO };
             corrections.push(windows.combine(vect, aux));
         }
         let mut changed = 0;
-        for (p, c) in series.iter_mut().zip(corrections) {
+        for (p, &c) in series.iter_mut().zip(corrections.iter()) {
             if c != T::ZERO {
                 *p = p.xor(c);
                 changed += 1;
@@ -187,6 +208,11 @@ impl<T: BitPixel> SeriesPreprocessor<T> for AlgoNgst {
     /// for Υ are left untouched (returns 0).
     fn preprocess(&self, series: &mut [T]) -> usize {
         self.try_preprocess(series).unwrap_or(0)
+    }
+
+    /// Infallible wrapper over [`AlgoNgst::try_preprocess_with`].
+    fn preprocess_with(&self, series: &mut [T], scratch: &mut VoterScratch<T>) -> usize {
+        self.try_preprocess_with(series, scratch).unwrap_or(0)
     }
 }
 
@@ -217,21 +243,20 @@ pub fn preprocess_image<T: BitPixel>(
     image: &mut crate::container::Image<T>,
 ) -> usize {
     let mut changed = 0;
+    let mut scratch = VoterScratch::new();
     for y in 0..image.height() {
-        changed += algo.preprocess(image.row_mut(y));
+        changed += algo.preprocess_with(image.row_mut(y), &mut scratch);
     }
     let (w, h) = (image.width(), image.height());
     let mut column: Vec<T> = Vec::with_capacity(h);
+    let mut before: Vec<T> = Vec::with_capacity(h);
     for x in 0..w {
-        column.clear();
-        column.extend((0..h).map(|y| image.get(x, y)));
-        if algo.preprocess(&mut column) > 0 {
-            for (y, &v) in column.iter().enumerate() {
-                if image.get(x, y) != v {
-                    image.set(x, y, v);
-                    changed += 1;
-                }
-            }
+        image.copy_col_into(x, &mut column);
+        before.clear();
+        before.extend_from_slice(&column);
+        if algo.preprocess_with(&mut column, &mut scratch) > 0 {
+            changed += column.iter().zip(&before).filter(|(a, b)| a != b).count();
+            image.write_col(x, &column);
         }
     }
     changed

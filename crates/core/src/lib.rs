@@ -51,6 +51,7 @@ pub mod algo_otis;
 pub mod bitvote;
 pub mod container;
 pub mod error;
+pub mod parallel;
 pub mod pixel;
 pub mod sensitivity;
 pub mod smoothing;
@@ -59,6 +60,10 @@ pub mod voter;
 pub mod window;
 
 pub use algo_ngst::{preprocess_image, preprocess_stack, AlgoNgst, NgstConfig};
+pub use parallel::{
+    available_threads, preprocess_cube_parallel, preprocess_stack_parallel,
+    preprocess_stack_tiled, DEFAULT_TILE,
+};
 pub use algo_otis::{AlgoOtis, Neighborhood, OtisConfig, PhysicalBounds, PlaneReport, Repair};
 pub use bitvote::BitVoter;
 pub use container::{Cube, Image, ImageStack};
@@ -67,7 +72,7 @@ pub use pixel::{BitPixel, ValuePixel};
 pub use sensitivity::{Sensitivity, Upsilon};
 pub use smoothing::{MeanSmoother, MedianSmoother};
 pub use traits::{PlanePreprocessor, SeriesPreprocessor};
-pub use voter::VoterMatrix;
+pub use voter::{VoterMatrix, VoterScratch};
 pub use window::BitWindows;
 
 /// Convenient glob-import of the most commonly used items.
@@ -76,6 +81,7 @@ pub mod prelude {
     pub use crate::algo_otis::{AlgoOtis, PhysicalBounds};
     pub use crate::bitvote::BitVoter;
     pub use crate::container::{Cube, Image, ImageStack};
+    pub use crate::parallel::{preprocess_cube_parallel, preprocess_stack_parallel};
     pub use crate::pixel::{BitPixel, ValuePixel};
     pub use crate::sensitivity::{Sensitivity, Upsilon};
     pub use crate::smoothing::{MeanSmoother, MedianSmoother};

@@ -1,6 +1,7 @@
 //! Preprocessor traits shared by the dynamic algorithm and the baselines.
 
 use crate::container::Image;
+use crate::voter::VoterScratch;
 
 /// A preprocessing algorithm operating on the temporal series of one
 /// coordinate (the NGST shape: `N` readouts of the same pixel).
@@ -16,6 +17,19 @@ pub trait SeriesPreprocessor<T> {
 
     /// Repairs `series` in place, returning the number of modified samples.
     fn preprocess(&self, series: &mut [T]) -> usize;
+
+    /// [`SeriesPreprocessor::preprocess`] with caller-provided scratch
+    /// buffers, for workers that loop over many series.
+    ///
+    /// Results must be identical to `preprocess`; the scratch is purely an
+    /// allocation-recycling vehicle. The default implementation ignores the
+    /// scratch (correct for stateless baselines that allocate nothing);
+    /// algorithms with per-series buffers (e.g. [`crate::AlgoNgst`])
+    /// override it.
+    fn preprocess_with(&self, series: &mut [T], scratch: &mut VoterScratch<T>) -> usize {
+        let _ = scratch;
+        self.preprocess(series)
+    }
 }
 
 /// A preprocessing algorithm operating on a single 2-D plane (the OTIS
@@ -34,6 +48,9 @@ impl<T, P: SeriesPreprocessor<T> + ?Sized> SeriesPreprocessor<T> for &P {
     }
     fn preprocess(&self, series: &mut [T]) -> usize {
         (**self).preprocess(series)
+    }
+    fn preprocess_with(&self, series: &mut [T], scratch: &mut VoterScratch<T>) -> usize {
+        (**self).preprocess_with(series, scratch)
     }
 }
 

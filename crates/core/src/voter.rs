@@ -39,14 +39,55 @@ fn reflect_series(idx: isize, n: usize) -> usize {
     r as usize
 }
 
+/// The largest number of pairing ways any [`Upsilon`] admits (Υ ≤ 16 →
+/// Υ/2 ≤ 8). Sizes the fixed cut-off array so a [`VoterMatrix`] never
+/// heap-allocates.
+pub const MAX_WAYS: usize = 8;
+
+/// Reusable scratch buffers for the voter-matrix hot path.
+///
+/// [`VoterMatrix::build_with_scratch`] and the scratch-threaded entry points
+/// of [`crate::AlgoNgst`] borrow these buffers instead of allocating fresh
+/// ones per series, so a worker that preprocesses many series (one per
+/// detector coordinate) allocates once and reaches a zero-alloc steady state.
+/// The buffers carry no data between calls — reuse never changes results.
+#[derive(Debug, Clone, Default)]
+pub struct VoterScratch<T> {
+    /// XOR-difference magnitudes of the way under construction.
+    pub(crate) diffs: Vec<u64>,
+    /// Per-pixel correction words of the series under repair.
+    pub(crate) corrections: Vec<T>,
+}
+
+impl<T> VoterScratch<T> {
+    /// Creates an empty scratch arena; buffers grow on first use and are
+    /// retained across calls.
+    pub fn new() -> Self {
+        VoterScratch {
+            diffs: Vec::new(),
+            corrections: Vec::new(),
+        }
+    }
+
+    /// Creates a scratch arena pre-sized for series of `series_len` samples,
+    /// avoiding even the first-use growth reallocations.
+    pub fn with_capacity(series_len: usize) -> Self {
+        VoterScratch {
+            diffs: Vec::with_capacity(series_len),
+            corrections: Vec::with_capacity(series_len),
+        }
+    }
+}
+
 /// The pruned voter matrix of one temporal series: per-way cut-off values
 /// plus the dynamic bit windows they induce.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VoterMatrix<T: BitPixel> {
     upsilon: Upsilon,
     series_len: usize,
-    /// `V_val` per way (way = temporal offset − 1), each a power of two.
-    cutoffs: Vec<T>,
+    /// `V_val` per way (way = temporal offset − 1), each a power of two;
+    /// only the first `upsilon.half()` slots are meaningful.
+    cutoffs: [T; MAX_WAYS],
     windows: BitWindows<T>,
 }
 
@@ -75,6 +116,22 @@ impl<T: BitPixel> VoterMatrix<T> {
         sensitivity: Sensitivity,
         msb_margin: u32,
     ) -> Result<Self, CoreError> {
+        Self::build_with_scratch(series, upsilon, sensitivity, msb_margin, &mut VoterScratch::new())
+    }
+
+    /// [`VoterMatrix::build`] with caller-provided scratch buffers: identical
+    /// results, zero allocations once `scratch` has warmed up.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::SeriesTooShort`] if the series cannot support
+    /// Υ/2 distinct neighbors on each side.
+    pub fn build_with_scratch(
+        series: &[T],
+        upsilon: Upsilon,
+        sensitivity: Sensitivity,
+        msb_margin: u32,
+        scratch: &mut VoterScratch<T>,
+    ) -> Result<Self, CoreError> {
         let n = series.len();
         if n < upsilon.min_series_len() {
             return Err(CoreError::SeriesTooShort {
@@ -82,22 +139,23 @@ impl<T: BitPixel> VoterMatrix<T> {
                 required: upsilon.min_series_len(),
             });
         }
-        let mut cutoffs = Vec::with_capacity(upsilon.half());
-        let mut scratch: Vec<u64> = Vec::with_capacity(n);
-        for d in 1..=upsilon.half() {
-            scratch.clear();
-            scratch.extend((0..n - d).map(|i| series[i].xor(series[i + d]).to_u64()));
-            let rank = sensitivity.cutoff_rank(n, scratch.len());
+        let half = upsilon.half();
+        let mut cutoffs = [T::ZERO; MAX_WAYS];
+        let diffs = &mut scratch.diffs;
+        for d in 1..=half {
+            diffs.clear();
+            diffs.extend((0..n - d).map(|i| series[i].xor(series[i + d]).to_u64()));
+            let rank = sensitivity.cutoff_rank(n, diffs.len());
             // Φ-th smallest (1-based): selection in O(n).
-            let (_, kth, _) = scratch.select_nth_unstable(rank - 1);
-            cutoffs.push(T::from_u64(*kth).ceil_pow2());
+            let (_, kth, _) = diffs.select_nth_unstable(rank - 1);
+            cutoffs[d - 1] = T::from_u64(*kth).ceil_pow2();
         }
-        let min_vval = cutoffs
+        let min_vval = cutoffs[..half]
             .iter()
             .copied()
             .min()
             .unwrap_or_else(|| T::from_u64(1));
-        let max_vval = cutoffs
+        let max_vval = cutoffs[..half]
             .iter()
             .copied()
             .max()
@@ -137,6 +195,11 @@ impl<T: BitPixel> VoterMatrix<T> {
     /// # Panics
     /// Panics if `offset` is out of range.
     pub fn cutoff(&self, offset: usize) -> T {
+        assert!(
+            (1..=self.upsilon.half()).contains(&offset),
+            "way offset {offset} out of range 1..={}",
+            self.upsilon.half()
+        );
         self.cutoffs[offset - 1]
     }
 
@@ -198,7 +261,7 @@ impl<T: BitPixel> VoterMatrix<T> {
         }
         // corr_aux = OR_k AND_{j≠k} φ_j, via prefix/suffix ANDs in O(Υ).
         let m = phis.len();
-        let mut suffix = vec![T::ONES; m + 1];
+        let mut suffix = [T::ONES; 2 * MAX_WAYS + 1];
         for k in (0..m).rev() {
             suffix[k] = suffix[k + 1].and(phis[k]);
         }
@@ -342,6 +405,67 @@ mod tests {
             let (vect, aux) = vm.correction(&s, i);
             assert_eq!(vect.and(aux), vect, "corr_vect ⊆ corr_aux for pixel {i}");
         }
+    }
+
+    #[test]
+    fn reused_scratch_matches_allocating_path_across_corpus() {
+        // One scratch arena reused across the whole corpus (varied lengths,
+        // Υ, Λ) must reproduce the allocating path bit-for-bit: same
+        // cut-offs, same windows, same correction vectors.
+        let corpus: Vec<Vec<u16>> = vec![
+            vec![27_000; 32],
+            (0..32)
+                .map(|i| if i % 2 == 0 { 1000 } else { 1008 })
+                .collect(),
+            {
+                let mut s = vec![27_000u16; 32];
+                s[10] ^= 1 << 14;
+                s
+            },
+            (0..32).map(|i| 27_000 + (i as u16 % 3)).collect(),
+            (0..64)
+                .map(|i| (27_000.0 + 200.0 * f64::sin(i as f64)).round() as u16)
+                .collect(),
+            {
+                let mut s = vec![9_000u16; 24];
+                s[0] ^= 1 << 12;
+                s
+            },
+            vec![12_345u16; 16],
+        ];
+        let mut scratch = VoterScratch::new();
+        for series in &corpus {
+            for upsilon in [Upsilon::TWO, Upsilon::FOUR, Upsilon::SIX] {
+                for l in [20u32, 80, 95] {
+                    let fresh =
+                        VoterMatrix::build(series, upsilon, lambda(l), DEFAULT_MSB_MARGIN).unwrap();
+                    let reused = VoterMatrix::build_with_scratch(
+                        series,
+                        upsilon,
+                        lambda(l),
+                        DEFAULT_MSB_MARGIN,
+                        &mut scratch,
+                    )
+                    .unwrap();
+                    assert_eq!(fresh, reused, "Υ={upsilon:?} Λ={l}");
+                    for d in 1..=upsilon.half() {
+                        assert_eq!(fresh.cutoff(d), reused.cutoff(d));
+                    }
+                    assert_eq!(fresh.windows(), reused.windows());
+                    for i in 0..series.len() {
+                        assert_eq!(fresh.correction(series, i), reused.correction(series, i));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "way offset 3 out of range")]
+    fn cutoff_rejects_out_of_range_way() {
+        let s = [1000u16; 32];
+        let vm = VoterMatrix::build(&s, Upsilon::FOUR, lambda(80), DEFAULT_MSB_MARGIN).unwrap();
+        let _ = vm.cutoff(3);
     }
 
     #[test]

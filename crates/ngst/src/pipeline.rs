@@ -26,7 +26,7 @@
 //! the run's [`SupervisionOutcome`].
 
 use crate::crreject::CrRejector;
-use preflight_core::{AlgoNgst, Image, ImageStack, SeriesPreprocessor};
+use preflight_core::{AlgoNgst, Image, ImageStack, SeriesPreprocessor, VoterScratch};
 use preflight_faults::{ChaosModel, ChaosOutcome, Correlated, FaultError, Uncorrelated};
 use preflight_rice::RiceCodec;
 use preflight_supervisor::{
@@ -945,15 +945,18 @@ fn compute_tile(
         }
         Some(stage) => {
             // Separate layer: preprocess the whole tile first, recording
-            // per-coordinate repair counts.
+            // per-coordinate repair counts. The traversal is the cache-aware
+            // series-major one (contiguous series via blocked transpose)
+            // with a reused scratch arena — bit-identical to the naive
+            // per-pixel gather, just faster.
             let mut map = Image::new(w, h);
-            let mut idx = 0usize;
-            job.stack.for_each_series(|series| {
-                let n = stage.preprocess(series);
-                map.set(idx % w, idx / w, n.min(65_535) as u16);
-                idx += 1;
-                n
-            });
+            let mut scratch = VoterScratch::new();
+            job.stack
+                .for_each_series_tiled(preflight_core::DEFAULT_TILE, |x, y, series| {
+                    let n = stage.preprocess_with(series, &mut scratch);
+                    map.set(x, y, n.min(65_535) as u16);
+                    n
+                });
             let (rate, jumps) = rejector.reject_stack(&job.stack, c.frame_interval_s);
             (rate, jumps, map)
         }

@@ -22,7 +22,7 @@
 //! that defeats plain ALFT).
 
 use crate::retrieval::{Retrieval, RetrievalProduct};
-use preflight_core::{Cube, Image, MedianSmoother, PhysicalBounds, PlanePreprocessor};
+use preflight_core::{preprocess_cube_parallel, Cube, Image, MedianSmoother, PhysicalBounds};
 use preflight_faults::{ChaosModel, ChaosOutcome, FaultError, Uncorrelated};
 use preflight_supervisor::{
     supervise, FailureKind, FtLevel, RecoveryKind, RecoveryLog, StageOutcome, Supervision,
@@ -292,6 +292,10 @@ pub struct AlftHarness {
     pub retrieval: Retrieval,
     /// The output filter.
     pub filter: OutputFilter,
+    /// Worker threads for the degraded rung's plane-by-plane input repair
+    /// (`0` and `1` both mean sequential; the result is bit-identical for
+    /// any value).
+    pub threads: usize,
 }
 
 impl AlftHarness {
@@ -543,11 +547,7 @@ impl AlftHarness {
         );
         let smoother = MedianSmoother::new();
         let mut smoothed = cube.clone();
-        for b in 0..smoothed.bands() {
-            let mut plane = smoothed.plane_image(b);
-            smoother.preprocess_plane(&mut plane);
-            smoothed.set_plane(b, &plane);
-        }
+        preprocess_cube_parallel(&smoother, &mut smoothed, self.threads);
         let product = self.retrieval.run(&smoothed, bands);
         if self.filter.passes(&product.temperature) {
             log.record(ALFT_STAGE, unit, attempts + 1, RecoveryKind::Recovered);
@@ -978,6 +978,38 @@ mod tests {
         assert_eq!(log.degradations(), 1);
         assert_eq!(log.recoveries(), 1);
         assert_eq!(log.abandonments(), 0);
+    }
+
+    #[test]
+    fn supervised_degraded_rung_is_bit_identical_across_thread_counts() {
+        // The degraded rung repairs planes independently, so the recovered
+        // product must not depend on how many workers smooth the cube.
+        let cube = spiked_cube(24, 24);
+        let run = |threads: usize| {
+            let harness = AlftHarness {
+                threads,
+                ..AlftHarness::default()
+            };
+            let (out, outcome, log) = harness
+                .execute_supervised(
+                    &cube,
+                    &DEFAULT_BANDS,
+                    &fast_supervision(),
+                    None,
+                    &mut seeded_rng(65),
+                )
+                .unwrap();
+            assert_eq!(outcome, AlftOutcome::UsedDegraded, "{log}");
+            out.unwrap().temperature
+        };
+        let sequential = run(0);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                run(threads).as_slice(),
+                sequential.as_slice(),
+                "degraded product diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

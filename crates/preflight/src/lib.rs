@@ -61,9 +61,10 @@ pub use preflight_supervisor as supervisor;
 /// preprocess → score.
 pub mod prelude {
     pub use preflight_core::{
-        preprocess_stack, AlgoNgst, AlgoOtis, BitVoter, Cube, Image, ImageStack, MeanSmoother,
-        MedianSmoother, NgstConfig, OtisConfig, PhysicalBounds, PlanePreprocessor, Sensitivity,
-        SeriesPreprocessor, Upsilon,
+        available_threads, preprocess_cube_parallel, preprocess_stack, preprocess_stack_parallel,
+        preprocess_stack_tiled, AlgoNgst, AlgoOtis, BitVoter, Cube, Image, ImageStack,
+        MeanSmoother, MedianSmoother, NgstConfig, OtisConfig, PhysicalBounds, PlanePreprocessor,
+        Sensitivity, SeriesPreprocessor, Upsilon,
     };
     pub use preflight_datagen::{
         emissivity_scene, ngst::sky_image, planck::DEFAULT_BANDS, radiance_cube, temperature_scene,

@@ -7,7 +7,9 @@
 //! the raw data flagged as unprotected. A run therefore always terminates
 //! with output, annotated with the fault-tolerance level actually achieved.
 
-use preflight_core::{AlgoNgst, BitPixel, BitVoter, MedianSmoother, SeriesPreprocessor, ValuePixel};
+use preflight_core::{
+    AlgoNgst, BitPixel, BitVoter, MedianSmoother, SeriesPreprocessor, ValuePixel, VoterScratch,
+};
 use serde::Serialize;
 use std::fmt;
 
@@ -93,6 +95,15 @@ impl<T: BitPixel + ValuePixel> SeriesPreprocessor<T> for LadderStage {
             LadderStage::Voter(voter) => voter.preprocess(series),
             LadderStage::Median(median) => median.preprocess(series),
             LadderStage::Passthrough => 0,
+        }
+    }
+
+    fn preprocess_with(&self, series: &mut [T], scratch: &mut VoterScratch<T>) -> usize {
+        match self {
+            // Only the dynamic algorithm has per-series buffers to recycle;
+            // the simpler rungs fall back to their plain paths.
+            LadderStage::Algo(algo) => algo.preprocess_with(series, scratch),
+            other => other.preprocess(series),
         }
     }
 }
