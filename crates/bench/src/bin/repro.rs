@@ -9,12 +9,14 @@
 //!   compression factors mean-vs-median scaling recovery
 //!   interleave spatial-vs-spectral
 //!   ablation-windows ablation-static
-//!   perf
+//!   perf serve
 //!   all
 //!
-//! `perf` is the odd one out: instead of an error-rate figure it times the
-//! preprocessing drivers (naive / tiled / parallel) and writes the sweep to
-//! `BENCH_preprocess.json` in the working directory.
+//! `perf` and `serve` are the odd ones out: instead of an error-rate figure
+//! they time the system. `perf` sweeps the preprocessing drivers (naive /
+//! tiled / parallel) into `BENCH_preprocess.json`; `serve` load-tests an
+//! in-process `preflightd` daemon (concurrent clients over loopback TCP)
+//! into `BENCH_serve.json`.
 //! flags:
 //!   --paper     paper-depth averaging (slower; default is a medium scale)
 //!   --quick     smoke-test scale
@@ -75,6 +77,10 @@ fn main() {
         run_perf(quick);
         return;
     }
+    if target == "serve" {
+        run_serve(quick);
+        return;
+    }
     let figures = run_target(&target, scale);
     if figures.is_empty() {
         eprintln!("unknown target {target:?}");
@@ -124,6 +130,24 @@ fn run_perf(quick: bool) {
         std::process::exit(1);
     }
     eprintln!("throughput sweep written to {path}");
+}
+
+/// `serve`: load-test an in-process `preflightd` and persist the numbers.
+fn run_serve(quick: bool) {
+    use preflight_bench::serve::{serve_loadgen, ServeConfig};
+    let config = if quick {
+        ServeConfig::quick()
+    } else {
+        ServeConfig::standard()
+    };
+    let report = serve_loadgen(&config);
+    print!("{}", report.to_table());
+    let path = "BENCH_serve.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("serving loadgen written to {path}");
 }
 
 fn run_target(target: &str, scale: Scale) -> Vec<Figure> {
@@ -188,6 +212,6 @@ fn print_usage() {
         "usage: repro <target> [--paper|--quick] [--csv DIR] [--svg DIR]\n\
          targets: fig2 fig3 fig4 fig5 fig6 fig7 fig9 compression factors scaling recovery\n\x20        motivation mean-vs-median interleave\n\
          \x20        spatial-vs-spectral ablation-windows ablation-static ablation-passes\n\
-         \x20        perf all"
+         \x20        perf serve all"
     );
 }

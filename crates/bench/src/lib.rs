@@ -16,10 +16,11 @@
 
 pub mod motivation;
 pub mod ngst_exp;
-pub mod perf;
 pub mod otis_exp;
+pub mod perf;
 pub mod recovery;
 pub mod report;
+pub mod serve;
 pub mod svg;
 
 pub use motivation::motivation;

@@ -84,10 +84,7 @@ pub fn fig_recovery(scale: Scale) -> Figure {
             let supervised = pipeline
                 .run_with(&stack, Some(&supervision), Some(&injector))
                 .expect("the supervised runtime always yields a product");
-            sup_sum += psi(
-                reference.rate.as_slice(),
-                supervised.report.rate.as_slice(),
-            );
+            sup_sum += psi(reference.rate.as_slice(), supervised.report.rate.as_slice());
 
             raw_sum += match pipeline.run_with(&stack, None, Some(&injector)) {
                 Ok(raw) => psi(reference.rate.as_slice(), raw.report.rate.as_slice()),

@@ -1,0 +1,282 @@
+//! Load generator for the `preflightd` serving daemon (`repro serve`).
+//!
+//! Starts an in-process daemon on a loopback TCP socket, fans out N
+//! concurrent client connections each submitting M frame stacks, and
+//! reports request latency (p50/p99) and end-to-end throughput in Mpix/s.
+//! `Busy` rejections from the bounded queue are retried (and counted), so
+//! the run also measures how the daemon behaves at and beyond capacity.
+//! The scriptable output lands in `BENCH_serve.json`.
+
+use crate::perf::{sample_u16, synthetic_stack};
+use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::wire::FramePayload;
+use preflight_serve::{Client, ClientError, SubmitOptions};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Workload shape for one serving benchmark run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Stacks each client submits.
+    pub requests_per_client: usize,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Temporal frames per request.
+    pub frames: usize,
+    /// Daemon queue capacity (in-flight requests before `Busy`).
+    pub capacity: usize,
+}
+
+impl ServeConfig {
+    /// The standard load: 8 clients × 16 requests of 32×32×8 frames
+    /// against a 16-slot queue — enough contention to exercise batching
+    /// and occasional backpressure.
+    pub fn standard() -> Self {
+        ServeConfig {
+            clients: 8,
+            requests_per_client: 16,
+            width: 32,
+            height: 32,
+            frames: 8,
+            capacity: 16,
+        }
+    }
+
+    /// A sub-second smoke workload for CI.
+    pub fn quick() -> Self {
+        ServeConfig {
+            clients: 2,
+            requests_per_client: 4,
+            width: 16,
+            height: 16,
+            frames: 4,
+            capacity: 8,
+        }
+    }
+
+    /// Samples served per request.
+    pub fn samples_per_request(&self) -> usize {
+        self.width * self.height * self.frames
+    }
+
+    /// Total requests across all clients.
+    pub fn total_requests(&self) -> usize {
+        self.clients * self.requests_per_client
+    }
+}
+
+/// Results of one serving benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The workload that ran.
+    pub config: ServeConfig,
+    /// Wall time for the whole run, in seconds.
+    pub wall_secs: f64,
+    /// Median request latency (submit → response), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean request latency, milliseconds.
+    pub mean_ms: f64,
+    /// Million samples served per second of wall time.
+    pub mpix_per_s: f64,
+    /// `Busy` rejections absorbed by client retry.
+    pub busy_retries: u64,
+    /// Batches the engine dispatched (from the daemon's counters).
+    pub batches: u64,
+    /// Batches that needed the degradation ladder.
+    pub degraded_batches: u64,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Runs the load generator against a fresh in-process daemon.
+///
+/// # Panics
+/// Panics if the daemon cannot start or a client loses its connection —
+/// both are harness failures, not measurements.
+pub fn serve_loadgen(config: &ServeConfig) -> ServeReport {
+    let handle = start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        capacity: config.capacity,
+        ..ServerConfig::default()
+    })
+    .expect("daemon start");
+    let addr = handle.tcp_addr().expect("bound address");
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..config.clients {
+        let config = config.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(addr).expect("client connect");
+            let mut latencies_ms = Vec::with_capacity(config.requests_per_client);
+            let mut busy: u64 = 0;
+            for r in 0..config.requests_per_client {
+                let seed = 0x5EED ^ ((c as u64) << 32) ^ r as u64;
+                let stack =
+                    synthetic_stack(config.width, config.height, config.frames, seed, sample_u16);
+                let opts = SubmitOptions {
+                    stream_id: c as u64,
+                    eos: true,
+                    ..SubmitOptions::default()
+                };
+                let begin = Instant::now();
+                loop {
+                    match client.submit(FramePayload::U16(stack.clone()), &opts) {
+                        Ok(response) => {
+                            assert_eq!(
+                                response.payload.frames(),
+                                config.frames,
+                                "daemon must answer with the submitted depth"
+                            );
+                            break;
+                        }
+                        Err(ClientError::Busy(_)) => {
+                            busy += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(e) => panic!("client {c} request {r} failed: {e}"),
+                    }
+                }
+                latencies_ms.push(begin.elapsed().as_secs_f64() * 1e3);
+            }
+            (latencies_ms, busy)
+        }));
+    }
+
+    let mut latencies_ms = Vec::with_capacity(config.total_requests());
+    let mut busy_retries = 0;
+    for w in workers {
+        let (lat, busy) = w.join().expect("client thread");
+        latencies_ms.extend(lat);
+        busy_retries += busy;
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let stats = handle.stats();
+    let batches = preflight_serve::ServerStats::get(&stats.batches);
+    let degraded_batches = preflight_serve::ServerStats::get(&stats.degraded_batches);
+    handle.drain();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean_ms = latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64;
+    let total_samples = (config.total_requests() * config.samples_per_request()) as f64;
+    ServeReport {
+        config: config.clone(),
+        wall_secs,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        mean_ms,
+        mpix_per_s: total_samples / wall_secs / 1e6,
+        busy_retries,
+        batches,
+        degraded_batches,
+    }
+}
+
+impl ServeReport {
+    /// Aligned text table for the terminal.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serving throughput, {} client(s) x {} request(s) of {}x{}x{} frames, \
+             queue capacity {}",
+            self.config.clients,
+            self.config.requests_per_client,
+            self.config.width,
+            self.config.height,
+            self.config.frames,
+            self.config.capacity
+        );
+        let _ = writeln!(
+            out,
+            "{:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>9}",
+            "wall_s", "p50_ms", "p99_ms", "mean_ms", "Mpix/s", "busy", "batches", "degraded"
+        );
+        let _ = writeln!(
+            out,
+            "{:>12.4} {:>10.3} {:>10.3} {:>10.3} {:>10.2} {:>8} {:>9} {:>9}",
+            self.wall_secs,
+            self.p50_ms,
+            self.p99_ms,
+            self.mean_ms,
+            self.mpix_per_s,
+            self.busy_retries,
+            self.batches,
+            self.degraded_batches
+        );
+        out
+    }
+
+    /// Hand-formatted JSON document (the repo carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"serve_throughput\",");
+        let _ = writeln!(
+            out,
+            "  \"workload\": {{\"clients\": {}, \"requests_per_client\": {}, \
+             \"width\": {}, \"height\": {}, \"frames\": {}, \"capacity\": {}}},",
+            self.config.clients,
+            self.config.requests_per_client,
+            self.config.width,
+            self.config.height,
+            self.config.frames,
+            self.config.capacity
+        );
+        let _ = writeln!(
+            out,
+            "  \"total_requests\": {},",
+            self.config.total_requests()
+        );
+        let _ = writeln!(out, "  \"wall_secs\": {:.6},", self.wall_secs);
+        let _ = writeln!(out, "  \"p50_ms\": {:.3},", self.p50_ms);
+        let _ = writeln!(out, "  \"p99_ms\": {:.3},", self.p99_ms);
+        let _ = writeln!(out, "  \"mean_ms\": {:.3},", self.mean_ms);
+        let _ = writeln!(out, "  \"mpix_per_s\": {:.3},", self.mpix_per_s);
+        let _ = writeln!(out, "  \"busy_retries\": {},", self.busy_retries);
+        let _ = writeln!(out, "  \"batches\": {},", self.batches);
+        let _ = writeln!(out, "  \"degraded_batches\": {}", self.degraded_batches);
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_loadgen_completes_and_reports_sane_numbers() {
+        let report = serve_loadgen(&ServeConfig::quick());
+        assert!(report.wall_secs > 0.0);
+        assert!(report.mpix_per_s > 0.0);
+        assert!(report.p50_ms > 0.0);
+        assert!(report.p99_ms >= report.p50_ms);
+        assert!(report.batches >= 1);
+        assert_eq!(report.degraded_batches, 0, "healthy run must not degrade");
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let report = serve_loadgen(&ServeConfig::quick());
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"benchmark\": \"serve_throughput\""));
+        let count = |c| json.matches(c).count();
+        assert_eq!(count('{'), count('}'));
+    }
+}

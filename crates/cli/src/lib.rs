@@ -30,6 +30,8 @@ pub enum CliError {
     /// The distributed pipeline failed (bad configuration or a worker was
     /// lost with supervision disabled).
     Pipeline(PipelineError),
+    /// Talking to (or running) a `preflightd` daemon failed.
+    Serve(String),
 }
 
 impl fmt::Display for CliError {
@@ -40,6 +42,7 @@ impl fmt::Display for CliError {
             CliError::Fits(e) => write!(f, "FITS: {e}"),
             CliError::Core(e) => write!(f, "parameters: {e}"),
             CliError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            CliError::Serve(m) => write!(f, "serve: {m}"),
         }
     }
 }
@@ -67,6 +70,12 @@ impl From<preflight::core::CoreError> for CliError {
 impl From<PipelineError> for CliError {
     fn from(e: PipelineError) -> Self {
         CliError::Pipeline(e)
+    }
+}
+
+impl From<preflight_serve::ClientError> for CliError {
+    fn from(e: preflight_serve::ClientError) -> Self {
+        CliError::Serve(e.to_string())
     }
 }
 
@@ -103,7 +112,7 @@ fn threads_arg(opts: &Opts) -> Result<(usize, Option<String>), CliError> {
         return Err(CliError::Usage(
             "--threads 0 is invalid: at least one worker thread is required \
              (omit the flag for a single-threaded run)"
-            .to_owned(),
+                .to_owned(),
         ));
     }
     let cap = available_threads();
@@ -136,7 +145,12 @@ pub fn print_usage() {
          \x20 retrieve   --in FILE --out FILE [--preprocess] [--lambda L]\n\
          \x20 pipeline   --in FILE --out FILE [--preprocess] [--lambda L] [--upsilon U]\n\
          \x20            [--workers N] [--tile N] [--gamma0 P] [--seed S]\n\
-         \x20            [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]"
+         \x20            [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]\n\
+         \x20 serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--batch-frames N]\n\
+         \x20            [--batch-delay-ms MS] [--threads N] [--workers N]\n\
+         \x20 submit     --in FILE --out FILE (--tcp ADDR | --unix PATH)\n\
+         \x20            [--lambda L] [--upsilon U] [--stream N]\n\
+         \x20 drain      (--tcp ADDR | --unix PATH)"
     );
 }
 
@@ -162,6 +176,9 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "otis-inject" => cmd_otis_inject(&opts),
         "retrieve" => cmd_retrieve(&opts),
         "pipeline" => cmd_pipeline(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "drain" => cmd_drain(&opts),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -485,7 +502,10 @@ fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
     let preprocess = if opts.has("preprocess") {
         let lambda = lambda_arg(opts)?;
         let upsilon = upsilon_arg(opts)?;
-        Some(AlgoNgst::new(Upsilon::new(upsilon)?, Sensitivity::new(lambda)?))
+        Some(AlgoNgst::new(
+            Upsilon::new(upsilon)?,
+            Sensitivity::new(lambda)?,
+        ))
     } else {
         None
     };
@@ -577,6 +597,130 @@ fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
         ingest.report.compression_ratio
     );
     Ok(report)
+}
+
+/// Connects to a daemon named by `--tcp` or `--unix` (exactly one way).
+fn connect_daemon(opts: &Opts) -> Result<preflight_serve::Client, CliError> {
+    if let Some(addr) = opts.get("tcp") {
+        return Ok(preflight_serve::Client::connect_tcp(addr)?);
+    }
+    #[cfg(unix)]
+    if let Some(path) = opts.get("unix") {
+        return Ok(preflight_serve::Client::connect_unix(path)?);
+    }
+    Err(CliError::Usage(
+        "--tcp ADDR or --unix PATH is required to reach a daemon".to_owned(),
+    ))
+}
+
+/// `serve`: run a `preflightd` daemon in the foreground until a wire-level
+/// drain (or SIGTERM/SIGINT) stops it.
+fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
+    use preflight_serve::server::{start, ServerConfig};
+
+    let mut config = ServerConfig {
+        tcp: opts.get("tcp").cloned(),
+        unix: opts.get("unix").map(std::path::PathBuf::from),
+        ..ServerConfig::default()
+    };
+    if config.tcp.is_none() && config.unix.is_none() {
+        return Err(CliError::Usage(
+            "serve needs at least one of --tcp ADDR or --unix PATH".to_owned(),
+        ));
+    }
+    config.capacity = opts.usize_or("capacity", config.capacity)?;
+    if config.capacity == 0 {
+        return Err(CliError::Usage(
+            "--capacity 0 is invalid: the daemon must admit at least one request".to_owned(),
+        ));
+    }
+    config.batch.target_frames = opts.usize_or("batch-frames", config.batch.target_frames)?;
+    let delay_ms = opts.u64_or("batch-delay-ms", 5)?;
+    config.batch.max_delay = std::time::Duration::from_millis(delay_ms);
+    let (threads, thread_warning) = threads_arg(opts)?;
+    if opts.given("threads") {
+        config.engine.threads = threads;
+    }
+    config.engine_workers = opts.usize_or("workers", config.engine_workers)?;
+
+    preflight_serve::signal::install();
+    let handle = start(config).map_err(|e| CliError::Serve(e.to_string()))?;
+    let mut report = String::new();
+    if let Some(w) = thread_warning {
+        let _ = writeln!(report, "{w}");
+    }
+    // Announce the endpoints on stdout immediately, so wrappers (and the CI
+    // smoke job) can wait for readiness instead of sleeping.
+    if let Some(addr) = handle.tcp_addr() {
+        println!("serving tcp://{addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("serving unix://{}", path.display());
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !preflight_serve::signal::triggered() && !handle.drain_acked() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let summary = handle.drain();
+    let _ = writeln!(
+        report,
+        "drained: {} completed, {} rejected busy",
+        summary.completed, summary.rejected
+    );
+    let _ = writeln!(report, "{}", handle.stats().summary());
+    Ok(report)
+}
+
+/// `submit`: send one FITS stack to a daemon and write the repaired stack
+/// it returns.
+fn cmd_submit(opts: &Opts) -> Result<String, CliError> {
+    use preflight_serve::wire::FramePayload;
+    use preflight_serve::SubmitOptions;
+
+    let input = opts.require("in")?;
+    let out = opts.require("out")?;
+    let lambda = lambda_arg(opts)?;
+    let upsilon = upsilon_arg(opts)?;
+    let stream_id = opts.u64_or("stream", 0)?;
+    let stack = read_stack_file(&input)?;
+    let mut client = connect_daemon(opts)?;
+    let response = client.submit(
+        FramePayload::U16(stack),
+        &SubmitOptions {
+            stream_id,
+            lambda: lambda as u8,
+            upsilon: upsilon as u8,
+            eos: true,
+        },
+    )?;
+    let FramePayload::U16(repaired) = response.payload else {
+        return Err(CliError::Serve(
+            "daemon answered with a different pixel type".to_owned(),
+        ));
+    };
+    write_stack_file(&out, &repaired)?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "repaired {}x{}x{} -> {out}",
+        repaired.width(),
+        repaired.height(),
+        repaired.frames()
+    );
+    let _ = writeln!(report, "{}", response.stats);
+    Ok(report)
+}
+
+/// `drain`: ask a daemon to finish in-flight work and shut down.
+fn cmd_drain(opts: &Opts) -> Result<String, CliError> {
+    let mut client = connect_daemon(opts)?;
+    let summary = client.drain()?;
+    Ok(format!(
+        "daemon drained: {} completed, {} rejected busy\n",
+        summary.completed, summary.rejected
+    ))
 }
 
 #[cfg(test)]
@@ -837,10 +981,7 @@ mod tests {
             let err = run(&args).unwrap_err();
             match err {
                 CliError::Usage(m) => {
-                    assert!(
-                        m.contains("must"),
-                        "friendly message expected, got: {m}"
-                    );
+                    assert!(m.contains("must"), "friendly message expected, got: {m}");
                 }
                 other => panic!("expected usage error, got {other:?}"),
             }

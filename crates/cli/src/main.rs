@@ -13,6 +13,9 @@
 //! preflight retrieve   --in FILE --out FILE [--preprocess] [--lambda L]
 //! preflight pipeline   --in FILE --out FILE [--preprocess] [--workers N] [--gamma0 P]
 //!                      [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]
+//! preflight serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--batch-frames N]
+//! preflight submit     --in FILE --out FILE (--tcp ADDR | --unix PATH) [--lambda L]
+//! preflight drain      (--tcp ADDR | --unix PATH)
 //! ```
 //!
 //! Every subcommand reads and writes standard single-HDU FITS stacks, so
@@ -20,7 +23,7 @@
 
 #![forbid(unsafe_code)]
 
-use preflight_cli::{dispatch, print_usage};
+use preflight_cli::{dispatch, print_usage, CliError};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,9 +31,16 @@ fn main() {
         Ok(report) => {
             print!("{report}");
         }
-        Err(e) => {
+        // Bad invocations (unknown command, malformed or out-of-range
+        // flags) exit 2 with the usage text; runtime failures (I/O,
+        // unreadable FITS, daemon errors) exit 1 without it.
+        Err(e @ CliError::Usage(_)) => {
             eprintln!("error: {e}");
             print_usage();
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
             std::process::exit(1);
         }
     }

@@ -53,6 +53,11 @@ impl Opts {
         self.values.contains_key(key)
     }
 
+    /// An optional string flag.
+    pub fn get(&self, key: &str) -> Option<&String> {
+        self.values.get(key)
+    }
+
     /// A mandatory string flag.
     ///
     /// # Errors

@@ -993,7 +993,8 @@ mod tests {
             0
         });
         seen.sort_unstable();
-        let mut want: Vec<(usize, usize)> = (0..3).flat_map(|y| (0..4).map(move |x| (x, y))).collect();
+        let mut want: Vec<(usize, usize)> =
+            (0..3).flat_map(|y| (0..4).map(move |x| (x, y))).collect();
         want.sort_unstable();
         assert_eq!(seen, want, "every coordinate visited exactly once");
     }

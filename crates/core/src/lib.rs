@@ -60,14 +60,14 @@ pub mod voter;
 pub mod window;
 
 pub use algo_ngst::{preprocess_image, preprocess_stack, AlgoNgst, NgstConfig};
-pub use parallel::{
-    available_threads, preprocess_cube_parallel, preprocess_stack_parallel,
-    preprocess_stack_tiled, DEFAULT_TILE,
-};
 pub use algo_otis::{AlgoOtis, Neighborhood, OtisConfig, PhysicalBounds, PlaneReport, Repair};
 pub use bitvote::BitVoter;
 pub use container::{Cube, Image, ImageStack};
 pub use error::CoreError;
+pub use parallel::{
+    available_threads, preprocess_cube_parallel, preprocess_stack_parallel, preprocess_stack_tiled,
+    DEFAULT_TILE,
+};
 pub use pixel::{BitPixel, ValuePixel};
 pub use sensitivity::{Sensitivity, Upsilon};
 pub use smoothing::{MeanSmoother, MedianSmoother};

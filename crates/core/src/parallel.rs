@@ -107,11 +107,7 @@ pub fn preprocess_stack_tiled<T: BitPixel>(
 ///
 /// `threads == 0` is treated as 1; `threads == 1` short-circuits to
 /// [`preprocess_stack_tiled`] without spawning.
-pub fn preprocess_stack_parallel<T, P>(
-    algo: &P,
-    stack: &mut ImageStack<T>,
-    threads: usize,
-) -> usize
+pub fn preprocess_stack_parallel<T, P>(algo: &P, stack: &mut ImageStack<T>, threads: usize) -> usize
 where
     T: BitPixel,
     P: SeriesPreprocessor<T> + Sync,
@@ -201,7 +197,9 @@ where
 
     let (job_tx, job_rx) = channel::unbounded::<&mut [T]>();
     for plane in cube.as_mut_slice().chunks_mut(plane_len) {
-        job_tx.send(plane).expect("job queue cannot disconnect here");
+        job_tx
+            .send(plane)
+            .expect("job queue cannot disconnect here");
     }
     drop(job_tx);
 
@@ -322,8 +320,6 @@ mod tests {
         let area: usize = tiles.iter().map(|t| t.tw * t.th).sum();
         assert_eq!(area, 70 * 33);
         assert!(tiles.iter().all(|t| t.tw > 0 && t.th > 0));
-        assert!(tiles
-            .iter()
-            .all(|t| t.tx + t.tw <= 70 && t.ty + t.th <= 33));
+        assert!(tiles.iter().all(|t| t.tx + t.tw <= 70 && t.ty + t.th <= 33));
     }
 }

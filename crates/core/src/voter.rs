@@ -116,7 +116,13 @@ impl<T: BitPixel> VoterMatrix<T> {
         sensitivity: Sensitivity,
         msb_margin: u32,
     ) -> Result<Self, CoreError> {
-        Self::build_with_scratch(series, upsilon, sensitivity, msb_margin, &mut VoterScratch::new())
+        Self::build_with_scratch(
+            series,
+            upsilon,
+            sensitivity,
+            msb_margin,
+            &mut VoterScratch::new(),
+        )
     }
 
     /// [`VoterMatrix::build`] with caller-provided scratch buffers: identical

@@ -344,7 +344,10 @@ mod tests {
         assert_eq!(fa, fb);
         assert!(fa > 0, "5 % of 4096 bits should flip at least once");
         let set_bits: u32 = a.iter().map(|w| w.count_ones()).sum();
-        assert_eq!(set_bits as usize, fa, "flips from zero leave exactly fa bits set");
+        assert_eq!(
+            set_bits as usize, fa,
+            "flips from zero leave exactly fa bits set"
+        );
     }
 
     #[test]

@@ -363,7 +363,9 @@ mod tests {
     fn gamma_zero_stack_and_empty_stack_are_noops() {
         let model = Correlated::new(0.0).unwrap();
         let mut stack: ImageStack<u16> = ImageStack::new(32, 8, 4);
-        assert!(model.inject_stack(&mut stack, &mut seeded_rng(1)).is_empty());
+        assert!(model
+            .inject_stack(&mut stack, &mut seeded_rng(1))
+            .is_empty());
 
         // Degenerate geometries (zero width / height / frames) are no-ops
         // even at high Γ_ini, not panics.

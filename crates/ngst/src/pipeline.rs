@@ -89,7 +89,10 @@ impl fmt::Display for PipelineError {
             PipelineError::Fits(e) => write!(f, "FITS ingestion failed: {e}"),
             PipelineError::Supervisor(e) => write!(f, "supervision failed: {e}"),
             PipelineError::WorkerLost { unit } => {
-                write!(f, "worker lost while processing tile {unit} (unsupervised run)")
+                write!(
+                    f,
+                    "worker lost while processing tile {unit} (unsupervised run)"
+                )
             }
             PipelineError::Disconnected => {
                 write!(f, "all workers exited with tiles outstanding")
@@ -408,7 +411,8 @@ impl MasterState<'_> {
             self.sup.policy.max_retries + 1
         };
         if p.failures_at_level < budget {
-            self.log.record(TILE_STAGE, unit, p.attempt, RecoveryKind::Retry);
+            self.log
+                .record(TILE_STAGE, unit, p.attempt, RecoveryKind::Retry);
             p.attempt += 1;
             p.state = PendState::Delayed {
                 release: Instant::now() + self.sup.policy.backoff(unit, p.attempt),
@@ -437,7 +441,8 @@ impl MasterState<'_> {
                         to: next,
                     },
                 );
-                self.log.record(TILE_STAGE, unit, p.attempt, RecoveryKind::Retry);
+                self.log
+                    .record(TILE_STAGE, unit, p.attempt, RecoveryKind::Retry);
                 p.level = next;
                 p.failures_at_level = 0;
                 p.attempt += 1;
@@ -645,9 +650,7 @@ impl NgstPipeline {
             drop(job_rx);
 
             match supervision {
-                Some(sup) => {
-                    self.master_supervised(stack, &tiles, sup, &ladder, job_tx, res_rx)
-                }
+                Some(sup) => self.master_supervised(stack, &tiles, sup, &ladder, job_tx, res_rx),
                 None => self.master_plain(stack, &tiles, &ladder, job_tx, res_rx),
             }
         })?;
@@ -816,7 +819,9 @@ impl NgstPipeline {
             let due: Vec<u64> = st
                 .pending
                 .iter()
-                .filter(|(_, p)| matches!(p.state, PendState::Delayed { release } if release <= now))
+                .filter(
+                    |(_, p)| matches!(p.state, PendState::Delayed { release } if release <= now),
+                )
                 .map(|(&u, _)| u)
                 .collect();
             for unit in due {
@@ -835,7 +840,9 @@ impl NgstPipeline {
             let overdue: Vec<u64> = st
                 .pending
                 .iter()
-                .filter(|(_, p)| matches!(p.state, PendState::InFlight { deadline } if deadline <= now))
+                .filter(
+                    |(_, p)| matches!(p.state, PendState::InFlight { deadline } if deadline <= now),
+                )
                 .map(|(&u, _)| u)
                 .collect();
             for unit in overdue {
@@ -865,8 +872,7 @@ impl NgstPipeline {
                         .pending
                         .get(&r.unit)
                         .filter(|p| {
-                            p.attempt == r.attempt
-                                && matches!(p.state, PendState::InFlight { .. })
+                            p.attempt == r.attempt && matches!(p.state, PendState::InFlight { .. })
                         })
                         .is_some();
                     if !current {
@@ -934,11 +940,11 @@ fn compute_tile(
     let h = job.stack.height();
     let stage = ladder.stage(job.level);
     let (rate, jumps, repair_map) = match stage {
-        Some(LadderStage::Algo(algo)) if c.integrated => rejector.reject_stack_mapped(
-            &job.stack,
-            c.frame_interval_s,
-            |_, _, series| algo.preprocess(series),
-        ),
+        Some(LadderStage::Algo(algo)) if c.integrated => {
+            rejector.reject_stack_mapped(&job.stack, c.frame_interval_s, |_, _, series| {
+                algo.preprocess(series)
+            })
+        }
         Some(LadderStage::Passthrough) | None => {
             let (rate, jumps) = rejector.reject_stack(&job.stack, c.frame_interval_s);
             (rate, jumps, Image::new(w, h))
@@ -1281,7 +1287,10 @@ mod tests {
         let sup = fast_supervision();
         let supervised = p.run_with(&stack, Some(&sup), None).expect("supervised");
         assert_eq!(supervised.report.rate, plain.rate);
-        assert!(supervised.outcome.recovery.is_empty(), "no chaos, no events");
+        assert!(
+            supervised.outcome.recovery.is_empty(),
+            "no chaos, no events"
+        );
         assert_eq!(supervised.outcome.achieved, FtLevel::AlgoNgst);
         assert_eq!(supervised.outcome.abandoned_tiles, 0);
         assert!(supervised
@@ -1310,8 +1319,8 @@ mod tests {
         assert_eq!(log.recoveries(), 1);
         assert_eq!(log.degradations(), 0);
         assert_eq!(out.outcome.achieved, FtLevel::Passthrough); // no algo configured
-        // The crashed-then-retried run still matches a clean run exactly:
-        // the retry recomputes the same tile.
+                                                                // The crashed-then-retried run still matches a clean run exactly:
+                                                                // the retry recomputes the same tile.
         let clean = p.run(&stack).expect("clean");
         assert_eq!(out.report.rate, clean.rate);
     }
@@ -1346,8 +1355,7 @@ mod tests {
             tile_size: 16,
             ..PipelineConfig::default()
         });
-        let plan =
-            ChaosPlan::new().with(0, 0, ChaosOutcome::CorruptMessage { gamma: 0.5 });
+        let plan = ChaosPlan::new().with(0, 0, ChaosOutcome::CorruptMessage { gamma: 0.5 });
         let sup = fast_supervision();
         let out = p
             .run_with(&stack, Some(&sup), Some(&plan))
@@ -1461,8 +1469,7 @@ mod tests {
             tile_size: 16,
             ..PipelineConfig::default()
         });
-        let plan =
-            ChaosPlan::new().with(0, 0, ChaosOutcome::CorruptMessage { gamma: 0.5 });
+        let plan = ChaosPlan::new().with(0, 0, ChaosOutcome::CorruptMessage { gamma: 0.5 });
         let out = p
             .run_with(&stack, None, Some(&plan))
             .expect("unsupervised run completes, silently wrong");

@@ -474,46 +474,38 @@ impl AlftHarness {
         let mut log = RecoveryLog::new();
         let unit = 0u64;
         let mut attempt_err: Option<AlftError> = None;
-        let primary = supervise(
-            &supervision.policy,
-            ALFT_STAGE,
-            unit,
-            &mut log,
-            |attempt| {
-                let outcome = chaos
-                    .map(|c| c.roll(unit, attempt))
-                    .unwrap_or(ChaosOutcome::Healthy);
-                let corruption = match outcome {
-                    ChaosOutcome::Crash => return StageOutcome::Failed(FailureKind::Crash),
-                    ChaosOutcome::Stall(_) => {
-                        return StageOutcome::Failed(FailureKind::Timeout)
-                    }
-                    ChaosOutcome::Slow(delay) => {
-                        std::thread::sleep(delay);
-                        None
-                    }
-                    ChaosOutcome::CorruptMessage { gamma } => match Uncorrelated::new(gamma) {
-                        Ok(model) => Some(model),
-                        Err(e) => {
-                            attempt_err = Some(AlftError::Fault(e));
-                            return StageOutcome::Failed(FailureKind::InvalidOutput);
-                        }
-                    },
-                    ChaosOutcome::Healthy => None,
-                };
-                let mut product = self.retrieval.run(cube, bands);
-                if let Some(model) = &corruption {
-                    model.inject_f32(product.temperature.as_mut_slice(), rng);
+        let primary = supervise(&supervision.policy, ALFT_STAGE, unit, &mut log, |attempt| {
+            let outcome = chaos
+                .map(|c| c.roll(unit, attempt))
+                .unwrap_or(ChaosOutcome::Healthy);
+            let corruption = match outcome {
+                ChaosOutcome::Crash => return StageOutcome::Failed(FailureKind::Crash),
+                ChaosOutcome::Stall(_) => return StageOutcome::Failed(FailureKind::Timeout),
+                ChaosOutcome::Slow(delay) => {
+                    std::thread::sleep(delay);
+                    None
                 }
-                if self.filter.passes(&product.temperature) {
-                    StageOutcome::Done(product)
-                } else if corruption.is_some() {
-                    StageOutcome::Failed(FailureKind::CorruptMessage)
-                } else {
-                    StageOutcome::Failed(FailureKind::InvalidOutput)
-                }
-            },
-        );
+                ChaosOutcome::CorruptMessage { gamma } => match Uncorrelated::new(gamma) {
+                    Ok(model) => Some(model),
+                    Err(e) => {
+                        attempt_err = Some(AlftError::Fault(e));
+                        return StageOutcome::Failed(FailureKind::InvalidOutput);
+                    }
+                },
+                ChaosOutcome::Healthy => None,
+            };
+            let mut product = self.retrieval.run(cube, bands);
+            if let Some(model) = &corruption {
+                model.inject_f32(product.temperature.as_mut_slice(), rng);
+            }
+            if self.filter.passes(&product.temperature) {
+                StageOutcome::Done(product)
+            } else if corruption.is_some() {
+                StageOutcome::Failed(FailureKind::CorruptMessage)
+            } else {
+                StageOutcome::Failed(FailureKind::InvalidOutput)
+            }
+        });
         if let Some(e) = attempt_err {
             return Err(e);
         }
@@ -666,7 +658,12 @@ mod tests {
     fn healthy_run_uses_primary() {
         let cube = clean_cube(24, 24);
         let (out, outcome) = AlftHarness::default()
-            .execute(&cube, &DEFAULT_BANDS, ProcessFault::None, &mut seeded_rng(1))
+            .execute(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::None,
+                &mut seeded_rng(1),
+            )
             .unwrap();
         assert_eq!(outcome, AlftOutcome::UsedPrimary);
         assert!(out.is_some());
@@ -768,12 +765,7 @@ mod tests {
         assert!(!agree.within_tolerance);
         assert!((agree.mean_abs_divergence - 5.0).abs() < 1e-6);
         b.set(0, 0, f32::NAN);
-        assert!(
-            Agreement::compare(&a, &b, 1.0)
-                .unwrap()
-                .mean_abs_divergence
-                > 5.0
-        );
+        assert!(Agreement::compare(&a, &b, 1.0).unwrap().mean_abs_divergence > 5.0);
     }
 
     #[test]
@@ -871,7 +863,12 @@ mod tests {
         let model = Uncorrelated::new(0.02).unwrap();
         model.inject_f32(cube.as_mut_slice(), &mut seeded_rng(4));
         let (_, outcome) = AlftHarness::default()
-            .execute(&cube, &DEFAULT_BANDS, ProcessFault::None, &mut seeded_rng(5))
+            .execute(
+                &cube,
+                &DEFAULT_BANDS,
+                ProcessFault::None,
+                &mut seeded_rng(5),
+            )
             .unwrap();
         assert_eq!(
             outcome,

@@ -1,0 +1,242 @@
+//! Blocking client for the `preflightd` wire protocol.
+//!
+//! One [`Client`] owns one connection (TCP or Unix) and speaks the
+//! length-prefixed envelope format from [`crate::wire`]. The common path is
+//! [`Client::submit`]: send a frame stack, block for the repaired stack and
+//! its telemetry trailer. [`Client::send_submit`]/[`Client::recv_response`]
+//! split that round trip for callers that want several requests in flight
+//! on one connection.
+
+use crate::wire::{
+    read_message, write_message, BusyReply, DrainSummary, ErrorReply, FramePayload, Message,
+    SubmitRequest, SubmitResponse, WireError,
+};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// Malformed or unexpected bytes on the wire.
+    Wire(WireError),
+    /// The server's bounded queue was full; retry later.
+    Busy(BusyReply),
+    /// The server refused or failed the request.
+    Server(ErrorReply),
+    /// A reply arrived that does not answer what was asked.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Busy(b) => write!(
+                f,
+                "server busy: {}/{} requests in flight",
+                b.in_flight, b.capacity
+            ),
+            ClientError::Server(e) => write!(f, "server error ({:?}): {}", e.code, e.message),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Per-request knobs with paper-faithful defaults (Λ=80, Υ=4).
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Telemetry-stream identity; frames batch only within a stream.
+    pub stream_id: u64,
+    /// Sensitivity Λ in percent (0..=100).
+    pub lambda: u8,
+    /// Temporal window depth Υ (even, 2..=16).
+    pub upsilon: u8,
+    /// End-of-stream: forces the batch containing this request to flush
+    /// immediately, so the reply covers exactly the submitted frames.
+    pub eos: bool,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            stream_id: 0,
+            lambda: 80,
+            upsilon: 4,
+            eos: true,
+        }
+    }
+}
+
+enum Transport {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking connection to a `preflightd` daemon.
+pub struct Client {
+    transport: Transport,
+    next_request_id: u64,
+}
+
+impl Client {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    /// Fails if the address does not resolve or the connection is refused.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            transport: Transport::Tcp(stream),
+            next_request_id: 1,
+        })
+    }
+
+    /// Connects over a Unix socket.
+    ///
+    /// # Errors
+    /// Fails if the socket path cannot be connected to.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Self, ClientError> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        Ok(Client {
+            transport: Transport::Unix(stream),
+            next_request_id: 1,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Round-trips a ping token.
+    ///
+    /// # Errors
+    /// Fails on transport problems or a non-`Pong` reply.
+    pub fn ping(&mut self, token: u64) -> Result<u64, ClientError> {
+        write_message(&mut self.transport, &Message::Ping(token))?;
+        match read_message(&mut self.transport)? {
+            Message::Pong(t) => Ok(t),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Sends a submit without waiting for its reply. Returns the request id
+    /// to match against [`Client::recv_response`].
+    ///
+    /// # Errors
+    /// Fails on transport problems.
+    pub fn send_submit(
+        &mut self,
+        payload: FramePayload,
+        opts: &SubmitOptions,
+    ) -> Result<u64, ClientError> {
+        let request_id = self.fresh_id();
+        let request = SubmitRequest {
+            request_id,
+            stream_id: opts.stream_id,
+            lambda: opts.lambda,
+            upsilon: opts.upsilon,
+            eos: opts.eos,
+            payload,
+        };
+        write_message(&mut self.transport, &Message::Submit(request))?;
+        Ok(request_id)
+    }
+
+    /// Blocks for the next reply to an outstanding submit. `Busy` and
+    /// server-error replies surface as [`ClientError`] variants carrying
+    /// the rejected request's id.
+    ///
+    /// # Errors
+    /// Fails on transport problems, rejection replies, or protocol
+    /// violations.
+    pub fn recv_response(&mut self) -> Result<SubmitResponse, ClientError> {
+        match read_message(&mut self.transport)? {
+            Message::Response(r) => Ok(r),
+            Message::Busy(b) => Err(ClientError::Busy(b)),
+            Message::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted Response/Busy/Error")),
+        }
+    }
+
+    /// Submits a frame stack and blocks for the repaired stack plus its
+    /// telemetry trailer.
+    ///
+    /// # Errors
+    /// Fails on transport problems, `Busy` rejection, or server errors.
+    pub fn submit(
+        &mut self,
+        payload: FramePayload,
+        opts: &SubmitOptions,
+    ) -> Result<SubmitResponse, ClientError> {
+        let request_id = self.send_submit(payload, opts)?;
+        let response = self.recv_response()?;
+        if response.request_id != request_id {
+            return Err(ClientError::Unexpected("response for a different request"));
+        }
+        Ok(response)
+    }
+
+    /// Asks the daemon to drain: finish in-flight work, refuse new work,
+    /// and acknowledge with completion counters.
+    ///
+    /// # Errors
+    /// Fails on transport problems or a non-`DrainAck` reply.
+    pub fn drain(&mut self) -> Result<DrainSummary, ClientError> {
+        write_message(&mut self.transport, &Message::Drain)?;
+        match read_message(&mut self.transport)? {
+            Message::DrainAck(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("wanted DrainAck")),
+        }
+    }
+}

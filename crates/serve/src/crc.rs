@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! Every wire frame carries a CRC over its payload and every image frame
+//! inside a submission carries its own CRC, so a corrupted transfer is
+//! detected at the protocol layer before any pixel reaches the engine —
+//! the serving-path analogue of the FITS checksum cards in `preflight-fits`.
+
+/// The byte-indexed lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (the common `crc32("123456789") == 0xCBF43926` variant).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer() {
+        // The check value from the CRC catalogue (CRC-32/ISO-HDLC).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let a = crc32(&[0x00, 0x01, 0x02, 0x03]);
+        let b = crc32(&[0x00, 0x01, 0x02, 0x07]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,268 @@
+//! The supervised batch engine.
+//!
+//! Each flushed [`BatchJob`] is concatenated into one temporal stack and
+//! repaired by the data-parallel driver
+//! ([`preflight_core::preprocess_stack_parallel`]) under the PR 1
+//! supervisor: per-attempt deadlines, retries with deterministic backoff,
+//! and — when a rung keeps failing — a quarantine step down the
+//! [`DegradationLadder`] (`Algo_NGST` → bit voter → median smoother →
+//! passthrough). A batch therefore always produces responses; the worst
+//! case is raw data flagged `passthrough` in the telemetry trailer.
+//!
+//! Panics inside the preprocessing pass are absorbed with `catch_unwind`
+//! and reported to the supervisor as [`FailureKind::Crash`], so one
+//! poisoned batch can never take the daemon down.
+
+use crate::batcher::BatchJob;
+use crate::telemetry::{RequestStats, ServerStats};
+use crate::wire::{Dtype, ErrorCode, ErrorReply, FramePayload, Message, SubmitResponse};
+use crossbeam::channel;
+use preflight_core::{
+    preprocess_stack_parallel, AlgoNgst, BitPixel, ImageStack, Sensitivity, Upsilon, ValuePixel,
+};
+use preflight_supervisor::{
+    supervise, DegradationLadder, FailureKind, FtLevel, RecoveryLog, StageOutcome, Supervision,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads handed to `preprocess_stack_parallel` per batch.
+    pub threads: usize,
+    /// Retry/timeout/degradation policy applied to each batch.
+    pub supervision: Supervision,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: preflight_core::available_threads(),
+            supervision: Supervision::default(),
+        }
+    }
+}
+
+/// Monotonic batch counter, used as the supervisor's `unit` id so recovery
+/// events are attributable to a specific batch.
+static BATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Runs one engine worker: pulls batches until the channel closes.
+pub fn run_engine_worker(
+    rx: channel::Receiver<BatchJob>,
+    config: EngineConfig,
+    stats: Arc<ServerStats>,
+) {
+    for batch in rx.iter() {
+        process_batch(batch, &config, &stats);
+    }
+}
+
+/// Preprocesses one batch and answers every request inside it.
+pub fn process_batch(batch: BatchJob, config: &EngineConfig, stats: &ServerStats) {
+    ServerStats::bump(&stats.batches);
+    match batch.key.dtype {
+        Dtype::U16 => process_typed::<u16>(batch, config, stats),
+        Dtype::U32 => process_typed::<u32>(batch, config, stats),
+    }
+}
+
+/// Pixel-type plumbing between [`FramePayload`] and the generic engine.
+trait PayloadPixel: BitPixel + ValuePixel {
+    /// The stack inside `p`, if `p` matches this pixel type.
+    fn stack(p: &FramePayload) -> Option<&ImageStack<Self>>;
+    /// Wraps a stack back into a payload.
+    fn wrap(stack: ImageStack<Self>) -> FramePayload;
+}
+
+impl PayloadPixel for u16 {
+    fn stack(p: &FramePayload) -> Option<&ImageStack<u16>> {
+        match p {
+            FramePayload::U16(s) => Some(s),
+            FramePayload::U32(_) => None,
+        }
+    }
+
+    fn wrap(stack: ImageStack<u16>) -> FramePayload {
+        FramePayload::U16(stack)
+    }
+}
+
+impl PayloadPixel for u32 {
+    fn stack(p: &FramePayload) -> Option<&ImageStack<u32>> {
+        match p {
+            FramePayload::U32(s) => Some(s),
+            FramePayload::U16(_) => None,
+        }
+    }
+
+    fn wrap(stack: ImageStack<u32>) -> FramePayload {
+        FramePayload::U32(stack)
+    }
+}
+
+fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats: &ServerStats) {
+    let key = batch.key;
+    let unit = BATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dispatched_at = Instant::now();
+
+    // Concatenate the batch into one temporal stack, remembering each
+    // request's frame range.
+    let mut combined: ImageStack<T> = ImageStack::new(key.width, key.height, batch.total_frames);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(batch.jobs.len());
+    let mut offset = 0;
+    for job in &batch.jobs {
+        let Some(stack) = T::stack(&job.request.payload) else {
+            // The batcher keys on dtype, so this cannot happen; answer
+            // defensively instead of crashing the worker.
+            respond_error(&batch, "batch mixed pixel types");
+            return;
+        };
+        for i in 0..stack.frames() {
+            combined
+                .frame_mut(offset + i)
+                .copy_from_slice(stack.frame(i));
+        }
+        ranges.push((offset, stack.frames()));
+        offset += stack.frames();
+    }
+    let input = combined.clone();
+
+    let ladder = match (
+        Upsilon::new(key.upsilon as usize),
+        Sensitivity::new(u32::from(key.lambda)),
+    ) {
+        (Ok(upsilon), Ok(lambda)) => DegradationLadder::new(Some(AlgoNgst::new(upsilon, lambda))),
+        _ => {
+            // Wire validation bounds Λ and Υ, so this too is defensive.
+            respond_error(&batch, "invalid algorithm parameters");
+            return;
+        }
+    };
+
+    // Walk the ladder: supervised attempts at each rung, quarantine one
+    // rung down on exhaustion. Passthrough cannot fail, so this always
+    // produces a repaired (or at worst raw) stack.
+    let supervision = config.supervision;
+    let mut policy = supervision.policy;
+    policy.max_retries = supervision.attempts_per_level().saturating_sub(1);
+    let mut log = RecoveryLog::new();
+    let mut level = ladder.entry_level();
+    let mut attempts_total: u32 = 0;
+    let (repaired, rung) = loop {
+        let Some(stage) = ladder.stage(level) else {
+            respond_error(&batch, "degradation ladder has no stage");
+            return;
+        };
+        let attempt_counter = std::cell::Cell::new(0u32);
+        let outcome = supervise(&policy, "serve-batch", unit, &mut log, |_attempt| {
+            attempt_counter.set(attempt_counter.get() + 1);
+            let mut work = input.clone();
+            let started = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                preprocess_stack_parallel(&stage, &mut work, config.threads)
+            }));
+            match result {
+                Err(_) => StageOutcome::Failed(FailureKind::Crash),
+                Ok(changed) => {
+                    // The pass cannot be preempted mid-flight, so the
+                    // deadline is enforced after the fact: an overlong
+                    // attempt still counts as a timeout and is retried
+                    // (possibly one rung down, where passes are cheaper).
+                    if started.elapsed() > policy.stage_timeout {
+                        StageOutcome::Failed(FailureKind::Timeout)
+                    } else {
+                        StageOutcome::Done((work, changed))
+                    }
+                }
+            }
+        });
+        attempts_total += attempt_counter.get();
+        match outcome {
+            Ok((work, _changed)) => break (work, level),
+            Err(_) if supervision.degrade => match level.next() {
+                Some(next) => level = next,
+                None => {
+                    // Passthrough exhausted its budget — only possible with
+                    // a pathological stage_timeout. Serve the raw input.
+                    break (input.clone(), FtLevel::Passthrough);
+                }
+            },
+            Err(e) => {
+                respond_error(&batch, &format!("batch failed without degradation: {e}"));
+                return;
+            }
+        }
+    };
+    if rung != FtLevel::AlgoNgst {
+        ServerStats::bump(&stats.degraded_batches);
+    }
+    let service_us = elapsed_us(dispatched_at);
+
+    // Slice the repaired stack back into per-request responses with their
+    // telemetry trailers.
+    let frame_len = key.width * key.height;
+    let batch_requests = batch.jobs.len() as u32;
+    for (job, (start, frames)) in batch.jobs.into_iter().zip(ranges) {
+        let mut out: ImageStack<T> = ImageStack::new(key.width, key.height, frames);
+        let mut changed_here: u64 = 0;
+        let mut bits_here: u64 = 0;
+        for i in 0..frames {
+            let rep = repaired.frame(start + i);
+            let orig = input.frame(start + i);
+            out.frame_mut(i).copy_from_slice(rep);
+            for p in 0..frame_len {
+                if rep[p] != orig[p] {
+                    changed_here += 1;
+                    bits_here += u64::from(rep[p].xor(orig[p]).count_ones());
+                }
+            }
+        }
+        let samples = (frames * frame_len) as u64;
+        let agreement = (1000 * (samples - changed_here))
+            .checked_div(samples)
+            .unwrap_or(1000) as u32;
+        let stats_trailer = RequestStats {
+            samples_changed: changed_here,
+            bits_flipped: bits_here,
+            voter_agreement_permille: agreement,
+            queue_wait_us: elapsed_us_between(job.admitted_at, dispatched_at),
+            service_us,
+            batch_frames: batch.total_frames as u32,
+            batch_requests,
+            rung,
+            attempts: attempts_total.max(1),
+        };
+        let response = Message::Response(SubmitResponse {
+            request_id: job.request.request_id,
+            stats: stats_trailer,
+            payload: T::wrap(out),
+        });
+        // A vanished client is not an engine error; its permit releases
+        // when the job drops either way.
+        if job.reply.send(response).is_ok() {
+            ServerStats::bump(&stats.completed);
+        }
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn elapsed_us_between(from: Instant, to: Instant) -> u64 {
+    u64::try_from(to.saturating_duration_since(from).as_micros()).unwrap_or(u64::MAX)
+}
+
+fn respond_error(batch: &BatchJob, why: &str) {
+    for job in &batch.jobs {
+        let _ = job.reply.send(Message::Error(ErrorReply {
+            request_id: job.request.request_id,
+            code: ErrorCode::Internal,
+            message: why.to_owned(),
+        }));
+    }
+}

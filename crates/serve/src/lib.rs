@@ -1,0 +1,42 @@
+//! `preflight-serve`: a batch-serving preprocessing daemon.
+//!
+//! This crate turns the library pipeline into a long-running service,
+//! `preflightd`, for deployments where many camera/telemetry streams share
+//! one radiation-tolerant compute budget:
+//!
+//! - **Wire protocol** ([`wire`]): length-prefixed binary envelopes with
+//!   CRC-32 integrity on both the envelope and every image frame — the
+//!   transport gets the same distrust the paper applies to sensor data.
+//! - **Bounded admission** ([`queue`]): a fixed number of in-flight
+//!   requests; beyond that, clients get an explicit `Busy` instead of the
+//!   daemon buffering without bound.
+//! - **Adaptive batching** ([`batcher`]): frames from many clients
+//!   coalesce into temporal stacks of at least depth Υ, flushing on depth
+//!   or deadline, with the target depth scaling under load.
+//! - **Supervised engine** ([`engine`]): each batch runs under the PR 1
+//!   supervisor — retries, timeouts, and the degradation ladder — so the
+//!   daemon answers every admitted request even when a rung fails.
+//! - **Per-request telemetry** ([`telemetry`]): every response carries a
+//!   stats trailer (bits flipped, voter agreement, queue wait, batch
+//!   shape, degradation rung).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod crc;
+pub mod engine;
+pub mod queue;
+pub mod server;
+pub mod signal;
+pub mod telemetry;
+pub mod wire;
+
+pub use batcher::BatchConfig;
+pub use client::{Client, ClientError, SubmitOptions};
+pub use engine::EngineConfig;
+pub use queue::AdmissionGate;
+pub use server::{start, ServerConfig, ServerHandle};
+pub use telemetry::{RequestStats, ServerStats};
+pub use wire::{Dtype, FramePayload, Message, SubmitRequest, SubmitResponse, WireError};

@@ -1,0 +1,486 @@
+//! The daemon: acceptors, per-connection threads, and lifecycle.
+//!
+//! Thread layout (`preflightd` with both sockets enabled):
+//!
+//! ```text
+//! acceptor(tcp) ─┐                        ┌─ engine worker 0 ─┐
+//! acceptor(unix)─┼─ conn reader ─▶ batcher ┼─ engine worker 1 ─┼─▶ conn writer
+//!                └─ conn reader ─▶   ...   └─ ...              ┘
+//! ```
+//!
+//! Each connection gets a reader thread (parses envelopes, admits work
+//! through the bounded [`AdmissionGate`]) and a writer thread (serialises
+//! responses from a channel, so many engine workers can answer one client
+//! without interleaving bytes). Readers never block forever: sockets carry
+//! a read timeout and every idle wakeup polls the drain flag.
+//!
+//! Graceful shutdown (wire `Drain` or SIGTERM→[`ServerHandle::drain`]):
+//! stop admitting, flush the batcher's open groups, wait for every permit
+//! to return (all in-flight responses queued), then stop the batcher and
+//! engine workers and join them.
+
+use crate::batcher::{run_batcher, BatchConfig, BatcherCmd, SubmitJob};
+use crate::engine::{run_engine_worker, EngineConfig};
+use crate::queue::AdmissionGate;
+use crate::telemetry::ServerStats;
+use crate::wire::{
+    parse_body, parse_head, write_message, BusyReply, DrainSummary, ErrorCode, ErrorReply, Message,
+    WireError, HEAD_LEN,
+};
+use crossbeam::channel;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a reader sleeps per poll while its socket is idle.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long acceptors sleep between failed non-blocking accepts.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Ceiling on waiting for in-flight work during a drain.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Everything needed to start a daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP listen address (e.g. `127.0.0.1:0`), if any.
+    pub tcp: Option<String>,
+    /// Unix socket path, if any (Unix only).
+    pub unix: Option<PathBuf>,
+    /// Bounded-queue capacity: in-flight requests beyond this are rejected
+    /// with `Busy`.
+    pub capacity: usize,
+    /// Batching knobs.
+    pub batch: BatchConfig,
+    /// Engine knobs (threads per batch, supervision policy).
+    pub engine: EngineConfig,
+    /// Parallel engine workers (batches in flight at once).
+    pub engine_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tcp: None,
+            unix: None,
+            capacity: 64,
+            batch: BatchConfig::default(),
+            engine: EngineConfig::default(),
+            engine_workers: 2,
+        }
+    }
+}
+
+struct Shared {
+    gate: AdmissionGate,
+    stats: Arc<ServerStats>,
+    batcher_tx: channel::Sender<BatcherCmd>,
+    /// No new work admitted; acceptors wind down.
+    draining: AtomicBool,
+    /// Fully drained and joined; readers exit at their next poll.
+    stopped: AtomicBool,
+    /// A wire `Drain` finished flushing (the daemon main loop exits on it).
+    drain_acked: AtomicBool,
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let _ = self.batcher_tx.send(BatcherCmd::FlushAll);
+    }
+
+    fn summary(&self) -> DrainSummary {
+        DrainSummary {
+            completed: ServerStats::get(&self.stats.completed),
+            rejected: ServerStats::get(&self.stats.rejected_busy),
+        }
+    }
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The actual TCP address bound (useful with port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The Unix socket path served, if any.
+    pub fn unix_path(&self) -> Option<&PathBuf> {
+        self.unix_path.as_ref()
+    }
+
+    /// Whole-server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Requests currently occupying bounded-queue slots.
+    pub fn in_flight(&self) -> usize {
+        self.shared.gate.in_flight()
+    }
+
+    /// `true` once a drain has begun (no new work admitted).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// `true` once a wire-level `Drain` has been acknowledged.
+    pub fn drain_acked(&self) -> bool {
+        self.shared.drain_acked.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully drains and shuts the daemon down: stop admitting, flush
+    /// open batches, wait for in-flight work, stop and join every server
+    /// thread. Idempotent.
+    pub fn drain(&self) -> DrainSummary {
+        self.shared.begin_drain();
+        self.shared.gate.wait_idle(DRAIN_TIMEOUT);
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        let _ = self.shared.batcher_tx.send(BatcherCmd::Stop);
+        let mut threads = self.threads.lock().expect("server threads poisoned");
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        self.shared.summary()
+    }
+}
+
+/// Binds the configured sockets and starts every server thread.
+///
+/// # Errors
+/// Fails if no socket is configured or a bind fails.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    if config.tcp.is_none() && config.unix.is_none() {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "server needs at least one of a TCP address or a Unix socket path",
+        ));
+    }
+    let gate = AdmissionGate::new(config.capacity);
+    let stats = Arc::new(ServerStats::default());
+    let (batcher_tx, batcher_rx) = channel::unbounded();
+    let (engine_tx, engine_rx) = channel::unbounded();
+
+    let shared = Arc::new(Shared {
+        gate: gate.clone(),
+        stats: Arc::clone(&stats),
+        batcher_tx,
+        draining: AtomicBool::new(false),
+        stopped: AtomicBool::new(false),
+        drain_acked: AtomicBool::new(false),
+    });
+
+    let mut threads = Vec::new();
+
+    {
+        let rx = batcher_rx;
+        let tx = engine_tx;
+        let gate = gate.clone();
+        let batch = config.batch.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("preflightd-batcher".into())
+                .spawn(move || run_batcher(rx, tx, gate, batch))?,
+        );
+    }
+    for i in 0..config.engine_workers.max(1) {
+        let rx = engine_rx.clone();
+        let engine = config.engine.clone();
+        let stats = Arc::clone(&stats);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("preflightd-engine-{i}"))
+                .spawn(move || run_engine_worker(rx, engine, stats))?,
+        );
+    }
+    drop(engine_rx);
+
+    let mut tcp_addr = None;
+    if let Some(addr) = &config.tcp {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        tcp_addr = Some(listener.local_addr()?);
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("preflightd-accept-tcp".into())
+                .spawn(move || accept_tcp(listener, shared))?,
+        );
+    }
+
+    let mut unix_path = None;
+    #[cfg(unix)]
+    if let Some(path) = &config.unix {
+        // A stale socket file from a previous run would fail the bind.
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        unix_path = Some(path.clone());
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("preflightd-accept-unix".into())
+                .spawn(move || accept_unix(listener, shared))?,
+        );
+    }
+    #[cfg(not(unix))]
+    if config.unix.is_some() {
+        return Err(std::io::Error::new(
+            ErrorKind::Unsupported,
+            "Unix sockets are not available on this platform",
+        ));
+    }
+
+    Ok(ServerHandle {
+        shared,
+        tcp_addr,
+        unix_path,
+        threads: Mutex::new(threads),
+    })
+}
+
+fn accept_tcp(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(READ_POLL));
+                let writer = match stream.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                spawn_connection(stream, writer, Arc::clone(&shared));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_unix(listener: std::os::unix::net::UnixListener, shared: Arc<Shared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(READ_POLL));
+                let writer = match stream.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                spawn_connection(stream, writer, Arc::clone(&shared));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn spawn_connection<R, W>(reader: R, writer: W, shared: Arc<Shared>)
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    ServerStats::bump(&shared.stats.connections);
+    let _ = std::thread::Builder::new()
+        .name("preflightd-conn".into())
+        .spawn(move || handle_connection(reader, writer, shared));
+}
+
+/// Outcome of trying to fill a buffer from a socket with read timeouts.
+enum Fill {
+    /// Buffer completely filled.
+    Done,
+    /// Peer closed the connection cleanly before any byte arrived.
+    Eof,
+    /// No bytes arrived this poll interval (only possible while the buffer
+    /// is still empty and `idle_ok` was set).
+    Idle,
+    /// Transport error; the connection is done for.
+    Failed,
+}
+
+/// Fills `buf` from `r`, retrying timeouts. With `idle_ok`, a timeout
+/// before the first byte reports [`Fill::Idle`] so the caller can poll its
+/// shutdown flag between envelopes; once an envelope has started, timeouts
+/// keep the read alive until it completes or the peer vanishes.
+fn read_full(r: &mut impl Read, buf: &mut [u8], idle_ok: bool) -> Fill {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 { Fill::Eof } else { Fill::Failed };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if filled == 0 && idle_ok {
+                    return Fill::Idle;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Fill::Failed,
+        }
+    }
+    Fill::Done
+}
+
+fn handle_connection<R, W>(mut reader: R, writer: W, shared: Arc<Shared>)
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    // The writer thread serialises replies from every producer (this
+    // reader, the batcher's engine workers) onto the socket.
+    let (conn_tx, conn_rx) = channel::unbounded::<Message>();
+    let writer_thread = std::thread::Builder::new()
+        .name("preflightd-conn-writer".into())
+        .spawn(move || {
+            let mut writer = writer;
+            for msg in conn_rx.iter() {
+                if write_message(&mut writer, &msg).is_err() {
+                    break;
+                }
+            }
+        });
+
+    loop {
+        let mut head = [0u8; HEAD_LEN];
+        match read_full(&mut reader, &mut head, true) {
+            Fill::Idle => {
+                if shared.stopped.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Fill::Eof => break,
+            Fill::Failed => break,
+            Fill::Done => {}
+        }
+        let (type_code, len) = match parse_head(&head) {
+            Ok(h) => h,
+            Err(e) => {
+                // The stream is desynchronised; report and hang up.
+                ServerStats::bump(&shared.stats.wire_errors);
+                let _ = conn_tx.send(wire_error_reply(&e));
+                break;
+            }
+        };
+        let mut body = vec![0u8; len as usize + 4];
+        match read_full(&mut reader, &mut body, false) {
+            Fill::Done => {}
+            _ => break,
+        }
+        let crc_bytes = [
+            body[len as usize],
+            body[len as usize + 1],
+            body[len as usize + 2],
+            body[len as usize + 3],
+        ];
+        let message = match parse_body(
+            type_code,
+            &body[..len as usize],
+            u32::from_le_bytes(crc_bytes),
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                ServerStats::bump(&shared.stats.wire_errors);
+                let _ = conn_tx.send(wire_error_reply(&e));
+                break;
+            }
+        };
+        match message {
+            Message::Submit(request) => {
+                let request_id = request.request_id;
+                if shared.draining.load(Ordering::SeqCst) {
+                    let _ = conn_tx.send(Message::Error(ErrorReply {
+                        request_id,
+                        code: ErrorCode::Draining,
+                        message: "server is draining; no new work admitted".to_owned(),
+                    }));
+                    continue;
+                }
+                match shared.gate.try_acquire() {
+                    Some(permit) => {
+                        ServerStats::bump(&shared.stats.admitted);
+                        let job = SubmitJob {
+                            request,
+                            permit,
+                            admitted_at: Instant::now(),
+                            reply: conn_tx.clone(),
+                        };
+                        if shared.batcher_tx.send(BatcherCmd::Submit(job)).is_err() {
+                            let _ = conn_tx.send(Message::Error(ErrorReply {
+                                request_id,
+                                code: ErrorCode::Draining,
+                                message: "server is shutting down".to_owned(),
+                            }));
+                        }
+                    }
+                    None => {
+                        ServerStats::bump(&shared.stats.rejected_busy);
+                        let _ = conn_tx.send(Message::Busy(BusyReply {
+                            request_id,
+                            capacity: shared.gate.capacity() as u32,
+                            in_flight: shared.gate.in_flight() as u32,
+                        }));
+                    }
+                }
+            }
+            Message::Ping(token) => {
+                let _ = conn_tx.send(Message::Pong(token));
+            }
+            Message::Drain => {
+                shared.begin_drain();
+                shared.gate.wait_idle(DRAIN_TIMEOUT);
+                let _ = conn_tx.send(Message::DrainAck(shared.summary()));
+                shared.drain_acked.store(true, Ordering::SeqCst);
+            }
+            // Server-to-client messages arriving at the server are a
+            // protocol violation; answer and hang up.
+            Message::Response(_)
+            | Message::Busy(_)
+            | Message::Error(_)
+            | Message::DrainAck(_)
+            | Message::Pong(_) => {
+                let _ = conn_tx.send(Message::Error(ErrorReply {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    message: "unexpected server-side message from client".to_owned(),
+                }));
+                break;
+            }
+        }
+    }
+
+    // Closing our sender lets the writer flush queued replies and exit;
+    // engine workers may still hold clones for in-flight work, and the
+    // writer stays alive until those are answered too.
+    drop(conn_tx);
+    if let Ok(t) = writer_thread {
+        let _ = t.join();
+    }
+}
+
+fn wire_error_reply(e: &WireError) -> Message {
+    Message::Error(ErrorReply {
+        request_id: 0,
+        code: ErrorCode::Malformed,
+        message: e.to_string(),
+    })
+}

@@ -1,0 +1,181 @@
+//! Per-request and whole-server telemetry.
+//!
+//! Every response carries a [`RequestStats`] trailer so a client can see
+//! exactly what its frames went through: how much repair happened, how long
+//! the request waited behind the bounded queue, how deep the batch it rode
+//! in was, and which rung of the degradation ladder actually served it.
+
+use preflight_supervisor::FtLevel;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Telemetry trailer attached to every [`crate::wire::SubmitResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Samples the engine modified within this request's frames.
+    pub samples_changed: u64,
+    /// Total bits that differ between the submitted and repaired frames
+    /// (popcount of the XOR over every Υ-window of the request).
+    pub bits_flipped: u64,
+    /// Voter agreement in permille: the fraction of samples the Υ-voter
+    /// left untouched (1000 = the voters agreed everywhere).
+    pub voter_agreement_permille: u32,
+    /// Microseconds between admission and dispatch to the engine.
+    pub queue_wait_us: u64,
+    /// Microseconds the engine spent preprocessing the batch.
+    pub service_us: u64,
+    /// Temporal depth (frames) of the batch this request was coalesced into.
+    pub batch_frames: u32,
+    /// Number of requests coalesced into that batch.
+    pub batch_requests: u32,
+    /// Degradation-ladder rung that produced the output.
+    pub rung: FtLevel,
+    /// Engine attempts consumed across all rungs (1 = first try).
+    pub attempts: u32,
+}
+
+impl Default for RequestStats {
+    fn default() -> Self {
+        RequestStats {
+            samples_changed: 0,
+            bits_flipped: 0,
+            voter_agreement_permille: 1000,
+            queue_wait_us: 0,
+            service_us: 0,
+            batch_frames: 0,
+            batch_requests: 0,
+            rung: FtLevel::AlgoNgst,
+            attempts: 1,
+        }
+    }
+}
+
+impl fmt::Display for RequestStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "changed {} sample(s), {} bit(s) flipped, agreement {}.{}%, \
+             waited {} us, served in {} us by {} (batch {} frame(s) / {} request(s), \
+             {} attempt(s))",
+            self.samples_changed,
+            self.bits_flipped,
+            self.voter_agreement_permille / 10,
+            self.voter_agreement_permille % 10,
+            self.queue_wait_us,
+            self.service_us,
+            self.rung,
+            self.batch_frames,
+            self.batch_requests,
+            self.attempts
+        )
+    }
+}
+
+/// Wire code for a ladder rung.
+pub(crate) fn ft_level_code(level: FtLevel) -> u8 {
+    match level {
+        FtLevel::AlgoNgst => 0,
+        FtLevel::BitVoter => 1,
+        FtLevel::MedianSmoother => 2,
+        FtLevel::Passthrough => 3,
+    }
+}
+
+/// Ladder rung for a wire code.
+pub(crate) fn ft_level_from_code(code: u8) -> Option<FtLevel> {
+    match code {
+        0 => Some(FtLevel::AlgoNgst),
+        1 => Some(FtLevel::BitVoter),
+        2 => Some(FtLevel::MedianSmoother),
+        3 => Some(FtLevel::Passthrough),
+        _ => None,
+    }
+}
+
+/// Monotonic whole-server counters, shared across every thread of the
+/// daemon and snapshotted by `Drain` acks and the loadgen.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Submissions admitted past the bounded queue.
+    pub admitted: AtomicU64,
+    /// Responses fully served.
+    pub completed: AtomicU64,
+    /// Submissions rejected with `Busy`.
+    pub rejected_busy: AtomicU64,
+    /// Envelopes that failed wire-level validation.
+    pub wire_errors: AtomicU64,
+    /// Batches dispatched to the engine.
+    pub batches: AtomicU64,
+    /// Batches that finished below the top ladder rung.
+    pub degraded_batches: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+}
+
+impl ServerStats {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// One-line summary for logs and drain reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "admitted {}, completed {}, busy-rejected {}, wire errors {}, \
+             batches {} ({} degraded), connections {}",
+            Self::get(&self.admitted),
+            Self::get(&self.completed),
+            Self::get(&self.rejected_busy),
+            Self::get(&self.wire_errors),
+            Self::get(&self.batches),
+            Self::get(&self.degraded_batches),
+            Self::get(&self.connections),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ft_level_codes_roundtrip() {
+        for level in [
+            FtLevel::AlgoNgst,
+            FtLevel::BitVoter,
+            FtLevel::MedianSmoother,
+            FtLevel::Passthrough,
+        ] {
+            assert_eq!(ft_level_from_code(ft_level_code(level)), Some(level));
+        }
+        assert_eq!(ft_level_from_code(4), None);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = RequestStats {
+            samples_changed: 3,
+            voter_agreement_permille: 997,
+            ..RequestStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("changed 3 sample(s)"));
+        assert!(text.contains("99.7%"));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = ServerStats::default();
+        ServerStats::bump(&stats.admitted);
+        ServerStats::bump(&stats.admitted);
+        ServerStats::bump(&stats.rejected_busy);
+        assert_eq!(ServerStats::get(&stats.admitted), 2);
+        assert_eq!(ServerStats::get(&stats.rejected_busy), 1);
+        assert!(stats.summary().contains("admitted 2"));
+    }
+}

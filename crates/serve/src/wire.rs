@@ -1,0 +1,675 @@
+//! The length-prefixed binary wire protocol spoken by `preflightd`.
+//!
+//! Every message travels in one envelope:
+//!
+//! ```text
+//! +-------+---------+------+----------------+-----------+--------------+
+//! | magic | version | type | payload length | payload   | payload CRC  |
+//! | PFLT  |   u8    |  u8  |     u32 LE     | ...       |    u32 LE    |
+//! +-------+---------+------+----------------+-----------+--------------+
+//! ```
+//!
+//! Submissions and responses additionally protect each image frame with its
+//! own CRC-32, so a flipped bit is localised to the frame it hit. All
+//! integers are little-endian; pixel data is raw LE words, frame-major (the
+//! same layout [`ImageStack`] uses in memory).
+//!
+//! The decoder is strict: a bad magic, unknown version or message type,
+//! oversized length, truncated payload or CRC mismatch all fail with a
+//! typed [`WireError`] and never panic, whatever bytes arrive.
+
+use crate::crc::crc32;
+use crate::telemetry::{ft_level_code, ft_level_from_code, RequestStats};
+use preflight_core::ImageStack;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// The four magic bytes opening every envelope.
+pub const MAGIC: [u8; 4] = *b"PFLT";
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Hard ceiling on a payload, so a corrupted length field cannot make the
+/// decoder allocate unbounded memory (256 MiB ≈ a 4096×4096×8 u32 stack).
+pub const MAX_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// Pixel type of a submitted stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// 16-bit unsigned pixels (the NGST detector word).
+    U16,
+    /// 32-bit unsigned pixels.
+    U32,
+}
+
+impl Dtype {
+    /// Wire code for the dtype.
+    pub fn code(self) -> u8 {
+        match self {
+            Dtype::U16 => 0,
+            Dtype::U32 => 1,
+        }
+    }
+
+    /// Bytes per pixel.
+    pub fn bytes(self) -> usize {
+        match self {
+            Dtype::U16 => 2,
+            Dtype::U32 => 4,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u8) -> Result<Self, WireError> {
+        match code {
+            0 => Ok(Dtype::U16),
+            1 => Ok(Dtype::U32),
+            other => Err(WireError::Malformed(format!("unknown dtype code {other}"))),
+        }
+    }
+}
+
+/// Decoding/transport failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The envelope did not start with `PFLT`.
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build does not.
+    BadVersion(u8),
+    /// Unknown message-type byte.
+    UnknownType(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The payload ended before a field was complete.
+    Truncated(&'static str),
+    /// A CRC did not match the received bytes.
+    CrcMismatch {
+        /// What the CRC protected (`"payload"` or `"frame"`).
+        scope: &'static str,
+        /// CRC carried on the wire.
+        expected: u32,
+        /// CRC of the bytes actually received.
+        actual: u32,
+    },
+    /// A structurally invalid field (bad dtype, zero dimension, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "I/O: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02X?} (expected \"PFLT\")"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds the {MAX_PAYLOAD} byte cap")
+            }
+            WireError::Truncated(what) => write!(f, "payload truncated while reading {what}"),
+            WireError::CrcMismatch {
+                scope,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{scope} CRC mismatch: wire says {expected:#010X}, data hashes to {actual:#010X}"
+            ),
+            WireError::Malformed(why) => write!(f, "malformed message: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A stack of image frames plus its pixel type — the payload of both
+/// submissions and responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FramePayload {
+    /// 16-bit pixels.
+    U16(ImageStack<u16>),
+    /// 32-bit pixels.
+    U32(ImageStack<u32>),
+}
+
+impl FramePayload {
+    /// The pixel type tag.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            FramePayload::U16(_) => Dtype::U16,
+            FramePayload::U32(_) => Dtype::U32,
+        }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        match self {
+            FramePayload::U16(s) => s.width(),
+            FramePayload::U32(s) => s.width(),
+        }
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        match self {
+            FramePayload::U16(s) => s.height(),
+            FramePayload::U32(s) => s.height(),
+        }
+    }
+
+    /// Temporal depth in frames.
+    pub fn frames(&self) -> usize {
+        match self {
+            FramePayload::U16(s) => s.frames(),
+            FramePayload::U32(s) => s.frames(),
+        }
+    }
+
+    /// Total samples in the stack.
+    pub fn samples(&self) -> usize {
+        self.width() * self.height() * self.frames()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.dtype().code());
+        put_u32(out, self.width() as u32);
+        put_u32(out, self.height() as u32);
+        put_u32(out, self.frames() as u32);
+        match self {
+            FramePayload::U16(s) => {
+                for i in 0..s.frames() {
+                    let start = out.len();
+                    for &v in s.frame(i) {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    let crc = crc32(&out[start..]);
+                    put_u32(out, crc);
+                }
+            }
+            FramePayload::U32(s) => {
+                for i in 0..s.frames() {
+                    let start = out.len();
+                    for &v in s.frame(i) {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    let crc = crc32(&out[start..]);
+                    put_u32(out, crc);
+                }
+            }
+        }
+    }
+
+    fn decode_from(r: &mut SliceReader<'_>) -> Result<Self, WireError> {
+        let dtype = Dtype::from_code(r.u8("dtype")?)?;
+        let width = r.u32("width")? as usize;
+        let height = r.u32("height")? as usize;
+        let frames = r.u32("frames")? as usize;
+        if width == 0 || height == 0 || frames == 0 {
+            return Err(WireError::Malformed(format!(
+                "zero dimension in {width}x{height}x{frames} stack"
+            )));
+        }
+        let frame_len = width
+            .checked_mul(height)
+            .ok_or_else(|| WireError::Malformed("frame area overflows".to_owned()))?;
+        let frame_bytes = frame_len
+            .checked_mul(dtype.bytes())
+            .ok_or_else(|| WireError::Malformed("frame size overflows".to_owned()))?;
+        match dtype {
+            Dtype::U16 => {
+                let mut data = Vec::with_capacity(frame_len * frames);
+                for _ in 0..frames {
+                    let raw = r.bytes(frame_bytes, "frame data")?;
+                    let expected = r.u32("frame CRC")?;
+                    let actual = crc32(raw);
+                    if expected != actual {
+                        return Err(WireError::CrcMismatch {
+                            scope: "frame",
+                            expected,
+                            actual,
+                        });
+                    }
+                    data.extend(
+                        raw.chunks_exact(2)
+                            .map(|c| u16::from_le_bytes([c[0], c[1]])),
+                    );
+                }
+                let stack = ImageStack::from_vec(width, height, frames, data)
+                    .map_err(|e| WireError::Malformed(e.to_string()))?;
+                Ok(FramePayload::U16(stack))
+            }
+            Dtype::U32 => {
+                let mut data = Vec::with_capacity(frame_len * frames);
+                for _ in 0..frames {
+                    let raw = r.bytes(frame_bytes, "frame data")?;
+                    let expected = r.u32("frame CRC")?;
+                    let actual = crc32(raw);
+                    if expected != actual {
+                        return Err(WireError::CrcMismatch {
+                            scope: "frame",
+                            expected,
+                            actual,
+                        });
+                    }
+                    data.extend(
+                        raw.chunks_exact(4)
+                            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                    );
+                }
+                let stack = ImageStack::from_vec(width, height, frames, data)
+                    .map_err(|e| WireError::Malformed(e.to_string()))?;
+                Ok(FramePayload::U32(stack))
+            }
+        }
+    }
+}
+
+/// A preprocessing request: frames for one logical stream plus the
+/// algorithm parameters to repair them with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen id echoed on the response.
+    pub request_id: u64,
+    /// Logical stream the frames belong to; the batcher only coalesces
+    /// frames of the same stream (and identical geometry/parameters).
+    pub stream_id: u64,
+    /// Sensitivity Λ percentage (0..=100).
+    pub lambda: u8,
+    /// Voter count Υ (even, 2..=16).
+    pub upsilon: u8,
+    /// End-of-stream: flush the batch immediately after this submission,
+    /// whatever its depth.
+    pub eos: bool,
+    /// The frames themselves.
+    pub payload: FramePayload,
+}
+
+/// A served response: the repaired frames plus the per-request telemetry
+/// trailer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitResponse {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Telemetry for this request's trip through the daemon.
+    pub stats: RequestStats,
+    /// The repaired frames (same geometry and dtype as submitted).
+    pub payload: FramePayload,
+}
+
+/// Explicit backpressure: the bounded queue is full, try again later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyReply {
+    /// Echo of the request id (0 when the request could not be parsed far
+    /// enough to know).
+    pub request_id: u64,
+    /// The configured admission capacity.
+    pub capacity: u32,
+    /// Requests in flight when this one was rejected.
+    pub in_flight: u32,
+}
+
+/// A request-level failure (malformed submission, draining server, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Echo of the request id (0 if unknown).
+    pub request_id: u64,
+    /// Machine-readable reason.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Machine-readable error classes carried by [`ErrorReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The submission failed wire-level validation.
+    Malformed,
+    /// The server is draining and admits no new work.
+    Draining,
+    /// The engine failed internally (should not happen; the degradation
+    /// ladder ends in passthrough).
+    Internal,
+}
+
+impl ErrorCode {
+    fn code(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::Draining => 2,
+            ErrorCode::Internal => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, WireError> {
+        match code {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::Draining),
+            3 => Ok(ErrorCode::Internal),
+            other => Err(WireError::Malformed(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+/// What a graceful drain accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainSummary {
+    /// Requests fully served over the server's lifetime.
+    pub completed: u64,
+    /// Requests rejected with `Busy` over the server's lifetime.
+    pub rejected: u64,
+}
+
+/// Every message the protocol can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: frames to preprocess.
+    Submit(SubmitRequest),
+    /// Server → client: repaired frames + telemetry.
+    Response(SubmitResponse),
+    /// Server → client: bounded queue full.
+    Busy(BusyReply),
+    /// Server → client: request-level failure.
+    Error(ErrorReply),
+    /// Client → server: stop accepting, flush everything, then ack.
+    Drain,
+    /// Server → client: drain complete.
+    DrainAck(DrainSummary),
+    /// Client → server: liveness probe with an opaque token.
+    Ping(u64),
+    /// Server → client: echo of the token.
+    Pong(u64),
+}
+
+impl Message {
+    fn type_code(&self) -> u8 {
+        match self {
+            Message::Submit(_) => 1,
+            Message::Response(_) => 2,
+            Message::Busy(_) => 3,
+            Message::Error(_) => 4,
+            Message::Drain => 5,
+            Message::DrainAck(_) => 6,
+            Message::Ping(_) => 7,
+            Message::Pong(_) => 8,
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked reader over a received payload.
+struct SliceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        SliceReader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Truncated(what))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.bytes(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encode_stats(stats: &RequestStats, out: &mut Vec<u8>) {
+    put_u64(out, stats.samples_changed);
+    put_u64(out, stats.bits_flipped);
+    put_u32(out, stats.voter_agreement_permille);
+    put_u64(out, stats.queue_wait_us);
+    put_u64(out, stats.service_us);
+    put_u32(out, stats.batch_frames);
+    put_u32(out, stats.batch_requests);
+    out.push(ft_level_code(stats.rung));
+    put_u32(out, stats.attempts);
+}
+
+fn decode_stats(r: &mut SliceReader<'_>) -> Result<RequestStats, WireError> {
+    Ok(RequestStats {
+        samples_changed: r.u64("samples changed")?,
+        bits_flipped: r.u64("bits flipped")?,
+        voter_agreement_permille: r.u32("voter agreement")?,
+        queue_wait_us: r.u64("queue wait")?,
+        service_us: r.u64("service time")?,
+        batch_frames: r.u32("batch frames")?,
+        batch_requests: r.u32("batch requests")?,
+        rung: {
+            let code = r.u8("ladder rung")?;
+            ft_level_from_code(code)
+                .ok_or_else(|| WireError::Malformed(format!("unknown ladder rung {code}")))?
+        },
+        attempts: r.u32("attempts")?,
+    })
+}
+
+fn encode_payload(msg: &Message) -> Vec<u8> {
+    let mut p = Vec::new();
+    match msg {
+        Message::Submit(s) => {
+            put_u64(&mut p, s.request_id);
+            put_u64(&mut p, s.stream_id);
+            p.push(s.lambda);
+            p.push(s.upsilon);
+            p.push(u8::from(s.eos));
+            s.payload.encode_into(&mut p);
+        }
+        Message::Response(r) => {
+            put_u64(&mut p, r.request_id);
+            encode_stats(&r.stats, &mut p);
+            r.payload.encode_into(&mut p);
+        }
+        Message::Busy(b) => {
+            put_u64(&mut p, b.request_id);
+            put_u32(&mut p, b.capacity);
+            put_u32(&mut p, b.in_flight);
+        }
+        Message::Error(e) => {
+            put_u64(&mut p, e.request_id);
+            p.push(e.code.code());
+            let bytes = e.message.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            p.extend_from_slice(&(len as u16).to_le_bytes());
+            p.extend_from_slice(&bytes[..len]);
+        }
+        Message::Drain => {}
+        Message::DrainAck(d) => {
+            put_u64(&mut p, d.completed);
+            put_u64(&mut p, d.rejected);
+        }
+        Message::Ping(token) | Message::Pong(token) => put_u64(&mut p, *token),
+    }
+    p
+}
+
+fn decode_payload(type_code: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = SliceReader::new(payload);
+    let msg = match type_code {
+        1 => {
+            let request_id = r.u64("request id")?;
+            let stream_id = r.u64("stream id")?;
+            let lambda = r.u8("lambda")?;
+            let upsilon = r.u8("upsilon")?;
+            let flags = r.u8("flags")?;
+            if lambda > 100 {
+                return Err(WireError::Malformed(format!(
+                    "lambda {lambda} out of 0..=100"
+                )));
+            }
+            if upsilon < 2 || upsilon % 2 != 0 || upsilon > 16 {
+                return Err(WireError::Malformed(format!(
+                    "upsilon {upsilon} must be even and in 2..=16"
+                )));
+            }
+            let payload = FramePayload::decode_from(&mut r)?;
+            Message::Submit(SubmitRequest {
+                request_id,
+                stream_id,
+                lambda,
+                upsilon,
+                eos: flags & 1 != 0,
+                payload,
+            })
+        }
+        2 => {
+            let request_id = r.u64("request id")?;
+            let stats = decode_stats(&mut r)?;
+            let payload = FramePayload::decode_from(&mut r)?;
+            Message::Response(SubmitResponse {
+                request_id,
+                stats,
+                payload,
+            })
+        }
+        3 => Message::Busy(BusyReply {
+            request_id: r.u64("request id")?,
+            capacity: r.u32("capacity")?,
+            in_flight: r.u32("in-flight count")?,
+        }),
+        4 => {
+            let request_id = r.u64("request id")?;
+            let code = ErrorCode::from_code(r.u8("error code")?)?;
+            let len = {
+                let b = r.bytes(2, "message length")?;
+                u16::from_le_bytes([b[0], b[1]]) as usize
+            };
+            let raw = r.bytes(len, "message text")?;
+            let message = String::from_utf8_lossy(raw).into_owned();
+            Message::Error(ErrorReply {
+                request_id,
+                code,
+                message,
+            })
+        }
+        5 => Message::Drain,
+        6 => Message::DrainAck(DrainSummary {
+            completed: r.u64("completed count")?,
+            rejected: r.u64("rejected count")?,
+        }),
+        7 => Message::Ping(r.u64("token")?),
+        8 => Message::Pong(r.u64("token")?),
+        other => return Err(WireError::UnknownType(other)),
+    };
+    if !r.finished() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing byte(s) after message body",
+            payload.len() - r.pos
+        )));
+    }
+    Ok(msg)
+}
+
+/// Serialises `msg` into one complete envelope.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    let mut out = Vec::with_capacity(payload.len() + 14);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(msg.type_code());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    put_u32(&mut out, crc32(&payload));
+    out
+}
+
+/// Writes one envelope to `w` and flushes it.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
+    w.write_all(&encode_message(msg))?;
+    w.flush()
+}
+
+/// The fixed envelope head: magic + version + type + payload length.
+pub const HEAD_LEN: usize = 10;
+
+/// Validates an envelope head, returning the message type code and the
+/// declared payload length.
+pub fn parse_head(head: &[u8; HEAD_LEN]) -> Result<(u8, u32), WireError> {
+    let magic = [head[0], head[1], head[2], head[3]];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if head[4] != VERSION {
+        return Err(WireError::BadVersion(head[4]));
+    }
+    let len = u32::from_le_bytes([head[6], head[7], head[8], head[9]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    Ok((head[5], len))
+}
+
+/// Validates a received payload against its wire CRC and decodes the body.
+pub fn parse_body(type_code: u8, payload: &[u8], wire_crc: u32) -> Result<Message, WireError> {
+    let actual = crc32(payload);
+    if wire_crc != actual {
+        return Err(WireError::CrcMismatch {
+            scope: "payload",
+            expected: wire_crc,
+            actual,
+        });
+    }
+    decode_payload(type_code, payload)
+}
+
+/// Reads exactly one envelope from `r`, validating magic, version, length
+/// bound and both CRC layers.
+pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
+    let mut head = [0u8; HEAD_LEN];
+    r.read_exact(&mut head)?;
+    let (type_code, len) = parse_head(&head)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    parse_body(type_code, &payload, u32::from_le_bytes(crc_bytes))
+}
+
+/// Decodes one envelope from a byte slice (test helper mirroring
+/// [`read_message`]), returning the message and the bytes consumed.
+pub fn decode_message(buf: &[u8]) -> Result<(Message, usize), WireError> {
+    let mut cursor = buf;
+    let before = cursor.len();
+    let msg = read_message(&mut cursor)?;
+    Ok((msg, before - cursor.len()))
+}

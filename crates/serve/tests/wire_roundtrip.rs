@@ -1,0 +1,232 @@
+//! Property tests for the `preflightd` wire protocol: every message that
+//! encodes must decode to itself, and corrupted envelopes must be rejected
+//! with the right error — never accepted, never panicked on.
+
+use preflight_core::ImageStack;
+use preflight_serve::telemetry::RequestStats;
+use preflight_serve::wire::{
+    decode_message, encode_message, BusyReply, Dtype, ErrorCode, ErrorReply, FramePayload, Message,
+    SubmitRequest, SubmitResponse, WireError, MAGIC,
+};
+use proptest::prelude::*;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1);
+    *state
+}
+
+fn payload_for(
+    dtype: Dtype,
+    width: usize,
+    height: usize,
+    frames: usize,
+    seed: u64,
+) -> FramePayload {
+    let mut state = seed;
+    let n = width * height * frames;
+    match dtype {
+        Dtype::U16 => {
+            let data: Vec<u16> = (0..n).map(|_| lcg(&mut state) as u16).collect();
+            FramePayload::U16(ImageStack::from_vec(width, height, frames, data).unwrap())
+        }
+        Dtype::U32 => {
+            let data: Vec<u32> = (0..n).map(|_| lcg(&mut state) as u32).collect();
+            FramePayload::U32(ImageStack::from_vec(width, height, frames, data).unwrap())
+        }
+    }
+}
+
+fn roundtrip(msg: &Message) -> Message {
+    let bytes = encode_message(msg);
+    let (decoded, consumed) = decode_message(&bytes).expect("well-formed message must decode");
+    assert_eq!(
+        consumed,
+        bytes.len(),
+        "decode must consume the whole envelope"
+    );
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn submit_roundtrips_for_every_dtype(
+        request_id in any::<u64>(),
+        stream_id in any::<u64>(),
+        lambda in 0u8..=100,
+        upsilon_half in 1u8..=8,
+        eos in any::<bool>(),
+        dtype_is_u32 in any::<bool>(),
+        width in 1usize..=9,
+        height in 1usize..=9,
+        frames in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let dtype = if dtype_is_u32 { Dtype::U32 } else { Dtype::U16 };
+        let msg = Message::Submit(SubmitRequest {
+            request_id,
+            stream_id,
+            lambda,
+            upsilon: upsilon_half * 2,
+            eos,
+            payload: payload_for(dtype, width, height, frames, seed),
+        });
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn response_roundtrips_for_every_dtype(
+        request_id in any::<u64>(),
+        dtype_is_u32 in any::<bool>(),
+        width in 1usize..=9,
+        height in 1usize..=9,
+        frames in 1usize..=6,
+        seed in any::<u64>(),
+        samples_changed in any::<u64>(),
+        bits_flipped in any::<u64>(),
+        agreement in 0u32..=1000,
+        queue_wait_us in any::<u64>(),
+        service_us in any::<u64>(),
+    ) {
+        let dtype = if dtype_is_u32 { Dtype::U32 } else { Dtype::U16 };
+        let msg = Message::Response(SubmitResponse {
+            request_id,
+            stats: RequestStats {
+                samples_changed,
+                bits_flipped,
+                voter_agreement_permille: agreement,
+                queue_wait_us,
+                service_us,
+                ..RequestStats::default()
+            },
+            payload: payload_for(dtype, width, height, frames, seed),
+        });
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn control_messages_roundtrip(token in any::<u64>(), capacity in 1u32..1000, in_flight in 0u32..1000) {
+        for msg in [
+            Message::Ping(token),
+            Message::Pong(token),
+            Message::Drain,
+            Message::Busy(BusyReply { request_id: token, capacity, in_flight }),
+            Message::Error(ErrorReply {
+                request_id: token,
+                code: ErrorCode::Malformed,
+                message: "a reason".to_owned(),
+            }),
+        ] {
+            prop_assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected(corrupt_byte in 0usize..4, xor in 1u8..=255) {
+        let mut bytes = encode_message(&Message::Ping(7));
+        bytes[corrupt_byte] ^= xor;
+        match decode_message(&bytes) {
+            Err(WireError::BadMagic(m)) => prop_assert_ne!(m, MAGIC),
+            other => return Err(TestCaseError::fail(format!(
+                "corrupt magic must fail as BadMagic, got {other:?}"
+            ))),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length(
+        frames in 1usize..=4,
+        seed in any::<u64>(),
+        cut_num in 0u64..=1_000_000,
+    ) {
+        let msg = Message::Submit(SubmitRequest {
+            request_id: 1,
+            stream_id: 2,
+            lambda: 80,
+            upsilon: 4,
+            eos: true,
+            payload: payload_for(Dtype::U16, 4, 4, frames, seed),
+        });
+        let bytes = encode_message(&msg);
+        // Any strict prefix must be rejected, and as Truncated/Io — not
+        // misparsed into some other message.
+        let cut = (cut_num as usize) % bytes.len();
+        match decode_message(&bytes[..cut]) {
+            Ok(_) => return Err(TestCaseError::fail(format!(
+                "prefix of {cut}/{} bytes decoded successfully",
+                bytes.len()
+            ))),
+            Err(WireError::Truncated(_)) | Err(WireError::Io(_)) => {}
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "prefix of {cut} bytes failed with unexpected error: {e:?}"
+            ))),
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_rejected(frames in 1usize..=4, seed in any::<u64>(), pick in any::<u64>(), xor in 1u8..=255) {
+        let msg = Message::Submit(SubmitRequest {
+            request_id: 1,
+            stream_id: 2,
+            lambda: 80,
+            upsilon: 4,
+            eos: false,
+            payload: payload_for(Dtype::U32, 3, 3, frames, seed),
+        });
+        let mut bytes = encode_message(&msg);
+        // Flip one byte anywhere past the header. Whatever field it lands
+        // in, decode must fail: the envelope CRC covers the whole payload.
+        let lo = 10;
+        let hi = bytes.len();
+        let idx = lo + (pick as usize) % (hi - lo);
+        bytes[idx] ^= xor;
+        prop_assert!(decode_message(&bytes).is_err());
+    }
+}
+
+#[test]
+fn frame_crc_mismatch_is_reported_as_such() {
+    // Corrupt one pixel inside a frame and re-seal the *envelope* CRC, so
+    // only the per-frame CRC can catch it.
+    let msg = Message::Submit(SubmitRequest {
+        request_id: 9,
+        stream_id: 1,
+        lambda: 80,
+        upsilon: 4,
+        eos: true,
+        payload: payload_for(Dtype::U16, 4, 4, 2, 0xDECAF),
+    });
+    let mut bytes = encode_message(&msg);
+    let len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+    // Offset of the first pixel word inside the payload: request_id(8) +
+    // stream_id(8) + lambda(1) + upsilon(1) + eos(1) + dtype(1) + dims(12).
+    let pixel0 = 10 + 8 + 8 + 1 + 1 + 1 + 1 + 12;
+    bytes[pixel0] ^= 0x40;
+    let body_crc = preflight_serve::crc::crc32(&bytes[10..10 + len]);
+    let crc_at = 10 + len;
+    bytes[crc_at..crc_at + 4].copy_from_slice(&body_crc.to_le_bytes());
+    match decode_message(&bytes) {
+        Err(WireError::CrcMismatch { scope, .. }) => assert_eq!(scope, "frame"),
+        other => panic!("expected frame CrcMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_version_and_unknown_type_are_rejected() {
+    let mut bytes = encode_message(&Message::Ping(1));
+    bytes[4] = 99; // version byte
+    assert!(matches!(
+        decode_message(&bytes),
+        Err(WireError::BadVersion(99))
+    ));
+
+    let mut bytes = encode_message(&Message::Ping(1));
+    bytes[5] = 0xEE; // type byte
+    assert!(matches!(
+        decode_message(&bytes),
+        Err(WireError::UnknownType(0xEE))
+    ));
+}

@@ -81,10 +81,7 @@ mod tests {
     #[test]
     fn immediate_success_logs_nothing() {
         let mut log = RecoveryLog::new();
-        let out = supervise(&fast_policy(2), "s", 7, &mut log, |_| {
-            StageOutcome::Done(1)
-        })
-        .unwrap();
+        let out = supervise(&fast_policy(2), "s", 7, &mut log, |_| StageOutcome::Done(1)).unwrap();
         assert_eq!(out, 1);
         assert!(log.is_empty());
     }

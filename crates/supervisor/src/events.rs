@@ -166,7 +166,10 @@ impl RecoveryLog {
     /// Number of events whose kind matches `label` (see
     /// [`RecoveryKind::label`]).
     pub fn count(&self, label: &str) -> usize {
-        self.events.iter().filter(|e| e.kind.label() == label).count()
+        self.events
+            .iter()
+            .filter(|e| e.kind.label() == label)
+            .count()
     }
 
     /// Attempts cancelled on deadline.

@@ -166,10 +166,14 @@ mod tests {
         assert!(FtLevel::BitVoter < FtLevel::MedianSmoother);
         assert!(FtLevel::MedianSmoother < FtLevel::Passthrough);
         // "Worst rung reached" is therefore a plain max.
-        let worst = [FtLevel::AlgoNgst, FtLevel::MedianSmoother, FtLevel::BitVoter]
-            .into_iter()
-            .max()
-            .unwrap();
+        let worst = [
+            FtLevel::AlgoNgst,
+            FtLevel::MedianSmoother,
+            FtLevel::BitVoter,
+        ]
+        .into_iter()
+        .max()
+        .unwrap();
         assert_eq!(worst, FtLevel::MedianSmoother);
     }
 
@@ -209,7 +213,10 @@ mod tests {
         let stage = LadderStage::Passthrough;
         let mut series: Vec<u16> = vec![1, 2, 3, 4, 5, 6, 7, 8];
         let orig = series.clone();
-        assert_eq!(SeriesPreprocessor::<u16>::preprocess(&stage, &mut series), 0);
+        assert_eq!(
+            SeriesPreprocessor::<u16>::preprocess(&stage, &mut series),
+            0
+        );
         assert_eq!(series, orig);
     }
 

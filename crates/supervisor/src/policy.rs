@@ -102,7 +102,9 @@ impl RetryPolicy {
             return Err(SupervisorError::InvalidPolicy("stage_timeout must be > 0"));
         }
         if self.backoff_factor < 1.0 || self.backoff_factor.is_nan() {
-            return Err(SupervisorError::InvalidPolicy("backoff_factor must be >= 1"));
+            return Err(SupervisorError::InvalidPolicy(
+                "backoff_factor must be >= 1",
+            ));
         }
         if !(0.0..=1.0).contains(&self.jitter) {
             return Err(SupervisorError::InvalidPolicy("jitter must be in [0, 1]"));
@@ -123,9 +125,7 @@ impl RetryPolicy {
         let raw = self.backoff_base.as_secs_f64() * exp;
         let capped = raw.min(self.backoff_cap.as_secs_f64());
         let h = splitmix64(
-            self.seed
-                ^ unit.wrapping_mul(0xD6E8_FEB8_6659_FD93)
-                ^ (u64::from(attempt) << 48),
+            self.seed ^ unit.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ (u64::from(attempt) << 48),
         );
         // Map the hash to [0, 1) and shave off up to `jitter` of the delay.
         let u = (h >> 11) as f64 / (1u64 << 53) as f64;

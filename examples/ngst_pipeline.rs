@@ -56,7 +56,8 @@ fn main() {
         tile_size: 32,
         ..PipelineConfig::default()
     })
-    .run(&stack).expect("pipeline run");
+    .run(&stack)
+    .expect("pipeline run");
 
     for (label, preprocess) in [
         ("without preprocessing", None),
@@ -76,7 +77,8 @@ fn main() {
             seed: 7,
             ..PipelineConfig::default()
         })
-        .run(&stack).expect("pipeline run");
+        .run(&stack)
+        .expect("pipeline run");
         let err: f64 = report
             .rate
             .as_slice()

@@ -16,7 +16,6 @@ fn stack(seed: u64, w: usize, h: usize, frames: usize) -> ImageStack<u16> {
     det.clean_stack(&flux, &mut rng)
 }
 
-
 fn pipeline(cfg: PipelineConfig) -> NgstPipeline {
     NgstPipeline::new(cfg).expect("valid pipeline config")
 }
@@ -29,14 +28,16 @@ fn result_is_invariant_to_worker_count_and_tile_size() {
         tile_size: 48,
         ..PipelineConfig::default()
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     for (workers, tile) in [(2usize, 16usize), (4, 8), (7, 13), (16, 48)] {
         let rep = pipeline(PipelineConfig {
             workers,
             tile_size: tile,
             ..PipelineConfig::default()
         })
-        .run(&st).expect("pipeline run");
+        .run(&st)
+        .expect("pipeline run");
         assert_eq!(
             rep.rate, reference.rate,
             "workers={workers} tile={tile} changed the science product"
@@ -56,7 +57,8 @@ fn work_is_distributed_across_workers() {
         preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
         ..PipelineConfig::default()
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     assert_eq!(rep.tiles, 64);
     assert_eq!(rep.worker_tile_counts.len(), 4);
     assert_eq!(rep.worker_tile_counts.iter().sum::<usize>(), 64);
@@ -104,7 +106,8 @@ fn correlated_transit_faults_are_supported() {
         seed: 6,
         ..PipelineConfig::default()
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     assert!(rep.bits_flipped_in_transit > 0);
     assert!(rep.corrected_samples > 0);
 }
@@ -117,7 +120,8 @@ fn elapsed_and_compression_fields_are_populated() {
         tile_size: 32,
         ..PipelineConfig::default()
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     assert!(rep.elapsed.as_nanos() > 0);
     assert!(rep.compressed_bytes > 0);
     assert!(rep.compression_ratio > 0.5);
@@ -132,7 +136,8 @@ fn single_pixel_tiles_are_legal() {
         tile_size: 1,
         ..PipelineConfig::default()
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     assert_eq!(rep.tiles, 16);
 }
 
@@ -151,7 +156,8 @@ fn flight_scale_baseline_processes_end_to_end() {
         seed: 99,
         ..PipelineConfig::default()
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     assert_eq!(rep.tiles, 16);
     assert!(rep.corrected_samples > 0);
     assert!(rep.compression_ratio > 1.0);
@@ -173,7 +179,8 @@ fn repair_map_localizes_the_damage() {
         seed: 77,
         ..PipelineConfig::default()
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     let map_total: usize = rep
         .repair_map
         .as_slice()
@@ -194,7 +201,8 @@ fn repair_map_localizes_the_damage() {
         seed: 77,
         ..PipelineConfig::default()
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     assert!(plain.repair_map.as_slice().iter().all(|&v| v == 0));
 }
 
@@ -214,6 +222,7 @@ fn repair_map_identical_between_integrated_and_separate() {
         integrated: true,
         ..base
     })
-    .run(&st).expect("pipeline run");
+    .run(&st)
+    .expect("pipeline run");
     assert_eq!(sep.repair_map, int.repair_map);
 }

@@ -23,7 +23,6 @@ fn scene_stack(seed: u64) -> ImageStack<u16> {
     det.clean_stack(&flux, &mut rng)
 }
 
-
 fn pipeline(cfg: PipelineConfig) -> NgstPipeline {
     NgstPipeline::new(cfg).expect("valid pipeline config")
 }
@@ -57,13 +56,15 @@ fn preprocessing_improves_the_science_product() {
         transit_fault: None,
         ..base
     })
-    .run(&stack).expect("pipeline run");
+    .run(&stack)
+    .expect("pipeline run");
     let unprotected = pipeline(base).run(&stack).expect("pipeline run");
     let protected = pipeline(PipelineConfig {
         preprocess: Some(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())),
         ..base
     })
-    .run(&stack).expect("pipeline run");
+    .run(&stack)
+    .expect("pipeline run");
 
     assert!(
         unprotected.bits_flipped_in_transit > 0,
@@ -94,7 +95,8 @@ fn cosmic_rays_and_bitflips_are_both_survived() {
         tile_size: 16,
         ..PipelineConfig::default()
     })
-    .run(&stack).expect("pipeline run");
+    .run(&stack)
+    .expect("pipeline run");
 
     let protected = pipeline(PipelineConfig {
         workers: 2,
@@ -104,7 +106,8 @@ fn cosmic_rays_and_bitflips_are_both_survived() {
         seed: 4,
         ..PipelineConfig::default()
     })
-    .run(&stack).expect("pipeline run");
+    .run(&stack)
+    .expect("pipeline run");
 
     // Even with CR hits *and* transit flips, the protected product must
     // stay close to the CR-only reference.
@@ -150,7 +153,8 @@ fn compression_ratio_reported_by_pipeline_degrades_under_faults() {
         transit_fault: Some(TransitFault::Uncorrelated(0.02)),
         ..base
     })
-    .run(&stack).expect("pipeline run");
+    .run(&stack)
+    .expect("pipeline run");
     assert!(clean.compression_ratio > 1.0);
     assert!(
         faulty.compression_ratio < clean.compression_ratio,

@@ -1,0 +1,110 @@
+//! Backpressure acceptance test: the daemon's bounded queue must reject
+//! overload with an explicit `Busy` — never buffer without bound, never
+//! deadlock, and never drop work it already admitted.
+
+use preflight_core::ImageStack;
+use preflight_serve::batcher::BatchConfig;
+use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::wire::FramePayload;
+use preflight_serve::{Client, ClientError, SubmitOptions};
+use std::time::Duration;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1);
+    *state
+}
+
+fn small_stack(seed: u64) -> ImageStack<u16> {
+    let mut state = seed;
+    let data: Vec<u16> = (0..8 * 8 * 4)
+        .map(|_| 1000 + (lcg(&mut state) % 50) as u16)
+        .collect();
+    ImageStack::from_vec(8, 8, 4, data).unwrap()
+}
+
+#[test]
+fn full_queue_rejects_with_busy_and_recovers_after_drain() {
+    const CAPACITY: usize = 2;
+    let handle = start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        capacity: CAPACITY,
+        // A deep target and a far-off deadline park non-eos submissions in
+        // the batcher, so admitted requests keep their queue slots.
+        batch: BatchConfig {
+            target_frames: 64,
+            max_delay: Duration::from_secs(60),
+            ..BatchConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = handle.tcp_addr().expect("bound tcp address");
+
+    // Fill every slot with open-ended (eos=false) submissions. One
+    // connection guarantees the server sees them in order.
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let opts = SubmitOptions {
+        stream_id: 7,
+        eos: false,
+        ..SubmitOptions::default()
+    };
+    let mut admitted_ids = Vec::new();
+    for seed in 0..CAPACITY as u64 {
+        admitted_ids.push(
+            client
+                .send_submit(FramePayload::U16(small_stack(seed)), &opts)
+                .expect("send while slots free"),
+        );
+    }
+
+    // Slot CAPACITY+1 must be rejected with Busy carrying the queue shape
+    // — not buffered, not blocked on.
+    let over_id = client
+        .send_submit(FramePayload::U16(small_stack(99)), &opts)
+        .expect("send over capacity");
+    match client.recv_response() {
+        Err(ClientError::Busy(busy)) => {
+            assert_eq!(busy.request_id, over_id);
+            assert_eq!(busy.capacity as usize, CAPACITY);
+            assert_eq!(busy.in_flight as usize, CAPACITY);
+        }
+        other => panic!("expected Busy for the over-capacity submit, got {other:?}"),
+    }
+    assert_eq!(handle.in_flight(), CAPACITY);
+
+    // Drain from a second connection: parked batches must flush, and every
+    // admitted request must still produce its response on the first
+    // connection — drain finishes work, it never discards it.
+    let mut drainer = Client::connect_tcp(addr).expect("connect drainer");
+    let summary = drainer.drain().expect("drain ack");
+    assert_eq!(summary.completed as usize, CAPACITY);
+    assert_eq!(summary.rejected, 1);
+
+    let mut seen: Vec<u64> = Vec::new();
+    for _ in 0..CAPACITY {
+        let response = client.recv_response().expect("flushed response");
+        let FramePayload::U16(stack) = &response.payload else {
+            panic!("response changed pixel type");
+        };
+        assert_eq!(stack.frames(), 4);
+        seen.push(response.request_id);
+    }
+    seen.sort_unstable();
+    assert_eq!(
+        seen, admitted_ids,
+        "every admitted request must be answered"
+    );
+
+    // All slots freed: the queue recovered.
+    assert_eq!(handle.in_flight(), 0);
+
+    let stats = handle.stats();
+    assert_eq!(
+        preflight_serve::ServerStats::get(&stats.rejected_busy),
+        1,
+        "exactly one Busy rejection"
+    );
+    handle.drain();
+}
