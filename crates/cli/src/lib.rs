@@ -146,8 +146,8 @@ pub fn print_usage() {
          \x20 pipeline   --in FILE --out FILE [--preprocess] [--lambda L] [--upsilon U]\n\
          \x20            [--workers N] [--tile N] [--gamma0 P] [--seed S]\n\
          \x20            [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]\n\
-         \x20 serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--batch-frames N]\n\
-         \x20            [--batch-delay-ms MS] [--threads N] [--workers N]\n\
+         \x20 serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--max-conns N]\n\
+         \x20            [--batch-frames N] [--batch-delay-ms MS] [--threads N] [--workers N]\n\
          \x20 submit     --in FILE --out FILE (--tcp ADDR | --unix PATH)\n\
          \x20            [--lambda L] [--upsilon U] [--stream N]\n\
          \x20 drain      (--tcp ADDR | --unix PATH)"
@@ -632,6 +632,12 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     if config.capacity == 0 {
         return Err(CliError::Usage(
             "--capacity 0 is invalid: the daemon must admit at least one request".to_owned(),
+        ));
+    }
+    config.max_connections = opts.usize_or("max-conns", config.max_connections)?;
+    if config.max_connections == 0 {
+        return Err(CliError::Usage(
+            "--max-conns 0 is invalid: the daemon must accept at least one connection".to_owned(),
         ));
     }
     config.batch.target_frames = opts.usize_or("batch-frames", config.batch.target_frames)?;

@@ -191,8 +191,12 @@ mod tests {
     fn increments_have_requested_sigma() {
         let m = NgstModel::new(20_000, 30_000, 250.0);
         let s = m.series(&mut rng(3));
+        // A 20k-step σ=250 walk wanders ~σ√N ≈ 35k, so it does reach the
+        // u16 gamut clamps; steps touching a clamped endpoint are
+        // truncated and must not enter the σ estimate.
         let diffs: Vec<f64> = s
             .windows(2)
+            .filter(|w| w.iter().all(|&v| v > 0 && v < u16::MAX))
             .map(|w| f64::from(w[1]) - f64::from(w[0]))
             .collect();
         let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;

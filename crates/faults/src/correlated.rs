@@ -236,22 +236,28 @@ mod tests {
     #[test]
     fn bursts_are_longer_than_uncorrelated_at_matched_rate() {
         // Compare run statistics at (roughly) matched overall flip rates:
-        // the correlated model must produce longer horizontal runs.
-        let mut corr_data = vec![0u16; 20_000];
-        let corr = Correlated::new(0.2).unwrap();
-        let corr_map = corr.inject_grid(&mut corr_data, 100, &mut seeded_rng(8));
-        let rate = corr_map.empirical_rate(corr_data.len() * 16);
+        // the correlated model must produce longer horizontal runs. A
+        // single draw can tie on its longest run, so aggregate over
+        // several seeds and require a strict win in total.
+        let mut corr_total = 0;
+        let mut unc_total = 0;
+        for seed in 0..8 {
+            let mut corr_data = vec![0u16; 20_000];
+            let corr = Correlated::new(0.2).unwrap();
+            let corr_map = corr.inject_grid(&mut corr_data, 100, &mut seeded_rng(seed));
+            let rate = corr_map.empirical_rate(corr_data.len() * 16);
 
-        let mut unc_data = vec![0u16; 20_000];
-        let unc_map = Uncorrelated::new(rate)
-            .unwrap()
-            .inject_words(&mut unc_data, &mut seeded_rng(8));
+            let mut unc_data = vec![0u16; 20_000];
+            let unc_map = Uncorrelated::new(rate)
+                .unwrap()
+                .inject_words(&mut unc_data, &mut seeded_rng(seed));
 
-        let corr_run = corr_map.longest_horizontal_run(16, 1600);
-        let unc_run = unc_map.longest_horizontal_run(16, 1600);
+            corr_total += corr_map.longest_horizontal_run(16, 1600);
+            unc_total += unc_map.longest_horizontal_run(16, 1600);
+        }
         assert!(
-            corr_run > unc_run,
-            "correlated longest run {corr_run} must exceed uncorrelated {unc_run}"
+            corr_total > unc_total,
+            "correlated runs {corr_total} must exceed uncorrelated {unc_total} in aggregate"
         );
     }
 

@@ -31,7 +31,10 @@ pub struct BatchConfig {
     /// adaptive). Clamped up to the request's Υ so a flushed stack always
     /// carries at least one full voting window.
     pub target_frames: usize,
-    /// Hard per-batch depth cap, whatever the load.
+    /// Hard per-batch depth cap, whatever the load: a group flushes before
+    /// an append would push it past this. A *single* submission deeper than
+    /// the cap still flushes alone (its depth is bounded upstream by the
+    /// wire payload cap, not here).
     pub max_frames: usize,
     /// Deadline: a group never waits longer than this after opening.
     pub max_delay: Duration,
@@ -164,6 +167,14 @@ pub fn run_batcher(
                 let key = GroupKey::of(&job.request);
                 let eos = job.request.eos;
                 let frames = job.request.payload.frames();
+                // Never grow an open group past the hard cap by appending:
+                // flush what is there first, then start fresh.
+                if groups
+                    .get(&key)
+                    .is_some_and(|g| g.frames + frames > config.max_frames)
+                {
+                    flush(&mut groups, key, &engine_tx);
+                }
                 let group = groups.entry(key).or_insert_with(|| Group {
                     jobs: Vec::new(),
                     frames: 0,
@@ -343,6 +354,33 @@ mod tests {
         );
         assert_eq!(batch.total_frames, 2);
         cmd_tx.send(BatcherCmd::Stop).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn max_frames_cap_flushes_before_append() {
+        let gate = AdmissionGate::new(8);
+        let config = BatchConfig {
+            target_frames: 1000,
+            max_frames: 6,
+            max_delay: Duration::from_secs(60),
+            adaptive: false,
+        };
+        let (cmd_tx, batch_rx, handle) = spawn_batcher(&gate, config);
+        // 4 + 4 frames: appending the second submission would cross the
+        // 6-frame cap, so the open group must flush alone first instead of
+        // shipping an 8-frame batch.
+        for _ in 0..2 {
+            let (req, _) = submit(5, 4, false);
+            let (j, _r) = job(&gate, req);
+            cmd_tx.send(BatcherCmd::Submit(j)).unwrap();
+        }
+        let first = batch_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.total_frames, 4, "cap exceeded by appending");
+        assert_eq!(first.jobs.len(), 1);
+        cmd_tx.send(BatcherCmd::Stop).unwrap();
+        let second = batch_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(second.total_frames, 4);
         handle.join().unwrap();
     }
 

@@ -1,8 +1,8 @@
 //! `preflightd` — the batch-serving preprocessing daemon.
 //!
 //! ```text
-//! preflightd [--tcp ADDR] [--unix PATH] [--capacity N] [--batch-frames N]
-//!            [--batch-delay-ms N] [--threads N] [--workers N]
+//! preflightd [--tcp ADDR] [--unix PATH] [--capacity N] [--max-conns N]
+//!            [--batch-frames N] [--batch-delay-ms N] [--threads N] [--workers N]
 //! ```
 //!
 //! At least one of `--tcp`/`--unix` is required. The daemon serves until a
@@ -19,6 +19,7 @@ fn print_usage() {
     eprintln!("  --tcp ADDR           TCP listen address, e.g. 127.0.0.1:7733");
     eprintln!("  --unix PATH          Unix socket path, e.g. /tmp/preflightd.sock");
     eprintln!("  --capacity N         bounded-queue slots before Busy (default 64)");
+    eprintln!("  --max-conns N        concurrent connections before Busy (default 256)");
     eprintln!("  --batch-frames N     base batch depth target (default 16)");
     eprintln!("  --batch-delay-ms N   batch flush deadline in ms (default 5)");
     eprintln!("  --threads N          engine threads per batch (default: cores)");
@@ -44,6 +45,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--unix" => config.unix = Some(value(&mut i, "--unix")?.into()),
             "--capacity" => {
                 config.capacity = parse_positive(&value(&mut i, "--capacity")?, "--capacity")?;
+            }
+            "--max-conns" => {
+                config.max_connections =
+                    parse_positive(&value(&mut i, "--max-conns")?, "--max-conns")?;
             }
             "--batch-frames" => {
                 config.batch.target_frames =

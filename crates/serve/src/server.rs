@@ -21,7 +21,7 @@
 
 use crate::batcher::{run_batcher, BatchConfig, BatcherCmd, SubmitJob};
 use crate::engine::{run_engine_worker, EngineConfig};
-use crate::queue::AdmissionGate;
+use crate::queue::{AdmissionGate, AdmissionPermit};
 use crate::telemetry::ServerStats;
 use crate::wire::{
     parse_body, parse_head, write_message, BusyReply, DrainSummary, ErrorCode, ErrorReply, Message,
@@ -45,6 +45,15 @@ const ACCEPT_POLL: Duration = Duration::from_millis(20);
 /// Ceiling on waiting for in-flight work during a drain.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// A reader mid-envelope gives up after this long without a single byte of
+/// progress, so a stalled client cannot pin its thread (and body buffer)
+/// forever.
+const MID_ENVELOPE_STALL: Duration = Duration::from_secs(30);
+
+/// Bodies are read in chunks of this size, so a connection that merely
+/// *declares* a large payload never holds more memory than it has sent.
+const BODY_CHUNK: usize = 256 * 1024;
+
 /// Everything needed to start a daemon.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -55,6 +64,10 @@ pub struct ServerConfig {
     /// Bounded-queue capacity: in-flight requests beyond this are rejected
     /// with `Busy`.
     pub capacity: usize,
+    /// Ceiling on concurrent connections: accepts beyond this are answered
+    /// with `Busy` and closed, so idle or slow peers cannot exhaust threads
+    /// and buffers that the request-level gate does not see.
+    pub max_connections: usize,
     /// Batching knobs.
     pub batch: BatchConfig,
     /// Engine knobs (threads per batch, supervision policy).
@@ -69,6 +82,7 @@ impl Default for ServerConfig {
             tcp: None,
             unix: None,
             capacity: 64,
+            max_connections: 256,
             batch: BatchConfig::default(),
             engine: EngineConfig::default(),
             engine_workers: 2,
@@ -78,6 +92,9 @@ impl Default for ServerConfig {
 
 struct Shared {
     gate: AdmissionGate,
+    /// Bounds concurrent connections; an accept that cannot win a permit is
+    /// answered with `Busy` and closed.
+    conn_gate: AdmissionGate,
     stats: Arc<ServerStats>,
     batcher_tx: channel::Sender<BatcherCmd>,
     /// No new work admitted; acceptors wind down.
@@ -146,7 +163,13 @@ impl ServerHandle {
     /// thread. Idempotent.
     pub fn drain(&self) -> DrainSummary {
         self.shared.begin_drain();
-        self.shared.gate.wait_idle(DRAIN_TIMEOUT);
+        if !self.shared.gate.wait_idle(DRAIN_TIMEOUT) {
+            eprintln!(
+                "preflightd: drain timed out after {DRAIN_TIMEOUT:?} with {} request(s) still \
+                 in flight; shutting down anyway",
+                self.shared.gate.in_flight()
+            );
+        }
         self.shared.stopped.store(true, Ordering::SeqCst);
         let _ = self.shared.batcher_tx.send(BatcherCmd::Stop);
         let mut threads = self.threads.lock().expect("server threads poisoned");
@@ -178,6 +201,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
     let shared = Arc::new(Shared {
         gate: gate.clone(),
+        conn_gate: AdmissionGate::new(config.max_connections.max(1)),
         stats: Arc::clone(&stats),
         batcher_tx,
         draining: AtomicBool::new(false),
@@ -261,11 +285,18 @@ fn accept_tcp(listener: TcpListener, shared: Arc<Shared>) {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(READ_POLL));
+                let permit = match shared.conn_gate.try_acquire() {
+                    Some(p) => p,
+                    None => {
+                        reject_connection(stream, &shared);
+                        continue;
+                    }
+                };
                 let writer = match stream.try_clone() {
                     Ok(w) => w,
                     Err(_) => continue,
                 };
-                spawn_connection(stream, writer, Arc::clone(&shared));
+                spawn_connection(stream, writer, permit, Arc::clone(&shared));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
             Err(_) => std::thread::sleep(ACCEPT_POLL),
@@ -280,11 +311,18 @@ fn accept_unix(listener: std::os::unix::net::UnixListener, shared: Arc<Shared>) 
             Ok((stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(READ_POLL));
+                let permit = match shared.conn_gate.try_acquire() {
+                    Some(p) => p,
+                    None => {
+                        reject_connection(stream, &shared);
+                        continue;
+                    }
+                };
                 let writer = match stream.try_clone() {
                     Ok(w) => w,
                     Err(_) => continue,
                 };
-                spawn_connection(stream, writer, Arc::clone(&shared));
+                spawn_connection(stream, writer, permit, Arc::clone(&shared));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
             Err(_) => std::thread::sleep(ACCEPT_POLL),
@@ -292,15 +330,35 @@ fn accept_unix(listener: std::os::unix::net::UnixListener, shared: Arc<Shared>) 
     }
 }
 
-fn spawn_connection<R, W>(reader: R, writer: W, shared: Arc<Shared>)
+/// Answers an over-cap connection with `Busy` (best effort) and closes it.
+fn reject_connection(mut w: impl Write, shared: &Shared) {
+    ServerStats::bump(&shared.stats.rejected_connections);
+    let _ = write_message(
+        &mut w,
+        &Message::Busy(BusyReply {
+            request_id: 0,
+            capacity: shared.conn_gate.capacity() as u32,
+            in_flight: shared.conn_gate.in_flight() as u32,
+        }),
+    );
+}
+
+fn spawn_connection<R, W>(reader: R, writer: W, permit: AdmissionPermit, shared: Arc<Shared>)
 where
     R: Read + Send + 'static,
     W: Write + Send + 'static,
 {
     ServerStats::bump(&shared.stats.connections);
-    let _ = std::thread::Builder::new()
+    let spawned = std::thread::Builder::new()
         .name("preflightd-conn".into())
-        .spawn(move || handle_connection(reader, writer, shared));
+        .spawn(move || {
+            // The permit rides the whole connection thread: it releases on
+            // drop whichever way the handler exits.
+            let _permit = permit;
+            handle_connection(reader, writer, shared);
+        });
+    // A failed spawn drops the permit immediately, freeing the slot.
+    let _ = spawned;
 }
 
 /// Outcome of trying to fill a buffer from a socket with read timeouts.
@@ -318,19 +376,28 @@ enum Fill {
 
 /// Fills `buf` from `r`, retrying timeouts. With `idle_ok`, a timeout
 /// before the first byte reports [`Fill::Idle`] so the caller can poll its
-/// shutdown flag between envelopes; once an envelope has started, timeouts
-/// keep the read alive until it completes or the peer vanishes.
-fn read_full(r: &mut impl Read, buf: &mut [u8], idle_ok: bool) -> Fill {
+/// shutdown flag between envelopes. Once an envelope has started, timeouts
+/// keep the read alive only while the server is running and the peer keeps
+/// making progress: a server stop or [`MID_ENVELOPE_STALL`] without a byte
+/// fails the read, so a stalled client cannot pin its reader thread.
+fn read_full(r: &mut impl Read, buf: &mut [u8], idle_ok: bool, stop: &AtomicBool) -> Fill {
     let mut filled = 0;
+    let mut last_progress = Instant::now();
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return if filled == 0 { Fill::Eof } else { Fill::Failed };
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if filled == 0 && idle_ok {
                     return Fill::Idle;
+                }
+                if stop.load(Ordering::SeqCst) || last_progress.elapsed() >= MID_ENVELOPE_STALL {
+                    return Fill::Failed;
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -338,6 +405,24 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], idle_ok: bool) -> Fill {
         }
     }
     Fill::Done
+}
+
+/// Reads a declared `total`-byte body (payload + trailing CRC) in
+/// [`BODY_CHUNK`] steps, growing the buffer only as bytes actually arrive —
+/// a peer that declares 256 MiB but sends nothing costs one chunk, not the
+/// whole declared length.
+fn read_body(r: &mut impl Read, total: usize, stop: &AtomicBool) -> Option<Vec<u8>> {
+    let mut body = Vec::new();
+    while body.len() < total {
+        let start = body.len();
+        let chunk = BODY_CHUNK.min(total - start);
+        body.resize(start + chunk, 0);
+        match read_full(r, &mut body[start..], false, stop) {
+            Fill::Done => {}
+            _ => return None,
+        }
+    }
+    Some(body)
 }
 
 fn handle_connection<R, W>(mut reader: R, writer: W, shared: Arc<Shared>)
@@ -361,7 +446,7 @@ where
 
     loop {
         let mut head = [0u8; HEAD_LEN];
-        match read_full(&mut reader, &mut head, true) {
+        match read_full(&mut reader, &mut head, true, &shared.stopped) {
             Fill::Idle => {
                 if shared.stopped.load(Ordering::SeqCst) {
                     break;
@@ -381,11 +466,10 @@ where
                 break;
             }
         };
-        let mut body = vec![0u8; len as usize + 4];
-        match read_full(&mut reader, &mut body, false) {
-            Fill::Done => {}
-            _ => break,
-        }
+        let body = match read_body(&mut reader, len as usize + 4, &shared.stopped) {
+            Some(b) => b,
+            None => break,
+        };
         let crc_bytes = [
             body[len as usize],
             body[len as usize + 1],
@@ -447,9 +531,17 @@ where
             }
             Message::Drain => {
                 shared.begin_drain();
-                shared.gate.wait_idle(DRAIN_TIMEOUT);
-                let _ = conn_tx.send(Message::DrainAck(shared.summary()));
+                if !shared.gate.wait_idle(DRAIN_TIMEOUT) {
+                    eprintln!(
+                        "preflightd: drain timed out after {DRAIN_TIMEOUT:?} with {} request(s) \
+                         still in flight; acking anyway",
+                        shared.gate.in_flight()
+                    );
+                }
+                // Raise the flag before the ack can reach the wire: once a
+                // client observes DrainAck, `drain_acked()` must be true.
                 shared.drain_acked.store(true, Ordering::SeqCst);
+                let _ = conn_tx.send(Message::DrainAck(shared.summary()));
             }
             // Server-to-client messages arriving at the server are a
             // protocol violation; answer and hang up.

@@ -110,6 +110,8 @@ pub struct ServerStats {
     pub degraded_batches: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Connections rejected because the concurrent-connection cap was hit.
+    pub rejected_connections: AtomicU64,
 }
 
 impl ServerStats {
@@ -127,7 +129,7 @@ impl ServerStats {
     pub fn summary(&self) -> String {
         format!(
             "admitted {}, completed {}, busy-rejected {}, wire errors {}, \
-             batches {} ({} degraded), connections {}",
+             batches {} ({} degraded), connections {} ({} rejected)",
             Self::get(&self.admitted),
             Self::get(&self.completed),
             Self::get(&self.rejected_busy),
@@ -135,6 +137,7 @@ impl ServerStats {
             Self::get(&self.batches),
             Self::get(&self.degraded_batches),
             Self::get(&self.connections),
+            Self::get(&self.rejected_connections),
         )
     }
 }

@@ -223,9 +223,22 @@ impl FramePayload {
         let frame_bytes = frame_len
             .checked_mul(dtype.bytes())
             .ok_or_else(|| WireError::Malformed("frame size overflows".to_owned()))?;
+        // The declared geometry is untrusted: before allocating anything
+        // sized by it, require that the payload actually carries that many
+        // bytes (frame_bytes of pixels + a 4-byte CRC per frame).
+        let declared = frame_bytes
+            .checked_add(4)
+            .and_then(|per_frame| per_frame.checked_mul(frames))
+            .ok_or_else(|| WireError::Malformed("stack size overflows".to_owned()))?;
+        if declared > r.remaining() {
+            return Err(WireError::Truncated("frame data"));
+        }
+        let samples = frame_len
+            .checked_mul(frames)
+            .ok_or_else(|| WireError::Malformed("stack size overflows".to_owned()))?;
         match dtype {
             Dtype::U16 => {
-                let mut data = Vec::with_capacity(frame_len * frames);
+                let mut data = Vec::with_capacity(samples);
                 for _ in 0..frames {
                     let raw = r.bytes(frame_bytes, "frame data")?;
                     let expected = r.u32("frame CRC")?;
@@ -247,7 +260,7 @@ impl FramePayload {
                 Ok(FramePayload::U16(stack))
             }
             Dtype::U32 => {
-                let mut data = Vec::with_capacity(frame_len * frames);
+                let mut data = Vec::with_capacity(samples);
                 for _ in 0..frames {
                     let raw = r.bytes(frame_bytes, "frame data")?;
                     let expected = r.u32("frame CRC")?;
@@ -451,6 +464,10 @@ impl<'a> SliceReader<'a> {
 
     fn finished(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 }
 

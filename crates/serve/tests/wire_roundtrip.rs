@@ -6,7 +6,7 @@ use preflight_core::ImageStack;
 use preflight_serve::telemetry::RequestStats;
 use preflight_serve::wire::{
     decode_message, encode_message, BusyReply, Dtype, ErrorCode, ErrorReply, FramePayload, Message,
-    SubmitRequest, SubmitResponse, WireError, MAGIC,
+    SubmitRequest, SubmitResponse, WireError, MAGIC, VERSION,
 };
 use proptest::prelude::*;
 
@@ -184,6 +184,44 @@ proptest! {
         let idx = lo + (pick as usize) % (hi - lo);
         bytes[idx] ^= xor;
         prop_assert!(decode_message(&bytes).is_err());
+    }
+}
+
+#[test]
+fn huge_declared_geometry_is_rejected_before_allocating() {
+    // A tiny crafted Submit declaring a multi-terabyte stack must fail
+    // geometry validation before anything is allocated from the untrusted
+    // width/height/frames fields — a capacity-overflow panic or an OOM
+    // abort here would be a remote DoS that bypasses the payload cap.
+    for (w, h, f) in [
+        (u32::MAX, u32::MAX, u32::MAX),
+        (65_535u32, 65_535, u32::MAX),
+        (4_096, 4_096, 1_000_000),
+        (1, 1, u32::MAX),
+    ] {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes()); // request id
+        payload.extend_from_slice(&2u64.to_le_bytes()); // stream id
+        payload.push(80); // lambda
+        payload.push(4); // upsilon
+        payload.push(1); // eos
+        payload.push(0); // dtype = U16
+        payload.extend_from_slice(&w.to_le_bytes());
+        payload.extend_from_slice(&h.to_le_bytes());
+        payload.extend_from_slice(&f.to_le_bytes());
+        // Seal a well-formed envelope around it so only the geometry check
+        // can reject it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(1); // Submit
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&preflight_serve::crc::crc32(&payload).to_le_bytes());
+        match decode_message(&bytes) {
+            Err(WireError::Truncated(_)) | Err(WireError::Malformed(_)) => {}
+            other => panic!("{w}x{h}x{f} must be rejected cheaply, got {other:?}"),
+        }
     }
 }
 

@@ -108,3 +108,46 @@ fn full_queue_rejects_with_busy_and_recovers_after_drain() {
     );
     handle.drain();
 }
+
+#[test]
+fn connection_cap_rejects_with_busy_and_recovers() {
+    let handle = start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        max_connections: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = handle.tcp_addr().expect("bound tcp address");
+
+    let mut first = Client::connect_tcp(addr).expect("connect under cap");
+    assert_eq!(first.ping(1).expect("served connection answers"), 1);
+
+    // The cap is hit: the next connection must be told Busy and closed,
+    // not left occupying a reader thread and body buffer.
+    let mut second = Client::connect_tcp(addr).expect("tcp connect itself succeeds");
+    match second.recv_response() {
+        Err(ClientError::Busy(busy)) => assert_eq!(busy.capacity, 1),
+        other => panic!("expected Busy on the over-cap connection, got {other:?}"),
+    }
+    assert_eq!(
+        preflight_serve::ServerStats::get(&handle.stats().rejected_connections),
+        1,
+        "the rejected connection must be counted"
+    );
+
+    // Closing the served connection frees the slot (the reader sees EOF at
+    // its next poll), so a fresh connection is served again.
+    drop(first);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut retry = Client::connect_tcp(addr).expect("reconnect");
+        match retry.ping(2) {
+            Ok(2) => break,
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("slot never freed after disconnect: {other:?}"),
+        }
+    }
+    handle.drain();
+}
