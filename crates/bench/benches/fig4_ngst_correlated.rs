@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use preflight_core::{
-    preprocess_stack, AlgoNgst, BitVoter, ImageStack, MedianSmoother, Sensitivity, Upsilon,
+    AlgoNgst, BitVoter, ImageStack, MedianSmoother, Preprocessor, Sensitivity, Upsilon,
 };
 use preflight_datagen::NgstModel;
 use preflight_faults::{seeded_rng, Correlated};
@@ -29,27 +29,27 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(samples));
     group.sample_size(20);
 
-    let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
-    group.bench_with_input(BenchmarkId::new("stack", "algo_ngst"), &algo, |b, algo| {
+    let ngst = Preprocessor::new(AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap()));
+    group.bench_with_input(BenchmarkId::new("stack", "algo_ngst"), &ngst, |b, pp| {
         b.iter(|| {
             let mut w = stack.clone();
-            preprocess_stack(algo, black_box(&mut w));
+            pp.run(black_box(&mut w));
             black_box(&w);
         })
     });
-    let median = MedianSmoother::new();
+    let median = Preprocessor::new(MedianSmoother::new());
     group.bench_function(BenchmarkId::new("stack", "median"), |b| {
         b.iter(|| {
             let mut w = stack.clone();
-            preprocess_stack(&median, black_box(&mut w));
+            median.run(black_box(&mut w));
             black_box(&w);
         })
     });
-    let voter = BitVoter::new();
+    let voter = Preprocessor::new(BitVoter::new());
     group.bench_function(BenchmarkId::new("stack", "bit_voting"), |b| {
         b.iter(|| {
             let mut w = stack.clone();
-            preprocess_stack(&voter, black_box(&mut w));
+            voter.run(black_box(&mut w));
             black_box(&w);
         })
     });

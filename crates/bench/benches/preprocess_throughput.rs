@@ -6,10 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use preflight_bench::perf::{perf_algo, sample_u16, sample_u32, synthetic_stack};
-use preflight_core::{
-    preprocess_stack, preprocess_stack_parallel, preprocess_stack_tiled, BitPixel, ImageStack,
-    DEFAULT_TILE,
-};
+use preflight_core::{BitPixel, ImageStack, Preprocessor, DEFAULT_TILE};
 use std::hint::black_box;
 
 const WIDTH: usize = 64;
@@ -24,20 +21,18 @@ fn bench_pixel_width<T: BitPixel>(c: &mut Criterion, label: &str, sample: impl F
     group.throughput(Throughput::Elements((WIDTH * HEIGHT * FRAMES) as u64));
     group.sample_size(10);
 
+    let naive = Preprocessor::new(&algo).naive(true);
     group.bench_function("naive", |b| {
         b.iter(|| {
             let mut work = input.clone();
-            black_box(preprocess_stack(&algo, black_box(&mut work)));
+            black_box(naive.run(black_box(&mut work)));
         })
     });
+    let tiled = Preprocessor::new(&algo).tile(DEFAULT_TILE);
     group.bench_function("tiled", |b| {
         b.iter(|| {
             let mut work = input.clone();
-            black_box(preprocess_stack_tiled(
-                &algo,
-                black_box(&mut work),
-                DEFAULT_TILE,
-            ));
+            black_box(tiled.run(black_box(&mut work)));
         })
     });
     for &threads in THREADS {
@@ -45,13 +40,10 @@ fn bench_pixel_width<T: BitPixel>(c: &mut Criterion, label: &str, sample: impl F
             BenchmarkId::new("parallel", threads),
             &threads,
             |b, &threads| {
+                let parallel = Preprocessor::new(&algo).threads(threads);
                 b.iter(|| {
                     let mut work = input.clone();
-                    black_box(preprocess_stack_parallel(
-                        &algo,
-                        black_box(&mut work),
-                        threads,
-                    ));
+                    black_box(parallel.run(black_box(&mut work)));
                 })
             },
         );

@@ -3,8 +3,8 @@
 
 use crate::report::{Accum, Figure, Scale, Series, Stats};
 use preflight_core::{
-    preprocess_stack, AlgoNgst, BitVoter, MedianSmoother, NgstConfig, Sensitivity,
-    SeriesPreprocessor, Upsilon,
+    AlgoNgst, BitVoter, MedianSmoother, NgstConfig, Preprocessor, Sensitivity, SeriesPreprocessor,
+    Upsilon,
 };
 use preflight_datagen::NgstModel;
 use preflight_faults::{seeded_rng, Correlated, Uncorrelated};
@@ -199,15 +199,15 @@ pub fn fig4(scale: Scale) -> Figure {
             let mut corrupted = clean.clone();
             inj.inject_stack(&mut corrupted, &mut rng);
             sums[0] += psi(clean.as_slice(), corrupted.as_slice());
-            let runs: [&dyn SeriesPreprocessor<u16>; 2] = [&median, &bitvote];
+            let runs: [&(dyn SeriesPreprocessor<u16> + Sync); 2] = [&median, &bitvote];
             for (i, r) in runs.iter().enumerate() {
                 let mut work = corrupted.clone();
-                preprocess_stack(r, &mut work);
+                Preprocessor::new(r).naive(true).run(&mut work);
                 sums[i + 1] += psi(clean.as_slice(), work.as_slice());
             }
             for (ai, algo) in candidates.iter().enumerate() {
                 let mut work = corrupted.clone();
-                preprocess_stack(algo, &mut work);
+                Preprocessor::new(algo).naive(true).run(&mut work);
                 algo_sums[ai] += psi(clean.as_slice(), work.as_slice());
             }
         }
@@ -750,7 +750,7 @@ pub fn interleave_claim(scale: Scale) -> Figure {
                 contiguous.scatter_series(c % edge, c / edge, chunk);
             }
             sums[0] += psi(clean.as_slice(), contiguous.as_slice());
-            preprocess_stack(&algo, &mut contiguous);
+            Preprocessor::new(&algo).naive(true).run(&mut contiguous);
             sums[1] += psi(clean.as_slice(), contiguous.as_slice());
 
             // (b) Dispersed (frame-major) placement: the same burst process
@@ -759,7 +759,7 @@ pub fn interleave_claim(scale: Scale) -> Figure {
             // series once each.
             let mut dispersed = clean.clone();
             inj.inject_words(dispersed.as_mut_slice(), &mut rng);
-            preprocess_stack(&algo, &mut dispersed);
+            Preprocessor::new(&algo).naive(true).run(&mut dispersed);
             sums[2] += psi(clean.as_slice(), dispersed.as_slice());
         }
         for (s, sum) in series.iter_mut().zip(sums) {

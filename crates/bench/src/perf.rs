@@ -1,19 +1,22 @@
 //! Throughput benchmark for the preprocessing engine (`repro perf`).
 //!
-//! Times the three stack drivers — the naive per-coordinate gather/scatter
-//! loop ([`preprocess_stack`]), the cache-aware series-major tiled path
-//! ([`preprocess_stack_tiled`]) and the data-parallel worker pool
-//! ([`preprocess_stack_parallel`]) — over a synthetic NGST-like cube, in
-//! Mpix/s (million samples preprocessed per second of wall time). The same
-//! workload feeds the `preprocess_throughput` Criterion bench; this module
-//! is the scriptable variant that emits `BENCH_preprocess.json`.
+//! Times the three stack drivers of the unified [`Preprocessor`] — the
+//! naive per-coordinate reference loop (`.naive(true)`), the cache-aware
+//! series-major tiled path and the data-parallel worker pool — over a
+//! synthetic NGST-like cube, in Mpix/s (million samples preprocessed per
+//! second of wall time). All drivers run with observability disabled (the
+//! default), so these numbers double as the zero-overhead guard for the
+//! instrumentation: they must stay within noise of the PR 2 free-function
+//! baseline. The same workload feeds the `preprocess_throughput` Criterion
+//! bench; this module is the scriptable variant that emits
+//! `BENCH_preprocess.json`.
 //!
 //! Every timed run is also checked bit-identical against the naive driver,
 //! so a perf regression hunt can never silently trade away correctness.
 
 use preflight_core::{
-    available_threads, preprocess_stack, preprocess_stack_parallel, preprocess_stack_tiled,
-    AlgoNgst, BitPixel, ImageStack, Sensitivity, Upsilon, DEFAULT_TILE,
+    available_threads, AlgoNgst, BitPixel, ImageStack, Preprocessor, Sensitivity, Upsilon,
+    DEFAULT_TILE,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -167,8 +170,8 @@ fn run_pixel_width<T: BitPixel>(
     let input = synthetic_stack(config.width, config.height, config.frames, 0xA5A5, sample);
     let mpix = |secs: f64| config.samples() as f64 / secs / 1e6;
 
-    let (naive_secs, reference, want) =
-        best_secs(config.reps, &input, |s| preprocess_stack(&algo, s));
+    let naive = Preprocessor::new(&algo).naive(true);
+    let (naive_secs, reference, want) = best_secs(config.reps, &input, |s| naive.run(s));
     rows.push(PerfRow {
         driver: "naive",
         pixel_bits,
@@ -178,9 +181,8 @@ fn run_pixel_width<T: BitPixel>(
         speedup: 1.0,
     });
 
-    let (secs, out, got) = best_secs(config.reps, &input, |s| {
-        preprocess_stack_tiled(&algo, s, DEFAULT_TILE)
-    });
+    let tiled = Preprocessor::new(&algo).tile(DEFAULT_TILE);
+    let (secs, out, got) = best_secs(config.reps, &input, |s| tiled.run(s));
     assert_eq!((got, &out), (want, &reference), "tiled driver diverged");
     rows.push(PerfRow {
         driver: "tiled",
@@ -192,9 +194,8 @@ fn run_pixel_width<T: BitPixel>(
     });
 
     for &threads in &config.threads {
-        let (secs, out, got) = best_secs(config.reps, &input, |s| {
-            preprocess_stack_parallel(&algo, s, threads)
-        });
+        let parallel = Preprocessor::new(&algo).threads(threads);
+        let (secs, out, got) = best_secs(config.reps, &input, |s| parallel.run(s));
         assert_eq!(
             (got, &out),
             (want, &reference),
@@ -319,7 +320,7 @@ mod tests {
         let algo = perf_algo();
         let mut stack = synthetic_stack(16, 16, 32, 0xA5A5, sample_u16);
         assert!(
-            preprocess_stack(&algo, &mut stack) > 0,
+            Preprocessor::new(&algo).naive(true).run(&mut stack) > 0,
             "perf workload must contain repairable flips"
         );
     }

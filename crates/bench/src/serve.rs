@@ -165,8 +165,8 @@ pub fn serve_loadgen(config: &ServeConfig) -> ServeReport {
     let wall_secs = started.elapsed().as_secs_f64();
 
     let stats = handle.stats();
-    let batches = preflight_serve::ServerStats::get(&stats.batches);
-    let degraded_batches = preflight_serve::ServerStats::get(&stats.degraded_batches);
+    let batches = stats.batches.get();
+    let degraded_batches = stats.degraded_batches.get();
     handle.drain();
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));

@@ -79,55 +79,6 @@ impl From<preflight_serve::ClientError> for CliError {
     }
 }
 
-/// Reads `--lambda` and validates the sensitivity percentage up front.
-fn lambda_arg(opts: &Opts) -> Result<u32, CliError> {
-    let lambda = opts.u32_or("lambda", 80)?;
-    if lambda > 100 {
-        return Err(CliError::Usage(format!(
-            "--lambda {lambda} is out of range: the sensitivity \u{39b} is a \
-             percentage and must lie in 0..=100"
-        )));
-    }
-    Ok(lambda)
-}
-
-/// Reads `--upsilon` and validates the voter count up front.
-fn upsilon_arg(opts: &Opts) -> Result<usize, CliError> {
-    let upsilon = opts.usize_or("upsilon", 4)?;
-    if upsilon < 2 || upsilon % 2 != 0 || upsilon > 16 {
-        return Err(CliError::Usage(format!(
-            "--upsilon {upsilon} is invalid: the voter count \u{3a5} must be \
-             an even number between 2 and 16"
-        )));
-    }
-    Ok(upsilon)
-}
-
-/// Reads `--threads` and validates the worker count up front: zero is
-/// rejected, and a request beyond the machine's available parallelism is
-/// capped (returning a warning line for the report).
-fn threads_arg(opts: &Opts) -> Result<(usize, Option<String>), CliError> {
-    let requested = opts.usize_or("threads", 1)?;
-    if requested == 0 {
-        return Err(CliError::Usage(
-            "--threads 0 is invalid: at least one worker thread is required \
-             (omit the flag for a single-threaded run)"
-                .to_owned(),
-        ));
-    }
-    let cap = available_threads();
-    if requested > cap {
-        return Ok((
-            cap,
-            Some(format!(
-                "warning: --threads {requested} exceeds the {cap} available \
-                 hardware thread(s); capped to {cap}"
-            )),
-        ));
-    }
-    Ok((requested, None))
-}
-
 /// Prints the usage summary to stderr.
 pub fn print_usage() {
     eprintln!(
@@ -136,6 +87,7 @@ pub fn print_usage() {
          \x20 gen        --out FILE [--width N] [--height N] [--frames N] [--sigma S] [--seed S]\n\
          \x20 inject     --in FILE --out FILE --gamma0 P [--correlated] [--seed S]\n\
          \x20 preprocess --in FILE --out FILE [--lambda L] [--upsilon U] [--threads N]\n\
+         \x20            [--trace-json FILE]\n\
          \x20 check      --in FILE\n\
          \x20 protect    --in FILE --out FILE\n\
          \x20 tune       --in FILE --gamma0 P\n\
@@ -148,8 +100,10 @@ pub fn print_usage() {
          \x20            [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]\n\
          \x20 serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--max-conns N]\n\
          \x20            [--batch-frames N] [--batch-delay-ms MS] [--threads N] [--workers N]\n\
+         \x20            [--metrics-addr ADDR]\n\
          \x20 submit     --in FILE --out FILE (--tcp ADDR | --unix PATH)\n\
          \x20            [--lambda L] [--upsilon U] [--stream N]\n\
+         \x20 stats      (--tcp ADDR | --unix PATH)\n\
          \x20 drain      (--tcp ADDR | --unix PATH)"
     );
 }
@@ -178,6 +132,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "pipeline" => cmd_pipeline(&opts),
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
+        "stats" => cmd_stats(&opts),
         "drain" => cmd_drain(&opts),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -243,13 +198,18 @@ fn cmd_inject(opts: &Opts) -> Result<String, CliError> {
     ))
 }
 
-/// `preprocess`: header sanity analysis + `Algo_NGST` over every series.
+/// `preprocess`: header sanity analysis + `Algo_NGST` over every series,
+/// driven through the unified [`Preprocessor`] API. `--trace-json FILE`
+/// attaches a span subscriber and dumps the stage timeline for offline
+/// analysis; without it, observability stays disabled and the hot path
+/// pays nothing.
 fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
     let input = opts.require("in")?;
     let out = opts.require("out")?;
-    let lambda = lambda_arg(opts)?;
-    let upsilon = upsilon_arg(opts)?;
-    let (threads, thread_warning) = threads_arg(opts)?;
+    let lambda = opts.lambda()?;
+    let upsilon = opts.upsilon()?;
+    let (threads, thread_warning) = opts.threads()?;
+    let trace_path = opts.get("trace-json").cloned();
     let algo = AlgoNgst::new(Upsilon::new(upsilon)?, Sensitivity::new(lambda)?);
 
     let bytes = std::fs::read(Path::new(&input))?;
@@ -267,8 +227,19 @@ fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
         )));
     }
     let mut stack = read_stack(&sanity.repaired)?;
+    let (obs, recorder) = if trace_path.is_some() {
+        let obs = Obs::new();
+        let recorder = TimelineRecorder::new();
+        obs.set_subscriber(Some(recorder.clone()));
+        (obs, Some(recorder))
+    } else {
+        (Obs::disabled(), None)
+    };
     let start = std::time::Instant::now();
-    let corrected = preprocess_stack_parallel(&algo, &mut stack, threads);
+    let corrected = Preprocessor::new(&algo)
+        .threads(threads)
+        .observer(&obs)
+        .run(&mut stack);
     let elapsed = start.elapsed();
     write_stack_file(&out, &stack)?;
     let _ = writeln!(
@@ -277,6 +248,14 @@ fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
          {corrected} samples repaired in {elapsed:?} -> {out}",
         stack.width() * stack.height(),
     );
+    if let (Some(path), Some(recorder)) = (&trace_path, &recorder) {
+        std::fs::write(Path::new(path), recorder.to_json())?;
+        let _ = writeln!(
+            report,
+            "trace: {} span(s) -> {path}",
+            recorder.records().len()
+        );
+    }
     Ok(report)
 }
 
@@ -430,7 +409,7 @@ fn cmd_retrieve(opts: &Opts) -> Result<String, CliError> {
     let out = opts.require("out")?;
     // Validate parameters before touching the filesystem.
     let lambda = if opts.has("preprocess") {
-        Some(lambda_arg(opts)?)
+        Some(opts.lambda()?)
     } else {
         None
     };
@@ -500,8 +479,8 @@ fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
         )));
     }
     let preprocess = if opts.has("preprocess") {
-        let lambda = lambda_arg(opts)?;
-        let upsilon = upsilon_arg(opts)?;
+        let lambda = opts.lambda()?;
+        let upsilon = opts.upsilon()?;
         Some(AlgoNgst::new(
             Upsilon::new(upsilon)?,
             Sensitivity::new(lambda)?,
@@ -643,11 +622,12 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     config.batch.target_frames = opts.usize_or("batch-frames", config.batch.target_frames)?;
     let delay_ms = opts.u64_or("batch-delay-ms", 5)?;
     config.batch.max_delay = std::time::Duration::from_millis(delay_ms);
-    let (threads, thread_warning) = threads_arg(opts)?;
+    let (threads, thread_warning) = opts.threads()?;
     if opts.given("threads") {
         config.engine.threads = threads;
     }
     config.engine_workers = opts.usize_or("workers", config.engine_workers)?;
+    config.metrics_addr = opts.get("metrics-addr").cloned();
 
     preflight_serve::signal::install();
     let handle = start(config).map_err(|e| CliError::Serve(e.to_string()))?;
@@ -662,6 +642,9 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     }
     if let Some(path) = handle.unix_path() {
         println!("serving unix://{}", path.display());
+    }
+    if let Some(addr) = handle.metrics_addr() {
+        println!("serving metrics on http://{addr}/metrics");
     }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -687,8 +670,8 @@ fn cmd_submit(opts: &Opts) -> Result<String, CliError> {
 
     let input = opts.require("in")?;
     let out = opts.require("out")?;
-    let lambda = lambda_arg(opts)?;
-    let upsilon = upsilon_arg(opts)?;
+    let lambda = opts.lambda()?;
+    let upsilon = opts.upsilon()?;
     let stream_id = opts.u64_or("stream", 0)?;
     let stack = read_stack_file(&input)?;
     let mut client = connect_daemon(opts)?;
@@ -716,6 +699,36 @@ fn cmd_submit(opts: &Opts) -> Result<String, CliError> {
         repaired.frames()
     );
     let _ = writeln!(report, "{}", response.stats);
+    Ok(report)
+}
+
+/// `stats`: fetch a daemon's metrics registry over the wire and render
+/// the same numbers the `/metrics` scrape exposes as a human report.
+fn cmd_stats(opts: &Opts) -> Result<String, CliError> {
+    let mut client = connect_daemon(opts)?;
+    let snap = client.stats()?;
+    let mut report = String::new();
+    let _ = writeln!(report, "{}", preflight_serve::format_summary(&snap));
+    let counter = |name: &str| snap.counter(name, None).unwrap_or(0);
+    let _ = writeln!(
+        report,
+        "repairs: {} samples, {} bits; engine retries: {}",
+        counter("serve_samples_repaired_total"),
+        counter("serve_bits_repaired_total"),
+        counter("serve_retries_total"),
+    );
+    for stage in ["admission", "queue", "batch", "engine", "write"] {
+        if let Some(h) = snap.histogram("stage_seconds", Some(("stage", stage))) {
+            let _ = writeln!(
+                report,
+                "stage {stage:<9} count {:>8}  p50 {:>8} us  p90 {:>8} us  p99 {:>8} us",
+                h.count,
+                h.p50_us(),
+                h.p90_us(),
+                h.p99_us()
+            );
+        }
+    }
     Ok(report)
 }
 
@@ -1057,6 +1070,36 @@ mod tests {
         let a = read_stack_file(&seq_out).unwrap();
         let b = read_stack_file(&par_out).unwrap();
         assert_eq!(a, b, "thread count must not change the output");
+    }
+
+    #[test]
+    fn preprocess_trace_json_dumps_a_span_timeline() {
+        let clean = tmp("trace-clean.fits");
+        let bad = tmp("trace-bad.fits");
+        let fixed = tmp("trace-fixed.fits");
+        let trace = tmp("trace.json");
+        run(&[
+            "gen", "--out", &clean, "--width", "16", "--height", "12", "--frames", "16",
+        ])
+        .unwrap();
+        run(&[
+            "inject", "--in", &clean, "--out", &bad, "--gamma0", "0.01", "--seed", "7",
+        ])
+        .unwrap();
+        let r = run(&[
+            "preprocess",
+            "--in",
+            &bad,
+            "--out",
+            &fixed,
+            "--trace-json",
+            &trace,
+        ])
+        .unwrap();
+        assert!(r.contains("trace:"), "{r}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.contains("\"stage\":\"preprocess\""), "{json}");
+        assert!(json.contains("\"stage\":\"tile\""), "{json}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! preflight gen        --out FILE [--width N] [--height N] [--frames N] [--sigma S] [--seed S]
 //! preflight inject     --in FILE --out FILE --gamma0 P [--correlated] [--seed S]
-//! preflight preprocess --in FILE --out FILE [--lambda L] [--upsilon U]
+//! preflight preprocess --in FILE --out FILE [--lambda L] [--upsilon U] [--trace-json FILE]
 //! preflight check      --in FILE
 //! preflight protect    --in FILE --out FILE
 //! preflight tune       --in FILE --gamma0 P
@@ -14,7 +14,9 @@
 //! preflight pipeline   --in FILE --out FILE [--preprocess] [--workers N] [--gamma0 P]
 //!                      [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]
 //! preflight serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--batch-frames N]
+//!                      [--metrics-addr ADDR]
 //! preflight submit     --in FILE --out FILE (--tcp ADDR | --unix PATH) [--lambda L]
+//! preflight stats      (--tcp ADDR | --unix PATH)
 //! preflight drain      (--tcp ADDR | --unix PATH)
 //! ```
 //!

@@ -119,6 +119,70 @@ impl Opts {
     pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, CliError> {
         self.parse_or(key, default)
     }
+
+    /// Reads `--lambda` and validates the sensitivity percentage up
+    /// front. Shared by every subcommand that takes Λ (`preprocess`,
+    /// `retrieve`, `pipeline`, `submit`), so the range rule and its
+    /// message cannot drift between them.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] if the value is malformed or outside 0..=100.
+    pub fn lambda(&self) -> Result<u32, CliError> {
+        let lambda = self.u32_or("lambda", 80)?;
+        if lambda > 100 {
+            return Err(CliError::Usage(format!(
+                "--lambda {lambda} is out of range: the sensitivity \u{39b} is a \
+                 percentage and must lie in 0..=100"
+            )));
+        }
+        Ok(lambda)
+    }
+
+    /// Reads `--upsilon` and validates the voter count up front.
+    /// Shared by every subcommand that takes Υ.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] if the value is malformed, odd, or outside
+    /// 2..=16.
+    pub fn upsilon(&self) -> Result<usize, CliError> {
+        let upsilon = self.usize_or("upsilon", 4)?;
+        if upsilon < 2 || upsilon % 2 != 0 || upsilon > 16 {
+            return Err(CliError::Usage(format!(
+                "--upsilon {upsilon} is invalid: the voter count \u{3a5} must be \
+                 an even number between 2 and 16"
+            )));
+        }
+        Ok(upsilon)
+    }
+
+    /// Reads `--threads` and validates the worker count up front: zero
+    /// is rejected, and a request beyond the machine's available
+    /// parallelism is capped (returning a warning line for the report).
+    /// Shared by `preprocess` and `serve`.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] if the value is malformed or zero.
+    pub fn threads(&self) -> Result<(usize, Option<String>), CliError> {
+        let requested = self.usize_or("threads", 1)?;
+        if requested == 0 {
+            return Err(CliError::Usage(
+                "--threads 0 is invalid: at least one worker thread is required \
+                 (omit the flag for a single-threaded run)"
+                    .to_owned(),
+            ));
+        }
+        let cap = preflight::core::available_threads();
+        if requested > cap {
+            return Ok((
+                cap,
+                Some(format!(
+                    "warning: --threads {requested} exceeds the {cap} available \
+                     hardware thread(s); capped to {cap}"
+                )),
+            ));
+        }
+        Ok((requested, None))
+    }
 }
 
 #[cfg(test)]
@@ -171,5 +235,47 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert!(matches!(o.require("out"), Err(CliError::Usage(_))));
         assert!(matches!(o.require_f64("gamma0"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn lambda_validation_is_shared() {
+        assert_eq!(parse(&[]).unwrap().lambda().unwrap(), 80);
+        assert_eq!(parse(&["--lambda", "0"]).unwrap().lambda().unwrap(), 0);
+        assert_eq!(parse(&["--lambda", "100"]).unwrap().lambda().unwrap(), 100);
+        assert!(matches!(
+            parse(&["--lambda", "101"]).unwrap().lambda(),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["--lambda", "eighty"]).unwrap().lambda(),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn upsilon_validation_is_shared() {
+        assert_eq!(parse(&[]).unwrap().upsilon().unwrap(), 4);
+        assert_eq!(parse(&["--upsilon", "16"]).unwrap().upsilon().unwrap(), 16);
+        for bad in ["0", "1", "3", "5", "18"] {
+            assert!(
+                matches!(
+                    parse(&["--upsilon", bad]).unwrap().upsilon(),
+                    Err(CliError::Usage(_))
+                ),
+                "--upsilon {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn threads_validation_rejects_zero_and_caps_excess() {
+        assert_eq!(parse(&[]).unwrap().threads().unwrap(), (1, None));
+        assert!(matches!(
+            parse(&["--threads", "0"]).unwrap().threads(),
+            Err(CliError::Usage(_))
+        ));
+        let (capped, warning) = parse(&["--threads", "65535"]).unwrap().threads().unwrap();
+        assert_eq!(capped, preflight::core::available_threads());
+        assert!(warning.expect("warning line").contains("65535"));
     }
 }

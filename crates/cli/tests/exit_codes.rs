@@ -93,3 +93,71 @@ fn successful_runs_exit_0() {
     assert_eq!(out.status.code(), Some(0));
     assert!(String::from_utf8_lossy(&out.stdout).contains("8x8x4"));
 }
+
+#[test]
+fn flag_validation_is_uniform_across_subcommands() {
+    // --threads/--lambda/--upsilon are validated by the shared helpers in
+    // `opts.rs`, so every subcommand that takes one must exit 2 on the
+    // same bad values — before touching the filesystem or the network.
+    let cases: &[&[&str]] = &[
+        &["serve", "--tcp", "127.0.0.1:0", "--threads", "0"],
+        &[
+            "submit",
+            "--in",
+            "x",
+            "--out",
+            "y",
+            "--tcp",
+            "127.0.0.1:1",
+            "--lambda",
+            "101",
+        ],
+        &[
+            "submit",
+            "--in",
+            "x",
+            "--out",
+            "y",
+            "--tcp",
+            "127.0.0.1:1",
+            "--upsilon",
+            "5",
+        ],
+        &[
+            "pipeline",
+            "--in",
+            "x",
+            "--out",
+            "y",
+            "--preprocess",
+            "--lambda",
+            "999",
+        ],
+        &[
+            "pipeline",
+            "--in",
+            "x",
+            "--out",
+            "y",
+            "--preprocess",
+            "--upsilon",
+            "7",
+        ],
+        &[
+            "retrieve",
+            "--in",
+            "x",
+            "--out",
+            "y",
+            "--preprocess",
+            "--lambda",
+            "200",
+        ],
+    ];
+    for args in cases {
+        let out = preflight(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+}

@@ -220,11 +220,18 @@ impl<T: BitPixel> SeriesPreprocessor<T> for AlgoNgst {
 /// coordinate of an [`ImageStack`], returning the total number of modified
 /// samples. This is the slave-node work unit of the paper's Figure 1
 /// architecture (each 128×128 fragment is preprocessed coordinate-wise).
-pub fn preprocess_stack<T: BitPixel>(
-    algo: &impl SeriesPreprocessor<T>,
-    stack: &mut ImageStack<T>,
-) -> usize {
-    stack.for_each_series(|series| algo.preprocess(series))
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Preprocessor::new(algo).naive(true).run(stack)`"
+)]
+pub fn preprocess_stack<T, P>(algo: &P, stack: &mut ImageStack<T>) -> usize
+where
+    T: BitPixel,
+    P: SeriesPreprocessor<T> + Sync,
+{
+    crate::preprocessor::Preprocessor::new(algo)
+        .naive(true)
+        .run(stack)
 }
 
 /// Applies a [`SeriesPreprocessor`] *spatially* to a single 2-D frame: one
@@ -428,7 +435,9 @@ mod tests {
                 stack.scatter_series(x, y, &series);
             }
         }
-        let fixed = preprocess_stack(&algo(80), &mut stack);
+        let fixed = crate::Preprocessor::new(algo(80))
+            .naive(true)
+            .run(&mut stack);
         assert_eq!(fixed, 12);
         for y in 0..3 {
             for x in 0..4 {

@@ -53,27 +53,33 @@ pub mod container;
 pub mod error;
 pub mod parallel;
 pub mod pixel;
+pub mod preprocessor;
 pub mod sensitivity;
 pub mod smoothing;
 pub mod traits;
 pub mod voter;
 pub mod window;
 
-pub use algo_ngst::{preprocess_image, preprocess_stack, AlgoNgst, NgstConfig};
+#[allow(deprecated)]
+pub use algo_ngst::preprocess_stack;
+pub use algo_ngst::{preprocess_image, AlgoNgst, NgstConfig};
 pub use algo_otis::{AlgoOtis, Neighborhood, OtisConfig, PhysicalBounds, PlaneReport, Repair};
 pub use bitvote::BitVoter;
 pub use container::{Cube, Image, ImageStack};
 pub use error::CoreError;
-pub use parallel::{
-    available_threads, preprocess_cube_parallel, preprocess_stack_parallel, preprocess_stack_tiled,
-    DEFAULT_TILE,
-};
+#[allow(deprecated)]
+pub use parallel::{preprocess_cube_parallel, preprocess_stack_parallel, preprocess_stack_tiled};
 pub use pixel::{BitPixel, ValuePixel};
+pub use preprocessor::{available_threads, Preprocessor, DEFAULT_TILE};
 pub use sensitivity::{Sensitivity, Upsilon};
 pub use smoothing::{MeanSmoother, MedianSmoother};
 pub use traits::{PlanePreprocessor, SeriesPreprocessor};
 pub use voter::{VoterMatrix, VoterScratch};
 pub use window::BitWindows;
+
+// Re-exported so downstream crates reach the observability handles
+// without a separate dependency on `preflight-obs`.
+pub use preflight_obs::{Obs, Span};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
@@ -81,9 +87,10 @@ pub mod prelude {
     pub use crate::algo_otis::{AlgoOtis, PhysicalBounds};
     pub use crate::bitvote::BitVoter;
     pub use crate::container::{Cube, Image, ImageStack};
-    pub use crate::parallel::{preprocess_cube_parallel, preprocess_stack_parallel};
     pub use crate::pixel::{BitPixel, ValuePixel};
+    pub use crate::preprocessor::{available_threads, Preprocessor};
     pub use crate::sensitivity::{Sensitivity, Upsilon};
     pub use crate::smoothing::{MeanSmoother, MedianSmoother};
     pub use crate::traits::{PlanePreprocessor, SeriesPreprocessor};
+    pub use preflight_obs::{Obs, Span};
 }

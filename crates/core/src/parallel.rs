@@ -1,251 +1,96 @@
-//! Data-parallel, cache-aware drivers for the preprocessing algorithms.
+//! Deprecated free-function drivers, kept as thin shims.
 //!
-//! The paper's Figure 1 architecture splits each NGST readout into 128×128
-//! fragments preprocessed on slave nodes purely for throughput. This module
-//! reproduces that split in-process:
+//! PR 2 introduced these as standalone entry points; the unified
+//! [`Preprocessor`](crate::Preprocessor) builder now subsumes them (and
+//! is the single instrumentation choke point for the observability
+//! layer), so each function here simply delegates. They will be removed
+//! once external callers have migrated:
 //!
-//! - [`preprocess_stack_tiled`] — the sequential cache-aware path. The
-//!   frame-major [`ImageStack`] is traversed in spatial tiles; each tile is
-//!   transposed into series-major scratch
-//!   ([`ImageStack::gather_tile_series`]), preprocessed as contiguous
-//!   series, and transposed back. One [`VoterScratch`] arena is reused for
-//!   every series, so the steady state allocates nothing.
-//! - [`preprocess_stack_parallel`] — the same tiles fanned out over a scoped
-//!   worker pool. Temporal series are independent and every algorithm
-//!   computes its corrections from the *pre-repair* series, so the result is
-//!   **bit-identical** to the sequential path for any thread count (property
-//!   tested in `tests/parallel_identical.rs`).
-//! - [`preprocess_cube_parallel`] — band-parallel driver for the OTIS shape:
-//!   wavelength planes are independent under a [`PlanePreprocessor`], so
-//!   they are distributed over the same kind of scoped pool.
+//! | deprecated | replacement |
+//! |---|---|
+//! | `preprocess_stack_tiled(a, s, t)` | `Preprocessor::new(a).tile(t).run(s)` |
+//! | `preprocess_stack_parallel(a, s, n)` | `Preprocessor::new(a).threads(n).run(s)` |
+//! | `preprocess_cube_parallel(a, c, n)` | `Preprocessor::new(a).threads(n).run_cube(c)` |
 //!
-//! Workers communicate over `crossbeam` channels; the pool lives inside
-//! [`std::thread::scope`], so no `'static` bounds leak into the public API
-//! and a panicking worker propagates instead of deadlocking.
+//! (`preprocess_stack`, the naive reference driver in
+//! [`crate::algo_ngst`], maps to `Preprocessor::new(a).naive(true).run(s)`.)
+//!
+//! The shims preserve the originals' contracts exactly — including the
+//! bit-identity guarantee across drivers and thread counts — because the
+//! builder inherited the same tile/worker implementations.
 
-use crate::container::{Cube, Image, ImageStack};
+use crate::container::{Cube, ImageStack};
 use crate::pixel::BitPixel;
+use crate::preprocessor::Preprocessor;
 use crate::traits::{PlanePreprocessor, SeriesPreprocessor};
-use crate::voter::VoterScratch;
-use crossbeam::channel;
 
-/// Default spatial tile side for the blocked series-major transpose.
-///
-/// A 32×32 tile of a 128-frame `u16` stack occupies 256 KiB of scratch —
-/// small enough to stay cache-resident while large enough to amortize the
-/// transpose overhead and give the worker pool ~16 independent work units on
-/// a 128×128 fragment.
-pub const DEFAULT_TILE: usize = 32;
-
-/// The machine's available parallelism (1 if it cannot be determined).
-///
-/// The CLI caps a user-requested `--threads N` at this value.
-pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// One spatial work unit: a `tw × th` tile with top-left `(tx, ty)`.
-#[derive(Debug, Clone, Copy)]
-struct Tile {
-    tx: usize,
-    ty: usize,
-    tw: usize,
-    th: usize,
-}
-
-/// Row-major spatial tiling of a `width × height` frame into `tile`-sided
-/// blocks (edge tiles are clipped, never empty).
-fn spatial_tiles(width: usize, height: usize, tile: usize) -> Vec<Tile> {
-    let mut tiles = Vec::new();
-    let mut ty = 0;
-    while ty < height {
-        let th = tile.min(height - ty);
-        let mut tx = 0;
-        while tx < width {
-            let tw = tile.min(width - tx);
-            tiles.push(Tile { tx, ty, tw, th });
-            tx += tw;
-        }
-        ty += th;
-    }
-    tiles
-}
+pub use crate::preprocessor::{available_threads, DEFAULT_TILE};
 
 /// Sequential cache-aware preprocessing of every temporal series of `stack`:
-/// series-major tiles of side `tile`, one reused [`VoterScratch`].
-///
-/// Bit-identical to [`crate::preprocess_stack`] (series are independent),
-/// but the hot loop reads contiguous memory instead of striding through the
-/// whole cube per sample.
+/// series-major tiles of side `tile`, one reused scratch arena.
 ///
 /// # Panics
 /// Panics if `tile == 0`.
-pub fn preprocess_stack_tiled<T: BitPixel>(
-    algo: &impl SeriesPreprocessor<T>,
-    stack: &mut ImageStack<T>,
-    tile: usize,
-) -> usize {
-    let mut scratch = VoterScratch::with_capacity(stack.frames());
-    stack.for_each_series_tiled(tile, |_x, _y, series| {
-        algo.preprocess_with(series, &mut scratch)
-    })
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Preprocessor::new(algo).tile(tile).run(stack)`"
+)]
+pub fn preprocess_stack_tiled<T, P>(algo: &P, stack: &mut ImageStack<T>, tile: usize) -> usize
+where
+    T: BitPixel,
+    P: SeriesPreprocessor<T> + Sync,
+{
+    Preprocessor::new(algo).tile(tile).run(stack)
 }
 
 /// Preprocesses every temporal series of `stack` on `threads` workers,
-/// returning the total number of modified samples.
-///
-/// The frame is partitioned into [`DEFAULT_TILE`]-sided spatial tiles;
-/// workers pull tiles from a shared queue, transpose them into series-major
-/// scratch, repair each contiguous series with a per-worker
-/// [`VoterScratch`], and hand the repaired tile back to the caller, which
-/// scatters all tiles into the stack once the pool drains. Because every
-/// series is repaired independently from its own pre-repair data, the output
-/// and the changed-sample count are **bit-identical** to
-/// [`crate::preprocess_stack`] for any `threads` value.
-///
-/// `threads == 0` is treated as 1; `threads == 1` short-circuits to
-/// [`preprocess_stack_tiled`] without spawning.
+/// returning the total number of modified samples. `threads == 0` is
+/// treated as 1. Bit-identical to the sequential drivers for any
+/// `threads` value.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Preprocessor::new(algo).threads(threads).run(stack)`"
+)]
 pub fn preprocess_stack_parallel<T, P>(algo: &P, stack: &mut ImageStack<T>, threads: usize) -> usize
 where
     T: BitPixel,
     P: SeriesPreprocessor<T> + Sync,
 {
-    let frames = stack.frames();
-    if frames == 0 || stack.frame_len() == 0 {
-        return 0;
-    }
-    let tiles = spatial_tiles(stack.width(), stack.height(), DEFAULT_TILE);
-    let workers = threads.max(1).min(tiles.len());
-    if workers == 1 {
-        return preprocess_stack_tiled(algo, stack, DEFAULT_TILE);
-    }
-
-    let (job_tx, job_rx) = channel::unbounded::<Tile>();
-    for &t in &tiles {
-        job_tx.send(t).expect("job queue cannot disconnect here");
-    }
-    drop(job_tx);
-
-    let (res_tx, res_rx) = channel::unbounded::<(Tile, Vec<T>, usize)>();
-    let mut results: Vec<(Tile, Vec<T>, usize)> = Vec::with_capacity(tiles.len());
-    let shared: &ImageStack<T> = stack;
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            s.spawn(move || {
-                let mut scratch = VoterScratch::with_capacity(frames);
-                while let Ok(tile) = job_rx.recv() {
-                    let mut buf = Vec::new();
-                    shared.gather_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &mut buf);
-                    let mut changed = 0;
-                    for series in buf.chunks_exact_mut(frames) {
-                        changed += algo.preprocess_with(series, &mut scratch);
-                    }
-                    if res_tx.send((tile, buf, changed)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-        while let Ok(r) = res_rx.recv() {
-            results.push(r);
-        }
-    });
-
-    let mut total = 0;
-    for (tile, buf, changed) in results {
-        stack.scatter_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &buf);
-        total += changed;
-    }
-    total
+    Preprocessor::new(algo).threads(threads).run(stack)
 }
 
 /// Applies a [`PlanePreprocessor`] to every wavelength band of `cube` on
 /// `threads` workers, returning the total number of modified pixels.
-///
-/// Bands are independent planes, so this is an embarrassingly parallel fan:
-/// each worker receives disjoint mutable plane slices over a channel and
-/// repairs them in place. Bit-identical to the sequential band loop for any
-/// `threads` value. `threads == 0` is treated as 1.
+/// `threads == 0` is treated as 1.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Preprocessor::new(algo).threads(threads).run_cube(cube)`"
+)]
 pub fn preprocess_cube_parallel<T, P>(algo: &P, cube: &mut Cube<T>, threads: usize) -> usize
 where
     T: Copy + Send + Sync,
     P: PlanePreprocessor<T> + Sync,
 {
-    let (width, height, bands) = (cube.width(), cube.height(), cube.bands());
-    let plane_len = width * height;
-    if plane_len == 0 || bands == 0 {
-        return 0;
-    }
-    let workers = threads.max(1).min(bands);
-    if workers == 1 {
-        let mut total = 0;
-        for b in 0..bands {
-            let mut img = cube.plane_image(b);
-            let n = algo.preprocess_plane(&mut img);
-            if n > 0 {
-                cube.set_plane(b, &img);
-            }
-            total += n;
-        }
-        return total;
-    }
-
-    let (job_tx, job_rx) = channel::unbounded::<&mut [T]>();
-    for plane in cube.as_mut_slice().chunks_mut(plane_len) {
-        job_tx
-            .send(plane)
-            .expect("job queue cannot disconnect here");
-    }
-    drop(job_tx);
-
-    let (res_tx, res_rx) = channel::unbounded::<usize>();
-    let mut total = 0;
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            s.spawn(move || {
-                while let Ok(plane) = job_rx.recv() {
-                    let mut img = Image::from_vec(width, height, plane.to_vec())
-                        .expect("plane slice has exact dimensions");
-                    let n = algo.preprocess_plane(&mut img);
-                    if n > 0 {
-                        plane.copy_from_slice(img.as_slice());
-                    }
-                    if res_tx.send(n).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-        while let Ok(n) = res_rx.recv() {
-            total += n;
-        }
-    });
-    total
+    Preprocessor::new(algo).threads(threads).run_cube(cube)
 }
 
+/// Deprecation tests: the shims must stay bit-identical to the builder
+/// they delegate to.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::algo_ngst::{preprocess_stack, AlgoNgst};
+    use crate::algo_ngst::AlgoNgst;
     use crate::sensitivity::{Sensitivity, Upsilon};
     use crate::smoothing::MedianSmoother;
 
     fn noisy_stack(w: usize, h: usize, frames: usize) -> ImageStack<u16> {
         let mut st = ImageStack::new(w, h, frames);
-        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut state = 0x0F0F_1234_5678_9ABCu64;
         for v in st.as_mut_slice() {
             state = state
                 .wrapping_mul(6_364_136_223_846_793_005)
                 .wrapping_add(1);
-            // Calm level with sparse large flips.
             *v = 27_000 + (state >> 60) as u16;
             if state >> 32 & 0xFF < 4 {
                 *v ^= 1 << (10 + (state >> 40 & 0x5) as u32);
@@ -255,45 +100,27 @@ mod tests {
     }
 
     #[test]
-    fn tiled_sequential_matches_naive_driver() {
+    fn shims_match_builder_output() {
         let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
-        let mut naive = noisy_stack(37, 23, 24);
-        let mut tiled = naive.clone();
-        let a = preprocess_stack(&algo, &mut naive);
-        let b = preprocess_stack_tiled(&algo, &mut tiled, 8);
-        assert_eq!(a, b, "changed counts must match");
-        assert_eq!(naive, tiled, "tiled path must be bit-identical");
+        let mut via_builder = noisy_stack(41, 27, 16);
+        let want = Preprocessor::new(&algo).threads(3).run(&mut via_builder);
+
+        let mut tiled = noisy_stack(41, 27, 16);
+        assert_eq!(
+            preprocess_stack_tiled(&algo, &mut tiled, DEFAULT_TILE),
+            want
+        );
+        assert_eq!(tiled, via_builder);
+
+        let mut parallel = noisy_stack(41, 27, 16);
+        assert_eq!(preprocess_stack_parallel(&algo, &mut parallel, 3), want);
+        assert_eq!(parallel, via_builder);
     }
 
     #[test]
-    fn parallel_matches_sequential_for_various_thread_counts() {
-        let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
-        let mut reference = noisy_stack(70, 40, 16);
-        let want = preprocess_stack(&algo, &mut reference);
-        for threads in [0, 1, 2, 3, 8] {
-            let mut st = noisy_stack(70, 40, 16);
-            let got = preprocess_stack_parallel(&algo, &mut st, threads);
-            assert_eq!(got, want, "changed count at {threads} threads");
-            assert_eq!(st, reference, "output at {threads} threads");
-        }
-    }
-
-    #[test]
-    fn parallel_handles_degenerate_stacks() {
-        let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
-        let mut empty: ImageStack<u16> = ImageStack::new(0, 4, 8);
-        assert_eq!(preprocess_stack_parallel(&algo, &mut empty, 4), 0);
-        let mut no_frames: ImageStack<u16> = ImageStack::new(4, 4, 0);
-        assert_eq!(preprocess_stack_parallel(&algo, &mut no_frames, 4), 0);
-        // Series shorter than Υ/2 + 1: left untouched, zero count.
-        let mut short: ImageStack<u16> = ImageStack::new(4, 4, 2);
-        assert_eq!(preprocess_stack_parallel(&algo, &mut short, 4), 0);
-    }
-
-    #[test]
-    fn cube_parallel_matches_sequential_band_loop() {
-        let mut cube: Cube<f32> = Cube::new(17, 11, 9);
-        let mut state = 0xDEAD_BEEFu64;
+    fn cube_shim_matches_builder_output() {
+        let mut cube: Cube<f32> = Cube::new(13, 9, 5);
+        let mut state = 0xBEEF_CAFEu64;
         for v in cube.as_mut_slice() {
             state = state
                 .wrapping_mul(6_364_136_223_846_793_005)
@@ -301,25 +128,12 @@ mod tests {
             *v = 100.0 + (state >> 56) as f32;
         }
         let smoother = MedianSmoother::new();
-        let mut seq = cube.clone();
-        let a = preprocess_cube_parallel(&smoother, &mut seq, 1);
-        let mut par = cube.clone();
-        let b = preprocess_cube_parallel(&smoother, &mut par, 4);
-        assert_eq!(a, b, "changed counts must match");
-        assert_eq!(seq.as_slice(), par.as_slice(), "bit-identical planes");
-    }
-
-    #[test]
-    fn available_threads_is_positive() {
-        assert!(available_threads() >= 1);
-    }
-
-    #[test]
-    fn spatial_tiles_cover_frame_exactly() {
-        let tiles = spatial_tiles(70, 33, 32);
-        let area: usize = tiles.iter().map(|t| t.tw * t.th).sum();
-        assert_eq!(area, 70 * 33);
-        assert!(tiles.iter().all(|t| t.tw > 0 && t.th > 0));
-        assert!(tiles.iter().all(|t| t.tx + t.tw <= 70 && t.ty + t.th <= 33));
+        let mut via_builder = cube.clone();
+        let want = Preprocessor::new(&smoother)
+            .threads(2)
+            .run_cube(&mut via_builder);
+        let mut via_shim = cube.clone();
+        assert_eq!(preprocess_cube_parallel(&smoother, &mut via_shim, 2), want);
+        assert_eq!(via_shim.as_slice(), via_builder.as_slice());
     }
 }

@@ -1,0 +1,602 @@
+//! The unified preprocessing execution API.
+//!
+//! [`Preprocessor`] is the single entry point every caller — NGST tile
+//! masters, the OTIS ALFT rung, the serving engine, the CLI and the
+//! benches — drives the algorithms through:
+//!
+//! ```
+//! use preflight_core::{AlgoNgst, ImageStack, Preprocessor, Sensitivity, Upsilon};
+//! use preflight_obs::Obs;
+//!
+//! let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
+//! let obs = Obs::new();
+//! let mut stack: ImageStack<u16> = ImageStack::new(64, 64, 16);
+//! let changed = Preprocessor::new(algo)
+//!     .threads(4)
+//!     .observer(&obs)
+//!     .run(&mut stack);
+//! assert_eq!(changed, 0); // an all-zero stack has nothing to repair
+//! ```
+//!
+//! The builder subsumes the PR 2 free-function drivers
+//! (`preprocess_stack`, `preprocess_stack_tiled`,
+//! `preprocess_stack_parallel`, `preprocess_cube_parallel`, now
+//! deprecated shims over it) and is the observability choke point: with
+//! an [`Obs`] attached, every run emits `preprocess_*` counters (runs,
+//! series, tiles, repaired samples, voter builds, window derivations)
+//! and per-stage spans (`preprocess`, `tile`, `plane`) exactly once,
+//! consistently, for every caller. With the default disabled handle the
+//! instrumentation compiles down to no-ops — no clock reads, no
+//! atomics — so the hot loops are unchanged from PR 2.
+//!
+//! **Bit-identity invariant**: for a given algorithm, [`run`]
+//! (any driver, any thread count) produces output and changed-sample
+//! counts bit-identical to the naive sequential reference. Temporal
+//! series are independent and every algorithm computes its corrections
+//! from the *pre-repair* series, so work partitioning cannot leak into
+//! results (property tested in `tests/parallel_identical.rs`).
+//!
+//! [`run`]: Preprocessor::run
+
+use crate::container::{Cube, Image, ImageStack};
+use crate::pixel::BitPixel;
+use crate::traits::{PlanePreprocessor, SeriesPreprocessor};
+use crate::voter::VoterScratch;
+use crossbeam::channel;
+use preflight_obs::Obs;
+
+/// Default spatial tile side for the blocked series-major transpose.
+///
+/// A 32×32 tile of a 128-frame `u16` stack occupies 256 KiB of scratch —
+/// small enough to stay cache-resident while large enough to amortize the
+/// transpose overhead and give the worker pool ~16 independent work units on
+/// a 128×128 fragment.
+pub const DEFAULT_TILE: usize = 32;
+
+/// The machine's available parallelism (1 if it cannot be determined).
+///
+/// The CLI caps a user-requested `--threads N` at this value.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One spatial work unit: a `tw × th` tile with top-left `(tx, ty)`.
+#[derive(Debug, Clone, Copy)]
+struct Tile {
+    tx: usize,
+    ty: usize,
+    tw: usize,
+    th: usize,
+}
+
+/// Row-major spatial tiling of a `width × height` frame into `tile`-sided
+/// blocks (edge tiles are clipped, never empty).
+fn spatial_tiles(width: usize, height: usize, tile: usize) -> Vec<Tile> {
+    let mut tiles = Vec::new();
+    let mut ty = 0;
+    while ty < height {
+        let th = tile.min(height - ty);
+        let mut tx = 0;
+        while tx < width {
+            let tw = tile.min(width - tx);
+            tiles.push(Tile { tx, ty, tw, th });
+            tx += tw;
+        }
+        ty += th;
+    }
+    tiles
+}
+
+/// Builder-style unified driver for the preprocessing algorithms; see
+/// the [module docs](self) for the model and an example.
+///
+/// Configuration is by-value chaining: [`threads`](Self::threads),
+/// [`tile`](Self::tile), [`observer`](Self::observer),
+/// [`naive`](Self::naive). Execution is [`run`](Self::run) for the
+/// temporal [`ImageStack`] shape, [`run_image`](Self::run_image) for a
+/// single spatial frame and [`run_cube`](Self::run_cube) for the
+/// band-parallel OTIS cube. The builder is cheap to construct and
+/// reusable: `run` takes `&self`.
+#[derive(Debug, Clone)]
+pub struct Preprocessor<A> {
+    algo: A,
+    threads: usize,
+    tile: usize,
+    naive: bool,
+    obs: Obs,
+}
+
+impl<A> Preprocessor<A> {
+    /// A sequential driver for `algo`: 1 thread, [`DEFAULT_TILE`] tiles,
+    /// observability disabled.
+    pub fn new(algo: A) -> Self {
+        Preprocessor {
+            algo,
+            threads: 1,
+            tile: DEFAULT_TILE,
+            naive: false,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Sets the worker-thread count (`0` is treated as 1; `1` runs the
+    /// cache-aware tiled path without spawning).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the spatial tile side for the blocked series-major
+    /// transpose.
+    ///
+    /// # Panics
+    /// Panics if `tile == 0`.
+    pub fn tile(mut self, tile: usize) -> Self {
+        assert!(tile > 0, "tile side must be positive");
+        self.tile = tile;
+        self
+    }
+
+    /// Attaches an observability handle: counters and spans from every
+    /// run land in `obs`'s registry. The handle is cheap to clone; a
+    /// disabled one (the default) makes all instrumentation a no-op.
+    pub fn observer(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Selects the naive per-coordinate reference driver (the paper's
+    /// plain slave-node loop) instead of the cache-aware tiled one.
+    /// Useful as a baseline in benches; forces a single thread.
+    pub fn naive(mut self, naive: bool) -> Self {
+        self.naive = naive;
+        self
+    }
+
+    /// The algorithm this driver runs.
+    pub fn algo(&self) -> &A {
+        &self.algo
+    }
+
+    fn flush_scratch_tallies<T>(&self, scratch: &mut VoterScratch<T>) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs
+            .counter("preprocess_voter_builds_total", None)
+            .add(scratch.voter_builds());
+        self.obs
+            .counter("preprocess_window_derivations_total", None)
+            .add(scratch.window_derivations());
+        scratch.reset_tallies();
+    }
+
+    /// Preprocesses every temporal series of `stack`, returning the
+    /// total number of modified samples. Dispatches on the builder:
+    /// naive reference loop, sequential tiled path (1 thread) or the
+    /// scoped worker pool (> 1). Output is bit-identical across all
+    /// three for any thread count.
+    pub fn run<T>(&self, stack: &mut ImageStack<T>) -> usize
+    where
+        T: BitPixel,
+        A: SeriesPreprocessor<T> + Sync,
+    {
+        let _span = self.obs.span("preprocess");
+        let changed = if self.naive {
+            stack.for_each_series(|series| self.algo.preprocess(series))
+        } else if stack.frames() == 0 || stack.frame_len() == 0 {
+            0
+        } else {
+            let tiles = spatial_tiles(stack.width(), stack.height(), self.tile);
+            let workers = self.threads.min(tiles.len());
+            if workers <= 1 {
+                self.run_tiled(stack, &tiles)
+            } else {
+                self.run_parallel(stack, &tiles, workers)
+            }
+        };
+        if self.obs.is_enabled() {
+            self.obs.counter("preprocess_runs_total", None).inc();
+            self.obs
+                .counter("preprocess_series_total", None)
+                .add(stack.frame_len() as u64);
+            self.obs
+                .counter("preprocess_samples_repaired_total", None)
+                .add(changed as u64);
+        }
+        changed
+    }
+
+    /// Sequential cache-aware path: gather each tile into series-major
+    /// scratch, repair the contiguous series with one reused
+    /// [`VoterScratch`], scatter back.
+    fn run_tiled<T>(&self, stack: &mut ImageStack<T>, tiles: &[Tile]) -> usize
+    where
+        T: BitPixel,
+        A: SeriesPreprocessor<T>,
+    {
+        let frames = stack.frames();
+        let mut scratch = VoterScratch::with_capacity(frames);
+        let mut buf: Vec<T> = Vec::new();
+        let mut changed = 0;
+        for t in tiles {
+            let _span = self.obs.span("tile");
+            stack.gather_tile_series(t.tx, t.ty, t.tw, t.th, &mut buf);
+            for series in buf.chunks_exact_mut(frames) {
+                changed += self.algo.preprocess_with(series, &mut scratch);
+            }
+            stack.scatter_tile_series(t.tx, t.ty, t.tw, t.th, &buf);
+        }
+        if self.obs.is_enabled() {
+            self.obs
+                .counter("preprocess_tiles_total", None)
+                .add(tiles.len() as u64);
+            self.flush_scratch_tallies(&mut scratch);
+        }
+        changed
+    }
+
+    /// Scoped worker pool over the same tiles: workers pull tiles from
+    /// a shared queue, repair them in series-major scratch and hand the
+    /// repaired tiles back; the caller scatters once the pool drains.
+    fn run_parallel<T>(&self, stack: &mut ImageStack<T>, tiles: &[Tile], workers: usize) -> usize
+    where
+        T: BitPixel,
+        A: SeriesPreprocessor<T> + Sync,
+    {
+        let frames = stack.frames();
+        let (job_tx, job_rx) = channel::unbounded::<Tile>();
+        for &t in tiles {
+            job_tx.send(t).expect("job queue cannot disconnect here");
+        }
+        drop(job_tx);
+
+        let (res_tx, res_rx) = channel::unbounded::<(Tile, Vec<T>, usize)>();
+        let mut results: Vec<(Tile, Vec<T>, usize)> = Vec::with_capacity(tiles.len());
+        let shared: &ImageStack<T> = stack;
+        let algo = &self.algo;
+        let obs = &self.obs;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                s.spawn(move || {
+                    let mut scratch = VoterScratch::with_capacity(frames);
+                    while let Ok(tile) = job_rx.recv() {
+                        let span = obs.span("tile");
+                        let mut buf = Vec::new();
+                        shared.gather_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &mut buf);
+                        let mut changed = 0;
+                        for series in buf.chunks_exact_mut(frames) {
+                            changed += algo.preprocess_with(series, &mut scratch);
+                        }
+                        drop(span);
+                        if res_tx.send((tile, buf, changed)).is_err() {
+                            break;
+                        }
+                    }
+                    if obs.is_enabled() {
+                        obs.counter("preprocess_voter_builds_total", None)
+                            .add(scratch.voter_builds());
+                        obs.counter("preprocess_window_derivations_total", None)
+                            .add(scratch.window_derivations());
+                    }
+                });
+            }
+            drop(res_tx);
+            while let Ok(r) = res_rx.recv() {
+                results.push(r);
+            }
+        });
+
+        let mut total = 0;
+        for (tile, buf, changed) in results {
+            stack.scatter_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &buf);
+            total += changed;
+        }
+        if self.obs.is_enabled() {
+            self.obs
+                .counter("preprocess_tiles_total", None)
+                .add(tiles.len() as u64);
+        }
+        total
+    }
+
+    /// Applies the algorithm *spatially* to a single 2-D frame: one
+    /// pass along every row, then one along every column (the column
+    /// pass sees the row pass's repairs). Returns the total number of
+    /// modified samples across both passes.
+    pub fn run_image<T>(&self, image: &mut Image<T>) -> usize
+    where
+        T: BitPixel,
+        A: SeriesPreprocessor<T>,
+    {
+        let _span = self.obs.span("preprocess-image");
+        let mut changed = 0;
+        let mut scratch = VoterScratch::new();
+        for y in 0..image.height() {
+            changed += self.algo.preprocess_with(image.row_mut(y), &mut scratch);
+        }
+        let (w, h) = (image.width(), image.height());
+        let mut column: Vec<T> = Vec::with_capacity(h);
+        let mut before: Vec<T> = Vec::with_capacity(h);
+        for x in 0..w {
+            image.copy_col_into(x, &mut column);
+            before.clear();
+            before.extend_from_slice(&column);
+            if self.algo.preprocess_with(&mut column, &mut scratch) > 0 {
+                changed += column.iter().zip(&before).filter(|(a, b)| a != b).count();
+                image.write_col(x, &column);
+            }
+        }
+        if self.obs.is_enabled() {
+            self.obs.counter("preprocess_runs_total", None).inc();
+            self.obs
+                .counter("preprocess_samples_repaired_total", None)
+                .add(changed as u64);
+            self.flush_scratch_tallies(&mut scratch);
+        }
+        changed
+    }
+
+    /// Applies the algorithm to every wavelength band of `cube` (the
+    /// OTIS shape), returning the total number of modified pixels.
+    /// Bands are independent planes, so with more than one thread they
+    /// are fanned over a scoped worker pool; output is bit-identical to
+    /// the sequential band loop for any thread count.
+    pub fn run_cube<T>(&self, cube: &mut Cube<T>) -> usize
+    where
+        T: Copy + Send + Sync,
+        A: PlanePreprocessor<T> + Sync,
+    {
+        let _span = self.obs.span("preprocess");
+        let (width, height, bands) = (cube.width(), cube.height(), cube.bands());
+        let plane_len = width * height;
+        if plane_len == 0 || bands == 0 {
+            return 0;
+        }
+        let workers = self.threads.min(bands);
+        let total = if workers <= 1 {
+            let mut total = 0;
+            for b in 0..bands {
+                let _span = self.obs.span("plane");
+                let mut img = cube.plane_image(b);
+                let n = self.algo.preprocess_plane(&mut img);
+                if n > 0 {
+                    cube.set_plane(b, &img);
+                }
+                total += n;
+            }
+            total
+        } else {
+            let (job_tx, job_rx) = channel::unbounded::<&mut [T]>();
+            for plane in cube.as_mut_slice().chunks_mut(plane_len) {
+                job_tx
+                    .send(plane)
+                    .expect("job queue cannot disconnect here");
+            }
+            drop(job_tx);
+
+            let (res_tx, res_rx) = channel::unbounded::<usize>();
+            let mut total = 0;
+            let algo = &self.algo;
+            let obs = &self.obs;
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    s.spawn(move || {
+                        while let Ok(plane) = job_rx.recv() {
+                            let span = obs.span("plane");
+                            let mut img = Image::from_vec(width, height, plane.to_vec())
+                                .expect("plane slice has exact dimensions");
+                            let n = algo.preprocess_plane(&mut img);
+                            if n > 0 {
+                                plane.copy_from_slice(img.as_slice());
+                            }
+                            drop(span);
+                            if res_tx.send(n).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(res_tx);
+                while let Ok(n) = res_rx.recv() {
+                    total += n;
+                }
+            });
+            total
+        };
+        if self.obs.is_enabled() {
+            self.obs.counter("preprocess_runs_total", None).inc();
+            self.obs
+                .counter("preprocess_planes_total", None)
+                .add(bands as u64);
+            self.obs
+                .counter("preprocess_samples_repaired_total", None)
+                .add(total as u64);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo_ngst::AlgoNgst;
+    use crate::sensitivity::{Sensitivity, Upsilon};
+    use crate::smoothing::MedianSmoother;
+
+    fn noisy_stack(w: usize, h: usize, frames: usize) -> ImageStack<u16> {
+        let mut st = ImageStack::new(w, h, frames);
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for v in st.as_mut_slice() {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            // Calm level with sparse large flips.
+            *v = 27_000 + (state >> 60) as u16;
+            if state >> 32 & 0xFF < 4 {
+                *v ^= 1 << (10 + (state >> 40 & 0x5) as u32);
+            }
+        }
+        st
+    }
+
+    fn algo() -> AlgoNgst {
+        AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap())
+    }
+
+    #[test]
+    fn tiled_matches_naive_reference() {
+        let pp = Preprocessor::new(algo());
+        let mut naive = noisy_stack(37, 23, 24);
+        let mut tiled = naive.clone();
+        let a = Preprocessor::new(algo()).naive(true).run(&mut naive);
+        let b = pp.clone().tile(8).run(&mut tiled);
+        assert_eq!(a, b, "changed counts must match");
+        assert_eq!(naive, tiled, "tiled path must be bit-identical");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_various_thread_counts() {
+        let mut reference = noisy_stack(70, 40, 16);
+        let want = Preprocessor::new(algo()).naive(true).run(&mut reference);
+        for threads in [0, 1, 2, 3, 8] {
+            let mut st = noisy_stack(70, 40, 16);
+            let got = Preprocessor::new(algo()).threads(threads).run(&mut st);
+            assert_eq!(got, want, "changed count at {threads} threads");
+            assert_eq!(st, reference, "output at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn degenerate_stacks_are_noops() {
+        let pp = Preprocessor::new(algo()).threads(4);
+        let mut empty: ImageStack<u16> = ImageStack::new(0, 4, 8);
+        assert_eq!(pp.run(&mut empty), 0);
+        let mut no_frames: ImageStack<u16> = ImageStack::new(4, 4, 0);
+        assert_eq!(pp.run(&mut no_frames), 0);
+        // Series shorter than Υ/2 + 1: left untouched, zero count.
+        let mut short: ImageStack<u16> = ImageStack::new(4, 4, 2);
+        assert_eq!(pp.run(&mut short), 0);
+    }
+
+    #[test]
+    fn cube_parallel_matches_sequential_band_loop() {
+        let mut cube: Cube<f32> = Cube::new(17, 11, 9);
+        let mut state = 0xDEAD_BEEFu64;
+        for v in cube.as_mut_slice() {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            *v = 100.0 + (state >> 56) as f32;
+        }
+        let smoother = MedianSmoother::new();
+        let mut seq = cube.clone();
+        let a = Preprocessor::new(&smoother).run_cube(&mut seq);
+        let mut par = cube.clone();
+        let b = Preprocessor::new(&smoother).threads(4).run_cube(&mut par);
+        assert_eq!(a, b, "changed counts must match");
+        assert_eq!(seq.as_slice(), par.as_slice(), "bit-identical planes");
+    }
+
+    #[test]
+    fn observer_counts_runs_series_tiles_and_repairs() {
+        let obs = Obs::new();
+        let mut st = noisy_stack(64, 48, 16);
+        let changed = Preprocessor::new(algo())
+            .threads(2)
+            .observer(&obs)
+            .run(&mut st);
+        assert!(changed > 0, "workload must exercise the repair path");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("preprocess_runs_total", None), Some(1));
+        assert_eq!(snap.counter("preprocess_series_total", None), Some(64 * 48));
+        assert_eq!(
+            snap.counter("preprocess_samples_repaired_total", None),
+            Some(changed as u64)
+        );
+        // 64×48 at the default 32-tile → 2×2 grid + clipped remainder: 4 tiles.
+        assert_eq!(snap.counter("preprocess_tiles_total", None), Some(4));
+        // One voter matrix (and window derivation) per coordinate series.
+        assert_eq!(
+            snap.counter("preprocess_voter_builds_total", None),
+            Some(64 * 48)
+        );
+        assert_eq!(
+            snap.counter("preprocess_window_derivations_total", None),
+            Some(64 * 48)
+        );
+        // Spans landed in the stage histograms.
+        let stages = snap
+            .histogram("stage_seconds", Some(("stage", "preprocess")))
+            .expect("preprocess stage timed");
+        assert_eq!(stages.count, 1);
+        let tiles = snap
+            .histogram("stage_seconds", Some(("stage", "tile")))
+            .expect("tile spans timed");
+        assert_eq!(tiles.count, 4);
+    }
+
+    #[test]
+    fn observer_does_not_change_results() {
+        let obs = Obs::new();
+        let mut plain = noisy_stack(33, 29, 16);
+        let mut observed = plain.clone();
+        let a = Preprocessor::new(algo()).threads(3).run(&mut plain);
+        let b = Preprocessor::new(algo())
+            .threads(3)
+            .observer(&obs)
+            .run(&mut observed);
+        assert_eq!(a, b);
+        assert_eq!(plain, observed, "instrumentation must not touch data");
+    }
+
+    #[test]
+    fn run_image_counts_repairs() {
+        let obs = Obs::new();
+        let mut img: Image<u16> = Image::new(32, 32);
+        for v in img.as_mut_slice() {
+            *v = 27_000;
+        }
+        let x = img.width() / 2;
+        let before = img.get(x, 5);
+        img.set(x, 5, before ^ (1 << 14));
+        let changed = Preprocessor::new(algo()).observer(&obs).run_image(&mut img);
+        assert!(changed > 0);
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter("preprocess_samples_repaired_total", None),
+            Some(changed as u64)
+        );
+        assert!(
+            snap.counter("preprocess_voter_builds_total", None)
+                .unwrap_or(0)
+                > 0
+        );
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn spatial_tiles_cover_frame_exactly() {
+        let tiles = spatial_tiles(70, 33, 32);
+        let area: usize = tiles.iter().map(|t| t.tw * t.th).sum();
+        assert_eq!(area, 70 * 33);
+        assert!(tiles.iter().all(|t| t.tw > 0 && t.th > 0));
+        assert!(tiles.iter().all(|t| t.tx + t.tw <= 70 && t.ty + t.th <= 33));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile side must be positive")]
+    fn zero_tile_side_is_rejected() {
+        let _ = Preprocessor::new(algo()).tile(0);
+    }
+}

@@ -57,6 +57,10 @@ pub struct VoterScratch<T> {
     pub(crate) diffs: Vec<u64>,
     /// Per-pixel correction words of the series under repair.
     pub(crate) corrections: Vec<T>,
+    /// Voter matrices built through this scratch since the last reset.
+    voter_builds: u64,
+    /// Bit-window derivations performed since the last reset.
+    window_derivations: u64,
 }
 
 impl<T> VoterScratch<T> {
@@ -66,6 +70,8 @@ impl<T> VoterScratch<T> {
         VoterScratch {
             diffs: Vec::new(),
             corrections: Vec::new(),
+            voter_builds: 0,
+            window_derivations: 0,
         }
     }
 
@@ -75,7 +81,28 @@ impl<T> VoterScratch<T> {
         VoterScratch {
             diffs: Vec::with_capacity(series_len),
             corrections: Vec::with_capacity(series_len),
+            voter_builds: 0,
+            window_derivations: 0,
         }
+    }
+
+    /// Voter matrices built through this scratch since the last
+    /// [`reset_tallies`](Self::reset_tallies). A plain field increment on
+    /// the hot path — drivers flush it into their metrics registry per
+    /// tile, so the per-series cost stays at one non-atomic add.
+    pub fn voter_builds(&self) -> u64 {
+        self.voter_builds
+    }
+
+    /// Bit-window derivations performed since the last reset.
+    pub fn window_derivations(&self) -> u64 {
+        self.window_derivations
+    }
+
+    /// Zeroes both tallies (typically after flushing them to a registry).
+    pub fn reset_tallies(&mut self) {
+        self.voter_builds = 0;
+        self.window_derivations = 0;
     }
 }
 
@@ -177,6 +204,8 @@ impl<T: BitPixel> VoterMatrix<T> {
             max_v << margin
         };
         let windows = BitWindows::from_cutoffs(min_vval, T::from_u64(shifted));
+        scratch.voter_builds += 1;
+        scratch.window_derivations += 1;
         Ok(VoterMatrix {
             upsilon,
             series_len: n,

@@ -1,10 +1,9 @@
-//! Property: the data-parallel and cache-aware tiled drivers are
-//! bit-identical to the naive sequential `preprocess_stack`, for random
-//! cubes, Υ, Λ, and any thread count.
+//! Property: the data-parallel and cache-aware tiled drivers of the
+//! unified [`Preprocessor`] are bit-identical to the naive sequential
+//! reference, for random cubes, Υ, Λ, and any thread count.
 
 use preflight_core::{
-    preprocess_stack, preprocess_stack_parallel, preprocess_stack_tiled, AlgoNgst, ImageStack,
-    Sensitivity, SeriesPreprocessor, Upsilon, VoterScratch,
+    AlgoNgst, ImageStack, Preprocessor, Sensitivity, SeriesPreprocessor, Upsilon, VoterScratch,
 };
 use proptest::prelude::*;
 
@@ -37,8 +36,8 @@ prop_compose! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// `preprocess_stack_parallel` output and changed-sample count are
-    /// bit-identical to the sequential driver for any thread count.
+    /// The parallel driver's output and changed-sample count are
+    /// bit-identical to the sequential reference for any thread count.
     #[test]
     fn parallel_is_bit_identical_to_sequential(
         stack in stack_strategy(),
@@ -51,9 +50,9 @@ proptest! {
             Sensitivity::new(lambda).unwrap(),
         );
         let mut sequential = stack.clone();
-        let want = preprocess_stack(&algo, &mut sequential);
+        let want = Preprocessor::new(&algo).naive(true).run(&mut sequential);
         let mut parallel = stack.clone();
-        let got = preprocess_stack_parallel(&algo, &mut parallel, threads);
+        let got = Preprocessor::new(&algo).threads(threads).run(&mut parallel);
         prop_assert_eq!(got, want, "changed-sample counts diverge");
         prop_assert_eq!(sequential, parallel, "outputs diverge");
     }
@@ -67,9 +66,9 @@ proptest! {
     ) {
         let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(lambda).unwrap());
         let mut sequential = stack.clone();
-        let want = preprocess_stack(&algo, &mut sequential);
+        let want = Preprocessor::new(&algo).naive(true).run(&mut sequential);
         let mut tiled = stack.clone();
-        let got = preprocess_stack_tiled(&algo, &mut tiled, tile);
+        let got = Preprocessor::new(&algo).tile(tile).run(&mut tiled);
         prop_assert_eq!(got, want, "changed-sample counts diverge");
         prop_assert_eq!(sequential, tiled, "outputs diverge");
     }

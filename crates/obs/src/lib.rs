@@ -1,0 +1,59 @@
+//! # preflight-obs
+//!
+//! Runtime observability for the preprocessing pipeline: a lock-free
+//! metrics registry (atomic counters, gauges and fixed-bucket latency
+//! histograms with p50/p90/p99 summaries), lightweight tracing spans
+//! ([`Span`] RAII timers with a pluggable [`SpanSubscriber`]), and
+//! Prometheus text-format rendering. No external dependencies.
+//!
+//! The entry point is [`Obs`], a cheap cloneable handle. A *disabled*
+//! handle ([`Obs::disabled`]) turns every operation into a no-op that
+//! never touches the clock or any atomic, so instrumented hot paths pay
+//! nothing when observability is off:
+//!
+//! ```
+//! use preflight_obs::Obs;
+//!
+//! let obs = Obs::new();
+//! obs.counter("samples_repaired_total", None).add(17);
+//! {
+//!     let _span = obs.span("engine"); // times the block on drop
+//! }
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter("samples_repaired_total", None), Some(17));
+//! ```
+//!
+//! ## Metric naming scheme
+//!
+//! Families are registered with bare snake-case names following the
+//! Prometheus conventions (`_total` for counters, `_seconds` for
+//! latency histograms). Rendering prefixes every family with
+//! `preflight_`. One optional label is supported per series — enough
+//! for the per-stage (`stage="engine"`) and per-rung
+//! (`rung="bitvoter"`) breakdowns the pipeline needs — and both the
+//! family and the label value must be `&'static str`, which keeps the
+//! hot path free of allocation and the registry keys trivially
+//! hashable.
+//!
+//! ## Spans
+//!
+//! [`Obs::span`] starts an RAII timer. On drop it feeds the duration
+//! into the `stage_seconds{stage="..."}` histogram family and, if a
+//! subscriber is installed ([`Obs::set_subscriber`]), delivers a
+//! [`SpanRecord`]. [`TimelineRecorder`] is the built-in subscriber
+//! behind `--trace-json`: it collects records and renders a JSON span
+//! timeline for offline analysis.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod registry;
+pub mod render;
+pub mod span;
+
+pub use registry::{
+    Counter, CounterSnap, Gauge, GaugeSnap, HistSnap, Histogram, HistogramTimer, Obs, Snapshot,
+    LATENCY_BUCKETS_US, STAGE_SECONDS,
+};
+pub use render::render_prometheus;
+pub use span::{Span, SpanRecord, SpanSubscriber, TimelineRecorder};

@@ -1,0 +1,602 @@
+//! The lock-free metrics registry behind [`Obs`].
+//!
+//! Registration (first lookup of a family/label pair) takes a mutex on
+//! a cold path; every subsequent operation on the returned [`Counter`],
+//! [`Gauge`] or [`Histogram`] handle is a relaxed atomic op on shared
+//! cells — no locks, no allocation. Handles from a disabled [`Obs`] are
+//! inert: they never touch the clock or any atomic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::span::{Span, SpanRecord, SpanSubscriber};
+
+/// Bucket upper bounds for latency histograms, in microseconds. The
+/// final `u64::MAX` entry is the `+Inf` overflow bucket.
+pub const LATENCY_BUCKETS_US: [u64; 20] = [
+    50,
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    30_000_000,
+    60_000_000,
+    u64::MAX,
+];
+
+/// Histogram family every [`Span`] reports into, labelled by stage.
+pub const STAGE_SECONDS: &str = "stage_seconds";
+
+/// One optional `key="value"` label pair; both sides `&'static str` so
+/// hot-path lookups never allocate.
+type Label = Option<(&'static str, &'static str)>;
+type Key = (&'static str, Label);
+
+struct HistCore {
+    counts: [AtomicU64; LATENCY_BUCKETS_US.len()],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistCore {
+    fn new() -> Self {
+        HistCore {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe_us(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| us <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<Key, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<Key, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<Key, Arc<HistCore>>>,
+    subscriber_active: AtomicBool,
+    subscriber: RwLock<Option<Arc<dyn SpanSubscriber>>>,
+}
+
+/// Cheap cloneable observability handle: the registry, the span clock
+/// and the subscriber slot in one. See the crate docs for the model.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+impl Obs {
+    /// A live registry: handles record, spans time, snapshots report.
+    pub fn new() -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                subscriber_active: AtomicBool::new(false),
+                subscriber: RwLock::new(None),
+            })),
+        }
+    }
+
+    /// The no-op handle: every operation derived from it does nothing
+    /// and reads no clock. This is the zero-overhead "off" switch.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds elapsed since this registry was created (0 when
+    /// disabled). Span start offsets are expressed on this clock.
+    pub fn elapsed_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Looks up (registering on first use) the counter `name`, with an
+    /// optional `key="value"` label pair.
+    pub fn counter(&self, name: &'static str, label: Label) -> Counter {
+        Counter {
+            cell: self.inner.as_ref().map(|inner| {
+                let mut map = inner.counters.lock().expect("counter registry poisoned");
+                Arc::clone(map.entry((name, label)).or_default())
+            }),
+        }
+    }
+
+    /// Looks up (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &'static str, label: Label) -> Gauge {
+        Gauge {
+            cell: self.inner.as_ref().map(|inner| {
+                let mut map = inner.gauges.lock().expect("gauge registry poisoned");
+                Arc::clone(map.entry((name, label)).or_default())
+            }),
+        }
+    }
+
+    /// Looks up (registering on first use) the latency histogram
+    /// `name`, bucketed per [`LATENCY_BUCKETS_US`].
+    pub fn histogram(&self, name: &'static str, label: Label) -> Histogram {
+        Histogram {
+            core: self.inner.as_ref().map(|inner| {
+                let mut map = inner
+                    .histograms
+                    .lock()
+                    .expect("histogram registry poisoned");
+                Arc::clone(
+                    map.entry((name, label))
+                        .or_insert_with(|| Arc::new(HistCore::new())),
+                )
+            }),
+        }
+    }
+
+    /// Starts an RAII span timer for `stage`. On drop the duration is
+    /// fed into `stage_seconds{stage="..."}` and the subscriber (if
+    /// any) receives a [`SpanRecord`]. Equivalent to
+    /// [`Span::enter(self, stage)`](Span::enter).
+    pub fn span(&self, stage: &'static str) -> Span {
+        Span::enter(self, stage)
+    }
+
+    /// Installs (or clears, with `None`) the span subscriber.
+    pub fn set_subscriber(&self, subscriber: Option<Arc<dyn SpanSubscriber>>) {
+        if let Some(inner) = &self.inner {
+            inner
+                .subscriber_active
+                .store(subscriber.is_some(), Ordering::Release);
+            *inner.subscriber.write().expect("subscriber slot poisoned") = subscriber;
+        }
+    }
+
+    pub(crate) fn subscriber_active(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.subscriber_active.load(Ordering::Acquire),
+            None => false,
+        }
+    }
+
+    pub(crate) fn notify(&self, record: SpanRecord) {
+        if let Some(inner) = &self.inner {
+            if let Some(sub) = inner
+                .subscriber
+                .read()
+                .expect("subscriber slot poisoned")
+                .as_ref()
+            {
+                sub.on_close(record);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every registered series. Individual
+    /// values are read with relaxed ordering, so the snapshot is
+    /// consistent per-series, not across series — fine for monitoring,
+    /// not a transaction.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        let own = |l: Label| l.map(|(k, v)| (k.to_owned(), v.to_owned()));
+        for ((name, label), cell) in inner.counters.lock().expect("poisoned").iter() {
+            snap.counters.push(CounterSnap {
+                name: (*name).to_owned(),
+                label: own(*label),
+                value: cell.load(Ordering::Relaxed),
+            });
+        }
+        for ((name, label), cell) in inner.gauges.lock().expect("poisoned").iter() {
+            snap.gauges.push(GaugeSnap {
+                name: (*name).to_owned(),
+                label: own(*label),
+                value: cell.load(Ordering::Relaxed),
+            });
+        }
+        for ((name, label), core) in inner.histograms.lock().expect("poisoned").iter() {
+            snap.histograms.push(HistSnap {
+                name: (*name).to_owned(),
+                label: own(*label),
+                count: core.count.load(Ordering::Relaxed),
+                sum_us: core.sum_us.load(Ordering::Relaxed),
+                buckets: LATENCY_BUCKETS_US
+                    .iter()
+                    .zip(core.counts.iter())
+                    .map(|(&le, c)| (le, c.load(Ordering::Relaxed)))
+                    .collect(),
+            });
+        }
+        snap
+    }
+}
+
+/// Monotonically increasing counter handle. Inert when obtained from a
+/// disabled [`Obs`].
+#[derive(Clone)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Signed point-in-time gauge handle (queue depth, in-flight count).
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish()
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket latency histogram handle.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Option<Arc<HistCore>>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let count = self
+            .core
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed));
+        f.debug_struct("Histogram").field("count", &count).finish()
+    }
+}
+
+impl Histogram {
+    /// Records one observation of `us` microseconds.
+    pub fn observe_us(&self, us: u64) {
+        if let Some(core) = &self.core {
+            core.observe_us(us);
+        }
+    }
+
+    /// Starts an RAII timer that observes its lifetime on drop. The
+    /// clock is only read when the histogram is live.
+    pub fn timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            hist: self.clone(),
+            start: self.core.as_ref().map(|_| Instant::now()),
+        }
+    }
+}
+
+/// RAII timer from [`Histogram::timer`]; records on drop.
+pub struct HistogramTimer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.observe_us(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// Point-in-time copy of one counter series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnap {
+    /// Family name (unprefixed).
+    pub name: String,
+    /// Optional `key="value"` label pair.
+    pub label: Option<(String, String)>,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Point-in-time copy of one gauge series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnap {
+    /// Family name (unprefixed).
+    pub name: String,
+    /// Optional `key="value"` label pair.
+    pub label: Option<(String, String)>,
+    /// Gauge value.
+    pub value: i64,
+}
+
+/// Point-in-time copy of one histogram series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnap {
+    /// Family name (unprefixed).
+    pub name: String,
+    /// Optional `key="value"` label pair.
+    pub label: Option<(String, String)>,
+    /// Total observation count.
+    pub count: u64,
+    /// Sum of all observations, microseconds.
+    pub sum_us: u64,
+    /// Per-bucket `(upper_bound_us, count)` pairs, non-cumulative;
+    /// the final bound is `u64::MAX` (`+Inf`).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnap {
+    /// Estimates the `q`-quantile (0 < q ≤ 1) in microseconds by
+    /// linear interpolation inside the bucket holding the rank.
+    /// Returns 0 for an empty histogram; observations in the `+Inf`
+    /// bucket clamp to the last finite bound.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        let mut lower = 0u64;
+        for &(le, c) in &self.buckets {
+            if rank <= cum + c && c > 0 {
+                if le == u64::MAX {
+                    return lower;
+                }
+                let frac = (rank - cum) as f64 / c as f64;
+                return lower + ((le - lower) as f64 * frac) as u64;
+            }
+            cum += c;
+            if le != u64::MAX {
+                lower = le;
+            }
+        }
+        lower
+    }
+
+    /// Median latency estimate, microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 90th-percentile latency estimate, microseconds.
+    pub fn p90_us(&self) -> u64 {
+        self.quantile_us(0.90)
+    }
+
+    /// 99th-percentile latency estimate, microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+}
+
+/// A point-in-time copy of the whole registry, ready for wire
+/// encoding, human formatting or Prometheus rendering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All counter series, sorted by (name, label).
+    pub counters: Vec<CounterSnap>,
+    /// All gauge series, sorted by (name, label).
+    pub gauges: Vec<GaugeSnap>,
+    /// All histogram series, sorted by (name, label).
+    pub histograms: Vec<HistSnap>,
+}
+
+impl Snapshot {
+    fn label_matches(have: &Option<(String, String)>, want: Option<(&str, &str)>) -> bool {
+        match (have, want) {
+            (None, None) => true,
+            (Some((k, v)), Some((wk, wv))) => k == wk && v == wv,
+            _ => false,
+        }
+    }
+
+    /// Value of the counter `name` with the given label, if present.
+    pub fn counter(&self, name: &str, label: Option<(&str, &str)>) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && Self::label_matches(&c.label, label))
+            .map(|c| c.value)
+    }
+
+    /// Value of the gauge `name` with the given label, if present.
+    pub fn gauge(&self, name: &str, label: Option<(&str, &str)>) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && Self::label_matches(&g.label, label))
+            .map(|g| g.value)
+    }
+
+    /// The histogram series `name` with the given label, if present.
+    pub fn histogram(&self, name: &str, label: Option<(&str, &str)>) -> Option<&HistSnap> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && Self::label_matches(&h.label, label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let obs = Obs::disabled();
+        let c = obs.counter("x_total", None);
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = obs.gauge("depth", None);
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = obs.histogram("lat", None);
+        h.observe_us(100);
+        drop(h.timer());
+        assert_eq!(obs.elapsed_us(), 0);
+        let snap = obs.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_share_cells_across_handles() {
+        let obs = Obs::new();
+        let a = obs.counter("reqs_total", None);
+        let b = obs.counter("reqs_total", None);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let g1 = obs.gauge("inflight", None);
+        let g2 = obs.gauge("inflight", None);
+        g1.add(4);
+        g2.add(-1);
+        assert_eq!(g1.get(), 3);
+    }
+
+    #[test]
+    fn labels_separate_series() {
+        let obs = Obs::new();
+        obs.counter("stage_total", Some(("stage", "a"))).add(1);
+        obs.counter("stage_total", Some(("stage", "b"))).add(2);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("stage_total", Some(("stage", "a"))), Some(1));
+        assert_eq!(snap.counter("stage_total", Some(("stage", "b"))), Some(2));
+        assert_eq!(snap.counter("stage_total", None), None);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_count() {
+        let obs = Obs::new();
+        let h = obs.histogram("lat", None);
+        for us in [10, 60, 300, 900, 5_000, 70_000_000] {
+            h.observe_us(us);
+        }
+        let snap = obs.snapshot();
+        let hs = snap.histogram("lat", None).expect("registered");
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 6);
+        assert_eq!(hs.sum_us, 10 + 60 + 300 + 900 + 5_000 + 70_000_000);
+        // The 70 s observation lands in the +Inf bucket.
+        assert_eq!(
+            hs.buckets.last().map(|&(le, c)| (le, c)),
+            Some((u64::MAX, 1))
+        );
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let obs = Obs::new();
+        let h = obs.histogram("lat", None);
+        for _ in 0..99 {
+            h.observe_us(75); // bucket (50, 100]
+        }
+        h.observe_us(120_000_000); // +Inf bucket
+        let snap = obs.snapshot();
+        let hs = snap.histogram("lat", None).expect("registered");
+        let p50 = hs.p50_us();
+        assert!(p50 > 50 && p50 <= 100, "p50 = {p50}");
+        // p99 rank stays inside the finite bucket; p100 would clamp.
+        assert!(hs.p99_us() <= 100);
+        assert_eq!(hs.quantile_us(1.0), 60_000_000);
+        let empty = HistSnap {
+            name: "e".into(),
+            label: None,
+            count: 0,
+            sum_us: 0,
+            buckets: vec![(u64::MAX, 0)],
+        };
+        assert_eq!(empty.p50_us(), 0);
+    }
+
+    #[test]
+    fn timer_records_an_observation() {
+        let obs = Obs::new();
+        let h = obs.histogram("lat", None);
+        drop(h.timer());
+        let snap = obs.snapshot();
+        assert_eq!(snap.histogram("lat", None).map(|h| h.count), Some(1));
+    }
+}

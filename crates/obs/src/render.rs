@@ -1,0 +1,146 @@
+//! Prometheus text-format exposition (version 0.0.4) over a
+//! [`Snapshot`].
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+
+/// Every family is exposed under this prefix.
+pub const PROMETHEUS_PREFIX: &str = "preflight_";
+
+fn label_block(label: &Option<(String, String)>, extra: Option<(&str, String)>) -> String {
+    let mut pairs = Vec::new();
+    if let Some((k, v)) = label {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn le_value(us: u64) -> String {
+    if us == u64::MAX {
+        "+Inf".to_owned()
+    } else {
+        format!("{}", us as f64 / 1e6)
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format:
+/// `# TYPE` header once per family, one sample line per series, with
+/// histogram buckets cumulative and bounds/sums expressed in seconds.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = "";
+    for c in &snap.counters {
+        if c.name != last_family {
+            let _ = writeln!(out, "# TYPE {PROMETHEUS_PREFIX}{} counter", c.name);
+            last_family = &c.name;
+        }
+        let _ = writeln!(
+            out,
+            "{PROMETHEUS_PREFIX}{}{} {}",
+            c.name,
+            label_block(&c.label, None),
+            c.value
+        );
+    }
+    last_family = "";
+    for g in &snap.gauges {
+        if g.name != last_family {
+            let _ = writeln!(out, "# TYPE {PROMETHEUS_PREFIX}{} gauge", g.name);
+            last_family = &g.name;
+        }
+        let _ = writeln!(
+            out,
+            "{PROMETHEUS_PREFIX}{}{} {}",
+            g.name,
+            label_block(&g.label, None),
+            g.value
+        );
+    }
+    last_family = "";
+    for h in &snap.histograms {
+        if h.name != last_family {
+            let _ = writeln!(out, "# TYPE {PROMETHEUS_PREFIX}{} histogram", h.name);
+            last_family = &h.name;
+        }
+        let mut cum = 0u64;
+        for &(le, count) in &h.buckets {
+            cum += count;
+            let _ = writeln!(
+                out,
+                "{PROMETHEUS_PREFIX}{}_bucket{} {cum}",
+                h.name,
+                label_block(&h.label, Some(("le", le_value(le))))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{PROMETHEUS_PREFIX}{}_sum{} {}",
+            h.name,
+            label_block(&h.label, None),
+            h.sum_us as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "{PROMETHEUS_PREFIX}{}_count{} {}",
+            h.name,
+            label_block(&h.label, None),
+            h.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Obs;
+
+    #[test]
+    fn renders_all_three_metric_kinds() {
+        let obs = Obs::new();
+        obs.counter("requests_total", None).add(3);
+        obs.counter("stage_total", Some(("stage", "a"))).inc();
+        obs.counter("stage_total", Some(("stage", "b"))).inc();
+        obs.gauge("inflight", None).set(2);
+        obs.histogram("stage_seconds", Some(("stage", "engine")))
+            .observe_us(75);
+        let text = render_prometheus(&obs.snapshot());
+
+        assert!(text.contains("# TYPE preflight_requests_total counter\n"));
+        assert!(text.contains("preflight_requests_total 3\n"));
+        // One TYPE header for the two-series family.
+        assert_eq!(
+            text.matches("# TYPE preflight_stage_total counter").count(),
+            1
+        );
+        assert!(text.contains("preflight_stage_total{stage=\"a\"} 1\n"));
+        assert!(text.contains("# TYPE preflight_inflight gauge\n"));
+        assert!(text.contains("preflight_inflight 2\n"));
+        assert!(text.contains("# TYPE preflight_stage_seconds histogram\n"));
+        assert!(text.contains("preflight_stage_seconds_bucket{stage=\"engine\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("preflight_stage_seconds_count{stage=\"engine\"} 1\n"));
+        assert!(text.contains("preflight_stage_seconds_sum{stage=\"engine\"} 0.000075\n"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_end_at_count() {
+        let obs = Obs::new();
+        let h = obs.histogram("lat_seconds", None);
+        for us in [10, 75, 75, 300] {
+            h.observe_us(us);
+        }
+        let text = render_prometheus(&obs.snapshot());
+        assert!(text.contains("preflight_lat_seconds_bucket{le=\"0.00005\"} 1\n"));
+        assert!(text.contains("preflight_lat_seconds_bucket{le=\"0.0001\"} 3\n"));
+        assert!(text.contains("preflight_lat_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("preflight_lat_seconds_count 4\n"));
+    }
+}

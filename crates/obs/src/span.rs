@@ -1,0 +1,217 @@
+//! RAII tracing spans and the pluggable subscriber behind
+//! `--trace-json`.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::registry::{Histogram, Obs, STAGE_SECONDS};
+
+/// One closed span: where it ran, when it started on the registry
+/// clock, and how long it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name the span was entered with.
+    pub stage: &'static str,
+    /// Start offset from the [`Obs`] epoch, microseconds.
+    pub start_us: u64,
+    /// Span duration, microseconds.
+    pub dur_us: u64,
+    /// Name (or debug id) of the thread the span closed on.
+    pub thread: String,
+}
+
+/// Receives every closed [`SpanRecord`] once installed via
+/// [`Obs::set_subscriber`]. Implementations must be cheap and
+/// non-blocking: `on_close` runs on the instrumented thread.
+pub trait SpanSubscriber: Send + Sync {
+    /// Called exactly once per span, at drop.
+    fn on_close(&self, record: SpanRecord);
+}
+
+struct ActiveSpan {
+    obs: Obs,
+    stage: &'static str,
+    hist: Histogram,
+    start: Instant,
+    start_us: u64,
+}
+
+/// An RAII stage timer. Created by [`Span::enter`] (or the
+/// [`Obs::span`] convenience); on drop it observes its duration into
+/// the `stage_seconds{stage="..."}` histogram and notifies the
+/// subscriber, if one is installed. Spans from a disabled [`Obs`] are
+/// free: no clock read, no atomics, nothing on drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately measures nothing"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Enters the span `stage` on the registry behind `obs`.
+    pub fn enter(obs: &Obs, stage: &'static str) -> Span {
+        if !obs.is_enabled() {
+            return Span { active: None };
+        }
+        Span {
+            active: Some(ActiveSpan {
+                obs: obs.clone(),
+                stage,
+                hist: obs.histogram(STAGE_SECONDS, Some(("stage", stage))),
+                start: Instant::now(),
+                start_us: obs.elapsed_us(),
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_us = active.start.elapsed().as_micros() as u64;
+        active.hist.observe_us(dur_us);
+        if active.obs.subscriber_active() {
+            let current = std::thread::current();
+            let thread = match current.name() {
+                Some(name) => name.to_owned(),
+                None => format!("{:?}", current.id()),
+            };
+            active.obs.notify(SpanRecord {
+                stage: active.stage,
+                start_us: active.start_us,
+                dur_us,
+                thread,
+            });
+        }
+    }
+}
+
+/// The built-in subscriber: collects every closed span and renders a
+/// JSON timeline for offline analysis (`--trace-json`).
+#[derive(Default)]
+pub struct TimelineRecorder {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TimelineRecorder {
+    /// An empty recorder, ready to be installed as a subscriber.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TimelineRecorder::default())
+    }
+
+    /// A copy of every span recorded so far, in close order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("timeline poisoned").clone()
+    }
+
+    /// Renders the timeline as a JSON array, one object per span in
+    /// close order: `{"stage","start_us","dur_us","thread"}`.
+    pub fn to_json(&self) -> String {
+        let spans = self.spans.lock().expect("timeline poisoned");
+        let mut out = String::from("[\n");
+        for (i, s) in spans.iter().enumerate() {
+            let comma = if i + 1 == spans.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"stage\":\"{}\",\"start_us\":{},\"dur_us\":{},\"thread\":\"{}\"}}{comma}\n",
+                escape_json(s.stage),
+                s.start_us,
+                s.dur_us,
+                escape_json(&s.thread)
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+impl SpanSubscriber for TimelineRecorder {
+    fn on_close(&self, record: SpanRecord) {
+        self.spans.lock().expect("timeline poisoned").push(record);
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_feeds_stage_histogram() {
+        let obs = Obs::new();
+        {
+            let _span = obs.span("engine");
+        }
+        let snap = obs.snapshot();
+        let h = snap
+            .histogram(STAGE_SECONDS, Some(("stage", "engine")))
+            .expect("span registered the stage series");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn subscriber_sees_every_close_in_order() {
+        let obs = Obs::new();
+        let recorder = TimelineRecorder::new();
+        obs.set_subscriber(Some(recorder.clone()));
+        {
+            let _a = Span::enter(&obs, "a");
+        }
+        {
+            let _b = Span::enter(&obs, "b");
+        }
+        let records = recorder.records();
+        assert_eq!(
+            records.iter().map(|r| r.stage).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert!(records.iter().all(|r| !r.thread.is_empty()));
+        // Clearing the subscriber stops delivery.
+        obs.set_subscriber(None);
+        {
+            let _c = Span::enter(&obs, "c");
+        }
+        assert_eq!(recorder.records().len(), 2);
+    }
+
+    #[test]
+    fn timeline_json_is_one_object_per_span() {
+        let obs = Obs::new();
+        let recorder = TimelineRecorder::new();
+        obs.set_subscriber(Some(recorder.clone()));
+        {
+            let _a = obs.span("tile");
+        }
+        let json = recorder.to_json();
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert_eq!(json.matches("\"stage\":\"tile\"").count(), 1);
+        assert!(json.contains("\"start_us\":"));
+        assert!(json.contains("\"dur_us\":"));
+    }
+
+    #[test]
+    fn disabled_spans_do_nothing() {
+        let obs = Obs::disabled();
+        {
+            let _span = obs.span("engine");
+        }
+        assert!(obs.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -22,7 +22,7 @@
 //! that defeats plain ALFT).
 
 use crate::retrieval::{Retrieval, RetrievalProduct};
-use preflight_core::{preprocess_cube_parallel, Cube, Image, MedianSmoother, PhysicalBounds};
+use preflight_core::{Cube, Image, MedianSmoother, PhysicalBounds, Preprocessor};
 use preflight_faults::{ChaosModel, ChaosOutcome, FaultError, Uncorrelated};
 use preflight_supervisor::{
     supervise, FailureKind, FtLevel, RecoveryKind, RecoveryLog, StageOutcome, Supervision,
@@ -539,7 +539,9 @@ impl AlftHarness {
         );
         let smoother = MedianSmoother::new();
         let mut smoothed = cube.clone();
-        preprocess_cube_parallel(&smoother, &mut smoothed, self.threads);
+        Preprocessor::new(&smoother)
+            .threads(self.threads)
+            .run_cube(&mut smoothed);
         let product = self.retrieval.run(&smoothed, bands);
         if self.filter.passes(&product.temperature) {
             log.record(ALFT_STAGE, unit, attempts + 1, RecoveryKind::Recovered);

@@ -18,6 +18,7 @@
 //! | [`ngst`] | the NGST application: up-the-ramp detector, cosmic-ray model and rejection, the 16-worker master/slave pipeline |
 //! | [`otis`] | the OTIS application: temperature/emissivity retrieval, the ALFT primary/secondary scheme with output filter and logic grid |
 //! | [`supervisor`] | the supervised runtime: per-stage deadlines, retries with backoff, the graceful-degradation ladder, recovery-event logging |
+//! | [`obs`] | observability: the lock-free metrics registry (counters, gauges, latency histograms), RAII tracing spans, Prometheus text rendering |
 //!
 //! # Quickstart
 //!
@@ -53,17 +54,24 @@ pub use preflight_faults as faults;
 pub use preflight_fits as fits;
 pub use preflight_metrics as metrics;
 pub use preflight_ngst as ngst;
+pub use preflight_obs as obs;
 pub use preflight_otis as otis;
 pub use preflight_rice as rice;
 pub use preflight_supervisor as supervisor;
 
 /// One-stop imports for the common workflow: generate → corrupt →
 /// preprocess → score.
+///
+/// The execution entry point is [`Preprocessor`]
+/// (`Preprocessor::new(algo).threads(n).observer(&obs).run(&mut stack)`);
+/// the PR 2 free-function drivers are deprecated shims over it and are
+/// intentionally **not** re-exported here.
+///
+/// [`Preprocessor`]: preflight_core::Preprocessor
 pub mod prelude {
     pub use preflight_core::{
-        available_threads, preprocess_cube_parallel, preprocess_stack, preprocess_stack_parallel,
-        preprocess_stack_tiled, AlgoNgst, AlgoOtis, BitVoter, Cube, Image, ImageStack,
-        MeanSmoother, MedianSmoother, NgstConfig, OtisConfig, PhysicalBounds, PlanePreprocessor,
+        available_threads, AlgoNgst, AlgoOtis, BitVoter, Cube, Image, ImageStack, MeanSmoother,
+        MedianSmoother, NgstConfig, OtisConfig, PhysicalBounds, PlanePreprocessor, Preprocessor,
         Sensitivity, SeriesPreprocessor, Upsilon,
     };
     pub use preflight_datagen::{
@@ -82,6 +90,7 @@ pub mod prelude {
         CosmicRayModel, CrRejector, DetectorConfig, NgstPipeline, PipelineConfig, PipelineError,
         SupervisedReport, TransitFault, UpTheRamp,
     };
+    pub use preflight_obs::{Obs, Snapshot, Span, TimelineRecorder};
     pub use preflight_otis::{AlftError, AlftHarness, AlftOutcome, ProcessFault, Retrieval};
     pub use preflight_rice::RiceCodec;
     pub use preflight_supervisor::{

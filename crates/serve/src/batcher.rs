@@ -21,6 +21,7 @@
 use crate::queue::{AdmissionGate, AdmissionPermit};
 use crate::wire::{Dtype, Message, SubmitRequest};
 use crossbeam::channel;
+use preflight_obs::Histogram;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -148,11 +149,15 @@ struct Group {
 
 /// Runs the batching loop until [`BatcherCmd::Stop`] or every sender is
 /// gone. Never blocks longer than the nearest group deadline.
+///
+/// `batch_hist` receives each group's formation time (open to flush) —
+/// the `batch` stage of the serve pipeline.
 pub fn run_batcher(
     rx: channel::Receiver<BatcherCmd>,
     engine_tx: channel::Sender<BatchJob>,
     gate: AdmissionGate,
     config: BatchConfig,
+    batch_hist: Histogram,
 ) {
     let mut groups: HashMap<GroupKey, Group> = HashMap::new();
     let idle_tick = Duration::from_millis(50);
@@ -173,7 +178,7 @@ pub fn run_batcher(
                     .get(&key)
                     .is_some_and(|g| g.frames + frames > config.max_frames)
                 {
-                    flush(&mut groups, key, &engine_tx);
+                    flush(&mut groups, key, &engine_tx, &batch_hist);
                 }
                 let group = groups.entry(key).or_insert_with(|| Group {
                     jobs: Vec::new(),
@@ -184,12 +189,12 @@ pub fn run_batcher(
                 group.frames += frames;
                 let target = config.effective_target(&gate, key.upsilon as usize);
                 if eos || group.frames >= target || group.frames >= config.max_frames {
-                    flush(&mut groups, key, &engine_tx);
+                    flush(&mut groups, key, &engine_tx, &batch_hist);
                 }
             }
-            Ok(BatcherCmd::FlushAll) => flush_all(&mut groups, &engine_tx),
+            Ok(BatcherCmd::FlushAll) => flush_all(&mut groups, &engine_tx, &batch_hist),
             Ok(BatcherCmd::Stop) => {
-                flush_all(&mut groups, &engine_tx);
+                flush_all(&mut groups, &engine_tx, &batch_hist);
                 return;
             }
             Err(channel::RecvTimeoutError::Timeout) => {
@@ -199,11 +204,11 @@ pub fn run_batcher(
                     .map(|(k, _)| *k)
                     .collect();
                 for key in due {
-                    flush(&mut groups, key, &engine_tx);
+                    flush(&mut groups, key, &engine_tx, &batch_hist);
                 }
             }
             Err(channel::RecvTimeoutError::Disconnected) => {
-                flush_all(&mut groups, &engine_tx);
+                flush_all(&mut groups, &engine_tx, &batch_hist);
                 return;
             }
         }
@@ -214,8 +219,10 @@ fn flush(
     groups: &mut HashMap<GroupKey, Group>,
     key: GroupKey,
     engine_tx: &channel::Sender<BatchJob>,
+    batch_hist: &Histogram,
 ) {
     if let Some(group) = groups.remove(&key) {
+        batch_hist.observe_us(group.opened_at.elapsed().as_micros() as u64);
         let batch = BatchJob {
             key,
             total_frames: group.frames,
@@ -227,10 +234,14 @@ fn flush(
     }
 }
 
-fn flush_all(groups: &mut HashMap<GroupKey, Group>, engine_tx: &channel::Sender<BatchJob>) {
+fn flush_all(
+    groups: &mut HashMap<GroupKey, Group>,
+    engine_tx: &channel::Sender<BatchJob>,
+    batch_hist: &Histogram,
+) {
     let keys: Vec<GroupKey> = groups.keys().copied().collect();
     for key in keys {
-        flush(groups, key, engine_tx);
+        flush(groups, key, engine_tx, batch_hist);
     }
 }
 
@@ -279,7 +290,8 @@ mod tests {
         let (cmd_tx, cmd_rx) = channel::unbounded();
         let (batch_tx, batch_rx) = channel::unbounded();
         let g = gate.clone();
-        let handle = std::thread::spawn(move || run_batcher(cmd_rx, batch_tx, g, config));
+        let hist = preflight_obs::Obs::disabled().histogram(preflight_obs::STAGE_SECONDS, None);
+        let handle = std::thread::spawn(move || run_batcher(cmd_rx, batch_tx, g, config, hist));
         (cmd_tx, batch_rx, handle)
     }
 

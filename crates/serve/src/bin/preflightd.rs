@@ -1,8 +1,9 @@
 //! `preflightd` — the batch-serving preprocessing daemon.
 //!
 //! ```text
-//! preflightd [--tcp ADDR] [--unix PATH] [--capacity N] [--max-conns N]
-//!            [--batch-frames N] [--batch-delay-ms N] [--threads N] [--workers N]
+//! preflightd [--tcp ADDR] [--unix PATH] [--metrics-addr ADDR] [--capacity N]
+//!            [--max-conns N] [--batch-frames N] [--batch-delay-ms N]
+//!            [--threads N] [--workers N]
 //! ```
 //!
 //! At least one of `--tcp`/`--unix` is required. The daemon serves until a
@@ -18,6 +19,7 @@ fn print_usage() {
     eprintln!();
     eprintln!("  --tcp ADDR           TCP listen address, e.g. 127.0.0.1:7733");
     eprintln!("  --unix PATH          Unix socket path, e.g. /tmp/preflightd.sock");
+    eprintln!("  --metrics-addr ADDR  Prometheus /metrics listener, e.g. 127.0.0.1:9090");
     eprintln!("  --capacity N         bounded-queue slots before Busy (default 64)");
     eprintln!("  --max-conns N        concurrent connections before Busy (default 256)");
     eprintln!("  --batch-frames N     base batch depth target (default 16)");
@@ -43,6 +45,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match argv[i].as_str() {
             "--tcp" => config.tcp = Some(value(&mut i, "--tcp")?),
             "--unix" => config.unix = Some(value(&mut i, "--unix")?.into()),
+            "--metrics-addr" => {
+                config.metrics_addr = Some(value(&mut i, "--metrics-addr")?);
+            }
             "--capacity" => {
                 config.capacity = parse_positive(&value(&mut i, "--capacity")?, "--capacity")?;
             }
@@ -111,6 +116,9 @@ fn main() {
     }
     if let Some(path) = handle.unix_path() {
         println!("preflightd: listening on unix://{}", path.display());
+    }
+    if let Some(addr) = handle.metrics_addr() {
+        println!("preflightd: serving metrics on http://{addr}/metrics");
     }
 
     // Serve until a signal lands or a wire-level Drain completes.

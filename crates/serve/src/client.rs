@@ -11,6 +11,7 @@ use crate::wire::{
     read_message, write_message, BusyReply, DrainSummary, ErrorReply, FramePayload, Message,
     SubmitRequest, SubmitResponse, WireError,
 };
+use preflight_obs::Snapshot;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -225,6 +226,19 @@ impl Client {
             return Err(ClientError::Unexpected("response for a different request"));
         }
         Ok(response)
+    }
+
+    /// Fetches the daemon's metrics registry: the same point-in-time
+    /// snapshot the `/metrics` scrape endpoint renders.
+    ///
+    /// # Errors
+    /// Fails on transport problems or a non-`StatsReply` reply.
+    pub fn stats(&mut self) -> Result<Snapshot, ClientError> {
+        write_message(&mut self.transport, &Message::StatsRequest)?;
+        match read_message(&mut self.transport)? {
+            Message::StatsReply(snap) => Ok(snap),
+            _ => Err(ClientError::Unexpected("wanted StatsReply")),
+        }
     }
 
     /// Asks the daemon to drain: finish in-flight work, refuse new work,

@@ -1,8 +1,7 @@
 //! The supervised batch engine.
 //!
 //! Each flushed [`BatchJob`] is concatenated into one temporal stack and
-//! repaired by the data-parallel driver
-//! ([`preflight_core::preprocess_stack_parallel`]) under the PR 1
+//! repaired by the data-parallel [`Preprocessor`] under the PR 1
 //! supervisor: per-attempt deadlines, retries with deterministic backoff,
 //! and — when a rung keeps failing — a quarantine step down the
 //! [`DegradationLadder`] (`Algo_NGST` → bit voter → median smoother →
@@ -12,13 +11,17 @@
 //! Panics inside the preprocessing pass are absorbed with `catch_unwind`
 //! and reported to the supervisor as [`FailureKind::Crash`], so one
 //! poisoned batch can never take the daemon down.
+//!
+//! Observability: every batch runs under an `engine` stage span; each
+//! request's queue wait feeds the `queue` stage histogram; repairs,
+//! retries and ladder transitions land in the shared registry.
 
 use crate::batcher::BatchJob;
 use crate::telemetry::{RequestStats, ServerStats};
 use crate::wire::{Dtype, ErrorCode, ErrorReply, FramePayload, Message, SubmitResponse};
 use crossbeam::channel;
 use preflight_core::{
-    preprocess_stack_parallel, AlgoNgst, BitPixel, ImageStack, Sensitivity, Upsilon, ValuePixel,
+    AlgoNgst, BitPixel, ImageStack, Preprocessor, Sensitivity, Upsilon, ValuePixel,
 };
 use preflight_supervisor::{
     supervise, DegradationLadder, FailureKind, FtLevel, RecoveryLog, StageOutcome, Supervision,
@@ -31,7 +34,7 @@ use std::time::Instant;
 /// Engine knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads handed to `preprocess_stack_parallel` per batch.
+    /// Worker threads handed to the [`Preprocessor`] per batch.
     pub threads: usize,
     /// Retry/timeout/degradation policy applied to each batch.
     pub supervision: Supervision,
@@ -63,7 +66,7 @@ pub fn run_engine_worker(
 
 /// Preprocesses one batch and answers every request inside it.
 pub fn process_batch(batch: BatchJob, config: &EngineConfig, stats: &ServerStats) {
-    ServerStats::bump(&stats.batches);
+    stats.batches.inc();
     match batch.key.dtype {
         Dtype::U16 => process_typed::<u16>(batch, config, stats),
         Dtype::U32 => process_typed::<u32>(batch, config, stats),
@@ -108,6 +111,8 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
     let key = batch.key;
     let unit = BATCH_SEQ.fetch_add(1, Ordering::Relaxed);
     let dispatched_at = Instant::now();
+    // Covers the whole batch service: ladder walk, slicing, reply queuing.
+    let engine_timer = stats.stage_engine.timer();
 
     // Concatenate the batch into one temporal stack, remembering each
     // request's frame range.
@@ -163,7 +168,10 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
             let mut work = input.clone();
             let started = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| {
-                preprocess_stack_parallel(&stage, &mut work, config.threads)
+                Preprocessor::new(&stage)
+                    .threads(config.threads)
+                    .observer(stats.obs())
+                    .run(&mut work)
             }));
             match result {
                 Err(_) => StageOutcome::Failed(FailureKind::Crash),
@@ -184,7 +192,10 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
         match outcome {
             Ok((work, _changed)) => break (work, level),
             Err(_) if supervision.degrade => match level.next() {
-                Some(next) => level = next,
+                Some(next) => {
+                    stats.degradation_transition(next);
+                    level = next;
+                }
                 None => {
                     // Passthrough exhausted its budget — only possible with
                     // a pathological stage_timeout. Serve the raw input.
@@ -198,8 +209,11 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
         }
     };
     if rung != FtLevel::AlgoNgst {
-        ServerStats::bump(&stats.degraded_batches);
+        stats.degraded_batches.inc();
     }
+    stats
+        .retries
+        .add(u64::from(attempts_total.saturating_sub(1)));
     let service_us = elapsed_us(dispatched_at);
 
     // Slice the repaired stack back into per-request responses with their
@@ -225,11 +239,17 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
         let agreement = (1000 * (samples - changed_here))
             .checked_div(samples)
             .unwrap_or(1000) as u32;
+        let queue_wait_us = elapsed_us_between(job.admitted_at, dispatched_at);
+        // The wait spans threads (admission on the reader, dispatch here),
+        // so it is observed directly rather than via an RAII timer.
+        stats.stage_queue.observe_us(queue_wait_us);
+        stats.samples_repaired.add(changed_here);
+        stats.bits_repaired.add(bits_here);
         let stats_trailer = RequestStats {
             samples_changed: changed_here,
             bits_flipped: bits_here,
             voter_agreement_permille: agreement,
-            queue_wait_us: elapsed_us_between(job.admitted_at, dispatched_at),
+            queue_wait_us,
             service_us,
             batch_frames: batch.total_frames as u32,
             batch_requests,
@@ -244,9 +264,10 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
         // A vanished client is not an engine error; its permit releases
         // when the job drops either way.
         if job.reply.send(response).is_ok() {
-            ServerStats::bump(&stats.completed);
+            stats.completed.inc();
         }
     }
+    drop(engine_timer);
 }
 
 fn elapsed_us(since: Instant) -> u64 {

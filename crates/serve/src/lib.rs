@@ -19,6 +19,12 @@
 //! - **Per-request telemetry** ([`telemetry`]): every response carries a
 //!   stats trailer (bits flipped, voter agreement, queue wait, batch
 //!   shape, degradation rung).
+//! - **Observability** ([`telemetry`], [`metrics`]): every stage of the
+//!   serve pipeline (admission, queue wait, batch formation, engine
+//!   service, response write) feeds latency histograms and counters in a
+//!   shared [`preflight_obs`] registry, exposed three ways — a Prometheus
+//!   `/metrics` scrape listener, the `Stats` wire message
+//!   ([`Client::stats`]), and the one-line human summary.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +33,7 @@ pub mod batcher;
 pub mod client;
 pub mod crc;
 pub mod engine;
+pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod signal;
@@ -38,5 +45,9 @@ pub use client::{Client, ClientError, SubmitOptions};
 pub use engine::EngineConfig;
 pub use queue::AdmissionGate;
 pub use server::{start, ServerConfig, ServerHandle};
-pub use telemetry::{RequestStats, ServerStats};
+pub use telemetry::{format_summary, RequestStats, ServerStats};
 pub use wire::{Dtype, FramePayload, Message, SubmitRequest, SubmitResponse, WireError};
+
+// Re-exported so daemon embedders configure observability without a
+// separate dependency on `preflight-obs`.
+pub use preflight_obs::{render_prometheus, Obs, Snapshot};

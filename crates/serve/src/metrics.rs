@@ -1,0 +1,102 @@
+//! The `/metrics` scrape listener: a deliberately tiny HTTP/1.1 server.
+//!
+//! `preflightd --metrics-addr ADDR` binds a second TCP listener that
+//! speaks just enough HTTP for a Prometheus scraper: `GET /metrics`
+//! returns the registry snapshot in text exposition format 0.0.4,
+//! everything else gets a short 404/405. Requests are served serially on
+//! one thread — scrapes are rare, tiny and read-only, so a connection
+//! never touches the daemon's request path or its bounded queues.
+//!
+//! The listener gets the same distrust the wire protocol does: request
+//! heads are read under a deadline and a size cap, so a stalled or
+//! hostile scraper cannot pin the thread or grow its buffer.
+
+use preflight_obs::{render_prometheus, Obs};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Accept-loop poll interval (also the per-read timeout on a scrape).
+const POLL: Duration = Duration::from_millis(20);
+
+/// A scrape that has not finished sending its head after this long is
+/// dropped.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Cap on the bytes of request head we will buffer.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// Runs the scrape listener until `stop()` reports true. The listener
+/// must already be non-blocking.
+pub(crate) fn run_metrics_listener(listener: TcpListener, obs: Obs, stop: impl Fn() -> bool) {
+    while !stop() {
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_scrape(stream, &obs),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Answers one HTTP exchange and closes the connection.
+fn serve_scrape(mut stream: TcpStream, obs: &Obs) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Some(request_line) = read_request_line(&mut stream) else {
+        return;
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_owned(),
+        )
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&obs.snapshot()),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "preflightd exposes /metrics\n".to_owned(),
+        )
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reads up to the end of the request head (`\r\n\r\n`) and returns its
+/// first line. `None` on EOF, timeout, oversize, or transport error.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let started = Instant::now();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() >= MAX_REQUEST || started.elapsed() >= REQUEST_DEADLINE {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    head.lines().next().map(str::to_owned)
+}

@@ -21,6 +21,7 @@
 
 use crate::batcher::{run_batcher, BatchConfig, BatcherCmd, SubmitJob};
 use crate::engine::{run_engine_worker, EngineConfig};
+use crate::metrics::run_metrics_listener;
 use crate::queue::{AdmissionGate, AdmissionPermit};
 use crate::telemetry::ServerStats;
 use crate::wire::{
@@ -28,6 +29,7 @@ use crate::wire::{
     WireError, HEAD_LEN,
 };
 use crossbeam::channel;
+use preflight_obs::Obs;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -74,6 +76,13 @@ pub struct ServerConfig {
     pub engine: EngineConfig,
     /// Parallel engine workers (batches in flight at once).
     pub engine_workers: usize,
+    /// TCP address for the Prometheus `/metrics` scrape listener, if any
+    /// (a second listener, never mixed with the request protocol).
+    pub metrics_addr: Option<String>,
+    /// The observability registry every daemon thread records into. The
+    /// default is a live registry (the daemon's drain summary reads it);
+    /// pass [`Obs::disabled`] to switch all recording off.
+    pub obs: Obs,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +95,8 @@ impl Default for ServerConfig {
             batch: BatchConfig::default(),
             engine: EngineConfig::default(),
             engine_workers: 2,
+            metrics_addr: None,
+            obs: Obs::new(),
         }
     }
 }
@@ -113,8 +124,8 @@ impl Shared {
 
     fn summary(&self) -> DrainSummary {
         DrainSummary {
-            completed: ServerStats::get(&self.stats.completed),
-            rejected: ServerStats::get(&self.stats.rejected_busy),
+            completed: self.stats.completed.get(),
+            rejected: self.stats.rejected_busy.get(),
         }
     }
 }
@@ -124,6 +135,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
+    metrics_addr: Option<SocketAddr>,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -131,6 +143,11 @@ impl ServerHandle {
     /// The actual TCP address bound (useful with port 0).
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
+    }
+
+    /// The actual `/metrics` scrape address bound, if configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The Unix socket path served, if any.
@@ -195,7 +212,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         ));
     }
     let gate = AdmissionGate::new(config.capacity);
-    let stats = Arc::new(ServerStats::default());
+    let stats = Arc::new(ServerStats::new(&config.obs));
     let (batcher_tx, batcher_rx) = channel::unbounded();
     let (engine_tx, engine_rx) = channel::unbounded();
 
@@ -216,10 +233,11 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let tx = engine_tx;
         let gate = gate.clone();
         let batch = config.batch.clone();
+        let batch_hist = stats.stage_batch.clone();
         threads.push(
             std::thread::Builder::new()
                 .name("preflightd-batcher".into())
-                .spawn(move || run_batcher(rx, tx, gate, batch))?,
+                .spawn(move || run_batcher(rx, tx, gate, batch, batch_hist))?,
         );
     }
     for i in 0..config.engine_workers.max(1) {
@@ -270,10 +288,29 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         ));
     }
 
+    let mut metrics_addr = None;
+    if let Some(addr) = &config.metrics_addr {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        metrics_addr = Some(listener.local_addr()?);
+        let obs = config.obs.clone();
+        let scrape_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("preflightd-metrics".into())
+                .spawn(move || {
+                    run_metrics_listener(listener, obs, move || {
+                        scrape_shared.stopped.load(Ordering::SeqCst)
+                    });
+                })?,
+        );
+    }
+
     Ok(ServerHandle {
         shared,
         tcp_addr,
         unix_path,
+        metrics_addr,
         threads: Mutex::new(threads),
     })
 }
@@ -332,7 +369,7 @@ fn accept_unix(listener: std::os::unix::net::UnixListener, shared: Arc<Shared>) 
 
 /// Answers an over-cap connection with `Busy` (best effort) and closes it.
 fn reject_connection(mut w: impl Write, shared: &Shared) {
-    ServerStats::bump(&shared.stats.rejected_connections);
+    shared.stats.rejected_connections.inc();
     let _ = write_message(
         &mut w,
         &Message::Busy(BusyReply {
@@ -348,7 +385,7 @@ where
     R: Read + Send + 'static,
     W: Write + Send + 'static,
 {
-    ServerStats::bump(&shared.stats.connections);
+    shared.stats.connections.inc();
     let spawned = std::thread::Builder::new()
         .name("preflightd-conn".into())
         .spawn(move || {
@@ -433,12 +470,16 @@ where
     // The writer thread serialises replies from every producer (this
     // reader, the batcher's engine workers) onto the socket.
     let (conn_tx, conn_rx) = channel::unbounded::<Message>();
+    let write_hist = shared.stats.stage_write.clone();
     let writer_thread = std::thread::Builder::new()
         .name("preflightd-conn-writer".into())
         .spawn(move || {
             let mut writer = writer;
             for msg in conn_rx.iter() {
-                if write_message(&mut writer, &msg).is_err() {
+                let timer = write_hist.timer();
+                let result = write_message(&mut writer, &msg);
+                drop(timer);
+                if result.is_err() {
                     break;
                 }
             }
@@ -461,7 +502,7 @@ where
             Ok(h) => h,
             Err(e) => {
                 // The stream is desynchronised; report and hang up.
-                ServerStats::bump(&shared.stats.wire_errors);
+                shared.stats.wire_errors.inc();
                 let _ = conn_tx.send(wire_error_reply(&e));
                 break;
             }
@@ -483,13 +524,17 @@ where
         ) {
             Ok(m) => m,
             Err(e) => {
-                ServerStats::bump(&shared.stats.wire_errors);
+                shared.stats.wire_errors.inc();
                 let _ = conn_tx.send(wire_error_reply(&e));
                 break;
             }
         };
         match message {
             Message::Submit(request) => {
+                // The admission stage spans decode-to-verdict: drain
+                // check, gate acquire, and handing the job (or the
+                // rejection) onward.
+                let _admission = shared.stats.stage_admission.timer();
                 let request_id = request.request_id;
                 if shared.draining.load(Ordering::SeqCst) {
                     let _ = conn_tx.send(Message::Error(ErrorReply {
@@ -501,7 +546,7 @@ where
                 }
                 match shared.gate.try_acquire() {
                     Some(permit) => {
-                        ServerStats::bump(&shared.stats.admitted);
+                        shared.stats.admitted.inc();
                         let job = SubmitJob {
                             request,
                             permit,
@@ -517,7 +562,7 @@ where
                         }
                     }
                     None => {
-                        ServerStats::bump(&shared.stats.rejected_busy);
+                        shared.stats.rejected_busy.inc();
                         let _ = conn_tx.send(Message::Busy(BusyReply {
                             request_id,
                             capacity: shared.gate.capacity() as u32,
@@ -525,6 +570,9 @@ where
                         }));
                     }
                 }
+            }
+            Message::StatsRequest => {
+                let _ = conn_tx.send(Message::StatsReply(shared.stats.snapshot()));
             }
             Message::Ping(token) => {
                 let _ = conn_tx.send(Message::Pong(token));
@@ -549,7 +597,8 @@ where
             | Message::Busy(_)
             | Message::Error(_)
             | Message::DrainAck(_)
-            | Message::Pong(_) => {
+            | Message::Pong(_)
+            | Message::StatsReply(_) => {
                 let _ = conn_tx.send(Message::Error(ErrorReply {
                     request_id: 0,
                     code: ErrorCode::Malformed,

@@ -4,10 +4,49 @@
 //! exactly what its frames went through: how much repair happened, how long
 //! the request waited behind the bounded queue, how deep the batch it rode
 //! in was, and which rung of the degradation ladder actually served it.
+//!
+//! Whole-server counters live in the [`preflight_obs`] registry.
+//! [`ServerStats`] is a bundle of pre-resolved handles into that registry,
+//! so the hot paths (admission, engine, writer) never take the
+//! registration lock. The same registry serves three consumers — the
+//! `/metrics` Prometheus endpoint, the `Stats` wire message, and the
+//! human [`ServerStats::summary`] line — so the numbers cannot diverge
+//! between the log line and the scrape endpoint.
 
+use preflight_obs::{Counter, Histogram, Obs, Snapshot, STAGE_SECONDS};
 use preflight_supervisor::FtLevel;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counter family: submissions admitted past the bounded queue.
+pub const ADMITTED_TOTAL: &str = "serve_requests_admitted_total";
+/// Counter family: responses fully served.
+pub const COMPLETED_TOTAL: &str = "serve_requests_completed_total";
+/// Counter family: submissions rejected with `Busy`.
+pub const REJECTED_BUSY_TOTAL: &str = "serve_requests_rejected_busy_total";
+/// Counter family: envelopes that failed wire-level validation.
+pub const WIRE_ERRORS_TOTAL: &str = "serve_wire_errors_total";
+/// Counter family: batches dispatched to the engine.
+pub const BATCHES_TOTAL: &str = "serve_batches_total";
+/// Counter family: batches that finished below the top ladder rung.
+pub const BATCHES_DEGRADED_TOTAL: &str = "serve_batches_degraded_total";
+/// Counter family: connections accepted over the server's lifetime.
+pub const CONNECTIONS_TOTAL: &str = "serve_connections_total";
+/// Counter family: connections rejected at the concurrent-connection cap.
+pub const CONNECTIONS_REJECTED_TOTAL: &str = "serve_connections_rejected_total";
+/// Counter family: samples the engine modified across all batches.
+pub const SAMPLES_REPAIRED_TOTAL: &str = "serve_samples_repaired_total";
+/// Counter family: bits flipped back across all batches.
+pub const BITS_REPAIRED_TOTAL: &str = "serve_bits_repaired_total";
+/// Counter family: supervised engine attempts beyond the first per batch.
+pub const RETRIES_TOTAL: &str = "serve_retries_total";
+/// Counter family (labelled `rung="..."`): steps taken down the
+/// degradation ladder, keyed by the rung stepped *to*.
+pub const DEGRADATION_TRANSITIONS_TOTAL: &str = "serve_degradation_transitions_total";
+
+/// The `stage` label values every serve-side [`STAGE_SECONDS`] histogram
+/// uses, in pipeline order: admission, queue wait, batch formation,
+/// engine service, response write.
+pub const SERVE_STAGES: [&str; 5] = ["admission", "queue", "batch", "engine", "write"];
 
 /// Telemetry trailer attached to every [`crate::wire::SubmitResponse`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,54 +131,134 @@ pub(crate) fn ft_level_from_code(code: u8) -> Option<FtLevel> {
     }
 }
 
-/// Monotonic whole-server counters, shared across every thread of the
-/// daemon and snapshotted by `Drain` acks and the loadgen.
-#[derive(Debug, Default)]
+/// Static metric-label value for a ladder rung.
+pub(crate) fn rung_label(level: FtLevel) -> &'static str {
+    match level {
+        FtLevel::AlgoNgst => "algo-ngst",
+        FtLevel::BitVoter => "bit-voter",
+        FtLevel::MedianSmoother => "median-smoother",
+        FtLevel::Passthrough => "passthrough",
+    }
+}
+
+/// Pre-resolved handles into the daemon's [`Obs`] registry, shared across
+/// every thread. Bumping a field is one relaxed atomic add; nothing here
+/// takes the registration lock after construction.
+#[derive(Debug, Clone)]
 pub struct ServerStats {
+    obs: Obs,
     /// Submissions admitted past the bounded queue.
-    pub admitted: AtomicU64,
+    pub admitted: Counter,
     /// Responses fully served.
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Submissions rejected with `Busy`.
-    pub rejected_busy: AtomicU64,
+    pub rejected_busy: Counter,
     /// Envelopes that failed wire-level validation.
-    pub wire_errors: AtomicU64,
+    pub wire_errors: Counter,
     /// Batches dispatched to the engine.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Batches that finished below the top ladder rung.
-    pub degraded_batches: AtomicU64,
+    pub degraded_batches: Counter,
     /// Connections accepted over the server's lifetime.
-    pub connections: AtomicU64,
+    pub connections: Counter,
     /// Connections rejected because the concurrent-connection cap was hit.
-    pub rejected_connections: AtomicU64,
+    pub rejected_connections: Counter,
+    /// Samples the engine modified, summed over every batch.
+    pub samples_repaired: Counter,
+    /// Bits flipped back, summed over every batch.
+    pub bits_repaired: Counter,
+    /// Supervised attempts beyond the first, summed over every batch.
+    pub retries: Counter,
+    /// Time from envelope decode to a queued admission verdict.
+    pub stage_admission: Histogram,
+    /// Time a request waited between admission and engine dispatch.
+    pub stage_queue: Histogram,
+    /// Time a batch group stayed open before flushing to the engine.
+    pub stage_batch: Histogram,
+    /// Time the engine spent serving one batch (ladder walk included).
+    pub stage_engine: Histogram,
+    /// Time to serialise one response envelope onto the socket.
+    pub stage_write: Histogram,
 }
 
 impl ServerStats {
-    /// Bumps a counter by one.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Resolves every handle against `obs`. With a disabled registry all
+    /// handles are inert and reads return zero.
+    pub fn new(obs: &Obs) -> Self {
+        let stage = |s: &'static str| obs.histogram(STAGE_SECONDS, Some(("stage", s)));
+        ServerStats {
+            obs: obs.clone(),
+            admitted: obs.counter(ADMITTED_TOTAL, None),
+            completed: obs.counter(COMPLETED_TOTAL, None),
+            rejected_busy: obs.counter(REJECTED_BUSY_TOTAL, None),
+            wire_errors: obs.counter(WIRE_ERRORS_TOTAL, None),
+            batches: obs.counter(BATCHES_TOTAL, None),
+            degraded_batches: obs.counter(BATCHES_DEGRADED_TOTAL, None),
+            connections: obs.counter(CONNECTIONS_TOTAL, None),
+            rejected_connections: obs.counter(CONNECTIONS_REJECTED_TOTAL, None),
+            samples_repaired: obs.counter(SAMPLES_REPAIRED_TOTAL, None),
+            bits_repaired: obs.counter(BITS_REPAIRED_TOTAL, None),
+            retries: obs.counter(RETRIES_TOTAL, None),
+            stage_admission: stage("admission"),
+            stage_queue: stage("queue"),
+            stage_batch: stage("batch"),
+            stage_engine: stage("engine"),
+            stage_write: stage("write"),
+        }
     }
 
-    /// Reads a counter.
-    pub fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// The registry every handle resolves into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
-    /// One-line summary for logs and drain reports.
+    /// Records one step down the degradation ladder, labelled by the rung
+    /// stepped *to*. Cold path: degradations are rare, so the labelled
+    /// counter is resolved on demand rather than pre-bundled per rung.
+    pub fn degradation_transition(&self, to: FtLevel) {
+        self.obs
+            .counter(
+                DEGRADATION_TRANSITIONS_TOTAL,
+                Some(("rung", rung_label(to))),
+            )
+            .inc();
+    }
+
+    /// A point-in-time copy of the whole registry (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        self.obs.snapshot()
+    }
+
+    /// One-line summary for logs and drain reports, formatted from the
+    /// same snapshot the scrape endpoint serves.
     pub fn summary(&self) -> String {
-        format!(
-            "admitted {}, completed {}, busy-rejected {}, wire errors {}, \
-             batches {} ({} degraded), connections {} ({} rejected)",
-            Self::get(&self.admitted),
-            Self::get(&self.completed),
-            Self::get(&self.rejected_busy),
-            Self::get(&self.wire_errors),
-            Self::get(&self.batches),
-            Self::get(&self.degraded_batches),
-            Self::get(&self.connections),
-            Self::get(&self.rejected_connections),
-        )
+        format_summary(&self.snapshot())
     }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new(&Obs::new())
+    }
+}
+
+/// Renders the human one-line summary from a structured [`Snapshot`] —
+/// the only formatter, so the log line, the drain report and `preflight
+/// stats` all agree with `/metrics` by construction.
+pub fn format_summary(snap: &Snapshot) -> String {
+    let c = |name: &str| snap.counter(name, None).unwrap_or(0);
+    format!(
+        "admitted {}, completed {}, busy-rejected {}, wire errors {}, \
+         batches {} ({} degraded), connections {} ({} rejected)",
+        c(ADMITTED_TOTAL),
+        c(COMPLETED_TOTAL),
+        c(REJECTED_BUSY_TOTAL),
+        c(WIRE_ERRORS_TOTAL),
+        c(BATCHES_TOTAL),
+        c(BATCHES_DEGRADED_TOTAL),
+        c(CONNECTIONS_TOTAL),
+        c(CONNECTIONS_REJECTED_TOTAL),
+    )
 }
 
 #[cfg(test)]
@@ -172,13 +291,38 @@ mod tests {
     }
 
     #[test]
-    fn counters_accumulate() {
-        let stats = ServerStats::default();
-        ServerStats::bump(&stats.admitted);
-        ServerStats::bump(&stats.admitted);
-        ServerStats::bump(&stats.rejected_busy);
-        assert_eq!(ServerStats::get(&stats.admitted), 2);
-        assert_eq!(ServerStats::get(&stats.rejected_busy), 1);
+    fn counters_accumulate_into_the_registry() {
+        let obs = Obs::new();
+        let stats = ServerStats::new(&obs);
+        stats.admitted.inc();
+        stats.admitted.inc();
+        stats.rejected_busy.inc();
+        assert_eq!(stats.admitted.get(), 2);
+        assert_eq!(stats.rejected_busy.get(), 1);
+        // The registry sees the same cells the handles bump.
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter(ADMITTED_TOTAL, None), Some(2));
         assert!(stats.summary().contains("admitted 2"));
+    }
+
+    #[test]
+    fn summary_and_snapshot_cannot_diverge() {
+        let stats = ServerStats::default();
+        stats.completed.add(7);
+        stats.degradation_transition(FtLevel::BitVoter);
+        let snap = stats.snapshot();
+        assert_eq!(stats.summary(), format_summary(&snap));
+        assert_eq!(
+            snap.counter(DEGRADATION_TRANSITIONS_TOTAL, Some(("rung", "bit-voter"))),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn disabled_registry_yields_inert_stats() {
+        let stats = ServerStats::new(&Obs::disabled());
+        stats.admitted.inc();
+        assert_eq!(stats.admitted.get(), 0);
+        assert!(stats.summary().contains("admitted 0"));
     }
 }

@@ -21,6 +21,7 @@
 use crate::crc::crc32;
 use crate::telemetry::{ft_level_code, ft_level_from_code, RequestStats};
 use preflight_core::ImageStack;
+use preflight_obs::{CounterSnap, GaugeSnap, HistSnap, Snapshot};
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -399,6 +400,11 @@ pub enum Message {
     Ping(u64),
     /// Server → client: echo of the token.
     Pong(u64),
+    /// Client → server: ask for the daemon's metrics registry.
+    StatsRequest,
+    /// Server → client: a point-in-time copy of every registered metric
+    /// series — the same snapshot `/metrics` renders.
+    StatsReply(Snapshot),
 }
 
 impl Message {
@@ -412,6 +418,8 @@ impl Message {
             Message::DrainAck(_) => 6,
             Message::Ping(_) => 7,
             Message::Pong(_) => 8,
+            Message::StatsRequest => 9,
+            Message::StatsReply(_) => 10,
         }
     }
 }
@@ -469,6 +477,109 @@ impl<'a> SliceReader<'a> {
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn put_label(out: &mut Vec<u8>, label: &Option<(String, String)>) {
+    match label {
+        None => out.push(0),
+        Some((k, v)) => {
+            out.push(1);
+            put_str(out, k);
+            put_str(out, v);
+        }
+    }
+}
+
+fn read_str(r: &mut SliceReader<'_>, what: &'static str) -> Result<String, WireError> {
+    let len = {
+        let b = r.bytes(2, what)?;
+        u16::from_le_bytes([b[0], b[1]]) as usize
+    };
+    let raw = r.bytes(len, what)?;
+    Ok(String::from_utf8_lossy(raw).into_owned())
+}
+
+fn read_label(r: &mut SliceReader<'_>) -> Result<Option<(String, String)>, WireError> {
+    match r.u8("label flag")? {
+        0 => Ok(None),
+        1 => Ok(Some((
+            read_str(r, "label key")?,
+            read_str(r, "label value")?,
+        ))),
+        other => Err(WireError::Malformed(format!("unknown label flag {other}"))),
+    }
+}
+
+fn encode_snapshot(snap: &Snapshot, out: &mut Vec<u8>) {
+    put_u32(out, snap.counters.len() as u32);
+    for c in &snap.counters {
+        put_str(out, &c.name);
+        put_label(out, &c.label);
+        put_u64(out, c.value);
+    }
+    put_u32(out, snap.gauges.len() as u32);
+    for g in &snap.gauges {
+        put_str(out, &g.name);
+        put_label(out, &g.label);
+        put_u64(out, g.value as u64);
+    }
+    put_u32(out, snap.histograms.len() as u32);
+    for h in &snap.histograms {
+        put_str(out, &h.name);
+        put_label(out, &h.label);
+        put_u64(out, h.count);
+        put_u64(out, h.sum_us);
+        put_u32(out, h.buckets.len() as u32);
+        for &(le, c) in &h.buckets {
+            put_u64(out, le);
+            put_u64(out, c);
+        }
+    }
+}
+
+fn decode_snapshot(r: &mut SliceReader<'_>) -> Result<Snapshot, WireError> {
+    // Counts are untrusted: never pre-allocate from them, let the reader's
+    // bounds checks fail fast on a lying length.
+    let mut snap = Snapshot::default();
+    for _ in 0..r.u32("counter count")? {
+        snap.counters.push(CounterSnap {
+            name: read_str(r, "counter name")?,
+            label: read_label(r)?,
+            value: r.u64("counter value")?,
+        });
+    }
+    for _ in 0..r.u32("gauge count")? {
+        snap.gauges.push(GaugeSnap {
+            name: read_str(r, "gauge name")?,
+            label: read_label(r)?,
+            value: r.u64("gauge value")? as i64,
+        });
+    }
+    for _ in 0..r.u32("histogram count")? {
+        let name = read_str(r, "histogram name")?;
+        let label = read_label(r)?;
+        let count = r.u64("histogram count")?;
+        let sum_us = r.u64("histogram sum")?;
+        let mut buckets = Vec::new();
+        for _ in 0..r.u32("bucket count")? {
+            buckets.push((r.u64("bucket bound")?, r.u64("bucket value")?));
+        }
+        snap.histograms.push(HistSnap {
+            name,
+            label,
+            count,
+            sum_us,
+            buckets,
+        });
+    }
+    Ok(snap)
 }
 
 fn encode_stats(stats: &RequestStats, out: &mut Vec<u8>) {
@@ -536,6 +647,8 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             put_u64(&mut p, d.rejected);
         }
         Message::Ping(token) | Message::Pong(token) => put_u64(&mut p, *token),
+        Message::StatsRequest => {}
+        Message::StatsReply(snap) => encode_snapshot(snap, &mut p),
     }
     p
 }
@@ -606,6 +719,8 @@ fn decode_payload(type_code: u8, payload: &[u8]) -> Result<Message, WireError> {
         }),
         7 => Message::Ping(r.u64("token")?),
         8 => Message::Pong(r.u64("token")?),
+        9 => Message::StatsRequest,
+        10 => Message::StatsReply(decode_snapshot(&mut r)?),
         other => return Err(WireError::UnknownType(other)),
     };
     if !r.finished() {

@@ -21,7 +21,10 @@ fn main() {
         ..NgstModel::default()
     }
     .stack(edge, edge, &mut rng);
-    let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).expect("valid Λ"));
+    let repair = Preprocessor::new(AlgoNgst::new(
+        Upsilon::FOUR,
+        Sensitivity::new(80).expect("valid Λ"),
+    ));
 
     println!(
         "stack: {edge}x{edge}x{frames} samples; damage budget: 2 % of words, \
@@ -50,7 +53,7 @@ fn main() {
         for (c, chunk) in series_major.chunks_exact(frames).enumerate() {
             contiguous.scatter_series(c % edge, c / edge, chunk);
         }
-        preprocess_stack(&algo, &mut contiguous);
+        repair.run(&mut contiguous);
         let psi_contig = psi(clean.as_slice(), contiguous.as_slice());
 
         // (b) Dispersed (frame-major) placement: consecutive readouts sit a
@@ -58,7 +61,7 @@ fn main() {
         // of many different series.
         let mut dispersed = clean.clone();
         injector.inject_words(dispersed.as_mut_slice(), &mut rng);
-        preprocess_stack(&algo, &mut dispersed);
+        repair.run(&mut dispersed);
         let psi_disp = psi(clean.as_slice(), dispersed.as_slice());
 
         println!(

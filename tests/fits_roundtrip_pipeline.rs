@@ -140,7 +140,7 @@ fn fits_roundtrip_feeds_the_preprocessing_pipeline() {
     assert!(report.header_ok, "{:?}", report.findings);
     let mut stack = read_stack(&report.repaired).expect("repaired header parses");
     let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
-    preprocess_stack(&algo, &mut stack);
+    Preprocessor::new(&algo).run(&mut stack);
 
     let psi_before = {
         let read = read_stack(&analyze(&damaged).repaired).unwrap();

@@ -1,0 +1,183 @@
+//! Integration test for the observability surface of `preflightd`: the
+//! Prometheus `/metrics` scrape listener and the `Stats` wire message
+//! must expose the same registry, counters must be monotone across
+//! scrapes, and every histogram's `+Inf` bucket must equal its count.
+
+use preflight_core::ImageStack;
+use preflight_obs::Obs;
+use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::wire::FramePayload;
+use preflight_serve::{Client, SubmitOptions};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn noisy_stack(width: usize, height: usize, frames: usize, seed: u64) -> ImageStack<u16> {
+    let mut state = seed;
+    let data: Vec<u16> = (0..width * height * frames)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let base = 2000 + ((i % (width * height)) as u16 % 700);
+            if state.is_multiple_of(97) {
+                base | (1 << (8 + (state % 7) as u16))
+            } else {
+                base + (state % 9) as u16
+            }
+        })
+        .collect();
+    ImageStack::from_vec(width, height, frames, data).expect("stack dims")
+}
+
+/// One blocking HTTP/1.0-style scrape of `path`; returns (status line, body).
+fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect metrics listener");
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+/// Parses `preflight_<family>{labels} <value>` sample lines.
+fn sample_value(body: &str, series: &str) -> Option<f64> {
+    body.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+        let (name, value) = l.rsplit_once(' ')?;
+        (name == series).then(|| value.parse().expect("numeric sample"))
+    })
+}
+
+#[test]
+fn metrics_endpoint_serves_the_serve_pipeline_registry() {
+    let handle = start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        obs: Obs::new(),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = handle.tcp_addr().expect("bound tcp address");
+    let metrics = handle.metrics_addr().expect("bound metrics address");
+
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let mut submit = |seed: u64| {
+        client
+            .submit(
+                FramePayload::U16(noisy_stack(16, 12, 8, seed)),
+                &SubmitOptions::default(),
+            )
+            .expect("submit round trip")
+    };
+    submit(0xBEEF_0001);
+
+    let (status, first) = scrape(metrics, "/metrics");
+    assert!(status.contains("200"), "scrape status: {status}");
+
+    // Every acceptance-mandated family is present.
+    for family in [
+        "preflight_serve_requests_admitted_total",
+        "preflight_serve_requests_completed_total",
+        "preflight_serve_requests_rejected_busy_total",
+        "preflight_serve_samples_repaired_total",
+        "preflight_serve_bits_repaired_total",
+        "preflight_serve_retries_total",
+        "preflight_serve_batches_total",
+    ] {
+        assert!(
+            first.contains(&format!("# TYPE {family} counter")),
+            "missing family {family} in:\n{first}"
+        );
+    }
+    // Every serve stage reports a latency histogram.
+    for stage in ["admission", "queue", "batch", "engine", "write"] {
+        assert!(
+            first.contains(&format!(
+                "preflight_stage_seconds_count{{stage=\"{stage}\"}}"
+            )),
+            "missing stage histogram {stage} in:\n{first}"
+        );
+    }
+    // The preprocessing engine's own counters flow through the shared
+    // registry too (the daemon attaches its Obs to the Preprocessor).
+    assert!(
+        sample_value(&first, "preflight_preprocess_runs_total").unwrap_or(0.0) >= 1.0,
+        "engine runs must be counted:\n{first}"
+    );
+
+    // Histogram invariant: the +Inf bucket is cumulative, so it equals
+    // the series count for every stage.
+    for stage in ["admission", "queue", "batch", "engine", "write"] {
+        let count = sample_value(
+            &first,
+            &format!("preflight_stage_seconds_count{{stage=\"{stage}\"}}"),
+        )
+        .expect("stage count sample");
+        let inf = sample_value(
+            &first,
+            &format!("preflight_stage_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}}"),
+        )
+        .expect("stage +Inf bucket");
+        assert_eq!(count, inf, "+Inf bucket must equal count for {stage}");
+        assert!(count >= 1.0, "stage {stage} must have been exercised");
+    }
+
+    // Counters are monotone: another request strictly increases the
+    // completed counter and never decreases anything else we track.
+    submit(0xBEEF_0002);
+    let (_, second) = scrape(metrics, "/metrics");
+    let completed = |body: &str| {
+        sample_value(body, "preflight_serve_requests_completed_total").expect("completed counter")
+    };
+    assert!(
+        completed(&second) > completed(&first),
+        "completed counter must be monotone: {} !> {}",
+        completed(&second),
+        completed(&first)
+    );
+    let admitted = |body: &str| {
+        sample_value(body, "preflight_serve_requests_admitted_total").expect("admitted counter")
+    };
+    assert!(admitted(&second) >= admitted(&first) + 1.0);
+
+    // The Stats wire message returns the same registry: spot-check that
+    // the snapshot counters match what the scrape rendered.
+    let snap = client.stats().expect("stats round trip");
+    assert_eq!(
+        snap.counter("serve_requests_completed_total", None)
+            .expect("snapshot has completed counter") as f64,
+        completed(&second)
+    );
+    let engine = snap
+        .histogram("stage_seconds", Some(("stage", "engine")))
+        .expect("snapshot has the engine stage histogram");
+    assert!(engine.count >= 1);
+
+    // Unknown paths 404; non-GET 405. Neither kills the listener.
+    let (status, _) = scrape(metrics, "/not-metrics");
+    assert!(status.contains("404"), "status: {status}");
+    let (status, _) = scrape(metrics, "/metrics");
+    assert!(status.contains("200"), "listener must survive a 404");
+
+    handle.drain();
+}
+
+#[test]
+fn metrics_listener_is_absent_unless_configured() {
+    let handle = start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    assert!(
+        handle.metrics_addr().is_none(),
+        "no --metrics-addr, no listener"
+    );
+    handle.drain();
+}

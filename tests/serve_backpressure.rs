@@ -101,11 +101,7 @@ fn full_queue_rejects_with_busy_and_recovers_after_drain() {
     assert_eq!(handle.in_flight(), 0);
 
     let stats = handle.stats();
-    assert_eq!(
-        preflight_serve::ServerStats::get(&stats.rejected_busy),
-        1,
-        "exactly one Busy rejection"
-    );
+    assert_eq!(stats.rejected_busy.get(), 1, "exactly one Busy rejection");
     handle.drain();
 }
 
@@ -130,7 +126,7 @@ fn connection_cap_rejects_with_busy_and_recovers() {
         other => panic!("expected Busy on the over-cap connection, got {other:?}"),
     }
     assert_eq!(
-        preflight_serve::ServerStats::get(&handle.stats().rejected_connections),
+        handle.stats().rejected_connections.get(),
         1,
         "the rejected connection must be counted"
     );

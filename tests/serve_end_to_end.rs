@@ -1,9 +1,9 @@
 //! End-to-end daemon test: frames submitted over a real socket must come
-//! back byte-identical to running `preprocess_stack_parallel` directly on
-//! the same stack — the serving layer may add batching, queueing, and
+//! back byte-identical to running the [`Preprocessor`] directly on the
+//! same stack — the serving layer may add batching, queueing, and
 //! telemetry, but never change the science product.
 
-use preflight_core::{preprocess_stack_parallel, AlgoNgst, ImageStack, Sensitivity, Upsilon};
+use preflight_core::{AlgoNgst, ImageStack, Preprocessor, Sensitivity, Upsilon};
 use preflight_serve::server::{start, ServerConfig};
 use preflight_serve::wire::FramePayload;
 use preflight_serve::{Client, SubmitOptions};
@@ -40,7 +40,7 @@ fn expected_repair(stack: &ImageStack<u16>, lambda: u32, upsilon: usize) -> Imag
         Sensitivity::new(lambda).expect("valid lambda"),
     );
     let mut direct = stack.clone();
-    preprocess_stack_parallel(&algo, &mut direct, 2);
+    Preprocessor::new(&algo).threads(2).run(&mut direct);
     direct
 }
 
@@ -153,7 +153,7 @@ fn u32_frames_survive_the_wire_and_get_repaired() {
 
     let algo = AlgoNgst::new(Upsilon::new(4).unwrap(), Sensitivity::new(80).unwrap());
     let mut direct = stack.clone();
-    preprocess_stack_parallel(&algo, &mut direct, 2);
+    Preprocessor::new(&algo).threads(2).run(&mut direct);
 
     let response = client
         .submit(FramePayload::U32(stack), &SubmitOptions::default())
