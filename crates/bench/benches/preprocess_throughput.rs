@@ -1,18 +1,24 @@
 //! Throughput of the three stack-preprocessing drivers — naive
 //! gather/scatter, cache-aware series-major tiling, and the data-parallel
-//! worker pool at 1/2/4/8 threads — on the 64×64×128 acceptance cube, for
-//! `u16` and `u32` pixels. Reported in samples/s (Criterion's element
-//! throughput); `repro perf` emits the same sweep as `BENCH_preprocess.json`.
+//! worker pool — on the 64×64×128 acceptance cube, for `u16` and `u32`
+//! pixels, under both voter kernels (per-pixel `scalar` and the
+//! plane-sweep `sweep`). Thread counts beyond the machine's available
+//! parallelism are skipped rather than silently capped. Reported in
+//! samples/s (Criterion's element throughput); `repro perf` emits the
+//! same sweep as `BENCH_preprocess.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use preflight_bench::perf::{perf_algo, sample_u16, sample_u32, synthetic_stack};
-use preflight_core::{BitPixel, ImageStack, Preprocessor, DEFAULT_TILE};
+use preflight_bench::perf::{
+    kernel_label, perf_algo, perf_algo_passes, sample_u16, sample_u32, synthetic_stack,
+};
+use preflight_core::{available_threads, BitPixel, ImageStack, Kernel, Preprocessor, DEFAULT_TILE};
 use std::hint::black_box;
 
 const WIDTH: usize = 64;
 const HEIGHT: usize = 64;
 const FRAMES: usize = 128;
 const THREADS: &[usize] = &[1, 2, 4, 8];
+const KERNELS: &[Kernel] = &[Kernel::Scalar, Kernel::Sweep];
 
 fn bench_pixel_width<T: BitPixel>(c: &mut Criterion, label: &str, sample: impl Fn(u64) -> T) {
     let algo = perf_algo();
@@ -21,32 +27,45 @@ fn bench_pixel_width<T: BitPixel>(c: &mut Criterion, label: &str, sample: impl F
     group.throughput(Throughput::Elements((WIDTH * HEIGHT * FRAMES) as u64));
     group.sample_size(10);
 
-    let naive = Preprocessor::new(&algo).naive(true);
-    group.bench_function("naive", |b| {
-        b.iter(|| {
-            let mut work = input.clone();
-            black_box(naive.run(black_box(&mut work)));
-        })
-    });
-    let tiled = Preprocessor::new(&algo).tile(DEFAULT_TILE);
-    group.bench_function("tiled", |b| {
-        b.iter(|| {
-            let mut work = input.clone();
-            black_box(tiled.run(black_box(&mut work)));
-        })
-    });
-    for &threads in THREADS {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &threads| {
-                let parallel = Preprocessor::new(&algo).threads(threads);
-                b.iter(|| {
-                    let mut work = input.clone();
-                    black_box(parallel.run(black_box(&mut work)));
-                })
-            },
-        );
+    for &kernel in KERNELS {
+        let k = kernel_label(kernel);
+        let naive = Preprocessor::new(&algo).naive(true).kernel(kernel);
+        group.bench_function(format!("naive/{k}").as_str(), |b| {
+            b.iter(|| {
+                let mut work = input.clone();
+                black_box(naive.run(black_box(&mut work)));
+            })
+        });
+        let tiled = Preprocessor::new(&algo).tile(DEFAULT_TILE).kernel(kernel);
+        group.bench_function(format!("tiled/{k}").as_str(), |b| {
+            b.iter(|| {
+                let mut work = input.clone();
+                black_box(tiled.run(black_box(&mut work)));
+            })
+        });
+        for &threads in THREADS.iter().filter(|&&t| t <= available_threads()) {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel/{k}"), threads),
+                &threads,
+                |b, &threads| {
+                    let parallel = Preprocessor::new(&algo).threads(threads).kernel(kernel);
+                    b.iter(|| {
+                        let mut work = input.clone();
+                        black_box(parallel.run(black_box(&mut work)));
+                    })
+                },
+            );
+        }
+        // The multi-pass regime, where the sweep kernel's shared
+        // difference planes amortize across repeated cutoff rebuilds.
+        let multi = perf_algo_passes(3);
+        let multipass = Preprocessor::new(&multi).tile(DEFAULT_TILE).kernel(kernel);
+        group.bench_function(format!("tiled-3pass/{k}").as_str(), |b| {
+            b.iter(|| {
+                let mut work = input.clone();
+                black_box(multipass.run(black_box(&mut work)));
+            })
+        });
     }
     group.finish();
 }

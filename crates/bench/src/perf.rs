@@ -4,19 +4,25 @@
 //! naive per-coordinate reference loop (`.naive(true)`), the cache-aware
 //! series-major tiled path and the data-parallel worker pool — over a
 //! synthetic NGST-like cube, in Mpix/s (million samples preprocessed per
-//! second of wall time). All drivers run with observability disabled (the
-//! default), so these numbers double as the zero-overhead guard for the
-//! instrumentation: they must stay within noise of the PR 2 free-function
-//! baseline. The same workload feeds the `preprocess_throughput` Criterion
-//! bench; this module is the scriptable variant that emits
-//! `BENCH_preprocess.json`.
+//! second of wall time). Each driver is timed under both voter kernels
+//! ([`Kernel::Scalar`] and the plane-sweep [`Kernel::Sweep`]), and a
+//! multi-pass section times the tiled driver at `passes = 3`, where the
+//! sweep kernel's shared difference planes pay off most. All drivers run
+//! with observability disabled (the default), so these numbers double as
+//! the zero-overhead guard for the instrumentation. The same workload
+//! feeds the `preprocess_throughput` Criterion bench; this module is the
+//! scriptable variant that emits `BENCH_preprocess.json`.
 //!
-//! Every timed run is also checked bit-identical against the naive driver,
-//! so a perf regression hunt can never silently trade away correctness.
+//! Honesty rules: thread counts beyond the machine's available
+//! parallelism are skipped (they would re-measure the capped pool and
+//! report it as a bigger sweep), and every row records the thread count
+//! that actually ran. Every timed run is also checked bit-identical
+//! against its section's reference, so a perf regression hunt can never
+//! silently trade away correctness.
 
 use preflight_core::{
-    available_threads, AlgoNgst, BitPixel, ImageStack, Preprocessor, Sensitivity, Upsilon,
-    DEFAULT_TILE,
+    available_threads, AlgoNgst, BitPixel, ImageStack, Kernel, NgstConfig, Preprocessor,
+    Sensitivity, Upsilon, DEFAULT_TILE,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,13 +38,16 @@ pub struct PerfConfig {
     pub frames: usize,
     /// Timed repetitions per driver; the best (minimum) time is reported.
     pub reps: usize,
-    /// Thread counts to sweep for the parallel driver.
+    /// Thread counts to sweep for the parallel driver. Counts above the
+    /// machine's available parallelism are skipped, not capped.
     pub threads: Vec<usize>,
+    /// Voter passes for the multi-pass section (`0` disables it).
+    pub multipass: usize,
 }
 
 impl PerfConfig {
     /// The standard workload: the 64×64×128 cube of the acceptance
-    /// criterion, swept over 1/2/4/8 threads.
+    /// criterion, swept over 1/2/4/8 threads, with a 3-pass section.
     pub fn standard() -> Self {
         PerfConfig {
             width: 64,
@@ -46,6 +55,7 @@ impl PerfConfig {
             frames: 128,
             reps: 3,
             threads: vec![1, 2, 4, 8],
+            multipass: 3,
         }
     }
 
@@ -57,6 +67,7 @@ impl PerfConfig {
             frames: 32,
             reps: 1,
             threads: vec![1, 2],
+            multipass: 3,
         }
     }
 
@@ -64,22 +75,35 @@ impl PerfConfig {
     pub fn samples(&self) -> usize {
         self.width * self.height * self.frames
     }
+
+    /// The thread counts that will actually be timed on this machine.
+    pub fn effective_thread_counts(&self) -> Vec<usize> {
+        let cap = available_threads();
+        self.threads.iter().copied().filter(|&t| t <= cap).collect()
+    }
 }
 
-/// One timed driver × pixel-width × thread-count cell.
+/// One timed driver × kernel × pixel-width × thread-count cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfRow {
     /// Driver name: `naive`, `tiled` or `parallel`.
     pub driver: &'static str,
+    /// Voter kernel: `scalar` or `sweep`.
+    pub kernel: &'static str,
     /// Pixel width in bits (16 or 32).
     pub pixel_bits: u32,
-    /// Worker threads used (1 for the sequential drivers).
+    /// Voter passes per run (1 for the single-pass section).
+    pub passes: usize,
+    /// Worker threads that actually ran (1 for the sequential drivers;
+    /// requested counts beyond the machine are skipped entirely).
     pub threads: usize,
-    /// Best wall time for one full pass, in seconds.
+    /// Best wall time for one full run, in seconds.
     pub seconds: f64,
     /// Million samples preprocessed per second of wall time.
     pub mpix_per_s: f64,
-    /// Speedup over the naive sequential driver at the same pixel width.
+    /// Speedup over the section's scalar reference at the same pixel
+    /// width (naive/scalar for the single-pass section, tiled/scalar for
+    /// the multi-pass section).
     pub speedup: f64,
 }
 
@@ -90,6 +114,8 @@ pub struct PerfReport {
     pub config: PerfConfig,
     /// The machine's available parallelism when the run happened.
     pub available_threads: usize,
+    /// Requested thread counts that were skipped as unavailable.
+    pub skipped_threads: Vec<usize>,
     /// All timed cells, grouped by pixel width then driver.
     pub rows: Vec<PerfRow>,
 }
@@ -137,6 +163,26 @@ pub fn perf_algo() -> AlgoNgst {
     AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).expect("valid lambda"))
 }
 
+/// The multi-pass variant of [`perf_algo`].
+pub fn perf_algo_passes(passes: usize) -> AlgoNgst {
+    AlgoNgst::with_config(
+        Upsilon::FOUR,
+        Sensitivity::new(80).expect("valid lambda"),
+        NgstConfig {
+            passes,
+            ..NgstConfig::default()
+        },
+    )
+}
+
+/// The stable label used in rows, tables and JSON for a kernel.
+pub fn kernel_label(kernel: Kernel) -> &'static str {
+    match kernel {
+        Kernel::Scalar => "scalar",
+        Kernel::Sweep => "sweep",
+    }
+}
+
 /// Best-of-`reps` wall time for `pass`, run on a fresh clone each rep.
 fn best_secs<T: BitPixel>(
     reps: usize,
@@ -169,57 +215,142 @@ fn run_pixel_width<T: BitPixel>(
     let algo = perf_algo();
     let input = synthetic_stack(config.width, config.height, config.frames, 0xA5A5, sample);
     let mpix = |secs: f64| config.samples() as f64 / secs / 1e6;
+    let thread_counts = config.effective_thread_counts();
 
-    let naive = Preprocessor::new(&algo).naive(true);
-    let (naive_secs, reference, want) = best_secs(config.reps, &input, |s| naive.run(s));
+    // Single-pass section: every driver under both kernels, all checked
+    // bit-identical against the naive/scalar reference.
+    let reference = Preprocessor::new(&algo).naive(true).kernel(Kernel::Scalar);
+    let (ref_secs, reference_out, want) = best_secs(config.reps, &input, |s| reference.run(s));
     rows.push(PerfRow {
         driver: "naive",
+        kernel: kernel_label(Kernel::Scalar),
         pixel_bits,
+        passes: 1,
         threads: 1,
-        seconds: naive_secs,
-        mpix_per_s: mpix(naive_secs),
+        seconds: ref_secs,
+        mpix_per_s: mpix(ref_secs),
         speedup: 1.0,
     });
 
-    let tiled = Preprocessor::new(&algo).tile(DEFAULT_TILE);
-    let (secs, out, got) = best_secs(config.reps, &input, |s| tiled.run(s));
-    assert_eq!((got, &out), (want, &reference), "tiled driver diverged");
-    rows.push(PerfRow {
-        driver: "tiled",
-        pixel_bits,
-        threads: 1,
-        seconds: secs,
-        mpix_per_s: mpix(secs),
-        speedup: naive_secs / secs,
-    });
+    for kernel in [Kernel::Scalar, Kernel::Sweep] {
+        let label = kernel_label(kernel);
+        if kernel != Kernel::Scalar {
+            let naive = Preprocessor::new(&algo).naive(true).kernel(kernel);
+            let (secs, out, got) = best_secs(config.reps, &input, |s| naive.run(s));
+            assert_eq!(
+                (got, &out),
+                (want, &reference_out),
+                "naive/{label} diverged"
+            );
+            rows.push(PerfRow {
+                driver: "naive",
+                kernel: label,
+                pixel_bits,
+                passes: 1,
+                threads: 1,
+                seconds: secs,
+                mpix_per_s: mpix(secs),
+                speedup: ref_secs / secs,
+            });
+        }
 
-    for &threads in &config.threads {
-        let parallel = Preprocessor::new(&algo).threads(threads);
-        let (secs, out, got) = best_secs(config.reps, &input, |s| parallel.run(s));
+        let tiled = Preprocessor::new(&algo).tile(DEFAULT_TILE).kernel(kernel);
+        let (secs, out, got) = best_secs(config.reps, &input, |s| tiled.run(s));
         assert_eq!(
             (got, &out),
-            (want, &reference),
-            "parallel driver diverged at {threads} threads"
+            (want, &reference_out),
+            "tiled/{label} diverged"
         );
         rows.push(PerfRow {
-            driver: "parallel",
+            driver: "tiled",
+            kernel: label,
             pixel_bits,
-            threads,
+            passes: 1,
+            threads: 1,
             seconds: secs,
             mpix_per_s: mpix(secs),
-            speedup: naive_secs / secs,
+            speedup: ref_secs / secs,
+        });
+
+        for &threads in &thread_counts {
+            let parallel = Preprocessor::new(&algo).threads(threads).kernel(kernel);
+            let (secs, out, got) = best_secs(config.reps, &input, |s| parallel.run(s));
+            assert_eq!(
+                (got, &out),
+                (want, &reference_out),
+                "parallel/{label} diverged at {threads} threads"
+            );
+            rows.push(PerfRow {
+                driver: "parallel",
+                kernel: label,
+                pixel_bits,
+                passes: 1,
+                threads,
+                seconds: secs,
+                mpix_per_s: mpix(secs),
+                speedup: ref_secs / secs,
+            });
+        }
+    }
+
+    // Multi-pass section: the tiled driver at `passes` voter passes, its
+    // own scalar reference. This is where the sweep kernel's shared
+    // difference planes amortize across repeated cutoff rebuilds.
+    if config.multipass > 1 {
+        let multi = perf_algo_passes(config.multipass);
+        let scalar = Preprocessor::new(&multi)
+            .tile(DEFAULT_TILE)
+            .kernel(Kernel::Scalar);
+        let (scalar_secs, scalar_out, scalar_n) = best_secs(config.reps, &input, |s| scalar.run(s));
+        rows.push(PerfRow {
+            driver: "tiled",
+            kernel: kernel_label(Kernel::Scalar),
+            pixel_bits,
+            passes: config.multipass,
+            threads: 1,
+            seconds: scalar_secs,
+            mpix_per_s: mpix(scalar_secs),
+            speedup: 1.0,
+        });
+
+        let sweep = Preprocessor::new(&multi)
+            .tile(DEFAULT_TILE)
+            .kernel(Kernel::Sweep);
+        let (secs, out, got) = best_secs(config.reps, &input, |s| sweep.run(s));
+        assert_eq!(
+            (got, &out),
+            (scalar_n, &scalar_out),
+            "multi-pass sweep diverged"
+        );
+        rows.push(PerfRow {
+            driver: "tiled",
+            kernel: kernel_label(Kernel::Sweep),
+            pixel_bits,
+            passes: config.multipass,
+            threads: 1,
+            seconds: secs,
+            mpix_per_s: mpix(secs),
+            speedup: scalar_secs / secs,
         });
     }
 }
 
-/// Runs the full sweep: every driver, `u16` and `u32` pixels.
+/// Runs the full sweep: every driver × kernel, `u16` and `u32` pixels.
 pub fn preprocess_perf(config: &PerfConfig) -> PerfReport {
+    let cap = available_threads();
+    let skipped_threads: Vec<usize> = config
+        .threads
+        .iter()
+        .copied()
+        .filter(|&t| t > cap)
+        .collect();
     let mut rows = Vec::new();
     run_pixel_width::<u16>(config, 16, sample_u16, &mut rows);
     run_pixel_width::<u32>(config, 32, sample_u32, &mut rows);
     PerfReport {
         config: config.clone(),
-        available_threads: available_threads(),
+        available_threads: cap,
+        skipped_threads,
         rows,
     }
 }
@@ -239,16 +370,30 @@ impl PerfReport {
             self.config.reps,
             self.available_threads
         );
+        if !self.skipped_threads.is_empty() {
+            let _ = writeln!(
+                out,
+                "skipped thread count(s) beyond this machine: {:?}",
+                self.skipped_threads
+            );
+        }
         let _ = writeln!(
             out,
-            "{:<10} {:>6} {:>8} {:>12} {:>10} {:>8}",
-            "driver", "bits", "threads", "seconds", "Mpix/s", "speedup"
+            "{:<10} {:<8} {:>6} {:>7} {:>8} {:>12} {:>10} {:>8}",
+            "driver", "kernel", "bits", "passes", "threads", "seconds", "Mpix/s", "speedup"
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<10} {:>6} {:>8} {:>12.6} {:>10.2} {:>7.2}x",
-                r.driver, r.pixel_bits, r.threads, r.seconds, r.mpix_per_s, r.speedup
+                "{:<10} {:<8} {:>6} {:>7} {:>8} {:>12.6} {:>10.2} {:>7.2}x",
+                r.driver,
+                r.kernel,
+                r.pixel_bits,
+                r.passes,
+                r.threads,
+                r.seconds,
+                r.mpix_per_s,
+                r.speedup
             );
         }
         out
@@ -267,14 +412,24 @@ impl PerfReport {
         let _ = writeln!(out, "  \"samples_per_pass\": {},", self.config.samples());
         let _ = writeln!(out, "  \"reps\": {},", self.config.reps);
         let _ = writeln!(out, "  \"available_threads\": {},", self.available_threads);
+        let skipped: Vec<String> = self.skipped_threads.iter().map(|t| t.to_string()).collect();
+        let _ = writeln!(out, "  \"skipped_threads\": [{}],", skipped.join(", "));
         out.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let comma = if i + 1 == self.rows.len() { "" } else { "," };
             let _ = writeln!(
                 out,
-                "    {{\"driver\": \"{}\", \"pixel_bits\": {}, \"threads\": {}, \
-                 \"seconds\": {:.6}, \"mpix_per_s\": {:.3}, \"speedup\": {:.3}}}{comma}",
-                r.driver, r.pixel_bits, r.threads, r.seconds, r.mpix_per_s, r.speedup
+                "    {{\"driver\": \"{}\", \"kernel\": \"{}\", \"pixel_bits\": {}, \
+                 \"passes\": {}, \"threads\": {}, \"seconds\": {:.6}, \
+                 \"mpix_per_s\": {:.3}, \"speedup\": {:.3}}}{comma}",
+                r.driver,
+                r.kernel,
+                r.pixel_bits,
+                r.passes,
+                r.threads,
+                r.seconds,
+                r.mpix_per_s,
+                r.speedup
             );
         }
         out.push_str("  ]\n}\n");
@@ -288,16 +443,42 @@ mod tests {
 
     #[test]
     fn quick_sweep_produces_sane_rows() {
-        let report = preprocess_perf(&PerfConfig::quick());
-        // naive + tiled + 2 thread counts, for 2 pixel widths.
-        assert_eq!(report.rows.len(), 8);
+        let config = PerfConfig::quick();
+        let report = preprocess_perf(&config);
+        // Per pixel width: naive (scalar ref + sweep) + tiled × 2 kernels
+        // + parallel × 2 kernels × effective thread counts + the 2
+        // multi-pass tiled rows.
+        let t = config.effective_thread_counts().len();
+        assert_eq!(report.rows.len(), 2 * (2 + 2 + 2 * t + 2));
         assert!(report.rows.iter().all(|r| r.mpix_per_s > 0.0));
         assert!(report.rows.iter().all(|r| r.seconds > 0.0));
         assert!(report
             .rows
             .iter()
-            .filter(|r| r.driver == "naive")
+            .all(|r| r.threads <= report.available_threads));
+        assert!(report
+            .rows
+            .iter()
+            .filter(|r| r.driver == "naive" && r.kernel == "scalar")
             .all(|r| r.speedup == 1.0));
+        assert!(report.rows.iter().any(|r| r.kernel == "sweep"));
+        assert!(report.rows.iter().any(|r| r.passes == config.multipass));
+    }
+
+    #[test]
+    fn oversubscribed_thread_counts_are_skipped_not_capped() {
+        let config = PerfConfig {
+            threads: vec![1, available_threads() + 7],
+            multipass: 0,
+            ..PerfConfig::quick()
+        };
+        let report = preprocess_perf(&config);
+        assert_eq!(report.skipped_threads, vec![available_threads() + 7]);
+        assert!(report
+            .rows
+            .iter()
+            .all(|r| r.threads <= report.available_threads));
+        assert!(report.to_json().contains("\"skipped_threads\""));
     }
 
     #[test]
@@ -308,6 +489,7 @@ mod tests {
         assert!(json.ends_with("}\n"));
         assert_eq!(json.matches("\"driver\"").count(), report.rows.len());
         assert!(json.contains("\"benchmark\": \"preprocess_throughput\""));
+        assert!(json.contains("\"kernel\": \"sweep\""));
         // Balanced braces and brackets (flat document, no strings with
         // either character).
         let count = |c| json.matches(c).count();

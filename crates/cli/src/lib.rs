@@ -87,7 +87,7 @@ pub fn print_usage() {
          \x20 gen        --out FILE [--width N] [--height N] [--frames N] [--sigma S] [--seed S]\n\
          \x20 inject     --in FILE --out FILE --gamma0 P [--correlated] [--seed S]\n\
          \x20 preprocess --in FILE --out FILE [--lambda L] [--upsilon U] [--threads N]\n\
-         \x20            [--trace-json FILE]\n\
+         \x20            [--kernel sweep|scalar] [--trace-json FILE]\n\
          \x20 check      --in FILE\n\
          \x20 protect    --in FILE --out FILE\n\
          \x20 tune       --in FILE --gamma0 P\n\
@@ -100,7 +100,7 @@ pub fn print_usage() {
          \x20            [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]\n\
          \x20 serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--max-conns N]\n\
          \x20            [--batch-frames N] [--batch-delay-ms MS] [--threads N] [--workers N]\n\
-         \x20            [--metrics-addr ADDR]\n\
+         \x20            [--kernel sweep|scalar] [--metrics-addr ADDR]\n\
          \x20 submit     --in FILE --out FILE (--tcp ADDR | --unix PATH)\n\
          \x20            [--lambda L] [--upsilon U] [--stream N]\n\
          \x20 stats      (--tcp ADDR | --unix PATH)\n\
@@ -209,6 +209,7 @@ fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
     let lambda = opts.lambda()?;
     let upsilon = opts.upsilon()?;
     let (threads, thread_warning) = opts.threads()?;
+    let kernel = opts.kernel()?;
     let trace_path = opts.get("trace-json").cloned();
     let algo = AlgoNgst::new(Upsilon::new(upsilon)?, Sensitivity::new(lambda)?);
 
@@ -238,14 +239,15 @@ fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
     let start = std::time::Instant::now();
     let corrected = Preprocessor::new(&algo)
         .threads(threads)
+        .kernel(kernel)
         .observer(&obs)
         .run(&mut stack);
     let elapsed = start.elapsed();
     write_stack_file(&out, &stack)?;
     let _ = writeln!(
         report,
-        "preprocessed {} series on {threads} thread(s) (L={lambda}, U={upsilon}): \
-         {corrected} samples repaired in {elapsed:?} -> {out}",
+        "preprocessed {} series on {threads} thread(s) ({kernel} kernel, L={lambda}, \
+         U={upsilon}): {corrected} samples repaired in {elapsed:?} -> {out}",
         stack.width() * stack.height(),
     );
     if let (Some(path), Some(recorder)) = (&trace_path, &recorder) {
@@ -626,6 +628,7 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     if opts.given("threads") {
         config.engine.threads = threads;
     }
+    config.engine.kernel = opts.kernel()?;
     config.engine_workers = opts.usize_or("workers", config.engine_workers)?;
     config.metrics_addr = opts.get("metrics-addr").cloned();
 

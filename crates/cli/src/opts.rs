@@ -183,6 +183,22 @@ impl Opts {
         }
         Ok((requested, None))
     }
+
+    /// Reads `--kernel` and validates the voter-kernel name up front
+    /// (`sweep` — the default — or `scalar`). Shared by `preprocess` and
+    /// `serve`; both kernels are bit-identical, so the knob is purely a
+    /// scheduling/benchmarking choice.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] on an unknown kernel name.
+    pub fn kernel(&self) -> Result<preflight::core::Kernel, CliError> {
+        match self.values.get("kernel") {
+            None => Ok(preflight::core::Kernel::default()),
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError::Usage(format!("--kernel: {e}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +281,24 @@ mod tests {
                 "--upsilon {bad} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn kernel_validation_is_shared() {
+        use preflight::core::Kernel;
+        assert_eq!(parse(&[]).unwrap().kernel().unwrap(), Kernel::Sweep);
+        assert_eq!(
+            parse(&["--kernel", "scalar"]).unwrap().kernel().unwrap(),
+            Kernel::Scalar
+        );
+        assert_eq!(
+            parse(&["--kernel", "sweep"]).unwrap().kernel().unwrap(),
+            Kernel::Sweep
+        );
+        assert!(matches!(
+            parse(&["--kernel", "vector"]).unwrap().kernel(),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -44,6 +44,26 @@ fn invalid_upsilon_exits_2_with_a_message() {
 }
 
 #[test]
+fn invalid_kernel_exits_2_with_a_message() {
+    let out = preflight(&[
+        "preprocess",
+        "--in",
+        "x",
+        "--out",
+        "y",
+        "--kernel",
+        "vector",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown kernel 'vector'"),
+        "stderr was: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "usage text expected: {stderr}");
+}
+
+#[test]
 fn invalid_threads_exits_2_with_a_message() {
     let out = preflight(&["preprocess", "--in", "x", "--out", "y", "--threads", "0"]);
     assert_eq!(out.status.code(), Some(2));
@@ -101,6 +121,7 @@ fn flag_validation_is_uniform_across_subcommands() {
     // same bad values — before touching the filesystem or the network.
     let cases: &[&[&str]] = &[
         &["serve", "--tcp", "127.0.0.1:0", "--threads", "0"],
+        &["serve", "--tcp", "127.0.0.1:0", "--kernel", "vector"],
         &[
             "submit",
             "--in",

@@ -12,9 +12,11 @@ use crate::container::ImageStack;
 use crate::error::CoreError;
 use crate::pixel::BitPixel;
 use crate::sensitivity::{Sensitivity, Upsilon};
+use crate::sweep::{sweep_corrections, Kernel};
 use crate::traits::SeriesPreprocessor;
 use crate::voter::{VoterMatrix, VoterScratch};
 use crate::window::BitWindows;
+use preflight_obs::Obs;
 
 /// Optional behavioral switches for [`AlgoNgst`], used by the ablation
 /// benchmarks (`DESIGN.md` experiments A1/A2).
@@ -134,9 +136,10 @@ impl AlgoNgst {
     }
 
     /// [`AlgoNgst::try_preprocess`] with caller-provided scratch buffers:
-    /// identical results, but the XOR-diff and correction buffers are reused
-    /// across series instead of reallocated, so a worker looping over a tile
-    /// of series reaches a zero-alloc steady state.
+    /// identical results, but the XOR-diff, plane and correction buffers are
+    /// reused across series instead of reallocated, so a worker looping over
+    /// a tile of series reaches a zero-alloc steady state. Runs the default
+    /// [`Kernel`] (the plane-sweep kernel).
     ///
     /// # Errors
     /// Same contract as [`AlgoNgst::try_preprocess`].
@@ -145,12 +148,38 @@ impl AlgoNgst {
         series: &mut [T],
         scratch: &mut VoterScratch<T>,
     ) -> Result<usize, CoreError> {
+        self.try_preprocess_kernel(series, scratch, Kernel::default())
+    }
+
+    /// [`AlgoNgst::try_preprocess_with`] with an explicit [`Kernel`]
+    /// selection. Every kernel produces bit-identical results (property
+    /// tested in `tests/sweep_identical.rs`); the knob only chooses how the
+    /// voter arithmetic is scheduled.
+    ///
+    /// # Errors
+    /// Same contract as [`AlgoNgst::try_preprocess`].
+    pub fn try_preprocess_kernel<T: BitPixel>(
+        &self,
+        series: &mut [T],
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+    ) -> Result<usize, CoreError> {
+        self.try_preprocess_exec(series, scratch, kernel, &Obs::disabled())
+    }
+
+    fn try_preprocess_exec<T: BitPixel>(
+        &self,
+        series: &mut [T],
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> Result<usize, CoreError> {
         if self.sensitivity.is_off() {
             return Ok(0);
         }
         let mut total = 0;
         for _ in 0..self.config.passes.max(1) {
-            let changed = self.one_pass(series, scratch)?;
+            let changed = self.one_pass(series, scratch, kernel, obs)?;
             total += changed;
             if changed == 0 {
                 break;
@@ -161,10 +190,14 @@ impl AlgoNgst {
 
     /// One analyze-and-repair round: build the voter matrix, compute every
     /// correction from the (round-local) original data, apply in a batch.
+    /// The cut-off estimation is shared; only the correction computation
+    /// dispatches on the kernel.
     fn one_pass<T: BitPixel>(
         &self,
         series: &mut [T],
         scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
     ) -> Result<usize, CoreError> {
         let vm = VoterMatrix::build_with_scratch(
             series,
@@ -174,16 +207,23 @@ impl AlgoNgst {
             scratch,
         )?;
         let windows = self.effective_windows(&vm);
-        let n = series.len();
-        let corrections = &mut scratch.corrections;
-        corrections.clear();
-        for i in 0..n {
-            let (vect, aux) = vm.correction(series, i);
-            let aux = if self.config.use_grt { aux } else { T::ZERO };
-            corrections.push(windows.combine(vect, aux));
+        match kernel {
+            Kernel::Sweep => {
+                sweep_corrections(&vm, series, windows, self.config.use_grt, scratch, obs);
+            }
+            Kernel::Scalar => {
+                let n = series.len();
+                let corrections = &mut scratch.corrections;
+                corrections.clear();
+                for i in 0..n {
+                    let (vect, aux) = vm.correction(series, i);
+                    let aux = if self.config.use_grt { aux } else { T::ZERO };
+                    corrections.push(windows.combine(vect, aux));
+                }
+            }
         }
         let mut changed = 0;
-        for (p, &c) in series.iter_mut().zip(corrections.iter()) {
+        for (p, &c) in series.iter_mut().zip(scratch.corrections.iter()) {
             if c != T::ZERO {
                 *p = p.xor(c);
                 changed += 1;
@@ -213,6 +253,19 @@ impl<T: BitPixel> SeriesPreprocessor<T> for AlgoNgst {
     /// Infallible wrapper over [`AlgoNgst::try_preprocess_with`].
     fn preprocess_with(&self, series: &mut [T], scratch: &mut VoterScratch<T>) -> usize {
         self.try_preprocess_with(series, scratch).unwrap_or(0)
+    }
+
+    /// Infallible wrapper over the kernel-dispatching entry point, with
+    /// `sweep.plane_pass` / `sweep.combine` spans landing in `obs`.
+    fn preprocess_exec(
+        &self,
+        series: &mut [T],
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> usize {
+        self.try_preprocess_exec(series, scratch, kernel, obs)
+            .unwrap_or(0)
     }
 }
 

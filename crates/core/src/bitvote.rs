@@ -10,6 +10,7 @@
 use crate::container::Image;
 use crate::pixel::BitPixel;
 use crate::traits::{PlanePreprocessor, SeriesPreprocessor};
+use crate::voter::VoterScratch;
 
 /// Bitwise majority voting with a window of width three (Algorithm 3).
 ///
@@ -56,7 +57,7 @@ impl BitVoter {
         a.and(b).or(b.and(c)).or(a.and(c))
     }
 
-    fn vote<T: BitPixel>(&self, series: &mut [T]) -> usize {
+    fn vote<T: BitPixel>(&self, series: &mut [T], scratch: &mut VoterScratch<T>) -> usize {
         let n = series.len();
         if n < 4 {
             // The paper's virtual boundary samples P(0)=P(3), P(N+1)=P(N−2)
@@ -65,7 +66,11 @@ impl BitVoter {
         }
         let mut changed = 0;
         if self.buffered {
-            let orig = series.to_vec();
+            // The pre-vote snapshot lives in the reusable scratch word
+            // buffer, so a worker looping over series votes allocation-free.
+            let orig = &mut scratch.corrections;
+            orig.clear();
+            orig.extend_from_slice(series);
             for i in 0..n {
                 let prev = if i == 0 { orig[2] } else { orig[i - 1] };
                 let next = if i == n - 1 { orig[n - 3] } else { orig[i + 1] };
@@ -100,7 +105,11 @@ impl<T: BitPixel> SeriesPreprocessor<T> for BitVoter {
     }
 
     fn preprocess(&self, series: &mut [T]) -> usize {
-        self.vote(series)
+        self.preprocess_with(series, &mut VoterScratch::new())
+    }
+
+    fn preprocess_with(&self, series: &mut [T], scratch: &mut VoterScratch<T>) -> usize {
+        self.vote(series, scratch)
     }
 }
 
@@ -113,8 +122,9 @@ impl<T: BitPixel> PlanePreprocessor<T> for BitVoter {
     /// plane, exploiting spatial instead of temporal locality.
     fn preprocess_plane(&self, plane: &mut Image<T>) -> usize {
         let mut changed = 0;
+        let mut scratch = VoterScratch::new();
         for y in 0..plane.height() {
-            changed += self.vote(plane.row_mut(y));
+            changed += self.vote(plane.row_mut(y), &mut scratch);
         }
         changed
     }
@@ -217,6 +227,23 @@ mod tests {
         let changed = PlanePreprocessor::preprocess_plane(&BitVoter::new(), &mut img);
         assert_eq!(changed, 1);
         assert!(img.as_slice().iter().all(|&v| v == 0x00F0));
+    }
+
+    #[test]
+    fn buffered_scratch_reuse_matches_fresh_path() {
+        // One scratch arena reused across many series must reproduce the
+        // per-call allocating path exactly, including stale-buffer cases
+        // where the previous series was longer.
+        let mut scratch = VoterScratch::new();
+        for len in [12usize, 6, 9, 4] {
+            let mut fresh: Vec<u16> = (0..len).map(|i| 0x4000 | ((i as u16 % 2) << 8)).collect();
+            fresh[len / 2] ^= 1 << 3;
+            let mut reused = fresh.clone();
+            let a = SeriesPreprocessor::preprocess(&BitVoter::buffered(), &mut fresh);
+            let b = BitVoter::buffered().preprocess_with(&mut reused, &mut scratch);
+            assert_eq!(a, b, "changed count at len {len}");
+            assert_eq!(fresh, reused, "votes at len {len}");
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod pixel;
 pub mod preprocessor;
 pub mod sensitivity;
 pub mod smoothing;
+pub mod sweep;
 pub mod traits;
 pub mod voter;
 pub mod window;
@@ -73,6 +74,7 @@ pub use pixel::{BitPixel, ValuePixel};
 pub use preprocessor::{available_threads, Preprocessor, DEFAULT_TILE};
 pub use sensitivity::{Sensitivity, Upsilon};
 pub use smoothing::{MeanSmoother, MedianSmoother};
+pub use sweep::Kernel;
 pub use traits::{PlanePreprocessor, SeriesPreprocessor};
 pub use voter::{VoterMatrix, VoterScratch};
 pub use window::BitWindows;
@@ -91,6 +93,7 @@ pub mod prelude {
     pub use crate::preprocessor::{available_threads, Preprocessor};
     pub use crate::sensitivity::{Sensitivity, Upsilon};
     pub use crate::smoothing::{MeanSmoother, MedianSmoother};
+    pub use crate::sweep::Kernel;
     pub use crate::traits::{PlanePreprocessor, SeriesPreprocessor};
     pub use preflight_obs::{Obs, Span};
 }

@@ -40,6 +40,7 @@
 
 use crate::container::{Cube, Image, ImageStack};
 use crate::pixel::BitPixel;
+use crate::sweep::Kernel;
 use crate::traits::{PlanePreprocessor, SeriesPreprocessor};
 use crate::voter::VoterScratch;
 use crossbeam::channel;
@@ -105,18 +106,20 @@ pub struct Preprocessor<A> {
     threads: usize,
     tile: usize,
     naive: bool,
+    kernel: Kernel,
     obs: Obs,
 }
 
 impl<A> Preprocessor<A> {
     /// A sequential driver for `algo`: 1 thread, [`DEFAULT_TILE`] tiles,
-    /// observability disabled.
+    /// the default (plane-sweep) kernel, observability disabled.
     pub fn new(algo: A) -> Self {
         Preprocessor {
             algo,
             threads: 1,
             tile: DEFAULT_TILE,
             naive: false,
+            kernel: Kernel::default(),
             obs: Obs::disabled(),
         }
     }
@@ -155,6 +158,14 @@ impl<A> Preprocessor<A> {
         self
     }
 
+    /// Selects the voter-correction [`Kernel`] handed to the algorithm
+    /// ([`Kernel::Sweep`] by default). Output is bit-identical for every
+    /// kernel; algorithms with a single code path ignore the knob.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// The algorithm this driver runs.
     pub fn algo(&self) -> &A {
         &self.algo
@@ -170,6 +181,12 @@ impl<A> Preprocessor<A> {
         self.obs
             .counter("preprocess_window_derivations_total", None)
             .add(scratch.window_derivations());
+        self.obs
+            .counter("preprocess_sweep_plane_passes_total", None)
+            .add(scratch.sweep_plane_passes());
+        self.obs
+            .counter("preprocess_sweep_combines_total", None)
+            .add(scratch.sweep_combines());
         scratch.reset_tallies();
     }
 
@@ -185,7 +202,12 @@ impl<A> Preprocessor<A> {
     {
         let _span = self.obs.span("preprocess");
         let changed = if self.naive {
-            stack.for_each_series(|series| self.algo.preprocess(series))
+            stack.for_each_series(|series| {
+                // Fresh scratch per series: the naive reference stays naive
+                // about allocation, but still honors the kernel knob.
+                self.algo
+                    .preprocess_exec(series, &mut VoterScratch::new(), self.kernel, &self.obs)
+            })
         } else if stack.frames() == 0 || stack.frame_len() == 0 {
             0
         } else {
@@ -225,7 +247,9 @@ impl<A> Preprocessor<A> {
             let _span = self.obs.span("tile");
             stack.gather_tile_series(t.tx, t.ty, t.tw, t.th, &mut buf);
             for series in buf.chunks_exact_mut(frames) {
-                changed += self.algo.preprocess_with(series, &mut scratch);
+                changed += self
+                    .algo
+                    .preprocess_exec(series, &mut scratch, self.kernel, &self.obs);
             }
             stack.scatter_tile_series(t.tx, t.ty, t.tw, t.th, &buf);
         }
@@ -258,6 +282,7 @@ impl<A> Preprocessor<A> {
         let shared: &ImageStack<T> = stack;
         let algo = &self.algo;
         let obs = &self.obs;
+        let kernel = self.kernel;
         std::thread::scope(|s| {
             for _ in 0..workers {
                 let job_rx = job_rx.clone();
@@ -270,7 +295,7 @@ impl<A> Preprocessor<A> {
                         shared.gather_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &mut buf);
                         let mut changed = 0;
                         for series in buf.chunks_exact_mut(frames) {
-                            changed += algo.preprocess_with(series, &mut scratch);
+                            changed += algo.preprocess_exec(series, &mut scratch, kernel, obs);
                         }
                         drop(span);
                         if res_tx.send((tile, buf, changed)).is_err() {
@@ -282,6 +307,10 @@ impl<A> Preprocessor<A> {
                             .add(scratch.voter_builds());
                         obs.counter("preprocess_window_derivations_total", None)
                             .add(scratch.window_derivations());
+                        obs.counter("preprocess_sweep_plane_passes_total", None)
+                            .add(scratch.sweep_plane_passes());
+                        obs.counter("preprocess_sweep_combines_total", None)
+                            .add(scratch.sweep_combines());
                     }
                 });
             }
@@ -317,7 +346,9 @@ impl<A> Preprocessor<A> {
         let mut changed = 0;
         let mut scratch = VoterScratch::new();
         for y in 0..image.height() {
-            changed += self.algo.preprocess_with(image.row_mut(y), &mut scratch);
+            changed +=
+                self.algo
+                    .preprocess_exec(image.row_mut(y), &mut scratch, self.kernel, &self.obs);
         }
         let (w, h) = (image.width(), image.height());
         let mut column: Vec<T> = Vec::with_capacity(h);
@@ -326,7 +357,11 @@ impl<A> Preprocessor<A> {
             image.copy_col_into(x, &mut column);
             before.clear();
             before.extend_from_slice(&column);
-            if self.algo.preprocess_with(&mut column, &mut scratch) > 0 {
+            if self
+                .algo
+                .preprocess_exec(&mut column, &mut scratch, self.kernel, &self.obs)
+                > 0
+            {
                 changed += column.iter().zip(&before).filter(|(a, b)| a != b).count();
                 image.write_col(x, &column);
             }
@@ -529,6 +564,15 @@ mod tests {
         );
         assert_eq!(
             snap.counter("preprocess_window_derivations_total", None),
+            Some(64 * 48)
+        );
+        // The default sweep kernel runs one plane pass + combine per series.
+        assert_eq!(
+            snap.counter("preprocess_sweep_plane_passes_total", None),
+            Some(64 * 48)
+        );
+        assert_eq!(
+            snap.counter("preprocess_sweep_combines_total", None),
             Some(64 * 48)
         );
         // Spans landed in the stage histograms.

@@ -1,0 +1,301 @@
+//! The plane-sweep bit-parallel voter kernel.
+//!
+//! [`VoterMatrix::correction`] is a per-pixel *gather*: for every pixel it
+//! re-derives reflected neighbor indices and recomputes the XOR and
+//! arithmetic differences for all Υ pairings. But the pruned difference
+//! `φ(i, i+d)` is shared between pixel `i` (forward way at offset `d`) and
+//! pixel `i+d` (backward way at the same offset), so the gather computes
+//! every diff twice — and its bounds-checked, reflection-branching inner
+//! loop defeats auto-vectorization.
+//!
+//! The sweep kernel restructures the same arithmetic as a *streaming pass*
+//! over whole difference planes:
+//!
+//! 1. **Plane pass** — for each way offset `d ∈ 1..=Υ/2`, one linear sweep
+//!    fills the forward plane `F_d[i] = φ(i, i+d)`. The steady-state body
+//!    (`i < n−d`) is a branch-free three-slice zip; the few reflected
+//!    pairings at the series ends live in small prologue/epilogue loops.
+//!    The backward plane never materializes: by symmetry of φ,
+//!    `B_d[i] = F_d[i−d]` for `i ≥ d`, and the `i < d` prologue values (at
+//!    most Υ/2 ≤ [`MAX_WAYS`] per way) sit in a stack stash.
+//! 2. **Combine** — the 2·(Υ/2) φ planes fold into `corr_vect`
+//!    (AND-of-all) and `corr_aux` (OR of all-but-one) with two running
+//!    accumulator planes instead of prefix/suffix ANDs: `all` holds bits
+//!    set in every plane so far, `one` bits clear in *exactly one* plane.
+//!    Per plane `p` the update is `one' = (one & p) | (all & !p)`,
+//!    `all' = all & p`; at the end a bit of `all | one` is set iff at most
+//!    one plane cleared it — exactly the all-but-one OR. Each fold is a
+//!    chunked bit-parallel loop over plain slices, which the compiler
+//!    auto-vectorizes.
+//! 3. **Repair** — window A/B combination ([`BitWindows::combine`])
+//!    becomes one more streaming map over the accumulators.
+//!
+//! The kernel is **bit-identical** to the scalar gather for every Υ, Λ,
+//! dtype and series length (same reflection semantics, same dual
+//! XOR/arithmetic pruning, same Υ = 2 degeneration where the all-but-one
+//! vote collapses onto the unanimous one); `tests/sweep_identical.rs`
+//! property-tests this. All buffers live in [`VoterScratch`], so a worker
+//! looping over series runs allocation-free in steady state.
+
+use crate::pixel::BitPixel;
+use crate::voter::{VoterMatrix, VoterScratch, MAX_WAYS};
+use crate::window::BitWindows;
+use preflight_obs::Obs;
+
+/// Selects the voter-correction kernel of [`crate::AlgoNgst`].
+///
+/// Both kernels produce bit-identical output; they differ only in how the
+/// work is scheduled. The sweep kernel is the default everywhere
+/// ([`crate::Preprocessor`] included); the scalar gather remains as the
+/// reference implementation and identity-check oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Kernel {
+    /// The per-pixel reference gather ([`VoterMatrix::correction`]).
+    Scalar,
+    /// The plane-sweep streaming kernel (default): each XOR/abs-diff is
+    /// computed once and reused for the forward and backward pairing, and
+    /// plane combination is a chunked bit-parallel fold.
+    #[default]
+    Sweep,
+}
+
+impl core::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Sweep => "sweep",
+        })
+    }
+}
+
+impl core::str::FromStr for Kernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "scalar" => Ok(Kernel::Scalar),
+            "sweep" => Ok(Kernel::Sweep),
+            other => Err(format!(
+                "unknown kernel '{other}' (expected 'scalar' or 'sweep')"
+            )),
+        }
+    }
+}
+
+/// The pruned φ of one pairing: the XOR difference, or zero unless the pair
+/// is deviant in **both** the bit-incongruity and the arithmetic sense —
+/// the same dual rule as [`VoterMatrix::correction`], here branch-free so
+/// the steady-state plane fill vectorizes.
+#[inline]
+fn prune<T: BitPixel>(a: T, b: T, cutoff: u64) -> T {
+    let diff = a.xor(b).to_u64();
+    let arith = a.to_u64().abs_diff(b.to_u64());
+    let keep = u64::from(diff > cutoff) & u64::from(arith > cutoff);
+    T::from_u64(diff & keep.wrapping_neg())
+}
+
+/// Folds one plane word into the two combine accumulators.
+#[inline]
+fn fold<T: BitPixel>(all: &mut T, one: &mut T, p: T) {
+    let was_all = *all;
+    *all = was_all.and(p);
+    *one = one.and(p).or(was_all.and(p.not()));
+}
+
+/// Fills `scratch.corrections` with the final correction word of every
+/// pixel of `series`, equivalent to mapping [`VoterMatrix::correction`] +
+/// [`BitWindows::combine`] over the series but restructured as the
+/// streaming plane sweep described in the [module docs](self).
+pub(crate) fn sweep_corrections<T: BitPixel>(
+    vm: &VoterMatrix<T>,
+    series: &[T],
+    windows: BitWindows<T>,
+    use_grt: bool,
+    scratch: &mut VoterScratch<T>,
+    obs: &Obs,
+) {
+    let n = series.len();
+    debug_assert_eq!(n, vm.series_len());
+    let half = vm.upsilon().half();
+    let m = 2 * half;
+    let VoterScratch {
+        corrections,
+        planes,
+        acc_all,
+        acc_one,
+        sweep_plane_passes,
+        sweep_combines,
+        ..
+    } = scratch;
+
+    // Backward-pairing prologue stash: bstash[d−1][i] = φ(i, d−i) for i < d
+    // (the reflected left neighbors of the first d pixels).
+    let mut bstash = [[T::ZERO; MAX_WAYS]; MAX_WAYS];
+
+    {
+        let _span = obs.span("sweep.plane_pass");
+        planes.clear();
+        planes.resize(half * n, T::ZERO);
+        for d in 1..=half {
+            let cutoff = vm.cutoff(d).to_u64();
+            let row = &mut planes[(d - 1) * n..d * n];
+            let steady = n - d;
+            // Steady state: every φ(i, i+d) exactly once, branch-free.
+            for ((slot, &a), &b) in row[..steady]
+                .iter_mut()
+                .zip(&series[..steady])
+                .zip(&series[d..])
+            {
+                *slot = prune(a, b, cutoff);
+            }
+            // Epilogue: forward neighbors reflected about the last sample.
+            for (off, slot) in row[steady..].iter_mut().enumerate() {
+                let i = steady + off;
+                let j = 2 * (n - 1) - (i + d);
+                *slot = prune(series[i], series[j], cutoff);
+            }
+            // Prologue: backward neighbors reflected about the first sample.
+            for (i, slot) in bstash[d - 1][..d].iter_mut().enumerate() {
+                *slot = prune(series[i], series[d - i], cutoff);
+            }
+        }
+        *sweep_plane_passes += 1;
+    }
+
+    {
+        let _span = obs.span("sweep.combine");
+        acc_all.clear();
+        acc_all.resize(n, T::ONES);
+        acc_one.clear();
+        acc_one.resize(n, T::ZERO);
+        for d in 1..=half {
+            let row = &planes[(d - 1) * n..d * n];
+            // Forward plane.
+            for ((all, one), &p) in acc_all.iter_mut().zip(acc_one.iter_mut()).zip(row) {
+                fold(all, one, p);
+            }
+            // Backward plane: B_d[i] = F_d[i−d] for i ≥ d (the diff shared
+            // with the forward way of pixel i−d); prologue from the stash.
+            for ((all, one), &p) in acc_all[..d]
+                .iter_mut()
+                .zip(acc_one[..d].iter_mut())
+                .zip(&bstash[d - 1][..d])
+            {
+                fold(all, one, p);
+            }
+            for ((all, one), &p) in acc_all[d..]
+                .iter_mut()
+                .zip(acc_one[d..].iter_mut())
+                .zip(&row[..n - d])
+            {
+                fold(all, one, p);
+            }
+        }
+        corrections.clear();
+        corrections.reserve(n);
+        if m < 4 {
+            // Υ = 2: the all-but-one vote degenerates to a single voter, so
+            // the scalar path falls back to the unanimous vector — mirror it.
+            for &all in acc_all.iter() {
+                let aux = if use_grt { all } else { T::ZERO };
+                corrections.push(windows.combine(all, aux));
+            }
+        } else {
+            for (&all, &one) in acc_all.iter().zip(acc_one.iter()) {
+                let aux = if use_grt { all.or(one) } else { T::ZERO };
+                corrections.push(windows.combine(all, aux));
+            }
+        }
+        *sweep_combines += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitivity::{Sensitivity, Upsilon};
+    use crate::voter::DEFAULT_MSB_MARGIN;
+
+    #[test]
+    fn kernel_round_trips_through_strings() {
+        for k in [Kernel::Scalar, Kernel::Sweep] {
+            assert_eq!(k.to_string().parse::<Kernel>().unwrap(), k);
+        }
+        assert!("vector".parse::<Kernel>().is_err());
+        assert_eq!(Kernel::default(), Kernel::Sweep);
+    }
+
+    #[test]
+    fn prune_matches_the_scalar_rule() {
+        // cutoff 4: XOR ≤ 4 or |a−b| ≤ 4 → pruned.
+        assert_eq!(prune(0u16, 4, 4), 0, "xor at the cut-off is pruned");
+        assert_eq!(prune(0x69FFu16, 0x6A00, 4), 0, "carry straddle is pruned");
+        assert_eq!(prune(0u16, 0x100, 4), 0x100, "gross outlier survives");
+        assert_eq!(prune(7u16, 7, 4), 0, "identical pair is pruned");
+    }
+
+    #[test]
+    fn sweep_matches_scalar_gather_on_a_mixed_series() {
+        let mut series: Vec<u16> = (0..48).map(|i| 21_000 + (i % 5) as u16).collect();
+        series[7] ^= 1 << 14;
+        series[30] ^= 1 << 12;
+        for upsilon in [Upsilon::TWO, Upsilon::FOUR, Upsilon::SIX] {
+            let vm = VoterMatrix::build(
+                &series,
+                upsilon,
+                Sensitivity::new(80).unwrap(),
+                DEFAULT_MSB_MARGIN,
+            )
+            .unwrap();
+            let windows = vm.windows();
+            for use_grt in [true, false] {
+                let mut scratch = VoterScratch::new();
+                sweep_corrections(
+                    &vm,
+                    &series,
+                    windows,
+                    use_grt,
+                    &mut scratch,
+                    &Obs::disabled(),
+                );
+                for (i, &got) in scratch.corrections.iter().enumerate() {
+                    let (vect, aux) = vm.correction(&series, i);
+                    let aux = if use_grt { aux } else { 0 };
+                    let want = windows.combine(vect, aux);
+                    assert_eq!(got, want, "pixel {i}, Υ={upsilon:?}, grt={use_grt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_handles_minimum_length_series() {
+        // n = Υ/2 + 1: every pairing but one is a reflected boundary case.
+        for upsilon in [Upsilon::TWO, Upsilon::FOUR, Upsilon::new(8).unwrap()] {
+            let n = upsilon.min_series_len();
+            let mut series: Vec<u16> = vec![30_000; n];
+            series[n / 2] ^= 1 << 13;
+            let vm = VoterMatrix::build(
+                &series,
+                upsilon,
+                Sensitivity::new(80).unwrap(),
+                DEFAULT_MSB_MARGIN,
+            )
+            .unwrap();
+            let mut scratch = VoterScratch::new();
+            sweep_corrections(
+                &vm,
+                &series,
+                vm.windows(),
+                true,
+                &mut scratch,
+                &Obs::disabled(),
+            );
+            for (i, &got) in scratch.corrections.iter().enumerate() {
+                let (vect, aux) = vm.correction(&series, i);
+                let want = vm.windows().combine(vect, aux);
+                assert_eq!(got, want, "pixel {i}, Υ={upsilon:?}, n={n}");
+            }
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Preprocessor traits shared by the dynamic algorithm and the baselines.
 
 use crate::container::Image;
+use crate::sweep::Kernel;
 use crate::voter::VoterScratch;
+use preflight_obs::Obs;
 
 /// A preprocessing algorithm operating on the temporal series of one
 /// coordinate (the NGST shape: `N` readouts of the same pixel).
@@ -30,6 +32,24 @@ pub trait SeriesPreprocessor<T> {
         let _ = scratch;
         self.preprocess(series)
     }
+
+    /// The full execution entry point: scratch recycling plus an explicit
+    /// [`Kernel`] selection and an observability handle for per-stage
+    /// spans. Results must be bit-identical for every kernel; the kernel is
+    /// purely a scheduling choice. The default implementation ignores both
+    /// extras (correct for the baselines, which have a single code path);
+    /// [`crate::AlgoNgst`] overrides it to dispatch between the scalar
+    /// gather and the plane-sweep kernel.
+    fn preprocess_exec(
+        &self,
+        series: &mut [T],
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> usize {
+        let _ = (kernel, obs);
+        self.preprocess_with(series, scratch)
+    }
 }
 
 /// A preprocessing algorithm operating on a single 2-D plane (the OTIS
@@ -51,6 +71,15 @@ impl<T, P: SeriesPreprocessor<T> + ?Sized> SeriesPreprocessor<T> for &P {
     }
     fn preprocess_with(&self, series: &mut [T], scratch: &mut VoterScratch<T>) -> usize {
         (**self).preprocess_with(series, scratch)
+    }
+    fn preprocess_exec(
+        &self,
+        series: &mut [T],
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> usize {
+        (**self).preprocess_exec(series, scratch, kernel, obs)
     }
 }
 

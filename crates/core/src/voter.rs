@@ -55,12 +55,25 @@ pub const MAX_WAYS: usize = 8;
 pub struct VoterScratch<T> {
     /// XOR-difference magnitudes of the way under construction.
     pub(crate) diffs: Vec<u64>,
-    /// Per-pixel correction words of the series under repair.
+    /// General per-series word buffer: the correction words of the series
+    /// under repair ([`crate::AlgoNgst`]) or the pre-vote snapshot of the
+    /// buffered [`crate::BitVoter`].
     pub(crate) corrections: Vec<T>,
+    /// Pruned φ planes of the sweep kernel: Υ/2 forward planes, row-major,
+    /// one row of `series_len` words per way offset.
+    pub(crate) planes: Vec<T>,
+    /// Sweep combine accumulator: bits set in every plane folded so far.
+    pub(crate) acc_all: Vec<T>,
+    /// Sweep combine accumulator: bits clear in exactly one plane so far.
+    pub(crate) acc_one: Vec<T>,
     /// Voter matrices built through this scratch since the last reset.
     voter_builds: u64,
     /// Bit-window derivations performed since the last reset.
     window_derivations: u64,
+    /// Sweep-kernel plane passes performed since the last reset.
+    pub(crate) sweep_plane_passes: u64,
+    /// Sweep-kernel plane combines performed since the last reset.
+    pub(crate) sweep_combines: u64,
 }
 
 impl<T> VoterScratch<T> {
@@ -70,8 +83,13 @@ impl<T> VoterScratch<T> {
         VoterScratch {
             diffs: Vec::new(),
             corrections: Vec::new(),
+            planes: Vec::new(),
+            acc_all: Vec::new(),
+            acc_one: Vec::new(),
             voter_builds: 0,
             window_derivations: 0,
+            sweep_plane_passes: 0,
+            sweep_combines: 0,
         }
     }
 
@@ -81,8 +99,13 @@ impl<T> VoterScratch<T> {
         VoterScratch {
             diffs: Vec::with_capacity(series_len),
             corrections: Vec::with_capacity(series_len),
+            planes: Vec::new(),
+            acc_all: Vec::with_capacity(series_len),
+            acc_one: Vec::with_capacity(series_len),
             voter_builds: 0,
             window_derivations: 0,
+            sweep_plane_passes: 0,
+            sweep_combines: 0,
         }
     }
 
@@ -99,10 +122,23 @@ impl<T> VoterScratch<T> {
         self.window_derivations
     }
 
-    /// Zeroes both tallies (typically after flushing them to a registry).
+    /// Sweep-kernel plane passes (one per series per round) performed
+    /// since the last reset.
+    pub fn sweep_plane_passes(&self) -> u64 {
+        self.sweep_plane_passes
+    }
+
+    /// Sweep-kernel plane combines performed since the last reset.
+    pub fn sweep_combines(&self) -> u64 {
+        self.sweep_combines
+    }
+
+    /// Zeroes all tallies (typically after flushing them to a registry).
     pub fn reset_tallies(&mut self) {
         self.voter_builds = 0;
         self.window_derivations = 0;
+        self.sweep_plane_passes = 0;
+        self.sweep_combines = 0;
     }
 }
 

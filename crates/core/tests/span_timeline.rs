@@ -35,12 +35,38 @@ fn sequential_run_closes_a_golden_span_sequence() {
     let mut stack = noisy_stack(64, 48, 16);
     Preprocessor::new(&algo).observer(&obs).run(&mut stack);
 
-    let stages: Vec<&str> = recorder.records().iter().map(|r| r.stage).collect();
+    let records = recorder.records();
+    let skeleton: Vec<&str> = records
+        .iter()
+        .map(|r| r.stage)
+        .filter(|s| !s.starts_with("sweep."))
+        .collect();
     assert_eq!(
-        stages,
+        skeleton,
         vec!["tile", "tile", "tile", "tile", "preprocess"],
         "span close order is part of the observability contract"
     );
+    // The default sweep kernel times both of its stages once per series
+    // (one round each on this workload), closing the plane pass before the
+    // combine of the same series.
+    let planes = records
+        .iter()
+        .filter(|r| r.stage == "sweep.plane_pass")
+        .count();
+    let combines = records
+        .iter()
+        .filter(|r| r.stage == "sweep.combine")
+        .count();
+    assert_eq!(planes, 64 * 48, "one plane pass per coordinate series");
+    assert_eq!(combines, 64 * 48, "one combine per coordinate series");
+    let sweep_pairs: Vec<&str> = records
+        .iter()
+        .map(|r| r.stage)
+        .filter(|s| s.starts_with("sweep."))
+        .collect();
+    for pair in sweep_pairs.chunks(2) {
+        assert_eq!(pair, ["sweep.plane_pass", "sweep.combine"]);
+    }
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! preflightd [--tcp ADDR] [--unix PATH] [--metrics-addr ADDR] [--capacity N]
 //!            [--max-conns N] [--batch-frames N] [--batch-delay-ms N]
-//!            [--threads N] [--workers N]
+//!            [--threads N] [--workers N] [--kernel sweep|scalar]
 //! ```
 //!
 //! At least one of `--tcp`/`--unix` is required. The daemon serves until a
@@ -26,6 +26,7 @@ fn print_usage() {
     eprintln!("  --batch-delay-ms N   batch flush deadline in ms (default 5)");
     eprintln!("  --threads N          engine threads per batch (default: cores)");
     eprintln!("  --workers N          concurrent engine workers (default 2)");
+    eprintln!("  --kernel NAME        voter kernel, 'sweep' (default) or 'scalar'");
 }
 
 struct Args {
@@ -69,6 +70,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--workers" => {
                 config.engine_workers = parse_positive(&value(&mut i, "--workers")?, "--workers")?;
+            }
+            "--kernel" => {
+                config.engine.kernel = value(&mut i, "--kernel")?
+                    .parse()
+                    .map_err(|e| format!("--kernel: {e}"))?;
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),

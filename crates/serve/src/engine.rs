@@ -21,7 +21,7 @@ use crate::telemetry::{RequestStats, ServerStats};
 use crate::wire::{Dtype, ErrorCode, ErrorReply, FramePayload, Message, SubmitResponse};
 use crossbeam::channel;
 use preflight_core::{
-    AlgoNgst, BitPixel, ImageStack, Preprocessor, Sensitivity, Upsilon, ValuePixel,
+    AlgoNgst, BitPixel, ImageStack, Kernel, Preprocessor, Sensitivity, Upsilon, ValuePixel,
 };
 use preflight_supervisor::{
     supervise, DegradationLadder, FailureKind, FtLevel, RecoveryLog, StageOutcome, Supervision,
@@ -36,6 +36,9 @@ use std::time::Instant;
 pub struct EngineConfig {
     /// Worker threads handed to the [`Preprocessor`] per batch.
     pub threads: usize,
+    /// Voter kernel handed to the [`Preprocessor`] (bit-identical either
+    /// way; the sweep kernel is the throughput default).
+    pub kernel: Kernel,
     /// Retry/timeout/degradation policy applied to each batch.
     pub supervision: Supervision,
 }
@@ -44,6 +47,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             threads: preflight_core::available_threads(),
+            kernel: Kernel::default(),
             supervision: Supervision::default(),
         }
     }
@@ -170,6 +174,7 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
             let result = catch_unwind(AssertUnwindSafe(|| {
                 Preprocessor::new(&stage)
                     .threads(config.threads)
+                    .kernel(config.kernel)
                     .observer(stats.obs())
                     .run(&mut work)
             }));

@@ -12,9 +12,9 @@
 
 use preflight::prelude::{
     available_threads, psi, seeded_rng, AlgoNgst, AlgoOtis, BitConfusion, BitVoter, Correlated,
-    Cube, FtLevel, Image, ImageStack, MeanSmoother, MedianSmoother, NgstModel, Obs, PhysicalBounds,
-    PlanePreprocessor, Preprocessor, PsiReport, Sensitivity, SeriesPreprocessor, Snapshot, Span,
-    TimelineRecorder, Uncorrelated, Upsilon,
+    Cube, FtLevel, Image, ImageStack, Kernel, MeanSmoother, MedianSmoother, NgstModel, Obs,
+    PhysicalBounds, PlanePreprocessor, Preprocessor, PsiReport, Sensitivity, SeriesPreprocessor,
+    Snapshot, Span, TimelineRecorder, Uncorrelated, Upsilon,
 };
 
 /// Names the prelude must export (the execution API) and names it must
@@ -23,6 +23,7 @@ use preflight::prelude::{
 const REQUIRED: &[&str] = &[
     "Preprocessor",
     "available_threads",
+    "Kernel",
     "Obs",
     "Snapshot",
     "Span",
@@ -43,9 +44,11 @@ fn prelude_drives_the_unified_execution_api() {
     let changed = Preprocessor::new(&algo)
         .threads(available_threads().min(2))
         .tile(4)
+        .kernel(Kernel::Sweep)
         .observer(&obs)
         .run(&mut stack);
     assert_eq!(changed, 0, "an all-zero stack has nothing to repair");
+    assert_eq!("scalar".parse::<Kernel>(), Ok(Kernel::Scalar));
 
     // Observability types are first-class prelude citizens.
     let recorder = TimelineRecorder::new();
