@@ -9,14 +9,16 @@
 //!   compression factors mean-vs-median scaling recovery
 //!   interleave spatial-vs-spectral
 //!   ablation-windows ablation-static
-//!   perf serve
+//!   perf serve route
 //!   all
 //!
-//! `perf` and `serve` are the odd ones out: instead of an error-rate figure
-//! they time the system. `perf` sweeps the preprocessing drivers (naive /
-//! tiled / parallel) into `BENCH_preprocess.json`; `serve` load-tests an
-//! in-process `preflightd` daemon (concurrent clients over loopback TCP)
-//! into `BENCH_serve.json`.
+//! `perf`, `serve` and `route` are the odd ones out: instead of an
+//! error-rate figure they time the system. `perf` sweeps the preprocessing
+//! drivers (naive / tiled / parallel) into `BENCH_preprocess.json`;
+//! `serve` load-tests an in-process `preflightd` daemon (concurrent
+//! clients over loopback TCP) into `BENCH_serve.json`; `route` load-tests
+//! an in-process `preflight-router` fleet (N `preflightd` backends behind
+//! the front end) into `BENCH_router.json`.
 //! flags:
 //!   --paper     paper-depth averaging (slower; default is a medium scale)
 //!   --quick     smoke-test scale
@@ -79,6 +81,10 @@ fn main() {
     }
     if target == "serve" {
         run_serve(quick);
+        return;
+    }
+    if target == "route" {
+        run_route(quick);
         return;
     }
     let figures = run_target(&target, scale);
@@ -150,6 +156,25 @@ fn run_serve(quick: bool) {
     eprintln!("serving loadgen written to {path}");
 }
 
+/// `route`: load-test an in-process router-fronted fleet and persist the
+/// numbers.
+fn run_route(quick: bool) {
+    use preflight_bench::router::{route_loadgen, RouteConfig};
+    let config = if quick {
+        RouteConfig::quick()
+    } else {
+        RouteConfig::standard()
+    };
+    let report = route_loadgen(&config);
+    print!("{}", report.to_table());
+    let path = "BENCH_router.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("router loadgen written to {path}");
+}
+
 fn run_target(target: &str, scale: Scale) -> Vec<Figure> {
     match target {
         "fig2" => vec![preflight_bench::fig2(scale)],
@@ -212,6 +237,6 @@ fn print_usage() {
         "usage: repro <target> [--paper|--quick] [--csv DIR] [--svg DIR]\n\
          targets: fig2 fig3 fig4 fig5 fig6 fig7 fig9 compression factors scaling recovery\n\x20        motivation mean-vs-median interleave\n\
          \x20        spatial-vs-spectral ablation-windows ablation-static ablation-passes\n\
-         \x20        perf serve all"
+         \x20        perf serve route all"
     );
 }

@@ -20,6 +20,7 @@ pub mod otis_exp;
 pub mod perf;
 pub mod recovery;
 pub mod report;
+pub mod router;
 pub mod serve;
 pub mod svg;
 

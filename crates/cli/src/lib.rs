@@ -101,6 +101,9 @@ pub fn print_usage() {
          \x20 serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--max-conns N]\n\
          \x20            [--batch-frames N] [--batch-delay-ms MS] [--threads N] [--workers N]\n\
          \x20            [--kernel sweep|scalar] [--metrics-addr ADDR]\n\
+         \x20 route      --backends LIST [--backend SPEC] [--tcp ADDR] [--unix PATH]\n\
+         \x20            [--replicate] [--capacity N] [--max-conns N] [--vnodes N]\n\
+         \x20            [--heavy-cost N] [--health-ms MS] [--metrics-addr ADDR]\n\
          \x20 submit     --in FILE --out FILE (--tcp ADDR | --unix PATH)\n\
          \x20            [--lambda L] [--upsilon U] [--stream N]\n\
          \x20 stats      (--tcp ADDR | --unix PATH)\n\
@@ -131,6 +134,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "retrieve" => cmd_retrieve(&opts),
         "pipeline" => cmd_pipeline(&opts),
         "serve" => cmd_serve(&opts),
+        "route" => cmd_route(&opts),
         "submit" => cmd_submit(&opts),
         "stats" => cmd_stats(&opts),
         "drain" => cmd_drain(&opts),
@@ -665,6 +669,131 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// `route`: run a `preflight-router` fleet front end in the foreground,
+/// sharding client streams across the named `preflightd` backends.
+/// `--replicate` turns on dual-write with the bit-identity cross-check.
+/// Like `serve`, the process runs until a wire-level drain (or
+/// SIGTERM/SIGINT) stops it; the backends themselves are never drained —
+/// they may be shared with other front ends.
+fn cmd_route(opts: &Opts) -> Result<String, CliError> {
+    use preflight_router::pool::BackendAddr;
+    use preflight_router::server::{start, RouterConfig};
+
+    let mut config = RouterConfig {
+        tcp: opts.get("tcp").cloned(),
+        unix: opts.get("unix").map(std::path::PathBuf::from),
+        replicate: opts.has("replicate"),
+        ..RouterConfig::default()
+    };
+    if config.tcp.is_none() && config.unix.is_none() {
+        return Err(CliError::Usage(
+            "route needs at least one of --tcp ADDR or --unix PATH".to_owned(),
+        ));
+    }
+    if let Some(list) = opts.get("backends") {
+        for spec in list.split(',') {
+            let spec = spec.trim();
+            if !spec.is_empty() {
+                config
+                    .backends
+                    .push(BackendAddr::parse(spec).map_err(CliError::Usage)?);
+            }
+        }
+    }
+    if let Some(spec) = opts.get("backend") {
+        config
+            .backends
+            .push(BackendAddr::parse(spec).map_err(CliError::Usage)?);
+    }
+    if config.backends.is_empty() {
+        return Err(CliError::Usage(
+            "route needs at least one backend (--backends tcp://H:P,unix:///path \
+             or --backend SPEC)"
+                .to_owned(),
+        ));
+    }
+    if config.backends.len() > preflight_router::MAX_BACKENDS {
+        return Err(CliError::Usage(format!(
+            "route supports at most {} backends, got {}",
+            preflight_router::MAX_BACKENDS,
+            config.backends.len()
+        )));
+    }
+    if config.replicate && config.backends.len() < 2 {
+        return Err(CliError::Usage(
+            "--replicate needs at least two backends to cross-check".to_owned(),
+        ));
+    }
+    config.capacity = opts.usize_or("capacity", config.capacity)?;
+    if config.capacity == 0 {
+        return Err(CliError::Usage(
+            "--capacity 0 is invalid: the router must admit at least one request".to_owned(),
+        ));
+    }
+    config.max_connections = opts.usize_or("max-conns", config.max_connections)?;
+    if config.max_connections == 0 {
+        return Err(CliError::Usage(
+            "--max-conns 0 is invalid: the router must accept at least one connection".to_owned(),
+        ));
+    }
+    config.vnodes = opts.usize_or("vnodes", config.vnodes)?;
+    if config.vnodes == 0 {
+        return Err(CliError::Usage(
+            "--vnodes 0 is invalid: each backend needs at least one ring point".to_owned(),
+        ));
+    }
+    config.heavy_cost = opts.u64_or("heavy-cost", config.heavy_cost)?;
+    let health_ms = opts.u64_or(
+        "health-ms",
+        u64::try_from(config.health_period.as_millis()).unwrap_or(500),
+    )?;
+    if health_ms == 0 {
+        return Err(CliError::Usage(
+            "--health-ms 0 is invalid: the prober needs a positive period".to_owned(),
+        ));
+    }
+    config.health_period = std::time::Duration::from_millis(health_ms);
+    config.metrics_addr = opts.get("metrics-addr").cloned();
+
+    let fleet_size = config.backends.len();
+    let replicate = config.replicate;
+    preflight_serve::signal::install();
+    let handle = start(config).map_err(|e| CliError::Serve(e.to_string()))?;
+    if let Some(addr) = handle.tcp_addr() {
+        println!("routing tcp://{addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("routing unix://{}", path.display());
+    }
+    if let Some(addr) = handle.metrics_addr() {
+        println!("serving metrics on http://{addr}/metrics");
+    }
+    println!(
+        "fronting {fleet_size} backend(s){}",
+        if replicate {
+            ", replicated with bit-identity cross-check"
+        } else {
+            ""
+        }
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !preflight_serve::signal::triggered() && !handle.drain_acked() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let summary = handle.drain();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "drained: {} completed, {} rejected busy",
+        summary.completed, summary.rejected
+    );
+    let _ = writeln!(report, "fleet {}", handle.fleet_status());
+    let _ = writeln!(report, "{}", handle.stats().summary());
+    Ok(report)
+}
+
 /// `submit`: send one FITS stack to a daemon and write the repaired stack
 /// it returns.
 fn cmd_submit(opts: &Opts) -> Result<String, CliError> {
@@ -707,10 +836,37 @@ fn cmd_submit(opts: &Opts) -> Result<String, CliError> {
 
 /// `stats`: fetch a daemon's metrics registry over the wire and render
 /// the same numbers the `/metrics` scrape exposes as a human report.
+///
+/// Routers answer `StatsRequest` with their own registry (routing
+/// counters, not batching ones), so the snapshot's counter families tell
+/// us which summary to render.
 fn cmd_stats(opts: &Opts) -> Result<String, CliError> {
     let mut client = connect_daemon(opts)?;
     let snap = client.stats()?;
     let mut report = String::new();
+    if snap
+        .counter(preflight_router::telemetry::ROUTED_TOTAL, None)
+        .is_some()
+    {
+        let _ = writeln!(
+            report,
+            "{}",
+            preflight_router::telemetry::format_router_summary(&snap)
+        );
+        for stage in preflight_router::telemetry::ROUTER_STAGES {
+            if let Some(h) = snap.histogram("stage_seconds", Some(("stage", stage))) {
+                let _ = writeln!(
+                    report,
+                    "stage {stage:<10} count {:>8}  p50 {:>8} us  p90 {:>8} us  p99 {:>8} us",
+                    h.count,
+                    h.p50_us(),
+                    h.p90_us(),
+                    h.p99_us()
+                );
+            }
+        }
+        return Ok(report);
+    }
     let _ = writeln!(report, "{}", preflight_serve::format_summary(&snap));
     let counter = |name: &str| snap.counter(name, None).unwrap_or(0);
     let _ = writeln!(
@@ -1132,6 +1288,55 @@ mod tests {
             run(&["tune", "--in", &clean, "--gamma0", "7"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn route_rejects_bad_invocations_up_front() {
+        // No listen endpoint.
+        assert!(matches!(
+            run(&["route", "--backends", "127.0.0.1:7700"]),
+            Err(CliError::Usage(_))
+        ));
+        // No backends.
+        assert!(matches!(
+            run(&["route", "--tcp", "127.0.0.1:0"]),
+            Err(CliError::Usage(_))
+        ));
+        // Replication needs a second replica.
+        assert!(matches!(
+            run(&[
+                "route",
+                "--tcp",
+                "127.0.0.1:0",
+                "--backends",
+                "127.0.0.1:7700",
+                "--replicate"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Malformed backend spec (empty TCP address).
+        assert!(matches!(
+            run(&["route", "--tcp", "127.0.0.1:0", "--backends", "tcp://"]),
+            Err(CliError::Usage(_))
+        ));
+        // Zero knobs are rejected before any socket is bound.
+        for flag in ["--capacity", "--max-conns", "--vnodes", "--health-ms"] {
+            assert!(
+                matches!(
+                    run(&[
+                        "route",
+                        "--tcp",
+                        "127.0.0.1:0",
+                        "--backends",
+                        "127.0.0.1:7700",
+                        flag,
+                        "0"
+                    ]),
+                    Err(CliError::Usage(_))
+                ),
+                "{flag} 0 must be a usage error"
+            );
+        }
     }
 
     #[test]

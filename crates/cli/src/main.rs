@@ -15,6 +15,8 @@
 //!                      [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]
 //! preflight serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--batch-frames N]
 //!                      [--metrics-addr ADDR]
+//! preflight route      --backends LIST [--tcp ADDR] [--unix PATH] [--replicate]
+//!                      [--capacity N] [--health-ms MS] [--metrics-addr ADDR]
 //! preflight submit     --in FILE --out FILE (--tcp ADDR | --unix PATH) [--lambda L]
 //! preflight stats      (--tcp ADDR | --unix PATH)
 //! preflight drain      (--tcp ADDR | --unix PATH)

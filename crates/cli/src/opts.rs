@@ -11,7 +11,7 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["correlated", "preprocess", "degrade"];
+const SWITCHES: &[&str] = &["correlated", "preprocess", "degrade", "replicate"];
 
 impl Opts {
     /// Parses the arguments after the subcommand.

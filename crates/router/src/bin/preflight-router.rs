@@ -1,0 +1,167 @@
+//! `preflight-router` — the fleet front end.
+//!
+//! ```text
+//! preflight-router --backend SPEC [--backend SPEC ...]
+//!                  [--tcp ADDR] [--unix PATH] [--replicate]
+//!                  [--capacity N] [--max-conns N] [--vnodes N]
+//!                  [--heavy-cost N] [--health-ms N] [--metrics-addr ADDR]
+//! ```
+//!
+//! Backend specs are `tcp://HOST:PORT`, `unix://PATH`, or bare
+//! `HOST:PORT`; `--backends` accepts a comma-separated list as an
+//! alternative to repeating `--backend`. The router serves until a
+//! wire-level `Drain` arrives or SIGTERM/SIGINT is delivered, then drains
+//! in-flight forwards and exits 0. Backends are never drained by the
+//! router — they may be shared with other front ends.
+
+use preflight_router::pool::BackendAddr;
+use preflight_router::server::{start, RouterConfig};
+use preflight_serve::signal;
+use std::time::Duration;
+
+fn print_usage() {
+    eprintln!("usage: preflight-router --backend SPEC [--backend SPEC ...] [options]");
+    eprintln!();
+    eprintln!("  --backend SPEC       a backend daemon: tcp://HOST:PORT, unix://PATH, HOST:PORT");
+    eprintln!("  --backends LIST      comma-separated backend specs");
+    eprintln!("  --tcp ADDR           client-facing TCP listen address, e.g. 127.0.0.1:7700");
+    eprintln!("  --unix PATH          client-facing Unix socket path");
+    eprintln!("  --replicate          dual-write each submit to two replicas and cross-check");
+    eprintln!("                       the replies bit for bit");
+    eprintln!("  --capacity N         bounded routing slots before Busy (default 64)");
+    eprintln!("  --max-conns N        concurrent client connections before Busy (default 256)");
+    eprintln!("  --vnodes N           virtual nodes per backend on the hash ring (default 64)");
+    eprintln!("  --heavy-cost N       work-cost threshold for fleet-level shedding");
+    eprintln!("                       (default 8000000)");
+    eprintln!("  --health-ms N        health-probe period in ms (default 500)");
+    eprintln!("  --metrics-addr ADDR  Prometheus /metrics listener, e.g. 127.0.0.1:9091");
+}
+
+struct Args {
+    config: RouterConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config = RouterConfig::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--backend" => {
+                let spec = value(&mut i, "--backend")?;
+                config.backends.push(BackendAddr::parse(&spec)?);
+            }
+            "--backends" => {
+                for spec in value(&mut i, "--backends")?.split(',') {
+                    let spec = spec.trim();
+                    if !spec.is_empty() {
+                        config.backends.push(BackendAddr::parse(spec)?);
+                    }
+                }
+            }
+            "--tcp" => config.tcp = Some(value(&mut i, "--tcp")?),
+            "--unix" => config.unix = Some(value(&mut i, "--unix")?.into()),
+            "--replicate" => config.replicate = true,
+            "--capacity" => {
+                config.capacity = parse_positive(&value(&mut i, "--capacity")?, "--capacity")?;
+            }
+            "--max-conns" => {
+                config.max_connections =
+                    parse_positive(&value(&mut i, "--max-conns")?, "--max-conns")?;
+            }
+            "--vnodes" => {
+                config.vnodes = parse_positive(&value(&mut i, "--vnodes")?, "--vnodes")?;
+            }
+            "--heavy-cost" => {
+                config.heavy_cost =
+                    parse_positive(&value(&mut i, "--heavy-cost")?, "--heavy-cost")? as u64;
+            }
+            "--health-ms" => {
+                let ms = parse_positive(&value(&mut i, "--health-ms")?, "--health-ms")?;
+                config.health_period = Duration::from_millis(ms as u64);
+            }
+            "--metrics-addr" => {
+                config.metrics_addr = Some(value(&mut i, "--metrics-addr")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    if config.backends.is_empty() {
+        return Err("at least one --backend is required".to_owned());
+    }
+    if config.tcp.is_none() && config.unix.is_none() {
+        return Err("at least one of --tcp or --unix is required".to_owned());
+    }
+    Ok(Args { config })
+}
+
+fn parse_positive(raw: &str, flag: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag} needs a positive integer, got '{raw}'")),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("preflight-router: {msg}");
+                eprintln!();
+            }
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    signal::install();
+
+    let replicate = args.config.replicate;
+    let fleet_size = args.config.backends.len();
+    let handle = match start(args.config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("preflight-router: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(addr) = handle.tcp_addr() {
+        println!("preflight-router: listening on tcp://{addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("preflight-router: listening on unix://{}", path.display());
+    }
+    if let Some(addr) = handle.metrics_addr() {
+        println!("preflight-router: serving metrics on http://{addr}/metrics");
+    }
+    println!(
+        "preflight-router: fronting {fleet_size} backend(s){}",
+        if replicate {
+            ", replicated with bit-identity cross-check"
+        } else {
+            ""
+        }
+    );
+
+    // Serve until a signal lands or a wire-level Drain completes.
+    while !signal::triggered() && !handle.drain_acked() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let summary = handle.drain();
+    println!(
+        "preflight-router: drained ({} completed, {} rejected busy)",
+        summary.completed, summary.rejected
+    );
+    println!("preflight-router: fleet {}", handle.fleet_status());
+    println!("{}", handle.stats().summary());
+}

@@ -1,0 +1,33 @@
+//! `preflight-router`: replicated shard routing across a `preflightd`
+//! fleet with bit-identity cross-check and fleet-level degradation.
+//!
+//! The daemon (`crates/serve`) hardens one machine: bounded queues, a
+//! supervised engine, per-request degradation. This crate hardens the
+//! *fleet*: a front end that speaks the same CRC-framed wire protocol on
+//! both sides, shards telemetry streams across N backends on a
+//! consistent-hash [`Ring`], health-checks every member, and fails over
+//! without dropping an accepted frame.
+//!
+//! The paper's thesis — cheap pre-processing redundancy instead of
+//! hardened hardware — scales up one level here. In replicated mode every
+//! submit is dual-written to two replicas and the repaired payloads are
+//! compared **bit for bit** (the preprocessing pass is deterministic, so
+//! any disagreement is corruption in flight or in a backend). The router
+//! re-executes to find the unstable side, quarantines it on the
+//! fleet-scoped [`preflight_supervisor::UnitHealth`] ladder, and serves
+//! the reply that proved stable. Under overload the router degrades like
+//! the engine does — [`preflight_supervisor::FleetLevel`] sheds
+//! Λ-expensive work first so essential telemetry keeps flowing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pool;
+pub mod ring;
+pub mod server;
+pub mod telemetry;
+
+pub use pool::{BackendAddr, BackendPool, MAX_BACKENDS};
+pub use ring::Ring;
+pub use server::{start, RouterConfig, RouterHandle};
+pub use telemetry::{backend_label, format_router_summary, RouterStats};

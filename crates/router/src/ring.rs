@@ -1,0 +1,142 @@
+//! Consistent-hash ring over the backend fleet.
+//!
+//! Each backend owns `vnodes` points on a 64-bit ring; a stream's key maps
+//! to the first point clockwise from its hash. The ring itself never
+//! changes while the router runs — fleet degradation is expressed by
+//! *filtering*, not rebuilding: [`Ring::candidates`] yields every backend
+//! in clockwise order and the router takes the first ones that are
+//! currently healthy. A backend's death therefore moves only the keys it
+//! owned (to their next clockwise neighbour) and nothing else, and its
+//! recovery moves exactly those keys back.
+
+/// SplitMix64: the repo-wide cheap deterministic mixer (same finalizer the
+/// supervisor's jitter and the datagen seeds use).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// An immutable consistent-hash ring mapping stream keys to backends.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, backend)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl Ring {
+    /// Builds a ring with `vnodes` points per backend.
+    ///
+    /// # Panics
+    /// Panics if `backends` or `vnodes` is zero (a router with nothing to
+    /// route to is a configuration bug, not a runtime state).
+    pub fn new(backends: usize, vnodes: usize) -> Self {
+        assert!(backends > 0, "ring needs at least one backend");
+        assert!(vnodes > 0, "ring needs at least one vnode per backend");
+        let mut points = Vec::with_capacity(backends * vnodes);
+        for b in 0..backends {
+            for v in 0..vnodes {
+                // Mix backend and vnode ids into one well-distributed point.
+                let point = splitmix64((b as u64) << 32 | v as u64);
+                points.push((point, b));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, backends }
+    }
+
+    /// Number of backends on the ring.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// The backend that owns `key` (ignoring health).
+    pub fn primary(&self, key: u64) -> usize {
+        let h = splitmix64(key);
+        let start = self.points.partition_point(|&(p, _)| p < h) % self.points.len();
+        self.points[start].1
+    }
+
+    /// Every backend in clockwise order from `key`'s ring position, each
+    /// exactly once. The first entry is the primary; the rest are the
+    /// failover / replica order. The caller filters by health.
+    pub fn candidates(&self, key: u64) -> Vec<usize> {
+        let h = splitmix64(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut seen = vec![false; self.backends];
+        let mut order = Vec::with_capacity(self.backends);
+        for i in 0..self.points.len() {
+            let (_, b) = self.points[(start + i) % self.points.len()];
+            if !seen[b] {
+                seen[b] = true;
+                order.push(b);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_cover_every_backend_once() {
+        let ring = Ring::new(5, 16);
+        for key in 0..100u64 {
+            let c = ring.candidates(key);
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "key {key}: {c:?}");
+            assert_eq!(c[0], ring.primary(key));
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let a = Ring::new(4, 32);
+        let b = Ring::new(4, 32);
+        for key in 0..200u64 {
+            assert_eq!(a.candidates(key), b.candidates(key));
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_backends() {
+        let ring = Ring::new(4, 64);
+        let mut hits = [0usize; 4];
+        for key in 0..4000u64 {
+            hits[ring.primary(key)] += 1;
+        }
+        for (b, &h) in hits.iter().enumerate() {
+            // Perfect balance would be 1000 per backend; consistent hashing
+            // with 64 vnodes stays within a loose 2x band.
+            assert!(
+                (500..=2000).contains(&h),
+                "backend {b} owns {h} of 4000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn filtering_one_backend_moves_only_its_keys() {
+        let ring = Ring::new(4, 64);
+        let dead = 2usize;
+        for key in 0..500u64 {
+            let full = ring.candidates(key);
+            let filtered: Vec<usize> = full.iter().copied().filter(|&b| b != dead).collect();
+            if full[0] == dead {
+                // Keys the dead backend owned shift to their next neighbour.
+                assert_eq!(filtered[0], full[1]);
+            } else {
+                // Everyone else keeps their primary: minimal remapping.
+                assert_eq!(filtered[0], full[0]);
+            }
+        }
+    }
+}

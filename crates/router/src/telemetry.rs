@@ -1,0 +1,236 @@
+//! Fleet-level telemetry: the router's counters, gauges and stage timers.
+//!
+//! Same discipline as the daemon's [`preflight_serve::telemetry`]: one
+//! [`preflight_obs`] registry feeds the `/metrics` exposition, the wire
+//! `StatsReply`, and the human summary line, so the numbers cannot
+//! diverge. Whole-router series are pre-resolved handles; per-backend
+//! series (`backend="1"`..) are resolved on demand — the forward path is
+//! network-bound, so a registry lookup is noise there.
+
+use preflight_obs::{Counter, Gauge, Histogram, Obs, Snapshot, STAGE_SECONDS};
+use preflight_supervisor::FleetLevel;
+
+/// Counter family: submissions accepted for routing.
+pub const ROUTED_TOTAL: &str = "router_requests_routed_total";
+/// Counter family: responses served back to clients.
+pub const COMPLETED_TOTAL: &str = "router_requests_completed_total";
+/// Counter family: submissions rejected with `Busy` at the router's gate.
+pub const REJECTED_BUSY_TOTAL: &str = "router_requests_rejected_busy_total";
+/// Counter family (labelled `level="..."`): submissions shed by the
+/// fleet-degradation ladder before touching any backend.
+pub const SHED_TOTAL: &str = "router_requests_shed_total";
+/// Counter family: forwards re-routed to another backend after a fault.
+pub const FAILOVERS_TOTAL: &str = "router_failovers_total";
+/// Counter family: submissions dual-written to two replicas.
+pub const REPLICATED_TOTAL: &str = "router_requests_replicated_total";
+/// Counter family: replica replies that failed the bit-identity check.
+pub const DIVERGENCES_TOTAL: &str = "router_divergences_total";
+/// Counter family: replicated requests served from one replica because
+/// the other faulted or diverged.
+pub const REPLICA_FALLBACKS_TOTAL: &str = "router_replica_fallbacks_total";
+/// Counter family (labelled `backend="N"`): quarantine verdicts.
+pub const QUARANTINES_TOTAL: &str = "router_quarantines_total";
+/// Counter family: envelopes from clients that failed wire validation.
+pub const WIRE_ERRORS_TOTAL: &str = "router_wire_errors_total";
+/// Counter family: client connections accepted.
+pub const CONNECTIONS_TOTAL: &str = "router_connections_total";
+/// Counter family: client connections rejected at the connection cap.
+pub const CONNECTIONS_REJECTED_TOTAL: &str = "router_connections_rejected_total";
+/// Gauge family (labelled `backend="N"`): 1 while a backend is believed
+/// healthy, 0 while quarantined.
+pub const BACKEND_UP: &str = "router_backend_up";
+/// Counter family (labelled `backend="N"`): forwards sent per backend.
+pub const BACKEND_REQUESTS_TOTAL: &str = "router_backend_requests_total";
+/// Counter family (labelled `backend="N"`): faults observed per backend.
+pub const BACKEND_FAILURES_TOTAL: &str = "router_backend_failures_total";
+
+/// The `stage` label values the router's [`STAGE_SECONDS`] histograms use:
+/// admission + shed verdict, backend round trip, replica comparison.
+pub const ROUTER_STAGES: [&str; 3] = ["route", "forward", "crosscheck"];
+
+/// 1-based static label values for backend indices, sized to
+/// [`crate::pool::MAX_BACKENDS`] (the registry wants `&'static str`).
+const BACKEND_LABELS: [&str; 16] = [
+    "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16",
+];
+
+/// The metric label value for backend `idx` (0-based in, 1-based out,
+/// matching the `served_by` trailer field).
+pub fn backend_label(idx: usize) -> &'static str {
+    BACKEND_LABELS.get(idx).copied().unwrap_or("overflow")
+}
+
+/// Pre-resolved handles into the router's [`Obs`] registry.
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    obs: Obs,
+    /// Submissions accepted for routing.
+    pub routed: Counter,
+    /// Responses served back to clients.
+    pub completed: Counter,
+    /// Submissions rejected with `Busy` at the router's own gate.
+    pub rejected_busy: Counter,
+    /// Forwards re-routed to another backend after a fault.
+    pub failovers: Counter,
+    /// Submissions dual-written to two replicas.
+    pub replicated: Counter,
+    /// Replica replies that failed the bit-identity check.
+    pub divergences: Counter,
+    /// Replicated requests served from a single replica.
+    pub replica_fallbacks: Counter,
+    /// Client envelopes that failed wire validation.
+    pub wire_errors: Counter,
+    /// Client connections accepted.
+    pub connections: Counter,
+    /// Client connections rejected at the connection cap.
+    pub rejected_connections: Counter,
+    /// Admission + shed verdict per submission.
+    pub stage_route: Histogram,
+    /// One backend round trip (connect, submit, reply).
+    pub stage_forward: Histogram,
+    /// Bit-identity comparison of two replica replies.
+    pub stage_crosscheck: Histogram,
+}
+
+impl RouterStats {
+    /// Resolves every whole-router handle against `obs`.
+    pub fn new(obs: &Obs) -> Self {
+        let stage = |s: &'static str| obs.histogram(STAGE_SECONDS, Some(("stage", s)));
+        RouterStats {
+            obs: obs.clone(),
+            routed: obs.counter(ROUTED_TOTAL, None),
+            completed: obs.counter(COMPLETED_TOTAL, None),
+            rejected_busy: obs.counter(REJECTED_BUSY_TOTAL, None),
+            failovers: obs.counter(FAILOVERS_TOTAL, None),
+            replicated: obs.counter(REPLICATED_TOTAL, None),
+            divergences: obs.counter(DIVERGENCES_TOTAL, None),
+            replica_fallbacks: obs.counter(REPLICA_FALLBACKS_TOTAL, None),
+            wire_errors: obs.counter(WIRE_ERRORS_TOTAL, None),
+            connections: obs.counter(CONNECTIONS_TOTAL, None),
+            rejected_connections: obs.counter(CONNECTIONS_REJECTED_TOTAL, None),
+            stage_route: stage("route"),
+            stage_forward: stage("forward"),
+            stage_crosscheck: stage("crosscheck"),
+        }
+    }
+
+    /// The registry every handle resolves into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The up/down gauge for backend `idx`.
+    pub fn backend_up(&self, idx: usize) -> Gauge {
+        self.obs
+            .gauge(BACKEND_UP, Some(("backend", backend_label(idx))))
+    }
+
+    /// The forwards counter for backend `idx`.
+    pub fn backend_requests(&self, idx: usize) -> Counter {
+        self.obs.counter(
+            BACKEND_REQUESTS_TOTAL,
+            Some(("backend", backend_label(idx))),
+        )
+    }
+
+    /// The fault counter for backend `idx`.
+    pub fn backend_failures(&self, idx: usize) -> Counter {
+        self.obs.counter(
+            BACKEND_FAILURES_TOTAL,
+            Some(("backend", backend_label(idx))),
+        )
+    }
+
+    /// Records one quarantine verdict against backend `idx`.
+    pub fn quarantine(&self, idx: usize) {
+        self.obs
+            .counter(QUARANTINES_TOTAL, Some(("backend", backend_label(idx))))
+            .inc();
+    }
+
+    /// Records one shed verdict at fleet degradation `level`.
+    pub fn shed(&self, level: FleetLevel) {
+        self.obs
+            .counter(SHED_TOTAL, Some(("level", level.name())))
+            .inc();
+    }
+
+    /// A point-in-time copy of the whole registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.obs.snapshot()
+    }
+
+    /// One-line summary for logs and drain reports.
+    pub fn summary(&self) -> String {
+        format_router_summary(&self.snapshot())
+    }
+}
+
+impl Default for RouterStats {
+    fn default() -> Self {
+        RouterStats::new(&Obs::new())
+    }
+}
+
+/// Renders the human one-line summary from a structured [`Snapshot`].
+pub fn format_router_summary(snap: &Snapshot) -> String {
+    let c = |name: &str| snap.counter(name, None).unwrap_or(0);
+    format!(
+        "routed {}, completed {}, busy-rejected {}, failovers {}, \
+         replicated {} ({} divergence(s), {} fallback(s)), wire errors {}",
+        c(ROUTED_TOTAL),
+        c(COMPLETED_TOTAL),
+        c(REJECTED_BUSY_TOTAL),
+        c(FAILOVERS_TOTAL),
+        c(REPLICATED_TOTAL),
+        c(DIVERGENCES_TOTAL),
+        c(REPLICA_FALLBACKS_TOTAL),
+        c(WIRE_ERRORS_TOTAL),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_labels_are_one_based_and_bounded() {
+        assert_eq!(backend_label(0), "1");
+        assert_eq!(backend_label(15), "16");
+        assert_eq!(backend_label(16), "overflow");
+    }
+
+    #[test]
+    fn counters_accumulate_into_the_registry() {
+        let obs = Obs::new();
+        let stats = RouterStats::new(&obs);
+        stats.routed.inc();
+        stats.routed.inc();
+        stats.backend_requests(3).add(5);
+        stats.quarantine(3);
+        stats.shed(FleetLevel::ShedHeavy);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter(ROUTED_TOTAL, None), Some(2));
+        assert_eq!(
+            snap.counter(BACKEND_REQUESTS_TOTAL, Some(("backend", "4"))),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter(QUARANTINES_TOTAL, Some(("backend", "4"))),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(SHED_TOTAL, Some(("level", "shed-heavy"))),
+            Some(1)
+        );
+        assert!(stats.summary().contains("routed 2"));
+    }
+
+    #[test]
+    fn summary_and_snapshot_cannot_diverge() {
+        let stats = RouterStats::default();
+        stats.completed.add(7);
+        stats.divergences.inc();
+        assert_eq!(stats.summary(), format_router_summary(&stats.snapshot()));
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared harness for the router's process-level tests: spawning `chaosd`
+//! backends, building deterministic payloads, and computing the
+//! single-daemon oracle every routed reply must match bit for bit.
+
+use preflight_core::ImageStack;
+use preflight_serve::client::{Client, SubmitOptions};
+use preflight_serve::server::{start as start_daemon, ServerConfig};
+use preflight_serve::wire::FramePayload;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// SplitMix64 for deterministic payload pixels.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A spawned `chaosd` process that is SIGKILLed when dropped, so a failed
+/// assertion never leaks a backend.
+pub struct ChaosBackend {
+    child: Child,
+    /// The TCP address the backend serves the wire protocol on.
+    pub addr: String,
+}
+
+impl ChaosBackend {
+    /// Spawns `chaosd` on an ephemeral TCP port with the given corruption
+    /// rate, waiting for its readiness line.
+    pub fn spawn(corrupt_permille: u32, seed: u64) -> ChaosBackend {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_chaosd"))
+            .args([
+                "--tcp",
+                "127.0.0.1:0",
+                "--corrupt-permille",
+                &corrupt_permille.to_string(),
+                "--seed",
+                &seed.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn chaosd");
+        let stdout = child.stdout.take().expect("chaosd stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("chaosd exited before readiness")
+                .expect("read chaosd stdout");
+            if let Some(rest) = line.strip_prefix("chaosd: listening on tcp://") {
+                break rest.trim().to_owned();
+            }
+        };
+        ChaosBackend { child, addr }
+    }
+
+    /// SIGKILLs the backend process mid-flight — no drain, no goodbye —
+    /// simulating a crashed fleet member.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ChaosBackend {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// A deterministic noisy u16 stack unique to `(stream, round)`.
+pub fn payload(
+    stream: u64,
+    round: u64,
+    width: usize,
+    height: usize,
+    frames: usize,
+) -> FramePayload {
+    let mut stack: ImageStack<u16> = ImageStack::new(width, height, frames);
+    let mut state = splitmix64(stream.wrapping_mul(0x1000).wrapping_add(round));
+    for f in 0..frames {
+        for px in stack.frame_mut(f) {
+            state = splitmix64(state);
+            *px = (state >> 24) as u16;
+        }
+    }
+    FramePayload::U16(stack)
+}
+
+/// Submit options pinned to the paper defaults with `eos` set, so every
+/// request flushes as its own batch and the reply depends only on its own
+/// frames — the property that makes routed and direct replies comparable.
+pub fn opts(stream: u64) -> SubmitOptions {
+    SubmitOptions {
+        stream_id: stream,
+        eos: true,
+        ..SubmitOptions::default()
+    }
+}
+
+/// Computes the single-daemon oracle: each payload served by a fresh
+/// in-process `preflightd` with no router anywhere near it.
+pub fn oracle(inputs: &[(u64, FramePayload)]) -> Vec<FramePayload> {
+    let daemon = start_daemon(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        ..ServerConfig::default()
+    })
+    .expect("start oracle daemon");
+    let addr = daemon.tcp_addr().expect("oracle bound");
+    let mut client = Client::connect_tcp(addr).expect("connect oracle");
+    let outputs = inputs
+        .iter()
+        .map(|(stream, p)| {
+            client
+                .submit(p.clone(), &opts(*stream))
+                .expect("oracle submit")
+                .payload
+        })
+        .collect();
+    daemon.drain();
+    outputs
+}

@@ -1,0 +1,96 @@
+//! Divergence drill: one backend silently corrupts its replies.
+//!
+//! `chaosd` backend B flips bits in every reply payload *after* the
+//! engine, recomputing the envelope CRCs — corruption the wire layer
+//! cannot see, exactly the fault model of the paper (SEUs in unhardened
+//! memory). In replicated mode the router dual-writes each submit to both
+//! backends and compares the replies bit for bit: the mismatch must be
+//! detected, arbitrated by re-execution (the corruptor cannot reproduce
+//! its garbage), the corrupt backend quarantined, and the client served
+//! the healthy replica's reply — bit-identical to a direct run.
+
+mod common;
+
+use common::{opts, oracle, payload, ChaosBackend};
+use preflight_router::pool::BackendAddr;
+use preflight_router::server::{start, RouterConfig};
+use preflight_router::telemetry::QUARANTINES_TOTAL;
+use preflight_serve::client::Client;
+use preflight_supervisor::UnitStatus;
+use std::time::Duration;
+
+const WIDTH: usize = 32;
+const HEIGHT: usize = 32;
+const FRAMES: usize = 4;
+const REQUESTS: u64 = 12;
+
+#[test]
+fn corrupt_replica_is_detected_quarantined_and_outvoted() {
+    let backend_a = ChaosBackend::spawn(0, 1);
+    // Backend B corrupts every single reply.
+    let backend_b = ChaosBackend::spawn(1000, 42);
+
+    let router = start(RouterConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        backends: vec![
+            BackendAddr::parse(&backend_a.addr).unwrap(),
+            BackendAddr::parse(&backend_b.addr).unwrap(),
+        ],
+        replicate: true,
+        // Probes would keep lifting the corruptor's quarantine (its pings
+        // are honest); park the prober so the verdict is observable.
+        health_period: Duration::from_secs(3600),
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let router_addr = router.tcp_addr().expect("router bound");
+
+    let inputs: Vec<(u64, _)> = (0..REQUESTS)
+        .map(|i| (i + 1, payload(i + 1, 0, WIDTH, HEIGHT, FRAMES)))
+        .collect();
+    let expected = oracle(&inputs);
+
+    let mut client = Client::connect_tcp(router_addr).expect("connect router");
+    for (k, (stream, p)) in inputs.iter().enumerate() {
+        let response = client
+            .submit(p.clone(), &opts(*stream))
+            .unwrap_or_else(|e| panic!("request {k}: {e}"));
+        // Whatever backend B injected, the client sees the honest bits.
+        assert_eq!(
+            response.payload, expected[k],
+            "request {k} served corrupted data"
+        );
+        assert!(response.stats.served_by > 0);
+    }
+
+    let stats = router.stats();
+    assert!(
+        stats.replicated.get() >= 1,
+        "replicated mode must dual-write"
+    );
+    assert!(
+        stats.divergences.get() >= 1,
+        "a corrupt replica must trip the bit-identity cross-check"
+    );
+    assert!(
+        stats.replica_fallbacks.get() >= 1,
+        "divergence must be answered from the healthy replica"
+    );
+    // The corrupt backend (index 1 → label "2") took the quarantine.
+    let snap = stats.snapshot();
+    assert_eq!(
+        snap.counter(QUARANTINES_TOTAL, Some(("backend", "1"))),
+        None,
+        "the honest backend must not be blamed"
+    );
+    assert!(
+        snap.counter(QUARANTINES_TOTAL, Some(("backend", "2")))
+            .unwrap_or(0)
+            >= 1,
+        "the corrupt backend must be quarantined"
+    );
+    assert_eq!(router.backend_status(1), Some(UnitStatus::Quarantined));
+    assert_eq!(router.backend_status(0), Some(UnitStatus::Up));
+
+    router.drain();
+}

@@ -12,6 +12,7 @@ use crate::wire::{
     SubmitRequest, SubmitResponse, WireError,
 };
 use preflight_obs::Snapshot;
+use preflight_supervisor::RetryPolicy;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -28,7 +29,13 @@ pub enum ClientError {
     /// The server refused or failed the request.
     Server(ErrorReply),
     /// A reply arrived that does not answer what was asked.
-    Unexpected(&'static str),
+    Unexpected {
+        /// What the call was waiting for (e.g. `"Response/Busy/Error"`).
+        wanted: &'static str,
+        /// What actually arrived, so protocol drift is diagnosable from
+        /// the error alone.
+        got: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -42,8 +49,28 @@ impl std::fmt::Display for ClientError {
                 b.in_flight, b.capacity
             ),
             ClientError::Server(e) => write!(f, "server error ({:?}): {}", e.code, e.message),
-            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+            ClientError::Unexpected { wanted, got } => {
+                write!(f, "unexpected reply: wanted {wanted}, got {got}")
+            }
         }
+    }
+}
+
+/// Short description of a message for [`ClientError::Unexpected`]: the
+/// variant name plus the identifying field that pins down *which* exchange
+/// the stray reply belonged to.
+fn describe(msg: &Message) -> String {
+    match msg {
+        Message::Submit(s) => format!("Submit(request {})", s.request_id),
+        Message::Response(r) => format!("Response(request {})", r.request_id),
+        Message::Busy(b) => format!("Busy(request {})", b.request_id),
+        Message::Error(e) => format!("Error(request {}, {:?})", e.request_id, e.code),
+        Message::Drain => "Drain".to_owned(),
+        Message::DrainAck(_) => "DrainAck".to_owned(),
+        Message::Ping(t) => format!("Ping({t})"),
+        Message::Pong(t) => format!("Pong({t})"),
+        Message::StatsRequest => "StatsRequest".to_owned(),
+        Message::StatsReply(_) => "StatsReply".to_owned(),
     }
 }
 
@@ -167,7 +194,10 @@ impl Client {
         write_message(&mut self.transport, &Message::Ping(token))?;
         match read_message(&mut self.transport)? {
             Message::Pong(t) => Ok(t),
-            _ => Err(ClientError::Unexpected("wanted Pong")),
+            other => Err(ClientError::Unexpected {
+                wanted: "Pong",
+                got: describe(&other),
+            }),
         }
     }
 
@@ -206,7 +236,10 @@ impl Client {
             Message::Response(r) => Ok(r),
             Message::Busy(b) => Err(ClientError::Busy(b)),
             Message::Error(e) => Err(ClientError::Server(e)),
-            _ => Err(ClientError::Unexpected("wanted Response/Busy/Error")),
+            other => Err(ClientError::Unexpected {
+                wanted: "Response/Busy/Error",
+                got: describe(&other),
+            }),
         }
     }
 
@@ -223,9 +256,48 @@ impl Client {
         let request_id = self.send_submit(payload, opts)?;
         let response = self.recv_response()?;
         if response.request_id != request_id {
-            return Err(ClientError::Unexpected("response for a different request"));
+            return Err(ClientError::Unexpected {
+                wanted: "Response for the submitted request",
+                got: format!("Response(request {})", response.request_id),
+            });
         }
         Ok(response)
+    }
+
+    /// [`Client::submit`] with bounded, jittered retry on `Busy`
+    /// rejections: attempt `k` sleeps `policy.backoff(stream_id, k)`
+    /// before resubmitting, up to `policy.max_retries` retries. Every
+    /// other error — transport, wire, server — still fails fast; only
+    /// explicit backpressure is worth waiting out. The retries consumed
+    /// are surfaced in the response's [`crate::telemetry::RequestStats::net_retries`]
+    /// trailer field.
+    ///
+    /// # Errors
+    /// Fails on transport problems, server errors, or `Busy` rejection on
+    /// the final permitted attempt.
+    pub fn submit_with_retry(
+        &mut self,
+        payload: FramePayload,
+        opts: &SubmitOptions,
+        policy: &RetryPolicy,
+    ) -> Result<SubmitResponse, ClientError> {
+        let mut retries = 0u32;
+        loop {
+            match self.submit(payload.clone(), opts) {
+                Ok(mut response) => {
+                    response.stats.net_retries = response.stats.net_retries.saturating_add(retries);
+                    return Ok(response);
+                }
+                Err(ClientError::Busy(b)) => {
+                    if retries >= policy.max_retries {
+                        return Err(ClientError::Busy(b));
+                    }
+                    retries += 1;
+                    std::thread::sleep(policy.backoff(opts.stream_id, retries));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Fetches the daemon's metrics registry: the same point-in-time
@@ -237,7 +309,10 @@ impl Client {
         write_message(&mut self.transport, &Message::StatsRequest)?;
         match read_message(&mut self.transport)? {
             Message::StatsReply(snap) => Ok(snap),
-            _ => Err(ClientError::Unexpected("wanted StatsReply")),
+            other => Err(ClientError::Unexpected {
+                wanted: "StatsReply",
+                got: describe(&other),
+            }),
         }
     }
 
@@ -250,7 +325,10 @@ impl Client {
         write_message(&mut self.transport, &Message::Drain)?;
         match read_message(&mut self.transport)? {
             Message::DrainAck(s) => Ok(s),
-            _ => Err(ClientError::Unexpected("wanted DrainAck")),
+            other => Err(ClientError::Unexpected {
+                wanted: "DrainAck",
+                got: describe(&other),
+            }),
         }
     }
 }

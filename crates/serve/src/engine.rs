@@ -260,6 +260,11 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
             batch_requests,
             rung,
             attempts: attempts_total.max(1),
+            // Network-scope fields: stamped by the client (busy retries)
+            // and the fleet router (failovers, serving backend), never by
+            // the daemon itself.
+            net_retries: 0,
+            served_by: 0,
         };
         let response = Message::Response(SubmitResponse {
             request_id: job.request.request_id,

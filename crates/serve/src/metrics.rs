@@ -27,8 +27,9 @@ const REQUEST_DEADLINE: Duration = Duration::from_secs(5);
 const MAX_REQUEST: usize = 8 * 1024;
 
 /// Runs the scrape listener until `stop()` reports true. The listener
-/// must already be non-blocking.
-pub(crate) fn run_metrics_listener(listener: TcpListener, obs: Obs, stop: impl Fn() -> bool) {
+/// must already be non-blocking. Public so other daemons fronting the
+/// same registry type (the fleet router) expose `/metrics` identically.
+pub fn run_metrics_listener(listener: TcpListener, obs: Obs, stop: impl Fn() -> bool) {
     while !stop() {
         match listener.accept() {
             Ok((stream, _peer)) => serve_scrape(stream, &obs),

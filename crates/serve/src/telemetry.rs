@@ -71,6 +71,13 @@ pub struct RequestStats {
     pub rung: FtLevel,
     /// Engine attempts consumed across all rungs (1 = first try).
     pub attempts: u32,
+    /// Network-level retries spent before this response arrived: `Busy`
+    /// backoff retries by the client plus failover re-forwards by a
+    /// router. 0 = first try succeeded.
+    pub net_retries: u32,
+    /// 1-based id of the fleet backend that served the request, stamped by
+    /// a router in front of the daemon. 0 = served directly.
+    pub served_by: u32,
 }
 
 impl Default for RequestStats {
@@ -85,6 +92,8 @@ impl Default for RequestStats {
             batch_requests: 0,
             rung: FtLevel::AlgoNgst,
             attempts: 1,
+            net_retries: 0,
+            served_by: 0,
         }
     }
 }
@@ -106,7 +115,14 @@ impl fmt::Display for RequestStats {
             self.batch_frames,
             self.batch_requests,
             self.attempts
-        )
+        )?;
+        if self.net_retries > 0 {
+            write!(f, ", {} net retr(ies)", self.net_retries)?;
+        }
+        if self.served_by > 0 {
+            write!(f, ", via backend {}", self.served_by)?;
+        }
+        Ok(())
     }
 }
 

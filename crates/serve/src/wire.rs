@@ -592,6 +592,8 @@ fn encode_stats(stats: &RequestStats, out: &mut Vec<u8>) {
     put_u32(out, stats.batch_requests);
     out.push(ft_level_code(stats.rung));
     put_u32(out, stats.attempts);
+    put_u32(out, stats.net_retries);
+    put_u32(out, stats.served_by);
 }
 
 fn decode_stats(r: &mut SliceReader<'_>) -> Result<RequestStats, WireError> {
@@ -609,6 +611,8 @@ fn decode_stats(r: &mut SliceReader<'_>) -> Result<RequestStats, WireError> {
                 .ok_or_else(|| WireError::Malformed(format!("unknown ladder rung {code}")))?
         },
         attempts: r.u32("attempts")?,
+        net_retries: r.u32("net retries")?,
+        served_by: r.u32("served by")?,
     })
 }
 

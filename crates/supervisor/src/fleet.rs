@@ -1,0 +1,380 @@
+//! Fleet-scoped fault tolerance: the PR 1 quarantine ladder generalized
+//! from *units of work* to *members of a serving fleet*.
+//!
+//! The per-run supervisor quarantines a failing tile and reprocesses it one
+//! rung down the [`crate::FtLevel`] ladder. A router in front of N daemons
+//! faces the same shape one level up: a *backend* that keeps failing (or
+//! diverging from its replica) must be quarantined, and when the fleet as a
+//! whole is overloaded, service must degrade gracefully instead of
+//! collapsing. Two pieces model that:
+//!
+//! - [`UnitHealth`] — a per-backend state machine (`Up → Suspect →
+//!   Quarantined`, back to `Up` on a successful probe) whose quarantine
+//!   windows reuse [`RetryPolicy`]'s deterministic exponential backoff, so
+//!   a flapping backend is probed less and less often;
+//! - [`FleetLevel`] — the fleet-wide service ladder `FullService →
+//!   ShedHeavy → EssentialOnly → Refuse`, the analogue of [`crate::FtLevel`]
+//!   for admission: as utilization climbs, progressively cheaper work is
+//!   still admitted while Λ-expensive work is shed first.
+
+use crate::policy::RetryPolicy;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Fleet-wide service level, ordered from full service (best) down to
+/// refusing all work (worst). The analogue of [`crate::FtLevel`] for the
+/// admission plane: derived `Ord` follows declaration order, so the level
+/// reached over a reporting window is a plain `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FleetLevel {
+    /// All work admitted.
+    FullService,
+    /// Work costing more than the heavy threshold is shed.
+    ShedHeavy,
+    /// Only work at or below a quarter of the heavy threshold is admitted.
+    EssentialOnly,
+    /// No work admitted; every submit is bounced.
+    Refuse,
+}
+
+impl FleetLevel {
+    /// Short stable name (used in metric labels and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetLevel::FullService => "full-service",
+            FleetLevel::ShedHeavy => "shed-heavy",
+            FleetLevel::EssentialOnly => "essential-only",
+            FleetLevel::Refuse => "refuse",
+        }
+    }
+
+    /// The next rung down, or `None` at the bottom.
+    pub fn next(&self) -> Option<FleetLevel> {
+        match self {
+            FleetLevel::FullService => Some(FleetLevel::ShedHeavy),
+            FleetLevel::ShedHeavy => Some(FleetLevel::EssentialOnly),
+            FleetLevel::EssentialOnly => Some(FleetLevel::Refuse),
+            FleetLevel::Refuse => None,
+        }
+    }
+
+    /// The service level for a front end with `in_flight` of `capacity`
+    /// admission slots occupied: full service below half load, shedding
+    /// heavy work from half load, essential-only from three quarters, and
+    /// refusal only when the gate is entirely full.
+    pub fn for_load(in_flight: usize, capacity: usize) -> FleetLevel {
+        if capacity == 0 || in_flight >= capacity {
+            FleetLevel::Refuse
+        } else if in_flight * 4 >= capacity * 3 {
+            FleetLevel::EssentialOnly
+        } else if in_flight * 2 >= capacity {
+            FleetLevel::ShedHeavy
+        } else {
+            FleetLevel::FullService
+        }
+    }
+
+    /// Whether work of `cost` (see [`work_cost`]) is admitted at this
+    /// level, given the configured `heavy` cost threshold.
+    pub fn admits(&self, cost: u64, heavy: u64) -> bool {
+        match self {
+            FleetLevel::FullService => true,
+            FleetLevel::ShedHeavy => cost <= heavy,
+            FleetLevel::EssentialOnly => cost <= heavy / 4,
+            FleetLevel::Refuse => false,
+        }
+    }
+}
+
+impl fmt::Display for FleetLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Admission cost of a request: samples to process, scaled by the window
+/// depth Υ (each sample is voted over Υ frames) and the sensitivity Λ
+/// (higher Λ means more windows qualify for repair). The absolute value is
+/// unitless; only its order against the configured heavy threshold matters.
+pub fn work_cost(samples: u64, lambda: u8, upsilon: u8) -> u64 {
+    let cost = u128::from(samples) * u128::from(upsilon.max(1)) * (100 + u128::from(lambda)) / 100;
+    u64::try_from(cost).unwrap_or(u64::MAX)
+}
+
+/// Fleet-level supervision policy: when a member is quarantined and how its
+/// quarantine windows grow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetPolicy {
+    /// Consecutive failures after which a member is quarantined.
+    pub quarantine_after: u32,
+    /// Backoff schedule for quarantine windows: the n-th quarantine of a
+    /// member lasts `backoff(member, n)`. Reuses [`RetryPolicy`] so the
+    /// fleet and the engine share one backoff implementation.
+    pub backoff: RetryPolicy,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            quarantine_after: 3,
+            backoff: RetryPolicy {
+                max_retries: u32::MAX,
+                backoff_base: Duration::from_millis(250),
+                backoff_factor: 2.0,
+                backoff_cap: Duration::from_secs(15),
+                jitter: 0.25,
+                ..RetryPolicy::default()
+            },
+        }
+    }
+}
+
+/// Why a fleet member's health changed (carried in the router's logs and
+/// mapped onto metric labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetFault {
+    /// The member's transport failed or it answered with garbage.
+    Transport,
+    /// A health probe timed out or was refused.
+    Probe,
+    /// The member's reply diverged bit-for-bit from its replica's.
+    Divergence,
+}
+
+impl FleetFault {
+    /// Short stable name (used in metric labels and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetFault::Transport => "transport",
+            FleetFault::Probe => "probe",
+            FleetFault::Divergence => "divergence",
+        }
+    }
+}
+
+/// Health status of one fleet member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitStatus {
+    /// Serving normally.
+    Up,
+    /// Failing but not yet over the quarantine threshold.
+    Suspect,
+    /// Quarantined until the stored deadline; probed again afterwards.
+    Quarantined,
+}
+
+/// Per-member health state machine.
+///
+/// Routers hold one `UnitHealth` per backend: record every forward or
+/// probe outcome, and consult [`UnitHealth::is_available`] when sharding.
+/// Consecutive failures past [`FleetPolicy::quarantine_after`] quarantine
+/// the member for a backoff window that doubles on every re-quarantine; a
+/// bit-identity divergence quarantines immediately — disagreeing with a
+/// replica is the strongest evidence of corruption the fleet can observe.
+#[derive(Debug, Clone)]
+pub struct UnitHealth {
+    status: UnitStatus,
+    consecutive_failures: u32,
+    quarantines: u32,
+    until: Option<Instant>,
+}
+
+impl Default for UnitHealth {
+    fn default() -> Self {
+        UnitHealth {
+            status: UnitStatus::Up,
+            consecutive_failures: 0,
+            quarantines: 0,
+            until: None,
+        }
+    }
+}
+
+impl UnitHealth {
+    /// A fresh, healthy member.
+    pub fn new() -> Self {
+        UnitHealth::default()
+    }
+
+    /// Current status.
+    pub fn status(&self) -> UnitStatus {
+        self.status
+    }
+
+    /// Total quarantines entered over the member's lifetime.
+    pub fn quarantines(&self) -> u32 {
+        self.quarantines
+    }
+
+    /// Whether the member may be routed to at `now`: up, merely suspect,
+    /// or quarantined with an expired window (probation — the next outcome
+    /// decides whether it returns to service or goes back in).
+    pub fn is_available(&self, now: Instant) -> bool {
+        match self.status {
+            UnitStatus::Up | UnitStatus::Suspect => true,
+            UnitStatus::Quarantined => self.until.is_none_or(|t| now >= t),
+        }
+    }
+
+    /// Records a successful forward or probe: the member returns to `Up`
+    /// and its failure streak resets (quarantine *count* is remembered so
+    /// a flapping member's windows keep growing).
+    pub fn record_success(&mut self) {
+        self.status = UnitStatus::Up;
+        self.consecutive_failures = 0;
+        self.until = None;
+    }
+
+    /// Records a failed forward or probe of member `unit`. Returns the
+    /// quarantine window if this failure tipped the member over the
+    /// threshold (or re-quarantined it from probation), `None` while it is
+    /// merely suspect.
+    pub fn record_failure(
+        &mut self,
+        unit: u64,
+        policy: &FleetPolicy,
+        now: Instant,
+    ) -> Option<Duration> {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.status == UnitStatus::Quarantined
+            || self.consecutive_failures >= policy.quarantine_after
+        {
+            Some(self.enter_quarantine(unit, policy, now))
+        } else {
+            self.status = UnitStatus::Suspect;
+            None
+        }
+    }
+
+    /// Quarantines the member immediately, bypassing the failure threshold.
+    /// Used when a reply diverges bit-for-bit from its replica's. Returns
+    /// the quarantine window.
+    pub fn quarantine_now(&mut self, unit: u64, policy: &FleetPolicy, now: Instant) -> Duration {
+        self.consecutive_failures = self.consecutive_failures.max(policy.quarantine_after);
+        self.enter_quarantine(unit, policy, now)
+    }
+
+    fn enter_quarantine(&mut self, unit: u64, policy: &FleetPolicy, now: Instant) -> Duration {
+        self.quarantines = self.quarantines.saturating_add(1);
+        let window = policy.backoff.backoff(unit, self.quarantines);
+        self.status = UnitStatus::Quarantined;
+        self.until = Some(now + window);
+        window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_and_walk() {
+        assert!(FleetLevel::FullService < FleetLevel::ShedHeavy);
+        assert!(FleetLevel::ShedHeavy < FleetLevel::EssentialOnly);
+        assert!(FleetLevel::EssentialOnly < FleetLevel::Refuse);
+        let mut level = FleetLevel::FullService;
+        let mut seen = vec![level];
+        while let Some(next) = level.next() {
+            seen.push(next);
+            level = next;
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(level, FleetLevel::Refuse);
+        assert!(level.next().is_none());
+    }
+
+    #[test]
+    fn load_maps_to_levels() {
+        assert_eq!(FleetLevel::for_load(0, 8), FleetLevel::FullService);
+        assert_eq!(FleetLevel::for_load(3, 8), FleetLevel::FullService);
+        assert_eq!(FleetLevel::for_load(4, 8), FleetLevel::ShedHeavy);
+        assert_eq!(FleetLevel::for_load(6, 8), FleetLevel::EssentialOnly);
+        assert_eq!(FleetLevel::for_load(8, 8), FleetLevel::Refuse);
+        assert_eq!(FleetLevel::for_load(0, 0), FleetLevel::Refuse);
+    }
+
+    #[test]
+    fn shedding_prefers_cheap_work() {
+        let heavy = 1000;
+        assert!(FleetLevel::FullService.admits(u64::MAX, heavy));
+        assert!(FleetLevel::ShedHeavy.admits(1000, heavy));
+        assert!(!FleetLevel::ShedHeavy.admits(1001, heavy));
+        assert!(FleetLevel::EssentialOnly.admits(250, heavy));
+        assert!(!FleetLevel::EssentialOnly.admits(251, heavy));
+        assert!(!FleetLevel::Refuse.admits(0, heavy));
+    }
+
+    #[test]
+    fn cost_scales_with_lambda_and_upsilon() {
+        // More samples, deeper windows, higher sensitivity: all cost more.
+        assert!(work_cost(2048, 80, 4) > work_cost(1024, 80, 4));
+        assert!(work_cost(1024, 80, 8) > work_cost(1024, 80, 4));
+        assert!(work_cost(1024, 100, 4) > work_cost(1024, 0, 4));
+        // Λ scales by at most 2x, never overflows.
+        assert_eq!(work_cost(100, 100, 1), 200);
+        assert_eq!(work_cost(u64::MAX, 100, 16), u64::MAX);
+    }
+
+    #[test]
+    fn failures_walk_up_to_quarantine() {
+        let policy = FleetPolicy::default();
+        let mut h = UnitHealth::new();
+        let t0 = Instant::now();
+        assert!(h.is_available(t0));
+        assert!(h.record_failure(0, &policy, t0).is_none());
+        assert_eq!(h.status(), UnitStatus::Suspect);
+        assert!(h.is_available(t0), "suspect members still serve");
+        assert!(h.record_failure(0, &policy, t0).is_none());
+        let window = h
+            .record_failure(0, &policy, t0)
+            .expect("third failure quarantines");
+        assert!(window > Duration::ZERO);
+        assert_eq!(h.status(), UnitStatus::Quarantined);
+        assert!(!h.is_available(t0));
+        // The window expires: the member is probed again (probation).
+        assert!(h.is_available(t0 + window + Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn success_resets_but_windows_keep_growing() {
+        let policy = FleetPolicy {
+            backoff: RetryPolicy {
+                jitter: 0.0,
+                ..FleetPolicy::default().backoff
+            },
+            ..FleetPolicy::default()
+        };
+        let mut h = UnitHealth::new();
+        let t0 = Instant::now();
+        let w1 = h.quarantine_now(7, &policy, t0);
+        h.record_success();
+        assert_eq!(h.status(), UnitStatus::Up);
+        assert!(h.is_available(t0));
+        let w2 = h.quarantine_now(7, &policy, t0);
+        assert!(w2 > w1, "re-quarantine windows grow: {w1:?} then {w2:?}");
+    }
+
+    #[test]
+    fn probation_failure_requarantines_immediately() {
+        let policy = FleetPolicy::default();
+        let mut h = UnitHealth::new();
+        let t0 = Instant::now();
+        h.quarantine_now(3, &policy, t0);
+        let later = t0 + Duration::from_secs(3600);
+        assert!(h.is_available(later), "window long past: on probation");
+        // One failed probe is enough to go straight back in.
+        assert!(h.record_failure(3, &policy, later).is_some());
+        assert!(!h.is_available(later));
+    }
+
+    #[test]
+    fn divergence_quarantines_without_threshold() {
+        let policy = FleetPolicy::default();
+        let mut h = UnitHealth::new();
+        let t0 = Instant::now();
+        assert_eq!(h.status(), UnitStatus::Up);
+        h.quarantine_now(1, &policy, t0);
+        assert_eq!(h.status(), UnitStatus::Quarantined);
+        assert_eq!(h.quarantines(), 1);
+    }
+}

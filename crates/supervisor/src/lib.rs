@@ -51,10 +51,12 @@
 
 pub mod envelope;
 pub mod events;
+pub mod fleet;
 pub mod ladder;
 pub mod policy;
 
 pub use envelope::{supervise, StageOutcome};
 pub use events::{FailureKind, RecoveryEvent, RecoveryKind, RecoveryLog};
+pub use fleet::{work_cost, FleetFault, FleetLevel, FleetPolicy, UnitHealth, UnitStatus};
 pub use ladder::{DegradationLadder, FtLevel, LadderStage};
 pub use policy::{RetryPolicy, Supervision, SupervisorError};
