@@ -1,8 +1,9 @@
 //! Throughput of the three stack-preprocessing drivers — naive
 //! gather/scatter, cache-aware series-major tiling, and the data-parallel
 //! worker pool — on the 64×64×128 acceptance cube, for `u16` and `u32`
-//! pixels, under both voter kernels (per-pixel `scalar` and the
-//! plane-sweep `sweep`). Thread counts beyond the machine's available
+//! pixels, under all three voter kernels (per-pixel `scalar`, the
+//! plane-sweep `sweep` and the SIMD-dispatched bit-sliced `bitsliced`).
+//! Thread counts beyond the machine's available
 //! parallelism are skipped rather than silently capped. Reported in
 //! samples/s (Criterion's element throughput); `repro perf` emits the
 //! same sweep as `BENCH_preprocess.json`.
@@ -18,7 +19,7 @@ const WIDTH: usize = 64;
 const HEIGHT: usize = 64;
 const FRAMES: usize = 128;
 const THREADS: &[usize] = &[1, 2, 4, 8];
-const KERNELS: &[Kernel] = &[Kernel::Scalar, Kernel::Sweep];
+const KERNELS: &[Kernel] = &[Kernel::Scalar, Kernel::Sweep, Kernel::Bitsliced];
 
 fn bench_pixel_width<T: BitPixel>(c: &mut Criterion, label: &str, sample: impl Fn(u64) -> T) {
     let algo = perf_algo();

@@ -4,10 +4,11 @@
 //! naive per-coordinate reference loop (`.naive(true)`), the cache-aware
 //! series-major tiled path and the data-parallel worker pool — over a
 //! synthetic NGST-like cube, in Mpix/s (million samples preprocessed per
-//! second of wall time). Each driver is timed under both voter kernels
-//! ([`Kernel::Scalar`] and the plane-sweep [`Kernel::Sweep`]), and a
-//! multi-pass section times the tiled driver at `passes = 3`, where the
-//! sweep kernel's shared difference planes pay off most. All drivers run
+//! second of wall time). Each driver is timed under all three voter
+//! kernels ([`Kernel::Scalar`], the plane-sweep [`Kernel::Sweep`] and the
+//! bit-sliced [`Kernel::Bitsliced`]), and a multi-pass section times the
+//! tiled driver at `passes = 3`, where the shared difference planes and
+//! bit-plane transposes pay off most. All drivers run
 //! with observability disabled (the default), so these numbers double as
 //! the zero-overhead guard for the instrumentation. The same workload
 //! feeds the `preprocess_throughput` Criterion bench; this module is the
@@ -18,11 +19,14 @@
 //! report it as a bigger sweep), and every row records the thread count
 //! that actually ran. Every timed run is also checked bit-identical
 //! against its section's reference, so a perf regression hunt can never
-//! silently trade away correctness.
+//! silently trade away correctness. The report header records the CPU
+//! feature tiers detected at run time and each bit-sliced row records the
+//! SIMD dispatch tier it actually executed under, so an artifact measured
+//! on one machine is never mistaken for another's.
 
 use preflight_core::{
-    available_threads, AlgoNgst, BitPixel, ImageStack, Kernel, NgstConfig, Preprocessor,
-    Sensitivity, Upsilon, DEFAULT_TILE,
+    available_threads, detected_tiers, dispatch_tier, AlgoNgst, BitPixel, ImageStack, Kernel,
+    NgstConfig, Preprocessor, Sensitivity, Upsilon, DEFAULT_TILE,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -88,8 +92,12 @@ impl PerfConfig {
 pub struct PerfRow {
     /// Driver name: `naive`, `tiled` or `parallel`.
     pub driver: &'static str,
-    /// Voter kernel: `scalar` or `sweep`.
+    /// Voter kernel: `scalar`, `sweep` or `bitsliced`.
     pub kernel: &'static str,
+    /// SIMD dispatch tier the row executed under: the resolved tier name
+    /// (`portable`, `avx2`, `neon`) for bit-sliced rows, `-` for the
+    /// value-domain kernels which have no SIMD dispatch.
+    pub dispatch_tier: &'static str,
     /// Pixel width in bits (16 or 32).
     pub pixel_bits: u32,
     /// Voter passes per run (1 for the single-pass section).
@@ -114,6 +122,11 @@ pub struct PerfReport {
     pub config: PerfConfig,
     /// The machine's available parallelism when the run happened.
     pub available_threads: usize,
+    /// CPU feature tiers usable on this machine (always starts with
+    /// `portable`), as detected at run time.
+    pub cpu_features: Vec<&'static str>,
+    /// The SIMD tier the bit-sliced kernel resolved to for this run.
+    pub resolved_tier: &'static str,
     /// Requested thread counts that were skipped as unavailable.
     pub skipped_threads: Vec<usize>,
     /// All timed cells, grouped by pixel width then driver.
@@ -180,6 +193,16 @@ pub fn kernel_label(kernel: Kernel) -> &'static str {
     match kernel {
         Kernel::Scalar => "scalar",
         Kernel::Sweep => "sweep",
+        Kernel::Bitsliced => "bitsliced",
+    }
+}
+
+/// The dispatch-tier cell for a row: the resolved SIMD tier for the
+/// bit-sliced kernel, `-` for the value-domain kernels.
+fn row_tier(kernel: Kernel) -> &'static str {
+    match kernel {
+        Kernel::Bitsliced => dispatch_tier().name(),
+        _ => "-",
     }
 }
 
@@ -224,6 +247,7 @@ fn run_pixel_width<T: BitPixel>(
     rows.push(PerfRow {
         driver: "naive",
         kernel: kernel_label(Kernel::Scalar),
+        dispatch_tier: row_tier(Kernel::Scalar),
         pixel_bits,
         passes: 1,
         threads: 1,
@@ -232,7 +256,7 @@ fn run_pixel_width<T: BitPixel>(
         speedup: 1.0,
     });
 
-    for kernel in [Kernel::Scalar, Kernel::Sweep] {
+    for kernel in [Kernel::Scalar, Kernel::Sweep, Kernel::Bitsliced] {
         let label = kernel_label(kernel);
         if kernel != Kernel::Scalar {
             let naive = Preprocessor::new(&algo).naive(true).kernel(kernel);
@@ -245,6 +269,7 @@ fn run_pixel_width<T: BitPixel>(
             rows.push(PerfRow {
                 driver: "naive",
                 kernel: label,
+                dispatch_tier: row_tier(kernel),
                 pixel_bits,
                 passes: 1,
                 threads: 1,
@@ -264,6 +289,7 @@ fn run_pixel_width<T: BitPixel>(
         rows.push(PerfRow {
             driver: "tiled",
             kernel: label,
+            dispatch_tier: row_tier(kernel),
             pixel_bits,
             passes: 1,
             threads: 1,
@@ -283,6 +309,7 @@ fn run_pixel_width<T: BitPixel>(
             rows.push(PerfRow {
                 driver: "parallel",
                 kernel: label,
+                dispatch_tier: row_tier(kernel),
                 pixel_bits,
                 passes: 1,
                 threads,
@@ -295,7 +322,8 @@ fn run_pixel_width<T: BitPixel>(
 
     // Multi-pass section: the tiled driver at `passes` voter passes, its
     // own scalar reference. This is where the sweep kernel's shared
-    // difference planes amortize across repeated cutoff rebuilds.
+    // difference planes and the bit-sliced kernel's per-group transpose
+    // amortize across repeated cutoff rebuilds.
     if config.multipass > 1 {
         let multi = perf_algo_passes(config.multipass);
         let scalar = Preprocessor::new(&multi)
@@ -305,6 +333,7 @@ fn run_pixel_width<T: BitPixel>(
         rows.push(PerfRow {
             driver: "tiled",
             kernel: kernel_label(Kernel::Scalar),
+            dispatch_tier: row_tier(Kernel::Scalar),
             pixel_bits,
             passes: config.multipass,
             threads: 1,
@@ -313,25 +342,27 @@ fn run_pixel_width<T: BitPixel>(
             speedup: 1.0,
         });
 
-        let sweep = Preprocessor::new(&multi)
-            .tile(DEFAULT_TILE)
-            .kernel(Kernel::Sweep);
-        let (secs, out, got) = best_secs(config.reps, &input, |s| sweep.run(s));
-        assert_eq!(
-            (got, &out),
-            (scalar_n, &scalar_out),
-            "multi-pass sweep diverged"
-        );
-        rows.push(PerfRow {
-            driver: "tiled",
-            kernel: kernel_label(Kernel::Sweep),
-            pixel_bits,
-            passes: config.multipass,
-            threads: 1,
-            seconds: secs,
-            mpix_per_s: mpix(secs),
-            speedup: scalar_secs / secs,
-        });
+        for kernel in [Kernel::Sweep, Kernel::Bitsliced] {
+            let label = kernel_label(kernel);
+            let timed = Preprocessor::new(&multi).tile(DEFAULT_TILE).kernel(kernel);
+            let (secs, out, got) = best_secs(config.reps, &input, |s| timed.run(s));
+            assert_eq!(
+                (got, &out),
+                (scalar_n, &scalar_out),
+                "multi-pass {label} diverged"
+            );
+            rows.push(PerfRow {
+                driver: "tiled",
+                kernel: label,
+                dispatch_tier: row_tier(kernel),
+                pixel_bits,
+                passes: config.multipass,
+                threads: 1,
+                seconds: secs,
+                mpix_per_s: mpix(secs),
+                speedup: scalar_secs / secs,
+            });
+        }
     }
 }
 
@@ -350,6 +381,8 @@ pub fn preprocess_perf(config: &PerfConfig) -> PerfReport {
     PerfReport {
         config: config.clone(),
         available_threads: cap,
+        cpu_features: detected_tiers().into_iter().map(|t| t.name()).collect(),
+        resolved_tier: dispatch_tier().name(),
         skipped_threads,
         rows,
     }
@@ -370,6 +403,12 @@ impl PerfReport {
             self.config.reps,
             self.available_threads
         );
+        let _ = writeln!(
+            out,
+            "cpu features: [{}], bit-sliced dispatch tier: {}",
+            self.cpu_features.join(", "),
+            self.resolved_tier
+        );
         if !self.skipped_threads.is_empty() {
             let _ = writeln!(
                 out,
@@ -379,15 +418,16 @@ impl PerfReport {
         }
         let _ = writeln!(
             out,
-            "{:<10} {:<8} {:>6} {:>7} {:>8} {:>12} {:>10} {:>8}",
-            "driver", "kernel", "bits", "passes", "threads", "seconds", "Mpix/s", "speedup"
+            "{:<10} {:<10} {:<9} {:>6} {:>7} {:>8} {:>12} {:>10} {:>8}",
+            "driver", "kernel", "tier", "bits", "passes", "threads", "seconds", "Mpix/s", "speedup"
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<10} {:<8} {:>6} {:>7} {:>8} {:>12.6} {:>10.2} {:>7.2}x",
+                "{:<10} {:<10} {:<9} {:>6} {:>7} {:>8} {:>12.6} {:>10.2} {:>7.2}x",
                 r.driver,
                 r.kernel,
+                r.dispatch_tier,
                 r.pixel_bits,
                 r.passes,
                 r.threads,
@@ -412,6 +452,13 @@ impl PerfReport {
         let _ = writeln!(out, "  \"samples_per_pass\": {},", self.config.samples());
         let _ = writeln!(out, "  \"reps\": {},", self.config.reps);
         let _ = writeln!(out, "  \"available_threads\": {},", self.available_threads);
+        let features: Vec<String> = self
+            .cpu_features
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect();
+        let _ = writeln!(out, "  \"cpu_features\": [{}],", features.join(", "));
+        let _ = writeln!(out, "  \"dispatch_tier\": \"{}\",", self.resolved_tier);
         let skipped: Vec<String> = self.skipped_threads.iter().map(|t| t.to_string()).collect();
         let _ = writeln!(out, "  \"skipped_threads\": [{}],", skipped.join(", "));
         out.push_str("  \"rows\": [\n");
@@ -419,11 +466,13 @@ impl PerfReport {
             let comma = if i + 1 == self.rows.len() { "" } else { "," };
             let _ = writeln!(
                 out,
-                "    {{\"driver\": \"{}\", \"kernel\": \"{}\", \"pixel_bits\": {}, \
+                "    {{\"driver\": \"{}\", \"kernel\": \"{}\", \"dispatch_tier\": \"{}\", \
+                 \"pixel_bits\": {}, \
                  \"passes\": {}, \"threads\": {}, \"seconds\": {:.6}, \
                  \"mpix_per_s\": {:.3}, \"speedup\": {:.3}}}{comma}",
                 r.driver,
                 r.kernel,
+                r.dispatch_tier,
                 r.pixel_bits,
                 r.passes,
                 r.threads,
@@ -445,13 +494,26 @@ mod tests {
     fn quick_sweep_produces_sane_rows() {
         let config = PerfConfig::quick();
         let report = preprocess_perf(&config);
-        // Per pixel width: naive (scalar ref + sweep) + tiled × 2 kernels
-        // + parallel × 2 kernels × effective thread counts + the 2
-        // multi-pass tiled rows.
+        // Per pixel width: naive (scalar ref + sweep + bitsliced) + tiled
+        // × 3 kernels + parallel × 3 kernels × effective thread counts +
+        // the 3 multi-pass tiled rows.
         let t = config.effective_thread_counts().len();
-        assert_eq!(report.rows.len(), 2 * (2 + 2 + 2 * t + 2));
+        assert_eq!(report.rows.len(), 2 * (3 + 3 + 3 * t + 3));
         assert!(report.rows.iter().all(|r| r.mpix_per_s > 0.0));
         assert!(report.rows.iter().all(|r| r.seconds > 0.0));
+        // Bit-sliced rows carry the tier they executed under; the
+        // value-domain kernels have no dispatch.
+        assert_eq!(report.cpu_features.first(), Some(&"portable"));
+        assert!(report.cpu_features.contains(&report.resolved_tier));
+        assert!(report
+            .rows
+            .iter()
+            .all(|r| (r.kernel == "bitsliced") == (r.dispatch_tier != "-")));
+        assert!(report
+            .rows
+            .iter()
+            .filter(|r| r.kernel == "bitsliced")
+            .all(|r| r.dispatch_tier == report.resolved_tier));
         assert!(report
             .rows
             .iter()
@@ -490,6 +552,9 @@ mod tests {
         assert_eq!(json.matches("\"driver\"").count(), report.rows.len());
         assert!(json.contains("\"benchmark\": \"preprocess_throughput\""));
         assert!(json.contains("\"kernel\": \"sweep\""));
+        assert!(json.contains("\"kernel\": \"bitsliced\""));
+        assert!(json.contains("\"cpu_features\": [\"portable\""));
+        assert!(json.contains("\"dispatch_tier\""));
         // Balanced braces and brackets (flat document, no strings with
         // either character).
         let count = |c| json.matches(c).count();

@@ -87,7 +87,7 @@ pub fn print_usage() {
          \x20 gen        --out FILE [--width N] [--height N] [--frames N] [--sigma S] [--seed S]\n\
          \x20 inject     --in FILE --out FILE --gamma0 P [--correlated] [--seed S]\n\
          \x20 preprocess --in FILE --out FILE [--lambda L] [--upsilon U] [--threads N]\n\
-         \x20            [--kernel sweep|scalar] [--trace-json FILE]\n\
+         \x20            [--kernel sweep|scalar|bitsliced] [--trace-json FILE]\n\
          \x20 check      --in FILE\n\
          \x20 protect    --in FILE --out FILE\n\
          \x20 tune       --in FILE --gamma0 P\n\
@@ -100,7 +100,7 @@ pub fn print_usage() {
          \x20            [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]\n\
          \x20 serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--max-conns N]\n\
          \x20            [--batch-frames N] [--batch-delay-ms MS] [--threads N] [--workers N]\n\
-         \x20            [--kernel sweep|scalar] [--metrics-addr ADDR]\n\
+         \x20            [--kernel sweep|scalar|bitsliced] [--metrics-addr ADDR]\n\
          \x20 route      --backends LIST [--backend SPEC] [--tcp ADDR] [--unix PATH]\n\
          \x20            [--replicate] [--capacity N] [--max-conns N] [--vnodes N]\n\
          \x20            [--heavy-cost N] [--health-ms MS] [--metrics-addr ADDR]\n\

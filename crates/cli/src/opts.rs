@@ -185,9 +185,10 @@ impl Opts {
     }
 
     /// Reads `--kernel` and validates the voter-kernel name up front
-    /// (`sweep` — the default — or `scalar`). Shared by `preprocess` and
-    /// `serve`; both kernels are bit-identical, so the knob is purely a
-    /// scheduling/benchmarking choice.
+    /// (`sweep` — the default — `scalar`, or the SIMD-dispatched
+    /// `bitsliced`). Shared by `preprocess` and `serve`; all kernels are
+    /// bit-identical, so the knob is purely a scheduling/benchmarking
+    /// choice.
     ///
     /// # Errors
     /// [`CliError::Usage`] on an unknown kernel name.
@@ -294,6 +295,10 @@ mod tests {
         assert_eq!(
             parse(&["--kernel", "sweep"]).unwrap().kernel().unwrap(),
             Kernel::Sweep
+        );
+        assert_eq!(
+            parse(&["--kernel", "bitsliced"]).unwrap().kernel().unwrap(),
+            Kernel::Bitsliced
         );
         assert!(matches!(
             parse(&["--kernel", "vector"]).unwrap().kernel(),

@@ -13,7 +13,7 @@ use crate::error::CoreError;
 use crate::pixel::BitPixel;
 use crate::sensitivity::{Sensitivity, Upsilon};
 use crate::sweep::{sweep_corrections, Kernel};
-use crate::traits::SeriesPreprocessor;
+use crate::traits::{BatchLayout, SeriesPreprocessor};
 use crate::voter::{VoterMatrix, VoterScratch};
 use crate::window::BitWindows;
 use preflight_obs::Obs;
@@ -199,6 +199,19 @@ impl AlgoNgst {
         kernel: Kernel,
         obs: &Obs,
     ) -> Result<usize, CoreError> {
+        if kernel == Kernel::Bitsliced {
+            // The bit-sliced kernel estimates cut-offs, derives windows and
+            // applies corrections itself, entirely in bit-plane space (and
+            // bit-identically to the path below).
+            let params = crate::bitslice::BitsliceParams {
+                upsilon: self.upsilon,
+                sensitivity: self.sensitivity,
+                msb_margin: self.config.msb_margin_bits,
+                static_windows: self.config.static_windows,
+                use_grt: self.config.use_grt,
+            };
+            return crate::bitslice::bitsliced_pass(&params, series, scratch, obs);
+        }
         let vm = VoterMatrix::build_with_scratch(
             series,
             self.upsilon,
@@ -208,6 +221,7 @@ impl AlgoNgst {
         )?;
         let windows = self.effective_windows(&vm);
         match kernel {
+            Kernel::Bitsliced => unreachable!("handled above"),
             Kernel::Sweep => {
                 sweep_corrections(&vm, series, windows, self.config.use_grt, scratch, obs);
             }
@@ -266,6 +280,74 @@ impl<T: BitPixel> SeriesPreprocessor<T> for AlgoNgst {
     ) -> usize {
         self.try_preprocess_exec(series, scratch, kernel, obs)
             .unwrap_or(0)
+    }
+
+    /// The bit-sliced group kernel wants the cheap-to-gather time-major
+    /// layout (it packs 64 *series* per word at each time step); everything
+    /// else keeps the natural series-major layout.
+    fn batch_layout(&self, kernel: Kernel) -> BatchLayout {
+        match kernel {
+            Kernel::Bitsliced => BatchLayout::TimeMajor,
+            _ => BatchLayout::SeriesMajor,
+        }
+    }
+
+    /// Batched entry: with [`Kernel::Bitsliced`] the whole time-major tile
+    /// is handed to the lane-per-series kernel in groups of 64 series, so
+    /// every word operation advances 64 voters at once; other kernels fall
+    /// back to the per-series loop over the series-major layout. Layouts
+    /// follow [`batch_layout`](Self::batch_layout); results are
+    /// bit-identical either way (property tested in
+    /// `tests/sweep_identical.rs`).
+    fn preprocess_batch_exec(
+        &self,
+        buf: &mut [T],
+        frames: usize,
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> usize {
+        if frames == 0 {
+            return 0;
+        }
+        if kernel != Kernel::Bitsliced {
+            return buf
+                .chunks_exact_mut(frames)
+                .map(|series| self.preprocess_exec(series, scratch, kernel, obs))
+                .sum();
+        }
+        if self.sensitivity.is_off() || frames < self.upsilon.min_series_len() {
+            // Λ = 0 analyzes nothing; short series are left untouched — the
+            // same outcomes the per-series loop reaches one series at a
+            // time.
+            return 0;
+        }
+        let params = crate::bitslice::BitsliceParams {
+            upsilon: self.upsilon,
+            sensitivity: self.sensitivity,
+            msb_margin: self.config.msb_margin_bits,
+            static_windows: self.config.static_windows,
+            use_grt: self.config.use_grt,
+        };
+        let count = buf.len() / frames;
+        let mut total = 0;
+        let mut base = 0;
+        while base < count {
+            let g = (count - base).min(64);
+            total += crate::bitslice::bitsliced_group(
+                &params,
+                self.config.passes,
+                buf,
+                frames,
+                count,
+                base,
+                g,
+                scratch,
+                obs,
+            );
+            base += g;
+        }
+        total
     }
 }
 

@@ -44,10 +44,16 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the bit-sliced kernel's runtime SIMD
+// dispatch needs two audited `unsafe` call sites (invoking
+// `#[target_feature]` functions whose feature requirement was verified by
+// runtime CPU detection). Each carries an `#[allow(unsafe_code)]` with a
+// SAFETY comment; everything else in the crate remains safe code.
+#![deny(unsafe_code)]
 
 pub mod algo_ngst;
 pub mod algo_otis;
+pub mod bitslice;
 pub mod bitvote;
 pub mod container;
 pub mod error;
@@ -65,6 +71,7 @@ pub mod window;
 pub use algo_ngst::preprocess_stack;
 pub use algo_ngst::{preprocess_image, AlgoNgst, NgstConfig};
 pub use algo_otis::{AlgoOtis, Neighborhood, OtisConfig, PhysicalBounds, PlaneReport, Repair};
+pub use bitslice::{detected_tiers, dispatch_tier, DispatchTier};
 pub use bitvote::BitVoter;
 pub use container::{Cube, Image, ImageStack};
 pub use error::CoreError;
@@ -75,7 +82,7 @@ pub use preprocessor::{available_threads, Preprocessor, DEFAULT_TILE};
 pub use sensitivity::{Sensitivity, Upsilon};
 pub use smoothing::{MeanSmoother, MedianSmoother};
 pub use sweep::Kernel;
-pub use traits::{PlanePreprocessor, SeriesPreprocessor};
+pub use traits::{BatchLayout, PlanePreprocessor, SeriesPreprocessor};
 pub use voter::{VoterMatrix, VoterScratch};
 pub use window::BitWindows;
 
@@ -87,6 +94,7 @@ pub use preflight_obs::{Obs, Span};
 pub mod prelude {
     pub use crate::algo_ngst::AlgoNgst;
     pub use crate::algo_otis::{AlgoOtis, PhysicalBounds};
+    pub use crate::bitslice::{detected_tiers, dispatch_tier, DispatchTier};
     pub use crate::bitvote::BitVoter;
     pub use crate::container::{Cube, Image, ImageStack};
     pub use crate::pixel::{BitPixel, ValuePixel};

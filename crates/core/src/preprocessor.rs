@@ -41,7 +41,7 @@
 use crate::container::{Cube, Image, ImageStack};
 use crate::pixel::BitPixel;
 use crate::sweep::Kernel;
-use crate::traits::{PlanePreprocessor, SeriesPreprocessor};
+use crate::traits::{BatchLayout, PlanePreprocessor, SeriesPreprocessor};
 use crate::voter::VoterScratch;
 use crossbeam::channel;
 use preflight_obs::Obs;
@@ -187,6 +187,12 @@ impl<A> Preprocessor<A> {
         self.obs
             .counter("preprocess_sweep_combines_total", None)
             .add(scratch.sweep_combines());
+        self.obs
+            .counter("preprocess_bitslice_transposes_total", None)
+            .add(scratch.bitslice_transposes());
+        self.obs
+            .counter("preprocess_bitslice_combines_total", None)
+            .add(scratch.bitslice_combines());
         scratch.reset_tallies();
     }
 
@@ -227,6 +233,14 @@ impl<A> Preprocessor<A> {
             self.obs
                 .counter("preprocess_samples_repaired_total", None)
                 .add(changed as u64);
+            if self.kernel == Kernel::Bitsliced {
+                self.obs
+                    .counter(
+                        "preprocess_dispatch_tier_total",
+                        Some(("tier", crate::bitslice::dispatch_tier().name())),
+                    )
+                    .inc();
+            }
         }
         changed
     }
@@ -240,18 +254,33 @@ impl<A> Preprocessor<A> {
         A: SeriesPreprocessor<T>,
     {
         let frames = stack.frames();
+        let layout = self.algo.batch_layout(self.kernel);
         let mut scratch = VoterScratch::with_capacity(frames);
         let mut buf: Vec<T> = Vec::new();
         let mut changed = 0;
         for t in tiles {
             let _span = self.obs.span("tile");
-            stack.gather_tile_series(t.tx, t.ty, t.tw, t.th, &mut buf);
-            for series in buf.chunks_exact_mut(frames) {
-                changed += self
-                    .algo
-                    .preprocess_exec(series, &mut scratch, self.kernel, &self.obs);
+            match layout {
+                BatchLayout::SeriesMajor => {
+                    stack.gather_tile_series(t.tx, t.ty, t.tw, t.th, &mut buf)
+                }
+                BatchLayout::TimeMajor => {
+                    stack.gather_tile_time_major(t.tx, t.ty, t.tw, t.th, &mut buf)
+                }
             }
-            stack.scatter_tile_series(t.tx, t.ty, t.tw, t.th, &buf);
+            changed += self.algo.preprocess_batch_exec(
+                &mut buf,
+                frames,
+                &mut scratch,
+                self.kernel,
+                &self.obs,
+            );
+            match layout {
+                BatchLayout::SeriesMajor => stack.scatter_tile_series(t.tx, t.ty, t.tw, t.th, &buf),
+                BatchLayout::TimeMajor => {
+                    stack.scatter_tile_time_major(t.tx, t.ty, t.tw, t.th, &buf)
+                }
+            }
         }
         if self.obs.is_enabled() {
             self.obs
@@ -271,6 +300,7 @@ impl<A> Preprocessor<A> {
         A: SeriesPreprocessor<T> + Sync,
     {
         let frames = stack.frames();
+        let layout = self.algo.batch_layout(self.kernel);
         let (job_tx, job_rx) = channel::unbounded::<Tile>();
         for &t in tiles {
             job_tx.send(t).expect("job queue cannot disconnect here");
@@ -292,11 +322,15 @@ impl<A> Preprocessor<A> {
                     while let Ok(tile) = job_rx.recv() {
                         let span = obs.span("tile");
                         let mut buf = Vec::new();
-                        shared.gather_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &mut buf);
-                        let mut changed = 0;
-                        for series in buf.chunks_exact_mut(frames) {
-                            changed += algo.preprocess_exec(series, &mut scratch, kernel, obs);
+                        match layout {
+                            BatchLayout::SeriesMajor => shared
+                                .gather_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &mut buf),
+                            BatchLayout::TimeMajor => shared.gather_tile_time_major(
+                                tile.tx, tile.ty, tile.tw, tile.th, &mut buf,
+                            ),
                         }
+                        let changed =
+                            algo.preprocess_batch_exec(&mut buf, frames, &mut scratch, kernel, obs);
                         drop(span);
                         if res_tx.send((tile, buf, changed)).is_err() {
                             break;
@@ -311,6 +345,10 @@ impl<A> Preprocessor<A> {
                             .add(scratch.sweep_plane_passes());
                         obs.counter("preprocess_sweep_combines_total", None)
                             .add(scratch.sweep_combines());
+                        obs.counter("preprocess_bitslice_transposes_total", None)
+                            .add(scratch.bitslice_transposes());
+                        obs.counter("preprocess_bitslice_combines_total", None)
+                            .add(scratch.bitslice_combines());
                     }
                 });
             }
@@ -322,13 +360,26 @@ impl<A> Preprocessor<A> {
 
         let mut total = 0;
         for (tile, buf, changed) in results {
-            stack.scatter_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &buf);
+            match layout {
+                BatchLayout::SeriesMajor => {
+                    stack.scatter_tile_series(tile.tx, tile.ty, tile.tw, tile.th, &buf)
+                }
+                BatchLayout::TimeMajor => {
+                    stack.scatter_tile_time_major(tile.tx, tile.ty, tile.tw, tile.th, &buf)
+                }
+            }
             total += changed;
         }
         if self.obs.is_enabled() {
             self.obs
                 .counter("preprocess_tiles_total", None)
                 .add(tiles.len() as u64);
+            // Workers actually spawned (the single-thread case never
+            // reaches this path — it falls through to the tiled driver, so
+            // `--threads 1` pays no pool overhead).
+            self.obs
+                .counter("preprocess_pool_workers_total", None)
+                .add(workers as u64);
         }
         total
     }
@@ -584,6 +635,46 @@ mod tests {
             .histogram("stage_seconds", Some(("stage", "tile")))
             .expect("tile spans timed");
         assert_eq!(tiles.count, 4);
+    }
+
+    #[test]
+    fn single_thread_falls_through_to_tiled_without_a_pool() {
+        // Regression: `.threads(1)` (and any request the tile grid clamps
+        // to one effective worker) must take the sequential tiled path,
+        // never spawn the scoped pool. The pool-workers counter is only
+        // incremented by the pool driver, so its absence proves the
+        // fall-through; the repair totals prove the work still happened.
+        let obs = Obs::new();
+        let mut st = noisy_stack(64, 48, 16);
+        let changed = Preprocessor::new(algo())
+            .threads(1)
+            .observer(&obs)
+            .run(&mut st);
+        assert!(changed > 0, "workload must exercise the repair path");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("preprocess_pool_workers_total", None), None);
+        assert_eq!(snap.counter("preprocess_tiles_total", None), Some(4));
+
+        // A single-tile stack clamps any thread request to one worker and
+        // must fall through the same way.
+        let obs_clamped = Obs::new();
+        let mut small = noisy_stack(8, 8, 16);
+        Preprocessor::new(algo())
+            .threads(4)
+            .observer(&obs_clamped)
+            .run(&mut small);
+        let snap = obs_clamped.snapshot();
+        assert_eq!(snap.counter("preprocess_pool_workers_total", None), None);
+
+        // A genuinely parallel run does record its workers.
+        let obs_pool = Obs::new();
+        let mut st2 = noisy_stack(64, 48, 16);
+        Preprocessor::new(algo())
+            .threads(2)
+            .observer(&obs_pool)
+            .run(&mut st2);
+        let snap = obs_pool.snapshot();
+        assert_eq!(snap.counter("preprocess_pool_workers_total", None), Some(2));
     }
 
     #[test]

@@ -44,10 +44,12 @@ use preflight_obs::Obs;
 
 /// Selects the voter-correction kernel of [`crate::AlgoNgst`].
 ///
-/// Both kernels produce bit-identical output; they differ only in how the
+/// All kernels produce bit-identical output; they differ only in how the
 /// work is scheduled. The sweep kernel is the default everywhere
 /// ([`crate::Preprocessor`] included); the scalar gather remains as the
-/// reference implementation and identity-check oracle.
+/// reference implementation and identity-check oracle, and the bit-sliced
+/// kernel ([`crate::bitslice`]) trades transpose overhead for voting on 64
+/// pixels per ALU op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Kernel {
     /// The per-pixel reference gather ([`VoterMatrix::correction`]).
@@ -57,6 +59,11 @@ pub enum Kernel {
     /// plane combination is a chunked bit-parallel fold.
     #[default]
     Sweep,
+    /// The bit-sliced kernel: the series is transposed into per-bit-plane
+    /// `u64` words (64 pixels per word) and cut-off estimation, pruning,
+    /// accumulator combine and window repair all run in bit-plane space,
+    /// with a runtime-dispatched SIMD tier (see [`crate::bitslice`]).
+    Bitsliced,
 }
 
 impl core::fmt::Display for Kernel {
@@ -64,6 +71,7 @@ impl core::fmt::Display for Kernel {
         f.write_str(match self {
             Kernel::Scalar => "scalar",
             Kernel::Sweep => "sweep",
+            Kernel::Bitsliced => "bitsliced",
         })
     }
 }
@@ -75,8 +83,9 @@ impl core::str::FromStr for Kernel {
         match s {
             "scalar" => Ok(Kernel::Scalar),
             "sweep" => Ok(Kernel::Sweep),
+            "bitsliced" => Ok(Kernel::Bitsliced),
             other => Err(format!(
-                "unknown kernel '{other}' (expected 'scalar' or 'sweep')"
+                "unknown kernel '{other}' (expected 'scalar', 'sweep' or 'bitsliced')"
             )),
         }
     }
@@ -87,7 +96,7 @@ impl core::str::FromStr for Kernel {
 /// the same dual rule as [`VoterMatrix::correction`], here branch-free so
 /// the steady-state plane fill vectorizes.
 #[inline]
-fn prune<T: BitPixel>(a: T, b: T, cutoff: u64) -> T {
+pub(crate) fn prune<T: BitPixel>(a: T, b: T, cutoff: u64) -> T {
     let diff = a.xor(b).to_u64();
     let arith = a.to_u64().abs_diff(b.to_u64());
     let keep = u64::from(diff > cutoff) & u64::from(arith > cutoff);
@@ -218,7 +227,7 @@ mod tests {
 
     #[test]
     fn kernel_round_trips_through_strings() {
-        for k in [Kernel::Scalar, Kernel::Sweep] {
+        for k in [Kernel::Scalar, Kernel::Sweep, Kernel::Bitsliced] {
             assert_eq!(k.to_string().parse::<Kernel>().unwrap(), k);
         }
         assert!("vector".parse::<Kernel>().is_err());

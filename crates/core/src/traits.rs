@@ -5,6 +5,26 @@ use crate::sweep::Kernel;
 use crate::voter::VoterScratch;
 use preflight_obs::Obs;
 
+/// Memory layout of the batch buffer handed to
+/// [`SeriesPreprocessor::preprocess_batch_exec`].
+///
+/// Drivers ask the algorithm which layout it wants for a given kernel via
+/// [`SeriesPreprocessor::batch_layout`] and gather the tile accordingly, so
+/// the algorithm never has to transpose what the driver already laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchLayout {
+    /// `buf[k*frames..(k+1)*frames]` is series `k` — the layout
+    /// [`crate::ImageStack::gather_tile_series`] produces. Natural for
+    /// per-series kernels (each series is a contiguous slice).
+    SeriesMajor,
+    /// `buf[f*count..(f+1)*count]` holds sample `f` of every series — the
+    /// layout [`crate::ImageStack::gather_tile_time_major`] produces.
+    /// Natural for the bit-sliced group kernel (it packs 64 *series* per
+    /// machine word at each time step) and cheaper to gather: both sides
+    /// of the copy are contiguous rows.
+    TimeMajor,
+}
+
 /// A preprocessing algorithm operating on the temporal series of one
 /// coordinate (the NGST shape: `N` readouts of the same pixel).
 ///
@@ -50,6 +70,42 @@ pub trait SeriesPreprocessor<T> {
         let _ = (kernel, obs);
         self.preprocess_with(series, scratch)
     }
+
+    /// The batch-buffer layout this algorithm wants for `kernel`. Drivers
+    /// must gather tiles in this layout before calling
+    /// [`preprocess_batch_exec`](Self::preprocess_batch_exec) and scatter
+    /// them back the same way. The default ([`BatchLayout::SeriesMajor`])
+    /// matches the default per-series batch loop.
+    fn batch_layout(&self, kernel: Kernel) -> BatchLayout {
+        let _ = kernel;
+        BatchLayout::SeriesMajor
+    }
+
+    /// Repairs a batch of equal-length series stored contiguously in the
+    /// layout [`batch_layout`](Self::batch_layout) reports for `kernel`,
+    /// returning the total number of modified samples.
+    ///
+    /// Results must be bit-identical to calling
+    /// [`preprocess_exec`](Self::preprocess_exec) on each series in turn —
+    /// the batch entry exists so algorithms with cross-series instruction
+    /// parallelism (the bit-sliced kernel votes on 64 series per word op)
+    /// can exploit it; the default implementation is exactly that loop
+    /// over a series-major buffer.
+    fn preprocess_batch_exec(
+        &self,
+        buf: &mut [T],
+        frames: usize,
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> usize {
+        if frames == 0 {
+            return 0;
+        }
+        buf.chunks_exact_mut(frames)
+            .map(|series| self.preprocess_exec(series, scratch, kernel, obs))
+            .sum()
+    }
 }
 
 /// A preprocessing algorithm operating on a single 2-D plane (the OTIS
@@ -80,6 +136,19 @@ impl<T, P: SeriesPreprocessor<T> + ?Sized> SeriesPreprocessor<T> for &P {
         obs: &Obs,
     ) -> usize {
         (**self).preprocess_exec(series, scratch, kernel, obs)
+    }
+    fn batch_layout(&self, kernel: Kernel) -> BatchLayout {
+        (**self).batch_layout(kernel)
+    }
+    fn preprocess_batch_exec(
+        &self,
+        buf: &mut [T],
+        frames: usize,
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> usize {
+        (**self).preprocess_batch_exec(buf, frames, scratch, kernel, obs)
     }
 }
 

@@ -66,14 +66,32 @@ pub struct VoterScratch<T> {
     pub(crate) acc_all: Vec<T>,
     /// Sweep combine accumulator: bits clear in exactly one plane so far.
     pub(crate) acc_one: Vec<T>,
+    /// Bit-sliced kernel: transposed series planes, word-major (`⌈n/64⌉`
+    /// blocks of `Λ` plane words each).
+    pub(crate) bit_planes: Vec<u64>,
+    /// Bit-sliced kernel: plane-space `all` combine accumulator.
+    pub(crate) acc_all_bits: Vec<u64>,
+    /// Bit-sliced kernel: plane-space `one` combine accumulator.
+    pub(crate) acc_one_bits: Vec<u64>,
+    /// Batched bit-sliced kernel: |a−b| planes, reused for the correction
+    /// planes once the pruning test has consumed them.
+    pub(crate) group_corr: Vec<u64>,
+    /// Batched bit-sliced kernel: per-time-step carry/accumulator lanes
+    /// (borrow, complement carry, the three threshold ORs and the
+    /// nonzero-correction mask).
+    pub(crate) group_chain: Vec<u64>,
     /// Voter matrices built through this scratch since the last reset.
-    voter_builds: u64,
+    pub(crate) voter_builds: u64,
     /// Bit-window derivations performed since the last reset.
-    window_derivations: u64,
+    pub(crate) window_derivations: u64,
     /// Sweep-kernel plane passes performed since the last reset.
     pub(crate) sweep_plane_passes: u64,
     /// Sweep-kernel plane combines performed since the last reset.
     pub(crate) sweep_combines: u64,
+    /// Bit-sliced-kernel series transposes performed since the last reset.
+    pub(crate) bitslice_transposes: u64,
+    /// Bit-sliced-kernel plane combines performed since the last reset.
+    pub(crate) bitslice_combines: u64,
 }
 
 impl<T> VoterScratch<T> {
@@ -86,10 +104,17 @@ impl<T> VoterScratch<T> {
             planes: Vec::new(),
             acc_all: Vec::new(),
             acc_one: Vec::new(),
+            bit_planes: Vec::new(),
+            acc_all_bits: Vec::new(),
+            acc_one_bits: Vec::new(),
+            group_corr: Vec::new(),
+            group_chain: Vec::new(),
             voter_builds: 0,
             window_derivations: 0,
             sweep_plane_passes: 0,
             sweep_combines: 0,
+            bitslice_transposes: 0,
+            bitslice_combines: 0,
         }
     }
 
@@ -99,13 +124,9 @@ impl<T> VoterScratch<T> {
         VoterScratch {
             diffs: Vec::with_capacity(series_len),
             corrections: Vec::with_capacity(series_len),
-            planes: Vec::new(),
             acc_all: Vec::with_capacity(series_len),
             acc_one: Vec::with_capacity(series_len),
-            voter_builds: 0,
-            window_derivations: 0,
-            sweep_plane_passes: 0,
-            sweep_combines: 0,
+            ..VoterScratch::new()
         }
     }
 
@@ -133,13 +154,53 @@ impl<T> VoterScratch<T> {
         self.sweep_combines
     }
 
+    /// Bit-sliced-kernel series transposes (one per series per round)
+    /// performed since the last reset.
+    pub fn bitslice_transposes(&self) -> u64 {
+        self.bitslice_transposes
+    }
+
+    /// Bit-sliced-kernel plane combines performed since the last reset.
+    pub fn bitslice_combines(&self) -> u64 {
+        self.bitslice_combines
+    }
+
     /// Zeroes all tallies (typically after flushing them to a registry).
     pub fn reset_tallies(&mut self) {
         self.voter_builds = 0;
         self.window_derivations = 0;
         self.sweep_plane_passes = 0;
         self.sweep_combines = 0;
+        self.bitslice_transposes = 0;
+        self.bitslice_combines = 0;
     }
+}
+
+/// Derives the dynamic bit windows from the per-way cut-offs: the minimum
+/// cut-off delimits window C, the maximum — shifted up by the
+/// carry-propagation `msb_margin`, saturating at the word's top bit —
+/// delimits window A. Shared by [`VoterMatrix::build_with_scratch`] and the
+/// bit-sliced kernel so every kernel derives identical windows.
+pub(crate) fn derive_windows<T: BitPixel>(cutoffs: &[T], msb_margin: u32) -> BitWindows<T> {
+    let min_vval = cutoffs
+        .iter()
+        .copied()
+        .min()
+        .unwrap_or_else(|| T::from_u64(1));
+    let max_vval = cutoffs
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or_else(|| T::from_u64(1));
+    let top = 1u64 << (T::BITS - 1);
+    let margin = msb_margin.min(T::BITS - 1);
+    let max_v = max_vval.to_u64();
+    let shifted = if max_v >= top >> margin {
+        top
+    } else {
+        max_v << margin
+    };
+    BitWindows::from_cutoffs(min_vval, T::from_u64(shifted))
 }
 
 /// The pruned voter matrix of one temporal series: per-way cut-off values
@@ -219,27 +280,7 @@ impl<T: BitPixel> VoterMatrix<T> {
             let (_, kth, _) = diffs.select_nth_unstable(rank - 1);
             cutoffs[d - 1] = T::from_u64(*kth).ceil_pow2();
         }
-        let min_vval = cutoffs[..half]
-            .iter()
-            .copied()
-            .min()
-            .unwrap_or_else(|| T::from_u64(1));
-        let max_vval = cutoffs[..half]
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or_else(|| T::from_u64(1));
-        // Carry-propagation headroom: window A starts `msb_margin` bits
-        // above the largest cut-off, saturating at the word's top bit.
-        let top = 1u64 << (T::BITS - 1);
-        let margin = msb_margin.min(T::BITS - 1);
-        let max_v = max_vval.to_u64();
-        let shifted = if max_v >= top >> margin {
-            top
-        } else {
-            max_v << margin
-        };
-        let windows = BitWindows::from_cutoffs(min_vval, T::from_u64(shifted));
+        let windows = derive_windows(&cutoffs[..half], msb_margin);
         scratch.voter_builds += 1;
         scratch.window_derivations += 1;
         Ok(VoterMatrix {

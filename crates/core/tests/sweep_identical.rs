@@ -1,15 +1,21 @@
-//! Property: the plane-sweep voter kernel ([`Kernel::Sweep`]) is
-//! bit-identical to the per-pixel scalar gather ([`Kernel::Scalar`]) for
-//! every Υ, Λ, dtype and series length — including the boundary-reflection
-//! regime where the series is barely longer than the voter neighborhood.
+//! Property: the plane-sweep voter kernel ([`Kernel::Sweep`]) and the
+//! bit-sliced kernel ([`Kernel::Bitsliced`]) are bit-identical to the
+//! per-pixel scalar gather ([`Kernel::Scalar`]) for every Υ, Λ, dtype and
+//! series length — including the boundary-reflection regime where the
+//! series is barely longer than the voter neighborhood, and lengths that
+//! straddle the bit-sliced kernel's 64-pixel block boundary.
 //!
 //! Identity is checked at two levels: the raw per-series kernel entry
 //! (`AlgoNgst::try_preprocess_kernel`, single- and multi-pass, GRT on/off)
 //! and the whole-stack [`Preprocessor`] drivers with the `kernel` knob.
+//! The deterministic grid additionally runs once per supported SIMD
+//! dispatch tier, so the portable fallback and the AVX2/NEON
+//! re-instantiations are all proven against the oracle.
 
+use preflight_core::bitslice::{transpose_block, untranspose_block};
 use preflight_core::{
-    AlgoNgst, BitPixel, ImageStack, Kernel, NgstConfig, Preprocessor, Sensitivity, Upsilon,
-    VoterScratch,
+    detected_tiers, AlgoNgst, BitPixel, DispatchTier, ImageStack, Kernel, NgstConfig, Preprocessor,
+    Sensitivity, Upsilon, VoterScratch,
 };
 use proptest::prelude::*;
 
@@ -33,35 +39,51 @@ fn make_series<T: BitPixel>(len: usize, seed: u64, flip_pct: u64, base: u64) -> 
         .collect()
 }
 
-/// Runs both kernels over clones of `series` and asserts bit-identity of
-/// the repaired data and the changed-sample count.
+/// Runs every kernel over clones of `series` and asserts bit-identity of
+/// the repaired data and the changed-sample count against the scalar
+/// oracle.
 fn assert_kernels_agree<T: BitPixel>(series: &[T], algo: &AlgoNgst, label: &str) {
     let mut scalar = series.to_vec();
-    let mut sweep = series.to_vec();
     let mut scratch = VoterScratch::new();
-    let a = algo.try_preprocess_kernel(&mut scalar, &mut scratch, Kernel::Scalar);
-    let b = algo.try_preprocess_kernel(&mut sweep, &mut scratch, Kernel::Sweep);
-    match (a, b) {
-        (Ok(ca), Ok(cb)) => {
-            assert_eq!(ca, cb, "changed counts diverge: {label}");
-            assert_eq!(scalar, sweep, "outputs diverge: {label}");
+    let want = algo.try_preprocess_kernel(&mut scalar, &mut scratch, Kernel::Scalar);
+    for kernel in [Kernel::Sweep, Kernel::Bitsliced] {
+        let mut out = series.to_vec();
+        let got = algo.try_preprocess_kernel(&mut out, &mut scratch, kernel);
+        match (&want, &got) {
+            (Ok(ca), Ok(cb)) => {
+                assert_eq!(ca, cb, "changed counts diverge: {kernel} {label}");
+                assert_eq!(scalar, out, "outputs diverge: {kernel} {label}");
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "errors diverge: {kernel} {label}"),
+            (a, b) => {
+                panic!("one kernel failed, the other did not ({kernel} {label}): {a:?} vs {b:?}")
+            }
         }
-        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "errors diverge: {label}"),
-        (a, b) => panic!("one kernel failed, the other did not ({label}): {a:?} vs {b:?}"),
     }
 }
 
 /// Deterministic grid over the regimes the issue calls out: every Υ,
 /// Λ ∈ {0, 25, 50, 75, 100}, u16 and u32, short/boundary-reflection
-/// lengths (including `n = upsilon.min_series_len()`), single- and
-/// multi-pass, GRT on and off.
-#[test]
-fn exhaustive_grid_over_upsilon_lambda_dtype_length() {
+/// lengths (including `n = upsilon.min_series_len()`) plus lengths that
+/// are not multiples of 64 and straddle the bit-plane block boundary,
+/// single- and multi-pass, GRT on and off.
+fn run_exhaustive_grid() {
     for upsilon in [2usize, 4, 8, 16] {
         let upsilon = Upsilon::new(upsilon).unwrap();
         let min_len = upsilon.min_series_len();
         for lambda in [0u32, 25, 50, 75, 100] {
-            for len in [min_len, min_len + 1, 2 * min_len, 17, 64] {
+            for len in [
+                min_len,
+                min_len + 1,
+                2 * min_len,
+                17,
+                63,
+                64,
+                65,
+                100,
+                128,
+                130,
+            ] {
                 for passes in [1usize, 3] {
                     for use_grt in [true, false] {
                         let cfg = NgstConfig {
@@ -87,14 +109,49 @@ fn exhaustive_grid_over_upsilon_lambda_dtype_length() {
     }
 }
 
+#[test]
+fn exhaustive_grid_over_upsilon_lambda_dtype_length() {
+    run_exhaustive_grid();
+}
+
+/// The same grid once per SIMD dispatch tier this machine supports, so the
+/// portable fallback and the feature-specialized builds are all proven
+/// bit-identical to the scalar oracle. Serialized against itself via the
+/// tier override being process-global; other tests in this binary are
+/// tier-independent (all tiers produce identical bits), so concurrency
+/// with them is harmless.
+#[test]
+fn exhaustive_grid_on_every_dispatch_tier() {
+    for tier in detected_tiers() {
+        assert!(
+            preflight_core::bitslice::force_dispatch_tier(Some(tier)),
+            "detected tier {tier} must be forceable"
+        );
+        run_exhaustive_grid();
+    }
+    preflight_core::bitslice::force_dispatch_tier(None);
+}
+
+/// `force_dispatch_tier` must refuse tiers the machine cannot run, so the
+/// test override can never dispatch onto unsupported instructions.
+#[test]
+fn unsupported_tier_override_is_refused() {
+    let unsupported = [DispatchTier::Avx2, DispatchTier::Neon]
+        .into_iter()
+        .find(|t| !detected_tiers().contains(t));
+    if let Some(tier) = unsupported {
+        assert!(!preflight_core::bitslice::force_dispatch_tier(Some(tier)));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Random series, random Υ/Λ: the sweep kernel never diverges from the
-    /// scalar gather on u16 data.
+    /// Random series, random Υ/Λ: neither bit-parallel kernel ever
+    /// diverges from the scalar gather on u16 data.
     #[test]
-    fn sweep_matches_scalar_on_random_u16_series(
-        len in 2usize..80,
+    fn kernels_match_scalar_on_random_u16_series(
+        len in 2usize..200,
         seed in any::<u64>(),
         flip_pct in 0u64..25,
         upsilon in prop::sample::select(vec![2usize, 4, 8, 16]),
@@ -113,8 +170,8 @@ proptest! {
 
     /// Same property on u32 data with heavier corruption.
     #[test]
-    fn sweep_matches_scalar_on_random_u32_series(
-        len in 2usize..80,
+    fn kernels_match_scalar_on_random_u32_series(
+        len in 2usize..200,
         seed in any::<u64>(),
         flip_pct in 0u64..25,
         upsilon in prop::sample::select(vec![2usize, 4, 8, 16]),
@@ -126,6 +183,40 @@ proptest! {
         );
         let series: Vec<u32> = make_series(len, seed, flip_pct, 5_000_000);
         assert_kernels_agree(&series, &algo, "proptest u32");
+    }
+
+    /// Bit-plane transpose ∘ untranspose is the identity for random tiles
+    /// of every supported pixel width and block length.
+    #[test]
+    fn transpose_untranspose_is_identity(
+        len in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        let mut planes = [0u64; 64];
+
+        let tile: Vec<u16> = make_series(len, seed, 50, 11_000);
+        transpose_block(&tile, &mut planes);
+        let mut back = vec![0u16; len];
+        untranspose_block(&mut planes, &mut back);
+        prop_assert_eq!(&back, &tile);
+
+        let tile: Vec<u32> = make_series(len, seed ^ 0x5A5A, 50, 3_000_000);
+        transpose_block(&tile, &mut planes);
+        let mut back = vec![0u32; len];
+        untranspose_block(&mut planes, &mut back);
+        prop_assert_eq!(&back, &tile);
+
+        let tile: Vec<u8> = make_series(len, seed ^ 0xF0F0, 50, 100);
+        transpose_block(&tile, &mut planes);
+        let mut back = vec![0u8; len];
+        untranspose_block(&mut planes, &mut back);
+        prop_assert_eq!(&back, &tile);
+
+        let tile: Vec<u64> = make_series(len, seed ^ 0x0FF0, 50, 1 << 40);
+        transpose_block(&tile, &mut planes);
+        let mut back = vec![0u64; len];
+        untranspose_block(&mut planes, &mut back);
+        prop_assert_eq!(&back, &tile);
     }
 
     /// Whole-stack identity through the `Preprocessor` kernel knob, across
@@ -154,12 +245,14 @@ proptest! {
             .kernel(Kernel::Scalar)
             .threads(threads)
             .run(&mut scalar);
-        let mut sweep = st.clone();
-        let got = Preprocessor::new(&algo)
-            .kernel(Kernel::Sweep)
-            .threads(threads)
-            .run(&mut sweep);
-        prop_assert_eq!(got, want, "changed-sample counts diverge");
-        prop_assert_eq!(scalar, sweep, "outputs diverge");
+        for kernel in [Kernel::Sweep, Kernel::Bitsliced] {
+            let mut out = st.clone();
+            let got = Preprocessor::new(&algo)
+                .kernel(kernel)
+                .threads(threads)
+                .run(&mut out);
+            prop_assert_eq!(got, want, "changed-sample counts diverge ({})", kernel);
+            prop_assert_eq!(&out, &scalar, "outputs diverge ({})", kernel);
+        }
     }
 }

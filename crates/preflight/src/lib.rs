@@ -70,9 +70,10 @@ pub use preflight_supervisor as supervisor;
 /// [`Preprocessor`]: preflight_core::Preprocessor
 pub mod prelude {
     pub use preflight_core::{
-        available_threads, AlgoNgst, AlgoOtis, BitVoter, Cube, Image, ImageStack, Kernel,
-        MeanSmoother, MedianSmoother, NgstConfig, OtisConfig, PhysicalBounds, PlanePreprocessor,
-        Preprocessor, Sensitivity, SeriesPreprocessor, Upsilon,
+        available_threads, detected_tiers, dispatch_tier, AlgoNgst, AlgoOtis, BitVoter, Cube,
+        DispatchTier, Image, ImageStack, Kernel, MeanSmoother, MedianSmoother, NgstConfig,
+        OtisConfig, PhysicalBounds, PlanePreprocessor, Preprocessor, Sensitivity,
+        SeriesPreprocessor, Upsilon,
     };
     pub use preflight_datagen::{
         emissivity_scene, ngst::sky_image, planck::DEFAULT_BANDS, radiance_cube, temperature_scene,

@@ -3,7 +3,7 @@
 //! ```text
 //! preflightd [--tcp ADDR] [--unix PATH] [--metrics-addr ADDR] [--capacity N]
 //!            [--max-conns N] [--batch-frames N] [--batch-delay-ms N]
-//!            [--threads N] [--workers N] [--kernel sweep|scalar]
+//!            [--threads N] [--workers N] [--kernel sweep|scalar|bitsliced]
 //! ```
 //!
 //! At least one of `--tcp`/`--unix` is required. The daemon serves until a
@@ -26,7 +26,7 @@ fn print_usage() {
     eprintln!("  --batch-delay-ms N   batch flush deadline in ms (default 5)");
     eprintln!("  --threads N          engine threads per batch (default: cores)");
     eprintln!("  --workers N          concurrent engine workers (default 2)");
-    eprintln!("  --kernel NAME        voter kernel, 'sweep' (default) or 'scalar'");
+    eprintln!("  --kernel NAME        voter kernel: 'sweep' (default), 'scalar' or 'bitsliced'");
 }
 
 struct Args {

@@ -36,8 +36,9 @@ use std::time::Instant;
 pub struct EngineConfig {
     /// Worker threads handed to the [`Preprocessor`] per batch.
     pub threads: usize,
-    /// Voter kernel handed to the [`Preprocessor`] (bit-identical either
-    /// way; the sweep kernel is the throughput default).
+    /// Voter kernel handed to the [`Preprocessor`] (all three are
+    /// bit-identical; the sweep kernel is the default, the bit-sliced
+    /// kernel the SIMD-dispatched throughput option).
     pub kernel: Kernel,
     /// Retry/timeout/degradation policy applied to each batch.
     pub supervision: Supervision,
