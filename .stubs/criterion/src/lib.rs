@@ -1,0 +1,1 @@
+// Dev-dependency placeholder: never compiled for lib/bin checks.

@@ -1,0 +1,154 @@
+//! Minimal functional subset of `crossbeam::channel` over `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        len: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+                len: Arc::clone(&self.len),
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        rx: Arc<Mutex<mpsc::Receiver<T>>>,
+        len: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                rx: Arc::clone(&self.rx),
+                len: Arc::clone(&self.len),
+            }
+        }
+    }
+
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crossbeam-channel: Debug for all T (payload elided).
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        let len = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx,
+                len: Arc::clone(&len),
+            },
+            Receiver {
+                rx: Arc::new(Mutex::new(rx)),
+                len,
+            },
+        )
+    }
+
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.tx.send(value) {
+                Ok(()) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(mpsc::SendError(v)) => Err(SendError(v)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let guard = self.rx.lock().unwrap();
+            match guard.try_recv() {
+                Ok(v) => {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    Ok(v)
+                }
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            loop {
+                match self.try_recv() {
+                    Ok(v) => return Ok(v),
+                    Err(TryRecvError::Disconnected) => return Err(RecvError),
+                    Err(TryRecvError::Empty) => std::thread::sleep(Duration::from_micros(200)),
+                }
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            loop {
+                match self.try_recv() {
+                    Ok(v) => return Ok(v),
+                    Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                    Err(TryRecvError::Empty) => {
+                        if Instant::now() >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::Relaxed)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}

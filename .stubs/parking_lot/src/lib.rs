@@ -1,0 +1,1 @@
+pub use std::sync::{Mutex, RwLock};

@@ -1,0 +1,3 @@
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait SerializeTrait {}

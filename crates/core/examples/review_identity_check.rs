@@ -1,0 +1,131 @@
+//! Temporary review harness: scalar vs sweep vs bitsliced identity over a
+//! deterministic grid, per-series and through both Preprocessor drivers.
+
+use preflight_core::{
+    detected_tiers, AlgoNgst, BitPixel, ImageStack, Kernel, NgstConfig, Preprocessor, Sensitivity,
+    Upsilon, VoterScratch,
+};
+
+fn make_series<T: BitPixel>(len: usize, seed: u64, flip_pct: u64, base: u64) -> Vec<T> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let noise = state >> 59;
+            let mut v = base + noise;
+            if state % 100 < flip_pct {
+                let bit = (state >> 32) % (T::BITS as u64);
+                v ^= 1 << bit;
+            }
+            T::from_u64(v & ((1u64 << (T::BITS - 1)) | ((1u64 << (T::BITS - 1)) - 1)))
+        })
+        .collect()
+}
+
+fn check<T: BitPixel>(series: &[T], algo: &AlgoNgst, label: &str) {
+    let mut scalar = series.to_vec();
+    let mut scratch = VoterScratch::new();
+    let want = algo.try_preprocess_kernel(&mut scalar, &mut scratch, Kernel::Scalar);
+    for kernel in [Kernel::Sweep, Kernel::Bitsliced] {
+        let mut out = series.to_vec();
+        let got = algo.try_preprocess_kernel(&mut out, &mut scratch, kernel);
+        match (&want, &got) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "changed counts diverge: {kernel} {label}");
+                assert_eq!(scalar, out, "outputs diverge: {kernel} {label}");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "errors diverge: {kernel} {label}"),
+            (a, b) => panic!("one kernel failed ({kernel} {label}): {a:?} vs {b:?}"),
+        }
+    }
+}
+
+fn grid() {
+    for upsilon in [2usize, 4, 8, 16] {
+        let upsilon = Upsilon::new(upsilon).unwrap();
+        let min_len = upsilon.min_series_len();
+        for lambda in [0u32, 25, 50, 75, 100] {
+            for len in [min_len, min_len + 1, 2 * min_len, 17, 63, 64, 65, 100, 128, 130] {
+                for passes in [1usize, 3] {
+                    for use_grt in [true, false] {
+                        let cfg = NgstConfig {
+                            passes,
+                            use_grt,
+                            ..NgstConfig::default()
+                        };
+                        let algo = AlgoNgst::with_config(
+                            upsilon,
+                            Sensitivity::new(lambda).unwrap(),
+                            cfg,
+                        );
+                        for seed in [3u64, 77, 991] {
+                            let label = format!(
+                                "u={upsilon:?} l={lambda} n={len} p={passes} grt={use_grt} s={seed}"
+                            );
+                            let s16: Vec<u16> = make_series(len, seed, 18, 21_000);
+                            check(&s16, &algo, &label);
+                            let s32: Vec<u32> = make_series(len, seed ^ 0xABCD, 18, 4_000_000);
+                            check(&s32, &algo, &label);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn stack_check() {
+    // Whole-stack identity through both drivers (tiled single-thread and
+    // pooled), exercising the time-major batched group kernel with lane
+    // counts that are not multiples of 64.
+    for (w, h, frames) in [(13usize, 9usize, 24usize), (64, 48, 17), (130, 3, 40)] {
+        let algo = AlgoNgst::new(Upsilon::new(4).unwrap(), Sensitivity::new(80).unwrap());
+        let base: Vec<u16> = make_series(w * h * frames, 42, 12, 30_000);
+        let mk = || {
+            let mut st = ImageStack::new(w, h, frames, 0u16);
+            for f in 0..frames {
+                let fr = st.frame_mut(f);
+                for (i, px) in fr.iter_mut().enumerate() {
+                    *px = base[f * w * h + i];
+                }
+            }
+            st
+        };
+        let mut scalar = mk();
+        let want = Preprocessor::new(&algo)
+            .kernel(Kernel::Scalar)
+            .threads(1)
+            .run(&mut scalar);
+        for kernel in [Kernel::Sweep, Kernel::Bitsliced] {
+            for threads in [1usize, 3] {
+                let mut out = mk();
+                let got = Preprocessor::new(&algo)
+                    .kernel(kernel)
+                    .threads(threads)
+                    .run(&mut out);
+                assert_eq!(got, want, "counts diverge {kernel} t={threads} {w}x{h}x{frames}");
+                for f in 0..frames {
+                    assert_eq!(
+                        out.frame(f),
+                        scalar.frame(f),
+                        "frame {f} diverges {kernel} t={threads} {w}x{h}x{frames}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    for tier in detected_tiers() {
+        assert!(preflight_core::bitslice::force_dispatch_tier(Some(tier)));
+        println!("tier {tier}: grid...");
+        grid();
+        println!("tier {tier}: stacks...");
+        stack_check();
+    }
+    preflight_core::bitslice::force_dispatch_tier(None);
+    println!("ALL IDENTITY CHECKS PASSED");
+}
