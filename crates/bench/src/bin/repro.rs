@@ -9,7 +9,7 @@
 //!   compression factors mean-vs-median scaling recovery
 //!   interleave spatial-vs-spectral
 //!   ablation-windows ablation-static
-//!   perf serve route
+//!   perf serve route sweep
 //!   all
 //!
 //! `perf`, `serve` and `route` are the odd ones out: instead of an
@@ -85,6 +85,10 @@ fn main() {
     }
     if target == "route" {
         run_route(quick);
+        return;
+    }
+    if target == "sweep" {
+        run_sweep_target(quick);
         return;
     }
     let figures = run_target(&target, scale);
@@ -175,6 +179,27 @@ fn run_route(quick: bool) {
     eprintln!("router loadgen written to {path}");
 }
 
+/// `sweep`: grid (Λ, Υ, windows) × fault rates on a drifting scene and
+/// validate the online tuner against the offline optimum.
+fn run_sweep_target(quick: bool) {
+    use preflight_bench::sweep::run_sweep;
+    let report = run_sweep(quick);
+    print!("{}", report.to_table());
+    let path = "BENCH_sweep.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("parameter sweep written to {path}");
+    if !report.errors.is_empty() {
+        eprintln!(
+            "{} cell(s) deteriorated; see the error log in the JSON",
+            report.errors.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn run_target(target: &str, scale: Scale) -> Vec<Figure> {
     match target {
         "fig2" => vec![preflight_bench::fig2(scale)],
@@ -237,6 +262,6 @@ fn print_usage() {
         "usage: repro <target> [--paper|--quick] [--csv DIR] [--svg DIR]\n\
          targets: fig2 fig3 fig4 fig5 fig6 fig7 fig9 compression factors scaling recovery\n\x20        motivation mean-vs-median interleave\n\
          \x20        spatial-vs-spectral ablation-windows ablation-static ablation-passes\n\
-         \x20        perf serve route all"
+         \x20        perf serve route sweep all"
     );
 }

@@ -23,6 +23,7 @@ pub mod report;
 pub mod router;
 pub mod serve;
 pub mod svg;
+pub mod sweep;
 
 pub use motivation::motivation;
 pub use ngst_exp::{

@@ -199,7 +199,7 @@ pub fn kernel_label(kernel: Kernel) -> &'static str {
 
 /// The dispatch-tier cell for a row: the resolved SIMD tier for the
 /// bit-sliced kernel, `-` for the value-domain kernels.
-fn row_tier(kernel: Kernel) -> &'static str {
+pub fn tier_label(kernel: Kernel) -> &'static str {
     match kernel {
         Kernel::Bitsliced => dispatch_tier().name(),
         _ => "-",
@@ -247,7 +247,7 @@ fn run_pixel_width<T: BitPixel>(
     rows.push(PerfRow {
         driver: "naive",
         kernel: kernel_label(Kernel::Scalar),
-        dispatch_tier: row_tier(Kernel::Scalar),
+        dispatch_tier: tier_label(Kernel::Scalar),
         pixel_bits,
         passes: 1,
         threads: 1,
@@ -269,7 +269,7 @@ fn run_pixel_width<T: BitPixel>(
             rows.push(PerfRow {
                 driver: "naive",
                 kernel: label,
-                dispatch_tier: row_tier(kernel),
+                dispatch_tier: tier_label(kernel),
                 pixel_bits,
                 passes: 1,
                 threads: 1,
@@ -289,7 +289,7 @@ fn run_pixel_width<T: BitPixel>(
         rows.push(PerfRow {
             driver: "tiled",
             kernel: label,
-            dispatch_tier: row_tier(kernel),
+            dispatch_tier: tier_label(kernel),
             pixel_bits,
             passes: 1,
             threads: 1,
@@ -309,7 +309,7 @@ fn run_pixel_width<T: BitPixel>(
             rows.push(PerfRow {
                 driver: "parallel",
                 kernel: label,
-                dispatch_tier: row_tier(kernel),
+                dispatch_tier: tier_label(kernel),
                 pixel_bits,
                 passes: 1,
                 threads,
@@ -333,7 +333,7 @@ fn run_pixel_width<T: BitPixel>(
         rows.push(PerfRow {
             driver: "tiled",
             kernel: kernel_label(Kernel::Scalar),
-            dispatch_tier: row_tier(Kernel::Scalar),
+            dispatch_tier: tier_label(Kernel::Scalar),
             pixel_bits,
             passes: config.multipass,
             threads: 1,
@@ -354,7 +354,7 @@ fn run_pixel_width<T: BitPixel>(
             rows.push(PerfRow {
                 driver: "tiled",
                 kernel: label,
-                dispatch_tier: row_tier(kernel),
+                dispatch_tier: tier_label(kernel),
                 pixel_bits,
                 passes: config.multipass,
                 threads: 1,

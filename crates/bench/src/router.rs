@@ -10,7 +10,7 @@
 //! is directly comparable against `BENCH_serve.json`. The scriptable
 //! output lands in `BENCH_router.json`.
 
-use crate::perf::{sample_u16, synthetic_stack};
+use crate::perf::{kernel_label, sample_u16, synthetic_stack, tier_label};
 use preflight_router::pool::BackendAddr;
 use preflight_router::server::{start as start_router, RouterConfig};
 use preflight_serve::server::{start as start_daemon, ServerConfig};
@@ -108,6 +108,11 @@ pub struct RouteReport {
     pub replicated: u64,
     /// Replica replies that failed the bit-identity cross-check.
     pub divergences: u64,
+    /// Voter kernel the backend engines ran (`scalar`, `sweep` or
+    /// `bitsliced`), matching the `BENCH_preprocess.json` row schema.
+    pub kernel: &'static str,
+    /// Resolved SIMD dispatch tier for bit-sliced engines, `-` otherwise.
+    pub dispatch_tier: &'static str,
 }
 
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
@@ -125,6 +130,7 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
 /// Panics if the fleet cannot start or a client loses its connection —
 /// both are harness failures, not measurements.
 pub fn route_loadgen(config: &RouteConfig) -> RouteReport {
+    let engine_kernel = ServerConfig::default().engine.kernel;
     let backends: Vec<_> = (0..config.backends)
         .map(|_| {
             start_daemon(ServerConfig {
@@ -228,6 +234,8 @@ pub fn route_loadgen(config: &RouteConfig) -> RouteReport {
         failovers,
         replicated,
         divergences,
+        kernel: kernel_label(engine_kernel),
+        dispatch_tier: tier_label(engine_kernel),
     }
 }
 
@@ -254,7 +262,9 @@ impl RouteReport {
         );
         let _ = writeln!(
             out,
-            "{:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>10} {:>11}",
+            "{:>10} {:>9} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>10} {:>11}",
+            "kernel",
+            "tier",
             "wall_s",
             "p50_ms",
             "p99_ms",
@@ -267,7 +277,9 @@ impl RouteReport {
         );
         let _ = writeln!(
             out,
-            "{:>12.4} {:>10.3} {:>10.3} {:>10.3} {:>10.2} {:>8} {:>9} {:>10} {:>11}",
+            "{:>10} {:>9} {:>12.4} {:>10.3} {:>10.3} {:>10.3} {:>10.2} {:>8} {:>9} {:>10} {:>11}",
+            self.kernel,
+            self.dispatch_tier,
             self.wall_secs,
             self.p50_ms,
             self.p99_ms,
@@ -314,7 +326,9 @@ impl RouteReport {
         let _ = writeln!(out, "  \"routed\": {},", self.routed);
         let _ = writeln!(out, "  \"failovers\": {},", self.failovers);
         let _ = writeln!(out, "  \"replicated\": {},", self.replicated);
-        let _ = writeln!(out, "  \"divergences\": {}", self.divergences);
+        let _ = writeln!(out, "  \"divergences\": {},", self.divergences);
+        let _ = writeln!(out, "  \"kernel\": \"{}\",", self.kernel);
+        let _ = writeln!(out, "  \"dispatch_tier\": \"{}\"", self.dispatch_tier);
         out.push_str("}\n");
         out
     }
@@ -357,6 +371,9 @@ mod tests {
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"benchmark\": \"router_throughput\""));
+        // Kernel provenance matches the BENCH_preprocess.json row schema.
+        assert!(json.contains("\"kernel\": \"sweep\""));
+        assert!(json.contains("\"dispatch_tier\": \"-\""));
         let count = |c| json.matches(c).count();
         assert_eq!(count('{'), count('}'));
     }

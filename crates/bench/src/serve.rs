@@ -7,7 +7,7 @@
 //! the run also measures how the daemon behaves at and beyond capacity.
 //! The scriptable output lands in `BENCH_serve.json`.
 
-use crate::perf::{sample_u16, synthetic_stack};
+use crate::perf::{kernel_label, sample_u16, synthetic_stack, tier_label};
 use preflight_serve::server::{start, ServerConfig};
 use preflight_serve::wire::FramePayload;
 use preflight_serve::{Client, ClientError, SubmitOptions};
@@ -90,6 +90,11 @@ pub struct ServeReport {
     pub batches: u64,
     /// Batches that needed the degradation ladder.
     pub degraded_batches: u64,
+    /// Voter kernel the daemon's engine ran (`scalar`, `sweep` or
+    /// `bitsliced`), matching the `BENCH_preprocess.json` row schema.
+    pub kernel: &'static str,
+    /// Resolved SIMD dispatch tier for bit-sliced engines, `-` otherwise.
+    pub dispatch_tier: &'static str,
 }
 
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
@@ -106,12 +111,13 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
 /// Panics if the daemon cannot start or a client loses its connection —
 /// both are harness failures, not measurements.
 pub fn serve_loadgen(config: &ServeConfig) -> ServeReport {
-    let handle = start(ServerConfig {
+    let server_config = ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         capacity: config.capacity,
         ..ServerConfig::default()
-    })
-    .expect("daemon start");
+    };
+    let engine_kernel = server_config.engine.kernel;
+    let handle = start(server_config).expect("daemon start");
     let addr = handle.tcp_addr().expect("bound address");
 
     let started = Instant::now();
@@ -182,6 +188,8 @@ pub fn serve_loadgen(config: &ServeConfig) -> ServeReport {
         busy_retries,
         batches,
         degraded_batches,
+        kernel: kernel_label(engine_kernel),
+        dispatch_tier: tier_label(engine_kernel),
     }
 }
 
@@ -202,12 +210,23 @@ impl ServeReport {
         );
         let _ = writeln!(
             out,
-            "{:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>9}",
-            "wall_s", "p50_ms", "p99_ms", "mean_ms", "Mpix/s", "busy", "batches", "degraded"
+            "{:>10} {:>9} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>9}",
+            "kernel",
+            "tier",
+            "wall_s",
+            "p50_ms",
+            "p99_ms",
+            "mean_ms",
+            "Mpix/s",
+            "busy",
+            "batches",
+            "degraded"
         );
         let _ = writeln!(
             out,
-            "{:>12.4} {:>10.3} {:>10.3} {:>10.3} {:>10.2} {:>8} {:>9} {:>9}",
+            "{:>10} {:>9} {:>12.4} {:>10.3} {:>10.3} {:>10.3} {:>10.2} {:>8} {:>9} {:>9}",
+            self.kernel,
+            self.dispatch_tier,
             self.wall_secs,
             self.p50_ms,
             self.p99_ms,
@@ -248,7 +267,9 @@ impl ServeReport {
         let _ = writeln!(out, "  \"mpix_per_s\": {:.3},", self.mpix_per_s);
         let _ = writeln!(out, "  \"busy_retries\": {},", self.busy_retries);
         let _ = writeln!(out, "  \"batches\": {},", self.batches);
-        let _ = writeln!(out, "  \"degraded_batches\": {}", self.degraded_batches);
+        let _ = writeln!(out, "  \"degraded_batches\": {},", self.degraded_batches);
+        let _ = writeln!(out, "  \"kernel\": \"{}\",", self.kernel);
+        let _ = writeln!(out, "  \"dispatch_tier\": \"{}\"", self.dispatch_tier);
         out.push_str("}\n");
         out
     }
@@ -276,6 +297,9 @@ mod tests {
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"benchmark\": \"serve_throughput\""));
+        // Kernel provenance matches the BENCH_preprocess.json row schema.
+        assert!(json.contains("\"kernel\": \"sweep\""));
+        assert!(json.contains("\"dispatch_tier\": \"-\""));
         let count = |c| json.matches(c).count();
         assert_eq!(count('{'), count('}'));
     }

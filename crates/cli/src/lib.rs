@@ -87,7 +87,7 @@ pub fn print_usage() {
          \x20 gen        --out FILE [--width N] [--height N] [--frames N] [--sigma S] [--seed S]\n\
          \x20 inject     --in FILE --out FILE --gamma0 P [--correlated] [--seed S]\n\
          \x20 preprocess --in FILE --out FILE [--lambda L] [--upsilon U] [--threads N]\n\
-         \x20            [--kernel sweep|scalar|bitsliced] [--trace-json FILE]\n\
+         \x20            [--kernel sweep|scalar|bitsliced] [--trace-json FILE] [--auto-tune]\n\
          \x20 check      --in FILE\n\
          \x20 protect    --in FILE --out FILE\n\
          \x20 tune       --in FILE --gamma0 P\n\
@@ -100,7 +100,7 @@ pub fn print_usage() {
          \x20            [--chaos P] [--max-retries N] [--stage-timeout-ms MS] [--degrade]\n\
          \x20 serve      [--tcp ADDR] [--unix PATH] [--capacity N] [--max-conns N]\n\
          \x20            [--batch-frames N] [--batch-delay-ms MS] [--threads N] [--workers N]\n\
-         \x20            [--kernel sweep|scalar|bitsliced] [--metrics-addr ADDR]\n\
+         \x20            [--kernel sweep|scalar|bitsliced] [--metrics-addr ADDR] [--auto-tune]\n\
          \x20 route      --backends LIST [--backend SPEC] [--tcp ADDR] [--unix PATH]\n\
          \x20            [--replicate] [--capacity N] [--max-conns N] [--vnodes N]\n\
          \x20            [--heavy-cost N] [--health-ms MS] [--metrics-addr ADDR]\n\
@@ -206,7 +206,10 @@ fn cmd_inject(opts: &Opts) -> Result<String, CliError> {
 /// driven through the unified [`Preprocessor`] API. `--trace-json FILE`
 /// attaches a span subscriber and dumps the stage timeline for offline
 /// analysis; without it, observability stays disabled and the hot path
-/// pays nothing.
+/// pays nothing. `--auto-tune` attaches a [`StreamCalibrator`]: the run is
+/// served with whatever boundaries the calibrator freezes from the file's
+/// own Φ statistics, and the chosen-vs-requested values land in the
+/// report.
 fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
     let input = opts.require("in")?;
     let out = opts.require("out")?;
@@ -240,12 +243,23 @@ fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
     } else {
         (Obs::disabled(), None)
     };
+    let calibrator = if opts.has("auto-tune") {
+        Some(std::sync::Arc::new(StreamCalibrator::new(
+            TuneParams::new(Sensitivity::new(lambda)?, Upsilon::new(upsilon)?),
+            &obs,
+        )))
+    } else {
+        None
+    };
     let start = std::time::Instant::now();
-    let corrected = Preprocessor::new(&algo)
+    let mut driver = Preprocessor::new(&algo)
         .threads(threads)
         .kernel(kernel)
-        .observer(&obs)
-        .run(&mut stack);
+        .observer(&obs);
+    if let Some(cal) = &calibrator {
+        driver = driver.tuner(cal.clone());
+    }
+    let corrected = driver.run(&mut stack);
     let elapsed = start.elapsed();
     write_stack_file(&out, &stack)?;
     let _ = writeln!(
@@ -254,6 +268,27 @@ fn cmd_preprocess(opts: &Opts) -> Result<String, CliError> {
          U={upsilon}): {corrected} samples repaired in {elapsed:?} -> {out}",
         stack.width() * stack.height(),
     );
+    if let Some(cal) = &calibrator {
+        match cal.decision(16) {
+            Some(d) => {
+                let _ = writeln!(
+                    report,
+                    "auto-tune: chosen L={} U={} windows A={}/C={} ({} recalibration(s))",
+                    d.lambda.value(),
+                    d.upsilon.value(),
+                    d.window_a_bits,
+                    d.window_c_bits,
+                    d.recalibrations,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    report,
+                    "auto-tune: still warming up; served with the requested parameters"
+                );
+            }
+        }
+    }
     if let (Some(path), Some(recorder)) = (&trace_path, &recorder) {
         std::fs::write(Path::new(path), recorder.to_json())?;
         let _ = writeln!(
@@ -635,6 +670,7 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     config.engine.kernel = opts.kernel()?;
     config.engine_workers = opts.usize_or("workers", config.engine_workers)?;
     config.metrics_addr = opts.get("metrics-addr").cloned();
+    config.auto_tune = opts.has("auto-tune");
 
     preflight_serve::signal::install();
     let handle = start(config).map_err(|e| CliError::Serve(e.to_string()))?;
@@ -959,6 +995,29 @@ mod tests {
                 .expect("number")
         };
         assert!(parse(&after) < parse(&before), "{after} !< {before}");
+    }
+
+    #[test]
+    fn auto_tune_preprocess_reports_choice_and_is_deterministic() {
+        let clean = tmp("at-clean.fits");
+        let bad = tmp("at-bad.fits");
+        let out_a = tmp("at-a.fits");
+        let out_b = tmp("at-b.fits");
+        run(&[
+            "gen", "--out", &clean, "--width", "16", "--height", "12", "--frames", "32", "--seed",
+            "11",
+        ])
+        .unwrap();
+        run(&[
+            "inject", "--in", &clean, "--out", &bad, "--gamma0", "0.01", "--seed", "3",
+        ])
+        .unwrap();
+        let r = run(&["preprocess", "--in", &bad, "--out", &out_a, "--auto-tune"]).unwrap();
+        assert!(r.contains("auto-tune: chosen L="), "{r}");
+        run(&["preprocess", "--in", &bad, "--out", &out_b, "--auto-tune"]).unwrap();
+        let a = std::fs::read(&out_a).unwrap();
+        let b = std::fs::read(&out_b).unwrap();
+        assert_eq!(a, b, "stationary input must preprocess bit-identically");
     }
 
     #[test]

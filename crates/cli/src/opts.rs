@@ -11,7 +11,13 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["correlated", "preprocess", "degrade", "replicate"];
+const SWITCHES: &[&str] = &[
+    "correlated",
+    "preprocess",
+    "degrade",
+    "replicate",
+    "auto-tune",
+];
 
 impl Opts {
     /// Parses the arguments after the subcommand.

@@ -47,7 +47,18 @@ fn grid() {
         let upsilon = Upsilon::new(upsilon).unwrap();
         let min_len = upsilon.min_series_len();
         for lambda in [0u32, 25, 50, 75, 100] {
-            for len in [min_len, min_len + 1, 2 * min_len, 17, 63, 64, 65, 100, 128, 130] {
+            for len in [
+                min_len,
+                min_len + 1,
+                2 * min_len,
+                17,
+                63,
+                64,
+                65,
+                100,
+                128,
+                130,
+            ] {
                 for passes in [1usize, 3] {
                     for use_grt in [true, false] {
                         let cfg = NgstConfig {
@@ -55,11 +66,8 @@ fn grid() {
                             use_grt,
                             ..NgstConfig::default()
                         };
-                        let algo = AlgoNgst::with_config(
-                            upsilon,
-                            Sensitivity::new(lambda).unwrap(),
-                            cfg,
-                        );
+                        let algo =
+                            AlgoNgst::with_config(upsilon, Sensitivity::new(lambda).unwrap(), cfg);
                         for seed in [3u64, 77, 991] {
                             let label = format!(
                                 "u={upsilon:?} l={lambda} n={len} p={passes} grt={use_grt} s={seed}"
@@ -84,7 +92,7 @@ fn stack_check() {
         let algo = AlgoNgst::new(Upsilon::new(4).unwrap(), Sensitivity::new(80).unwrap());
         let base: Vec<u16> = make_series(w * h * frames, 42, 12, 30_000);
         let mk = || {
-            let mut st = ImageStack::new(w, h, frames, 0u16);
+            let mut st: ImageStack<u16> = ImageStack::new(w, h, frames);
             for f in 0..frames {
                 let fr = st.frame_mut(f);
                 for (i, px) in fr.iter_mut().enumerate() {
@@ -105,7 +113,10 @@ fn stack_check() {
                     .kernel(kernel)
                     .threads(threads)
                     .run(&mut out);
-                assert_eq!(got, want, "counts diverge {kernel} t={threads} {w}x{h}x{frames}");
+                assert_eq!(
+                    got, want,
+                    "counts diverge {kernel} t={threads} {w}x{h}x{frames}"
+                );
                 for f in 0..frames {
                     assert_eq!(
                         out.frame(f),

@@ -349,6 +349,37 @@ impl<T: BitPixel> SeriesPreprocessor<T> for AlgoNgst {
         }
         total
     }
+
+    /// Tuned batched entry: when a calibrator has frozen a decision, the
+    /// tile runs with the *chosen* λ/Υ and the decision's bit windows
+    /// substituted via `static_windows` (same freezing mechanism as
+    /// ablation A2); the requested configuration is untouched. Without a
+    /// decision this is exactly
+    /// [`preprocess_batch_exec`](Self::preprocess_batch_exec).
+    fn preprocess_batch_tuned(
+        &self,
+        buf: &mut [T],
+        frames: usize,
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+        decision: Option<&crate::tuning::TuneDecision>,
+    ) -> usize {
+        match decision {
+            Some(d) => {
+                let tuned = AlgoNgst::with_config(
+                    d.upsilon,
+                    d.lambda,
+                    NgstConfig {
+                        static_windows: Some((d.window_a_bits, d.window_c_bits)),
+                        ..self.config
+                    },
+                );
+                tuned.preprocess_batch_exec(buf, frames, scratch, kernel, obs)
+            }
+            None => self.preprocess_batch_exec(buf, frames, scratch, kernel, obs),
+        }
+    }
 }
 
 /// Applies a [`SeriesPreprocessor`] to the temporal series of every

@@ -64,6 +64,7 @@ pub mod sensitivity;
 pub mod smoothing;
 pub mod sweep;
 pub mod traits;
+pub mod tuning;
 pub mod voter;
 pub mod window;
 
@@ -83,6 +84,7 @@ pub use sensitivity::{Sensitivity, Upsilon};
 pub use smoothing::{MeanSmoother, MedianSmoother};
 pub use sweep::Kernel;
 pub use traits::{BatchLayout, PlanePreprocessor, SeriesPreprocessor};
+pub use tuning::{observe_stack, TuneDecision, Tuner};
 pub use voter::{VoterMatrix, VoterScratch};
 pub use window::BitWindows;
 

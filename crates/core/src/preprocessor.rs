@@ -42,9 +42,11 @@ use crate::container::{Cube, Image, ImageStack};
 use crate::pixel::BitPixel;
 use crate::sweep::Kernel;
 use crate::traits::{BatchLayout, PlanePreprocessor, SeriesPreprocessor};
+use crate::tuning::{TuneDecision, Tuner};
 use crate::voter::VoterScratch;
 use crossbeam::channel;
 use preflight_obs::Obs;
+use std::sync::Arc;
 
 /// Default spatial tile side for the blocked series-major transpose.
 ///
@@ -108,6 +110,7 @@ pub struct Preprocessor<A> {
     naive: bool,
     kernel: Kernel,
     obs: Obs,
+    tuner: Option<Arc<dyn Tuner>>,
 }
 
 impl<A> Preprocessor<A> {
@@ -121,6 +124,7 @@ impl<A> Preprocessor<A> {
             naive: false,
             kernel: Kernel::default(),
             obs: Obs::disabled(),
+            tuner: None,
         }
     }
 
@@ -163,6 +167,19 @@ impl<A> Preprocessor<A> {
     /// kernel; algorithms with a single code path ignore the knob.
     pub fn kernel(mut self, kernel: Kernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Attaches an online [`Tuner`] (e.g. `preflight-tune`'s
+    /// `StreamCalibrator`). Each [`run`](Self::run) then samples a bounded,
+    /// deterministic stride of coordinate series, reports their XOR-diff
+    /// magnitudes to the tuner, and — once the tuner has a frozen
+    /// [`TuneDecision`] — executes every tile with the *chosen* λ/Υ and the
+    /// decision's frozen bit windows instead of the requested configuration.
+    /// While the tuner is warming up (no decision yet) runs are identical
+    /// to untuned ones. The naive reference driver ignores the tuner.
+    pub fn tuner(mut self, tuner: Arc<dyn Tuner>) -> Self {
+        self.tuner = Some(tuner);
         self
     }
 
@@ -217,12 +234,20 @@ impl<A> Preprocessor<A> {
         } else if stack.frames() == 0 || stack.frame_len() == 0 {
             0
         } else {
+            // Observe-then-decide on the caller thread, before any tile is
+            // dispatched: the sample stride is deterministic and every tile
+            // of this run sees the same frozen decision, so tuned runs keep
+            // the bit-identity invariant across thread counts.
+            let decision = self.tuner.as_deref().and_then(|t| {
+                crate::tuning::observe_stack(t, stack);
+                t.decision(T::BITS)
+            });
             let tiles = spatial_tiles(stack.width(), stack.height(), self.tile);
             let workers = self.threads.min(tiles.len());
             if workers <= 1 {
-                self.run_tiled(stack, &tiles)
+                self.run_tiled(stack, &tiles, decision)
             } else {
-                self.run_parallel(stack, &tiles, workers)
+                self.run_parallel(stack, &tiles, workers, decision)
             }
         };
         if self.obs.is_enabled() {
@@ -248,7 +273,12 @@ impl<A> Preprocessor<A> {
     /// Sequential cache-aware path: gather each tile into series-major
     /// scratch, repair the contiguous series with one reused
     /// [`VoterScratch`], scatter back.
-    fn run_tiled<T>(&self, stack: &mut ImageStack<T>, tiles: &[Tile]) -> usize
+    fn run_tiled<T>(
+        &self,
+        stack: &mut ImageStack<T>,
+        tiles: &[Tile],
+        decision: Option<TuneDecision>,
+    ) -> usize
     where
         T: BitPixel,
         A: SeriesPreprocessor<T>,
@@ -268,12 +298,13 @@ impl<A> Preprocessor<A> {
                     stack.gather_tile_time_major(t.tx, t.ty, t.tw, t.th, &mut buf)
                 }
             }
-            changed += self.algo.preprocess_batch_exec(
+            changed += self.algo.preprocess_batch_tuned(
                 &mut buf,
                 frames,
                 &mut scratch,
                 self.kernel,
                 &self.obs,
+                decision.as_ref(),
             );
             match layout {
                 BatchLayout::SeriesMajor => stack.scatter_tile_series(t.tx, t.ty, t.tw, t.th, &buf),
@@ -294,7 +325,13 @@ impl<A> Preprocessor<A> {
     /// Scoped worker pool over the same tiles: workers pull tiles from
     /// a shared queue, repair them in series-major scratch and hand the
     /// repaired tiles back; the caller scatters once the pool drains.
-    fn run_parallel<T>(&self, stack: &mut ImageStack<T>, tiles: &[Tile], workers: usize) -> usize
+    fn run_parallel<T>(
+        &self,
+        stack: &mut ImageStack<T>,
+        tiles: &[Tile],
+        workers: usize,
+        decision: Option<TuneDecision>,
+    ) -> usize
     where
         T: BitPixel,
         A: SeriesPreprocessor<T> + Sync,
@@ -329,8 +366,14 @@ impl<A> Preprocessor<A> {
                                 tile.tx, tile.ty, tile.tw, tile.th, &mut buf,
                             ),
                         }
-                        let changed =
-                            algo.preprocess_batch_exec(&mut buf, frames, &mut scratch, kernel, obs);
+                        let changed = algo.preprocess_batch_tuned(
+                            &mut buf,
+                            frames,
+                            &mut scratch,
+                            kernel,
+                            obs,
+                            decision.as_ref(),
+                        );
                         drop(span);
                         if res_tx.send((tile, buf, changed)).is_err() {
                             break;

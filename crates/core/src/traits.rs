@@ -2,6 +2,7 @@
 
 use crate::container::Image;
 use crate::sweep::Kernel;
+use crate::tuning::TuneDecision;
 use crate::voter::VoterScratch;
 use preflight_obs::Obs;
 
@@ -106,6 +107,26 @@ pub trait SeriesPreprocessor<T> {
             .map(|series| self.preprocess_exec(series, scratch, kernel, obs))
             .sum()
     }
+
+    /// [`preprocess_batch_exec`](Self::preprocess_batch_exec) with an
+    /// optional frozen calibration from an online [`Tuner`]. The default
+    /// ignores the decision (baselines have no Λ/Υ/window knobs to
+    /// retune); [`crate::AlgoNgst`] overrides it to substitute the chosen
+    /// λ/Υ and freeze the decision's bit windows via `static_windows`.
+    ///
+    /// [`Tuner`]: crate::tuning::Tuner
+    fn preprocess_batch_tuned(
+        &self,
+        buf: &mut [T],
+        frames: usize,
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+        decision: Option<&TuneDecision>,
+    ) -> usize {
+        let _ = decision;
+        self.preprocess_batch_exec(buf, frames, scratch, kernel, obs)
+    }
 }
 
 /// A preprocessing algorithm operating on a single 2-D plane (the OTIS
@@ -149,6 +170,17 @@ impl<T, P: SeriesPreprocessor<T> + ?Sized> SeriesPreprocessor<T> for &P {
         obs: &Obs,
     ) -> usize {
         (**self).preprocess_batch_exec(buf, frames, scratch, kernel, obs)
+    }
+    fn preprocess_batch_tuned(
+        &self,
+        buf: &mut [T],
+        frames: usize,
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+        decision: Option<&TuneDecision>,
+    ) -> usize {
+        (**self).preprocess_batch_tuned(buf, frames, scratch, kernel, obs, decision)
     }
 }
 

@@ -1,0 +1,147 @@
+//! Degenerate-scene hardening: window derivation and the full voter
+//! pipeline must stay well-defined on scenes with no temporal texture at
+//! all — constant, all-zero, saturated, and near-constant (single-LSB
+//! wobble) stacks. Every XOR difference collapses to zero (or one), the
+//! rank statistics sit in the bottom bucket, and the derived partition
+//! must still be a valid non-empty `A/B/C` split rather than an empty or
+//! overlapping one. Checked through both the scalar gather and the
+//! bit-sliced kernel, whole-stack and per-series, so the auto-tuning
+//! control plane (which mirrors this derivation) can never freeze
+//! boundaries the voter itself would reject.
+
+use preflight_core::voter::{VoterMatrix, DEFAULT_MSB_MARGIN};
+use preflight_core::{AlgoNgst, BitPixel, ImageStack, Kernel, Preprocessor, Sensitivity, Upsilon};
+
+/// Every scene with no (or almost no) temporal variation, per dtype.
+fn degenerate_series_u16() -> Vec<(&'static str, Vec<u16>)> {
+    let mut near_constant = vec![27_000u16; 64];
+    for (i, v) in near_constant.iter_mut().enumerate() {
+        *v |= (i as u16) & 1;
+    }
+    vec![
+        ("constant", vec![27_000; 64]),
+        ("all-zero", vec![0; 64]),
+        ("saturated", vec![u16::MAX; 64]),
+        ("near-constant", near_constant),
+    ]
+}
+
+fn degenerate_series_u32() -> Vec<(&'static str, Vec<u32>)> {
+    let mut near_constant = vec![1_700_000_000u32; 64];
+    for (i, v) in near_constant.iter_mut().enumerate() {
+        *v |= (i as u32) & 1;
+    }
+    vec![
+        ("constant", vec![1_700_000_000; 64]),
+        ("all-zero", vec![0; 64]),
+        ("saturated", vec![u32::MAX; 64]),
+        ("near-constant", near_constant),
+    ]
+}
+
+/// The derived windows of a degenerate series are a valid non-empty
+/// partition: `A ≥ 1` bit, `A + C ≤ BITS`, and the cut-offs stay powers
+/// of two inside the word.
+fn assert_windows_valid<T: BitPixel>(series: &[T], label: &str) {
+    for upsilon in [2usize, 4, 8] {
+        let vm = VoterMatrix::build(
+            series,
+            Upsilon::new(upsilon).unwrap(),
+            Sensitivity::new(80).unwrap(),
+            DEFAULT_MSB_MARGIN,
+        )
+        .unwrap_or_else(|e| panic!("{label} Υ={upsilon}: voter build failed: {e}"));
+        let w = vm.windows();
+        assert!(w.width_a() >= 1, "{label} Υ={upsilon}: window A is empty");
+        assert!(
+            w.width_a() + w.width_c() <= T::BITS,
+            "{label} Υ={upsilon}: windows overflow the word ({} + {})",
+            w.width_a(),
+            w.width_c()
+        );
+    }
+}
+
+#[test]
+fn degenerate_series_derive_valid_windows_u16() {
+    for (label, series) in degenerate_series_u16() {
+        assert_windows_valid(&series, label);
+    }
+}
+
+#[test]
+fn degenerate_series_derive_valid_windows_u32() {
+    for (label, series) in degenerate_series_u32() {
+        assert_windows_valid(&series, label);
+    }
+}
+
+/// Runs one degenerate stack through the whole-stack driver under the
+/// given kernel and returns (changed samples, output).
+fn run_stack<T: BitPixel>(stack: &ImageStack<T>, kernel: Kernel) -> (usize, ImageStack<T>) {
+    let algo = AlgoNgst::new(Upsilon::FOUR, Sensitivity::new(80).unwrap());
+    let mut work = stack.clone();
+    let changed = Preprocessor::new(&algo).kernel(kernel).run(&mut work);
+    (changed, work)
+}
+
+fn degenerate_stacks_u16() -> Vec<(&'static str, ImageStack<u16>)> {
+    degenerate_series_u16()
+        .into_iter()
+        .map(|(label, series)| {
+            let mut stack: ImageStack<u16> = ImageStack::new(8, 6, series.len());
+            for (f, &v) in series.iter().enumerate() {
+                stack.frame_mut(f).fill(v);
+            }
+            (label, stack)
+        })
+        .collect()
+}
+
+/// A truly constant scene must be a strict no-op — zero changed samples
+/// and bit-identical output — for the scalar and bit-sliced kernels both.
+#[test]
+fn constant_scenes_are_a_no_op_on_every_kernel() {
+    for (label, stack) in degenerate_stacks_u16() {
+        if label == "near-constant" {
+            continue; // LSB wobble may legitimately be smoothed
+        }
+        for kernel in [Kernel::Scalar, Kernel::Bitsliced] {
+            let (changed, out) = run_stack(&stack, kernel);
+            assert_eq!(changed, 0, "{label} via {kernel}: changed samples");
+            assert_eq!(out, stack, "{label} via {kernel}: output mutated");
+        }
+    }
+}
+
+/// On every degenerate stack (including the near-constant wobble) the
+/// bit-sliced kernel must agree bit-for-bit with the scalar gather.
+#[test]
+fn kernels_agree_on_degenerate_scenes() {
+    for (label, stack) in degenerate_stacks_u16() {
+        let (changed_scalar, scalar) = run_stack(&stack, Kernel::Scalar);
+        let (changed_sliced, sliced) = run_stack(&stack, Kernel::Bitsliced);
+        assert_eq!(
+            changed_scalar, changed_sliced,
+            "{label}: changed-sample counts diverge"
+        );
+        assert_eq!(scalar, sliced, "{label}: outputs diverge");
+    }
+}
+
+/// A single flipped sample in an otherwise constant scene is the cleanest
+/// possible fault: both kernels must repair it (and only it).
+#[test]
+fn lone_fault_in_constant_scene_is_repaired_by_both_kernels() {
+    let mut stack: ImageStack<u16> = ImageStack::new(8, 6, 32);
+    for f in 0..32 {
+        stack.frame_mut(f).fill(27_000);
+    }
+    let clean = stack.clone();
+    stack.frame_mut(16)[10] ^= 1 << 13;
+    for kernel in [Kernel::Scalar, Kernel::Bitsliced] {
+        let (changed, out) = run_stack(&stack, kernel);
+        assert_eq!(changed, 1, "{kernel}: exactly the fault must change");
+        assert_eq!(out, clean, "{kernel}: the flip must be fully repaired");
+    }
+}

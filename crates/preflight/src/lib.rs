@@ -19,6 +19,7 @@
 //! | [`otis`] | the OTIS application: temperature/emissivity retrieval, the ALFT primary/secondary scheme with output filter and logic grid |
 //! | [`supervisor`] | the supervised runtime: per-stage deadlines, retries with backoff, the graceful-degradation ladder, recovery-event logging |
 //! | [`obs`] | observability: the lock-free metrics registry (counters, gauges, latency histograms), RAII tracing spans, Prometheus text rendering |
+//! | [`tune`] | the online Λ/Υ auto-tuning control plane: rolling Φ quantile sketches, per-stream calibrators with hysteresis, snapshot/restore |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use preflight_obs as obs;
 pub use preflight_otis as otis;
 pub use preflight_rice as rice;
 pub use preflight_supervisor as supervisor;
+pub use preflight_tune as tune;
 
 /// One-stop imports for the common workflow: generate → corrupt →
 /// preprocess → score.
@@ -97,4 +99,5 @@ pub mod prelude {
     pub use preflight_supervisor::{
         DegradationLadder, FtLevel, RecoveryEvent, RecoveryLog, RetryPolicy, Supervision,
     };
+    pub use preflight_tune::{StreamCalibrator, TuneDecision, TuneParams, Tuner};
 }

@@ -74,15 +74,23 @@ impl Recommendation {
 
 /// Robustly estimates the Gaussian-walk σ of a pristine series from the
 /// median absolute first difference (`σ ≈ 1.4826 · median|Δ|` for
-/// Gaussian increments). Returns 0 for series shorter than 2 samples.
+/// Gaussian increments). Steps touching a sample pinned at 0 or the
+/// 16-bit maximum are excluded: those are §6 saturation artifacts, and a
+/// saturated stretch reads as a run of zero differences that drags the
+/// median to 0. Returns 0 for series shorter than 2 samples or fully
+/// saturated series.
 pub fn estimate_sigma(series: &[u16]) -> f64 {
     if series.len() < 2 {
         return 0.0;
     }
     let mut diffs: Vec<f64> = series
         .windows(2)
+        .filter(|w| w.iter().all(|&v| v != 0 && v != u16::MAX))
         .map(|w| (f64::from(w[1]) - f64::from(w[0])).abs())
         .collect();
+    if diffs.is_empty() {
+        return 0.0;
+    }
     let mid = diffs.len() / 2;
     let (_, m, _) = diffs.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
     *m * 1.4826
@@ -229,8 +237,12 @@ mod tests {
             replicas: 32,
             ..TuningConfig::default()
         };
+        // σ = 2 000 keeps the 64-frame walk inside the 16-bit range
+        // (8σ = 16 000 of ~27 000 headroom): a larger σ saturates the
+        // walk and the "turbulent" corpus degenerates into pinned
+        // constants, which favour *more* voters again.
         let calm = recommend(&samples(0.0, 4), 0.02, &cfg).unwrap();
-        let turbulent = recommend(&samples(4_000.0, 4), 0.02, &cfg).unwrap();
+        let turbulent = recommend(&samples(2_000.0, 4), 0.02, &cfg).unwrap();
         assert!(
             calm.upsilon.value() >= turbulent.upsilon.value(),
             "calm {:?} vs turbulent {:?}",

@@ -4,6 +4,7 @@
 //! preflightd [--tcp ADDR] [--unix PATH] [--metrics-addr ADDR] [--capacity N]
 //!            [--max-conns N] [--batch-frames N] [--batch-delay-ms N]
 //!            [--threads N] [--workers N] [--kernel sweep|scalar|bitsliced]
+//!            [--auto-tune]
 //! ```
 //!
 //! At least one of `--tcp`/`--unix` is required. The daemon serves until a
@@ -27,6 +28,7 @@ fn print_usage() {
     eprintln!("  --threads N          engine threads per batch (default: cores)");
     eprintln!("  --workers N          concurrent engine workers (default 2)");
     eprintln!("  --kernel NAME        voter kernel: 'sweep' (default), 'scalar' or 'bitsliced'");
+    eprintln!("  --auto-tune          calibrate per-stream \u{39b}/\u{3a5} online from rolling \u{3a6} statistics");
 }
 
 struct Args {
@@ -76,6 +78,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--kernel: {e}"))?;
             }
+            "--auto-tune" => config.auto_tune = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }

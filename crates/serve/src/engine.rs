@@ -16,19 +16,23 @@
 //! request's queue wait feeds the `queue` stage histogram; repairs,
 //! retries and ladder transitions land in the shared registry.
 
-use crate::batcher::BatchJob;
+use crate::batcher::{BatchJob, GroupKey};
 use crate::telemetry::{RequestStats, ServerStats};
 use crate::wire::{Dtype, ErrorCode, ErrorReply, FramePayload, Message, SubmitResponse};
 use crossbeam::channel;
 use preflight_core::{
-    AlgoNgst, BitPixel, ImageStack, Kernel, Preprocessor, Sensitivity, Upsilon, ValuePixel,
+    observe_stack, AlgoNgst, BitPixel, ImageStack, Kernel, NgstConfig, Preprocessor, Sensitivity,
+    TuneDecision, Tuner, Upsilon, ValuePixel,
 };
+use preflight_obs::Obs;
 use preflight_supervisor::{
     supervise, DegradationLadder, FailureKind, FtLevel, RecoveryLog, StageOutcome, Supervision,
 };
+use preflight_tune::{StreamCalibrator, TuneParams};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Engine knobs.
@@ -42,6 +46,10 @@ pub struct EngineConfig {
     pub kernel: Kernel,
     /// Retry/timeout/degradation policy applied to each batch.
     pub supervision: Supervision,
+    /// Per-stream auto-tuning state (`--auto-tune`). `None` — the default —
+    /// serves every request with its requested Λ/Υ and the paper's
+    /// per-series dynamic windows.
+    pub tuners: Option<TunerRegistry>,
 }
 
 impl Default for EngineConfig {
@@ -50,7 +58,45 @@ impl Default for EngineConfig {
             threads: preflight_core::available_threads(),
             kernel: Kernel::default(),
             supervision: Supervision::default(),
+            tuners: None,
         }
+    }
+}
+
+/// Per-stream calibrator state, keyed by the batch [`GroupKey`] and shared
+/// by every engine worker (clones share one map). A stream keeps its
+/// rolling Φ statistics across batches, so boundaries freeze after warm-up
+/// and move only when the scene statistics drift out of the hysteresis
+/// band.
+#[derive(Debug, Clone, Default)]
+pub struct TunerRegistry {
+    inner: Arc<Mutex<HashMap<GroupKey, Arc<StreamCalibrator>>>>,
+}
+
+impl TunerRegistry {
+    /// An empty registry; calibrators materialise per stream on first use.
+    pub fn new() -> Self {
+        TunerRegistry::default()
+    }
+
+    /// Number of streams with live calibrators.
+    pub fn streams(&self) -> usize {
+        self.inner.lock().expect("tuner registry lock").len()
+    }
+
+    /// The calibrator for `key`, created on first sight with the stream's
+    /// requested Λ/Υ as the tuning baseline.
+    fn for_key(
+        &self,
+        key: &GroupKey,
+        lambda: Sensitivity,
+        upsilon: Upsilon,
+        obs: &Obs,
+    ) -> Arc<StreamCalibrator> {
+        let mut map = self.inner.lock().expect("tuner registry lock");
+        Arc::clone(map.entry(*key).or_insert_with(|| {
+            Arc::new(StreamCalibrator::new(TuneParams::new(lambda, upsilon), obs))
+        }))
     }
 }
 
@@ -141,17 +187,40 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
     }
     let input = combined.clone();
 
-    let ladder = match (
+    let (upsilon, lambda) = match (
         Upsilon::new(key.upsilon as usize),
         Sensitivity::new(u32::from(key.lambda)),
     ) {
-        (Ok(upsilon), Ok(lambda)) => DegradationLadder::new(Some(AlgoNgst::new(upsilon, lambda))),
+        (Ok(upsilon), Ok(lambda)) => (upsilon, lambda),
         _ => {
             // Wire validation bounds Λ and Υ, so this too is defensive.
             respond_error(&batch, "invalid algorithm parameters");
             return;
         }
     };
+
+    // Auto-tuning: feed this batch's XOR-diff sample to the stream's
+    // calibrator and take whatever decision is in force *before* the
+    // supervised ladder walk, so every retry of this batch (and every
+    // worker thread) sees one frozen decision — retries stay bit-identical
+    // to the first attempt.
+    let decision: Option<TuneDecision> = config.tuners.as_ref().and_then(|reg| {
+        let cal = reg.for_key(&key, lambda, upsilon, stats.obs());
+        observe_stack(cal.as_ref(), &input);
+        cal.decision(T::BITS)
+    });
+    let algo = match &decision {
+        Some(d) => AlgoNgst::with_config(
+            d.upsilon,
+            d.lambda,
+            NgstConfig {
+                static_windows: Some((d.window_a_bits, d.window_c_bits)),
+                ..NgstConfig::default()
+            },
+        ),
+        None => AlgoNgst::new(upsilon, lambda),
+    };
+    let ladder = DegradationLadder::new(Some(algo));
 
     // Walk the ladder: supervised attempts at each rung, quarantine one
     // rung down on exhaustion. Passthrough cannot fail, so this always
@@ -266,6 +335,12 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
             // the daemon itself.
             net_retries: 0,
             served_by: 0,
+            tuned_lambda: decision.map_or(0, |d| d.lambda.value() as u8),
+            tuned_upsilon: decision.map_or(0, |d| d.upsilon.value() as u8),
+            tuned_window_a: decision.map_or(0, |d| d.window_a_bits as u8),
+            tuned_window_c: decision.map_or(0, |d| d.window_c_bits as u8),
+            tuner_recalibrations: decision
+                .map_or(0, |d| u32::try_from(d.recalibrations).unwrap_or(u32::MAX)),
         };
         let response = Message::Response(SubmitResponse {
             request_id: job.request.request_id,

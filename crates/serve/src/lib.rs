@@ -42,7 +42,7 @@ pub mod wire;
 
 pub use batcher::BatchConfig;
 pub use client::{Client, ClientError, SubmitOptions};
-pub use engine::EngineConfig;
+pub use engine::{EngineConfig, TunerRegistry};
 pub use queue::AdmissionGate;
 pub use server::{start, ServerConfig, ServerHandle};
 pub use telemetry::{format_summary, RequestStats, ServerStats};

@@ -20,7 +20,7 @@
 //! engine workers and join them.
 
 use crate::batcher::{run_batcher, BatchConfig, BatcherCmd, SubmitJob};
-use crate::engine::{run_engine_worker, EngineConfig};
+use crate::engine::{run_engine_worker, EngineConfig, TunerRegistry};
 use crate::metrics::run_metrics_listener;
 use crate::queue::{AdmissionGate, AdmissionPermit};
 use crate::telemetry::ServerStats;
@@ -76,6 +76,11 @@ pub struct ServerConfig {
     pub engine: EngineConfig,
     /// Parallel engine workers (batches in flight at once).
     pub engine_workers: usize,
+    /// Enable the per-stream Λ/Υ auto-tuner (`--auto-tune`): each batch
+    /// group key gets a rolling-Φ calibrator whose frozen boundaries
+    /// replace the requested parameters once warm. Chosen-vs-requested
+    /// values surface as `tune_*` gauges and in the stats trailer.
+    pub auto_tune: bool,
     /// TCP address for the Prometheus `/metrics` scrape listener, if any
     /// (a second listener, never mixed with the request protocol).
     pub metrics_addr: Option<String>,
@@ -95,6 +100,7 @@ impl Default for ServerConfig {
             batch: BatchConfig::default(),
             engine: EngineConfig::default(),
             engine_workers: 2,
+            auto_tune: false,
             metrics_addr: None,
             obs: Obs::new(),
         }
@@ -240,9 +246,15 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
                 .spawn(move || run_batcher(rx, tx, gate, batch, batch_hist))?,
         );
     }
+    // One registry instance shared by every worker clone, so a stream's
+    // calibrator state survives whichever worker picks up its next batch.
+    let mut engine_config = config.engine.clone();
+    if config.auto_tune && engine_config.tuners.is_none() {
+        engine_config.tuners = Some(TunerRegistry::new());
+    }
     for i in 0..config.engine_workers.max(1) {
         let rx = engine_rx.clone();
-        let engine = config.engine.clone();
+        let engine = engine_config.clone();
         let stats = Arc::clone(&stats);
         threads.push(
             std::thread::Builder::new()

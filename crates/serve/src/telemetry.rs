@@ -78,6 +78,19 @@ pub struct RequestStats {
     /// 1-based id of the fleet backend that served the request, stamped by
     /// a router in front of the daemon. 0 = served directly.
     pub served_by: u32,
+    /// Λ the auto-tuner chose for this batch (`--auto-tune` only).
+    /// Meaningless while [`tuned_upsilon`](Self::tuned_upsilon) is 0.
+    pub tuned_lambda: u8,
+    /// Υ the auto-tuner chose for this batch. 0 = the request was served
+    /// with its requested parameters (tuning off or still warming up).
+    pub tuned_upsilon: u8,
+    /// Frozen width of bit window A the tuner applied (0 when untuned).
+    pub tuned_window_a: u8,
+    /// Frozen width of bit window C the tuner applied (0 when untuned).
+    pub tuned_window_c: u8,
+    /// How many times this request's stream calibrator has re-adopted new
+    /// boundaries since it was created (0 when untuned or never drifted).
+    pub tuner_recalibrations: u32,
 }
 
 impl Default for RequestStats {
@@ -94,6 +107,11 @@ impl Default for RequestStats {
             attempts: 1,
             net_retries: 0,
             served_by: 0,
+            tuned_lambda: 0,
+            tuned_upsilon: 0,
+            tuned_window_a: 0,
+            tuned_window_c: 0,
+            tuner_recalibrations: 0,
         }
     }
 }
@@ -121,6 +139,17 @@ impl fmt::Display for RequestStats {
         }
         if self.served_by > 0 {
             write!(f, ", via backend {}", self.served_by)?;
+        }
+        if self.tuned_upsilon > 0 {
+            write!(
+                f,
+                ", tuned L={} U={} windows A={}/C={} ({} recal)",
+                self.tuned_lambda,
+                self.tuned_upsilon,
+                self.tuned_window_a,
+                self.tuned_window_c,
+                self.tuner_recalibrations
+            )?;
         }
         Ok(())
     }

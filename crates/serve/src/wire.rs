@@ -594,6 +594,11 @@ fn encode_stats(stats: &RequestStats, out: &mut Vec<u8>) {
     put_u32(out, stats.attempts);
     put_u32(out, stats.net_retries);
     put_u32(out, stats.served_by);
+    out.push(stats.tuned_lambda);
+    out.push(stats.tuned_upsilon);
+    out.push(stats.tuned_window_a);
+    out.push(stats.tuned_window_c);
+    put_u32(out, stats.tuner_recalibrations);
 }
 
 fn decode_stats(r: &mut SliceReader<'_>) -> Result<RequestStats, WireError> {
@@ -613,6 +618,11 @@ fn decode_stats(r: &mut SliceReader<'_>) -> Result<RequestStats, WireError> {
         attempts: r.u32("attempts")?,
         net_retries: r.u32("net retries")?,
         served_by: r.u32("served by")?,
+        tuned_lambda: r.u8("tuned lambda")?,
+        tuned_upsilon: r.u8("tuned upsilon")?,
+        tuned_window_a: r.u8("tuned window a")?,
+        tuned_window_c: r.u8("tuned window c")?,
+        tuner_recalibrations: r.u32("tuner recalibrations")?,
     })
 }
 

@@ -1,0 +1,127 @@
+//! End-to-end `--auto-tune` serving tests: a daemon with the per-stream
+//! calibrator enabled must stamp the chosen parameters into the stats
+//! trailer once warm, surface chosen-vs-requested gauges in the registry,
+//! and stay bit-identical across repeats of a stationary scene.
+
+use preflight_core::ImageStack;
+use preflight_obs::Obs;
+use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::wire::FramePayload;
+use preflight_serve::{Client, SubmitOptions};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A stationary scene: a fixed spatial ramp plus small per-frame noise in
+/// the low bits, so the XOR-diff statistics are non-degenerate but stable.
+fn noisy_stack(width: usize, height: usize, frames: usize, seed: u64) -> ImageStack<u16> {
+    let mut stack: ImageStack<u16> = ImageStack::new(width, height, frames);
+    let mut rng = seed;
+    for f in 0..frames {
+        let frame = stack.frame_mut(f);
+        for (i, px) in frame.iter_mut().enumerate() {
+            let base = ((i * 13) & 0x0FFF) as u16 | 0x4000;
+            *px = base ^ (lcg(&mut rng) & 0x7) as u16;
+        }
+    }
+    stack
+}
+
+#[test]
+fn auto_tune_stamps_trailer_gauges_and_stays_deterministic() {
+    let obs = Obs::new();
+    let handle = start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        auto_tune: true,
+        obs: obs.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("daemon start");
+    let addr = handle.tcp_addr().expect("bound address");
+    let mut client = Client::connect_tcp(addr).expect("client connect");
+    let opts = SubmitOptions {
+        stream_id: 9,
+        eos: true,
+        ..SubmitOptions::default()
+    };
+
+    // The calibrator samples up to 64 series per batch against a default
+    // warm-up floor of 16 series, so the very first batch is already
+    // served tuned; give it a few batches of slack anyway.
+    let mut tuned = None;
+    for _ in 0..6 {
+        let stack = noisy_stack(16, 16, 8, 0xA5A5);
+        let resp = client
+            .submit(FramePayload::U16(stack), &opts)
+            .expect("submit");
+        if resp.stats.tuned_upsilon > 0 {
+            tuned = Some(resp);
+            break;
+        }
+    }
+    let resp = tuned.expect("tuner must warm up within a few batches");
+    assert!(resp.stats.tuned_window_a >= 1, "window A must be non-empty");
+    assert!(
+        u32::from(resp.stats.tuned_window_a) + u32::from(resp.stats.tuned_window_c) <= 16,
+        "windows must partition a u16 word"
+    );
+    assert!(resp.stats.tuned_lambda <= 100);
+    assert!(resp.stats.to_string().contains("tuned L="));
+
+    // Stationary scene: the frozen decision must not move between batches,
+    // and the repaired payload must be bit-identical run-to-run.
+    let again = client
+        .submit(FramePayload::U16(noisy_stack(16, 16, 8, 0xA5A5)), &opts)
+        .expect("repeat submit");
+    assert_eq!(again.stats.tuned_lambda, resp.stats.tuned_lambda);
+    assert_eq!(again.stats.tuned_upsilon, resp.stats.tuned_upsilon);
+    assert_eq!(again.stats.tuned_window_a, resp.stats.tuned_window_a);
+    assert_eq!(again.stats.tuned_window_c, resp.stats.tuned_window_c);
+    assert_eq!(
+        again.payload, resp.payload,
+        "stationary scenes must serve bit-identically under auto-tune"
+    );
+
+    // Chosen-vs-requested must be visible in the same registry /metrics
+    // scrapes.
+    let snap = obs.snapshot();
+    assert_eq!(snap.gauge("tune_requested_upsilon", None), Some(4));
+    assert_eq!(
+        snap.gauge("tune_chosen_upsilon", None),
+        Some(i64::from(resp.stats.tuned_upsilon))
+    );
+    assert_eq!(snap.gauge("tune_requested_lambda", None), Some(80));
+    assert_eq!(
+        snap.gauge("tune_chosen_lambda", None),
+        Some(i64::from(resp.stats.tuned_lambda))
+    );
+    assert!(snap.gauge("tune_window_a_bits", None).is_some());
+
+    handle.drain();
+}
+
+#[test]
+fn auto_tune_off_leaves_the_trailer_untuned() {
+    let handle = start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        obs: Obs::disabled(),
+        ..ServerConfig::default()
+    })
+    .expect("daemon start");
+    let addr = handle.tcp_addr().expect("bound address");
+    let mut client = Client::connect_tcp(addr).expect("client connect");
+    let resp = client
+        .submit(
+            FramePayload::U16(noisy_stack(8, 8, 4, 1)),
+            &SubmitOptions::default(),
+        )
+        .expect("submit");
+    assert_eq!(resp.stats.tuned_upsilon, 0, "tuning is strictly opt-in");
+    assert_eq!(resp.stats.tuned_lambda, 0);
+    assert_eq!(resp.stats.tuner_recalibrations, 0);
+    handle.drain();
+}

@@ -1,0 +1,606 @@
+//! The per-stream online calibrator.
+//!
+//! A [`StreamCalibrator`] watches the rolling Φ XOR-difference rank
+//! statistics of one stream (one [`QuantileSketch`] per temporal way),
+//! derives the cut-off exponents the voter *would* pick for the current
+//! scene, and freezes them into a [`TuneDecision`] — the chosen λ/Υ and
+//! static bit-window widths a driver substitutes for the requested
+//! configuration. Frozen boundaries only move again when the candidate
+//! exponents drift out of a hysteresis band, so stationary scenes are
+//! bit-stable run-to-run while genuine scene changes recalibrate within
+//! a few runs.
+//!
+//! Chosen-vs-requested values are exported through the `preflight-obs`
+//! registry (`tune_*` gauges, `tune_recalibrations_total`), and the whole
+//! calibrator state snapshots to bytes for drain/restart continuity.
+
+use crate::sketch::QuantileSketch;
+use preflight_core::voter::DEFAULT_MSB_MARGIN;
+use preflight_core::{Sensitivity, TuneDecision, Tuner, Upsilon};
+use preflight_obs::{Counter, Gauge, Obs};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Configuration knobs for a [`StreamCalibrator`]; the requested λ/Υ plus
+/// the control-loop constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneParams {
+    /// The requested sensitivity Λ the stream was configured with.
+    pub lambda: Sensitivity,
+    /// The requested voter count Υ the stream was configured with.
+    pub upsilon: Upsilon,
+    /// Carry-propagation headroom between the largest way cut-off and bit
+    /// window A, mirroring [`preflight_core::voter::DEFAULT_MSB_MARGIN`].
+    pub msb_margin_bits: u32,
+    /// Candidate cut-off exponents may wander this many bits from the
+    /// adopted ones before a recalibration fires. 0 recalibrates on any
+    /// movement; larger bands trade adaptivity for stability.
+    pub hysteresis_bits: u32,
+    /// Observed series required before the first calibration is adopted
+    /// (the warm-up period during which [`Tuner::decision`] is `None`).
+    pub min_series: u64,
+    /// Every this-many observed series the sketches decay (halve), so a
+    /// rolling stream forgets old scenes. 0 disables decay.
+    pub decay_interval: u64,
+    /// When the spread between the smallest and largest way cut-off
+    /// exponent reaches this many bits, the scene's temporal coherence is
+    /// poor at long pairings and the chosen Υ is halved (never below 2).
+    pub spread_halving_bits: u32,
+}
+
+impl TuneParams {
+    /// Default control-loop constants for the given requested λ/Υ.
+    pub fn new(lambda: Sensitivity, upsilon: Upsilon) -> Self {
+        TuneParams {
+            lambda,
+            upsilon,
+            msb_margin_bits: DEFAULT_MSB_MARGIN,
+            hysteresis_bits: 1,
+            min_series: 16,
+            decay_interval: 256,
+            spread_halving_bits: 8,
+        }
+    }
+}
+
+impl Default for TuneParams {
+    fn default() -> Self {
+        TuneParams::new(Sensitivity::default(), Upsilon::default())
+    }
+}
+
+/// One adopted calibration, held until drift exceeds the hysteresis band.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Adopted {
+    /// Per-way cut-off exponents in `u64` magnitude space.
+    exps: Vec<u32>,
+    lambda: Sensitivity,
+    upsilon: Upsilon,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// One rolling sketch per requested temporal way.
+    sketches: Vec<QuantileSketch>,
+    /// Series length of the most recent observation.
+    frames: u32,
+    /// Number of series observed (way-0 reports).
+    series_seen: u64,
+    adopted: Option<Adopted>,
+    recalibrations: u64,
+}
+
+/// Pre-resolved registry handles (no name lookup on the hot path).
+struct TuneGauges {
+    chosen_lambda: Gauge,
+    chosen_upsilon: Gauge,
+    window_a: Gauge,
+    window_c: Gauge,
+    recalibrations: Counter,
+}
+
+/// The online per-stream calibrator; see the [module docs](self) and
+/// `DESIGN.md` §14.
+pub struct StreamCalibrator {
+    params: TuneParams,
+    inner: Mutex<Inner>,
+    gauges: TuneGauges,
+}
+
+impl fmt::Debug for StreamCalibrator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamCalibrator")
+            .field("params", &self.params)
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Snapshot buffer was truncated, unversioned, or disagrees with the
+/// restoring [`TuneParams`] (e.g. a different requested Υ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotError(&'static str);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calibrator snapshot rejected: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl StreamCalibrator {
+    /// A fresh calibrator for one stream. Requested-value gauges are
+    /// published immediately; chosen-value gauges appear once the first
+    /// calibration is adopted.
+    pub fn new(params: TuneParams, obs: &Obs) -> Self {
+        obs.gauge("tune_requested_lambda", None)
+            .set(params.lambda.value() as i64);
+        obs.gauge("tune_requested_upsilon", None)
+            .set(params.upsilon.value() as i64);
+        let ways = params.upsilon.half().max(1);
+        StreamCalibrator {
+            params,
+            inner: Mutex::new(Inner {
+                sketches: vec![QuantileSketch::new(); ways],
+                frames: 0,
+                series_seen: 0,
+                adopted: None,
+                recalibrations: 0,
+            }),
+            gauges: TuneGauges {
+                chosen_lambda: obs.gauge("tune_chosen_lambda", None),
+                chosen_upsilon: obs.gauge("tune_chosen_upsilon", None),
+                window_a: obs.gauge("tune_window_a_bits", None),
+                window_c: obs.gauge("tune_window_c_bits", None),
+                recalibrations: obs.counter("tune_recalibrations_total", None),
+            },
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> TuneParams {
+        self.params
+    }
+
+    /// Number of series observed so far.
+    pub fn series_seen(&self) -> u64 {
+        self.inner.lock().expect("calibrator lock").series_seen
+    }
+
+    /// Number of recalibrations since creation (0 while the first
+    /// adopted calibration holds).
+    pub fn recalibrations(&self) -> u64 {
+        self.inner.lock().expect("calibrator lock").recalibrations
+    }
+
+    /// The candidate calibration the current sketches support.
+    fn candidate(&self, inner: &Inner) -> Adopted {
+        let frames = inner.frames as usize;
+        let mut exps = Vec::with_capacity(inner.sketches.len());
+        for (way, sketch) in inner.sketches.iter().enumerate() {
+            // Way `w` pairs samples `i` and `i + w + 1`, so one series of
+            // `frames` samples yields `frames - (w + 1)` differences; the
+            // voter sorts those and takes the Φ rank from Λ. The sketch
+            // applies the same relative rank to the pooled stream.
+            let n_diffs = frames.saturating_sub(way + 1).max(1);
+            let rank = self.params.lambda.cutoff_rank(frames, n_diffs);
+            exps.push(sketch.quantile_exponent(rank, n_diffs));
+        }
+        let kmin = exps.iter().copied().min().unwrap_or(0);
+        let kmax = exps.iter().copied().max().unwrap_or(0);
+
+        // Poor temporal coherence at long pairings (a large cut-off
+        // spread) means distant neighbors vote on a different scene:
+        // halve the voter count rather than widen every window.
+        let upsilon =
+            if kmax - kmin >= self.params.spread_halving_bits && self.params.upsilon.value() > 2 {
+                let mut half = self.params.upsilon.value() / 2;
+                if half % 2 == 1 {
+                    half += 1;
+                }
+                Upsilon::new(half.max(2)).expect("halved upsilon stays even and in range")
+            } else {
+                self.params.upsilon
+            };
+
+        // A heavy magnitude tail far above the chosen cut-offs is fault
+        // mass, not scene texture — and it is already well separated from
+        // the rank cut-offs, so tighter thresholds cannot catch more of
+        // it. Relax the sensitivity one notch instead: fewer false alarms
+        // on legitimate scene motion while the outliers stay far above
+        // threshold (paper Fig. 2/3: past the data-dependent optimum,
+        // higher Λ only mis-corrects good pixels).
+        let tail = inner.sketches[0].quantile_exponent(99, 100);
+        let lambda = if tail > kmax + self.params.msb_margin_bits {
+            Sensitivity::new(self.params.lambda.value().saturating_sub(10).max(10))
+                .expect("relaxed lambda stays in 10..=100")
+        } else {
+            self.params.lambda
+        };
+
+        Adopted {
+            exps,
+            lambda,
+            upsilon,
+        }
+    }
+
+    fn decision_from(&self, adopted: &Adopted, recalibrations: u64, bits: u32) -> TuneDecision {
+        // Same geometry as the voter's dynamic derivation
+        // (`derive_windows`): window C covers the bits below the smallest
+        // way cut-off, window A starts `msb_margin` bits above the largest
+        // one, saturating at the top bit so A is never empty. The clamps
+        // guarantee `a >= 1` and `a + c <= bits` for any sketch state —
+        // `BitWindows::from_widths` cannot panic on a decision.
+        let kmin = adopted.exps.iter().copied().min().unwrap_or(0);
+        let kmax = adopted.exps.iter().copied().max().unwrap_or(0);
+        let c_bits = kmin.min(bits - 1);
+        let m = (kmax.min(bits - 1))
+            .saturating_add(self.params.msb_margin_bits)
+            .min(bits - 1);
+        TuneDecision {
+            lambda: adopted.lambda,
+            upsilon: adopted.upsilon,
+            window_a_bits: bits - m,
+            window_c_bits: c_bits,
+            recalibrations,
+        }
+    }
+
+    /// Serializes the full calibrator state (sketches, counters, adopted
+    /// calibration) for drain/restart continuity. Restore with
+    /// [`StreamCalibrator::restore`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        let inner = self.inner.lock().expect("calibrator lock");
+        let mut out = Vec::new();
+        out.push(1u8); // snapshot format version
+        out.extend_from_slice(&inner.frames.to_le_bytes());
+        out.extend_from_slice(&inner.series_seen.to_le_bytes());
+        out.extend_from_slice(&inner.recalibrations.to_le_bytes());
+        out.push(inner.sketches.len() as u8);
+        for sketch in &inner.sketches {
+            sketch.to_bytes(&mut out);
+        }
+        match &inner.adopted {
+            None => out.push(0),
+            Some(a) => {
+                out.push(1);
+                out.push(a.lambda.value() as u8);
+                out.push(a.upsilon.value() as u8);
+                out.push(a.exps.len() as u8);
+                out.extend(a.exps.iter().map(|&e| e as u8));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a calibrator from a [`snapshot`](Self::snapshot) so a
+    /// restarted daemon resumes with the adopted calibration (and its
+    /// rolling statistics) instead of re-entering warm-up.
+    ///
+    /// # Errors
+    /// Rejects truncated or unversioned buffers and snapshots whose way
+    /// count disagrees with `params.upsilon`.
+    pub fn restore(params: TuneParams, bytes: &[u8], obs: &Obs) -> Result<Self, SnapshotError> {
+        let mut r = bytes;
+        let take = |r: &mut &[u8], n: usize| -> Result<Vec<u8>, SnapshotError> {
+            if r.len() < n {
+                return Err(SnapshotError("truncated"));
+            }
+            let (head, rest) = r.split_at(n);
+            *r = rest;
+            Ok(head.to_vec())
+        };
+        if take(&mut r, 1)?[0] != 1 {
+            return Err(SnapshotError("unknown version"));
+        }
+        let frames = u32::from_le_bytes(take(&mut r, 4)?.try_into().expect("4 bytes"));
+        let series_seen = u64::from_le_bytes(take(&mut r, 8)?.try_into().expect("8 bytes"));
+        let recalibrations = u64::from_le_bytes(take(&mut r, 8)?.try_into().expect("8 bytes"));
+        let ways = take(&mut r, 1)?[0] as usize;
+        if ways != params.upsilon.half().max(1) {
+            return Err(SnapshotError("way count disagrees with requested upsilon"));
+        }
+        let mut sketches = Vec::with_capacity(ways);
+        for _ in 0..ways {
+            let (sketch, used) =
+                QuantileSketch::from_bytes(r).ok_or(SnapshotError("bad sketch block"))?;
+            r = &r[used..];
+            sketches.push(sketch);
+        }
+        let adopted = match take(&mut r, 1)?[0] {
+            0 => None,
+            1 => {
+                let lambda = Sensitivity::new(take(&mut r, 1)?[0] as u32)
+                    .map_err(|_| SnapshotError("bad adopted lambda"))?;
+                let upsilon = Upsilon::new(take(&mut r, 1)?[0] as usize)
+                    .map_err(|_| SnapshotError("bad adopted upsilon"))?;
+                let n = take(&mut r, 1)?[0] as usize;
+                let exps = take(&mut r, n)?.iter().map(|&e| e as u32).collect();
+                Some(Adopted {
+                    exps,
+                    lambda,
+                    upsilon,
+                })
+            }
+            _ => return Err(SnapshotError("bad adopted flag")),
+        };
+        let restored = StreamCalibrator::new(params, obs);
+        {
+            let mut inner = restored.inner.lock().expect("calibrator lock");
+            inner.sketches = sketches;
+            inner.frames = frames;
+            inner.series_seen = series_seen;
+            inner.adopted = adopted;
+            inner.recalibrations = recalibrations;
+        }
+        Ok(restored)
+    }
+}
+
+impl Tuner for StreamCalibrator {
+    fn ways(&self) -> u32 {
+        // Observation always covers the *requested* ways, even after a
+        // decision halves the chosen Υ — so a later recalibration can
+        // raise Υ back once the long pairings cohere again.
+        self.params.upsilon.half().max(1) as u32
+    }
+
+    fn observe(&self, frames: u32, way: u32, magnitudes: &[u64]) {
+        let mut inner = self.inner.lock().expect("calibrator lock");
+        let decay_due = {
+            let Some(sketch) = inner.sketches.get_mut(way as usize) else {
+                return;
+            };
+            for &m in magnitudes {
+                sketch.record(m);
+            }
+            if way != 0 {
+                return;
+            }
+            inner.frames = frames;
+            inner.series_seen += 1;
+            self.params.decay_interval > 0
+                && inner.series_seen.is_multiple_of(self.params.decay_interval)
+        };
+        if decay_due {
+            for sketch in &mut inner.sketches {
+                sketch.decay();
+            }
+        }
+    }
+
+    fn decision(&self, bits: u32) -> Option<TuneDecision> {
+        let mut inner = self.inner.lock().expect("calibrator lock");
+        if inner.series_seen >= self.params.min_series {
+            let candidate = self.candidate(&inner);
+            let drifted = match &inner.adopted {
+                None => true,
+                Some(held) => held
+                    .exps
+                    .iter()
+                    .zip(&candidate.exps)
+                    .any(|(&h, &c)| h.abs_diff(c) > self.params.hysteresis_bits),
+            };
+            if drifted {
+                if inner.adopted.is_some() {
+                    inner.recalibrations += 1;
+                    self.gauges.recalibrations.inc();
+                }
+                inner.adopted = Some(candidate);
+            }
+        }
+        let adopted = inner.adopted.as_ref()?;
+        let decision = self.decision_from(adopted, inner.recalibrations, bits);
+        self.gauges
+            .chosen_lambda
+            .set(decision.lambda.value() as i64);
+        self.gauges
+            .chosen_upsilon
+            .set(decision.upsilon.value() as i64);
+        self.gauges.window_a.set(decision.window_a_bits as i64);
+        self.gauges.window_c.set(decision.window_c_bits as i64);
+        Some(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_series(cal: &StreamCalibrator, frames: u32, magnitudes: &[u64]) {
+        for way in 0..cal.ways() {
+            cal.observe(frames, way, magnitudes);
+        }
+    }
+
+    #[test]
+    fn warm_up_returns_none_then_adopts() {
+        let cal = StreamCalibrator::new(TuneParams::default(), &Obs::disabled());
+        assert!(cal.decision(16).is_none());
+        for _ in 0..16 {
+            feed_series(&cal, 64, &[4; 62]);
+        }
+        let d = cal.decision(16).expect("warm-up complete");
+        assert_eq!(d.recalibrations, 0);
+        assert!(d.window_a_bits >= 1);
+        assert!(d.window_a_bits + d.window_c_bits <= 16);
+        // Exponent 2 cut-offs on every way: C covers the 2 bits below the
+        // cut-off, A starts margin bits above it.
+        assert_eq!(d.window_c_bits, 2);
+        assert_eq!(d.window_a_bits, 16 - (2 + DEFAULT_MSB_MARGIN));
+    }
+
+    #[test]
+    fn constant_stream_yields_tightest_valid_windows() {
+        // All Φ mass in the zero bucket (a constant scene) must still
+        // produce a valid non-empty partition, matching the voter's
+        // degenerate-series behavior: C empty, A everything above margin.
+        let cal = StreamCalibrator::new(TuneParams::default(), &Obs::disabled());
+        for _ in 0..16 {
+            feed_series(&cal, 64, &[0; 62]);
+        }
+        let d = cal.decision(16).expect("adopted");
+        assert_eq!(d.window_c_bits, 0);
+        assert_eq!(d.window_a_bits, 16 - DEFAULT_MSB_MARGIN);
+        assert!(d.window_a_bits + d.window_c_bits <= 16);
+    }
+
+    #[test]
+    fn stationary_stream_is_frozen_no_recalibrations() {
+        let cal = StreamCalibrator::new(TuneParams::default(), &Obs::disabled());
+        for _ in 0..500 {
+            feed_series(&cal, 64, &[6; 62]);
+        }
+        let first = cal.decision(16).expect("adopted");
+        for _ in 0..500 {
+            feed_series(&cal, 64, &[6; 62]);
+            assert_eq!(cal.decision(16), Some(first), "decision must stay frozen");
+        }
+        assert_eq!(cal.recalibrations(), 0);
+    }
+
+    #[test]
+    fn drift_beyond_hysteresis_recalibrates() {
+        let cal = StreamCalibrator::new(TuneParams::default(), &Obs::disabled());
+        for _ in 0..32 {
+            feed_series(&cal, 64, &[3; 62]); // exponent 2
+        }
+        let before = cal.decision(16).expect("adopted");
+        // A much more turbulent scene: magnitudes around 2^9. Decay plus
+        // fresh mass moves the candidate exponent far outside ±1.
+        for _ in 0..2000 {
+            feed_series(&cal, 64, &[500; 62]);
+        }
+        let after = cal.decision(16).expect("still adopted");
+        assert!(cal.recalibrations() >= 1, "drift must recalibrate");
+        assert!(after.window_c_bits > before.window_c_bits);
+        assert!(after.window_a_bits + after.window_c_bits <= 16);
+    }
+
+    #[test]
+    fn small_wobble_inside_hysteresis_stays_frozen() {
+        let cal = StreamCalibrator::new(TuneParams::default(), &Obs::disabled());
+        for _ in 0..32 {
+            feed_series(&cal, 64, &[8; 62]); // exponent 3
+        }
+        let held = cal.decision(16).expect("adopted");
+        // Exponent 4 is exactly one bucket away — inside the ±1 band.
+        for _ in 0..2000 {
+            feed_series(&cal, 64, &[16; 62]);
+        }
+        assert_eq!(cal.decision(16), Some(held));
+        assert_eq!(cal.recalibrations(), 0);
+    }
+
+    #[test]
+    fn way_spread_halves_chosen_upsilon() {
+        let params = TuneParams {
+            spread_halving_bits: 4,
+            ..TuneParams::default()
+        };
+        let cal = StreamCalibrator::new(params, &Obs::disabled());
+        for _ in 0..32 {
+            // Way 0 coheres (tiny diffs), way 1 does not (huge diffs):
+            // the spread between the two cut-off exponents is ~12 bits.
+            cal.observe(64, 0, &[2; 62]);
+            cal.observe(64, 1, &[10_000; 62]);
+        }
+        let d = cal.decision(16).expect("adopted");
+        assert_eq!(d.upsilon, Upsilon::TWO);
+    }
+
+    #[test]
+    fn heavy_tail_relaxes_chosen_lambda() {
+        let cal = StreamCalibrator::new(TuneParams::default(), &Obs::disabled());
+        // 97% calm scene, 3% fault-like huge outliers: the 99th-percentile
+        // exponent sits far above the rank cut-off, so the fault mass is
+        // already separated and tighter thresholds would only false-alarm.
+        let mut mags = vec![2u64; 60];
+        mags.extend_from_slice(&[1 << 14, 1 << 14]);
+        for _ in 0..32 {
+            feed_series(&cal, 64, &mags);
+        }
+        let d = cal.decision(16).expect("adopted");
+        assert_eq!(d.lambda.value(), Sensitivity::default().value() - 10);
+    }
+
+    #[test]
+    fn gauges_expose_chosen_vs_requested() {
+        let obs = Obs::new();
+        let cal = StreamCalibrator::new(TuneParams::default(), &obs);
+        for _ in 0..32 {
+            feed_series(&cal, 64, &[4; 62]);
+        }
+        let d = cal.decision(16).expect("adopted");
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauge("tune_requested_lambda", None), Some(80));
+        assert_eq!(snap.gauge("tune_requested_upsilon", None), Some(4));
+        assert_eq!(
+            snap.gauge("tune_chosen_lambda", None),
+            Some(d.lambda.value() as i64)
+        );
+        assert_eq!(
+            snap.gauge("tune_chosen_upsilon", None),
+            Some(d.upsilon.value() as i64)
+        );
+        assert_eq!(
+            snap.gauge("tune_window_a_bits", None),
+            Some(d.window_a_bits as i64)
+        );
+        assert_eq!(
+            snap.gauge("tune_window_c_bits", None),
+            Some(d.window_c_bits as i64)
+        );
+    }
+
+    #[test]
+    fn decision_is_valid_for_every_width() {
+        let cal = StreamCalibrator::new(TuneParams::default(), &Obs::disabled());
+        for _ in 0..32 {
+            feed_series(&cal, 64, &[u64::MAX; 62]); // exponent 64: saturated
+        }
+        for bits in [8u32, 16, 32, 64] {
+            let d = cal.decision(bits).expect("adopted");
+            assert!(d.window_a_bits >= 1, "A non-empty at {bits} bits");
+            assert!(
+                d.window_a_bits + d.window_c_bits <= bits,
+                "partition fits {bits} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restores_adopted_state() {
+        let cal = StreamCalibrator::new(TuneParams::default(), &Obs::disabled());
+        for _ in 0..40 {
+            feed_series(&cal, 64, &[9; 62]);
+        }
+        let expected = cal.decision(16).expect("adopted");
+        let bytes = cal.snapshot();
+        let back = StreamCalibrator::restore(TuneParams::default(), &bytes, &Obs::disabled())
+            .expect("round-trip");
+        assert_eq!(back.series_seen(), cal.series_seen());
+        assert_eq!(back.decision(16), Some(expected));
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let obs = Obs::disabled();
+        assert!(StreamCalibrator::restore(TuneParams::default(), &[], &obs).is_err());
+        assert!(StreamCalibrator::restore(TuneParams::default(), &[9, 9, 9], &obs).is_err());
+        let cal = StreamCalibrator::new(TuneParams::default(), &obs);
+        let bytes = cal.snapshot();
+        let mismatched = TuneParams::new(Sensitivity::default(), Upsilon::SIX);
+        assert!(
+            StreamCalibrator::restore(mismatched, &bytes, &obs).is_err(),
+            "way count must match requested upsilon"
+        );
+        assert!(
+            StreamCalibrator::restore(TuneParams::default(), &bytes[..bytes.len() - 1], &obs)
+                .is_err(),
+            "truncated buffer"
+        );
+    }
+}

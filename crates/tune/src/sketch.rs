@@ -1,0 +1,204 @@
+//! A fixed-size log-bucket quantile sketch over XOR-difference magnitudes.
+//!
+//! The voter's per-way cut-off is the ceiling power of two of the Φ-th
+//! smallest XOR difference (paper §3.1), so the only thing a calibrator
+//! needs to recover from a stream is *which power of two* the rank
+//! statistic lands on. That makes the exact-histogram trick cheap: bucket
+//! every magnitude by its ceiling-pow2 exponent (65 possible values for a
+//! `u64`) and rank-walk the histogram. Because `x ↦ ⌈log2 x⌉` is
+//! monotone, the exponent of the k-th smallest magnitude equals the k-th
+//! smallest exponent — the sketch is **exact** in exponent space, not an
+//! approximation (property tested against a full sort in
+//! `tests/sketch_props.rs`).
+//!
+//! The update is O(1), the footprint is one fixed 65-slot array (no
+//! steady-state allocation — the same discipline as `preflight-obs`), and
+//! [`decay`](QuantileSketch::decay) halves every bucket so old scenes age
+//! out of a rolling stream.
+
+/// Number of exponent buckets: `u64` magnitudes have ceiling-pow2
+/// exponents 0..=64 (`⌈log2(u64::MAX)⌉ = 64`).
+pub const BUCKETS: usize = 65;
+
+/// The ceiling-pow2 exponent of a magnitude: the smallest `e` with
+/// `2^e >= m` (0 for `m <= 1`). This is exactly the exponent of the
+/// voter cut-off `ceil_pow2(m)` in `preflight-core`.
+#[inline]
+pub fn cp2_exponent(m: u64) -> u32 {
+    if m <= 1 {
+        0
+    } else {
+        64 - (m - 1).leading_zeros()
+    }
+}
+
+/// Exact log-bucket rank sketch; see the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Records one XOR-difference magnitude. O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, magnitude: u64) {
+        self.counts[cp2_exponent(magnitude) as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded magnitudes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Halves every bucket (rounding down), aging old observations out of
+    /// a rolling stream. Deterministic; repeated decay empties the sketch.
+    pub fn decay(&mut self) {
+        self.total = 0;
+        for c in &mut self.counts {
+            *c >>= 1;
+            self.total += *c;
+        }
+    }
+
+    /// The exponent at relative rank `rank / den`: the ceiling-pow2
+    /// exponent of the `⌈rank·total/den⌉`-th smallest recorded magnitude
+    /// (1-based, clamped into `1..=total`). An empty sketch returns 0 —
+    /// the tightest valid cut-off (`2^0 = 1`), matching what the voter
+    /// derives from an all-constant series.
+    ///
+    /// With `den == total` this is the exact rank statistic the per-series
+    /// voter analysis sorts for; with an aggregate sketch it is the same
+    /// relative rank applied to the pooled stream.
+    pub fn quantile_exponent(&self, rank: usize, den: usize) -> u32 {
+        if self.total == 0 || den == 0 {
+            return 0;
+        }
+        let num = rank as u128 * self.total as u128;
+        let den = den as u128;
+        let target = (num.div_ceil(den)).clamp(1, self.total as u128) as u64;
+        let mut acc = 0u64;
+        for (e, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return e as u32;
+            }
+        }
+        (BUCKETS - 1) as u32
+    }
+
+    /// Serializes the sketch: a version byte followed by the 65 bucket
+    /// counts as little-endian `u64`s. The total is recomputed on load.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        out.push(1);
+        for &c in &self.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    /// Deserializes a sketch written by [`to_bytes`](Self::to_bytes),
+    /// returning the sketch and the number of bytes consumed, or `None`
+    /// on a truncated or unversioned buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let need = 1 + BUCKETS * 8;
+        if bytes.len() < need || bytes[0] != 1 {
+            return None;
+        }
+        let mut sketch = QuantileSketch::new();
+        for (e, chunk) in bytes[1..need].chunks_exact(8).enumerate() {
+            let c = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            sketch.counts[e] = c;
+            sketch.total += c;
+        }
+        Some((sketch, need))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_matches_voter_cutoff_convention() {
+        // cp2_exponent mirrors ceil_pow2: 0 and 1 both yield cut-off 2^0.
+        assert_eq!(cp2_exponent(0), 0);
+        assert_eq!(cp2_exponent(1), 0);
+        assert_eq!(cp2_exponent(2), 1);
+        assert_eq!(cp2_exponent(3), 2);
+        assert_eq!(cp2_exponent(4), 2);
+        assert_eq!(cp2_exponent(5), 3);
+        assert_eq!(cp2_exponent(1 << 15), 15);
+        assert_eq!(cp2_exponent((1 << 15) + 1), 16);
+        assert_eq!(cp2_exponent(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantile_is_exact_against_a_sort() {
+        let values = [0u64, 7, 7, 9, 1, 40_000, 3, 3, 3, 512];
+        let mut sketch = QuantileSketch::new();
+        for &v in &values {
+            sketch.record(v);
+        }
+        let mut exps: Vec<u32> = values.iter().map(|&v| cp2_exponent(v)).collect();
+        exps.sort_unstable();
+        for rank in 1..=values.len() {
+            assert_eq!(
+                sketch.quantile_exponent(rank, values.len()),
+                exps[rank - 1],
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sketch_is_degenerate_but_valid() {
+        let sketch = QuantileSketch::new();
+        assert_eq!(sketch.quantile_exponent(1, 1), 0);
+        assert_eq!(sketch.quantile_exponent(0, 0), 0);
+    }
+
+    #[test]
+    fn decay_halves_and_eventually_empties() {
+        let mut sketch = QuantileSketch::new();
+        for _ in 0..5 {
+            sketch.record(100);
+        }
+        sketch.decay();
+        assert_eq!(sketch.total(), 2);
+        sketch.decay();
+        sketch.decay();
+        assert_eq!(sketch.total(), 0);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut sketch = QuantileSketch::new();
+        for v in [0u64, 1, 5, 5, 1 << 40, u64::MAX] {
+            sketch.record(v);
+        }
+        let mut bytes = Vec::new();
+        sketch.to_bytes(&mut bytes);
+        let (back, used) = QuantileSketch::from_bytes(&bytes).expect("valid buffer");
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, sketch);
+        assert!(QuantileSketch::from_bytes(&bytes[..10]).is_none());
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(QuantileSketch::from_bytes(&bad).is_none());
+    }
+}

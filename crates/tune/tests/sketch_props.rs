@@ -1,0 +1,126 @@
+//! Property tests for the quantile sketch and calibrator snapshots.
+//!
+//! The sketch claims to be *exact* in ceiling-pow2 exponent space: for any
+//! stream and any rank, the rank-walked exponent must equal the exponent
+//! of the rank-th smallest magnitude of a full sort. Adversarial streams
+//! probe the bucket boundaries (exact powers of two, `2^k ± 1`, zeros,
+//! `u64::MAX`) where an off-by-one in the exponent map would hide.
+
+use preflight_core::{Sensitivity, Upsilon};
+use preflight_obs::Obs;
+use preflight_tune::{cp2_exponent, QuantileSketch, StreamCalibrator, TuneParams, Tuner};
+use proptest::prelude::*;
+
+/// The reference: exponent of the rank-th smallest magnitude (1-based)
+/// under the same pooled-rank convention the sketch documents.
+fn exact_rank_exponent(values: &[u64], rank: usize, den: usize) -> u32 {
+    let mut exps: Vec<u32> = values.iter().map(|&v| cp2_exponent(v)).collect();
+    exps.sort_unstable();
+    let total = exps.len() as u128;
+    let target = ((rank as u128 * total).div_ceil(den as u128)).clamp(1, total) as usize;
+    exps[target - 1]
+}
+
+fn sketch_of(values: &[u64]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::new();
+    for &v in values {
+        sketch.record(v);
+    }
+    sketch
+}
+
+/// Adversarial magnitudes: every bucket-boundary neighborhood plus the
+/// extremes, far denser around the edges than uniform sampling would be.
+fn adversarial_magnitude() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        (0u32..63).prop_map(|k| 1u64 << k),
+        (1u32..63).prop_map(|k| (1u64 << k) + 1),
+        (1u32..64).prop_map(|k| (1u64 << k) - 1),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rank_exact_on_random_streams(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        rank_seed in any::<usize>(),
+    ) {
+        let rank = 1 + rank_seed % values.len();
+        let sketch = sketch_of(&values);
+        prop_assert_eq!(
+            sketch.quantile_exponent(rank, values.len()),
+            exact_rank_exponent(&values, rank, values.len())
+        );
+    }
+
+    #[test]
+    fn rank_exact_on_adversarial_streams(
+        values in prop::collection::vec(adversarial_magnitude(), 1..200),
+        rank_seed in any::<usize>(),
+    ) {
+        let rank = 1 + rank_seed % values.len();
+        let sketch = sketch_of(&values);
+        prop_assert_eq!(
+            sketch.quantile_exponent(rank, values.len()),
+            exact_rank_exponent(&values, rank, values.len())
+        );
+    }
+
+    #[test]
+    fn pooled_rank_exact_against_wider_denominator(
+        values in prop::collection::vec(any::<u64>(), 2..120),
+        rank in 1usize..64,
+        den in 64usize..256,
+    ) {
+        // The serving shape: per-series rank applied to a pooled sketch.
+        let sketch = sketch_of(&values);
+        prop_assert_eq!(
+            sketch.quantile_exponent(rank, den),
+            exact_rank_exponent(&values, rank, den)
+        );
+    }
+
+    #[test]
+    fn sketch_serialization_round_trips(
+        values in prop::collection::vec(adversarial_magnitude(), 0..150),
+    ) {
+        let sketch = sketch_of(&values);
+        let mut bytes = Vec::new();
+        sketch.to_bytes(&mut bytes);
+        let (back, used) = QuantileSketch::from_bytes(&bytes).expect("own bytes parse");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, sketch);
+    }
+
+    #[test]
+    fn calibrator_snapshot_round_trips_mid_stream(
+        series in prop::collection::vec(
+            prop::collection::vec(adversarial_magnitude(), 8..40),
+            1..40,
+        ),
+        bits in prop::sample::select(vec![8u32, 16, 32, 64]),
+    ) {
+        // A drain/restart at any point of a live stream must preserve the
+        // in-force decision and the rolling statistics exactly.
+        let params = TuneParams::new(Sensitivity::default(), Upsilon::FOUR);
+        let cal = StreamCalibrator::new(params, &Obs::disabled());
+        for mags in &series {
+            let frames = (mags.len() + 1) as u32;
+            for way in 0..cal.ways() {
+                cal.observe(frames, way, mags);
+            }
+        }
+        let live = cal.decision(bits);
+        if let Some(d) = live {
+            prop_assert!(d.window_a_bits >= 1);
+            prop_assert!(d.window_a_bits + d.window_c_bits <= bits);
+        }
+        let restored = StreamCalibrator::restore(params, &cal.snapshot(), &Obs::disabled())
+            .expect("snapshot round-trip");
+        prop_assert_eq!(restored.series_seen(), cal.series_seen());
+        prop_assert_eq!(restored.decision(bits), live);
+    }
+}
