@@ -142,18 +142,23 @@ fn run_perf(quick: bool) {
     eprintln!("throughput sweep written to {path}");
 }
 
-/// `serve`: load-test an in-process `preflightd` and persist the numbers.
+/// `serve`: load-test a `preflightd` at the operating point, sweep the
+/// open-connection axis, and persist both into one document.
 fn run_serve(quick: bool) {
-    use preflight_bench::serve::{serve_loadgen, ServeConfig};
-    let config = if quick {
-        ServeConfig::quick()
+    use preflight_bench::serve::{
+        bench_json, conn_sweep, serve_loadgen, ConnSweepConfig, ServeConfig,
+    };
+    let (config, sweep_config) = if quick {
+        (ServeConfig::quick(), ConnSweepConfig::quick())
     } else {
-        ServeConfig::standard()
+        (ServeConfig::standard(), ConnSweepConfig::standard())
     };
     let report = serve_loadgen(&config);
     print!("{}", report.to_table());
+    let sweep = conn_sweep(&sweep_config);
+    print!("{}", sweep.to_table());
     let path = "BENCH_serve.json";
-    if let Err(e) = std::fs::write(path, report.to_json()) {
+    if let Err(e) = std::fs::write(path, bench_json(&report, &sweep)) {
         eprintln!("failed to write {path}: {e}");
         std::process::exit(1);
     }

@@ -13,9 +13,9 @@
 use crate::perf::{kernel_label, sample_u16, synthetic_stack, tier_label};
 use preflight_router::pool::BackendAddr;
 use preflight_router::server::{start as start_router, RouterConfig};
-use preflight_serve::server::{start as start_daemon, ServerConfig};
+use preflight_serve::server::ServerConfig;
 use preflight_serve::wire::FramePayload;
-use preflight_serve::{Client, ClientError, SubmitOptions};
+use preflight_serve::{ClientBuilder, ClientError, ServerBuilder, SubmitOptions};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -133,10 +133,11 @@ pub fn route_loadgen(config: &RouteConfig) -> RouteReport {
     let engine_kernel = ServerConfig::default().engine.kernel;
     let backends: Vec<_> = (0..config.backends)
         .map(|_| {
-            start_daemon(ServerConfig {
+            ServerBuilder::from(ServerConfig {
                 tcp: Some("127.0.0.1:0".to_owned()),
                 ..ServerConfig::default()
             })
+            .serve()
             .expect("backend start")
         })
         .collect();
@@ -158,7 +159,10 @@ pub fn route_loadgen(config: &RouteConfig) -> RouteReport {
     for c in 0..config.clients {
         let config = config.clone();
         workers.push(std::thread::spawn(move || {
-            let mut client = Client::connect_tcp(addr).expect("client connect");
+            let mut client = ClientBuilder::new()
+                .tcp(addr)
+                .connect()
+                .expect("client connect");
             let mut latencies_ms = Vec::with_capacity(config.requests_per_client);
             let mut busy: u64 = 0;
             for r in 0..config.requests_per_client {

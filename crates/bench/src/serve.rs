@@ -8,9 +8,9 @@
 //! The scriptable output lands in `BENCH_serve.json`.
 
 use crate::perf::{kernel_label, sample_u16, synthetic_stack, tier_label};
-use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::server::ServerConfig;
 use preflight_serve::wire::FramePayload;
-use preflight_serve::{Client, ClientError, SubmitOptions};
+use preflight_serve::{ClientBuilder, ClientError, ServerBuilder, SubmitOptions};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -111,13 +111,12 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
 /// Panics if the daemon cannot start or a client loses its connection —
 /// both are harness failures, not measurements.
 pub fn serve_loadgen(config: &ServeConfig) -> ServeReport {
-    let server_config = ServerConfig {
-        tcp: Some("127.0.0.1:0".to_owned()),
-        capacity: config.capacity,
-        ..ServerConfig::default()
-    };
-    let engine_kernel = server_config.engine.kernel;
-    let handle = start(server_config).expect("daemon start");
+    let engine_kernel = ServerConfig::default().engine.kernel;
+    let handle = ServerBuilder::new()
+        .bind("127.0.0.1:0")
+        .queue_depth(config.capacity)
+        .serve()
+        .expect("daemon start");
     let addr = handle.tcp_addr().expect("bound address");
 
     let started = Instant::now();
@@ -125,7 +124,10 @@ pub fn serve_loadgen(config: &ServeConfig) -> ServeReport {
     for c in 0..config.clients {
         let config = config.clone();
         workers.push(std::thread::spawn(move || {
-            let mut client = Client::connect_tcp(addr).expect("client connect");
+            let mut client = ClientBuilder::new()
+                .tcp(addr)
+                .connect()
+                .expect("client connect");
             let mut latencies_ms = Vec::with_capacity(config.requests_per_client);
             let mut busy: u64 = 0;
             for r in 0..config.requests_per_client {
@@ -275,6 +277,386 @@ impl ServeReport {
     }
 }
 
+/// Workload shape for the open-connection sweep: how does tail latency
+/// move as thousands of idle connections sit on the daemon's poller?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnSweepConfig {
+    /// Idle-connection counts to sweep through, one daemon each.
+    pub open_levels: Vec<usize>,
+    /// Concurrent active clients submitting alongside the idle herd.
+    pub active_clients: usize,
+    /// Stacks each active client submits.
+    pub requests_per_client: usize,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Temporal frames per request.
+    pub frames: usize,
+    /// Daemon queue capacity (in-flight requests before `Busy`).
+    pub capacity: usize,
+}
+
+impl ConnSweepConfig {
+    /// The full sweep: 256 → 10 000 idle connections under the PR 3
+    /// operating load (matching [`ServeConfig::standard`] frame shape).
+    pub fn standard() -> Self {
+        ConnSweepConfig {
+            open_levels: vec![256, 1024, 4096, 10_000],
+            active_clients: 4,
+            requests_per_client: 8,
+            width: 32,
+            height: 32,
+            frames: 8,
+            capacity: 16,
+        }
+    }
+
+    /// A CI-sized sweep that stays well inside default fd limits.
+    pub fn quick() -> Self {
+        ConnSweepConfig {
+            open_levels: vec![64, 256],
+            active_clients: 2,
+            requests_per_client: 4,
+            width: 16,
+            height: 16,
+            frames: 4,
+            capacity: 8,
+        }
+    }
+}
+
+/// One sweep level: p50/p99 of the active traffic with `open_held` idle
+/// connections parked on the same event loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnSweepRow {
+    /// Idle connections the level asked for.
+    pub open_target: usize,
+    /// Idle connections actually established and held.
+    pub open_held: usize,
+    /// Median active-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile active-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// `Busy` rejections absorbed by active-client retry.
+    pub busy_retries: u64,
+    /// Connections the daemon refused at the cap (its own counter).
+    pub rejected_connections: u64,
+}
+
+/// Results of one open-connection sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnSweepReport {
+    /// The workload that ran.
+    pub config: ConnSweepConfig,
+    /// One row per sweep level.
+    pub rows: Vec<ConnSweepRow>,
+    /// `"subprocess"` when a `preflightd` binary served the sweep from its
+    /// own process (each side keeps its own fd budget), `"in-process"`
+    /// otherwise.
+    pub daemon: &'static str,
+}
+
+/// A daemon under test: a real `preflightd` child process when the binary
+/// is reachable, an in-process server otherwise. The subprocess path is
+/// what lets a 10 000-connection level fit: each side of the socket pair
+/// charges a different process's fd limit.
+enum SweepDaemon {
+    Subprocess {
+        child: std::process::Child,
+        addr: std::net::SocketAddr,
+    },
+    InProcess {
+        handle: preflight_serve::server::ServerHandle,
+        addr: std::net::SocketAddr,
+    },
+}
+
+impl SweepDaemon {
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            SweepDaemon::Subprocess { addr, .. } | SweepDaemon::InProcess { addr, .. } => *addr,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            SweepDaemon::Subprocess { .. } => "subprocess",
+            SweepDaemon::InProcess { .. } => "in-process",
+        }
+    }
+
+    /// Drains over the wire (both variants honour it) and reaps the child.
+    fn stop(self) {
+        let addr = self.addr();
+        if let Ok(mut client) = ClientBuilder::new()
+            .tcp(addr)
+            .io_timeout(Duration::from_secs(30))
+            .connect()
+        {
+            let _ = client.drain();
+        }
+        match self {
+            SweepDaemon::Subprocess { mut child, .. } => {
+                let deadline = Instant::now() + Duration::from_secs(30);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+            SweepDaemon::InProcess { handle, .. } => {
+                handle.drain();
+            }
+        }
+    }
+}
+
+/// Locates a `preflightd` binary: `$PREFLIGHTD_BIN` wins, then siblings of
+/// the running executable (`target/<profile>/` and, for unit-test
+/// binaries, one directory above `deps/`).
+fn find_preflightd() -> Option<std::path::PathBuf> {
+    if let Ok(explicit) = std::env::var("PREFLIGHTD_BIN") {
+        let path = std::path::PathBuf::from(explicit);
+        return path.is_file().then_some(path);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..2 {
+        let candidate = dir.join("preflightd");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+fn spawn_daemon(capacity: usize) -> SweepDaemon {
+    if let Some(bin) = find_preflightd() {
+        let mut child = std::process::Command::new(&bin)
+            .args(["--tcp", "127.0.0.1:0", "--capacity", &capacity.to_string()])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn preflightd");
+        // The daemon announces its ephemeral port on stdout before serving.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufRead::lines(std::io::BufReader::new(stdout));
+        let addr = loop {
+            let line = match lines.next() {
+                Some(Ok(line)) => line,
+                _ => {
+                    let _ = child.kill();
+                    panic!("preflightd exited before announcing its address");
+                }
+            };
+            if let Some(rest) = line.split("tcp://").nth(1) {
+                break rest.trim().parse().expect("announced address parses");
+            }
+        };
+        // Keep draining the pipe so the child never blocks on stdout.
+        std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+        return SweepDaemon::Subprocess { child, addr };
+    }
+    let handle = ServerBuilder::new()
+        .bind("127.0.0.1:0")
+        .queue_depth(capacity)
+        .serve()
+        .expect("in-process daemon start");
+    let addr = handle.tcp_addr().expect("bound address");
+    SweepDaemon::InProcess { handle, addr }
+}
+
+/// Runs the open-connection sweep: per level, park N idle connections on
+/// a fresh daemon, drive the active workload through them, and read the
+/// daemon's own rejection counters over the wire.
+///
+/// # Panics
+/// Panics if a daemon cannot start or active traffic fails — harness
+/// failures, not measurements.
+pub fn conn_sweep(config: &ConnSweepConfig) -> ConnSweepReport {
+    #[cfg(unix)]
+    let _ = preflight_serve::poll::raise_nofile_limit();
+
+    let mut rows = Vec::with_capacity(config.open_levels.len());
+    let mut daemon_label = "in-process";
+    for &level in &config.open_levels {
+        let daemon = spawn_daemon(config.capacity);
+        daemon_label = daemon.label();
+        let addr = daemon.addr();
+
+        let mut idle = Vec::with_capacity(level);
+        for _ in 0..level {
+            match std::net::TcpStream::connect(addr) {
+                Ok(stream) => idle.push(stream),
+                Err(_) => break,
+            }
+        }
+        let open_held = idle.len();
+
+        let mut workers = Vec::new();
+        for c in 0..config.active_clients {
+            let config = config.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut client = ClientBuilder::new()
+                    .tcp(addr)
+                    .connect()
+                    .expect("active client connect");
+                let mut latencies_ms = Vec::with_capacity(config.requests_per_client);
+                let mut busy: u64 = 0;
+                for r in 0..config.requests_per_client {
+                    let seed = 0x0CEA ^ ((c as u64) << 32) ^ r as u64;
+                    let stack = synthetic_stack(
+                        config.width,
+                        config.height,
+                        config.frames,
+                        seed,
+                        sample_u16,
+                    );
+                    let opts = SubmitOptions {
+                        stream_id: c as u64,
+                        eos: true,
+                        ..SubmitOptions::default()
+                    };
+                    let begin = Instant::now();
+                    loop {
+                        match client.submit(FramePayload::U16(stack.clone()), &opts) {
+                            Ok(response) => {
+                                assert_eq!(response.payload.frames(), config.frames);
+                                break;
+                            }
+                            Err(ClientError::Busy(_)) => {
+                                busy += 1;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(e) => panic!("active client {c} request {r} failed: {e}"),
+                        }
+                    }
+                    latencies_ms.push(begin.elapsed().as_secs_f64() * 1e3);
+                }
+                (latencies_ms, busy)
+            }));
+        }
+
+        let mut latencies_ms = Vec::new();
+        let mut busy_retries = 0;
+        for w in workers {
+            let (lat, busy) = w.join().expect("active client thread");
+            latencies_ms.extend(lat);
+            busy_retries += busy;
+        }
+
+        let rejected_connections = ClientBuilder::new()
+            .tcp(addr)
+            .connect()
+            .ok()
+            .and_then(|mut c| c.stats().ok())
+            .and_then(|snap| snap.counter("serve_connections_rejected_total", None))
+            .unwrap_or(0);
+
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        rows.push(ConnSweepRow {
+            open_target: level,
+            open_held,
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p99_ms: percentile(&latencies_ms, 0.99),
+            busy_retries,
+            rejected_connections,
+        });
+
+        drop(idle);
+        daemon.stop();
+    }
+    ConnSweepReport {
+        config: config.clone(),
+        rows,
+        daemon: daemon_label,
+    }
+}
+
+impl ConnSweepReport {
+    /// Aligned text table for the terminal.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "open-connection sweep, {} active client(s) x {} request(s) of {}x{}x{} frames, \
+             queue capacity {}, daemon {}",
+            self.config.active_clients,
+            self.config.requests_per_client,
+            self.config.width,
+            self.config.height,
+            self.config.frames,
+            self.config.capacity,
+            self.daemon
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+            "open", "held", "p50_ms", "p99_ms", "busy", "rejected"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>10} {:>10.3} {:>10.3} {:>8} {:>10}",
+                row.open_target,
+                row.open_held,
+                row.p50_ms,
+                row.p99_ms,
+                row.busy_retries,
+                row.rejected_connections
+            );
+        }
+        out
+    }
+
+    /// The sweep as a hand-formatted JSON array (no JSON dependency).
+    fn json_rows(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"open_target\": {}, \"open_held\": {}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}, \"busy_retries\": {}, \"rejected_connections\": {}}}",
+                row.open_target,
+                row.open_held,
+                row.p50_ms,
+                row.p99_ms,
+                row.busy_retries,
+                row.rejected_connections
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+        out
+    }
+}
+
+/// The combined `BENCH_serve.json` document: the PR 3 operating-point
+/// loadgen plus the open-connection sweep.
+pub fn bench_json(report: &ServeReport, sweep: &ConnSweepReport) -> String {
+    let base = report.to_json();
+    let trimmed = base
+        .strip_suffix("}\n")
+        .expect("loadgen json ends with a brace");
+    let mut out = trimmed.trim_end().to_owned();
+    out.push_str(",\n");
+    let _ = writeln!(out, "  \"open_connection_daemon\": \"{}\",", sweep.daemon);
+    let _ = writeln!(out, "  \"open_connection_sweep\": {}", sweep.json_rows());
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +684,49 @@ mod tests {
         assert!(json.contains("\"dispatch_tier\": \"-\""));
         let count = |c| json.matches(c).count();
         assert_eq!(count('{'), count('}'));
+    }
+
+    #[test]
+    fn tiny_conn_sweep_holds_idle_connections_and_measures() {
+        let config = ConnSweepConfig {
+            open_levels: vec![8, 16],
+            active_clients: 1,
+            requests_per_client: 2,
+            width: 8,
+            height: 8,
+            frames: 4,
+            capacity: 4,
+        };
+        let report = conn_sweep(&config);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert_eq!(row.open_held, row.open_target, "idle herd must connect");
+            assert!(row.p99_ms >= row.p50_ms);
+            assert_eq!(row.rejected_connections, 0, "well under the cap");
+        }
+    }
+
+    #[test]
+    fn combined_bench_json_nests_the_sweep() {
+        let report = serve_loadgen(&ServeConfig::quick());
+        let sweep = ConnSweepReport {
+            config: ConnSweepConfig::quick(),
+            rows: vec![ConnSweepRow {
+                open_target: 64,
+                open_held: 64,
+                p50_ms: 1.0,
+                p99_ms: 2.0,
+                busy_retries: 0,
+                rejected_connections: 0,
+            }],
+            daemon: "in-process",
+        };
+        let json = bench_json(&report, &sweep);
+        assert!(json.contains("\"open_connection_sweep\": ["));
+        assert!(json.contains("\"open_target\": 64"));
+        assert!(json.ends_with("}\n"));
+        let count = |c| json.matches(c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
     }
 }

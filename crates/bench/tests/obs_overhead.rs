@@ -145,7 +145,7 @@ fn enabled_observability_overhead_is_bounded() {
         .counter("preprocess_runs_total", None)
         .expect("the timed passes must actually have been observed");
     assert!(
-        runs >= reps as u64 && runs % reps as u64 == 0,
+        runs >= reps as u64 && runs.is_multiple_of(reps as u64),
         "every retry attempt times {reps} observed passes, got {runs}"
     );
 }

@@ -622,11 +622,11 @@ fn cmd_pipeline(opts: &Opts) -> Result<String, CliError> {
 /// Connects to a daemon named by `--tcp` or `--unix` (exactly one way).
 fn connect_daemon(opts: &Opts) -> Result<preflight_serve::Client, CliError> {
     if let Some(addr) = opts.get("tcp") {
-        return Ok(preflight_serve::Client::connect_tcp(addr)?);
+        return Ok(preflight_serve::ClientBuilder::new().tcp(addr).connect()?);
     }
     #[cfg(unix)]
     if let Some(path) = opts.get("unix") {
-        return Ok(preflight_serve::Client::connect_unix(path)?);
+        return Ok(preflight_serve::ClientBuilder::new().unix(path).connect()?);
     }
     Err(CliError::Usage(
         "--tcp ADDR or --unix PATH is required to reach a daemon".to_owned(),
@@ -636,7 +636,8 @@ fn connect_daemon(opts: &Opts) -> Result<preflight_serve::Client, CliError> {
 /// `serve`: run a `preflightd` daemon in the foreground until a wire-level
 /// drain (or SIGTERM/SIGINT) stops it.
 fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
-    use preflight_serve::server::{start, ServerConfig};
+    use preflight_serve::server::ServerConfig;
+    use preflight_serve::ServerBuilder;
 
     let mut config = ServerConfig {
         tcp: opts.get("tcp").cloned(),
@@ -673,7 +674,9 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     config.auto_tune = opts.has("auto-tune");
 
     preflight_serve::signal::install();
-    let handle = start(config).map_err(|e| CliError::Serve(e.to_string()))?;
+    let handle = ServerBuilder::from(config)
+        .serve()
+        .map_err(|e| CliError::Serve(e.to_string()))?;
     let mut report = String::new();
     if let Some(w) = thread_warning {
         let _ = writeln!(report, "{w}");

@@ -58,6 +58,7 @@ pub use preflight_ngst as ngst;
 pub use preflight_obs as obs;
 pub use preflight_otis as otis;
 pub use preflight_rice as rice;
+pub use preflight_serve as serve;
 pub use preflight_supervisor as supervisor;
 pub use preflight_tune as tune;
 
@@ -96,6 +97,7 @@ pub mod prelude {
     pub use preflight_obs::{Obs, Snapshot, Span, TimelineRecorder};
     pub use preflight_otis::{AlftError, AlftHarness, AlftOutcome, ProcessFault, Retrieval};
     pub use preflight_rice::RiceCodec;
+    pub use preflight_serve::{ClientBuilder, ServerBuilder};
     pub use preflight_supervisor::{
         DegradationLadder, FtLevel, RecoveryEvent, RecoveryLog, RetryPolicy, Supervision,
     };

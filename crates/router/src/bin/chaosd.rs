@@ -16,9 +16,10 @@
 //! corrupt ones are not — is exactly what the router's divergence
 //! arbitration relies on.
 
-use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::server::ServerConfig;
 use preflight_serve::signal;
 use preflight_serve::wire::{read_message, write_message, FramePayload, Message};
+use preflight_serve::ServerBuilder;
 use std::io::ErrorKind;
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -214,10 +215,12 @@ fn main() {
     signal::install();
 
     // The real engine, on a loopback port only this process knows.
-    let inner = match start(ServerConfig {
+    let inner = match ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         ..ServerConfig::default()
-    }) {
+    })
+    .serve()
+    {
         Ok(h) => h,
         Err(e) => {
             eprintln!("chaosd: failed to start inner daemon: {e}");

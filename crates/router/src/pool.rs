@@ -10,6 +10,7 @@
 
 use crate::telemetry::{backend_label, RouterStats};
 use preflight_serve::client::{Client, ClientError};
+use preflight_serve::ClientBuilder;
 use preflight_supervisor::{FleetFault, FleetPolicy, UnitHealth, UnitStatus};
 use std::fmt;
 use std::path::PathBuf;
@@ -71,9 +72,9 @@ impl BackendAddr {
     /// Fails if the connection is refused or the path does not exist.
     pub fn connect(&self) -> Result<Client, ClientError> {
         match self {
-            BackendAddr::Tcp(addr) => Client::connect_tcp(addr.as_str()),
+            BackendAddr::Tcp(addr) => ClientBuilder::new().tcp(addr).connect(),
             #[cfg(unix)]
-            BackendAddr::Unix(path) => Client::connect_unix(path),
+            BackendAddr::Unix(path) => ClientBuilder::new().unix(path).connect(),
         }
     }
 }

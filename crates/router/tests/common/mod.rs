@@ -3,9 +3,10 @@
 //! single-daemon oracle every routed reply must match bit for bit.
 
 use preflight_core::ImageStack;
-use preflight_serve::client::{Client, SubmitOptions};
-use preflight_serve::server::{start as start_daemon, ServerConfig};
+use preflight_serve::client::SubmitOptions;
+use preflight_serve::server::ServerConfig;
 use preflight_serve::wire::FramePayload;
+use preflight_serve::{ClientBuilder, ServerBuilder};
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 
@@ -103,13 +104,17 @@ pub fn opts(stream: u64) -> SubmitOptions {
 /// Computes the single-daemon oracle: each payload served by a fresh
 /// in-process `preflightd` with no router anywhere near it.
 pub fn oracle(inputs: &[(u64, FramePayload)]) -> Vec<FramePayload> {
-    let daemon = start_daemon(ServerConfig {
+    let daemon = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         ..ServerConfig::default()
     })
+    .serve()
     .expect("start oracle daemon");
     let addr = daemon.tcp_addr().expect("oracle bound");
-    let mut client = Client::connect_tcp(addr).expect("connect oracle");
+    let mut client = ClientBuilder::new()
+        .tcp(addr)
+        .connect()
+        .expect("connect oracle");
     let outputs = inputs
         .iter()
         .map(|(stream, p)| {

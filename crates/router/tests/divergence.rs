@@ -15,7 +15,7 @@ use common::{opts, oracle, payload, ChaosBackend};
 use preflight_router::pool::BackendAddr;
 use preflight_router::server::{start, RouterConfig};
 use preflight_router::telemetry::QUARANTINES_TOTAL;
-use preflight_serve::client::Client;
+use preflight_serve::ClientBuilder;
 use preflight_supervisor::UnitStatus;
 use std::time::Duration;
 
@@ -50,7 +50,10 @@ fn corrupt_replica_is_detected_quarantined_and_outvoted() {
         .collect();
     let expected = oracle(&inputs);
 
-    let mut client = Client::connect_tcp(router_addr).expect("connect router");
+    let mut client = ClientBuilder::new()
+        .tcp(router_addr)
+        .connect()
+        .expect("connect router");
     for (k, (stream, p)) in inputs.iter().enumerate() {
         let response = client
             .submit(p.clone(), &opts(*stream))

@@ -14,7 +14,7 @@ use common::{opts, oracle, payload, ChaosBackend};
 use preflight_router::pool::BackendAddr;
 use preflight_router::server::{start, RouterConfig};
 use preflight_router::Ring;
-use preflight_serve::client::Client;
+use preflight_serve::ClientBuilder;
 use preflight_supervisor::UnitStatus;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -81,7 +81,10 @@ fn killed_backend_never_loses_or_corrupts_accepted_frames() {
             streams[t * STREAMS_PER_THREAD..(t + 1) * STREAMS_PER_THREAD].to_vec();
         let done = Arc::clone(&done);
         workers.push(std::thread::spawn(move || {
-            let mut client = Client::connect_tcp(router_addr).expect("connect router");
+            let mut client = ClientBuilder::new()
+                .tcp(router_addr)
+                .connect()
+                .expect("connect router");
             let mut served: Vec<(u64, u64, _)> = Vec::new();
             for round in 0..ROUNDS {
                 for &stream in &my_streams {

@@ -19,7 +19,8 @@
 //! the whole pipeline, not just the wire.
 
 use crate::queue::{AdmissionGate, AdmissionPermit};
-use crate::wire::{Dtype, Message, SubmitRequest};
+use crate::reply::ReplySink;
+use crate::wire::{Dtype, SubmitRequest};
 use crossbeam::channel;
 use preflight_obs::Histogram;
 use std::collections::HashMap;
@@ -84,8 +85,8 @@ pub struct SubmitJob {
     pub permit: AdmissionPermit,
     /// When the request won admission (queue-wait telemetry starts here).
     pub admitted_at: Instant,
-    /// The owning connection's writer channel.
-    pub reply: channel::Sender<Message>,
+    /// Routes this request's reply back to its owning connection.
+    pub reply: ReplySink,
 }
 
 /// Commands the batcher thread accepts.
@@ -266,14 +267,17 @@ mod tests {
         )
     }
 
-    fn job(gate: &AdmissionGate, req: SubmitRequest) -> (SubmitJob, channel::Receiver<Message>) {
-        let (tx, rx) = channel::unbounded();
+    fn job(
+        gate: &AdmissionGate,
+        req: SubmitRequest,
+    ) -> (SubmitJob, channel::Receiver<(u64, crate::wire::Message)>) {
+        let (sink, rx) = ReplySink::detached();
         (
             SubmitJob {
                 request: req,
                 permit: gate.try_acquire().expect("capacity"),
                 admitted_at: Instant::now(),
-                reply: tx,
+                reply: sink,
             },
             rx,
         )

@@ -11,8 +11,9 @@
 //! wire-level `Drain` arrives or SIGTERM/SIGINT is delivered, then flushes
 //! in-flight batches and exits 0.
 
-use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::server::ServerConfig;
 use preflight_serve::signal;
+use preflight_serve::ServerBuilder;
 use std::time::Duration;
 
 fn print_usage() {
@@ -22,7 +23,7 @@ fn print_usage() {
     eprintln!("  --unix PATH          Unix socket path, e.g. /tmp/preflightd.sock");
     eprintln!("  --metrics-addr ADDR  Prometheus /metrics listener, e.g. 127.0.0.1:9090");
     eprintln!("  --capacity N         bounded-queue slots before Busy (default 64)");
-    eprintln!("  --max-conns N        concurrent connections before Busy (default 256)");
+    eprintln!("  --max-conns N        concurrent connections before Busy (default 10240)");
     eprintln!("  --batch-frames N     base batch depth target (default 16)");
     eprintln!("  --batch-delay-ms N   batch flush deadline in ms (default 5)");
     eprintln!("  --threads N          engine threads per batch (default: cores)");
@@ -113,7 +114,7 @@ fn main() {
 
     signal::install();
 
-    let handle = match start(args.config) {
+    let handle = match ServerBuilder::from(args.config).serve() {
         Ok(h) => h,
         Err(e) => {
             eprintln!("preflightd: failed to start: {e}");

@@ -148,23 +148,50 @@ impl Write for Transport {
 }
 
 /// A blocking connection to a `preflightd` daemon.
+///
+/// Build one with [`crate::builder::ClientBuilder`], which also carries
+/// connect/IO timeouts, a default retry policy, and a default stream id.
 pub struct Client {
     transport: Transport,
     next_request_id: u64,
+    /// Builder-configured policy [`Client::submit`] applies to `Busy`
+    /// rejections. `None` (the default) fails fast.
+    pub(crate) retry: Option<RetryPolicy>,
+    /// Builder-configured stream id for [`Client::default_options`].
+    pub(crate) default_stream: u64,
 }
 
 impl Client {
-    /// Connects over TCP.
-    ///
-    /// # Errors
-    /// Fails if the address does not resolve or the connection is refused.
-    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+    pub(crate) fn from_tcp(stream: TcpStream) -> Result<Self, ClientError> {
         stream.set_nodelay(true)?;
         Ok(Client {
             transport: Transport::Tcp(stream),
             next_request_id: 1,
+            retry: None,
+            default_stream: 0,
         })
+    }
+
+    #[cfg(unix)]
+    pub(crate) fn from_unix(stream: std::os::unix::net::UnixStream) -> Result<Self, ClientError> {
+        Ok(Client {
+            transport: Transport::Unix(stream),
+            next_request_id: 1,
+            retry: None,
+            default_stream: 0,
+        })
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    /// Fails if the address does not resolve or the connection is refused.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `ClientBuilder::new().tcp(addr).connect()` instead"
+    )]
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Client::from_tcp(TcpStream::connect(addr)?)
     }
 
     /// Connects over a Unix socket.
@@ -172,12 +199,21 @@ impl Client {
     /// # Errors
     /// Fails if the socket path cannot be connected to.
     #[cfg(unix)]
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `ClientBuilder::new().unix(path).connect()` instead"
+    )]
     pub fn connect_unix(path: impl AsRef<Path>) -> Result<Self, ClientError> {
-        let stream = std::os::unix::net::UnixStream::connect(path)?;
-        Ok(Client {
-            transport: Transport::Unix(stream),
-            next_request_id: 1,
-        })
+        Client::from_unix(std::os::unix::net::UnixStream::connect(path)?)
+    }
+
+    /// [`SubmitOptions`] preloaded with this client's builder-configured
+    /// stream id (paper-faithful Λ/Υ defaults otherwise).
+    pub fn default_options(&self) -> SubmitOptions {
+        SubmitOptions {
+            stream_id: self.default_stream,
+            ..SubmitOptions::default()
+        }
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -246,9 +282,25 @@ impl Client {
     /// Submits a frame stack and blocks for the repaired stack plus its
     /// telemetry trailer.
     ///
+    /// A builder-configured retry policy
+    /// ([`crate::builder::ClientBuilder::retry`]) is applied to `Busy`
+    /// rejections here; without one (the default, and always the case for
+    /// the deprecated constructors) `Busy` fails fast.
+    ///
     /// # Errors
     /// Fails on transport problems, `Busy` rejection, or server errors.
     pub fn submit(
+        &mut self,
+        payload: FramePayload,
+        opts: &SubmitOptions,
+    ) -> Result<SubmitResponse, ClientError> {
+        match self.retry {
+            Some(policy) => self.submit_retrying(payload, opts, &policy),
+            None => self.submit_once(payload, opts),
+        }
+    }
+
+    fn submit_once(
         &mut self,
         payload: FramePayload,
         opts: &SubmitOptions,
@@ -281,9 +333,18 @@ impl Client {
         opts: &SubmitOptions,
         policy: &RetryPolicy,
     ) -> Result<SubmitResponse, ClientError> {
+        self.submit_retrying(payload, opts, policy)
+    }
+
+    fn submit_retrying(
+        &mut self,
+        payload: FramePayload,
+        opts: &SubmitOptions,
+        policy: &RetryPolicy,
+    ) -> Result<SubmitResponse, ClientError> {
         let mut retries = 0u32;
         loop {
-            match self.submit(payload.clone(), opts) {
+            match self.submit_once(payload.clone(), opts) {
                 Ok(mut response) => {
                     response.stats.net_retries = response.stats.net_retries.saturating_add(retries);
                     return Ok(response);

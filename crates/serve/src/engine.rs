@@ -348,8 +348,10 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
             payload: T::wrap(out),
         });
         // A vanished client is not an engine error; its permit releases
-        // when the job drops either way.
-        if job.reply.send(response).is_ok() {
+        // when the job drops either way. `completed` counts responses
+        // handed to the loop for writing; the loop drops those whose
+        // connection disappeared while the batch was in flight.
+        if job.reply.send(response) {
             stats.completed.inc();
         }
     }
@@ -366,7 +368,7 @@ fn elapsed_us_between(from: Instant, to: Instant) -> u64 {
 
 fn respond_error(batch: &BatchJob, why: &str) {
     for job in &batch.jobs {
-        let _ = job.reply.send(Message::Error(ErrorReply {
+        job.reply.send(Message::Error(ErrorReply {
             request_id: job.request.request_id,
             code: ErrorCode::Internal,
             message: why.to_owned(),

@@ -1,0 +1,815 @@
+//! The non-blocking connection engine: one thread, every socket.
+//!
+//! PR 3's daemon spent two threads per connection (reader + writer), which
+//! caps realistic concurrency near the hundreds. This loop replaces all of
+//! them: a single thread multiplexes the listeners, every connection, and
+//! a self-pipe waker over [`crate::poll`] (epoll/kqueue), so 10k+ mostly
+//! idle connections cost file descriptors and per-connection buffers — not
+//! stacks.
+//!
+//! Each connection is a small state machine ([`ReadState`]) that owns a
+//! reusable head/body/out buffer triple. Readable events advance the
+//! decoder exactly as far as the kernel has bytes (envelope head → chunked
+//! body → CRC-checked [`Message`]); complete messages dispatch inline —
+//! the same admission/draining/protocol logic the threaded server ran,
+//! preserving every hardening invariant:
+//!
+//! - **CRC framing + checked geometry**: unchanged `parse_head`/`parse_body`.
+//! - **`Busy` admission**: the request gate at submit, the connection gate
+//!   at accept — an over-cap accept still gets a best-effort `Busy` reply,
+//!   never a silent close.
+//! - **30 s no-progress stall deadline**: enforced by the shared
+//!   [`TimerWheel`] — a connection mid-envelope (slow loris) or with
+//!   unflushed replies that makes no byte progress for
+//!   [`MID_ENVELOPE_STALL`] is closed. Idle connections between envelopes
+//!   carry no deadline and may sit forever.
+//! - **SIGTERM drain latch**: `draining` stops accepts and new admissions;
+//!   wire `Drain` is handled without blocking the loop — the ack is
+//!   deferred until the gate is idle (or [`DRAIN_TIMEOUT`]), checked every
+//!   iteration.
+//!
+//! Engine workers answer through a single `(token, Message)` channel plus
+//! the waker ([`crate::reply::ReplySink`]); the loop routes each reply to
+//! its connection's out-buffer and flushes opportunistically, registering
+//! write interest only while bytes remain.
+
+#![cfg(unix)]
+
+use crate::batcher::{BatcherCmd, SubmitJob};
+use crate::poll::{Interest, Poller, WakeReader};
+use crate::reply::ReplySink;
+use crate::server::{Shared, BODY_CHUNK, DRAIN_TIMEOUT, MID_ENVELOPE_STALL};
+use crate::wheel::TimerWheel;
+use crate::wire::{
+    encode_message, parse_body, parse_head, BusyReply, ErrorCode, ErrorReply, Message, HEAD_LEN,
+};
+use crossbeam::channel;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_TCP: u64 = 1;
+const TOKEN_UNIX: u64 = 2;
+const FIRST_CONN_TOKEN: u64 = 16;
+
+/// How long the loop keeps flushing pending out-buffers after `stopped`
+/// before it hard-closes (covers the final `DrainAck` racing shutdown).
+const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_secs(2);
+
+/// Everything the loop thread needs at start.
+pub(crate) struct LoopConfig {
+    pub tcp: Option<TcpListener>,
+    pub unix: Option<UnixListener>,
+    pub shared: Arc<Shared>,
+    pub reply_tx: channel::Sender<(u64, Message)>,
+    pub reply_rx: channel::Receiver<(u64, Message)>,
+    pub wake_reader: WakeReader,
+    pub poller: Poller,
+}
+
+/// Where the envelope decoder stands.
+enum ReadState {
+    /// Collecting the fixed-size head.
+    Head { filled: usize },
+    /// Collecting `len` payload bytes plus the 4-byte CRC.
+    Body {
+        type_code: u8,
+        total: usize,
+        filled: usize,
+    },
+}
+
+enum Sock {
+    Tcp(std::net::TcpStream),
+    Unix(UnixStream),
+}
+
+impl Sock {
+    fn raw_fd(&self) -> i32 {
+        match self {
+            Sock::Tcp(s) => s.as_raw_fd(),
+            Sock::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.read(buf),
+            Sock::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.write(buf),
+            Sock::Unix(s) => s.write(buf),
+        }
+    }
+}
+
+/// One connection's state machine and buffers, owned by the loop.
+struct Conn {
+    sock: Sock,
+    token: u64,
+    /// Holds this connection's slot in the connection gate until drop.
+    _permit: crate::queue::AdmissionPermit,
+    state: ReadState,
+    head: [u8; HEAD_LEN],
+    /// Body bytes received so far; grown in [`BODY_CHUNK`] steps so a peer
+    /// that merely *declares* a large payload never holds more memory than
+    /// it has sent, and shrunk back after each envelope.
+    body: Vec<u8>,
+    /// Encoded replies awaiting the socket, with the flush position.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Whether the poller currently watches this socket for writability.
+    want_write: bool,
+    /// Last moment a byte moved in either direction.
+    last_progress: Instant,
+    /// Whether the timer wheel holds a live entry for this token.
+    timer_armed: bool,
+    /// Close once the out-buffer drains (protocol violations, wire errors).
+    close_after_flush: bool,
+    /// This connection sent `Drain` and is owed a `DrainAck`.
+    drain_waiter: bool,
+}
+
+impl Conn {
+    /// Mid-envelope or holding unflushed bytes: subject to the stall
+    /// deadline. Idle between envelopes: not.
+    fn engaged(&self) -> bool {
+        let mid_read = match self.state {
+            ReadState::Head { filled } => filled > 0,
+            ReadState::Body { .. } => true,
+        };
+        mid_read || self.out_pos < self.out.len()
+    }
+}
+
+/// The outcome of servicing one connection event.
+enum Verdict {
+    Keep,
+    Close,
+}
+
+struct DrainState {
+    started: Instant,
+}
+
+/// Runs the loop until `stopped`. Owns every connection.
+pub(crate) fn run_event_loop(cfg: LoopConfig) {
+    let LoopConfig {
+        tcp,
+        unix,
+        shared,
+        reply_tx,
+        reply_rx,
+        wake_reader,
+        poller,
+    } = cfg;
+    let stats = Arc::clone(&shared.stats);
+    let wake = shared.wake_fn();
+
+    // Registration failures here are fatal to the loop but not the
+    // process: the daemon keeps running (batcher/engine alive) and
+    // `drain()` still joins cleanly.
+    if poller
+        .add(wake_reader.raw_fd(), TOKEN_WAKER, Interest::Read)
+        .is_err()
+    {
+        return;
+    }
+    let mut tcp = tcp;
+    let mut unix = unix;
+    if let Some(l) = &tcp {
+        if poller
+            .add(l.as_raw_fd(), TOKEN_TCP, Interest::Read)
+            .is_err()
+        {
+            return;
+        }
+    }
+    if let Some(l) = &unix {
+        if poller
+            .add(l.as_raw_fd(), TOKEN_UNIX, Interest::Read)
+            .is_err()
+        {
+            return;
+        }
+    }
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut wheel = TimerWheel::new(Instant::now());
+    let mut events = Vec::new();
+    let mut fired = Vec::new();
+    let mut drain: Option<DrainState> = None;
+    let mut listeners_down = false;
+
+    loop {
+        let now = Instant::now();
+        let mut timeout = wheel.next_deadline(now);
+        if drain.is_some() && !shared.drain_acked.load(Ordering::SeqCst) {
+            // Poll the gate for idleness while a wire drain is pending.
+            timeout = Some(timeout.map_or(Duration::from_millis(50), |t| {
+                t.min(Duration::from_millis(50))
+            }));
+        }
+        let _ = poller.wait(&mut events, timeout);
+        stats.poll_wakeups.inc();
+
+        if shared.stopped.load(Ordering::SeqCst) {
+            shutdown_flush(&poller, &mut conns, &stats);
+            return;
+        }
+
+        // Stop accepting the moment a drain begins.
+        if !listeners_down && shared.draining.load(Ordering::SeqCst) {
+            if let Some(l) = tcp.take() {
+                let _ = poller.remove(l.as_raw_fd());
+            }
+            if let Some(l) = unix.take() {
+                let _ = poller.remove(l.as_raw_fd());
+            }
+            listeners_down = true;
+        }
+
+        for ev in events.iter().copied() {
+            match ev.token {
+                TOKEN_WAKER => wake_reader.drain(),
+                TOKEN_TCP => {
+                    if let Some(listener) = &tcp {
+                        accept_burst(
+                            AcceptFrom::Tcp(listener),
+                            &poller,
+                            &shared,
+                            &mut conns,
+                            &mut next_token,
+                        );
+                    }
+                }
+                TOKEN_UNIX => {
+                    if let Some(listener) = &unix {
+                        accept_burst(
+                            AcceptFrom::Unix(listener),
+                            &poller,
+                            &shared,
+                            &mut conns,
+                            &mut next_token,
+                        );
+                    }
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut verdict = Verdict::Keep;
+                    if ev.readable {
+                        let timer = stats.stage_readable.timer();
+                        verdict = handle_readable(conn, &shared, &reply_tx, &wake, &mut drain);
+                        drop(timer);
+                    }
+                    // Flush whatever dispatch queued (and, on writable
+                    // events, whatever was already pending).
+                    if matches!(verdict, Verdict::Keep) {
+                        let timer = ev.writable.then(|| stats.stage_writable.timer());
+                        verdict = flush_out(conn, &poller);
+                        drop(timer);
+                    }
+                    // A pure hangup (no pending bytes to read) closes; a
+                    // readable hangup was already consumed to EOF above.
+                    if matches!(verdict, Verdict::Keep) && ev.closed && !ev.readable {
+                        verdict = Verdict::Close;
+                    }
+                    match verdict {
+                        Verdict::Close => close_conn(&poller, &mut conns, token, &shared),
+                        Verdict::Keep => arm_deadline(&mut conns, token, &mut wheel),
+                    }
+                }
+            }
+        }
+
+        // Route replies queued by engine workers (and deferred acks).
+        while let Ok((token, msg)) = reply_rx.try_recv() {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue; // connection gone; the permit already dropped
+            };
+            let timer = stats.stage_write.timer();
+            queue_reply(conn, &msg);
+            drop(timer);
+            match flush_out(conn, &poller) {
+                Verdict::Close => close_conn(&poller, &mut conns, token, &shared),
+                Verdict::Keep => arm_deadline(&mut conns, token, &mut wheel),
+            }
+        }
+
+        // Fire stall deadlines (lazy cancellation: re-check real progress).
+        let now = Instant::now();
+        wheel.expired(now, &mut fired);
+        for &token in &fired {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            conn.timer_armed = false;
+            if !conn.engaged() {
+                continue;
+            }
+            if now.saturating_duration_since(conn.last_progress) >= MID_ENVELOPE_STALL {
+                close_conn(&poller, &mut conns, token, &shared);
+            } else {
+                arm_deadline(&mut conns, token, &mut wheel);
+            }
+        }
+
+        // Resolve a pending wire drain without ever blocking the loop.
+        if let Some(d) = &drain {
+            if !shared.drain_acked.load(Ordering::SeqCst)
+                && (shared.gate.in_flight() == 0 || d.started.elapsed() >= DRAIN_TIMEOUT)
+            {
+                if d.started.elapsed() >= DRAIN_TIMEOUT && shared.gate.in_flight() > 0 {
+                    eprintln!(
+                        "preflightd: drain timed out after {DRAIN_TIMEOUT:?} with {} request(s) \
+                         still in flight; acking anyway",
+                        shared.gate.in_flight()
+                    );
+                }
+                // Raise the flag before the ack can reach the wire: once a
+                // client observes DrainAck, `drain_acked()` must be true.
+                shared.drain_acked.store(true, Ordering::SeqCst);
+                let summary = shared.summary();
+                let waiters: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| c.drain_waiter)
+                    .map(|(t, _)| *t)
+                    .collect();
+                for token in waiters {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        queue_reply(conn, &Message::DrainAck(summary));
+                        if let Verdict::Close = flush_out(conn, &poller) {
+                            close_conn(&poller, &mut conns, token, &shared);
+                        }
+                    }
+                }
+            }
+        }
+
+        // The waker drain above may have consumed a wake byte posted
+        // *after* this iteration's `stopped` check — re-check before
+        // blocking again, or that stop request would wait on the next
+        // unrelated event (possibly forever on an idle daemon).
+        if shared.stopped.load(Ordering::SeqCst) {
+            shutdown_flush(&poller, &mut conns, &stats);
+            return;
+        }
+    }
+}
+
+enum AcceptFrom<'a> {
+    Tcp(&'a TcpListener),
+    Unix(&'a UnixListener),
+}
+
+/// Accepts until the listener reports `WouldBlock`, registering each
+/// connection (or rejecting it with a best-effort `Busy` at the cap).
+fn accept_burst(
+    from: AcceptFrom<'_>,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        let timer = shared.stats.stage_accept.timer();
+        let sock = match &from {
+            AcceptFrom::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    let _ = s.set_nonblocking(true);
+                    let _ = s.set_nodelay(true);
+                    Sock::Tcp(s)
+                }
+                Err(e) => {
+                    drop(timer);
+                    if e.kind() != ErrorKind::WouldBlock {
+                        // EMFILE and friends: back off briefly instead of
+                        // spinning on a level-triggered listener.
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    return;
+                }
+            },
+            AcceptFrom::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    let _ = s.set_nonblocking(true);
+                    Sock::Unix(s)
+                }
+                Err(e) => {
+                    drop(timer);
+                    if e.kind() != ErrorKind::WouldBlock {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    return;
+                }
+            },
+        };
+        let Some(permit) = shared.conn_gate.try_acquire() else {
+            reject_connection(sock, shared);
+            continue;
+        };
+        let token = *next_token;
+        *next_token += 1;
+        if poller.add(sock.raw_fd(), token, Interest::Read).is_err() {
+            // Registration failed (fd pressure): the permit drops here,
+            // freeing the slot, and the socket closes.
+            continue;
+        }
+        shared.stats.connections.inc();
+        shared.stats.open_connections.add(1);
+        conns.insert(
+            token,
+            Conn {
+                sock,
+                token,
+                _permit: permit,
+                state: ReadState::Head { filled: 0 },
+                head: [0u8; HEAD_LEN],
+                body: Vec::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                want_write: false,
+                last_progress: Instant::now(),
+                timer_armed: false,
+                close_after_flush: false,
+                drain_waiter: false,
+            },
+        );
+    }
+}
+
+/// Answers an over-cap connection with `Busy` (best effort: a fresh socket
+/// has an empty send buffer, so the small frame fits without blocking) and
+/// closes it.
+fn reject_connection(mut sock: Sock, shared: &Arc<Shared>) {
+    shared.stats.rejected_connections.inc();
+    let bytes = encode_message(&Message::Busy(BusyReply {
+        request_id: 0,
+        capacity: shared.conn_gate.capacity() as u32,
+        in_flight: shared.conn_gate.in_flight() as u32,
+    }));
+    let _ = sock.write(&bytes);
+}
+
+fn close_conn(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64, shared: &Arc<Shared>) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = poller.remove(conn.sock.raw_fd());
+        shared.stats.open_connections.add(-1);
+        // Socket and connection permit drop here.
+    }
+}
+
+/// Arms (at most) one stall-deadline entry for an engaged connection.
+fn arm_deadline(conns: &mut HashMap<u64, Conn>, token: u64, wheel: &mut TimerWheel) {
+    if let Some(conn) = conns.get_mut(&token) {
+        if conn.engaged() && !conn.timer_armed {
+            wheel.arm(token, conn.last_progress + MID_ENVELOPE_STALL);
+            conn.timer_armed = true;
+        }
+    }
+}
+
+/// Reads as much as the kernel has, advancing the envelope state machine
+/// and dispatching every complete message.
+fn handle_readable(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    reply_tx: &channel::Sender<(u64, Message)>,
+    wake: &crate::reply::WakeFn,
+    drain: &mut Option<DrainState>,
+) -> Verdict {
+    // After a wire error or protocol violation the reply is queued and the
+    // connection is closing: stop decoding, just let the flush finish.
+    if conn.close_after_flush {
+        return Verdict::Keep;
+    }
+    loop {
+        match conn.state {
+            ReadState::Head { filled } => {
+                match conn.sock.read(&mut conn.head[filled..]) {
+                    Ok(0) => {
+                        // EOF: clean between envelopes, an error inside one;
+                        // either way the connection is over.
+                        return Verdict::Close;
+                    }
+                    Ok(n) => {
+                        conn.last_progress = Instant::now();
+                        let filled = filled + n;
+                        if filled < HEAD_LEN {
+                            conn.state = ReadState::Head { filled };
+                            continue;
+                        }
+                        match parse_head(&conn.head) {
+                            Ok((type_code, len)) => {
+                                conn.state = ReadState::Body {
+                                    type_code,
+                                    total: len as usize + 4,
+                                    filled: 0,
+                                };
+                                conn.body.clear();
+                            }
+                            Err(e) => {
+                                // Desynchronised stream: report, hang up.
+                                shared.stats.wire_errors.inc();
+                                queue_reply(conn, &wire_error_reply(&e));
+                                conn.close_after_flush = true;
+                                conn.state = ReadState::Head { filled: 0 };
+                                return Verdict::Keep;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return Verdict::Keep,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return Verdict::Close,
+                }
+            }
+            ReadState::Body {
+                type_code,
+                total,
+                filled,
+            } => {
+                // Grow towards `total` one BODY_CHUNK at a time, so a peer
+                // that declares 256 MiB but sends nothing costs one chunk.
+                let target = total.min(filled + BODY_CHUNK);
+                if conn.body.len() < target {
+                    conn.body.resize(target, 0);
+                }
+                match conn.sock.read(&mut conn.body[filled..target]) {
+                    Ok(0) => return Verdict::Close,
+                    Ok(n) => {
+                        conn.last_progress = Instant::now();
+                        let filled = filled + n;
+                        if filled < total {
+                            conn.state = ReadState::Body {
+                                type_code,
+                                total,
+                                filled,
+                            };
+                            continue;
+                        }
+                        let payload_len = total - 4;
+                        let crc = u32::from_le_bytes([
+                            conn.body[payload_len],
+                            conn.body[payload_len + 1],
+                            conn.body[payload_len + 2],
+                            conn.body[payload_len + 3],
+                        ]);
+                        let parsed = parse_body(type_code, &conn.body[..payload_len], crc);
+                        conn.state = ReadState::Head { filled: 0 };
+                        if conn.body.capacity() > BODY_CHUNK {
+                            conn.body = Vec::new();
+                        }
+                        match parsed {
+                            Ok(message) => {
+                                if let Verdict::Close =
+                                    dispatch(conn, message, shared, reply_tx, wake, drain)
+                                {
+                                    return Verdict::Close;
+                                }
+                                if conn.close_after_flush {
+                                    return Verdict::Keep;
+                                }
+                            }
+                            Err(e) => {
+                                shared.stats.wire_errors.inc();
+                                queue_reply(conn, &wire_error_reply(&e));
+                                conn.close_after_flush = true;
+                                return Verdict::Keep;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return Verdict::Keep,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return Verdict::Close,
+                }
+            }
+        }
+    }
+}
+
+/// Handles one decoded message — the same protocol the threaded server
+/// spoke, minus anything that blocks.
+fn dispatch(
+    conn: &mut Conn,
+    message: Message,
+    shared: &Arc<Shared>,
+    reply_tx: &channel::Sender<(u64, Message)>,
+    wake: &crate::reply::WakeFn,
+    drain: &mut Option<DrainState>,
+) -> Verdict {
+    match message {
+        Message::Submit(request) => {
+            // The admission stage spans decode-to-verdict: drain check,
+            // gate acquire, and handing the job (or rejection) onward.
+            let _admission = shared.stats.stage_admission.timer();
+            let request_id = request.request_id;
+            if shared.draining.load(Ordering::SeqCst) {
+                queue_reply(
+                    conn,
+                    &Message::Error(ErrorReply {
+                        request_id,
+                        code: ErrorCode::Draining,
+                        message: "server is draining; no new work admitted".to_owned(),
+                    }),
+                );
+                return Verdict::Keep;
+            }
+            match shared.gate.try_acquire() {
+                Some(permit) => {
+                    shared.stats.admitted.inc();
+                    let job = SubmitJob {
+                        request,
+                        permit,
+                        admitted_at: Instant::now(),
+                        reply: ReplySink::new(conn.token, reply_tx.clone(), Some(wake.clone())),
+                    };
+                    if shared.batcher_tx.send(BatcherCmd::Submit(job)).is_err() {
+                        queue_reply(
+                            conn,
+                            &Message::Error(ErrorReply {
+                                request_id,
+                                code: ErrorCode::Draining,
+                                message: "server is shutting down".to_owned(),
+                            }),
+                        );
+                    }
+                }
+                None => {
+                    shared.stats.rejected_busy.inc();
+                    queue_reply(
+                        conn,
+                        &Message::Busy(BusyReply {
+                            request_id,
+                            capacity: shared.gate.capacity() as u32,
+                            in_flight: shared.gate.in_flight() as u32,
+                        }),
+                    );
+                }
+            }
+            Verdict::Keep
+        }
+        Message::StatsRequest => {
+            queue_reply(conn, &Message::StatsReply(shared.stats.snapshot()));
+            Verdict::Keep
+        }
+        Message::Ping(token) => {
+            queue_reply(conn, &Message::Pong(token));
+            Verdict::Keep
+        }
+        Message::Drain => {
+            shared.begin_drain();
+            if shared.drain_acked.load(Ordering::SeqCst) {
+                // A previous drain already completed: ack right away.
+                queue_reply(conn, &Message::DrainAck(shared.summary()));
+            } else {
+                conn.drain_waiter = true;
+                if drain.is_none() {
+                    *drain = Some(DrainState {
+                        started: Instant::now(),
+                    });
+                }
+                // The ack is deferred: the loop checks gate idleness every
+                // iteration and answers every drain waiter then.
+            }
+            Verdict::Keep
+        }
+        // Server-to-client messages arriving at the server are a protocol
+        // violation; answer and hang up.
+        Message::Response(_)
+        | Message::Busy(_)
+        | Message::Error(_)
+        | Message::DrainAck(_)
+        | Message::Pong(_)
+        | Message::StatsReply(_) => {
+            queue_reply(
+                conn,
+                &Message::Error(ErrorReply {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    message: "unexpected server-side message from client".to_owned(),
+                }),
+            );
+            conn.close_after_flush = true;
+            Verdict::Keep
+        }
+    }
+}
+
+/// Appends one encoded reply to the connection's out-buffer.
+fn queue_reply(conn: &mut Conn, msg: &Message) {
+    let bytes = encode_message(msg);
+    conn.out.extend_from_slice(&bytes);
+}
+
+/// Writes as much of the out-buffer as the socket accepts, maintaining
+/// write interest so the poller reports this connection again only while
+/// bytes remain.
+fn flush_out(conn: &mut Conn, poller: &Poller) -> Verdict {
+    while conn.out_pos < conn.out.len() {
+        match conn.sock.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Verdict::Close,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Verdict::Close,
+        }
+    }
+    let pending = conn.out_pos < conn.out.len();
+    if !pending {
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.out.capacity() > BODY_CHUNK {
+            conn.out = Vec::new();
+        }
+        if conn.close_after_flush {
+            return Verdict::Close;
+        }
+    }
+    if pending != conn.want_write {
+        let interest = if pending {
+            Interest::ReadWrite
+        } else {
+            Interest::Read
+        };
+        if poller
+            .modify(conn.sock.raw_fd(), conn.token, interest)
+            .is_err()
+        {
+            return Verdict::Close;
+        }
+        conn.want_write = pending;
+    }
+    Verdict::Keep
+}
+
+/// Final best-effort flush after `stopped`: give pending out-buffers (the
+/// last `DrainAck`s, in-flight responses) a bounded chance to reach their
+/// sockets, then close everything.
+fn shutdown_flush(
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    stats: &crate::telemetry::ServerStats,
+) {
+    let deadline = Instant::now() + SHUTDOWN_FLUSH_GRACE;
+    while Instant::now() < deadline {
+        let mut pending = false;
+        let tokens: Vec<u64> = conns.keys().copied().collect();
+        for token in tokens {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if conn.out_pos >= conn.out.len() {
+                continue;
+            }
+            match flush_out(conn, poller) {
+                Verdict::Close => {
+                    if let Some(c) = conns.remove(&token) {
+                        let _ = poller.remove(c.sock.raw_fd());
+                        stats.open_connections.add(-1);
+                    }
+                }
+                Verdict::Keep => {
+                    if conn_pending(conns.get(&token)) {
+                        pending = true;
+                    }
+                }
+            }
+        }
+        if !pending {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for (_, conn) in conns.drain() {
+        let _ = poller.remove(conn.sock.raw_fd());
+        stats.open_connections.add(-1);
+    }
+}
+
+fn conn_pending(conn: Option<&Conn>) -> bool {
+    conn.is_some_and(|c| c.out_pos < c.out.len())
+}
+
+fn wire_error_reply(e: &crate::wire::WireError) -> Message {
+    Message::Error(ErrorReply {
+        request_id: 0,
+        code: ErrorCode::Malformed,
+        message: e.to_string(),
+    })
+}

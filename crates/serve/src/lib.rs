@@ -30,21 +30,29 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod builder;
 pub mod client;
 pub mod crc;
 pub mod engine;
+mod event_loop;
 pub mod metrics;
+pub mod poll;
 pub mod queue;
+pub mod reply;
 pub mod server;
 pub mod signal;
 pub mod telemetry;
+pub mod wheel;
 pub mod wire;
 
 pub use batcher::BatchConfig;
+pub use builder::{ClientBuilder, ServerBuilder};
 pub use client::{Client, ClientError, SubmitOptions};
 pub use engine::{EngineConfig, TunerRegistry};
 pub use queue::AdmissionGate;
-pub use server::{start, ServerConfig, ServerHandle};
+#[allow(deprecated)]
+pub use server::start;
+pub use server::{ServerConfig, ServerHandle};
 pub use telemetry::{format_summary, RequestStats, ServerStats};
 pub use wire::{Dtype, FramePayload, Message, SubmitRequest, SubmitResponse, WireError};
 

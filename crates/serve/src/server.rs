@@ -1,62 +1,64 @@
-//! The daemon: acceptors, per-connection threads, and lifecycle.
+//! The daemon: lifecycle, shared state, and the event-loop thread.
 //!
 //! Thread layout (`preflightd` with both sockets enabled):
 //!
 //! ```text
-//! acceptor(tcp) ─┐                        ┌─ engine worker 0 ─┐
-//! acceptor(unix)─┼─ conn reader ─▶ batcher ┼─ engine worker 1 ─┼─▶ conn writer
-//!                └─ conn reader ─▶   ...   └─ ...              ┘
+//!                 ┌───────────────────────┐     ┌─ engine worker 0 ─┐
+//! every socket ──▶│ event loop (1 thread) │──▶ batcher ┼─ engine worker 1 ─┘
+//!                 └───────────▲───────────┘     └─ ...
+//!                             └──────── replies (token, Message) + waker
 //! ```
 //!
-//! Each connection gets a reader thread (parses envelopes, admits work
-//! through the bounded [`AdmissionGate`]) and a writer thread (serialises
-//! responses from a channel, so many engine workers can answer one client
-//! without interleaving bytes). Readers never block forever: sockets carry
-//! a read timeout and every idle wakeup polls the drain flag.
+//! One [`crate::event_loop`] thread owns the listeners and every
+//! connection: accepts, envelope decoding, admission, and response writes
+//! all happen non-blocking behind an epoll/kqueue [`crate::poll::Poller`],
+//! so concurrent connections cost descriptors and buffers, not stacks.
+//! Engine workers answer through a single reply channel plus a self-pipe
+//! waker. The batcher, engine workers, and the Prometheus scrape listener
+//! keep their own (few, fixed) threads.
 //!
 //! Graceful shutdown (wire `Drain` or SIGTERM→[`ServerHandle::drain`]):
 //! stop admitting, flush the batcher's open groups, wait for every permit
 //! to return (all in-flight responses queued), then stop the batcher and
-//! engine workers and join them.
+//! engine workers and join them. The loop never blocks on a drain — wire
+//! `Drain` acks are deferred until the gate reports idle.
 
-use crate::batcher::{run_batcher, BatchConfig, BatcherCmd, SubmitJob};
+use crate::batcher::{run_batcher, BatchConfig, BatcherCmd};
 use crate::engine::{run_engine_worker, EngineConfig, TunerRegistry};
 use crate::metrics::run_metrics_listener;
-use crate::queue::{AdmissionGate, AdmissionPermit};
+use crate::queue::AdmissionGate;
+use crate::reply::WakeFn;
 use crate::telemetry::ServerStats;
-use crate::wire::{
-    parse_body, parse_head, write_message, BusyReply, DrainSummary, ErrorCode, ErrorReply, Message,
-    WireError, HEAD_LEN,
-};
+use crate::wire::DrainSummary;
 use crossbeam::channel;
 use preflight_obs::Obs;
-use std::io::{ErrorKind, Read, Write};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-/// How long a reader sleeps per poll while its socket is idle.
-const READ_POLL: Duration = Duration::from_millis(100);
-
-/// How long acceptors sleep between failed non-blocking accepts.
-const ACCEPT_POLL: Duration = Duration::from_millis(20);
+use std::time::Duration;
 
 /// Ceiling on waiting for in-flight work during a drain.
-const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
+pub(crate) const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// A reader mid-envelope gives up after this long without a single byte of
-/// progress, so a stalled client cannot pin its thread (and body buffer)
-/// forever.
-const MID_ENVELOPE_STALL: Duration = Duration::from_secs(30);
+/// A connection mid-envelope (or with unflushed replies) is closed after
+/// this long without a single byte of progress, so a stalled or malicious
+/// peer cannot pin buffers forever. Idle connections *between* envelopes
+/// carry no deadline.
+pub(crate) const MID_ENVELOPE_STALL: Duration = Duration::from_secs(30);
 
-/// Bodies are read in chunks of this size, so a connection that merely
-/// *declares* a large payload never holds more memory than it has sent.
-const BODY_CHUNK: usize = 256 * 1024;
+/// Bodies are read (and reusable buffers retained) in chunks of this size,
+/// so a connection that merely *declares* a large payload never holds more
+/// memory than it has sent.
+pub(crate) const BODY_CHUNK: usize = 256 * 1024;
 
 /// Everything needed to start a daemon.
+///
+/// Prefer [`crate::builder::ServerBuilder`], which constructs one of these
+/// behind a fluent API; the struct stays public for embedders that want to
+/// store or template configurations.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// TCP listen address (e.g. `127.0.0.1:0`), if any.
@@ -67,8 +69,8 @@ pub struct ServerConfig {
     /// with `Busy`.
     pub capacity: usize,
     /// Ceiling on concurrent connections: accepts beyond this are answered
-    /// with `Busy` and closed, so idle or slow peers cannot exhaust threads
-    /// and buffers that the request-level gate does not see.
+    /// with `Busy` and closed, so idle or slow peers cannot exhaust
+    /// descriptors and buffers that the request-level gate does not see.
     pub max_connections: usize,
     /// Batching knobs.
     pub batch: BatchConfig,
@@ -96,7 +98,7 @@ impl Default for ServerConfig {
             tcp: None,
             unix: None,
             capacity: 64,
-            max_connections: 256,
+            max_connections: 10_240,
             batch: BatchConfig::default(),
             engine: EngineConfig::default(),
             engine_workers: 2,
@@ -107,31 +109,54 @@ impl Default for ServerConfig {
     }
 }
 
-struct Shared {
-    gate: AdmissionGate,
+pub(crate) struct Shared {
+    pub(crate) gate: AdmissionGate,
     /// Bounds concurrent connections; an accept that cannot win a permit is
     /// answered with `Busy` and closed.
-    conn_gate: AdmissionGate,
-    stats: Arc<ServerStats>,
-    batcher_tx: channel::Sender<BatcherCmd>,
-    /// No new work admitted; acceptors wind down.
-    draining: AtomicBool,
-    /// Fully drained and joined; readers exit at their next poll.
-    stopped: AtomicBool,
+    pub(crate) conn_gate: AdmissionGate,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) batcher_tx: channel::Sender<BatcherCmd>,
+    /// No new work admitted; the loop deregisters its listeners.
+    pub(crate) draining: AtomicBool,
+    /// Fully drained; the loop closes every connection and exits.
+    pub(crate) stopped: AtomicBool,
     /// A wire `Drain` finished flushing (the daemon main loop exits on it).
-    drain_acked: AtomicBool,
+    pub(crate) drain_acked: AtomicBool,
+    /// Interrupts the event loop's poll wait (set once the loop exists).
+    wake: Mutex<Option<WakeFn>>,
 }
 
 impl Shared {
-    fn begin_drain(&self) {
+    pub(crate) fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
         let _ = self.batcher_tx.send(BatcherCmd::FlushAll);
+        self.wake_loop();
     }
 
-    fn summary(&self) -> DrainSummary {
+    pub(crate) fn summary(&self) -> DrainSummary {
         DrainSummary {
             completed: self.stats.completed.get(),
             rejected: self.stats.rejected_busy.get(),
+        }
+    }
+
+    fn set_wake(&self, f: WakeFn) {
+        *self.wake.lock().expect("wake fn poisoned") = Some(f);
+    }
+
+    /// The loop waker as a shareable callback (a no-op until the loop has
+    /// registered itself).
+    pub(crate) fn wake_fn(&self) -> WakeFn {
+        self.wake
+            .lock()
+            .expect("wake fn poisoned")
+            .clone()
+            .unwrap_or_else(|| Arc::new(|| {}))
+    }
+
+    pub(crate) fn wake_loop(&self) {
+        if let Some(f) = self.wake.lock().expect("wake fn poisoned").as_ref() {
+            f();
         }
     }
 }
@@ -171,6 +196,11 @@ impl ServerHandle {
         self.shared.gate.in_flight()
     }
 
+    /// Connections currently registered with the event loop.
+    pub fn open_connections(&self) -> usize {
+        self.shared.conn_gate.in_flight()
+    }
+
     /// `true` once a drain has begun (no new work admitted).
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::SeqCst)
@@ -194,6 +224,7 @@ impl ServerHandle {
             );
         }
         self.shared.stopped.store(true, Ordering::SeqCst);
+        self.shared.wake_loop();
         let _ = self.shared.batcher_tx.send(BatcherCmd::Stop);
         let mut threads = self.threads.lock().expect("server threads poisoned");
         for t in threads.drain(..) {
@@ -206,21 +237,59 @@ impl ServerHandle {
     }
 }
 
-/// Binds the configured sockets and starts every server thread.
+/// Binds the configured sockets and starts the daemon threads.
 ///
 /// # Errors
 /// Fails if no socket is configured or a bind fails.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `ServerBuilder::new().bind(addr)...serve()` instead"
+)]
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    start_config(config)
+}
+
+/// Binds the configured sockets and starts the daemon threads: the event
+/// loop, the batcher, the engine workers, and (optionally) the metrics
+/// listener. The non-deprecated internal entry point behind
+/// [`crate::builder::ServerBuilder::serve`].
+///
+/// # Errors
+/// Fails if no socket is configured, a bind fails, or — on platforms with
+/// neither epoll nor kqueue — with [`ErrorKind::Unsupported`].
+pub(crate) fn start_config(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    start_impl(config)
+}
+
+#[cfg(not(unix))]
+fn start_impl(_config: ServerConfig) -> std::io::Result<ServerHandle> {
+    Err(std::io::Error::new(
+        ErrorKind::Unsupported,
+        "the event-driven daemon needs epoll or kqueue; this platform has neither",
+    ))
+}
+
+#[cfg(unix)]
+fn start_impl(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    use crate::event_loop::{run_event_loop, LoopConfig};
+    use crate::poll::{waker, Poller};
+
     if config.tcp.is_none() && config.unix.is_none() {
         return Err(std::io::Error::new(
             ErrorKind::InvalidInput,
             "server needs at least one of a TCP address or a Unix socket path",
         ));
     }
+    // A 10k-connection default outruns common 1024-fd soft limits; raise
+    // soft→hard up front (best effort — the connection gate still bounds
+    // correctly if the hard limit is lower than the cap).
+    let _ = crate::poll::raise_nofile_limit();
+
     let gate = AdmissionGate::new(config.capacity);
     let stats = Arc::new(ServerStats::new(&config.obs));
     let (batcher_tx, batcher_rx) = channel::unbounded();
     let (engine_tx, engine_rx) = channel::unbounded();
+    let (reply_tx, reply_rx) = channel::unbounded();
 
     let shared = Arc::new(Shared {
         gate: gate.clone(),
@@ -230,6 +299,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         draining: AtomicBool::new(false),
         stopped: AtomicBool::new(false),
         drain_acked: AtomicBool::new(false),
+        wake: Mutex::new(None),
     });
 
     let mut threads = Vec::new();
@@ -265,39 +335,46 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     drop(engine_rx);
 
     let mut tcp_addr = None;
+    let mut tcp_listener = None;
     if let Some(addr) = &config.tcp {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         tcp_addr = Some(listener.local_addr()?);
-        let shared = Arc::clone(&shared);
-        threads.push(
-            std::thread::Builder::new()
-                .name("preflightd-accept-tcp".into())
-                .spawn(move || accept_tcp(listener, shared))?,
-        );
+        tcp_listener = Some(listener);
     }
 
     let mut unix_path = None;
-    #[cfg(unix)]
+    let mut unix_listener = None;
     if let Some(path) = &config.unix {
         // A stale socket file from a previous run would fail the bind.
         let _ = std::fs::remove_file(path);
         let listener = std::os::unix::net::UnixListener::bind(path)?;
         listener.set_nonblocking(true)?;
         unix_path = Some(path.clone());
-        let shared = Arc::clone(&shared);
+        unix_listener = Some(listener);
+    }
+
+    // The poller, waker, and loop thread. The waker is installed in
+    // `Shared` before the loop starts, so `begin_drain` can always
+    // interrupt the poll wait.
+    let poller = Poller::new()?;
+    let (wk, wake_reader) = waker()?;
+    shared.set_wake(Arc::new(move || wk.wake()));
+    {
+        let loop_cfg = LoopConfig {
+            tcp: tcp_listener,
+            unix: unix_listener,
+            shared: Arc::clone(&shared),
+            reply_tx,
+            reply_rx,
+            wake_reader,
+            poller,
+        };
         threads.push(
             std::thread::Builder::new()
-                .name("preflightd-accept-unix".into())
-                .spawn(move || accept_unix(listener, shared))?,
+                .name("preflightd-loop".into())
+                .spawn(move || run_event_loop(loop_cfg))?,
         );
-    }
-    #[cfg(not(unix))]
-    if config.unix.is_some() {
-        return Err(std::io::Error::new(
-            ErrorKind::Unsupported,
-            "Unix sockets are not available on this platform",
-        ));
     }
 
     let mut metrics_addr = None;
@@ -324,316 +401,5 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         unix_path,
         metrics_addr,
         threads: Mutex::new(threads),
-    })
-}
-
-fn accept_tcp(listener: TcpListener, shared: Arc<Shared>) {
-    while !shared.draining.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(READ_POLL));
-                let permit = match shared.conn_gate.try_acquire() {
-                    Some(p) => p,
-                    None => {
-                        reject_connection(stream, &shared);
-                        continue;
-                    }
-                };
-                let writer = match stream.try_clone() {
-                    Ok(w) => w,
-                    Err(_) => continue,
-                };
-                spawn_connection(stream, writer, permit, Arc::clone(&shared));
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-#[cfg(unix)]
-fn accept_unix(listener: std::os::unix::net::UnixListener, shared: Arc<Shared>) {
-    while !shared.draining.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(READ_POLL));
-                let permit = match shared.conn_gate.try_acquire() {
-                    Some(p) => p,
-                    None => {
-                        reject_connection(stream, &shared);
-                        continue;
-                    }
-                };
-                let writer = match stream.try_clone() {
-                    Ok(w) => w,
-                    Err(_) => continue,
-                };
-                spawn_connection(stream, writer, permit, Arc::clone(&shared));
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-/// Answers an over-cap connection with `Busy` (best effort) and closes it.
-fn reject_connection(mut w: impl Write, shared: &Shared) {
-    shared.stats.rejected_connections.inc();
-    let _ = write_message(
-        &mut w,
-        &Message::Busy(BusyReply {
-            request_id: 0,
-            capacity: shared.conn_gate.capacity() as u32,
-            in_flight: shared.conn_gate.in_flight() as u32,
-        }),
-    );
-}
-
-fn spawn_connection<R, W>(reader: R, writer: W, permit: AdmissionPermit, shared: Arc<Shared>)
-where
-    R: Read + Send + 'static,
-    W: Write + Send + 'static,
-{
-    shared.stats.connections.inc();
-    let spawned = std::thread::Builder::new()
-        .name("preflightd-conn".into())
-        .spawn(move || {
-            // The permit rides the whole connection thread: it releases on
-            // drop whichever way the handler exits.
-            let _permit = permit;
-            handle_connection(reader, writer, shared);
-        });
-    // A failed spawn drops the permit immediately, freeing the slot.
-    let _ = spawned;
-}
-
-/// Outcome of trying to fill a buffer from a socket with read timeouts.
-enum Fill {
-    /// Buffer completely filled.
-    Done,
-    /// Peer closed the connection cleanly before any byte arrived.
-    Eof,
-    /// No bytes arrived this poll interval (only possible while the buffer
-    /// is still empty and `idle_ok` was set).
-    Idle,
-    /// Transport error; the connection is done for.
-    Failed,
-}
-
-/// Fills `buf` from `r`, retrying timeouts. With `idle_ok`, a timeout
-/// before the first byte reports [`Fill::Idle`] so the caller can poll its
-/// shutdown flag between envelopes. Once an envelope has started, timeouts
-/// keep the read alive only while the server is running and the peer keeps
-/// making progress: a server stop or [`MID_ENVELOPE_STALL`] without a byte
-/// fails the read, so a stalled client cannot pin its reader thread.
-fn read_full(r: &mut impl Read, buf: &mut [u8], idle_ok: bool, stop: &AtomicBool) -> Fill {
-    let mut filled = 0;
-    let mut last_progress = Instant::now();
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 { Fill::Eof } else { Fill::Failed };
-            }
-            Ok(n) => {
-                filled += n;
-                last_progress = Instant::now();
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if filled == 0 && idle_ok {
-                    return Fill::Idle;
-                }
-                if stop.load(Ordering::SeqCst) || last_progress.elapsed() >= MID_ENVELOPE_STALL {
-                    return Fill::Failed;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return Fill::Failed,
-        }
-    }
-    Fill::Done
-}
-
-/// Reads a declared `total`-byte body (payload + trailing CRC) in
-/// [`BODY_CHUNK`] steps, growing the buffer only as bytes actually arrive —
-/// a peer that declares 256 MiB but sends nothing costs one chunk, not the
-/// whole declared length.
-fn read_body(r: &mut impl Read, total: usize, stop: &AtomicBool) -> Option<Vec<u8>> {
-    let mut body = Vec::new();
-    while body.len() < total {
-        let start = body.len();
-        let chunk = BODY_CHUNK.min(total - start);
-        body.resize(start + chunk, 0);
-        match read_full(r, &mut body[start..], false, stop) {
-            Fill::Done => {}
-            _ => return None,
-        }
-    }
-    Some(body)
-}
-
-fn handle_connection<R, W>(mut reader: R, writer: W, shared: Arc<Shared>)
-where
-    R: Read,
-    W: Write + Send + 'static,
-{
-    // The writer thread serialises replies from every producer (this
-    // reader, the batcher's engine workers) onto the socket.
-    let (conn_tx, conn_rx) = channel::unbounded::<Message>();
-    let write_hist = shared.stats.stage_write.clone();
-    let writer_thread = std::thread::Builder::new()
-        .name("preflightd-conn-writer".into())
-        .spawn(move || {
-            let mut writer = writer;
-            for msg in conn_rx.iter() {
-                let timer = write_hist.timer();
-                let result = write_message(&mut writer, &msg);
-                drop(timer);
-                if result.is_err() {
-                    break;
-                }
-            }
-        });
-
-    loop {
-        let mut head = [0u8; HEAD_LEN];
-        match read_full(&mut reader, &mut head, true, &shared.stopped) {
-            Fill::Idle => {
-                if shared.stopped.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
-            }
-            Fill::Eof => break,
-            Fill::Failed => break,
-            Fill::Done => {}
-        }
-        let (type_code, len) = match parse_head(&head) {
-            Ok(h) => h,
-            Err(e) => {
-                // The stream is desynchronised; report and hang up.
-                shared.stats.wire_errors.inc();
-                let _ = conn_tx.send(wire_error_reply(&e));
-                break;
-            }
-        };
-        let body = match read_body(&mut reader, len as usize + 4, &shared.stopped) {
-            Some(b) => b,
-            None => break,
-        };
-        let crc_bytes = [
-            body[len as usize],
-            body[len as usize + 1],
-            body[len as usize + 2],
-            body[len as usize + 3],
-        ];
-        let message = match parse_body(
-            type_code,
-            &body[..len as usize],
-            u32::from_le_bytes(crc_bytes),
-        ) {
-            Ok(m) => m,
-            Err(e) => {
-                shared.stats.wire_errors.inc();
-                let _ = conn_tx.send(wire_error_reply(&e));
-                break;
-            }
-        };
-        match message {
-            Message::Submit(request) => {
-                // The admission stage spans decode-to-verdict: drain
-                // check, gate acquire, and handing the job (or the
-                // rejection) onward.
-                let _admission = shared.stats.stage_admission.timer();
-                let request_id = request.request_id;
-                if shared.draining.load(Ordering::SeqCst) {
-                    let _ = conn_tx.send(Message::Error(ErrorReply {
-                        request_id,
-                        code: ErrorCode::Draining,
-                        message: "server is draining; no new work admitted".to_owned(),
-                    }));
-                    continue;
-                }
-                match shared.gate.try_acquire() {
-                    Some(permit) => {
-                        shared.stats.admitted.inc();
-                        let job = SubmitJob {
-                            request,
-                            permit,
-                            admitted_at: Instant::now(),
-                            reply: conn_tx.clone(),
-                        };
-                        if shared.batcher_tx.send(BatcherCmd::Submit(job)).is_err() {
-                            let _ = conn_tx.send(Message::Error(ErrorReply {
-                                request_id,
-                                code: ErrorCode::Draining,
-                                message: "server is shutting down".to_owned(),
-                            }));
-                        }
-                    }
-                    None => {
-                        shared.stats.rejected_busy.inc();
-                        let _ = conn_tx.send(Message::Busy(BusyReply {
-                            request_id,
-                            capacity: shared.gate.capacity() as u32,
-                            in_flight: shared.gate.in_flight() as u32,
-                        }));
-                    }
-                }
-            }
-            Message::StatsRequest => {
-                let _ = conn_tx.send(Message::StatsReply(shared.stats.snapshot()));
-            }
-            Message::Ping(token) => {
-                let _ = conn_tx.send(Message::Pong(token));
-            }
-            Message::Drain => {
-                shared.begin_drain();
-                if !shared.gate.wait_idle(DRAIN_TIMEOUT) {
-                    eprintln!(
-                        "preflightd: drain timed out after {DRAIN_TIMEOUT:?} with {} request(s) \
-                         still in flight; acking anyway",
-                        shared.gate.in_flight()
-                    );
-                }
-                // Raise the flag before the ack can reach the wire: once a
-                // client observes DrainAck, `drain_acked()` must be true.
-                shared.drain_acked.store(true, Ordering::SeqCst);
-                let _ = conn_tx.send(Message::DrainAck(shared.summary()));
-            }
-            // Server-to-client messages arriving at the server are a
-            // protocol violation; answer and hang up.
-            Message::Response(_)
-            | Message::Busy(_)
-            | Message::Error(_)
-            | Message::DrainAck(_)
-            | Message::Pong(_)
-            | Message::StatsReply(_) => {
-                let _ = conn_tx.send(Message::Error(ErrorReply {
-                    request_id: 0,
-                    code: ErrorCode::Malformed,
-                    message: "unexpected server-side message from client".to_owned(),
-                }));
-                break;
-            }
-        }
-    }
-
-    // Closing our sender lets the writer flush queued replies and exit;
-    // engine workers may still hold clones for in-flight work, and the
-    // writer stays alive until those are answered too.
-    drop(conn_tx);
-    if let Ok(t) = writer_thread {
-        let _ = t.join();
-    }
-}
-
-fn wire_error_reply(e: &WireError) -> Message {
-    Message::Error(ErrorReply {
-        request_id: 0,
-        code: ErrorCode::Malformed,
-        message: e.to_string(),
     })
 }

@@ -13,7 +13,7 @@
 //! human [`ServerStats::summary`] line — so the numbers cannot diverge
 //! between the log line and the scrape endpoint.
 
-use preflight_obs::{Counter, Histogram, Obs, Snapshot, STAGE_SECONDS};
+use preflight_obs::{Counter, Gauge, Histogram, Obs, Snapshot, STAGE_SECONDS};
 use preflight_supervisor::FtLevel;
 use std::fmt;
 
@@ -42,11 +42,25 @@ pub const RETRIES_TOTAL: &str = "serve_retries_total";
 /// Counter family (labelled `rung="..."`): steps taken down the
 /// degradation ladder, keyed by the rung stepped *to*.
 pub const DEGRADATION_TRANSITIONS_TOTAL: &str = "serve_degradation_transitions_total";
+/// Counter family: event-loop poll wakeups (readiness, timer, or waker).
+pub const POLL_WAKEUPS_TOTAL: &str = "serve_poll_wakeups_total";
+/// Gauge family: connections currently registered with the event loop.
+pub const OPEN_CONNECTIONS: &str = "serve_open_connections";
 
 /// The `stage` label values every serve-side [`STAGE_SECONDS`] histogram
-/// uses, in pipeline order: admission, queue wait, batch formation,
-/// engine service, response write.
-pub const SERVE_STAGES: [&str; 5] = ["admission", "queue", "batch", "engine", "write"];
+/// uses, in pipeline order: accept, readable-event service, admission,
+/// queue wait, batch formation, engine service, response encode,
+/// writable-event flush.
+pub const SERVE_STAGES: [&str; 8] = [
+    "accept",
+    "readable",
+    "admission",
+    "queue",
+    "batch",
+    "engine",
+    "write",
+    "writable",
+];
 
 /// Telemetry trailer attached to every [`crate::wire::SubmitResponse`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,6 +228,16 @@ pub struct ServerStats {
     pub bits_repaired: Counter,
     /// Supervised attempts beyond the first, summed over every batch.
     pub retries: Counter,
+    /// Event-loop poll wakeups (readiness, timer expiry, or waker).
+    pub poll_wakeups: Counter,
+    /// Connections currently registered with the event loop.
+    pub open_connections: Gauge,
+    /// Time to accept and register one connection.
+    pub stage_accept: Histogram,
+    /// Time servicing one readable event (reads + dispatch).
+    pub stage_readable: Histogram,
+    /// Time servicing one writable event (flushing buffered replies).
+    pub stage_writable: Histogram,
     /// Time from envelope decode to a queued admission verdict.
     pub stage_admission: Histogram,
     /// Time a request waited between admission and engine dispatch.
@@ -244,6 +268,11 @@ impl ServerStats {
             samples_repaired: obs.counter(SAMPLES_REPAIRED_TOTAL, None),
             bits_repaired: obs.counter(BITS_REPAIRED_TOTAL, None),
             retries: obs.counter(RETRIES_TOTAL, None),
+            poll_wakeups: obs.counter(POLL_WAKEUPS_TOTAL, None),
+            open_connections: obs.gauge(OPEN_CONNECTIONS, None),
+            stage_accept: stage("accept"),
+            stage_readable: stage("readable"),
+            stage_writable: stage("writable"),
             stage_admission: stage("admission"),
             stage_queue: stage("queue"),
             stage_batch: stage("batch"),

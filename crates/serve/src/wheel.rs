@@ -1,0 +1,152 @@
+//! Hashed timer wheel for per-connection stall deadlines.
+//!
+//! The threaded server enforced the 30 s mid-envelope stall deadline with a
+//! blocking `read_timeout` per thread; the event loop has no thread to
+//! block, so deadlines live here. The wheel is coarse on purpose: a stall
+//! deadline only needs one-second resolution, and lazy cancellation (the
+//! loop re-checks the connection's actual `last_progress` when an entry
+//! fires) means rearming on every byte of progress is unnecessary — each
+//! connection keeps at most one live entry.
+
+use std::time::{Duration, Instant};
+
+/// Wheel slot width. Entries fire within `TICK` of their deadline.
+pub const TICK: Duration = Duration::from_secs(1);
+
+const SLOTS: usize = 64;
+
+/// A coarse hashed timer wheel over `u64` connection tokens.
+pub struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    /// Wheel epoch: slot 0 covers `[start, start + TICK)`.
+    start: Instant,
+    /// Next tick index to drain (monotonic, not wrapped).
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel anchored at `now`.
+    pub fn new(now: Instant) -> Self {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            start: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, when: Instant) -> u64 {
+        let elapsed = when.saturating_duration_since(self.start);
+        let tick = elapsed.as_secs() + u64::from(elapsed.subsec_nanos() > 0);
+        // Never schedule behind the cursor; late arms fire on the next
+        // drain rather than being lost to an already-passed slot.
+        tick.max(self.cursor)
+    }
+
+    /// Schedules `token` to fire at `deadline` (rounded up to the tick).
+    ///
+    /// The wheel holds one slot ring, so deadlines further out than
+    /// `SLOTS` ticks wrap onto earlier slots and fire early; the caller's
+    /// lazy re-check makes an early fire a harmless re-arm. Stall
+    /// deadlines (30 s) fit the 64 s ring without wrapping.
+    pub fn arm(&mut self, token: u64, deadline: Instant) {
+        let tick = self.tick_of(deadline);
+        self.slots[(tick % SLOTS as u64) as usize].push(token);
+        self.len += 1;
+    }
+
+    /// Pops every token whose slot has passed as of `now`. Fired tokens
+    /// are gone from the wheel; the caller decides whether to act or
+    /// re-arm (lazy cancellation).
+    pub fn expired(&mut self, now: Instant, out: &mut Vec<u64>) {
+        out.clear();
+        let now_tick = now.saturating_duration_since(self.start).as_secs();
+        while self.cursor <= now_tick {
+            let slot = &mut self.slots[(self.cursor % SLOTS as u64) as usize];
+            self.len -= slot.len();
+            out.append(slot);
+            self.cursor += 1;
+        }
+    }
+
+    /// Time until the next armed slot could fire, if anything is armed.
+    /// Feeds the poll timeout so an idle loop sleeps instead of spinning.
+    pub fn next_deadline(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        // Find the first non-empty slot at or after the cursor.
+        for offset in 0..SLOTS as u64 {
+            let tick = self.cursor + offset;
+            if !self.slots[(tick % SLOTS as u64) as usize].is_empty() {
+                let fire_at = self.start + TICK * u32::try_from(tick).unwrap_or(u32::MAX);
+                return Some(fire_at.saturating_duration_since(now));
+            }
+        }
+        None
+    }
+
+    /// Number of armed entries (including stale ones awaiting lazy
+    /// cancellation).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_fire_after_their_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.arm(1, t0 + Duration::from_secs(2));
+        wheel.arm(2, t0 + Duration::from_secs(5));
+
+        let mut fired = Vec::new();
+        wheel.expired(t0 + Duration::from_millis(500), &mut fired);
+        assert!(fired.is_empty(), "nothing due yet");
+
+        wheel.expired(t0 + Duration::from_secs(3), &mut fired);
+        assert_eq!(fired, vec![1]);
+
+        wheel.expired(t0 + Duration::from_secs(6), &mut fired);
+        assert_eq!(fired, vec![2]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_entry() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        assert!(wheel.next_deadline(t0).is_none(), "empty wheel never fires");
+
+        wheel.arm(1, t0 + Duration::from_secs(30));
+        let d = wheel.next_deadline(t0).expect("armed");
+        assert!(d >= Duration::from_secs(29) && d <= Duration::from_secs(31));
+
+        wheel.arm(2, t0 + Duration::from_secs(3));
+        let d = wheel.next_deadline(t0).expect("armed");
+        assert!(d <= Duration::from_secs(4), "earlier entry wins: {d:?}");
+    }
+
+    #[test]
+    fn late_arms_fire_on_the_next_drain() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        let mut fired = Vec::new();
+        wheel.expired(t0 + Duration::from_secs(10), &mut fired);
+
+        // Deadline already in the past relative to the cursor.
+        wheel.arm(7, t0 + Duration::from_secs(1));
+        wheel.expired(t0 + Duration::from_secs(11), &mut fired);
+        assert_eq!(fired, vec![7], "past-deadline arm must still fire");
+    }
+}

@@ -5,9 +5,10 @@
 
 use preflight_core::ImageStack;
 use preflight_obs::Obs;
-use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::server::ServerConfig;
 use preflight_serve::wire::FramePayload;
-use preflight_serve::{Client, SubmitOptions};
+use preflight_serve::ServerBuilder;
+use preflight_serve::{ClientBuilder, SubmitOptions};
 
 fn lcg(state: &mut u64) -> u64 {
     *state = state
@@ -34,15 +35,19 @@ fn noisy_stack(width: usize, height: usize, frames: usize, seed: u64) -> ImageSt
 #[test]
 fn auto_tune_stamps_trailer_gauges_and_stays_deterministic() {
     let obs = Obs::new();
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         auto_tune: true,
         obs: obs.clone(),
         ..ServerConfig::default()
     })
+    .serve()
     .expect("daemon start");
     let addr = handle.tcp_addr().expect("bound address");
-    let mut client = Client::connect_tcp(addr).expect("client connect");
+    let mut client = ClientBuilder::new()
+        .tcp(addr)
+        .connect()
+        .expect("client connect");
     let opts = SubmitOptions {
         stream_id: 9,
         eos: true,
@@ -106,14 +111,18 @@ fn auto_tune_stamps_trailer_gauges_and_stays_deterministic() {
 
 #[test]
 fn auto_tune_off_leaves_the_trailer_untuned() {
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         obs: Obs::disabled(),
         ..ServerConfig::default()
     })
+    .serve()
     .expect("daemon start");
     let addr = handle.tcp_addr().expect("bound address");
-    let mut client = Client::connect_tcp(addr).expect("client connect");
+    let mut client = ClientBuilder::new()
+        .tcp(addr)
+        .connect()
+        .expect("client connect");
     let resp = client
         .submit(
             FramePayload::U16(noisy_stack(8, 8, 4, 1)),

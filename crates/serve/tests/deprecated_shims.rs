@@ -1,0 +1,23 @@
+//! The PR 3 entry points live on as `#[deprecated]` shims over the
+//! builder internals. This test is the one place still allowed to call
+//! them, proving the shims keep serving until they are removed for real.
+
+#![allow(deprecated)]
+
+use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::Client;
+
+#[test]
+fn deprecated_entry_points_still_serve() {
+    let handle = start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        ..ServerConfig::default()
+    })
+    .expect("deprecated start shim works");
+    let addr = handle.tcp_addr().expect("bound address");
+
+    let mut client = Client::connect_tcp(addr).expect("deprecated connect shim works");
+    assert_eq!(client.ping(7).expect("ping"), 7);
+
+    handle.drain();
+}

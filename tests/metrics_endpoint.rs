@@ -5,9 +5,10 @@
 
 use preflight_core::ImageStack;
 use preflight_obs::Obs;
-use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::server::ServerConfig;
 use preflight_serve::wire::FramePayload;
-use preflight_serve::{Client, SubmitOptions};
+use preflight_serve::ServerBuilder;
+use preflight_serve::{ClientBuilder, SubmitOptions};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
@@ -56,17 +57,18 @@ fn sample_value(body: &str, series: &str) -> Option<f64> {
 
 #[test]
 fn metrics_endpoint_serves_the_serve_pipeline_registry() {
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         metrics_addr: Some("127.0.0.1:0".to_owned()),
         obs: Obs::new(),
         ..ServerConfig::default()
     })
+    .serve()
     .expect("server start");
     let addr = handle.tcp_addr().expect("bound tcp address");
     let metrics = handle.metrics_addr().expect("bound metrics address");
 
-    let mut client = Client::connect_tcp(addr).expect("connect");
+    let mut client = ClientBuilder::new().tcp(addr).connect().expect("connect");
     let mut submit = |seed: u64| {
         client
             .submit(
@@ -170,10 +172,11 @@ fn metrics_endpoint_serves_the_serve_pipeline_registry() {
 
 #[test]
 fn metrics_listener_is_absent_unless_configured() {
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         ..ServerConfig::default()
     })
+    .serve()
     .expect("server start");
     assert!(
         handle.metrics_addr().is_none(),

@@ -11,10 +11,10 @@
 //!    here.
 
 use preflight::prelude::{
-    available_threads, psi, seeded_rng, AlgoNgst, AlgoOtis, BitConfusion, BitVoter, Correlated,
-    Cube, FtLevel, Image, ImageStack, Kernel, MeanSmoother, MedianSmoother, NgstModel, Obs,
-    PhysicalBounds, PlanePreprocessor, Preprocessor, PsiReport, Sensitivity, SeriesPreprocessor,
-    Snapshot, Span, TimelineRecorder, Uncorrelated, Upsilon,
+    available_threads, psi, seeded_rng, AlgoNgst, AlgoOtis, BitConfusion, BitVoter, ClientBuilder,
+    Correlated, Cube, FtLevel, Image, ImageStack, Kernel, MeanSmoother, MedianSmoother, NgstModel,
+    Obs, PhysicalBounds, PlanePreprocessor, Preprocessor, PsiReport, Sensitivity,
+    SeriesPreprocessor, ServerBuilder, Snapshot, Span, TimelineRecorder, Uncorrelated, Upsilon,
 };
 
 /// Names the prelude must export (the execution API) and names it must
@@ -28,12 +28,19 @@ const REQUIRED: &[&str] = &[
     "Snapshot",
     "Span",
     "TimelineRecorder",
+    "ServerBuilder",
+    "ClientBuilder",
 ];
 const BANNED: &[&str] = &[
     "preprocess_stack",
     "preprocess_stack_tiled",
     "preprocess_stack_parallel",
     "preprocess_cube_parallel",
+    // PR 9 deprecated the positional serving entry points; the prelude
+    // carries only the builders.
+    "connect_tcp",
+    "connect_unix",
+    "server::start",
 ];
 
 #[test]
@@ -81,6 +88,19 @@ fn prelude_drives_the_unified_execution_api() {
     let _: Option<(Image<u16>, Cube<f32>)> = None;
     fn _series_api<T, P: SeriesPreprocessor<T>>() {}
     fn _plane_api<T: Copy, P: PlanePreprocessor<T>>() {}
+
+    // The serving entry points are prelude citizens too: builders
+    // accumulate without touching the network until serve()/connect().
+    let server_config = ServerBuilder::new()
+        .bind("127.0.0.1:0")
+        .queue_depth(8)
+        .max_conns(1024)
+        .auto_tune(false)
+        .into_config();
+    assert_eq!(server_config.capacity, 8);
+    let _client = ClientBuilder::new()
+        .tcp("127.0.0.1:1")
+        .io_timeout(std::time::Duration::from_secs(1));
 }
 
 #[test]

@@ -4,9 +4,10 @@
 
 use preflight_core::ImageStack;
 use preflight_serve::batcher::BatchConfig;
-use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::server::ServerConfig;
 use preflight_serve::wire::FramePayload;
-use preflight_serve::{Client, ClientError, SubmitOptions};
+use preflight_serve::ServerBuilder;
+use preflight_serve::{ClientBuilder, ClientError, SubmitOptions};
 use std::time::Duration;
 
 fn lcg(state: &mut u64) -> u64 {
@@ -27,7 +28,7 @@ fn small_stack(seed: u64) -> ImageStack<u16> {
 #[test]
 fn full_queue_rejects_with_busy_and_recovers_after_drain() {
     const CAPACITY: usize = 2;
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         capacity: CAPACITY,
         // A deep target and a far-off deadline park non-eos submissions in
@@ -39,12 +40,13 @@ fn full_queue_rejects_with_busy_and_recovers_after_drain() {
         },
         ..ServerConfig::default()
     })
+    .serve()
     .expect("server start");
     let addr = handle.tcp_addr().expect("bound tcp address");
 
     // Fill every slot with open-ended (eos=false) submissions. One
     // connection guarantees the server sees them in order.
-    let mut client = Client::connect_tcp(addr).expect("connect");
+    let mut client = ClientBuilder::new().tcp(addr).connect().expect("connect");
     let opts = SubmitOptions {
         stream_id: 7,
         eos: false,
@@ -77,7 +79,10 @@ fn full_queue_rejects_with_busy_and_recovers_after_drain() {
     // Drain from a second connection: parked batches must flush, and every
     // admitted request must still produce its response on the first
     // connection — drain finishes work, it never discards it.
-    let mut drainer = Client::connect_tcp(addr).expect("connect drainer");
+    let mut drainer = ClientBuilder::new()
+        .tcp(addr)
+        .connect()
+        .expect("connect drainer");
     let summary = drainer.drain().expect("drain ack");
     assert_eq!(summary.completed as usize, CAPACITY);
     assert_eq!(summary.rejected, 1);
@@ -107,20 +112,27 @@ fn full_queue_rejects_with_busy_and_recovers_after_drain() {
 
 #[test]
 fn connection_cap_rejects_with_busy_and_recovers() {
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         max_connections: 1,
         ..ServerConfig::default()
     })
+    .serve()
     .expect("server start");
     let addr = handle.tcp_addr().expect("bound tcp address");
 
-    let mut first = Client::connect_tcp(addr).expect("connect under cap");
+    let mut first = ClientBuilder::new()
+        .tcp(addr)
+        .connect()
+        .expect("connect under cap");
     assert_eq!(first.ping(1).expect("served connection answers"), 1);
 
     // The cap is hit: the next connection must be told Busy and closed,
     // not left occupying a reader thread and body buffer.
-    let mut second = Client::connect_tcp(addr).expect("tcp connect itself succeeds");
+    let mut second = ClientBuilder::new()
+        .tcp(addr)
+        .connect()
+        .expect("tcp connect itself succeeds");
     match second.recv_response() {
         Err(ClientError::Busy(busy)) => assert_eq!(busy.capacity, 1),
         other => panic!("expected Busy on the over-cap connection, got {other:?}"),
@@ -136,7 +148,7 @@ fn connection_cap_rejects_with_busy_and_recovers() {
     drop(first);
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
-        let mut retry = Client::connect_tcp(addr).expect("reconnect");
+        let mut retry = ClientBuilder::new().tcp(addr).connect().expect("reconnect");
         match retry.ping(2) {
             Ok(2) => break,
             _ if std::time::Instant::now() < deadline => {

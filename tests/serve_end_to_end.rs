@@ -4,9 +4,10 @@
 //! telemetry, but never change the science product.
 
 use preflight_core::{AlgoNgst, ImageStack, Preprocessor, Sensitivity, Upsilon};
-use preflight_serve::server::{start, ServerConfig};
+use preflight_serve::server::ServerConfig;
 use preflight_serve::wire::FramePayload;
-use preflight_serve::{Client, SubmitOptions};
+use preflight_serve::ServerBuilder;
+use preflight_serve::{Client, ClientBuilder, SubmitOptions};
 use preflight_supervisor::FtLevel;
 
 fn lcg(state: &mut u64) -> u64 {
@@ -87,14 +88,15 @@ fn assert_served_matches_direct(client: &mut Client, seed: u64) {
 
 #[test]
 fn tcp_round_trip_is_byte_identical_to_direct_preprocessing() {
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         ..ServerConfig::default()
     })
+    .serve()
     .expect("server start");
     let addr = handle.tcp_addr().expect("bound tcp address");
 
-    let mut client = Client::connect_tcp(addr).expect("connect");
+    let mut client = ClientBuilder::new().tcp(addr).connect().expect("connect");
     assert_eq!(client.ping(0xC0FFEE).expect("ping"), 0xC0FFEE);
     for seed in [0xA5A5_0001u64, 0xA5A5_0002, 0xA5A5_0003] {
         assert_served_matches_direct(&mut client, seed);
@@ -110,13 +112,14 @@ fn tcp_round_trip_is_byte_identical_to_direct_preprocessing() {
 #[test]
 fn unix_socket_round_trip_is_byte_identical_and_drains_cleanly() {
     let sock = std::env::temp_dir().join(format!("preflightd-e2e-{}.sock", std::process::id()));
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         unix: Some(sock.clone()),
         ..ServerConfig::default()
     })
+    .serve()
     .expect("server start");
 
-    let mut client = Client::connect_unix(&sock).expect("connect");
+    let mut client = ClientBuilder::new().unix(&sock).connect().expect("connect");
     assert_served_matches_direct(&mut client, 0xFEED_0001);
 
     // Wire-level drain from the client side: the ack must report the
@@ -137,12 +140,16 @@ fn unix_socket_round_trip_is_byte_identical_and_drains_cleanly() {
 
 #[test]
 fn u32_frames_survive_the_wire_and_get_repaired() {
-    let handle = start(ServerConfig {
+    let handle = ServerBuilder::from(ServerConfig {
         tcp: Some("127.0.0.1:0".to_owned()),
         ..ServerConfig::default()
     })
+    .serve()
     .expect("server start");
-    let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).expect("connect");
+    let mut client = ClientBuilder::new()
+        .tcp(handle.tcp_addr().unwrap())
+        .connect()
+        .expect("connect");
 
     let mut state = 0xB16B_00B5u64;
     let (width, height, frames) = (8, 8, 4);
