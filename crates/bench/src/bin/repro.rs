@@ -143,22 +143,34 @@ fn run_perf(quick: bool) {
 }
 
 /// `serve`: load-test a `preflightd` at the operating point, sweep the
-/// open-connection axis, and persist both into one document.
+/// active-throughput and open-connection axes, and persist everything
+/// into one document.
 fn run_serve(quick: bool) {
     use preflight_bench::serve::{
-        bench_json, conn_sweep, serve_loadgen, ConnSweepConfig, ServeConfig,
+        active_sweep, bench_json, conn_sweep, serve_loadgen, ActiveSweepConfig, ConnSweepConfig,
+        ServeConfig,
     };
-    let (config, sweep_config) = if quick {
-        (ServeConfig::quick(), ConnSweepConfig::quick())
+    let (config, active_config, sweep_config) = if quick {
+        (
+            ServeConfig::quick(),
+            ActiveSweepConfig::quick(),
+            ConnSweepConfig::quick(),
+        )
     } else {
-        (ServeConfig::standard(), ConnSweepConfig::standard())
+        (
+            ServeConfig::standard(),
+            ActiveSweepConfig::standard(),
+            ConnSweepConfig::standard(),
+        )
     };
     let report = serve_loadgen(&config);
     print!("{}", report.to_table());
+    let active = active_sweep(&active_config);
+    print!("{}", active.to_table());
     let sweep = conn_sweep(&sweep_config);
     print!("{}", sweep.to_table());
     let path = "BENCH_serve.json";
-    if let Err(e) = std::fs::write(path, bench_json(&report, &sweep)) {
+    if let Err(e) = std::fs::write(path, bench_json(&report, &active, &sweep)) {
         eprintln!("failed to write {path}: {e}");
         std::process::exit(1);
     }

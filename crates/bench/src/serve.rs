@@ -8,6 +8,7 @@
 //! The scriptable output lands in `BENCH_serve.json`.
 
 use crate::perf::{kernel_label, sample_u16, synthetic_stack, tier_label};
+use preflight_core::Kernel;
 use preflight_serve::server::ServerConfig;
 use preflight_serve::wire::FramePayload;
 use preflight_serve::{ClientBuilder, ClientError, ServerBuilder, SubmitOptions};
@@ -642,15 +643,271 @@ impl ConnSweepReport {
     }
 }
 
+/// Workload shape for the active-throughput sweep: how much traffic does
+/// the data plane move as payload size, concurrency, and event-loop shard
+/// count vary? Each cell starts a fresh in-process daemon with that shard
+/// count and drives it to saturation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSweepConfig {
+    /// `(width, height, frames)` payload shapes to sweep.
+    pub payloads: Vec<(usize, usize, usize)>,
+    /// Concurrent client-connection counts to sweep.
+    pub client_levels: Vec<usize>,
+    /// Daemon event-loop shard counts to sweep (`preflightd --shards`).
+    pub shard_levels: Vec<usize>,
+    /// Stacks each client submits per cell.
+    pub requests_per_client: usize,
+    /// Daemon queue capacity (in-flight requests before `Busy`).
+    pub capacity: usize,
+    /// Voter kernel the daemon's engine runs. The standard sweep uses the
+    /// fastest kernel so the measurement saturates the *data plane*, not
+    /// the voter — with a slow kernel every shard/copy improvement hides
+    /// behind engine time.
+    pub kernel: Kernel,
+}
+
+impl ActiveSweepConfig {
+    /// The full sweep: small and large stacks, single and fanned-out
+    /// clients, 1/2/4 shards — the grid behind the README's serving row.
+    pub fn standard() -> Self {
+        ActiveSweepConfig {
+            payloads: vec![(32, 32, 8), (128, 128, 8), (256, 256, 8)],
+            client_levels: vec![1, 8],
+            shard_levels: vec![1, 2, 4],
+            requests_per_client: 16,
+            capacity: 16,
+            kernel: Kernel::Bitsliced,
+        }
+    }
+
+    /// A sub-second grid for CI.
+    pub fn quick() -> Self {
+        ActiveSweepConfig {
+            payloads: vec![(16, 16, 4)],
+            client_levels: vec![2],
+            shard_levels: vec![1, 2],
+            requests_per_client: 4,
+            capacity: 8,
+            kernel: Kernel::Sweep,
+        }
+    }
+}
+
+/// One active-sweep cell: throughput and latency at a fixed payload shape,
+/// client count, and daemon shard count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveSweepRow {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Temporal frames per request.
+    pub frames: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Daemon event-loop shards.
+    pub shards: usize,
+    /// Million samples served per second of wall time.
+    pub mpix_per_s: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// `Busy` rejections absorbed by client retry.
+    pub busy_retries: u64,
+}
+
+/// Results of one active-throughput sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveSweepReport {
+    /// The workload that ran.
+    pub config: ActiveSweepConfig,
+    /// One row per `(payload, clients, shards)` cell.
+    pub rows: Vec<ActiveSweepRow>,
+}
+
+/// Runs the active-throughput sweep: one fresh in-process daemon per cell
+/// (so the shard count takes effect), saturated by the cell's client herd.
+///
+/// # Panics
+/// Panics if a daemon cannot start or a client loses its connection —
+/// harness failures, not measurements.
+pub fn active_sweep(config: &ActiveSweepConfig) -> ActiveSweepReport {
+    let mut rows = Vec::new();
+    for &(width, height, frames) in &config.payloads {
+        for &clients in &config.client_levels {
+            for &shards in &config.shard_levels {
+                let handle = ServerBuilder::new()
+                    .bind("127.0.0.1:0")
+                    .queue_depth(config.capacity)
+                    .shards(shards)
+                    .kernel(config.kernel)
+                    .serve()
+                    .expect("daemon start");
+                let addr = handle.tcp_addr().expect("bound address");
+
+                // Payloads are built before the clock starts: the sweep
+                // measures the serving data plane, not synthetic-noise
+                // generation.
+                let prebuilt: Vec<Vec<_>> = (0..clients)
+                    .map(|c| {
+                        (0..config.requests_per_client)
+                            .map(|r| {
+                                let seed = 0xAC71 ^ ((c as u64) << 32) ^ r as u64;
+                                synthetic_stack(width, height, frames, seed, sample_u16)
+                            })
+                            .collect()
+                    })
+                    .collect();
+
+                let started = Instant::now();
+                let mut workers = Vec::new();
+                for (c, stacks) in prebuilt.into_iter().enumerate() {
+                    let requests = config.requests_per_client;
+                    workers.push(std::thread::spawn(move || {
+                        let mut client = ClientBuilder::new()
+                            .tcp(addr)
+                            .connect()
+                            .expect("client connect");
+                        let mut latencies_ms = Vec::with_capacity(requests);
+                        let mut busy: u64 = 0;
+                        for (r, stack) in stacks.into_iter().enumerate() {
+                            let opts = SubmitOptions {
+                                stream_id: c as u64,
+                                eos: true,
+                                ..SubmitOptions::default()
+                            };
+                            let begin = Instant::now();
+                            loop {
+                                match client.submit(FramePayload::U16(stack.clone()), &opts) {
+                                    Ok(response) => {
+                                        assert_eq!(response.payload.frames(), frames);
+                                        break;
+                                    }
+                                    Err(ClientError::Busy(_)) => {
+                                        busy += 1;
+                                        std::thread::sleep(Duration::from_millis(1));
+                                    }
+                                    Err(e) => panic!("client {c} request {r} failed: {e}"),
+                                }
+                            }
+                            latencies_ms.push(begin.elapsed().as_secs_f64() * 1e3);
+                        }
+                        (latencies_ms, busy)
+                    }));
+                }
+
+                let mut latencies_ms = Vec::new();
+                let mut busy_retries = 0;
+                for w in workers {
+                    let (lat, busy) = w.join().expect("client thread");
+                    latencies_ms.extend(lat);
+                    busy_retries += busy;
+                }
+                let wall_secs = started.elapsed().as_secs_f64();
+                handle.drain();
+
+                latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+                let total_samples =
+                    (clients * config.requests_per_client * width * height * frames) as f64;
+                rows.push(ActiveSweepRow {
+                    width,
+                    height,
+                    frames,
+                    clients,
+                    shards,
+                    mpix_per_s: total_samples / wall_secs / 1e6,
+                    p50_ms: percentile(&latencies_ms, 0.50),
+                    p99_ms: percentile(&latencies_ms, 0.99),
+                    busy_retries,
+                });
+            }
+        }
+    }
+    ActiveSweepReport {
+        config: config.clone(),
+        rows,
+    }
+}
+
+impl ActiveSweepReport {
+    /// Aligned text table for the terminal.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "active-throughput sweep, {} request(s) per client, queue capacity {}, kernel {}",
+            self.config.requests_per_client,
+            self.config.capacity,
+            kernel_label(self.config.kernel)
+        );
+        let _ = writeln!(
+            out,
+            "{:>14} {:>8} {:>7} {:>10} {:>10} {:>10} {:>8}",
+            "payload", "clients", "shards", "Mpix/s", "p50_ms", "p99_ms", "busy"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>14} {:>8} {:>7} {:>10.2} {:>10.3} {:>10.3} {:>8}",
+                format!("{}x{}x{}", row.width, row.height, row.frames),
+                row.clients,
+                row.shards,
+                row.mpix_per_s,
+                row.p50_ms,
+                row.p99_ms,
+                row.busy_retries
+            );
+        }
+        out
+    }
+
+    /// The sweep as a hand-formatted JSON array (no JSON dependency).
+    fn json_rows(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"width\": {}, \"height\": {}, \"frames\": {}, \"clients\": {}, \
+                 \"shards\": {}, \"kernel\": \"{}\", \"mpix_per_s\": {:.3}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"busy_retries\": {}}}",
+                row.width,
+                row.height,
+                row.frames,
+                row.clients,
+                row.shards,
+                kernel_label(self.config.kernel),
+                row.mpix_per_s,
+                row.p50_ms,
+                row.p99_ms,
+                row.busy_retries
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+        out
+    }
+}
+
 /// The combined `BENCH_serve.json` document: the PR 3 operating-point
-/// loadgen plus the open-connection sweep.
-pub fn bench_json(report: &ServeReport, sweep: &ConnSweepReport) -> String {
+/// loadgen, the active-throughput sweep, and the open-connection sweep.
+pub fn bench_json(
+    report: &ServeReport,
+    active: &ActiveSweepReport,
+    sweep: &ConnSweepReport,
+) -> String {
     let base = report.to_json();
     let trimmed = base
         .strip_suffix("}\n")
         .expect("loadgen json ends with a brace");
     let mut out = trimmed.trim_end().to_owned();
     out.push_str(",\n");
+    let _ = writeln!(
+        out,
+        "  \"active_throughput_sweep\": {},",
+        active.json_rows()
+    );
     let _ = writeln!(out, "  \"open_connection_daemon\": \"{}\",", sweep.daemon);
     let _ = writeln!(out, "  \"open_connection_sweep\": {}", sweep.json_rows());
     out.push_str("}\n");
@@ -707,8 +964,39 @@ mod tests {
     }
 
     #[test]
-    fn combined_bench_json_nests_the_sweep() {
+    fn quick_active_sweep_covers_the_grid() {
+        let config = ActiveSweepConfig::quick();
+        let report = active_sweep(&config);
+        assert_eq!(
+            report.rows.len(),
+            config.payloads.len() * config.client_levels.len() * config.shard_levels.len()
+        );
+        for row in &report.rows {
+            assert!(row.mpix_per_s > 0.0);
+            assert!(row.p99_ms >= row.p50_ms);
+        }
+        // Shard counts actually varied across the grid.
+        assert!(report.rows.iter().any(|r| r.shards == 1));
+        assert!(report.rows.iter().any(|r| r.shards == 2));
+    }
+
+    #[test]
+    fn combined_bench_json_nests_the_sweeps() {
         let report = serve_loadgen(&ServeConfig::quick());
+        let active = ActiveSweepReport {
+            config: ActiveSweepConfig::quick(),
+            rows: vec![ActiveSweepRow {
+                width: 16,
+                height: 16,
+                frames: 4,
+                clients: 2,
+                shards: 2,
+                mpix_per_s: 10.0,
+                p50_ms: 1.0,
+                p99_ms: 2.0,
+                busy_retries: 0,
+            }],
+        };
         let sweep = ConnSweepReport {
             config: ConnSweepConfig::quick(),
             rows: vec![ConnSweepRow {
@@ -721,7 +1009,9 @@ mod tests {
             }],
             daemon: "in-process",
         };
-        let json = bench_json(&report, &sweep);
+        let json = bench_json(&report, &active, &sweep);
+        assert!(json.contains("\"active_throughput_sweep\": ["));
+        assert!(json.contains("\"shards\": 2"));
         assert!(json.contains("\"open_connection_sweep\": ["));
         assert!(json.contains("\"open_target\": 64"));
         assert!(json.ends_with("}\n"));

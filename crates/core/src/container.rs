@@ -262,6 +262,13 @@ impl<T: Copy> ImageStack<T> {
         })
     }
 
+    /// Consumes the stack, returning the frame-major sample buffer — the
+    /// inverse of [`ImageStack::from_vec`], so callers recycling buffers
+    /// (the serving daemon's pixel pool) never copy on the way out.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// Builds a stack from individual frames (all must share dimensions).
     ///
     /// # Errors

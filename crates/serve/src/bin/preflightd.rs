@@ -3,8 +3,8 @@
 //! ```text
 //! preflightd [--tcp ADDR] [--unix PATH] [--metrics-addr ADDR] [--capacity N]
 //!            [--max-conns N] [--batch-frames N] [--batch-delay-ms N]
-//!            [--threads N] [--workers N] [--kernel sweep|scalar|bitsliced]
-//!            [--auto-tune]
+//!            [--threads N] [--workers N] [--shards N]
+//!            [--kernel sweep|scalar|bitsliced] [--auto-tune]
 //! ```
 //!
 //! At least one of `--tcp`/`--unix` is required. The daemon serves until a
@@ -28,6 +28,7 @@ fn print_usage() {
     eprintln!("  --batch-delay-ms N   batch flush deadline in ms (default 5)");
     eprintln!("  --threads N          engine threads per batch (default: cores)");
     eprintln!("  --workers N          concurrent engine workers (default 2)");
+    eprintln!("  --shards N           event-loop poll threads (default: min(4, cores))");
     eprintln!("  --kernel NAME        voter kernel: 'sweep' (default), 'scalar' or 'bitsliced'");
     eprintln!("  --auto-tune          calibrate per-stream \u{39b}/\u{3a5} online from rolling \u{3a6} statistics");
 }
@@ -73,6 +74,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--workers" => {
                 config.engine_workers = parse_positive(&value(&mut i, "--workers")?, "--workers")?;
+            }
+            "--shards" => {
+                config.shards = parse_positive(&value(&mut i, "--shards")?, "--shards")?;
             }
             "--kernel" => {
                 config.engine.kernel = value(&mut i, "--kernel")?

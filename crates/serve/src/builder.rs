@@ -116,6 +116,13 @@ impl ServerBuilder {
         self
     }
 
+    /// Event-loop shards (poll threads, each with its own listener and
+    /// connections). `0` means auto: `min(4, available cores)`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// Enables the per-stream Λ/Υ auto-tuner.
     pub fn auto_tune(mut self, on: bool) -> Self {
         self.config.auto_tune = on;
@@ -293,6 +300,7 @@ mod tests {
             .queue_depth(7)
             .max_conns(99)
             .workers(3)
+            .shards(2)
             .threads(2)
             .auto_tune(true)
             .metrics_addr("127.0.0.1:0")
@@ -305,6 +313,8 @@ mod tests {
         assert_eq!(config.capacity, 7);
         assert_eq!(config.max_connections, 99);
         assert_eq!(config.engine_workers, 3);
+        assert_eq!(config.shards, 2);
+        assert_eq!(config.effective_shards(), 2);
         assert_eq!(config.engine.threads, 2);
         assert!(config.auto_tune);
         assert!(config.metrics_addr.is_some());

@@ -4,12 +4,23 @@
 //! inside a submission carries its own CRC, so a corrupted transfer is
 //! detected at the protocol layer before any pixel reaches the engine —
 //! the serving-path analogue of the FITS checksum cards in `preflight-fits`.
+//!
+//! The implementation is slicing-by-8: eight compile-time lookup tables
+//! let the hot loop fold eight payload bytes per iteration instead of one,
+//! which matters because a served response crosses this function four
+//! times (frame CRC + payload CRC on each side of the wire). The values
+//! are bit-identical to the classic one-table form — only the table walk
+//! changes. [`Crc32`] is the streaming variant for the event loop's
+//! chunked ingest path, where payload bytes arrive straight off the socket
+//! and are never re-assembled into one contiguous buffer.
 
-/// The byte-indexed lookup table, built at compile time.
-const TABLE: [u32; 256] = build_table();
+/// Eight byte-indexed lookup tables, built at compile time. `TABLES[0]` is
+/// the classic CRC-32 table; `TABLES[k]` advances a byte `k` positions
+/// deeper into the message.
+const TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -22,19 +33,77 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+/// Folds `data` into a raw (pre-inverted) CRC state.
+fn update(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
 }
 
 /// CRC-32 of `data` (the common `crc32("123456789") == 0xCBF43926` variant).
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    !update(0xFFFF_FFFF, data)
+}
+
+/// A streaming CRC-32: feed bytes in any chunking, [`Crc32::finish`] yields
+/// exactly what [`crc32`] returns over the concatenation.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher (equivalent to `crc32(b"")` when finished untouched).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
     }
-    !crc
+
+    /// Folds another chunk into the running CRC.
+    pub fn update(&mut self, data: &[u8]) {
+        self.state = update(self.state, data);
+    }
+
+    /// The CRC of everything fed so far. Non-destructive: more updates may
+    /// follow and a later `finish` covers them too.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
 }
 
 #[cfg(test)]
@@ -57,5 +126,52 @@ mod tests {
         let a = crc32(&[0x00, 0x01, 0x02, 0x03]);
         let b = crc32(&[0x00, 0x01, 0x02, 0x07]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sliced_matches_bytewise_reference() {
+        // The one-table form the protocol shipped with originally; the
+        // slicing-by-8 walk must be bit-identical at every length and
+        // alignment, including tails shorter than the 8-byte stride.
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in data {
+                crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+            }
+            !crc
+        }
+        let mut data = Vec::new();
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for len in 0..64 {
+            data.clear();
+            for _ in 0..(len * 7 + 3) {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                data.push((state >> 56) as u8);
+            }
+            assert_eq!(crc32(&data), reference(&data), "length {}", data.len());
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_across_chunkings() {
+        let data: Vec<u8> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(31) >> 2) as u8)
+            .collect();
+        let want = crc32(&data);
+        for chunk in [1, 3, 7, 8, 13, 64, 999, 1000] {
+            let mut h = Crc32::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finish(), want, "chunk size {chunk}");
+        }
+        // finish() is non-destructive.
+        let mut h = Crc32::new();
+        h.update(&data[..500]);
+        let _ = h.finish();
+        h.update(&data[500..]);
+        assert_eq!(h.finish(), want);
     }
 }

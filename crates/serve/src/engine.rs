@@ -17,6 +17,9 @@
 //! retries and ladder transitions land in the shared registry.
 
 use crate::batcher::{BatchJob, GroupKey};
+use crate::pool::BufferPool;
+use crate::queue::AdmissionPermit;
+use crate::reply::ReplySink;
 use crate::telemetry::{RequestStats, ServerStats};
 use crate::wire::{Dtype, ErrorCode, ErrorReply, FramePayload, Message, SubmitResponse};
 use crossbeam::channel;
@@ -105,22 +108,30 @@ impl TunerRegistry {
 static BATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Runs one engine worker: pulls batches until the channel closes.
+/// Buffers for working copies and responses come from (and return to)
+/// `pool`, shared with the ingest side of the event loop.
 pub fn run_engine_worker(
     rx: channel::Receiver<BatchJob>,
     config: EngineConfig,
     stats: Arc<ServerStats>,
+    pool: Arc<BufferPool>,
 ) {
     for batch in rx.iter() {
-        process_batch(batch, &config, &stats);
+        process_batch(batch, &config, &stats, &pool);
     }
 }
 
 /// Preprocesses one batch and answers every request inside it.
-pub fn process_batch(batch: BatchJob, config: &EngineConfig, stats: &ServerStats) {
+pub fn process_batch(
+    batch: BatchJob,
+    config: &EngineConfig,
+    stats: &ServerStats,
+    pool: &BufferPool,
+) {
     stats.batches.inc();
     match batch.key.dtype {
-        Dtype::U16 => process_typed::<u16>(batch, config, stats),
-        Dtype::U32 => process_typed::<u32>(batch, config, stats),
+        Dtype::U16 => process_typed::<u16>(batch, config, stats, pool),
+        Dtype::U32 => process_typed::<u32>(batch, config, stats, pool),
     }
 }
 
@@ -128,8 +139,14 @@ pub fn process_batch(batch: BatchJob, config: &EngineConfig, stats: &ServerStats
 trait PayloadPixel: BitPixel + ValuePixel {
     /// The stack inside `p`, if `p` matches this pixel type.
     fn stack(p: &FramePayload) -> Option<&ImageStack<Self>>;
+    /// Moves the stack out of `p`, if `p` matches this pixel type.
+    fn into_stack(p: FramePayload) -> Option<ImageStack<Self>>;
     /// Wraps a stack back into a payload.
     fn wrap(stack: ImageStack<Self>) -> FramePayload;
+    /// A zeroed pooled buffer of `samples` elements.
+    fn take_filled(pool: &BufferPool, samples: usize) -> Vec<Self>;
+    /// Recycles a buffer into the pool's shelf for this pixel type.
+    fn put(pool: &BufferPool, data: Vec<Self>);
 }
 
 impl PayloadPixel for u16 {
@@ -140,8 +157,23 @@ impl PayloadPixel for u16 {
         }
     }
 
+    fn into_stack(p: FramePayload) -> Option<ImageStack<u16>> {
+        match p {
+            FramePayload::U16(s) => Some(s),
+            FramePayload::U32(_) => None,
+        }
+    }
+
     fn wrap(stack: ImageStack<u16>) -> FramePayload {
         FramePayload::U16(stack)
+    }
+
+    fn take_filled(pool: &BufferPool, samples: usize) -> Vec<u16> {
+        pool.take_filled_u16(samples)
+    }
+
+    fn put(pool: &BufferPool, data: Vec<u16>) {
+        pool.put_u16(data);
     }
 }
 
@@ -153,39 +185,66 @@ impl PayloadPixel for u32 {
         }
     }
 
+    fn into_stack(p: FramePayload) -> Option<ImageStack<u32>> {
+        match p {
+            FramePayload::U32(s) => Some(s),
+            FramePayload::U16(_) => None,
+        }
+    }
+
     fn wrap(stack: ImageStack<u32>) -> FramePayload {
         FramePayload::U32(stack)
     }
+
+    fn take_filled(pool: &BufferPool, samples: usize) -> Vec<u32> {
+        pool.take_filled_u32(samples)
+    }
+
+    fn put(pool: &BufferPool, data: Vec<u32>) {
+        pool.put_u32(data);
+    }
 }
 
-fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats: &ServerStats) {
+/// A pooled, zeroed stack of the given geometry.
+fn pooled_stack<T: PayloadPixel>(
+    pool: &BufferPool,
+    width: usize,
+    height: usize,
+    frames: usize,
+) -> ImageStack<T> {
+    let data = T::take_filled(pool, width * height * frames);
+    ImageStack::from_vec(width, height, frames, data).expect("pooled buffer sized to geometry")
+}
+
+/// Returns a stack's buffer to the pool.
+fn recycle<T: PayloadPixel>(pool: &BufferPool, stack: ImageStack<T>) {
+    T::put(pool, stack.into_vec());
+}
+
+/// What the engine still owes one request after its stack was moved into
+/// the combined input.
+struct JobMeta {
+    reply: ReplySink,
+    request_id: u64,
+    admitted_at: Instant,
+    start: usize,
+    frames: usize,
+    /// Held until the reply is queued, exactly as `SubmitJob` held it.
+    _permit: AdmissionPermit,
+}
+
+fn process_typed<T: PayloadPixel>(
+    batch: BatchJob,
+    config: &EngineConfig,
+    stats: &ServerStats,
+    pool: &BufferPool,
+) {
     let key = batch.key;
+    let total_frames = batch.total_frames;
     let unit = BATCH_SEQ.fetch_add(1, Ordering::Relaxed);
     let dispatched_at = Instant::now();
     // Covers the whole batch service: ladder walk, slicing, reply queuing.
     let engine_timer = stats.stage_engine.timer();
-
-    // Concatenate the batch into one temporal stack, remembering each
-    // request's frame range.
-    let mut combined: ImageStack<T> = ImageStack::new(key.width, key.height, batch.total_frames);
-    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(batch.jobs.len());
-    let mut offset = 0;
-    for job in &batch.jobs {
-        let Some(stack) = T::stack(&job.request.payload) else {
-            // The batcher keys on dtype, so this cannot happen; answer
-            // defensively instead of crashing the worker.
-            respond_error(&batch, "batch mixed pixel types");
-            return;
-        };
-        for i in 0..stack.frames() {
-            combined
-                .frame_mut(offset + i)
-                .copy_from_slice(stack.frame(i));
-        }
-        ranges.push((offset, stack.frames()));
-        offset += stack.frames();
-    }
-    let input = combined.clone();
 
     let (upsilon, lambda) = match (
         Upsilon::new(key.upsilon as usize),
@@ -197,6 +256,53 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
             respond_error(&batch, "invalid algorithm parameters");
             return;
         }
+    };
+    if batch
+        .jobs
+        .iter()
+        .any(|job| T::stack(&job.request.payload).is_none())
+    {
+        // The batcher keys on dtype, so this cannot happen; answer
+        // defensively instead of crashing the worker.
+        respond_error(&batch, "batch mixed pixel types");
+        return;
+    }
+
+    // Take ownership of every request's stack. A single-request batch —
+    // the latency-path common case — *moves* its pooled ingest buffer
+    // straight in as the engine input: zero copies, zero allocations.
+    // Multi-request batches concatenate into one pooled stack and recycle
+    // the sources immediately.
+    let batch_requests = batch.jobs.len() as u32;
+    let mut metas: Vec<JobMeta> = Vec::with_capacity(batch.jobs.len());
+    let mut stacks: Vec<ImageStack<T>> = Vec::with_capacity(batch.jobs.len());
+    let mut offset = 0;
+    for job in batch.jobs {
+        let stack = T::into_stack(job.request.payload).expect("dtype checked above");
+        metas.push(JobMeta {
+            reply: job.reply,
+            request_id: job.request.request_id,
+            admitted_at: job.admitted_at,
+            start: offset,
+            frames: stack.frames(),
+            _permit: job.permit,
+        });
+        offset += stack.frames();
+        stacks.push(stack);
+    }
+    let input: ImageStack<T> = if stacks.len() == 1 {
+        stacks.pop().expect("one stack")
+    } else {
+        let mut combined = pooled_stack::<T>(pool, key.width, key.height, total_frames);
+        for (meta, stack) in metas.iter().zip(stacks.drain(..)) {
+            for i in 0..stack.frames() {
+                combined
+                    .frame_mut(meta.start + i)
+                    .copy_from_slice(stack.frame(i));
+            }
+            recycle(pool, stack);
+        }
+        combined
     };
 
     // Auto-tuning: feed this batch's XOR-diff sample to the stream's
@@ -225,21 +331,37 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
     // Walk the ladder: supervised attempts at each rung, quarantine one
     // rung down on exhaustion. Passthrough cannot fail, so this always
     // produces a repaired (or at worst raw) stack.
+    //
+    // `input` stays pristine for the per-request diff; each attempt runs
+    // on `work`, a *single* pooled buffer refreshed from `input` before
+    // the pass — the old `combined.clone()` + per-attempt `input.clone()`
+    // chain collapsed to one copy, re-done only when a retry fires.
     let supervision = config.supervision;
     let mut policy = supervision.policy;
     policy.max_retries = supervision.attempts_per_level().saturating_sub(1);
     let mut log = RecoveryLog::new();
     let mut level = ladder.entry_level();
     let mut attempts_total: u32 = 0;
+    let work_slot: std::cell::RefCell<Option<ImageStack<T>>> = std::cell::RefCell::new(None);
+    let refreshed_work = || {
+        let mut work = work_slot
+            .borrow_mut()
+            .take()
+            .unwrap_or_else(|| pooled_stack::<T>(pool, key.width, key.height, total_frames));
+        for i in 0..total_frames {
+            work.frame_mut(i).copy_from_slice(input.frame(i));
+        }
+        work
+    };
     let (repaired, rung) = loop {
         let Some(stage) = ladder.stage(level) else {
-            respond_error(&batch, "degradation ladder has no stage");
+            respond_error_metas(&metas, "degradation ladder has no stage");
             return;
         };
         let attempt_counter = std::cell::Cell::new(0u32);
         let outcome = supervise(&policy, "serve-batch", unit, &mut log, |_attempt| {
             attempt_counter.set(attempt_counter.get() + 1);
-            let mut work = input.clone();
+            let mut work = refreshed_work();
             let started = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| {
                 Preprocessor::new(&stage)
@@ -249,13 +371,17 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
                     .run(&mut work)
             }));
             match result {
-                Err(_) => StageOutcome::Failed(FailureKind::Crash),
+                Err(_) => {
+                    *work_slot.borrow_mut() = Some(work);
+                    StageOutcome::Failed(FailureKind::Crash)
+                }
                 Ok(changed) => {
                     // The pass cannot be preempted mid-flight, so the
                     // deadline is enforced after the fact: an overlong
                     // attempt still counts as a timeout and is retried
                     // (possibly one rung down, where passes are cheaper).
                     if started.elapsed() > policy.stage_timeout {
+                        *work_slot.borrow_mut() = Some(work);
                         StageOutcome::Failed(FailureKind::Timeout)
                     } else {
                         StageOutcome::Done((work, changed))
@@ -274,15 +400,18 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
                 None => {
                     // Passthrough exhausted its budget — only possible with
                     // a pathological stage_timeout. Serve the raw input.
-                    break (input.clone(), FtLevel::Passthrough);
+                    break (refreshed_work(), FtLevel::Passthrough);
                 }
             },
             Err(e) => {
-                respond_error(&batch, &format!("batch failed without degradation: {e}"));
+                respond_error_metas(&metas, &format!("batch failed without degradation: {e}"));
                 return;
             }
         }
     };
+    if let Some(spare) = work_slot.into_inner() {
+        recycle(pool, spare);
+    }
     if rung != FtLevel::AlgoNgst {
         stats.degraded_batches.inc();
     }
@@ -292,29 +421,17 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
     let service_us = elapsed_us(dispatched_at);
 
     // Slice the repaired stack back into per-request responses with their
-    // telemetry trailers.
+    // telemetry trailers. A single-request batch moves `repaired` straight
+    // into its response; multi-request batches copy each range into a
+    // pooled out stack.
     let frame_len = key.width * key.height;
-    let batch_requests = batch.jobs.len() as u32;
-    for (job, (start, frames)) in batch.jobs.into_iter().zip(ranges) {
-        let mut out: ImageStack<T> = ImageStack::new(key.width, key.height, frames);
-        let mut changed_here: u64 = 0;
-        let mut bits_here: u64 = 0;
-        for i in 0..frames {
-            let rep = repaired.frame(start + i);
-            let orig = input.frame(start + i);
-            out.frame_mut(i).copy_from_slice(rep);
-            for p in 0..frame_len {
-                if rep[p] != orig[p] {
-                    changed_here += 1;
-                    bits_here += u64::from(rep[p].xor(orig[p]).count_ones());
-                }
-            }
-        }
-        let samples = (frames * frame_len) as u64;
+    let single = metas.len() == 1;
+    let respond = |meta: JobMeta, payload: ImageStack<T>, changed_here: u64, bits_here: u64| {
+        let samples = (meta.frames * frame_len) as u64;
         let agreement = (1000 * (samples - changed_here))
             .checked_div(samples)
             .unwrap_or(1000) as u32;
-        let queue_wait_us = elapsed_us_between(job.admitted_at, dispatched_at);
+        let queue_wait_us = elapsed_us_between(meta.admitted_at, dispatched_at);
         // The wait spans threads (admission on the reader, dispatch here),
         // so it is observed directly rather than via an RAII timer.
         stats.stage_queue.observe_us(queue_wait_us);
@@ -326,7 +443,7 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
             voter_agreement_permille: agreement,
             queue_wait_us,
             service_us,
-            batch_frames: batch.total_frames as u32,
+            batch_frames: total_frames as u32,
             batch_requests,
             rung,
             attempts: attempts_total.max(1),
@@ -343,17 +460,50 @@ fn process_typed<T: PayloadPixel>(batch: BatchJob, config: &EngineConfig, stats:
                 .map_or(0, |d| u32::try_from(d.recalibrations).unwrap_or(u32::MAX)),
         };
         let response = Message::Response(SubmitResponse {
-            request_id: job.request.request_id,
+            request_id: meta.request_id,
             stats: stats_trailer,
-            payload: T::wrap(out),
+            payload: T::wrap(payload),
         });
         // A vanished client is not an engine error; its permit releases
-        // when the job drops either way. `completed` counts responses
+        // when the meta drops either way. `completed` counts responses
         // handed to the loop for writing; the loop drops those whose
         // connection disappeared while the batch was in flight.
-        if job.reply.send(response) {
+        if meta.reply.send(response) {
             stats.completed.inc();
         }
+    };
+    let diff_range = |start: usize, frames: usize| {
+        let mut changed: u64 = 0;
+        let mut bits: u64 = 0;
+        for i in 0..frames {
+            let rep = repaired.frame(start + i);
+            let orig = input.frame(start + i);
+            for p in 0..frame_len {
+                if rep[p] != orig[p] {
+                    changed += 1;
+                    bits += u64::from(rep[p].xor(orig[p]).count_ones());
+                }
+            }
+        }
+        (changed, bits)
+    };
+    if single {
+        let meta = metas.pop().expect("one meta");
+        let (changed, bits) = diff_range(0, total_frames);
+        recycle(pool, input);
+        respond(meta, repaired, changed, bits);
+    } else {
+        for meta in metas {
+            let mut out: ImageStack<T> = pooled_stack(pool, key.width, key.height, meta.frames);
+            let (changed, bits) = diff_range(meta.start, meta.frames);
+            for i in 0..meta.frames {
+                out.frame_mut(i)
+                    .copy_from_slice(repaired.frame(meta.start + i));
+            }
+            respond(meta, out, changed, bits);
+        }
+        recycle(pool, input);
+        recycle(pool, repaired);
     }
     drop(engine_timer);
 }
@@ -370,6 +520,18 @@ fn respond_error(batch: &BatchJob, why: &str) {
     for job in &batch.jobs {
         job.reply.send(Message::Error(ErrorReply {
             request_id: job.request.request_id,
+            code: ErrorCode::Internal,
+            message: why.to_owned(),
+        }));
+    }
+}
+
+/// [`respond_error`] for batches whose jobs were already decomposed into
+/// [`JobMeta`]s.
+fn respond_error_metas(metas: &[JobMeta], why: &str) {
+    for meta in metas {
+        meta.reply.send(Message::Error(ErrorReply {
+            request_id: meta.request_id,
             code: ErrorCode::Internal,
             message: why.to_owned(),
         }));

@@ -31,12 +31,15 @@
 
 pub mod batcher;
 pub mod builder;
+pub(crate) mod bytes;
 pub mod client;
 pub mod crc;
 pub mod engine;
 mod event_loop;
+mod ingest;
 pub mod metrics;
 pub mod poll;
+pub mod pool;
 pub mod queue;
 pub mod reply;
 pub mod server;

@@ -159,6 +159,50 @@ mod posix {
         check(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
         Ok(max)
     }
+
+    /// Marks `fd` nonblocking and close-on-exec.
+    pub(super) fn set_nonblocking_cloexec(fd: RawFd) -> io::Result<()> {
+        let flags = check(unsafe { fcntl(fd, F_GETFL, 0) })?;
+        check(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) })?;
+        check(unsafe { fcntl(fd, F_SETFD, FD_CLOEXEC) })?;
+        Ok(())
+    }
+
+    /// `struct iovec`: one segment of a gathered write.
+    #[repr(C)]
+    pub(super) struct IoVec {
+        base: *const u8,
+        len: usize,
+    }
+
+    extern "C" {
+        fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
+    }
+
+    /// Gathers up to [`super::IOV_BATCH`] byte slices into one
+    /// `writev(2)`. The iovec array lives on this call's stack; the kernel
+    /// reads the referenced buffers only for the duration of the syscall.
+    pub(super) fn writev_fd(fd: RawFd, bufs: &[&[u8]]) -> isize {
+        let mut iov = [IoVec {
+            base: std::ptr::null(),
+            len: 0,
+        }; MAX_IOV];
+        let n = bufs.len().min(MAX_IOV);
+        for (v, b) in iov.iter_mut().zip(&bufs[..n]) {
+            v.base = b.as_ptr();
+            v.len = b.len();
+        }
+        unsafe { writev(fd, iov.as_ptr(), n as i32) }
+    }
+
+    pub(super) const MAX_IOV: usize = 64;
+
+    impl Copy for IoVec {}
+    impl Clone for IoVec {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
 }
 
 /// The process's `(soft, hard)` open-file-descriptor limit — what bounds
@@ -201,6 +245,200 @@ fn unsupported() -> io::Error {
         io::ErrorKind::Unsupported,
         "readiness polling needs epoll or kqueue; this platform has neither",
     )
+}
+
+/// Most buffer segments one [`writev`] call gathers. Longer reply queues
+/// simply take another call on the next writable round — well under
+/// `IOV_MAX` (1024) everywhere.
+#[cfg(unix)]
+pub const IOV_BATCH: usize = 64;
+
+/// One gathered write: up to [`IOV_BATCH`] leading slices of `bufs` go out
+/// with a single `writev(2)`, returning the bytes accepted by the socket
+/// (possibly landing mid-slice — the caller advances its cursor).
+///
+/// # Errors
+/// Any socket error, including `WouldBlock` when the send buffer is full.
+#[cfg(unix)]
+pub fn writev_fd(fd: RawFd, bufs: &[&[u8]]) -> io::Result<usize> {
+    let n = posix::writev_fd(fd, bufs);
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SO_REUSEPORT listeners (multi-shard accept)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sock {
+    use super::posix::{check, close_fd, set_nonblocking_cloexec};
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::fd::FromRawFd;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+
+    const AF_INET: i32 = 2;
+    #[cfg(target_os = "linux")]
+    const AF_INET6: i32 = 10;
+    #[cfg(target_os = "macos")]
+    const AF_INET6: i32 = 30;
+    #[cfg(not(any(target_os = "linux", target_os = "macos")))]
+    const AF_INET6: i32 = 28;
+    const SOCK_STREAM: i32 = 1;
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: i32 = 1;
+    #[cfg(not(target_os = "linux"))]
+    const SOL_SOCKET: i32 = 0xFFFF;
+    #[cfg(target_os = "linux")]
+    const SO_REUSEADDR: i32 = 2;
+    #[cfg(not(target_os = "linux"))]
+    const SO_REUSEADDR: i32 = 0x0004;
+    #[cfg(target_os = "linux")]
+    const SO_REUSEPORT: i32 = 15;
+    #[cfg(not(target_os = "linux"))]
+    const SO_REUSEPORT: i32 = 0x0200;
+
+    /// `struct sockaddr_in` / `sockaddr_in6`. Linux leads with a 16-bit
+    /// family; the BSDs with a length byte + 8-bit family.
+    #[repr(C)]
+    struct SockaddrIn {
+        #[cfg(not(target_os = "linux"))]
+        sin_len: u8,
+        #[cfg(not(target_os = "linux"))]
+        sin_family: u8,
+        #[cfg(target_os = "linux")]
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    struct SockaddrIn6 {
+        #[cfg(not(target_os = "linux"))]
+        sin6_len: u8,
+        #[cfg(not(target_os = "linux"))]
+        sin6_family: u8,
+        #[cfg(target_os = "linux")]
+        sin6_family: u16,
+        sin6_port: u16,
+        sin6_flowinfo: u32,
+        sin6_addr: [u8; 16],
+        sin6_scope_id: u32,
+    }
+
+    fn sockopt(fd: i32, name: i32) -> io::Result<()> {
+        let one: i32 = 1;
+        check(unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                name,
+                &one,
+                std::mem::size_of::<i32>() as u32,
+            )
+        })?;
+        Ok(())
+    }
+
+    /// A nonblocking TCP listener on `addr` with `SO_REUSEPORT` set before
+    /// bind, so N shards can each own a listener on the same port and the
+    /// kernel load-balances accepts across them.
+    ///
+    /// # Errors
+    /// Any socket/bind/listen failure (port in use without a reuseport
+    /// peer, privileged port, exhausted fds).
+    pub(super) fn reuseport_tcp_listener(addr: SocketAddr) -> io::Result<TcpListener> {
+        let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+        let fd = check(unsafe { socket(domain, SOCK_STREAM, 0) })?;
+        let result = (|| {
+            sockopt(fd, SO_REUSEADDR)?;
+            sockopt(fd, SO_REUSEPORT)?;
+            match addr {
+                SocketAddr::V4(v4) => {
+                    let sa = SockaddrIn {
+                        #[cfg(not(target_os = "linux"))]
+                        sin_len: std::mem::size_of::<SockaddrIn>() as u8,
+                        #[cfg(not(target_os = "linux"))]
+                        sin_family: AF_INET as u8,
+                        #[cfg(target_os = "linux")]
+                        sin_family: AF_INET as u16,
+                        sin_port: v4.port().to_be(),
+                        sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                        sin_zero: [0; 8],
+                    };
+                    check(unsafe {
+                        bind(
+                            fd,
+                            (&sa as *const SockaddrIn).cast(),
+                            std::mem::size_of::<SockaddrIn>() as u32,
+                        )
+                    })?;
+                }
+                SocketAddr::V6(v6) => {
+                    let sa = SockaddrIn6 {
+                        #[cfg(not(target_os = "linux"))]
+                        sin6_len: std::mem::size_of::<SockaddrIn6>() as u8,
+                        #[cfg(not(target_os = "linux"))]
+                        sin6_family: AF_INET6 as u8,
+                        #[cfg(target_os = "linux")]
+                        sin6_family: AF_INET6 as u16,
+                        sin6_port: v6.port().to_be(),
+                        sin6_flowinfo: v6.flowinfo(),
+                        sin6_addr: v6.ip().octets(),
+                        sin6_scope_id: v6.scope_id(),
+                    };
+                    check(unsafe {
+                        bind(
+                            fd,
+                            (&sa as *const SockaddrIn6).cast(),
+                            std::mem::size_of::<SockaddrIn6>() as u32,
+                        )
+                    })?;
+                }
+            }
+            check(unsafe { listen(fd, 1024) })?;
+            set_nonblocking_cloexec(fd)?;
+            Ok(())
+        })();
+        match result {
+            // SAFETY: `fd` is a freshly created socket this function owns;
+            // ownership transfers into the `TcpListener` exactly once.
+            Ok(()) => Ok(unsafe { TcpListener::from_raw_fd(fd) }),
+            Err(e) => {
+                close_fd(fd);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A nonblocking TCP listener with `SO_REUSEPORT` set before bind — the
+/// multi-shard accept path: every shard binds the same address and the
+/// kernel spreads incoming connections across the listeners.
+///
+/// # Errors
+/// Any socket/bind/listen failure, or off Unix.
+pub fn reuseport_tcp_listener(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    #[cfg(unix)]
+    {
+        sock::reuseport_tcp_listener(addr)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = addr;
+        Err(unsupported())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -823,5 +1061,66 @@ mod tests {
         assert!(soft > 0 && hard >= soft);
         let raised = raise_nofile_limit().expect("setrlimit");
         assert_eq!(raised, hard, "soft limit must land on the hard limit");
+    }
+
+    #[test]
+    fn writev_gathers_segments_in_order() {
+        use std::io::Read as _;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        let n = writev_fd(server_side.as_raw_fd(), &[b"gather", b"ed ", b"", b"write"])
+            .expect("writev");
+        assert_eq!(n, 14);
+        let mut got = [0u8; 14];
+        client.read_exact(&mut got).expect("read back");
+        assert_eq!(&got, b"gathered write");
+    }
+
+    #[test]
+    fn reuseport_listeners_share_one_port() {
+        use std::io::Read as _;
+        let first = reuseport_tcp_listener("127.0.0.1:0".parse().unwrap()).expect("first bind");
+        let addr = first.local_addr().expect("local addr");
+        assert_ne!(addr.port(), 0, "bind resolved an ephemeral port");
+        let second = reuseport_tcp_listener(addr).expect("second bind on same port");
+        second.set_nonblocking(false).unwrap();
+        first.set_nonblocking(false).unwrap();
+        // Both listeners accept from the shared port; which one gets which
+        // connection is the kernel's choice, so accept from both ends
+        // using two client connections and a helper thread per listener.
+        let h1 = std::thread::spawn(move || {
+            let (mut c, _) = first.accept().expect("first accept");
+            let mut b = [0u8; 1];
+            c.read_exact(&mut b).expect("read");
+            b[0]
+        });
+        let h2 = std::thread::spawn(move || {
+            let (mut c, _) = second.accept().expect("second accept");
+            let mut b = [0u8; 1];
+            c.read_exact(&mut b).expect("read");
+            b[0]
+        });
+        // Two connections: with reuseport the kernel hashes by 4-tuple, so
+        // two distinct client ports land one on each listener with high
+        // probability — but not guaranteed, so keep connecting until both
+        // helpers return (bounded).
+        let mut clients = Vec::new();
+        for i in 0..64u8 {
+            // A refused connect is expected once one helper has accepted:
+            // its listener is dropped, and reuseport hashing may still
+            // route a later 4-tuple to the closed socket's bucket.
+            if let Ok(mut c) = TcpStream::connect(addr) {
+                let _ = c.write_all(&[i]);
+                clients.push(c);
+            }
+            if h1.is_finished() && h2.is_finished() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(h1.join().is_ok());
+        assert!(h2.join().is_ok());
     }
 }

@@ -1,0 +1,191 @@
+//! A slab pool of engine-ready pixel buffers, keyed by sample count.
+//!
+//! The zero-copy ingest path reads socket bytes straight into an
+//! [`ImageStack`](preflight_core::ImageStack)-shaped `Vec<u16>`/`Vec<u32>`;
+//! once the response hits the wire the buffer comes back here instead of
+//! the allocator. In steady state (same geometry request after request —
+//! the normal shape of a camera stream) every `take` is a pool hit and the
+//! request path performs zero heap allocation.
+//!
+//! Hygiene rules, enforced by tests in `tests/pool_hygiene.rs`:
+//!
+//! - [`BufferPool::take_filled`] always returns a buffer of *exactly* the
+//!   requested length with every element zeroed, whether it came from the
+//!   shelf or the allocator — stale bytes from a previous request never
+//!   reach a new one.
+//! - [`BufferPool::put_u16`]/[`BufferPool::put_u32`] only shelve buffers
+//!   whose capacity can serve a future request; each bucket is capped so a
+//!   burst of odd geometries cannot pin unbounded memory.
+
+use preflight_obs::Counter;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Buffers kept per distinct sample count before extras are dropped back
+/// to the allocator. 32 buffers × the largest common stack (32×32×8 u16 =
+/// 16 KiB) is well under a megabyte per bucket; even 4096×4096×8 u32
+/// stacks cap at 16 GiB *virtual* only if a client actually sustains 32
+/// such requests in flight, which the admission gate already bounds far
+/// lower.
+const BUCKET_CAP: usize = 32;
+
+#[derive(Default)]
+struct Shelf<T> {
+    buckets: HashMap<usize, Vec<Vec<T>>>,
+}
+
+impl<T: Copy + Default> Shelf<T> {
+    fn take(&mut self, samples: usize) -> Option<Vec<T>> {
+        let bucket = self.buckets.get_mut(&samples)?;
+        let mut buf = bucket.pop()?;
+        if bucket.is_empty() {
+            self.buckets.remove(&samples);
+        }
+        // Scrub before handing out: a recycled buffer still holds the
+        // previous request's pixels.
+        buf.iter_mut().for_each(|v| *v = T::default());
+        Some(buf)
+    }
+
+    fn put(&mut self, samples: usize, buf: Vec<T>) {
+        if buf.len() != samples || samples == 0 {
+            // Partial (aborted mid-ingest) or degenerate buffers are not
+            // reusable as-is; let the allocator reclaim them.
+            return;
+        }
+        let bucket = self.buckets.entry(samples).or_default();
+        if bucket.len() < BUCKET_CAP {
+            bucket.push(buf);
+        }
+    }
+}
+
+/// Shared pool of pixel buffers with one shelf per wire dtype.
+///
+/// All methods take `&self`; the shelves sit behind a [`Mutex`] each, held
+/// only for the bucket push/pop (the zero-fill happens outside no lock is
+/// needed for it — `take` scrubs inside the lock but the scrub is a linear
+/// `memset`-shaped pass the optimiser vectorises).
+pub struct BufferPool {
+    u16s: Mutex<Shelf<u16>>,
+    u32s: Mutex<Shelf<u32>>,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool").finish_non_exhaustive()
+    }
+}
+
+impl BufferPool {
+    /// A pool reporting hits/misses through the given counters (pass
+    /// [`Counter`]s from a disabled [`preflight_obs::Obs`] to opt out).
+    pub fn new(hits: Counter, misses: Counter) -> Self {
+        BufferPool {
+            u16s: Mutex::new(Shelf::default()),
+            u32s: Mutex::new(Shelf::default()),
+            hits,
+            misses,
+        }
+    }
+
+    /// A pool with no-op counters, for tests and library embedders.
+    pub fn detached() -> Self {
+        let obs = preflight_obs::Obs::disabled();
+        BufferPool::new(
+            obs.counter("pool_hits", None),
+            obs.counter("pool_misses", None),
+        )
+    }
+
+    /// A shelved, zeroed `Vec<u16>` of exactly `samples` elements, or
+    /// `None` on a pool miss (counters bumped either way). The ingest path
+    /// uses this directly so misses can grow incrementally as bytes arrive
+    /// instead of committing the full declared geometry up front.
+    pub fn try_take_u16(&self, samples: usize) -> Option<Vec<u16>> {
+        let got = self.u16s.lock().expect("u16 pool poisoned").take(samples);
+        match got.is_some() {
+            true => self.hits.inc(),
+            false => self.misses.inc(),
+        }
+        got
+    }
+
+    /// `u32` twin of [`BufferPool::try_take_u16`].
+    pub fn try_take_u32(&self, samples: usize) -> Option<Vec<u32>> {
+        let got = self.u32s.lock().expect("u32 pool poisoned").take(samples);
+        match got.is_some() {
+            true => self.hits.inc(),
+            false => self.misses.inc(),
+        }
+        got
+    }
+
+    /// A zeroed `Vec<u16>` of exactly `samples` elements.
+    pub fn take_filled_u16(&self, samples: usize) -> Vec<u16> {
+        self.try_take_u16(samples)
+            .unwrap_or_else(|| vec![0u16; samples])
+    }
+
+    /// A zeroed `Vec<u32>` of exactly `samples` elements.
+    pub fn take_filled_u32(&self, samples: usize) -> Vec<u32> {
+        self.try_take_u32(samples)
+            .unwrap_or_else(|| vec![0u32; samples])
+    }
+
+    /// Recycles a u16 buffer. Only complete buffers (`len == samples` it
+    /// would be handed out as) are shelved; anything else is dropped.
+    pub fn put_u16(&self, buf: Vec<u16>) {
+        let samples = buf.len();
+        self.u16s
+            .lock()
+            .expect("u16 pool poisoned")
+            .put(samples, buf);
+    }
+
+    /// Recycles a u32 buffer (same rules as [`BufferPool::put_u16`]).
+    pub fn put_u32(&self, buf: Vec<u32>) {
+        let samples = buf.len();
+        self.u32s
+            .lock()
+            .expect("u32 pool poisoned")
+            .put(samples, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_after_recycle() {
+        let pool = BufferPool::detached();
+        let mut buf = pool.take_filled_u16(64);
+        buf.iter_mut().for_each(|v| *v = 0xBEEF);
+        pool.put_u16(buf);
+        let again = pool.take_filled_u16(64);
+        assert!(again.iter().all(|&v| v == 0), "stale bytes leaked");
+        assert_eq!(again.len(), 64);
+    }
+
+    #[test]
+    fn mismatched_size_misses_the_bucket() {
+        let pool = BufferPool::detached();
+        pool.put_u32(vec![7u32; 100]);
+        let buf = pool.take_filled_u32(64);
+        assert_eq!(buf.len(), 64);
+        assert!(buf.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn bucket_is_capped() {
+        let pool = BufferPool::detached();
+        for _ in 0..(BUCKET_CAP + 10) {
+            pool.put_u16(vec![1u16; 8]);
+        }
+        let shelved = pool.u16s.lock().unwrap().buckets.get(&8).map(Vec::len);
+        assert_eq!(shelved, Some(BUCKET_CAP));
+    }
+}

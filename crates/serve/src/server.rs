@@ -1,21 +1,24 @@
-//! The daemon: lifecycle, shared state, and the event-loop thread.
+//! The daemon: lifecycle, shared state, and the event-loop shard threads.
 //!
-//! Thread layout (`preflightd` with both sockets enabled):
+//! Thread layout (`preflightd` with both sockets enabled, N shards):
 //!
 //! ```text
-//!                 ┌───────────────────────┐     ┌─ engine worker 0 ─┐
-//! every socket ──▶│ event loop (1 thread) │──▶ batcher ┼─ engine worker 1 ─┘
-//!                 └───────────▲───────────┘     └─ ...
-//!                             └──────── replies (token, Message) + waker
+//!   sockets ──▶ ┌─ loop shard 0 ─┐          ┌─ engine worker 0 ─┐
+//!   sockets ──▶ ┼─ loop shard 1 ─┼──▶ batcher ┼─ engine worker 1 ─┘
+//!               └─ ...           ┘          └─ ...
+//!                 ▲ per-shard reply channel (token, Message) + waker
 //! ```
 //!
-//! One [`crate::event_loop`] thread owns the listeners and every
-//! connection: accepts, envelope decoding, admission, and response writes
-//! all happen non-blocking behind an epoll/kqueue [`crate::poll::Poller`],
-//! so concurrent connections cost descriptors and buffers, not stacks.
-//! Engine workers answer through a single reply channel plus a self-pipe
-//! waker. The batcher, engine workers, and the Prometheus scrape listener
-//! keep their own (few, fixed) threads.
+//! Each [`crate::event_loop`] shard thread owns one poller plus the
+//! connections assigned to it: accepts, envelope decoding, admission, and
+//! response writes all happen non-blocking behind an epoll/kqueue
+//! [`crate::poll::Poller`], so concurrent connections cost descriptors and
+//! buffers, not stacks. TCP shards each bind their own `SO_REUSEPORT`
+//! listener (the kernel load-balances accepts); the Unix listener lives on
+//! shard 0, which round-robins accepted sockets to its peers. Engine
+//! workers answer through the owning shard's reply channel plus that
+//! shard's self-pipe waker. The batcher, engine workers, and the
+//! Prometheus scrape listener keep their own (few, fixed) threads.
 //!
 //! Graceful shutdown (wire `Drain` or SIGTERM→[`ServerHandle::drain`]):
 //! stop admitting, flush the batcher's open groups, wait for every permit
@@ -78,6 +81,10 @@ pub struct ServerConfig {
     pub engine: EngineConfig,
     /// Parallel engine workers (batches in flight at once).
     pub engine_workers: usize,
+    /// Event-loop shards (poll threads, each owning its own listener and
+    /// connections). `0` means auto: `min(4, available_parallelism)`.
+    /// Explicit values are clamped to `1..=16`.
+    pub shards: usize,
     /// Enable the per-stream Λ/Υ auto-tuner (`--auto-tune`): each batch
     /// group key gets a rolling-Φ calibrator whose frozen boundaries
     /// replace the requested parameters once warm. Chosen-vs-requested
@@ -92,6 +99,22 @@ pub struct ServerConfig {
     pub obs: Obs,
 }
 
+impl ServerConfig {
+    /// The number of event-loop shard threads this configuration resolves
+    /// to: `shards` clamped to `1..=16`, or `min(4, available cores)` when
+    /// left at the `0` auto default.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4)
+        } else {
+            self.shards.clamp(1, 16)
+        }
+    }
+}
+
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
@@ -102,6 +125,7 @@ impl Default for ServerConfig {
             batch: BatchConfig::default(),
             engine: EngineConfig::default(),
             engine_workers: 2,
+            shards: 0,
             auto_tune: false,
             metrics_addr: None,
             obs: Obs::new(),
@@ -122,8 +146,8 @@ pub(crate) struct Shared {
     pub(crate) stopped: AtomicBool,
     /// A wire `Drain` finished flushing (the daemon main loop exits on it).
     pub(crate) drain_acked: AtomicBool,
-    /// Interrupts the event loop's poll wait (set once the loop exists).
-    wake: Mutex<Option<WakeFn>>,
+    /// Interrupts every shard's poll wait (filled before the loops start).
+    wake: Mutex<Vec<WakeFn>>,
 }
 
 impl Shared {
@@ -140,22 +164,13 @@ impl Shared {
         }
     }
 
-    fn set_wake(&self, f: WakeFn) {
-        *self.wake.lock().expect("wake fn poisoned") = Some(f);
+    fn add_wake(&self, f: WakeFn) {
+        self.wake.lock().expect("wake fn poisoned").push(f);
     }
 
-    /// The loop waker as a shareable callback (a no-op until the loop has
-    /// registered itself).
-    pub(crate) fn wake_fn(&self) -> WakeFn {
-        self.wake
-            .lock()
-            .expect("wake fn poisoned")
-            .clone()
-            .unwrap_or_else(|| Arc::new(|| {}))
-    }
-
+    /// Interrupts every shard's poll wait (drain progress, shutdown).
     pub(crate) fn wake_loop(&self) {
-        if let Some(f) = self.wake.lock().expect("wake fn poisoned").as_ref() {
+        for f in self.wake.lock().expect("wake fn poisoned").iter() {
             f();
         }
     }
@@ -271,8 +286,9 @@ fn start_impl(_config: ServerConfig) -> std::io::Result<ServerHandle> {
 
 #[cfg(unix)]
 fn start_impl(config: ServerConfig) -> std::io::Result<ServerHandle> {
-    use crate::event_loop::{run_event_loop, LoopConfig};
+    use crate::event_loop::{run_event_loop, Handoff, LoopConfig};
     use crate::poll::{waker, Poller};
+    use crate::pool::BufferPool;
 
     if config.tcp.is_none() && config.unix.is_none() {
         return Err(std::io::Error::new(
@@ -285,11 +301,18 @@ fn start_impl(config: ServerConfig) -> std::io::Result<ServerHandle> {
     // correctly if the hard limit is lower than the cap).
     let _ = crate::poll::raise_nofile_limit();
 
+    let shards = config.effective_shards();
     let gate = AdmissionGate::new(config.capacity);
     let stats = Arc::new(ServerStats::new(&config.obs));
+    // One slab pool shared by the ingest path (socket → stack buffer) and
+    // the engine workers (work/repair buffers); recycled when replies
+    // finish flushing.
+    let pool = Arc::new(BufferPool::new(
+        stats.pool_hits.clone(),
+        stats.pool_misses.clone(),
+    ));
     let (batcher_tx, batcher_rx) = channel::unbounded();
     let (engine_tx, engine_rx) = channel::unbounded();
-    let (reply_tx, reply_rx) = channel::unbounded();
 
     let shared = Arc::new(Shared {
         gate: gate.clone(),
@@ -299,7 +322,7 @@ fn start_impl(config: ServerConfig) -> std::io::Result<ServerHandle> {
         draining: AtomicBool::new(false),
         stopped: AtomicBool::new(false),
         drain_acked: AtomicBool::new(false),
-        wake: Mutex::new(None),
+        wake: Mutex::new(Vec::new()),
     });
 
     let mut threads = Vec::new();
@@ -326,21 +349,40 @@ fn start_impl(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let rx = engine_rx.clone();
         let engine = engine_config.clone();
         let stats = Arc::clone(&stats);
+        let pool = Arc::clone(&pool);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("preflightd-engine-{i}"))
-                .spawn(move || run_engine_worker(rx, engine, stats))?,
+                .spawn(move || run_engine_worker(rx, engine, stats, pool))?,
         );
     }
     drop(engine_rx);
 
     let mut tcp_addr = None;
-    let mut tcp_listener = None;
+    let mut tcp_listeners: Vec<Option<TcpListener>> = (0..shards).map(|_| None).collect();
     if let Some(addr) = &config.tcp {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        tcp_addr = Some(listener.local_addr()?);
-        tcp_listener = Some(listener);
+        if shards == 1 {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            tcp_listeners[0] = Some(listener);
+        } else {
+            // Every shard binds its own `SO_REUSEPORT` listener so the
+            // kernel spreads accepts across the poll threads. Bind the
+            // first, then point the rest at its *concrete* address, so an
+            // ephemeral `:0` request lands every shard on the same port.
+            use std::net::ToSocketAddrs;
+            let sa = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(ErrorKind::InvalidInput, "TCP address resolved to nothing")
+            })?;
+            let first = crate::poll::reuseport_tcp_listener(sa)?;
+            let bound = first.local_addr()?;
+            tcp_addr = Some(bound);
+            tcp_listeners[0] = Some(first);
+            for slot in tcp_listeners.iter_mut().skip(1) {
+                *slot = Some(crate::poll::reuseport_tcp_listener(bound)?);
+            }
+        }
     }
 
     let mut unix_path = None;
@@ -354,25 +396,47 @@ fn start_impl(config: ServerConfig) -> std::io::Result<ServerHandle> {
         unix_listener = Some(listener);
     }
 
-    // The poller, waker, and loop thread. The waker is installed in
-    // `Shared` before the loop starts, so `begin_drain` can always
-    // interrupt the poll wait.
-    let poller = Poller::new()?;
-    let (wk, wake_reader) = waker()?;
-    shared.set_wake(Arc::new(move || wk.wake()));
+    // Per-shard pollers, wakers, and channels, all created before any loop
+    // thread starts: every waker is installed in `Shared` (so `begin_drain`
+    // can always interrupt every poll wait) and the full set of Unix
+    // handoff lanes (inbox sender + waker per shard) is cloned into every
+    // shard before the first accept can happen.
+    let mut lanes: Vec<(channel::Sender<Handoff>, WakeFn)> = Vec::with_capacity(shards);
+    let mut shard_parts = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let poller = Poller::new()?;
+        let (wk, wake_reader) = waker()?;
+        let wake: WakeFn = Arc::new(move || wk.wake());
+        shared.add_wake(Arc::clone(&wake));
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let (handoff_tx, handoff_rx) = channel::unbounded();
+        lanes.push((handoff_tx, Arc::clone(&wake)));
+        shard_parts.push((poller, wake_reader, wake, reply_tx, reply_rx, handoff_rx));
+    }
+    for (shard, (poller, wake_reader, wake, reply_tx, reply_rx, handoff_rx)) in
+        shard_parts.into_iter().enumerate()
     {
         let loop_cfg = LoopConfig {
-            tcp: tcp_listener,
-            unix: unix_listener,
+            shard,
+            tcp: tcp_listeners[shard].take(),
+            unix: if shard == 0 {
+                unix_listener.take()
+            } else {
+                None
+            },
             shared: Arc::clone(&shared),
+            pool: Arc::clone(&pool),
+            wake,
             reply_tx,
             reply_rx,
             wake_reader,
             poller,
+            handoff_rx,
+            handoff: lanes.clone(),
         };
         threads.push(
             std::thread::Builder::new()
-                .name("preflightd-loop".into())
+                .name(format!("preflightd-loop-{shard}"))
                 .spawn(move || run_event_loop(loop_cfg))?,
         );
     }

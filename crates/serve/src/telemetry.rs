@@ -44,8 +44,27 @@ pub const RETRIES_TOTAL: &str = "serve_retries_total";
 pub const DEGRADATION_TRANSITIONS_TOTAL: &str = "serve_degradation_transitions_total";
 /// Counter family: event-loop poll wakeups (readiness, timer, or waker).
 pub const POLL_WAKEUPS_TOTAL: &str = "serve_poll_wakeups_total";
+/// Counter family (labelled `shard="..."`): connections accepted by each
+/// event-loop shard.
+pub const SHARD_ACCEPTS_TOTAL: &str = "serve_shard_accepts_total";
+/// Counter family (labelled `shard="..."`): poll wakeups per event-loop
+/// shard (the unlabelled [`POLL_WAKEUPS_TOTAL`] stays the fleet total).
+pub const SHARD_WAKEUPS_TOTAL: &str = "serve_shard_wakeups_total";
+/// Counter family: ingest buffers served from the pixel pool.
+pub const POOL_HITS_TOTAL: &str = "serve_pool_hits_total";
+/// Counter family: ingest buffers that had to be freshly allocated.
+pub const POOL_MISSES_TOTAL: &str = "serve_pool_misses_total";
 /// Gauge family: connections currently registered with the event loop.
 pub const OPEN_CONNECTIONS: &str = "serve_open_connections";
+
+/// Static label values for shard-indexed counters (labels must be
+/// `&'static str`; shards are capped at 16 in `ServerConfig`).
+pub(crate) fn shard_label(shard: usize) -> &'static str {
+    const LABELS: [&str; 16] = [
+        "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+    ];
+    LABELS[shard.min(LABELS.len() - 1)]
+}
 
 /// The `stage` label values every serve-side [`STAGE_SECONDS`] histogram
 /// uses, in pipeline order: accept, readable-event service, admission,
@@ -230,6 +249,10 @@ pub struct ServerStats {
     pub retries: Counter,
     /// Event-loop poll wakeups (readiness, timer expiry, or waker).
     pub poll_wakeups: Counter,
+    /// Ingest buffers served from the pixel pool.
+    pub pool_hits: Counter,
+    /// Ingest buffers that had to be freshly allocated.
+    pub pool_misses: Counter,
     /// Connections currently registered with the event loop.
     pub open_connections: Gauge,
     /// Time to accept and register one connection.
@@ -269,6 +292,8 @@ impl ServerStats {
             bits_repaired: obs.counter(BITS_REPAIRED_TOTAL, None),
             retries: obs.counter(RETRIES_TOTAL, None),
             poll_wakeups: obs.counter(POLL_WAKEUPS_TOTAL, None),
+            pool_hits: obs.counter(POOL_HITS_TOTAL, None),
+            pool_misses: obs.counter(POOL_MISSES_TOTAL, None),
             open_connections: obs.gauge(OPEN_CONNECTIONS, None),
             stage_accept: stage("accept"),
             stage_readable: stage("readable"),
@@ -296,6 +321,17 @@ impl ServerStats {
                 Some(("rung", rung_label(to))),
             )
             .inc();
+    }
+
+    /// Resolves the `shard="i"`-labelled accept and wakeup counters for
+    /// one event-loop shard. Called once per shard at server start, so the
+    /// per-event hot path bumps pre-resolved handles only.
+    pub fn shard_counters(&self, shard: usize) -> (Counter, Counter) {
+        let l = shard_label(shard);
+        (
+            self.obs.counter(SHARD_ACCEPTS_TOTAL, Some(("shard", l))),
+            self.obs.counter(SHARD_WAKEUPS_TOTAL, Some(("shard", l))),
+        )
     }
 
     /// A point-in-time copy of the whole registry (empty when disabled).

@@ -180,31 +180,24 @@ impl FramePayload {
     }
 
     fn encode_into(&self, out: &mut Vec<u8>) {
+        fn frames_into<T: crate::bytes::WireWord>(s: &ImageStack<T>, out: &mut Vec<u8>) {
+            // Frame pixels go out as one bulk little-endian copy per frame
+            // (a zero-copy view on LE hosts) instead of a per-sample loop.
+            let mut scratch = Vec::new();
+            for i in 0..s.frames() {
+                let bytes = crate::bytes::le_bytes(s.frame(i), &mut scratch);
+                let crc = crc32(bytes);
+                out.extend_from_slice(bytes);
+                put_u32(out, crc);
+            }
+        }
         out.push(self.dtype().code());
         put_u32(out, self.width() as u32);
         put_u32(out, self.height() as u32);
         put_u32(out, self.frames() as u32);
         match self {
-            FramePayload::U16(s) => {
-                for i in 0..s.frames() {
-                    let start = out.len();
-                    for &v in s.frame(i) {
-                        out.extend_from_slice(&v.to_le_bytes());
-                    }
-                    let crc = crc32(&out[start..]);
-                    put_u32(out, crc);
-                }
-            }
-            FramePayload::U32(s) => {
-                for i in 0..s.frames() {
-                    let start = out.len();
-                    for &v in s.frame(i) {
-                        out.extend_from_slice(&v.to_le_bytes());
-                    }
-                    let crc = crc32(&out[start..]);
-                    put_u32(out, crc);
-                }
-            }
+            FramePayload::U16(s) => frames_into(s, out),
+            FramePayload::U32(s) => frames_into(s, out),
         }
     }
 
@@ -237,51 +230,48 @@ impl FramePayload {
         let samples = frame_len
             .checked_mul(frames)
             .ok_or_else(|| WireError::Malformed("stack size overflows".to_owned()))?;
+        fn frames_from<T: crate::bytes::WireWord>(
+            r: &mut SliceReader<'_>,
+            width: usize,
+            height: usize,
+            frames: usize,
+            frame_bytes: usize,
+            samples: usize,
+        ) -> Result<ImageStack<T>, WireError> {
+            let mut data = Vec::with_capacity(samples);
+            for _ in 0..frames {
+                let raw = r.bytes(frame_bytes, "frame data")?;
+                let expected = r.u32("frame CRC")?;
+                let actual = crc32(raw);
+                if expected != actual {
+                    return Err(WireError::CrcMismatch {
+                        scope: "frame",
+                        expected,
+                        actual,
+                    });
+                }
+                crate::bytes::extend_from_le(&mut data, raw);
+            }
+            ImageStack::from_vec(width, height, frames, data)
+                .map_err(|e| WireError::Malformed(e.to_string()))
+        }
         match dtype {
-            Dtype::U16 => {
-                let mut data = Vec::with_capacity(samples);
-                for _ in 0..frames {
-                    let raw = r.bytes(frame_bytes, "frame data")?;
-                    let expected = r.u32("frame CRC")?;
-                    let actual = crc32(raw);
-                    if expected != actual {
-                        return Err(WireError::CrcMismatch {
-                            scope: "frame",
-                            expected,
-                            actual,
-                        });
-                    }
-                    data.extend(
-                        raw.chunks_exact(2)
-                            .map(|c| u16::from_le_bytes([c[0], c[1]])),
-                    );
-                }
-                let stack = ImageStack::from_vec(width, height, frames, data)
-                    .map_err(|e| WireError::Malformed(e.to_string()))?;
-                Ok(FramePayload::U16(stack))
-            }
-            Dtype::U32 => {
-                let mut data = Vec::with_capacity(samples);
-                for _ in 0..frames {
-                    let raw = r.bytes(frame_bytes, "frame data")?;
-                    let expected = r.u32("frame CRC")?;
-                    let actual = crc32(raw);
-                    if expected != actual {
-                        return Err(WireError::CrcMismatch {
-                            scope: "frame",
-                            expected,
-                            actual,
-                        });
-                    }
-                    data.extend(
-                        raw.chunks_exact(4)
-                            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
-                    );
-                }
-                let stack = ImageStack::from_vec(width, height, frames, data)
-                    .map_err(|e| WireError::Malformed(e.to_string()))?;
-                Ok(FramePayload::U32(stack))
-            }
+            Dtype::U16 => Ok(FramePayload::U16(frames_from(
+                r,
+                width,
+                height,
+                frames,
+                frame_bytes,
+                samples,
+            )?)),
+            Dtype::U32 => Ok(FramePayload::U32(frames_from(
+                r,
+                width,
+                height,
+                frames,
+                frame_bytes,
+                samples,
+            )?)),
         }
     }
 }
@@ -424,11 +414,11 @@ impl Message {
     }
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -582,7 +572,7 @@ fn decode_snapshot(r: &mut SliceReader<'_>) -> Result<Snapshot, WireError> {
     Ok(snap)
 }
 
-fn encode_stats(stats: &RequestStats, out: &mut Vec<u8>) {
+pub(crate) fn encode_stats(stats: &RequestStats, out: &mut Vec<u8>) {
     put_u64(out, stats.samples_changed);
     put_u64(out, stats.bits_flipped);
     put_u32(out, stats.voter_agreement_permille);
@@ -626,29 +616,28 @@ fn decode_stats(r: &mut SliceReader<'_>) -> Result<RequestStats, WireError> {
     })
 }
 
-fn encode_payload(msg: &Message) -> Vec<u8> {
-    let mut p = Vec::new();
+fn encode_payload_into(msg: &Message, p: &mut Vec<u8>) {
     match msg {
         Message::Submit(s) => {
-            put_u64(&mut p, s.request_id);
-            put_u64(&mut p, s.stream_id);
+            put_u64(p, s.request_id);
+            put_u64(p, s.stream_id);
             p.push(s.lambda);
             p.push(s.upsilon);
             p.push(u8::from(s.eos));
-            s.payload.encode_into(&mut p);
+            s.payload.encode_into(p);
         }
         Message::Response(r) => {
-            put_u64(&mut p, r.request_id);
-            encode_stats(&r.stats, &mut p);
-            r.payload.encode_into(&mut p);
+            put_u64(p, r.request_id);
+            encode_stats(&r.stats, p);
+            r.payload.encode_into(p);
         }
         Message::Busy(b) => {
-            put_u64(&mut p, b.request_id);
-            put_u32(&mut p, b.capacity);
-            put_u32(&mut p, b.in_flight);
+            put_u64(p, b.request_id);
+            put_u32(p, b.capacity);
+            put_u32(p, b.in_flight);
         }
         Message::Error(e) => {
-            put_u64(&mut p, e.request_id);
+            put_u64(p, e.request_id);
             p.push(e.code.code());
             let bytes = e.message.as_bytes();
             let len = bytes.len().min(u16::MAX as usize);
@@ -657,14 +646,13 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         }
         Message::Drain => {}
         Message::DrainAck(d) => {
-            put_u64(&mut p, d.completed);
-            put_u64(&mut p, d.rejected);
+            put_u64(p, d.completed);
+            put_u64(p, d.rejected);
         }
-        Message::Ping(token) | Message::Pong(token) => put_u64(&mut p, *token),
+        Message::Ping(token) | Message::Pong(token) => put_u64(p, *token),
         Message::StatsRequest => {}
-        Message::StatsReply(snap) => encode_snapshot(snap, &mut p),
+        Message::StatsReply(snap) => encode_snapshot(snap, p),
     }
-    p
 }
 
 fn decode_payload(type_code: u8, payload: &[u8]) -> Result<Message, WireError> {
@@ -748,15 +736,28 @@ fn decode_payload(type_code: u8, payload: &[u8]) -> Result<Message, WireError> {
 
 /// Serialises `msg` into one complete envelope.
 pub fn encode_message(msg: &Message) -> Vec<u8> {
-    let payload = encode_payload(msg);
-    let mut out = Vec::with_capacity(payload.len() + 14);
+    let mut out = Vec::new();
+    encode_message_into(msg, &mut out);
+    out
+}
+
+/// Serialises `msg` into one complete envelope appended to `out`, reusing
+/// the buffer's capacity: the payload is encoded in place after the head
+/// (no intermediate payload `Vec`), then the length field is patched and
+/// the payload CRC appended. The event loop's reply path leans on this to
+/// keep control replies allocation-free in steady state.
+pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
+    let head_at = out.len();
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(msg.type_code());
-    put_u32(&mut out, payload.len() as u32);
-    out.extend_from_slice(&payload);
-    put_u32(&mut out, crc32(&payload));
-    out
+    put_u32(out, 0); // length, patched below
+    let payload_at = out.len();
+    encode_payload_into(msg, out);
+    let payload_len = out.len() - payload_at;
+    out[head_at + 6..head_at + HEAD_LEN].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let crc = crc32(&out[payload_at..]);
+    put_u32(out, crc);
 }
 
 /// Writes one envelope to `w` and flushes it.

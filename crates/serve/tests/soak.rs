@@ -152,7 +152,10 @@ fn open_idle_herd(addr: SocketAddr, count: usize) -> Vec<TcpStream> {
 fn idle_herd_plus_active_traffic_stays_bit_identical() {
     let _ = raise_nofile_limit();
     let conns = soak_conns();
-    let daemon = Daemon::spawn(&[]);
+    // Four shards: the herd spreads across every reuseport listener, so
+    // the bit-identity and open-connection accounting checks below cover
+    // the multi-shard data plane, not just a single loop.
+    let daemon = Daemon::spawn(&["--shards", "4"]);
 
     let herd = open_idle_herd(daemon.addr, conns);
     assert_eq!(herd.len(), conns, "every idle connection must be held");

@@ -8,7 +8,8 @@
 //! with output, annotated with the fault-tolerance level actually achieved.
 
 use preflight_core::{
-    AlgoNgst, BitPixel, BitVoter, MedianSmoother, SeriesPreprocessor, ValuePixel, VoterScratch,
+    AlgoNgst, BatchLayout, BitPixel, BitVoter, Kernel, MedianSmoother, Obs, SeriesPreprocessor,
+    TuneDecision, ValuePixel, VoterScratch,
 };
 use serde::Serialize;
 use std::fmt;
@@ -104,6 +105,76 @@ impl<T: BitPixel + ValuePixel> SeriesPreprocessor<T> for LadderStage {
             // the simpler rungs fall back to their plain paths.
             LadderStage::Algo(algo) => algo.preprocess_with(series, scratch),
             other => other.preprocess(series),
+        }
+    }
+
+    // The kernel-dispatching and batched entry points must forward to the
+    // dynamic algorithm, not inherit the trait defaults: the defaults
+    // ignore the kernel and loop per series, which silently downgraded
+    // every ladder-driven run (the daemon, the pipeline) to the per-series
+    // sweep path no matter which `--kernel` was asked for. The simpler
+    // rungs have a single code path each, so for them the default
+    // behaviour is reproduced explicitly.
+
+    fn preprocess_exec(
+        &self,
+        series: &mut [T],
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> usize {
+        match self {
+            LadderStage::Algo(algo) => algo.preprocess_exec(series, scratch, kernel, obs),
+            other => other.preprocess_with(series, scratch),
+        }
+    }
+
+    fn batch_layout(&self, kernel: Kernel) -> BatchLayout {
+        match self {
+            LadderStage::Algo(algo) => {
+                <AlgoNgst as SeriesPreprocessor<T>>::batch_layout(algo, kernel)
+            }
+            _ => BatchLayout::SeriesMajor,
+        }
+    }
+
+    fn preprocess_batch_exec(
+        &self,
+        buf: &mut [T],
+        frames: usize,
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+    ) -> usize {
+        match self {
+            LadderStage::Algo(algo) => {
+                algo.preprocess_batch_exec(buf, frames, scratch, kernel, obs)
+            }
+            other => {
+                if frames == 0 {
+                    return 0;
+                }
+                buf.chunks_exact_mut(frames)
+                    .map(|series| other.preprocess_exec(series, scratch, kernel, obs))
+                    .sum()
+            }
+        }
+    }
+
+    fn preprocess_batch_tuned(
+        &self,
+        buf: &mut [T],
+        frames: usize,
+        scratch: &mut VoterScratch<T>,
+        kernel: Kernel,
+        obs: &Obs,
+        decision: Option<&TuneDecision>,
+    ) -> usize {
+        match self {
+            LadderStage::Algo(algo) => {
+                algo.preprocess_batch_tuned(buf, frames, scratch, kernel, obs, decision)
+            }
+            other => other.preprocess_batch_exec(buf, frames, scratch, kernel, obs),
         }
     }
 }

@@ -91,6 +91,10 @@ fn metrics_endpoint_serves_the_serve_pipeline_registry() {
         "preflight_serve_bits_repaired_total",
         "preflight_serve_retries_total",
         "preflight_serve_batches_total",
+        "preflight_serve_pool_hits_total",
+        "preflight_serve_pool_misses_total",
+        "preflight_serve_shard_accepts_total",
+        "preflight_serve_shard_wakeups_total",
     ] {
         assert!(
             first.contains(&format!("# TYPE {family} counter")),
@@ -111,6 +115,29 @@ fn metrics_endpoint_serves_the_serve_pipeline_registry() {
     assert!(
         sample_value(&first, "preflight_preprocess_runs_total").unwrap_or(0.0) >= 1.0,
         "engine runs must be counted:\n{first}"
+    );
+
+    // The data plane's shard and pool counters are live: the accepted
+    // connection landed on *some* shard (summed across the shard label),
+    // every shard woke at least once, and the first request's buffers
+    // came from the allocator (pool misses).
+    let label_sum = |body: &str, family: &str| -> f64 {
+        body.lines()
+            .filter(|l| l.starts_with(&format!("{family}{{")))
+            .filter_map(|l| l.rsplit_once(' ')?.1.parse::<f64>().ok())
+            .sum()
+    };
+    assert!(
+        label_sum(&first, "preflight_serve_shard_accepts_total") >= 1.0,
+        "the client connection must be counted against a shard:\n{first}"
+    );
+    assert!(
+        label_sum(&first, "preflight_serve_shard_wakeups_total") >= 1.0,
+        "shard poll loops must count wakeups:\n{first}"
+    );
+    assert!(
+        sample_value(&first, "preflight_serve_pool_misses_total").unwrap_or(0.0) >= 1.0,
+        "a cold pool must record misses:\n{first}"
     );
 
     // Histogram invariant: the +Inf bucket is cumulative, so it equals
@@ -147,6 +174,11 @@ fn metrics_endpoint_serves_the_serve_pipeline_registry() {
         sample_value(body, "preflight_serve_requests_admitted_total").expect("admitted counter")
     };
     assert!(admitted(&second) >= admitted(&first) + 1.0);
+    // The second same-geometry request rides recycled buffers.
+    assert!(
+        sample_value(&second, "preflight_serve_pool_hits_total").unwrap_or(0.0) >= 1.0,
+        "a warm pool must record hits:\n{second}"
+    );
 
     // The Stats wire message returns the same registry: spot-check that
     // the snapshot counters match what the scrape rendered.
